@@ -1,0 +1,191 @@
+//! Ablation benchmarks for the design choices DESIGN.md §7 calls out:
+//! UMC's edge-ordering strategy, BMC's basis, BAH's budget sensitivity,
+//! CSR vs hash-map adjacency, and naive all-pairs vs inverted-index graph
+//! generation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use er_core::{FxHashMap, GraphBuilder, SimilarityGraph};
+use er_datasets::{Dataset, DatasetId};
+use er_matchers::{Bah, BahConfig, Basis, Bmc, Exc, Matcher, PreparedGraph, Umc};
+use er_pipeline::{build_graph, PipelineConfig, SimilarityFunction};
+use er_textsim::{NGramScheme, SparseVector, TermWeighting, VectorMeasure, VectorModel};
+
+fn random_graph(n_edges: usize, seed: u64) -> SimilarityGraph {
+    let n = ((n_edges * 8) as f64).sqrt().ceil() as u32;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, n, n_edges);
+    let mut added = 0usize;
+    while added < n_edges {
+        let l = rng.gen_range(0..n);
+        let r = rng.gen_range(0..n);
+        if b.add_edge(l, r, rng.gen()).is_ok() {
+            added += 1;
+        }
+    }
+    b.build()
+}
+
+/// UMC: full sort vs lazy heap (same output, different constants).
+fn bench_umc_strategy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/umc");
+    group.sample_size(10);
+    for &n_edges in &[10_000usize, 100_000] {
+        let g = random_graph(n_edges, 3);
+        let pg = PreparedGraph::new(&g);
+        group.bench_with_input(BenchmarkId::new("sort", n_edges), &n_edges, |b, _| {
+            b.iter(|| std::hint::black_box(Umc::default().run(&pg, 0.3).len()))
+        });
+        group.bench_with_input(BenchmarkId::new("heap", n_edges), &n_edges, |b, _| {
+            b.iter(|| std::hint::black_box(Umc::with_heap().run(&pg, 0.3).len()))
+        });
+    }
+    group.finish();
+}
+
+/// BMC: left vs right basis on an asymmetric graph.
+fn bench_bmc_basis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/bmc");
+    group.sample_size(10);
+    // Asymmetric: 500 x 5000 nodes.
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut b = GraphBuilder::new(500, 5000, );
+    for l in 0..500u32 {
+        for _ in 0..40 {
+            let r = rng.gen_range(0..5000);
+            let _ = b.add_edge(l, r, rng.gen());
+        }
+    }
+    let g = b.build();
+    let pg = PreparedGraph::new(&g);
+    for basis in Basis::both() {
+        let name = match basis {
+            Basis::Left => "left(small)",
+            Basis::Right => "right(large)",
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| std::hint::black_box(Bmc { basis }.run(&pg, 0.3).len()))
+        });
+    }
+    group.finish();
+}
+
+/// BAH: run-time is budget-bound, not size-bound.
+fn bench_bah_budget(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/bah");
+    group.sample_size(10);
+    let g = random_graph(20_000, 5);
+    let pg = PreparedGraph::new(&g);
+    for &moves in &[1_000u64, 10_000, 50_000] {
+        let bah = Bah {
+            config: BahConfig {
+                max_moves: moves,
+                ..BahConfig::default()
+            },
+        };
+        group.bench_with_input(BenchmarkId::new("moves", moves), &moves, |b, _| {
+            b.iter(|| std::hint::black_box(bah.run(&pg, 0.3).len()))
+        });
+    }
+    group.finish();
+}
+
+/// Graph generation: inverted index vs naive all-pairs for a vector model.
+fn bench_index_vs_naive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/index");
+    group.sample_size(10);
+    let d = Dataset::generate(DatasetId::D1, 0.05, 13);
+    let scheme = NGramScheme::Token(1);
+    let measure = VectorMeasure::CosineTf;
+    let function = SimilarityFunction::SchemaAgnosticVector { scheme, measure };
+    let cfg = PipelineConfig::default();
+    group.bench_function("inverted_index", |b| {
+        b.iter(|| std::hint::black_box(build_graph(&d, &function, &cfg).n_edges()))
+    });
+    group.bench_function("naive_all_pairs", |b| {
+        b.iter(|| {
+            let model = VectorModel::new(scheme);
+            let lv: Vec<SparseVector> = d
+                .left
+                .profiles
+                .iter()
+                .map(|p| model.vector(&p.all_values_text(), TermWeighting::Tf, None))
+                .collect();
+            let rv: Vec<SparseVector> = d
+                .right
+                .profiles
+                .iter()
+                .map(|p| model.vector(&p.all_values_text(), TermWeighting::Tf, None))
+                .collect();
+            let mut edges = 0usize;
+            for a in &lv {
+                for b in &rv {
+                    if measure.similarity(a, b, None) > 0.0 {
+                        edges += 1;
+                    }
+                }
+            }
+            std::hint::black_box(edges)
+        })
+    });
+    group.finish();
+}
+
+/// Adjacency representation: the workspace's sorted CSR vs a hash-map of
+/// per-node neighbor vectors, both driving an EXC-style mutual-best scan.
+fn bench_adjacency_representation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/adjacency");
+    group.sample_size(10);
+    for &n_edges in &[10_000usize, 100_000] {
+        let g = random_graph(n_edges, 9);
+        group.bench_with_input(BenchmarkId::new("csr", n_edges), &n_edges, |b, _| {
+            b.iter(|| {
+                let pg = PreparedGraph::new(&g);
+                std::hint::black_box(Exc.run(&pg, 0.3).len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("hashmap", n_edges), &n_edges, |b, _| {
+            b.iter(|| {
+                // Build per-node neighbor maps, then the same mutual-best
+                // scan EXC performs.
+                let mut left: FxHashMap<u32, Vec<(u32, f64)>> = FxHashMap::default();
+                let mut right: FxHashMap<u32, Vec<(u32, f64)>> = FxHashMap::default();
+                for e in g.edges() {
+                    if e.weight > 0.3 {
+                        left.entry(e.left).or_default().push((e.right, e.weight));
+                        right.entry(e.right).or_default().push((e.left, e.weight));
+                    }
+                }
+                let best = |m: &FxHashMap<u32, Vec<(u32, f64)>>, k: u32| -> Option<u32> {
+                    m.get(&k).and_then(|ns| {
+                        ns.iter()
+                            .max_by(|a, b| a.1.total_cmp(&b.1).then(b.0.cmp(&a.0)))
+                            .map(|&(n, _)| n)
+                    })
+                };
+                let mut pairs = 0usize;
+                for i in 0..g.n_left() {
+                    if let Some(j) = best(&left, i) {
+                        if best(&right, j) == Some(i) {
+                            pairs += 1;
+                        }
+                    }
+                }
+                std::hint::black_box(pairs)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_umc_strategy,
+    bench_bmc_basis,
+    bench_bah_budget,
+    bench_index_vs_naive,
+    bench_adjacency_representation
+);
+criterion_main!(benches);

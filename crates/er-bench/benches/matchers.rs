@@ -1,0 +1,86 @@
+//! Criterion micro-benchmarks: each matching algorithm over similarity
+//! graphs of growing edge count (the micro view of the paper's Figure 4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use er_core::{GraphBuilder, SimilarityGraph};
+use er_matchers::{AlgorithmConfig, AlgorithmKind, BahConfig, PreparedGraph};
+
+/// A random bipartite similarity graph with `n_edges` edges over
+/// `sqrt(8·n_edges)`-sized collections (average degree ~8 per side), with
+/// a planted high-weight matching so thresholds behave realistically.
+fn random_graph(n_edges: usize, seed: u64) -> SimilarityGraph {
+    let n = ((n_edges * 8) as f64).sqrt().ceil() as u32;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, n, n_edges + n as usize);
+    // Planted matches.
+    for i in 0..n {
+        b.add_edge(i, i, 0.7 + 0.3 * rng.gen::<f64>()).unwrap();
+    }
+    let mut added = n as usize;
+    while added < n_edges {
+        let l = rng.gen_range(0..n);
+        let r = rng.gen_range(0..n);
+        if b.add_edge(l, r, rng.gen::<f64>() * 0.7).is_ok() {
+            added += 1;
+        }
+    }
+    b.build()
+}
+
+fn bench_matchers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matchers");
+    group.sample_size(10);
+    let config = AlgorithmConfig {
+        // BAH's paper budget (10k steps) would dwarf everything; bench the
+        // per-step machinery with a smaller budget and no wall-clock cap.
+        bah: BahConfig {
+            max_moves: 2_000,
+            ..BahConfig::default()
+        },
+        ..AlgorithmConfig::default()
+    };
+    for &n_edges in &[1_000usize, 10_000, 100_000] {
+        let graph = random_graph(n_edges, 42);
+        let prepared = PreparedGraph::new(&graph);
+        group.throughput(Throughput::Elements(n_edges as u64));
+        for kind in AlgorithmKind::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), n_edges),
+                &n_edges,
+                |b, _| {
+                    b.iter(|| {
+                        let m = config.run(kind, &prepared, 0.5);
+                        std::hint::black_box(m.len())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_graph_preparation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prepare");
+    group.sample_size(10);
+    for &n_edges in &[10_000usize, 100_000] {
+        let graph = random_graph(n_edges, 7);
+        group.throughput(Throughput::Elements(n_edges as u64));
+        group.bench_with_input(
+            BenchmarkId::new("csr_adjacency", n_edges),
+            &n_edges,
+            |b, _| {
+                b.iter(|| {
+                    let pg = PreparedGraph::new(&graph);
+                    std::hint::black_box(pg.adjacency().left_degree(0))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matchers, bench_graph_preparation);
+criterion_main!(benches);

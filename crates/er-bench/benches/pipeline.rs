@@ -1,0 +1,82 @@
+//! Criterion benchmarks: similarity-graph generation throughput for each
+//! branch of the pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use er_datasets::{Dataset, DatasetId};
+use er_embed::{EmbeddingModel, SemanticMeasure};
+use er_pipeline::{build_graph, PipelineConfig, SemanticScope, SimilarityFunction};
+use er_textsim::{
+    CharMeasure, GraphSimilarity, NGramScheme, SchemaBasedMeasure, TokenMeasure, VectorMeasure,
+};
+
+fn dataset() -> Dataset {
+    Dataset::generate(DatasetId::D1, 0.05, 13)
+}
+
+fn bench_graph_generation(c: &mut Criterion) {
+    let d = dataset();
+    let cfg = PipelineConfig::default();
+    let mut group = c.benchmark_group("graphgen");
+    group.sample_size(10);
+
+    let cases: Vec<(&str, SimilarityFunction)> = vec![
+        (
+            "sb/levenshtein",
+            SimilarityFunction::SchemaBasedSyntactic {
+                attribute: "name".into(),
+                measure: SchemaBasedMeasure::Char(CharMeasure::Levenshtein),
+            },
+        ),
+        (
+            "sb/jaccard",
+            SimilarityFunction::SchemaBasedSyntactic {
+                attribute: "name".into(),
+                measure: SchemaBasedMeasure::Token(TokenMeasure::Jaccard),
+            },
+        ),
+        (
+            "sa/vector-cosine-c3",
+            SimilarityFunction::SchemaAgnosticVector {
+                scheme: NGramScheme::Char(3),
+                measure: VectorMeasure::CosineTf,
+            },
+        ),
+        (
+            "sa/graph-value-c3",
+            SimilarityFunction::SchemaAgnosticGraph {
+                scheme: NGramScheme::Char(3),
+                measure: GraphSimilarity::Value,
+            },
+        ),
+        (
+            "sem/fasttext-cosine",
+            SimilarityFunction::Semantic {
+                model: EmbeddingModel::FastText,
+                measure: SemanticMeasure::Cosine,
+                scope: SemanticScope::SchemaBased {
+                    attribute: "name".into(),
+                },
+            },
+        ),
+        (
+            "sem/fasttext-wmd",
+            SimilarityFunction::Semantic {
+                model: EmbeddingModel::FastText,
+                measure: SemanticMeasure::WordMovers,
+                scope: SemanticScope::SchemaBased {
+                    attribute: "name".into(),
+                },
+            },
+        ),
+    ];
+    for (name, function) in cases {
+        group.bench_function(name, |b| {
+            b.iter(|| std::hint::black_box(build_graph(&d, &function, &cfg).n_edges()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph_generation);
+criterion_main!(benches);

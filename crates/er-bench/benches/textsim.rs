@@ -1,0 +1,95 @@
+//! Criterion micro-benchmarks: representative similarity measures from
+//! every family of the taxonomy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use er_embed::{EmbeddingModel, SemanticMeasure};
+use er_textsim::{
+    GraphSimilarity, NGramGraph, NGramScheme, SchemaBasedMeasure, TermWeighting, VectorMeasure,
+    VectorModel,
+};
+
+const SHORT_A: &str = "panasonic lumix dmc-fz8 digital camera";
+const SHORT_B: &str = "panasonic dmc fz8s lumix 7.2mp camera black";
+const LONG_A: &str = "efficient entity resolution over large heterogeneous data collections \
+                      with learning free blocking and matching techniques for the web of data";
+const LONG_B: &str = "blocking and filtering techniques for entity resolution a survey of \
+                      learning free methods over large web data collections and benchmarks";
+
+fn bench_schema_based(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schema_based");
+    for measure in SchemaBasedMeasure::all() {
+        group.bench_function(measure.name(), |b| {
+            b.iter(|| std::hint::black_box(measure.similarity(SHORT_A, SHORT_B)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_vector_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vector_models");
+    for scheme in [NGramScheme::Char(3), NGramScheme::Token(1)] {
+        let model = VectorModel::new(scheme);
+        group.bench_function(format!("build/{}", scheme.short_name()), |b| {
+            b.iter(|| std::hint::black_box(model.vector(LONG_A, TermWeighting::Tf, None).len()))
+        });
+        let va = model.vector(LONG_A, TermWeighting::Tf, None);
+        let vb = model.vector(LONG_B, TermWeighting::Tf, None);
+        for measure in [VectorMeasure::CosineTf, VectorMeasure::GeneralizedJaccardTf] {
+            group.bench_function(
+                format!("{}/{}", measure.name(), scheme.short_name()),
+                |b| b.iter(|| std::hint::black_box(measure.similarity(&va, &vb, None))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_graph_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_models");
+    let scheme = NGramScheme::Char(3);
+    group.bench_function("build/c3", |b| {
+        b.iter(|| std::hint::black_box(NGramGraph::from_value(LONG_A, scheme).size()))
+    });
+    let ga = NGramGraph::from_value(LONG_A, scheme);
+    let gb = NGramGraph::from_value(LONG_B, scheme);
+    for measure in GraphSimilarity::all() {
+        group.bench_function(measure.name(), |b| {
+            b.iter(|| std::hint::black_box(measure.similarity(&ga, &gb)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_semantic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("semantic");
+    group.sample_size(20);
+    for model in EmbeddingModel::all() {
+        let enc = model.encoder();
+        group.bench_function(format!("encode/{}", model.name()), |b| {
+            b.iter(|| std::hint::black_box(enc.encode(SHORT_A).dim()))
+        });
+        let va = enc.encode(SHORT_A);
+        let vb = enc.encode(SHORT_B);
+        group.bench_function(format!("cosine/{}", model.name()), |b| {
+            b.iter(|| std::hint::black_box(SemanticMeasure::Cosine.similarity_vectors(&va, &vb)))
+        });
+        let ta = enc.token_vectors(SHORT_A);
+        let tb = enc.token_vectors(SHORT_B);
+        group.bench_function(format!("wmd/{}", model.name()), |b| {
+            b.iter(|| {
+                std::hint::black_box(SemanticMeasure::WordMovers.similarity_tokens(&ta, &tb))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_schema_based,
+    bench_vector_models,
+    bench_graph_models,
+    bench_semantic
+);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! Extension experiment: the blocking step the paper's protocol skips.
+//!
+//! §2 describes blocking as step (i) of the CCER pipeline; §5 then skips
+//! it ("the role of blocking … is performed by the similarity threshold
+//! t"). This experiment measures what that choice costs and saves: for
+//! each dataset, the token-blocking → purging → filtering stack is scored
+//! on comparisons suggested, pairs completeness (PC), reduction ratio
+//! (RR), and the best UMC F1 still reachable on the blocked graph —
+//! versus the paper's unblocked protocol on the identical weights.
+
+use er_core::{FxHashSet, ThresholdGrid};
+use er_datasets::{Dataset, DatasetId};
+use er_eval::evaluate;
+use er_eval::report::Table;
+use er_matchers::{AlgorithmConfig, AlgorithmKind, PreparedGraph};
+use er_pipeline::blocking::{blocking_quality, restrict_graph, token_blocking};
+use er_pipeline::{build_graph, PipelineConfig, SimilarityFunction};
+use er_textsim::{NGramScheme, VectorMeasure};
+
+/// Run the blocking cost/benefit sweep on fresh small-scale datasets.
+pub fn render(seed: u64) -> String {
+    let mut t = Table::new(vec![
+        "dataset",
+        "stage",
+        "comparisons",
+        "PC",
+        "RR",
+        "UMC F1",
+    ])
+    .with_title(
+        "Extension: the blocking stack (token blocking, block purging, block \
+         filtering r=0.5) vs the paper's unblocked protocol. Weights: \
+         schema-agnostic token TF-IDF cosine; F1 is UMC's best over the \
+         threshold grid.",
+    );
+
+    for (id, scale) in [
+        (DatasetId::D1, 0.1),
+        (DatasetId::D2, 0.1),
+        (DatasetId::D3, 0.05),
+        (DatasetId::D8, 0.03),
+    ] {
+        let dataset = Dataset::generate(id, scale, seed);
+        let (nl, nr) = (dataset.left.len() as u32, dataset.right.len() as u32);
+        let all_pairs = nl as u64 * nr as u64;
+        let function = SimilarityFunction::SchemaAgnosticVector {
+            scheme: NGramScheme::Token(1),
+            measure: VectorMeasure::CosineTfIdf,
+        };
+        let full = build_graph(&dataset, &function, &PipelineConfig::default());
+
+        t.row(vec![
+            dataset.label().to_string(),
+            "no blocking (paper)".into(),
+            all_pairs.to_string(),
+            "1.000".into(),
+            "0.000".into(),
+            format!("{:.3}", best_umc_f1(&full, &dataset)),
+        ]);
+
+        let raw = token_blocking(&dataset.left, &dataset.right);
+        let purge_cap = (all_pairs / 50).max(4);
+        let stages: [(&str, FxHashSet<(u32, u32)>); 3] = [
+            ("token blocking", raw.candidate_pairs()),
+            ("+ purging", raw.clone().purge(purge_cap).candidate_pairs()),
+            (
+                "+ filtering (r=0.5)",
+                raw.clone().purge(purge_cap).filter(0.5).candidate_pairs(),
+            ),
+        ];
+        for (stage, cands) in stages {
+            let q = blocking_quality(&cands, &dataset.ground_truth, nl, nr);
+            let blocked = restrict_graph(&full, &cands);
+            t.row(vec![
+                dataset.label().to_string(),
+                stage.to_string(),
+                q.n_candidates.to_string(),
+                format!("{:.3}", q.pairs_completeness),
+                format!("{:.3}", q.reduction_ratio),
+                format!("{:.3}", best_umc_f1(&blocked, &dataset)),
+            ]);
+        }
+    }
+
+    let mut out = t.render();
+    out.push_str(
+        "\nReading: a true pair lost at blocking time is unrecoverable (F1 \
+         tracks PC), while the extra non-matching candidates blocking keeps \
+         are absorbed by the threshold sweep — which is precisely the \
+         paper's argument for letting t play blocking's role in the study.\n",
+    );
+    out
+}
+
+/// Best UMC F1 over the paper grid (0 for empty graphs).
+fn best_umc_f1(graph: &er_core::SimilarityGraph, dataset: &Dataset) -> f64 {
+    if graph.is_empty() {
+        return 0.0;
+    }
+    let pg = PreparedGraph::new(graph);
+    let cfg = AlgorithmConfig::default();
+    ThresholdGrid::paper()
+        .values()
+        .map(|t| evaluate(&cfg.run(AlgorithmKind::Umc, &pg, t), &dataset.ground_truth).f1)
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocking_extension_renders_all_stages() {
+        let s = render(5);
+        for stage in ["no blocking (paper)", "token blocking", "+ purging", "+ filtering"] {
+            assert!(s.contains(stage), "{stage} missing");
+        }
+        for ds in ["D1", "D2", "D3", "D8"] {
+            assert!(s.contains(ds), "{ds} missing");
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! §7 conclusions checker: evaluates each of the paper's nine concluding
+//! patterns against the measured record set and reports which hold.
+//!
+//! This is the reproduction's acceptance harness — it turns the paper's
+//! prose conclusions into executable predicates with printed evidence.
+
+use er_eval::aggregate::mean_std;
+use er_eval::category::top_counts;
+use er_matchers::AlgorithmKind;
+use er_pipeline::WeightType;
+
+use crate::experiments::{metric_series, Metric};
+use crate::records::RunData;
+
+/// One verified conclusion.
+struct Finding {
+    id: &'static str,
+    claim: &'static str,
+    holds: bool,
+    evidence: String,
+}
+
+/// Render the conclusions report.
+pub fn render(data: &RunData) -> String {
+    if data.records.is_empty() {
+        return "no records".into();
+    }
+    let findings = evaluate(data);
+    let mut out = String::from(
+        "Paper §7 conclusions, checked against the measured records:\n\n",
+    );
+    let mut held = 0usize;
+    for f in &findings {
+        out.push_str(&format!(
+            "[{}] ({}) {}\n      evidence: {}\n",
+            if f.holds { "PASS" } else { "DIVERGES" },
+            f.id,
+            f.claim,
+            f.evidence
+        ));
+        held += usize::from(f.holds);
+    }
+    out.push_str(&format!("\n{held}/{} conclusions hold.\n", findings.len()));
+    out
+}
+
+fn evaluate(data: &RunData) -> Vec<Finding> {
+    use AlgorithmKind::*;
+    let mean_of = |k: AlgorithmKind, m: Metric| -> f64 {
+        mean_std(&metric_series(data.records.iter(), k, m)).mean
+    };
+    let f1_std = |k: AlgorithmKind| -> f64 {
+        mean_std(&metric_series(data.records.iter(), k, Metric::F1)).std
+    };
+    let runtime = |k: AlgorithmKind| -> f64 {
+        mean_std(
+            &data
+                .records
+                .iter()
+                .map(|r| r.outcome(k).runtime_mean_s)
+                .collect::<Vec<_>>(),
+        )
+        .mean
+    };
+    let top1_in = |k: AlgorithmKind, wt: WeightType, cat: &str| -> usize {
+        let per_graph: Vec<Vec<(AlgorithmKind, f64)>> = data
+            .of_type(wt)
+            .filter(|r| r.category == cat)
+            .map(|r| r.outcomes.iter().map(|o| (o.algorithm, o.f1)).collect())
+            .collect();
+        top_counts(&per_graph).get(&k).map_or(0, |c| c.top1)
+    };
+
+    let mut findings = Vec::new();
+
+    // (i) The best algorithm depends on the type of edge weights and the
+    // portion of duplicates: the #Top1 winner must differ across cells.
+    {
+        let mut winners = er_core::FxHashSet::default();
+        for wt in WeightType::ALL {
+            for cat in ["BLC", "OSD", "SCR"] {
+                if let Some(best) = AlgorithmKind::ALL
+                    .into_iter()
+                    .map(|k| (k, top1_in(k, wt, cat)))
+                    .max_by_key(|&(_, c)| c)
+                    .filter(|&(_, c)| c > 0)
+                {
+                    winners.insert(best.0);
+                }
+            }
+        }
+        findings.push(Finding {
+            id: "i",
+            claim: "the best algorithm depends on weight type and duplicate portion",
+            holds: winners.len() >= 2,
+            evidence: format!("{} distinct per-cell winners", winners.len()),
+        });
+    }
+
+    // (ii) CNC: fastest, highest precision, wins on scarce syntactic inputs.
+    {
+        let p_cnc = mean_of(Cnc, Metric::Precision);
+        let p_max = AlgorithmKind::ALL
+            .into_iter()
+            .map(|k| mean_of(k, Metric::Precision))
+            .fold(0.0f64, f64::max);
+        let rt_cnc = runtime(Cnc);
+        let rt_min = AlgorithmKind::ALL
+            .into_iter()
+            .map(runtime)
+            .fold(f64::INFINITY, f64::min);
+        let scarce_wins = top1_in(Cnc, WeightType::SchemaAgnosticSyntactic, "SCR")
+            + top1_in(Cnc, WeightType::SchemaBasedSyntactic, "SCR");
+        findings.push(Finding {
+            id: "ii",
+            claim: "CNC is fastest with the highest precision; frequent scarce-syntactic wins",
+            holds: (p_cnc >= p_max - 1e-9) && rt_cnc <= rt_min * 2.0 && scarce_wins > 0,
+            evidence: format!(
+                "precision {p_cnc:.3} (max {p_max:.3}); runtime {:.0}µs (min {:.0}µs); {scarce_wins} scarce syntactic wins",
+                rt_cnc * 1e6,
+                rt_min * 1e6
+            ),
+        });
+    }
+
+    // (iii) RSR is fast but rarely the most effective. Ties at the top are
+    // common on clean graphs and would credit every algorithm, so this
+    // counts *sole* wins: graphs where RSR strictly beats all others.
+    {
+        let sole_wins = data
+            .records
+            .iter()
+            .filter(|r| {
+                let rsr = r.outcome(Rsr).f1;
+                r.outcomes
+                    .iter()
+                    .all(|o| o.algorithm == Rsr || o.f1 < rsr)
+            })
+            .count();
+        let total = data.n_graphs();
+        findings.push(Finding {
+            id: "iii",
+            claim: "RSR rarely achieves the top F1 on its own",
+            holds: sole_wins * 20 < total, // under 5% sole wins
+            evidence: format!("{sole_wins} sole wins over {total} graphs"),
+        });
+    }
+
+    // (iv) RCA never (or nearly never) excels in effectiveness.
+    {
+        let wins: usize = WeightType::ALL
+            .iter()
+            .flat_map(|&wt| ["BLC", "OSD", "SCR"].map(|c| top1_in(Rca, wt, c)))
+            .sum();
+        findings.push(Finding {
+            id: "iv",
+            claim: "RCA is efficient but does not lead on effectiveness",
+            holds: mean_of(Rca, Metric::F1)
+                < [Krc, Umc, Exc, Bmc]
+                    .into_iter()
+                    .map(|k| mean_of(k, Metric::F1))
+                    .fold(f64::INFINITY, f64::min),
+            evidence: format!(
+                "RCA F1 {:.3} below the top group; {wins} wins",
+                mean_of(Rca, Metric::F1)
+            ),
+        });
+    }
+
+    // (v) BAH is slow and stochastic, capable of the best and the worst.
+    {
+        let bah_std = f1_std(Bah);
+        let max_other_std = AlgorithmKind::ALL
+            .into_iter()
+            .filter(|&k| k != Bah)
+            .map(f1_std)
+            .fold(0.0f64, f64::max);
+        findings.push(Finding {
+            id: "v",
+            claim: "BAH is the least robust algorithm (largest F1 deviation)",
+            holds: bah_std > max_other_std,
+            evidence: format!("BAH σ {bah_std:.3} vs max other σ {max_other_std:.3}"),
+        });
+    }
+
+    // (vi) BMC balances precision and recall and is among the fastest of
+    // the adjacency-driven algorithms.
+    {
+        let gap = (mean_of(Bmc, Metric::Precision) - mean_of(Bmc, Metric::Recall)).abs();
+        let cnc_gap = (mean_of(Cnc, Metric::Precision) - mean_of(Cnc, Metric::Recall)).abs();
+        findings.push(Finding {
+            id: "vi",
+            claim: "BMC balances precision and recall better than CNC",
+            holds: gap < cnc_gap,
+            evidence: format!("BMC |P−R| {gap:.3} vs CNC {cnc_gap:.3}"),
+        });
+    }
+
+    // (vii) EXC achieves close to the maximum F1 at lower run-time than KRC.
+    {
+        let exc_f1 = mean_of(Exc, Metric::F1);
+        let max_f1 = AlgorithmKind::ALL
+            .into_iter()
+            .map(|k| mean_of(k, Metric::F1))
+            .fold(0.0f64, f64::max);
+        findings.push(Finding {
+            id: "vii",
+            claim: "EXC is within 2% of the best mean F1",
+            holds: exc_f1 >= max_f1 - 0.02,
+            evidence: format!("EXC {exc_f1:.3} vs best {max_f1:.3}"),
+        });
+    }
+
+    // (viii) KRC is in the top effectiveness group.
+    {
+        let krc = mean_of(Krc, Metric::F1);
+        let max_f1 = AlgorithmKind::ALL
+            .into_iter()
+            .map(|k| mean_of(k, Metric::F1))
+            .fold(0.0f64, f64::max);
+        findings.push(Finding {
+            id: "viii",
+            claim: "KRC achieves (near-)maximal effectiveness",
+            holds: krc >= max_f1 - 0.01,
+            evidence: format!("KRC {krc:.3} vs best {max_f1:.3}"),
+        });
+    }
+
+    // (ix) UMC is the most balanced and excels on balanced collections.
+    {
+        let gap = |k: AlgorithmKind| {
+            (mean_of(k, Metric::Precision) - mean_of(k, Metric::Recall)).abs()
+        };
+        let umc_gap = gap(Umc);
+        let min_gap = AlgorithmKind::ALL
+            .into_iter()
+            .filter(|&k| k != Bah) // the stochastic outlier
+            .map(gap)
+            .fold(f64::INFINITY, f64::min);
+        let blc_wins: usize = WeightType::ALL
+            .iter()
+            .map(|&wt| top1_in(Umc, wt, "BLC"))
+            .sum();
+        findings.push(Finding {
+            id: "ix",
+            claim: "UMC is the most balanced deterministic algorithm with balanced-collection wins",
+            holds: umc_gap <= min_gap + 1e-9 && blc_wins > 0,
+            evidence: format!("UMC |P−R| {umc_gap:.3} (min {min_gap:.3}); {blc_wins} BLC wins"),
+        });
+    }
+
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::testkit::sample_rundata;
+
+    #[test]
+    fn renders_all_nine() {
+        let s = render(&sample_rundata());
+        for id in ["(i)", "(ii)", "(iii)", "(iv)", "(v)", "(vi)", "(vii)", "(viii)", "(ix)"] {
+            assert!(s.contains(id), "missing conclusion {id}");
+        }
+        assert!(s.contains("conclusions hold"));
+    }
+
+    #[test]
+    fn empty_data_is_graceful() {
+        let mut rd = sample_rundata();
+        rd.records.clear();
+        assert_eq!(render(&rd), "no records");
+    }
+}

@@ -1,0 +1,172 @@
+//! Extension experiment: Dirty ER baselines on merged clean sources.
+//!
+//! The paper's selection criterion (1) restricts the study to algorithms
+//! "crafted for bipartite similarity graphs", pointing Dirty ER's graph
+//! clustering algorithms to Hassanzadeh et al. This experiment quantifies
+//! that boundary: it merges each bipartite similarity graph into one dirty
+//! collection (the exact scenario Hassanzadeh et al. target — "two clean
+//! sources merged into a dirty source"), runs the Dirty ER baselines from
+//! `er-dirty`, and scores everything with the same pair-level F1 against
+//! the merged ground truth, next to UMC as the CCER representative.
+//!
+//! Expected shape: the dirty algorithms ignore the unique-mapping
+//! constraint, so they form clusters larger than two (chains under
+//! connected components, stars under Center) or ignore the weights
+//! entirely (clique removal) — and lose F1 to the bipartite-aware UMC.
+//! Note that merged clean sources contain *no intra-source edges*, hence
+//! no triangles: GECG degenerates to connected components and maximum
+//! cliques degenerate to single edges, which is precisely why
+//! bipartite-aware algorithms are the right tool for CCER.
+
+use er_dirty::{
+    matching_to_partition, merge_bipartite, merge_ground_truth, pairwise_scores, DirtyAlgorithm,
+    PairScores,
+};
+use er_eval::aggregate::mean_std;
+use er_eval::report::Table;
+use er_matchers::{AlgorithmConfig, AlgorithmKind, PreparedGraph};
+use er_pipeline::{build_graph, PipelineConfig, SimilarityFunction, WeightType};
+
+/// Per-algorithm accumulation across graphs.
+#[derive(Default)]
+struct Acc {
+    f1: Vec<f64>,
+    precision: Vec<f64>,
+    recall: Vec<f64>,
+    max_cluster: Vec<f64>,
+    ccer_shaped: usize,
+    graphs: usize,
+}
+
+impl Acc {
+    fn push(&mut self, s: PairScores, max_cluster: usize, shaped: bool) {
+        self.f1.push(s.f1);
+        self.precision.push(s.precision);
+        self.recall.push(s.recall);
+        self.max_cluster.push(max_cluster as f64);
+        self.ccer_shaped += shaped as usize;
+        self.graphs += 1;
+    }
+}
+
+/// The coarser threshold grid this extension sweeps (the dirty clique
+/// algorithms are super-linear in retained edges; the paper grid's 0.05
+/// resolution adds nothing to an extension comparison).
+fn grid() -> Vec<f64> {
+    (1..=19).step_by(2).map(|i| i as f64 * 0.05).collect()
+}
+
+/// Run the Dirty-vs-CCER comparison on fresh small-scale graphs.
+pub fn render(seed: u64) -> String {
+    use er_datasets::{Dataset, DatasetId};
+
+    let cfg = PipelineConfig::default();
+    let ccer = AlgorithmConfig::default();
+    let mut dirty_acc: Vec<(DirtyAlgorithm, Acc)> = DirtyAlgorithm::ALL
+        .into_iter()
+        .map(|a| (a, Acc::default()))
+        .collect();
+    let mut umc_acc = Acc::default();
+
+    for id in [DatasetId::D1, DatasetId::D2, DatasetId::D4] {
+        let dataset = Dataset::generate(id, 0.02, seed);
+        let functions: Vec<SimilarityFunction> = SimilarityFunction::catalog(&dataset.spec, false)
+            .into_iter()
+            .filter(|f| f.weight_type() == WeightType::SchemaAgnosticSyntactic)
+            .step_by(9)
+            .collect();
+        for f in &functions {
+            let graph = build_graph(&dataset, f, &cfg);
+            if graph.is_empty() {
+                continue;
+            }
+            let merged = merge_bipartite(&graph);
+            let truth = merge_ground_truth(&dataset.ground_truth, graph.n_left());
+
+            for (algo, acc) in &mut dirty_acc {
+                let mut best: Option<(PairScores, usize, bool)> = None;
+                for &t in &grid() {
+                    let p = algo.run(&merged, t);
+                    let s = pairwise_scores(&p, &truth);
+                    if best.is_none() || s.f1 > best.as_ref().unwrap().0.f1 {
+                        let shaped = er_dirty::is_ccer_shaped(&p, graph.n_left());
+                        best = Some((s, p.max_cluster_size(), shaped));
+                    }
+                }
+                let (s, mc, shaped) = best.expect("grid is non-empty");
+                acc.push(s, mc, shaped);
+            }
+
+            // UMC through the identical pair-level scoring.
+            let pg = PreparedGraph::new(&graph);
+            let mut best: Option<PairScores> = None;
+            for &t in &grid() {
+                let m = ccer.run(AlgorithmKind::Umc, &pg, t);
+                let p = matching_to_partition(&m, graph.n_left(), graph.n_right());
+                let s = pairwise_scores(&p, &truth);
+                if best.is_none() || s.f1 > best.unwrap().f1 {
+                    best = Some(s);
+                }
+            }
+            umc_acc.push(best.expect("grid is non-empty"), 2, true);
+        }
+    }
+
+    let mut t = Table::new(vec![
+        "algorithm",
+        "best F1 (μ±σ)",
+        "precision μ",
+        "recall μ",
+        "max cluster μ",
+        "CCER-shaped",
+    ])
+    .with_title(format!(
+        "Extension: Dirty ER clustering baselines on {} merged similarity \
+         graphs (D1/D2/D4, schema-agnostic syntactic) vs UMC. Pair-level \
+         scores at each algorithm's best threshold on a 10-point grid.",
+        umc_acc.graphs
+    ));
+    for (algo, acc) in &dirty_acc {
+        t.row(row(algo.name(), acc));
+    }
+    t.row(row("UMC (CCER)", &umc_acc));
+    let mut out = t.render();
+    out.push_str(
+        "\nMerged clean sources have no intra-source edges, hence no \
+         triangles: GECG degenerates to connected components and maximum \
+         cliques to single (weight-blind) edges. The unique-mapping \
+         constraint is what the dirty baselines cannot express — the \
+         paper's criterion (1) in executable form.\n",
+    );
+    out
+}
+
+fn row(name: &str, acc: &Acc) -> Vec<String> {
+    let f1 = mean_std(&acc.f1);
+    let p = mean_std(&acc.precision);
+    let r = mean_std(&acc.recall);
+    let mc = mean_std(&acc.max_cluster);
+    vec![
+        name.to_string(),
+        format!("{:.3}±{:.3}", f1.mean, f1.std),
+        format!("{:.3}", p.mean),
+        format!("{:.3}", r.mean),
+        format!("{:.1}", mc.mean),
+        format!("{}/{}", acc.ccer_shaped, acc.graphs),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dirty_extension_renders_every_row() {
+        let s = render(5);
+        for a in DirtyAlgorithm::ALL {
+            assert!(s.contains(a.name()), "{} missing", a.name());
+        }
+        assert!(s.contains("UMC (CCER)"));
+        assert!(s.contains("unique-mapping"));
+    }
+}

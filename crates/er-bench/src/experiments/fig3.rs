@@ -1,0 +1,54 @@
+//! Figure 3: precision / recall / F-Measure distributions per weight type.
+
+use er_eval::aggregate::mean_std;
+use er_eval::report::Table;
+use er_matchers::AlgorithmKind;
+use er_pipeline::WeightType;
+
+use crate::experiments::{metric_series, Metric};
+use crate::records::RunData;
+
+/// Render Figure 3 as four per-type panels of μ±σ for all three metrics.
+pub fn render(data: &RunData) -> String {
+    let mut out = String::from(
+        "Figure 3: effectiveness distributions per weight type (mean±std).\n\n",
+    );
+    for wt in WeightType::ALL {
+        let records: Vec<_> = data.of_type(wt).collect();
+        out.push_str(&format!("({}) n = {} graphs\n", wt.name(), records.len()));
+        if records.is_empty() {
+            out.push_str("  (no graphs of this type)\n\n");
+            continue;
+        }
+        let mut t = Table::new(vec!["", "Precision", "Recall", "F-Measure"]);
+        for k in AlgorithmKind::ALL {
+            let p = mean_std(&metric_series(records.iter().copied(), k, Metric::Precision));
+            let r = mean_std(&metric_series(records.iter().copied(), k, Metric::Recall));
+            let f = mean_std(&metric_series(records.iter().copied(), k, Metric::F1));
+            t.row(vec![
+                k.name().to_string(),
+                format!("{:.3}±{:.3}", p.mean, p.std),
+                format!("{:.3}±{:.3}", r.mean, r.std),
+                format!("{:.3}±{:.3}", f.mean, f.std),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::testkit::sample_rundata;
+
+    #[test]
+    fn four_panels_render() {
+        let s = render(&sample_rundata());
+        for wt in WeightType::ALL {
+            assert!(s.contains(wt.name()), "{} missing", wt.name());
+        }
+        assert!(s.contains("no graphs of this type"), "empty panel notice");
+    }
+}

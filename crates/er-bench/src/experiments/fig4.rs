@@ -1,0 +1,121 @@
+//! Figure 4: scalability of every algorithm — run-time vs number of edges,
+//! per weight type.
+//!
+//! The paper plots one point per similarity graph on log-log axes and
+//! observes that run-times grow linearly with |E| for all algorithms
+//! except RCA (node-bound) and BAH (budget-bound). We render the same
+//! information as per-decade mean run-times plus a fitted log-log slope
+//! (the empirical scaling exponent).
+
+use er_eval::pearson::pearson;
+use er_eval::report::{duration, Table};
+use er_matchers::AlgorithmKind;
+use er_pipeline::WeightType;
+
+use crate::records::RunData;
+
+/// Render Figure 4.
+pub fn render(data: &RunData) -> String {
+    let mut out = String::from(
+        "Figure 4: scalability (run-time vs |E|). Cells: mean run-time of \
+         graphs in each |E| decade; slope: fitted log-log scaling exponent.\n\n",
+    );
+    for wt in WeightType::ALL {
+        let records: Vec<_> = data.of_type(wt).collect();
+        if records.is_empty() {
+            continue;
+        }
+        out.push_str(&format!("== {} (n = {}) ==\n", wt.name(), records.len()));
+        // Edge-count decades present in this slice.
+        let decades: Vec<u32> = {
+            let mut ds: Vec<u32> = records
+                .iter()
+                .filter(|r| r.n_edges > 0)
+                .map(|r| (r.n_edges as f64).log10().floor() as u32)
+                .collect();
+            ds.sort_unstable();
+            ds.dedup();
+            ds
+        };
+        let mut headers = vec!["".to_string()];
+        headers.extend(decades.iter().map(|d| format!("1e{d}..")));
+        headers.push("slope".into());
+        let mut t = Table::new(headers);
+        for k in AlgorithmKind::ALL {
+            let mut row = vec![k.name().to_string()];
+            for &d in &decades {
+                let times: Vec<f64> = records
+                    .iter()
+                    .filter(|r| {
+                        r.n_edges > 0 && (r.n_edges as f64).log10().floor() as u32 == d
+                    })
+                    .map(|r| r.outcome(k).runtime_mean_s)
+                    .collect();
+                if times.is_empty() {
+                    row.push("-".into());
+                } else {
+                    let mean = times.iter().sum::<f64>() / times.len() as f64;
+                    row.push(duration(mean));
+                }
+            }
+            row.push(format!("{:.2}", loglog_slope(&records, k)));
+            t.row(row);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    out
+}
+
+/// Least-squares slope of log10(runtime) on log10(|E|); ~1.0 = linear
+/// scaling, ~0.0 = size-independent (the BAH/RCA signatures).
+fn loglog_slope(records: &[&crate::records::GraphRecord], k: AlgorithmKind) -> f64 {
+    let pts: Vec<(f64, f64)> = records
+        .iter()
+        .filter(|r| r.n_edges > 1 && r.outcome(k).runtime_mean_s > 0.0)
+        .map(|r| {
+            (
+                (r.n_edges as f64).log10(),
+                r.outcome(k).runtime_mean_s.log10(),
+            )
+        })
+        .collect();
+    if pts.len() < 2 {
+        return 0.0;
+    }
+    let xs: Vec<f64> = pts.iter().map(|p| p.0).collect();
+    let ys: Vec<f64> = pts.iter().map(|p| p.1).collect();
+    // slope = r * (sy / sx)
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sx = (xs.iter().map(|x| (x - mx) * (x - mx)).sum::<f64>() / n).sqrt();
+    let sy = (ys.iter().map(|y| (y - my) * (y - my)).sum::<f64>() / n).sqrt();
+    if sx == 0.0 || sy == 0.0 {
+        return 0.0;
+    }
+    pearson(&xs, &ys) * sy / sx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::testkit::sample_rundata;
+
+    #[test]
+    fn renders_decades_and_slopes() {
+        let s = render(&sample_rundata());
+        assert!(s.contains("Figure 4"));
+        assert!(s.contains("slope"));
+        assert!(s.contains("1e3..") || s.contains("1e"));
+    }
+
+    #[test]
+    fn slope_of_linear_runtime_is_one() {
+        // The sample's runtimes are proportional to n_edges → slope ≈ 1.
+        let rd = sample_rundata();
+        let records: Vec<_> = rd.records.iter().collect();
+        let slope = loglog_slope(&records, AlgorithmKind::Umc);
+        assert!((slope - 1.0).abs() < 0.05, "slope = {slope}");
+    }
+}

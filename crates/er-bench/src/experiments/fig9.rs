@@ -1,0 +1,60 @@
+//! Figure 9: Pearson correlation between the optimal thresholds of every
+//! pair of algorithms, per input type.
+
+use er_eval::pearson::pearson_matrix;
+use er_eval::report::Table;
+use er_matchers::AlgorithmKind;
+use er_pipeline::WeightType;
+
+use crate::records::RunData;
+
+/// Render the four correlation matrices of Figure 9.
+pub fn render(data: &RunData) -> String {
+    let mut out = String::from(
+        "Figure 9: Pearson correlation between the optimal thresholds of the \
+         eight algorithms, per input type.\n\n",
+    );
+    for wt in WeightType::ALL {
+        let records: Vec<_> = data.of_type(wt).collect();
+        if records.len() < 2 {
+            continue;
+        }
+        out.push_str(&format!("== {} (n = {}) ==\n", wt.name(), records.len()));
+        let series: Vec<Vec<f64>> = AlgorithmKind::ALL
+            .iter()
+            .map(|&k| {
+                records
+                    .iter()
+                    .map(|r| r.outcome(k).best_threshold)
+                    .collect()
+            })
+            .collect();
+        let m = pearson_matrix(&series);
+        let mut headers = vec!["".to_string()];
+        headers.extend(AlgorithmKind::ALL.iter().map(|k| k.name().to_string()));
+        let mut t = Table::new(headers);
+        for (k, m_row) in AlgorithmKind::ALL.iter().zip(&m) {
+            let mut row = vec![k.name().to_string()];
+            for &v in m_row {
+                row.push(format!("{v:+.2}"));
+            }
+            t.row(row);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::testkit::sample_rundata;
+
+    #[test]
+    fn renders_matrices_with_unit_diagonal() {
+        let s = render(&sample_rundata());
+        assert!(s.contains("Figure 9"));
+        assert!(s.contains("+1.00"));
+    }
+}

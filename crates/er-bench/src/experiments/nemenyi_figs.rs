@@ -1,0 +1,75 @@
+//! Figures 2, 7, 8: Friedman test + Nemenyi critical-distance diagrams on
+//! F-Measure, Precision and Recall respectively.
+
+use er_eval::friedman::friedman_test;
+use er_eval::nemenyi::{render_cd_diagram, NemenyiAnalysis};
+use er_matchers::AlgorithmKind;
+
+use crate::experiments::{metric_row, Metric};
+use crate::records::RunData;
+
+/// Render the Nemenyi figure for a metric (Fig 2 = F1, Fig 7 = Precision,
+/// Fig 8 = Recall).
+pub fn render(data: &RunData, metric: Metric) -> String {
+    if data.records.is_empty() {
+        return "no records".into();
+    }
+    let scores: Vec<Vec<f64>> = data
+        .records
+        .iter()
+        .map(|r| metric_row(r, metric))
+        .collect();
+    let fr = friedman_test(&scores);
+    let pairs: Vec<(String, f64)> = AlgorithmKind::ALL
+        .iter()
+        .zip(&fr.mean_ranks)
+        .map(|(k, &r)| (k.name().to_string(), r))
+        .collect();
+    let analysis = NemenyiAnalysis::new(pairs, fr.n_blocks);
+    let mut out = format!(
+        "Nemenyi diagram based on {} over {} paired samples\n\
+         Friedman: chi2 = {:.2} (df = {}), p = {:.3e} -> null hypothesis {}\n",
+        metric.name(),
+        fr.n_blocks,
+        fr.chi_square,
+        fr.df,
+        fr.p_value,
+        if fr.rejects_null(0.05) {
+            "REJECTED (alpha = 0.05)"
+        } else {
+            "not rejected"
+        }
+    );
+    out.push_str(&render_cd_diagram(&analysis, fr.n_blocks));
+    // Mean-rank listing (the paper quotes MR values for Figures 7/8).
+    out.push_str("mean ranks: ");
+    for (n, r) in analysis.names.iter().zip(&analysis.mean_ranks) {
+        out.push_str(&format!("{n} (MR={r:.2}) "));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::testkit::sample_rundata;
+
+    #[test]
+    fn renders_friedman_and_ranks() {
+        let s = render(&sample_rundata(), Metric::F1);
+        assert!(s.contains("Friedman"));
+        assert!(s.contains("CD ="));
+        assert!(s.contains("mean ranks"));
+        for k in AlgorithmKind::ALL {
+            assert!(s.contains(k.name()), "{} missing", k.name());
+        }
+    }
+
+    #[test]
+    fn empty_data_is_graceful() {
+        let mut rd = sample_rundata();
+        rd.records.clear();
+        assert_eq!(render(&rd, Metric::Recall), "no records");
+    }
+}

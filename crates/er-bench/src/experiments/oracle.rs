@@ -1,0 +1,120 @@
+//! Extension experiment: how close do the heuristics get to the exact
+//! maximum-weight matching?
+//!
+//! The paper excludes the Hungarian algorithm for its `O(n³)` complexity
+//! (§3, criterion 3) and instead evaluates heuristics like BAH and RCA
+//! that *approximate* the assignment problem. This extension quantifies
+//! the gap on small graphs: for every algorithm, the ratio of its total
+//! matched weight to the Hungarian optimum, and the F1 the optimum itself
+//! would achieve — showing that maximizing total weight is *not* the same
+//! as maximizing effectiveness (the motivation behind UMC/KRC/EXC).
+
+use er_datasets::{Dataset, DatasetId};
+use er_eval::aggregate::mean_std;
+use er_eval::evaluate;
+use er_eval::report::Table;
+use er_matchers::{hungarian_matching, mcf_matching, AlgorithmConfig, AlgorithmKind, PreparedGraph};
+use er_pipeline::{build_graph, PipelineConfig, SimilarityFunction, WeightType};
+
+/// Run the oracle comparison on fresh small-scale graphs.
+pub fn render(seed: u64) -> String {
+    let cfg = PipelineConfig::default();
+    let algo = AlgorithmConfig::default();
+    let t = 0.25; // a mid-grid threshold; ratios are threshold-stable
+    let mut weight_ratios: Vec<(AlgorithmKind, Vec<f64>)> = AlgorithmKind::ALL
+        .into_iter()
+        .map(|k| (k, Vec::new()))
+        .collect();
+    let mut optimum_f1 = Vec::new();
+    let mut best_heuristic_f1 = Vec::new();
+    let mut oracle_disagreements = 0usize;
+    let mut n_oracle_checked = 0usize;
+
+    for id in [DatasetId::D1, DatasetId::D2, DatasetId::D4] {
+        let dataset = Dataset::generate(id, 0.02, seed);
+        let functions: Vec<SimilarityFunction> =
+            SimilarityFunction::catalog(&dataset.spec, false)
+                .into_iter()
+                .filter(|f| f.weight_type() == WeightType::SchemaAgnosticSyntactic)
+                .step_by(7)
+                .collect();
+        for f in &functions {
+            let graph = build_graph(&dataset, f, &cfg);
+            if graph.is_empty() {
+                continue;
+            }
+            let optimal = hungarian_matching(&graph, t);
+            let opt_w = optimal.total_weight(&graph);
+            if opt_w <= 0.0 {
+                continue;
+            }
+            // Cross-check the dense optimum against the sparse
+            // min-cost-flow oracle (the Schwartz et al. family the paper
+            // also excludes by criterion 3).
+            let sparse_w = mcf_matching(&graph, t).total_weight(&graph);
+            n_oracle_checked += 1;
+            if (sparse_w - opt_w).abs() > 1e-6 {
+                oracle_disagreements += 1;
+            }
+            optimum_f1.push(evaluate(&optimal, &dataset.ground_truth).f1);
+            let pg = PreparedGraph::new(&graph);
+            let mut best_f1 = 0.0f64;
+            for (k, ratios) in &mut weight_ratios {
+                let m = algo.run(*k, &pg, t);
+                ratios.push(m.total_weight(&graph) / opt_w);
+                best_f1 = best_f1.max(evaluate(&m, &dataset.ground_truth).f1);
+            }
+            best_heuristic_f1.push(best_f1);
+        }
+    }
+
+    let n = optimum_f1.len();
+    let mut t_out = Table::new(vec!["algorithm", "weight/optimum (μ±σ)", "min ratio"])
+        .with_title(format!(
+            "Oracle extension: total matched weight relative to the exact \
+             Hungarian optimum at t = {t} over {n} graphs (D1/D2/D4, \
+             schema-agnostic syntactic)."
+        ));
+    for (k, ratios) in &weight_ratios {
+        let s = mean_std(ratios);
+        let min = ratios.iter().copied().fold(f64::INFINITY, f64::min);
+        t_out.row(vec![
+            k.name().to_string(),
+            format!("{:.3}±{:.3}", s.mean, s.std),
+            format!("{min:.3}"),
+        ]);
+    }
+    let mut out = t_out.render();
+    let opt = mean_std(&optimum_f1);
+    let heu = mean_std(&best_heuristic_f1);
+    out.push_str(&format!(
+        "\nmean F1 of the *optimal-weight* matching: {:.3} — vs best heuristic \
+         per graph: {:.3}.\nMaximum total weight does not imply maximum \
+         effectiveness: the paper's effectiveness-driven heuristics can beat \
+         the weight-optimal solution on F1.\n",
+        opt.mean, heu.mean
+    ));
+    out.push_str(&format!(
+        "Oracle cross-check: the sparse min-cost-flow solver (Schwartz et \
+         al. family, O(k·m·log n)) agreed with the dense Hungarian optimum \
+         on {}/{} graphs.\n",
+        n_oracle_checked - oracle_disagreements,
+        n_oracle_checked
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_bounds_hold() {
+        let s = render(3);
+        assert!(s.contains("Hungarian"));
+        // Every algorithm line renders.
+        for k in AlgorithmKind::ALL {
+            assert!(s.contains(k.name()), "{} missing", k.name());
+        }
+    }
+}

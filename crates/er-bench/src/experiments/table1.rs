@@ -1,0 +1,41 @@
+//! Table 1: configuration parameters per algorithm.
+
+use er_eval::report::Table;
+use er_matchers::AlgorithmKind;
+
+/// Render Table 1 (static: the algorithms' configuration surfaces).
+pub fn render() -> String {
+    let mut t = Table::new(vec![
+        "Algorithm",
+        "Full name",
+        "Similarity threshold t",
+        "Other parameters",
+        "Complexity",
+    ])
+    .with_title("Table 1: Configuration parameters per algorithm.");
+    for k in AlgorithmKind::ALL {
+        t.row(vec![
+            k.name().to_string(),
+            k.full_name().to_string(),
+            "yes".to_string(),
+            k.extra_parameters().to_string(),
+            k.complexity().to_string(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lists_all_eight_with_bah_budgets() {
+        let s = render();
+        for k in AlgorithmKind::ALL {
+            assert!(s.contains(k.name()));
+        }
+        assert!(s.contains("10,000"));
+        assert!(s.contains("basis"));
+    }
+}

@@ -1,0 +1,49 @@
+//! Table 4: macro-average precision/recall/F1 (μ, σ) across all graphs.
+
+use er_eval::aggregate::mean_std;
+use er_eval::report::Table;
+use er_matchers::AlgorithmKind;
+
+use crate::experiments::{metric_series, Metric};
+use crate::records::RunData;
+
+/// Render Table 4.
+pub fn render(data: &RunData) -> String {
+    let mut t = Table::new(vec![
+        "", "P μ", "P σ", "R μ", "R σ", "F1 μ", "F1 σ",
+    ])
+    .with_title(format!(
+        "Table 4: Macro-average performance across all {} similarity graphs.",
+        data.n_graphs()
+    ));
+    for k in AlgorithmKind::ALL {
+        let p = mean_std(&metric_series(data.records.iter(), k, Metric::Precision));
+        let r = mean_std(&metric_series(data.records.iter(), k, Metric::Recall));
+        let f = mean_std(&metric_series(data.records.iter(), k, Metric::F1));
+        t.row(vec![
+            k.name().to_string(),
+            format!("{:.3}", p.mean),
+            format!("{:.3}", p.std),
+            format!("{:.3}", r.mean),
+            format!("{:.3}", r.std),
+            format!("{:.3}", f.mean),
+            format!("{:.3}", f.std),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::testkit::sample_rundata;
+
+    #[test]
+    fn all_algorithms_present_with_three_metrics() {
+        let s = render(&sample_rundata());
+        for k in AlgorithmKind::ALL {
+            assert!(s.contains(k.name()));
+        }
+        assert!(s.contains("F1 μ"));
+    }
+}

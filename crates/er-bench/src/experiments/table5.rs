@@ -1,0 +1,104 @@
+//! Table 5: #Top1 / Δ% / #Top2 per algorithm for balanced (BLC),
+//! one-sided (OSD) and scarce (SCR) entity collections, per weight type.
+
+use er_eval::category::top_counts;
+use er_eval::report::Table;
+use er_matchers::AlgorithmKind;
+use er_pipeline::WeightType;
+
+use crate::records::RunData;
+
+const CATEGORIES: [&str; 3] = ["BLC", "OSD", "SCR"];
+
+/// Render Table 5.
+pub fn render(data: &RunData) -> String {
+    let mut out = String::from(
+        "Table 5: times each algorithm achieves the highest (#Top1) and second \
+         highest (#Top2) F1, and the average win margin Δ(%), per category.\n\n",
+    );
+    for wt in WeightType::ALL {
+        out.push_str(&format!("== {} ==\n", wt.name()));
+        let mut t = Table::new(vec![
+            "", "stat", "BLC", "OSD", "SCR", "OVL",
+        ]);
+        // Per category and overall.
+        let count_for = |cat: Option<&str>| {
+            let per_graph: Vec<Vec<(AlgorithmKind, f64)>> = data
+                .of_type(wt)
+                .filter(|r| cat.is_none_or(|c| r.category == c))
+                .map(|r| {
+                    r.outcomes
+                        .iter()
+                        .map(|o| (o.algorithm, o.f1))
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            top_counts(&per_graph)
+        };
+        let per_cat: Vec<_> = CATEGORIES.iter().map(|c| count_for(Some(c))).collect();
+        let overall = count_for(None);
+
+        for k in AlgorithmKind::ALL {
+            let cell = |m: &er_core::FxHashMap<AlgorithmKind, er_eval::TopCounts>,
+                        which: u8|
+             -> String {
+                match m.get(&k) {
+                    None => "-".into(),
+                    Some(c) => match which {
+                        0 => {
+                            if c.top1 == 0 {
+                                "-".into()
+                            } else {
+                                c.top1.to_string()
+                            }
+                        }
+                        1 => {
+                            if c.delta_count == 0 || c.top1 == 0 {
+                                "-".into()
+                            } else {
+                                format!("{:.2}", c.delta_pct())
+                            }
+                        }
+                        _ => {
+                            if c.top2 == 0 {
+                                "-".into()
+                            } else {
+                                c.top2.to_string()
+                            }
+                        }
+                    },
+                }
+            };
+            for (label, which) in [("#Top1", 0u8), ("Δ(%)", 1), ("#Top2", 2)] {
+                let mut row = vec![
+                    if which == 0 { k.name().to_string() } else { String::new() },
+                    label.to_string(),
+                ];
+                for c in &per_cat {
+                    row.push(cell(c, which));
+                }
+                row.push(cell(&overall, which));
+                t.row(row);
+            }
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::testkit::sample_rundata;
+
+    #[test]
+    fn renders_categories_and_stats() {
+        let s = render(&sample_rundata());
+        assert!(s.contains("BLC"));
+        assert!(s.contains("#Top1"));
+        assert!(s.contains("Δ(%)"));
+        // KRC wins the sample's sb-syn D1 graph (f1 = .62).
+        assert!(s.contains("KRC"));
+    }
+}

@@ -1,0 +1,77 @@
+//! Table 6: mean run-time per algorithm, dataset and weight type.
+
+use er_eval::aggregate::mean_std;
+use er_eval::report::{duration, Table};
+use er_matchers::AlgorithmKind;
+use er_pipeline::WeightType;
+
+use crate::records::RunData;
+
+/// Render the four sub-tables of Table 6.
+pub fn render(data: &RunData) -> String {
+    let mut out = format!(
+        "Table 6: mean run-time per algorithm at its optimal threshold \
+         ({} repetitions per measurement).\n\n",
+        data.timing_reps
+    );
+    let datasets: Vec<String> = data
+        .dataset_stats
+        .iter()
+        .map(|s| s.label.clone())
+        .collect();
+    for wt in WeightType::ALL {
+        out.push_str(&format!("== {} ==\n", wt.name()));
+        let mut headers: Vec<String> = vec![String::new()];
+        headers.extend(AlgorithmKind::ALL.iter().map(|k| k.name().to_string()));
+        let mut t = Table::new(headers);
+        for ds in &datasets {
+            let records: Vec<_> = data
+                .of_dataset(ds)
+                .filter(|r| r.weight_type == wt)
+                .collect();
+            let mut row = vec![ds.clone()];
+            if records.is_empty() {
+                row.extend((0..8).map(|_| "-".to_string()));
+            } else {
+                for k in AlgorithmKind::ALL {
+                    let means: Vec<f64> = records
+                        .iter()
+                        .map(|r| r.outcome(k).runtime_mean_s)
+                        .collect();
+                    let s = mean_std(&means);
+                    row.push(format!("{}±{}", duration(s.mean), duration(s.std)));
+                }
+            }
+            t.row(row);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::testkit::sample_rundata;
+
+    #[test]
+    fn renders_per_type_tables() {
+        let mut rd = sample_rundata();
+        rd.dataset_stats = vec![er_datasets::DatasetStats {
+            label: "D1".into(),
+            sources: ("a".into(), "b".into()),
+            n1: 10,
+            n2: 10,
+            nvp: (10, 10),
+            n_attributes: (2, 2),
+            avg_pairs: (1.0, 1.0),
+            duplicates: 5,
+            cartesian: 100,
+        }];
+        let s = render(&rd);
+        assert!(s.contains("Table 6"));
+        assert!(s.contains("UMC"));
+        assert!(s.contains("D1"));
+    }
+}

@@ -1,0 +1,67 @@
+//! Table 8: the distribution of optimal similarity thresholds per
+//! algorithm and input type, plus the Pearson correlation between the
+//! optimal threshold and the normalized graph size.
+
+use er_eval::aggregate::mean_std;
+use er_eval::pearson::pearson;
+use er_eval::quartiles::Quartiles;
+use er_eval::report::Table;
+use er_matchers::AlgorithmKind;
+use er_pipeline::WeightType;
+
+use crate::records::RunData;
+
+/// Render the four sub-tables of Table 8.
+pub fn render(data: &RunData) -> String {
+    let mut out = String::from(
+        "Table 8: distribution of optimal similarity thresholds per algorithm \
+         and input type; ρ is Pearson(t, |E|/||V1×V2||).\n\n",
+    );
+    for wt in WeightType::ALL {
+        let records: Vec<_> = data.of_type(wt).collect();
+        if records.is_empty() {
+            continue;
+        }
+        out.push_str(&format!("== {} (n = {}) ==\n", wt.name(), records.len()));
+        let mut t = Table::new(vec![
+            "", "mean±std", "min", "Q1", "Q2", "Q3", "max", "ρ(t, size)",
+        ]);
+        let sizes: Vec<f64> = records.iter().map(|r| r.normalized_size).collect();
+        for k in AlgorithmKind::ALL {
+            let thresholds: Vec<f64> = records
+                .iter()
+                .map(|r| r.outcome(k).best_threshold)
+                .collect();
+            let ms = mean_std(&thresholds);
+            let q = Quartiles::of(&thresholds).expect("non-empty");
+            let rho = pearson(&thresholds, &sizes);
+            t.row(vec![
+                k.name().to_string(),
+                format!("{:.2}±{:.2}", ms.mean, ms.std),
+                format!("{:.2}", q.min),
+                format!("{:.2}", q.q1),
+                format!("{:.2}", q.q2),
+                format!("{:.2}", q.q3),
+                format!("{:.2}", q.max),
+                format!("{rho:+.2}"),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::testkit::sample_rundata;
+
+    #[test]
+    fn renders_quartiles_and_rho() {
+        let s = render(&sample_rundata());
+        assert!(s.contains("Table 8"));
+        assert!(s.contains("ρ(t, size)"));
+        assert!(s.contains("Q3"));
+    }
+}

@@ -1,0 +1,87 @@
+//! Table 9: average optimal similarity threshold (±std) per algorithm,
+//! dataset and input type.
+
+use er_eval::aggregate::mean_std;
+use er_eval::report::Table;
+use er_matchers::AlgorithmKind;
+use er_pipeline::WeightType;
+
+use crate::records::RunData;
+
+/// Render the four sub-tables of Table 9.
+pub fn render(data: &RunData) -> String {
+    let mut out = String::from(
+        "Table 9: average optimal similarity threshold (±std) per algorithm, \
+         dataset and input type.\n\n",
+    );
+    let datasets: Vec<String> = data
+        .dataset_stats
+        .iter()
+        .map(|s| s.label.clone())
+        .collect();
+    for wt in WeightType::ALL {
+        out.push_str(&format!("== {} ==\n", wt.name()));
+        let mut headers = vec!["".to_string()];
+        headers.extend(AlgorithmKind::ALL.iter().map(|k| k.name().to_string()));
+        let mut t = Table::new(headers);
+        for ds in &datasets {
+            let records: Vec<_> = data
+                .of_dataset(ds)
+                .filter(|r| r.weight_type == wt)
+                .collect();
+            let mut row = vec![ds.clone()];
+            if records.is_empty() {
+                row.extend((0..8).map(|_| "-".to_string()));
+            } else {
+                for k in AlgorithmKind::ALL {
+                    let ts: Vec<f64> = records
+                        .iter()
+                        .map(|r| r.outcome(k).best_threshold)
+                        .collect();
+                    let s = mean_std(&ts);
+                    row.push(format!(".{:02}±.{:02}", to_cents(s.mean), to_cents(s.std)));
+                }
+            }
+            t.row(row);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    out
+}
+
+fn to_cents(v: f64) -> u32 {
+    (v * 100.0).round().min(99.0) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::testkit::sample_rundata;
+
+    #[test]
+    fn renders_dataset_rows() {
+        let mut rd = sample_rundata();
+        rd.dataset_stats = vec![er_datasets::DatasetStats {
+            label: "D1".into(),
+            sources: ("a".into(), "b".into()),
+            n1: 10,
+            n2: 10,
+            nvp: (10, 10),
+            n_attributes: (2, 2),
+            avg_pairs: (1.0, 1.0),
+            duplicates: 5,
+            cartesian: 100,
+        }];
+        let s = render(&rd);
+        assert!(s.contains("Table 9"));
+        assert!(s.contains("D1"));
+    }
+
+    #[test]
+    fn cents_formatting() {
+        assert_eq!(to_cents(0.755), 76);
+        assert_eq!(to_cents(1.0), 99);
+        assert_eq!(to_cents(0.0), 0);
+    }
+}

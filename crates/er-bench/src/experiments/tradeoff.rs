@@ -1,0 +1,138 @@
+//! Figures 5 and 10: the trade-off between macro-averaged F-Measure and
+//! run-time per algorithm and weight type, per dataset.
+//!
+//! Figure 5 covers D1; Figure 10 covers D2–D10 (the paper excludes BAH
+//! from Figure 10 as it "consistently underperforms with respect to both
+//! F-Measure and run-time").
+
+use er_eval::aggregate::mean_std;
+use er_eval::report::{duration, Table};
+use er_matchers::AlgorithmKind;
+use er_pipeline::WeightType;
+
+use crate::records::RunData;
+
+/// Render the trade-off panel for one dataset.
+pub fn render_dataset(data: &RunData, dataset: &str, include_bah: bool) -> String {
+    let mut out = format!("F1-vs-run-time trade-off over {dataset}:\n");
+    let mut t = Table::new(vec!["weight type", "algorithm", "avg F1", "avg run-time"]);
+    let mut points: Vec<(String, String, f64, f64)> = Vec::new();
+    for wt in WeightType::ALL {
+        let records: Vec<_> = data
+            .of_dataset(dataset)
+            .filter(|r| r.weight_type == wt)
+            .collect();
+        if records.is_empty() {
+            continue;
+        }
+        for k in AlgorithmKind::ALL {
+            if !include_bah && k == AlgorithmKind::Bah {
+                continue;
+            }
+            let f1 = mean_std(
+                &records
+                    .iter()
+                    .map(|r| r.outcome(k).f1)
+                    .collect::<Vec<_>>(),
+            );
+            let rt = mean_std(
+                &records
+                    .iter()
+                    .map(|r| r.outcome(k).runtime_mean_s)
+                    .collect::<Vec<_>>(),
+            );
+            points.push((
+                wt.name().to_string(),
+                k.name().to_string(),
+                f1.mean,
+                rt.mean,
+            ));
+        }
+    }
+    // Sort by descending F1 so the best trade-offs lead.
+    points.sort_by(|a, b| b.2.total_cmp(&a.2));
+    for (wt, k, f1, rt) in &points {
+        t.row(vec![
+            wt.clone(),
+            k.clone(),
+            format!("{f1:.3}"),
+            duration(*rt),
+        ]);
+    }
+    out.push_str(&t.render());
+    // Note the Pareto frontier (no other point with both higher F1 and
+    // lower run-time).
+    let pareto: Vec<String> = points
+        .iter()
+        .filter(|(_, _, f1, rt)| {
+            !points
+                .iter()
+                .any(|(_, _, f2, rt2)| f2 > f1 && rt2 < rt)
+        })
+        .map(|(wt, k, _, _)| format!("{k} ({wt})"))
+        .collect();
+    out.push_str(&format!("Pareto frontier: {}\n", pareto.join(", ")));
+    out
+}
+
+/// Figure 5: D1.
+pub fn render_fig5(data: &RunData) -> String {
+    let mut s = String::from("Figure 5: F1-runtime diagram for all algorithms over D1.\n");
+    s.push_str(&render_dataset(data, "D1", true));
+    s
+}
+
+/// Figure 10: D2–D10, excluding BAH.
+pub fn render_fig10(data: &RunData) -> String {
+    let mut s = String::from(
+        "Figure 10: average F-Measure vs average run-time per algorithm and \
+         input type across D2-D10 (BAH excluded as in the paper).\n\n",
+    );
+    for stats in &data.dataset_stats {
+        if stats.label == "D1" {
+            continue;
+        }
+        if data.of_dataset(&stats.label).next().is_none() {
+            continue;
+        }
+        s.push_str(&render_dataset(data, &stats.label, false));
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::testkit::sample_rundata;
+
+    #[test]
+    fn fig5_covers_d1_and_includes_bah() {
+        let s = render_fig5(&sample_rundata());
+        assert!(s.contains("D1"));
+        assert!(s.contains("BAH"));
+        assert!(s.contains("Pareto frontier"));
+    }
+
+    #[test]
+    fn fig10_excludes_bah() {
+        let mut rd = sample_rundata();
+        rd.dataset_stats = vec![er_datasets::DatasetStats {
+            label: "D2".into(),
+            sources: ("a".into(), "b".into()),
+            n1: 10,
+            n2: 10,
+            nvp: (10, 10),
+            n_attributes: (2, 2),
+            avg_pairs: (1.0, 1.0),
+            duplicates: 5,
+            cartesian: 100,
+        }];
+        let s = render_fig10(&rd);
+        let body = s
+            .split("trade-off over D2")
+            .nth(1)
+            .expect("D2 panel rendered");
+        assert!(!body.contains("BAH"), "Figure 10 excludes BAH");
+    }
+}

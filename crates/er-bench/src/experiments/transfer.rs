@@ -1,0 +1,84 @@
+//! Extension experiment: threshold transfer in practice.
+//!
+//! Fits [`er_eval::ThresholdTransfer`] predictors from
+//! the cheap CNC's optimal thresholds to every other algorithm's, per
+//! weight type, and reports fit quality and held-out error — the
+//! operational payoff of the paper's Figure 9 correlations.
+
+use er_eval::report::Table;
+use er_eval::ThresholdTransfer;
+use er_matchers::AlgorithmKind;
+use er_pipeline::WeightType;
+
+use crate::records::RunData;
+
+/// Render the transfer report (source algorithm: CNC).
+pub fn render(data: &RunData) -> String {
+    let source = AlgorithmKind::Cnc;
+    let mut out = format!(
+        "Threshold transfer: predicting each algorithm's optimal threshold \
+         from {}'s, per weight type (even records train, odd records test).\n\n",
+        source.name()
+    );
+    for wt in WeightType::ALL {
+        let records: Vec<_> = data.of_type(wt).collect();
+        if records.len() < 8 {
+            continue;
+        }
+        out.push_str(&format!("== {} (n = {}) ==\n", wt.name(), records.len()));
+        let mut t = Table::new(vec!["target", "slope", "intercept", "r", "test MAE", "reliable"]);
+        for target in AlgorithmKind::ALL {
+            if target == source {
+                continue;
+            }
+            let pairs: Vec<(f64, f64)> = records
+                .iter()
+                .map(|r| {
+                    (
+                        r.outcome(source).best_threshold,
+                        r.outcome(target).best_threshold,
+                    )
+                })
+                .collect();
+            let train: Vec<(f64, f64)> = pairs.iter().copied().step_by(2).collect();
+            let test: Vec<(f64, f64)> = pairs.iter().copied().skip(1).step_by(2).collect();
+            match ThresholdTransfer::fit(&train) {
+                Some(tr) => {
+                    t.row(vec![
+                        target.name().to_string(),
+                        format!("{:.2}", tr.slope),
+                        format!("{:+.2}", tr.intercept),
+                        format!("{:.2}", tr.correlation),
+                        format!("{:.3}", tr.mae(&test)),
+                        if tr.is_reliable() { "yes" } else { "no" }.to_string(),
+                    ]);
+                }
+                None => {
+                    t.row(vec![target.name().to_string(), "-".into()]);
+                }
+            }
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    out.push_str(
+        "Paper, Appendix 3.2: the optimal threshold \"depends more on the \
+         characteristics of the input, than the functionality of the graph \
+         matching algorithm\" — low test MAE operationalizes that.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::testkit::sample_rundata;
+
+    #[test]
+    fn renders_or_degrades_gracefully() {
+        // The 4-record sample is below the per-type minimum: the report
+        // renders only the preamble.
+        let s = render(&sample_rundata());
+        assert!(s.contains("Threshold transfer"));
+    }
+}

@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! # er-bench — the reproduction harness
+//!
+//! One target per table and figure of the paper's evaluation (see the
+//! per-experiment index in `DESIGN.md`). The expensive part — generating
+//! every similarity graph and sweeping all eight algorithms over the
+//! threshold grid — runs once into a [`records::RunData`] record
+//! set (cached as JSON under `target/repro/`); each experiment then
+//! aggregates the records into its table or figure.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run -p er-bench --release --bin repro -- all
+//! cargo run -p er-bench --release --bin repro -- table4 --scale 0.05
+//! ```
+
+pub mod context;
+pub mod experiments;
+pub mod records;
+
+pub use context::{run_all, ReproConfig};
+pub use records::{AlgoOutcome, GraphRecord, RunData};

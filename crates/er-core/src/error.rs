@@ -1,0 +1,72 @@
+//! Error type shared across the workspace's core layer.
+
+use std::fmt;
+
+/// Errors raised while constructing or validating core data structures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// An edge referenced a node id outside of its collection's bounds.
+    NodeOutOfBounds {
+        /// Which side of the bipartite graph the offending id belongs to.
+        side: &'static str,
+        /// The offending node id.
+        id: u32,
+        /// The size of that collection.
+        len: u32,
+    },
+    /// An edge weight was not a finite number in `[0, 1]`.
+    InvalidWeight(f64),
+    /// A duplicate edge (same left and right endpoint) was inserted.
+    DuplicateEdge {
+        /// Left endpoint of the duplicated edge.
+        left: u32,
+        /// Right endpoint of the duplicated edge.
+        right: u32,
+    },
+    /// The operation needs a non-empty graph.
+    EmptyGraph,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::NodeOutOfBounds { side, id, len } => write!(
+                f,
+                "node {id} out of bounds for {side} collection of size {len}"
+            ),
+            CoreError::InvalidWeight(w) => {
+                write!(f, "edge weight {w} is not a finite value in [0, 1]")
+            }
+            CoreError::DuplicateEdge { left, right } => {
+                write!(f, "duplicate edge ({left}, {right})")
+            }
+            CoreError::EmptyGraph => write!(f, "operation requires a non-empty graph"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Convenience alias used across the core layer.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = CoreError::NodeOutOfBounds {
+            side: "left",
+            id: 7,
+            len: 3,
+        };
+        assert!(e.to_string().contains("node 7"));
+        assert!(e.to_string().contains("size 3"));
+        assert!(CoreError::InvalidWeight(2.0).to_string().contains("2"));
+        assert!(CoreError::DuplicateEdge { left: 1, right: 2 }
+            .to_string()
+            .contains("(1, 2)"));
+        assert!(CoreError::EmptyGraph.to_string().contains("non-empty"));
+    }
+}

@@ -1,0 +1,104 @@
+//! Total-order helpers for `f64` similarity scores.
+//!
+//! Similarity scores are finite values in `[0, 1]`, but Rust's `f64` only
+//! implements `PartialOrd`. The matching algorithms constantly sort and
+//! heap-order by weight, so we provide a thin `Ord` wrapper plus comparison
+//! helpers with deterministic tie-breaking.
+
+use std::cmp::Ordering;
+
+/// An `f64` with a total order (via `f64::total_cmp`), usable as a key in
+/// sorts, heaps and B-tree maps.
+///
+/// Intended for *finite* similarity values; `NaN` is rejected at graph
+/// construction time so the total order degenerates to the usual numeric one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrderedF64(pub f64);
+
+impl Eq for OrderedF64 {}
+
+impl PartialOrd for OrderedF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl From<f64> for OrderedF64 {
+    fn from(v: f64) -> Self {
+        OrderedF64(v)
+    }
+}
+
+impl From<OrderedF64> for f64 {
+    fn from(v: OrderedF64) -> Self {
+        v.0
+    }
+}
+
+/// Compare two weights in *descending* order.
+///
+/// `sort_by(total_cmp_desc)` puts the highest similarity first.
+#[inline]
+pub fn total_cmp_desc(a: &f64, b: &f64) -> Ordering {
+    b.total_cmp(a)
+}
+
+/// Deterministic descending comparison of `(weight, left, right)` edge keys:
+/// higher weight first, then lower left id, then lower right id.
+///
+/// This is the tie-break rule used throughout the workspace (see DESIGN.md §6)
+/// so that every algorithm except the stochastic BAH is fully deterministic.
+#[inline]
+pub fn edge_key_desc(a: (f64, u32, u32), b: (f64, u32, u32)) -> Ordering {
+    b.0.total_cmp(&a.0)
+        .then_with(|| a.1.cmp(&b.1))
+        .then_with(|| a.2.cmp(&b.2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_f64_sorts_numerically() {
+        let mut v = vec![OrderedF64(0.3), OrderedF64(0.1), OrderedF64(0.2)];
+        v.sort();
+        assert_eq!(v, vec![OrderedF64(0.1), OrderedF64(0.2), OrderedF64(0.3)]);
+    }
+
+    #[test]
+    fn desc_comparator_puts_highest_first() {
+        let mut v = vec![0.1, 0.9, 0.5];
+        v.sort_by(total_cmp_desc);
+        assert_eq!(v, vec![0.9, 0.5, 0.1]);
+    }
+
+    #[test]
+    fn edge_key_breaks_ties_by_ids() {
+        // Same weight: lower left id wins; same left: lower right id wins.
+        assert_eq!(
+            edge_key_desc((0.5, 1, 9), (0.5, 2, 0)),
+            Ordering::Less,
+            "lower left id should come first"
+        );
+        assert_eq!(
+            edge_key_desc((0.5, 1, 3), (0.5, 1, 2)),
+            Ordering::Greater,
+            "lower right id should come first"
+        );
+        assert_eq!(edge_key_desc((0.9, 5, 5), (0.1, 0, 0)), Ordering::Less);
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let x: OrderedF64 = 0.25.into();
+        let y: f64 = x.into();
+        assert_eq!(y, 0.25);
+    }
+}

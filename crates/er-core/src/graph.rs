@@ -1,0 +1,509 @@
+//! The bipartite similarity graph and its CSR adjacency view.
+//!
+//! A [`SimilarityGraph`] stores the candidate duplicate pairs produced by the
+//! matching step of a CCER pipeline: edges `(left, right, weight)` where
+//! `left` indexes the first clean collection `V1`, `right` indexes the second
+//! clean collection `V2`, and `weight ∈ [0, 1]` is the similarity score.
+//!
+//! Matching algorithms never mutate the graph; they consume an [`Adjacency`]
+//! view (per-node neighbor lists sorted by descending weight) plus the raw
+//! edge list, both built once per graph.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{CoreError, Result};
+use crate::hash::FxHashSet;
+
+/// A weighted edge between a `V1` node and a `V2` node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Index of the entity in the first (left) collection.
+    pub left: u32,
+    /// Index of the entity in the second (right) collection.
+    pub right: u32,
+    /// Similarity score in `[0, 1]`.
+    pub weight: f64,
+}
+
+impl Edge {
+    /// Construct an edge; no validation (the builder validates).
+    #[inline]
+    pub fn new(left: u32, right: u32, weight: f64) -> Self {
+        Edge {
+            left,
+            right,
+            weight,
+        }
+    }
+}
+
+/// A bipartite similarity graph `G = (V1, V2, E)`.
+///
+/// Node ids are dense indices: `0..n_left` for `V1` and `0..n_right` for
+/// `V2`. Construction goes through [`GraphBuilder`], which enforces that ids
+/// are in bounds, weights are finite values in `[0, 1]`, and that no
+/// `(left, right)` pair appears twice.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimilarityGraph {
+    n_left: u32,
+    n_right: u32,
+    edges: Vec<Edge>,
+}
+
+impl SimilarityGraph {
+    /// Create a graph from parts, validating every edge.
+    pub fn new(n_left: u32, n_right: u32, edges: Vec<Edge>) -> Result<Self> {
+        let mut builder = GraphBuilder::new(n_left, n_right);
+        for e in edges {
+            builder.add_edge(e.left, e.right, e.weight)?;
+        }
+        Ok(builder.build())
+    }
+
+    /// Number of entities in the left collection `V1`.
+    #[inline]
+    pub fn n_left(&self) -> u32 {
+        self.n_left
+    }
+
+    /// Number of entities in the right collection `V2`.
+    #[inline]
+    pub fn n_right(&self) -> u32 {
+        self.n_right
+    }
+
+    /// Total number of nodes `n = |V1 ∪ V2|`.
+    #[inline]
+    pub fn n_nodes(&self) -> u64 {
+        self.n_left as u64 + self.n_right as u64
+    }
+
+    /// Number of edges `m = |E|`.
+    #[inline]
+    pub fn n_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The edges, in insertion order.
+    #[inline]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Whether the graph has no edges.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Look up the weight of edge `(left, right)` by scanning — O(m).
+    /// Intended for tests and small examples; algorithms use [`Adjacency`].
+    pub fn weight_of(&self, left: u32, right: u32) -> Option<f64> {
+        self.edges
+            .iter()
+            .find(|e| e.left == left && e.right == right)
+            .map(|e| e.weight)
+    }
+
+    /// Count edges with `weight >= t`.
+    pub fn edges_at_least(&self, t: f64) -> usize {
+        self.edges.iter().filter(|e| e.weight >= t).count()
+    }
+
+    /// The minimum and maximum edge weight, or `None` for an empty graph.
+    pub fn weight_range(&self) -> Option<(f64, f64)> {
+        if self.edges.is_empty() {
+            return None;
+        }
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for e in &self.edges {
+            lo = lo.min(e.weight);
+            hi = hi.max(e.weight);
+        }
+        Some((lo, hi))
+    }
+
+    /// Apply `f` to every edge weight in place.
+    ///
+    /// Used by min-max normalization; `f` must keep weights in `[0, 1]`
+    /// (checked with a debug assertion).
+    pub fn map_weights(&mut self, mut f: impl FnMut(f64) -> f64) {
+        for e in &mut self.edges {
+            e.weight = f(e.weight);
+            debug_assert!(
+                e.weight.is_finite() && (0.0..=1.0).contains(&e.weight),
+                "weight mapping produced out-of-range value {}",
+                e.weight
+            );
+        }
+    }
+
+    /// A copy of the graph containing only edges with `weight >= t`.
+    pub fn pruned(&self, t: f64) -> SimilarityGraph {
+        SimilarityGraph {
+            n_left: self.n_left,
+            n_right: self.n_right,
+            edges: self
+                .edges
+                .iter()
+                .copied()
+                .filter(|e| e.weight >= t)
+                .collect(),
+        }
+    }
+
+    /// Build the CSR adjacency view (per-node neighbors sorted by descending
+    /// weight with id tie-break).
+    pub fn adjacency(&self) -> Adjacency {
+        Adjacency::build(self)
+    }
+}
+
+/// Incremental, validating constructor for [`SimilarityGraph`].
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    n_left: u32,
+    n_right: u32,
+    edges: Vec<Edge>,
+    seen: FxHashSet<(u32, u32)>,
+}
+
+impl GraphBuilder {
+    /// Start building a graph over collections of the given sizes.
+    pub fn new(n_left: u32, n_right: u32) -> Self {
+        GraphBuilder {
+            n_left,
+            n_right,
+            edges: Vec::new(),
+            seen: FxHashSet::default(),
+        }
+    }
+
+    /// Pre-allocate for an expected number of edges.
+    pub fn with_capacity(n_left: u32, n_right: u32, edges: usize) -> Self {
+        let mut b = Self::new(n_left, n_right);
+        b.edges.reserve(edges);
+        b.seen.reserve(edges);
+        b
+    }
+
+    /// Add one validated edge.
+    pub fn add_edge(&mut self, left: u32, right: u32, weight: f64) -> Result<()> {
+        if left >= self.n_left {
+            return Err(CoreError::NodeOutOfBounds {
+                side: "left",
+                id: left,
+                len: self.n_left,
+            });
+        }
+        if right >= self.n_right {
+            return Err(CoreError::NodeOutOfBounds {
+                side: "right",
+                id: right,
+                len: self.n_right,
+            });
+        }
+        if !weight.is_finite() || !(0.0..=1.0).contains(&weight) {
+            return Err(CoreError::InvalidWeight(weight));
+        }
+        if !self.seen.insert((left, right)) {
+            return Err(CoreError::DuplicateEdge { left, right });
+        }
+        self.edges.push(Edge::new(left, right, weight));
+        Ok(())
+    }
+
+    /// Number of edges added so far.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether no edges have been added yet.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Finish construction.
+    pub fn build(self) -> SimilarityGraph {
+        SimilarityGraph {
+            n_left: self.n_left,
+            n_right: self.n_right,
+            edges: self.edges,
+        }
+    }
+}
+
+/// A neighbor entry in an adjacency list: the opposite-side node and the
+/// weight of the connecting edge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// The opposite-side node id.
+    pub node: u32,
+    /// The edge weight.
+    pub weight: f64,
+}
+
+/// CSR adjacency for both sides of a bipartite graph.
+///
+/// Neighbor lists are sorted by **descending weight**, breaking ties by
+/// ascending node id — the deterministic order every matching algorithm
+/// iterates candidates in.
+#[derive(Debug, Clone)]
+pub struct Adjacency {
+    left_offsets: Vec<u32>,
+    left_neighbors: Vec<Neighbor>,
+    right_offsets: Vec<u32>,
+    right_neighbors: Vec<Neighbor>,
+}
+
+impl Adjacency {
+    fn build(g: &SimilarityGraph) -> Self {
+        let (left_offsets, left_neighbors) =
+            Self::build_side(g.n_left as usize, g.edges(), |e| (e.left, e.right));
+        let (right_offsets, right_neighbors) =
+            Self::build_side(g.n_right as usize, g.edges(), |e| (e.right, e.left));
+        Adjacency {
+            left_offsets,
+            left_neighbors,
+            right_offsets,
+            right_neighbors,
+        }
+    }
+
+    fn build_side(
+        n: usize,
+        edges: &[Edge],
+        key: impl Fn(&Edge) -> (u32, u32),
+    ) -> (Vec<u32>, Vec<Neighbor>) {
+        // Counting sort into CSR: first pass counts degrees, second scatters.
+        let mut counts = vec![0u32; n + 1];
+        for e in edges {
+            counts[key(e).0 as usize + 1] += 1;
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut neighbors = vec![
+            Neighbor {
+                node: 0,
+                weight: 0.0
+            };
+            edges.len()
+        ];
+        for e in edges {
+            let (from, to) = key(e);
+            let slot = cursor[from as usize] as usize;
+            neighbors[slot] = Neighbor {
+                node: to,
+                weight: e.weight,
+            };
+            cursor[from as usize] += 1;
+        }
+        // Sort each node's slice: weight desc, node id asc.
+        for i in 0..n {
+            let (s, e) = (offsets[i] as usize, offsets[i + 1] as usize);
+            neighbors[s..e].sort_by(|a, b| {
+                b.weight
+                    .total_cmp(&a.weight)
+                    .then_with(|| a.node.cmp(&b.node))
+            });
+        }
+        (offsets, neighbors)
+    }
+
+    /// Neighbors of left node `i`, best first.
+    #[inline]
+    pub fn left(&self, i: u32) -> &[Neighbor] {
+        let (s, e) = (
+            self.left_offsets[i as usize] as usize,
+            self.left_offsets[i as usize + 1] as usize,
+        );
+        &self.left_neighbors[s..e]
+    }
+
+    /// Neighbors of right node `j`, best first.
+    #[inline]
+    pub fn right(&self, j: u32) -> &[Neighbor] {
+        let (s, e) = (
+            self.right_offsets[j as usize] as usize,
+            self.right_offsets[j as usize + 1] as usize,
+        );
+        &self.right_neighbors[s..e]
+    }
+
+    /// Degree of left node `i`.
+    #[inline]
+    pub fn left_degree(&self, i: u32) -> usize {
+        self.left(i).len()
+    }
+
+    /// Degree of right node `j`.
+    #[inline]
+    pub fn right_degree(&self, j: u32) -> usize {
+        self.right(j).len()
+    }
+
+    /// Best neighbor of left node `i` with weight above `t`, if any.
+    #[inline]
+    pub fn best_left(&self, i: u32, t: f64) -> Option<Neighbor> {
+        self.left(i).first().copied().filter(|n| n.weight > t)
+    }
+
+    /// Best neighbor of right node `j` with weight above `t`, if any.
+    #[inline]
+    pub fn best_right(&self, j: u32, t: f64) -> Option<Neighbor> {
+        self.right(j).first().copied().filter(|n| n.weight > t)
+    }
+
+    /// Average adjacent-edge weight of left node `i` (0 for isolated nodes).
+    pub fn avg_weight_left(&self, i: u32) -> f64 {
+        avg(self.left(i))
+    }
+
+    /// Average adjacent-edge weight of right node `j` (0 for isolated nodes).
+    pub fn avg_weight_right(&self, j: u32) -> f64 {
+        avg(self.right(j))
+    }
+}
+
+fn avg(ns: &[Neighbor]) -> f64 {
+    if ns.is_empty() {
+        0.0
+    } else {
+        ns.iter().map(|n| n.weight).sum::<f64>() / ns.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SimilarityGraph {
+        // The running example from the paper's Figure 1(a):
+        //   A1-B1: 0.6, A5-B1: 0.9, A5-B3: 0.6, A2-B2: 0.7, A3-B4: 0.3... wait
+        // We use a simpler 3x3 graph here; the Figure 1 graph is exercised in
+        // er-matchers tests.
+        let mut b = GraphBuilder::new(3, 3);
+        b.add_edge(0, 0, 0.9).unwrap();
+        b.add_edge(0, 1, 0.5).unwrap();
+        b.add_edge(1, 1, 0.7).unwrap();
+        b.add_edge(2, 2, 0.4).unwrap();
+        b.add_edge(2, 1, 0.4).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn builder_validates_bounds() {
+        let mut b = GraphBuilder::new(2, 2);
+        assert_eq!(
+            b.add_edge(2, 0, 0.5),
+            Err(CoreError::NodeOutOfBounds {
+                side: "left",
+                id: 2,
+                len: 2
+            })
+        );
+        assert_eq!(
+            b.add_edge(0, 5, 0.5),
+            Err(CoreError::NodeOutOfBounds {
+                side: "right",
+                id: 5,
+                len: 2
+            })
+        );
+    }
+
+    #[test]
+    fn builder_validates_weights() {
+        let mut b = GraphBuilder::new(2, 2);
+        assert_eq!(b.add_edge(0, 0, 1.5), Err(CoreError::InvalidWeight(1.5)));
+        assert_eq!(b.add_edge(0, 0, -0.1), Err(CoreError::InvalidWeight(-0.1)));
+        assert!(b.add_edge(0, 0, f64::NAN).is_err());
+        assert!(b.add_edge(0, 0, 0.0).is_ok());
+        assert!(b.add_edge(0, 1, 1.0).is_ok());
+    }
+
+    #[test]
+    fn builder_rejects_duplicates() {
+        let mut b = GraphBuilder::new(2, 2);
+        b.add_edge(0, 0, 0.5).unwrap();
+        assert_eq!(
+            b.add_edge(0, 0, 0.6),
+            Err(CoreError::DuplicateEdge { left: 0, right: 0 })
+        );
+    }
+
+    #[test]
+    fn graph_accessors() {
+        let g = sample();
+        assert_eq!(g.n_left(), 3);
+        assert_eq!(g.n_right(), 3);
+        assert_eq!(g.n_nodes(), 6);
+        assert_eq!(g.n_edges(), 5);
+        assert_eq!(g.weight_of(0, 0), Some(0.9));
+        assert_eq!(g.weight_of(0, 2), None);
+        assert_eq!(g.edges_at_least(0.5), 3);
+        assert_eq!(g.weight_range(), Some((0.4, 0.9)));
+    }
+
+    #[test]
+    fn pruned_drops_low_edges() {
+        let g = sample().pruned(0.5);
+        assert_eq!(g.n_edges(), 3);
+        assert!(g.edges().iter().all(|e| e.weight >= 0.5));
+        assert_eq!(g.n_left(), 3, "pruning keeps node collections intact");
+    }
+
+    #[test]
+    fn adjacency_is_sorted_desc_with_id_tiebreak() {
+        let g = sample();
+        let adj = g.adjacency();
+        // Left node 0 has neighbors 0 (0.9) and 1 (0.5).
+        let n0: Vec<_> = adj.left(0).iter().map(|n| (n.node, n.weight)).collect();
+        assert_eq!(n0, vec![(0, 0.9), (1, 0.5)]);
+        // Right node 1 has neighbors 1 (0.7), 0 (0.5), 2 (0.4).
+        let r1: Vec<_> = adj.right(1).iter().map(|n| (n.node, n.weight)).collect();
+        assert_eq!(r1, vec![(1, 0.7), (0, 0.5), (2, 0.4)]);
+        // Left node 2 has equal-weight neighbors 1 and 2 → id ascending.
+        let n2: Vec<_> = adj.left(2).iter().map(|n| n.node).collect();
+        assert_eq!(n2, vec![1, 2]);
+    }
+
+    #[test]
+    fn adjacency_degrees_and_best() {
+        let g = sample();
+        let adj = g.adjacency();
+        assert_eq!(adj.left_degree(0), 2);
+        assert_eq!(adj.right_degree(0), 1);
+        assert_eq!(adj.best_left(0, 0.5).map(|n| n.node), Some(0));
+        assert_eq!(adj.best_left(0, 0.95), None, "threshold is strict");
+        assert_eq!(adj.best_right(2, 0.0).map(|n| n.node), Some(2));
+    }
+
+    #[test]
+    fn adjacency_avg_weights() {
+        let g = sample();
+        let adj = g.adjacency();
+        assert!((adj.avg_weight_left(0) - 0.7).abs() < 1e-12);
+        assert!((adj.avg_weight_right(1) - (0.7 + 0.5 + 0.4) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn isolated_nodes_have_empty_adjacency() {
+        let g = SimilarityGraph::new(4, 4, vec![Edge::new(0, 0, 0.5)]).unwrap();
+        let adj = g.adjacency();
+        assert!(adj.left(3).is_empty());
+        assert!(adj.right(2).is_empty());
+        assert_eq!(adj.avg_weight_left(3), 0.0);
+    }
+
+    #[test]
+    fn map_weights_applies() {
+        let mut g = sample();
+        g.map_weights(|w| w / 2.0);
+        assert_eq!(g.weight_of(0, 0), Some(0.45));
+    }
+}

@@ -1,0 +1,119 @@
+//! Ground truth: the known duplicate pairs of a CCER dataset.
+
+use serde::{Deserialize, Serialize};
+
+use crate::hash::FxHashSet;
+use crate::matching::Matching;
+
+/// The set of true duplicate pairs `D(V1 ∩ V2)` between two clean
+/// collections. Because both collections are duplicate-free, the ground
+/// truth itself satisfies the unique-mapping constraint.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GroundTruth {
+    pairs: Vec<(u32, u32)>,
+    #[serde(skip)]
+    index: FxHashSet<(u32, u32)>,
+}
+
+impl GroundTruth {
+    /// Build from duplicate pairs; panics (debug) on unique-mapping
+    /// violations since clean sources cannot contain them.
+    pub fn new(mut pairs: Vec<(u32, u32)>) -> Self {
+        pairs.sort_unstable();
+        pairs.dedup();
+        let index: FxHashSet<(u32, u32)> = pairs.iter().copied().collect();
+        debug_assert!(
+            {
+                let mut ls = FxHashSet::default();
+                let mut rs = FxHashSet::default();
+                pairs.iter().all(|&(l, r)| ls.insert(l) && rs.insert(r))
+            },
+            "ground truth of clean collections must be a one-to-one mapping"
+        );
+        GroundTruth { pairs, index }
+    }
+
+    /// Number of duplicate pairs.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether there are no duplicates.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// All duplicate pairs, sorted.
+    #[inline]
+    pub fn pairs(&self) -> &[(u32, u32)] {
+        &self.pairs
+    }
+
+    /// Whether `(left, right)` is a true duplicate pair.
+    #[inline]
+    pub fn is_match(&self, left: u32, right: u32) -> bool {
+        self.index.contains(&(left, right))
+    }
+
+    /// Count how many pairs of `m` are true matches.
+    pub fn true_positives(&self, m: &Matching) -> usize {
+        m.iter().filter(|&(l, r)| self.is_match(l, r)).count()
+    }
+
+    /// Rebuild the internal hash index (needed after deserialization,
+    /// because the index is not serialized).
+    pub fn reindex(&mut self) {
+        self.index = self.pairs.iter().copied().collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedups_and_sorts() {
+        let gt = GroundTruth::new(vec![(2, 2), (0, 1), (2, 2)]);
+        assert_eq!(gt.pairs(), &[(0, 1), (2, 2)]);
+        assert_eq!(gt.len(), 2);
+    }
+
+    #[test]
+    fn membership_queries() {
+        let gt = GroundTruth::new(vec![(0, 1), (5, 3)]);
+        assert!(gt.is_match(0, 1));
+        assert!(gt.is_match(5, 3));
+        assert!(!gt.is_match(1, 0));
+        assert!(!gt.is_match(0, 0));
+    }
+
+    #[test]
+    fn true_positive_counting() {
+        let gt = GroundTruth::new(vec![(0, 0), (1, 1), (2, 2)]);
+        let m = Matching::new(vec![(0, 0), (1, 2), (2, 1)]);
+        assert_eq!(gt.true_positives(&m), 1);
+        let m2 = Matching::new(vec![(0, 0), (2, 2)]);
+        assert_eq!(gt.true_positives(&m2), 2);
+    }
+
+    #[test]
+    fn reindex_restores_queries() {
+        let gt = GroundTruth::new(vec![(0, 0)]);
+        let json = serde_json_round_trip(&gt);
+        let mut back: GroundTruth = json;
+        assert!(!back.is_match(0, 0), "index is skipped by serde");
+        back.reindex();
+        assert!(back.is_match(0, 0));
+    }
+
+    fn serde_json_round_trip(gt: &GroundTruth) -> GroundTruth {
+        // serde_json is not a dependency of er-core; emulate a round trip by
+        // cloning pairs without the index.
+        GroundTruth {
+            pairs: gt.pairs.clone(),
+            index: FxHashSet::default(),
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! A fast, non-cryptographic hasher for hot-path hash maps.
+//!
+//! The similarity pipeline hashes millions of short keys (n-gram ids, node
+//! ids, token strings). SipHash's HashDoS protection is unnecessary here, so
+//! we use the FxHash algorithm (the rustc hasher): a single multiply-xor per
+//! word. Implemented locally to keep the dependency set to the approved list.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The rustc "Fx" hash: `state = (state.rotate_left(5) ^ word) * SEED` per
+/// 8-byte word, with a tail fold for the remainder.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            self.add_word(word);
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            self.add_word(u64::from_le_bytes(tail) ^ rem.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_word(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_word(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_word(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_word(v as u64);
+    }
+}
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+/// Hash arbitrary bytes to a `u64` with a caller-provided seed; used by the
+/// embedding substrate to derive deterministic pseudo-random vectors.
+#[inline]
+pub fn seeded_hash64(bytes: &[u8], seed: u64) -> u64 {
+    let mut h = FxHasher { state: seed };
+    h.write(bytes);
+    // One extra avalanche round (splitmix64 finalizer) so low bits are usable.
+    let mut z = h.finish().wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FxHashMap<&str, u32> = FxHashMap::default();
+        m.insert("a", 1);
+        m.insert("b", 2);
+        assert_eq!(m.get("a"), Some(&1));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        s.insert(42);
+        assert!(s.contains(&42));
+    }
+
+    #[test]
+    fn hashing_is_deterministic() {
+        assert_eq!(seeded_hash64(b"entity", 7), seeded_hash64(b"entity", 7));
+        assert_ne!(seeded_hash64(b"entity", 7), seeded_hash64(b"entity", 8));
+        assert_ne!(seeded_hash64(b"entity", 7), seeded_hash64(b"entitx", 7));
+    }
+
+    #[test]
+    fn different_lengths_hash_differently() {
+        // The tail fold mixes in the remainder length, so a prefix and its
+        // zero-padded extension must not collide trivially.
+        assert_ne!(seeded_hash64(b"ab", 0), seeded_hash64(b"ab\0", 0));
+    }
+
+    #[test]
+    fn distribution_smoke() {
+        // 1000 sequential keys should produce (nearly) unique hashes.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..1000u64 {
+            seen.insert(seeded_hash64(&i.to_le_bytes(), 0));
+        }
+        assert!(seen.len() >= 999);
+    }
+}

@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! # er-core — bipartite similarity graph substrate for Clean-Clean ER
+//!
+//! Core data structures shared by every crate in the workspace:
+//!
+//! * [`SimilarityGraph`] — a weighted bipartite graph `G = (V1, V2, E)` whose
+//!   edge weights are similarity scores in `[0, 1]` between entity profiles of
+//!   two *clean* (duplicate-free) collections.
+//! * [`Adjacency`] — a CSR-style per-node adjacency view over a graph, built
+//!   once and shared by the matching algorithms.
+//! * [`Matching`] — the output of a bipartite graph matching algorithm: a set
+//!   of (left, right) entity pairs respecting the unique-mapping constraint.
+//! * [`GroundTruth`] — the known duplicate pairs used for evaluation.
+//! * Utilities: min-max [`normalize`]-ation, a [`UnionFind`] for connected
+//!   components, total-order float comparison ([`float`]), a fast
+//!   non-cryptographic hasher ([`hash`]), the paper's threshold grid
+//!   ([`ThresholdGrid`]) and descriptive [`GraphStats`].
+//!
+//! The algorithms themselves live in `er-matchers`; graph *construction* from
+//! entity profiles lives in `er-pipeline`.
+
+pub mod clustering;
+pub mod error;
+pub mod float;
+pub mod graph;
+pub mod ground_truth;
+pub mod hash;
+pub mod io;
+pub mod matching;
+pub mod normalize;
+pub mod stats;
+pub mod threshold;
+pub mod union_find;
+
+pub use clustering::{Cluster, Clustering};
+pub use error::{CoreError, Result};
+pub use float::{total_cmp_desc, OrderedF64};
+pub use graph::{Edge, GraphBuilder, SimilarityGraph};
+pub use graph::{Adjacency, Neighbor};
+pub use ground_truth::GroundTruth;
+pub use hash::{FxHashMap, FxHashSet, FxHasher};
+pub use matching::Matching;
+pub use normalize::min_max_normalize;
+pub use stats::{GraphStats, WeightSeparation};
+pub use threshold::ThresholdGrid;
+pub use union_find::UnionFind;

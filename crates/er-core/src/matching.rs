@@ -1,0 +1,161 @@
+//! The output of a bipartite graph matching algorithm.
+//!
+//! For Clean-Clean ER the output clustering consists of 2-node clusters (one
+//! entity from each collection) plus singletons. Singletons never influence
+//! pair-level precision/recall, so [`Matching`] stores only the matched
+//! pairs; the unique-mapping constraint (each entity appears in at most one
+//! pair) is validated on construction in debug builds and checkable
+//! explicitly via [`Matching::is_unique_mapping`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::SimilarityGraph;
+use crate::hash::FxHashSet;
+
+/// A set of matched (left, right) entity pairs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Matching {
+    pairs: Vec<(u32, u32)>,
+}
+
+impl Matching {
+    /// Create a matching from pairs.
+    ///
+    /// Debug builds assert the unique-mapping constraint; release builds
+    /// accept the pairs as-is (the algorithms guarantee it by construction).
+    pub fn new(mut pairs: Vec<(u32, u32)>) -> Self {
+        pairs.sort_unstable();
+        let m = Matching { pairs };
+        debug_assert!(m.is_unique_mapping(), "matching violates unique mapping");
+        m
+    }
+
+    /// The empty matching.
+    pub fn empty() -> Self {
+        Matching { pairs: Vec::new() }
+    }
+
+    /// Matched pairs, sorted by (left, right).
+    #[inline]
+    pub fn pairs(&self) -> &[(u32, u32)] {
+        &self.pairs
+    }
+
+    /// Number of matched pairs.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether no pairs were matched.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Whether the pairs satisfy the CCER unique-mapping constraint:
+    /// each left id and each right id appears at most once.
+    pub fn is_unique_mapping(&self) -> bool {
+        let mut lefts = FxHashSet::default();
+        let mut rights = FxHashSet::default();
+        for &(l, r) in &self.pairs {
+            if !lefts.insert(l) || !rights.insert(r) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Whether a specific pair is in the matching (binary search).
+    pub fn contains(&self, left: u32, right: u32) -> bool {
+        self.pairs.binary_search(&(left, right)).is_ok()
+    }
+
+    /// Sum of graph weights over the matched pairs.
+    ///
+    /// Pairs that are not edges of `g` contribute 0 (this can happen for
+    /// assignment-style algorithms before their final threshold filter, and
+    /// deliberately scores them as worthless).
+    pub fn total_weight(&self, g: &SimilarityGraph) -> f64 {
+        // Build a hash of the graph edges once; O(m + k).
+        let mut weights: crate::hash::FxHashMap<(u32, u32), f64> = crate::hash::FxHashMap::default();
+        weights.reserve(g.n_edges());
+        for e in g.edges() {
+            weights.insert((e.left, e.right), e.weight);
+        }
+        self.pairs
+            .iter()
+            .filter_map(|p| weights.get(p))
+            .sum()
+    }
+
+    /// Iterate over the pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.pairs.iter().copied()
+    }
+}
+
+impl FromIterator<(u32, u32)> for Matching {
+    fn from_iter<I: IntoIterator<Item = (u32, u32)>>(iter: I) -> Self {
+        Matching::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    #[test]
+    fn pairs_are_sorted_and_queryable() {
+        let m = Matching::new(vec![(2, 1), (0, 3), (1, 0)]);
+        assert_eq!(m.pairs(), &[(0, 3), (1, 0), (2, 1)]);
+        assert!(m.contains(1, 0));
+        assert!(!m.contains(1, 1));
+        assert_eq!(m.len(), 3);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn unique_mapping_detects_violations() {
+        let ok = Matching { pairs: vec![(0, 0), (1, 1)] };
+        assert!(ok.is_unique_mapping());
+        let dup_left = Matching { pairs: vec![(0, 0), (0, 1)] };
+        assert!(!dup_left.is_unique_mapping());
+        let dup_right = Matching { pairs: vec![(0, 0), (1, 0)] };
+        assert!(!dup_right.is_unique_mapping());
+    }
+
+    #[test]
+    #[should_panic(expected = "unique mapping")]
+    #[cfg(debug_assertions)]
+    fn constructor_asserts_in_debug() {
+        let _ = Matching::new(vec![(0, 0), (0, 1)]);
+    }
+
+    #[test]
+    fn total_weight_sums_graph_edges() {
+        let mut b = GraphBuilder::new(2, 2);
+        b.add_edge(0, 0, 0.9).unwrap();
+        b.add_edge(1, 1, 0.4).unwrap();
+        let g = b.build();
+        let m = Matching::new(vec![(0, 0), (1, 1)]);
+        assert!((m.total_weight(&g) - 1.3).abs() < 1e-12);
+        // A pair without a graph edge contributes nothing.
+        let m2 = Matching::new(vec![(0, 1)]);
+        assert_eq!(m2.total_weight(&g), 0.0);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let m: Matching = vec![(3u32, 3u32), (1, 1)].into_iter().collect();
+        assert_eq!(m.pairs(), &[(1, 1), (3, 3)]);
+    }
+
+    #[test]
+    fn empty_matching() {
+        let m = Matching::empty();
+        assert!(m.is_empty());
+        assert!(m.is_unique_mapping());
+    }
+}

@@ -1,0 +1,74 @@
+//! Min-max normalization of edge weights.
+//!
+//! The paper (§5, Generation Process) applies min-max normalization to every
+//! similarity graph "regardless of the similarity function that produced
+//! them, to ensure that they are restricted to [0, 1]" — this also puts
+//! unbounded measures like ARCS on the common threshold grid.
+
+use crate::graph::SimilarityGraph;
+
+/// Normalize all edge weights to `[0, 1]` via `(w - min) / (max - min)`.
+///
+/// Degenerate cases:
+/// * empty graph — no-op;
+/// * all weights equal — every weight becomes `1.0` (they are all maximal,
+///   and mapping them to 0 would delete the graph's information entirely).
+pub fn min_max_normalize(g: &mut SimilarityGraph) {
+    let Some((lo, hi)) = g.weight_range() else {
+        return;
+    };
+    let span = hi - lo;
+    if span <= f64::EPSILON {
+        g.map_weights(|_| 1.0);
+    } else {
+        g.map_weights(|w| ((w - lo) / span).clamp(0.0, 1.0));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn graph_with(weights: &[f64]) -> SimilarityGraph {
+        let mut b = GraphBuilder::new(weights.len() as u32, weights.len() as u32);
+        for (i, &w) in weights.iter().enumerate() {
+            b.add_edge(i as u32, i as u32, w).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn rescales_to_unit_interval() {
+        let mut g = graph_with(&[0.2, 0.4, 0.6]);
+        min_max_normalize(&mut g);
+        let ws: Vec<f64> = g.edges().iter().map(|e| e.weight).collect();
+        assert!((ws[0] - 0.0).abs() < 1e-12);
+        assert!((ws[1] - 0.5).abs() < 1e-12);
+        assert!((ws[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_weights_become_one() {
+        let mut g = graph_with(&[0.3, 0.3, 0.3]);
+        min_max_normalize(&mut g);
+        assert!(g.edges().iter().all(|e| e.weight == 1.0));
+    }
+
+    #[test]
+    fn empty_graph_is_noop() {
+        let mut g = GraphBuilder::new(2, 2).build();
+        min_max_normalize(&mut g);
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn already_normalized_stays_in_bounds() {
+        let mut g = graph_with(&[0.0, 1.0, 0.25]);
+        min_max_normalize(&mut g);
+        for e in g.edges() {
+            assert!((0.0..=1.0).contains(&e.weight));
+        }
+        assert_eq!(g.weight_range(), Some((0.0, 1.0)));
+    }
+}

@@ -1,0 +1,166 @@
+//! Descriptive statistics of a similarity graph.
+//!
+//! These power the paper's Table 3 (graph counts and average sizes) and the
+//! threshold-analysis correlations of Table 8 (`|E| / ||V1 × V2||`).
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::SimilarityGraph;
+use crate::ground_truth::GroundTruth;
+
+/// Summary statistics of one similarity graph.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// `|V1|`.
+    pub n_left: u32,
+    /// `|V2|`.
+    pub n_right: u32,
+    /// `|E|`.
+    pub n_edges: usize,
+    /// Minimum edge weight (0 if empty).
+    pub min_weight: f64,
+    /// Maximum edge weight (0 if empty).
+    pub max_weight: f64,
+    /// Mean edge weight (0 if empty).
+    pub mean_weight: f64,
+    /// Normalized size `|E| / (|V1| · |V2|)` — the paper's Table 8 regressor.
+    pub normalized_size: f64,
+}
+
+impl GraphStats {
+    /// Compute statistics for `g`.
+    pub fn of(g: &SimilarityGraph) -> Self {
+        let (min_weight, max_weight) = g.weight_range().unwrap_or((0.0, 0.0));
+        let mean_weight = if g.is_empty() {
+            0.0
+        } else {
+            g.edges().iter().map(|e| e.weight).sum::<f64>() / g.n_edges() as f64
+        };
+        let cartesian = g.n_left() as f64 * g.n_right() as f64;
+        GraphStats {
+            n_left: g.n_left(),
+            n_right: g.n_right(),
+            n_edges: g.n_edges(),
+            min_weight,
+            max_weight,
+            mean_weight,
+            normalized_size: if cartesian > 0.0 {
+                g.n_edges() as f64 / cartesian
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// Weight separation between matching and non-matching pairs of a graph,
+/// relative to a ground truth. Used by the pipeline's cleaning rules (§5):
+/// a graph where every true match has zero weight is discarded.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WeightSeparation {
+    /// Number of ground-truth pairs that appear as graph edges.
+    pub matches_with_edges: usize,
+    /// Maximum weight over ground-truth pairs present in the graph.
+    pub max_match_weight: f64,
+    /// Mean weight over ground-truth pairs present in the graph.
+    pub mean_match_weight: f64,
+    /// Mean weight over non-matching edges.
+    pub mean_nonmatch_weight: f64,
+}
+
+impl WeightSeparation {
+    /// Compute separation statistics for `g` against `gt`.
+    pub fn of(g: &SimilarityGraph, gt: &GroundTruth) -> Self {
+        let mut match_sum = 0.0;
+        let mut match_max = 0.0f64;
+        let mut match_n = 0usize;
+        let mut non_sum = 0.0;
+        let mut non_n = 0usize;
+        for e in g.edges() {
+            if gt.is_match(e.left, e.right) {
+                match_sum += e.weight;
+                match_max = match_max.max(e.weight);
+                match_n += 1;
+            } else {
+                non_sum += e.weight;
+                non_n += 1;
+            }
+        }
+        WeightSeparation {
+            matches_with_edges: match_n,
+            max_match_weight: match_max,
+            mean_match_weight: if match_n > 0 {
+                match_sum / match_n as f64
+            } else {
+                0.0
+            },
+            mean_nonmatch_weight: if non_n > 0 { non_sum / non_n as f64 } else { 0.0 },
+        }
+    }
+
+    /// The paper's first cleaning rule: "we removed all similarity graphs
+    /// where all matching entities had a zero edge weight".
+    pub fn all_matches_zero(&self) -> bool {
+        self.matches_with_edges == 0 || self.max_match_weight <= 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn sample() -> SimilarityGraph {
+        let mut b = GraphBuilder::new(2, 3);
+        b.add_edge(0, 0, 0.8).unwrap();
+        b.add_edge(0, 1, 0.2).unwrap();
+        b.add_edge(1, 2, 0.5).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn stats_basic() {
+        let s = GraphStats::of(&sample());
+        assert_eq!(s.n_left, 2);
+        assert_eq!(s.n_right, 3);
+        assert_eq!(s.n_edges, 3);
+        assert_eq!(s.min_weight, 0.2);
+        assert_eq!(s.max_weight, 0.8);
+        assert!((s.mean_weight - 0.5).abs() < 1e-12);
+        assert!((s.normalized_size - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_empty_graph() {
+        let g = GraphBuilder::new(0, 0).build();
+        let s = GraphStats::of(&g);
+        assert_eq!(s.n_edges, 0);
+        assert_eq!(s.normalized_size, 0.0);
+        assert_eq!(s.mean_weight, 0.0);
+    }
+
+    #[test]
+    fn separation_distinguishes_match_weights() {
+        let gt = GroundTruth::new(vec![(0, 0), (1, 2)]);
+        let sep = WeightSeparation::of(&sample(), &gt);
+        assert_eq!(sep.matches_with_edges, 2);
+        assert_eq!(sep.max_match_weight, 0.8);
+        assert!((sep.mean_match_weight - 0.65).abs() < 1e-12);
+        assert!((sep.mean_nonmatch_weight - 0.2).abs() < 1e-12);
+        assert!(!sep.all_matches_zero());
+    }
+
+    #[test]
+    fn separation_flags_zero_match_graphs() {
+        let gt = GroundTruth::new(vec![(1, 0)]); // not an edge at all
+        let sep = WeightSeparation::of(&sample(), &gt);
+        assert!(sep.all_matches_zero());
+
+        // Matches present but with zero weight.
+        let mut b = GraphBuilder::new(1, 1);
+        b.add_edge(0, 0, 0.0).unwrap();
+        let g = b.build();
+        let gt = GroundTruth::new(vec![(0, 0)]);
+        assert!(WeightSeparation::of(&g, &gt).all_matches_zero());
+    }
+}

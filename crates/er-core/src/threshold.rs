@@ -1,0 +1,113 @@
+//! The similarity-threshold grid used by the paper's evaluation protocol.
+//!
+//! Every algorithm is run with the threshold varied "from 0.05 to 1.0 with a
+//! step of 0.05" (§5, Generation Process); the **largest** threshold that
+//! achieves the highest F-Measure is selected as the optimal one. The grid
+//! is integer-based internally to avoid floating-point drift across steps.
+
+use serde::{Deserialize, Serialize};
+
+/// An inclusive threshold grid `start..=end` in units of `step`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThresholdGrid {
+    start_steps: u32,
+    end_steps: u32,
+    step: f64,
+}
+
+impl ThresholdGrid {
+    /// The paper's grid: 0.05 to 1.0 in steps of 0.05 (20 values).
+    pub fn paper() -> Self {
+        ThresholdGrid {
+            start_steps: 1,
+            end_steps: 20,
+            step: 0.05,
+        }
+    }
+
+    /// A custom grid; `start` and `end` are rounded to multiples of `step`.
+    ///
+    /// Panics if `step <= 0` or the rounded range is empty.
+    pub fn new(start: f64, end: f64, step: f64) -> Self {
+        assert!(step > 0.0, "step must be positive");
+        let start_steps = (start / step).round() as u32;
+        let end_steps = (end / step).round() as u32;
+        assert!(start_steps <= end_steps, "empty threshold grid");
+        ThresholdGrid {
+            start_steps,
+            end_steps,
+            step,
+        }
+    }
+
+    /// Number of thresholds in the grid.
+    pub fn len(&self) -> usize {
+        (self.end_steps - self.start_steps + 1) as usize
+    }
+
+    /// Whether the grid is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterate thresholds in ascending order.
+    pub fn values(&self) -> impl Iterator<Item = f64> + '_ {
+        (self.start_steps..=self.end_steps).map(move |i| i as f64 * self.step)
+    }
+
+    /// Iterate thresholds in descending order (useful when higher thresholds
+    /// are cheaper to evaluate and results are monotone).
+    pub fn values_desc(&self) -> impl Iterator<Item = f64> + '_ {
+        (self.start_steps..=self.end_steps)
+            .rev()
+            .map(move |i| i as f64 * self.step)
+    }
+}
+
+impl Default for ThresholdGrid {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_grid_has_twenty_values() {
+        let g = ThresholdGrid::paper();
+        let v: Vec<f64> = g.values().collect();
+        assert_eq!(v.len(), 20);
+        assert!((v[0] - 0.05).abs() < 1e-12);
+        assert!((v[19] - 1.0).abs() < 1e-12);
+        // All values are exact multiples of 0.05 (within fp tolerance).
+        for (i, x) in v.iter().enumerate() {
+            assert!((x - (i as f64 + 1.0) * 0.05).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn descending_reverses() {
+        let g = ThresholdGrid::paper();
+        let up: Vec<f64> = g.values().collect();
+        let mut down: Vec<f64> = g.values_desc().collect();
+        down.reverse();
+        assert_eq!(up, down);
+    }
+
+    #[test]
+    fn custom_grid() {
+        let g = ThresholdGrid::new(0.1, 0.3, 0.1);
+        let v: Vec<f64> = g.values().collect();
+        assert_eq!(v.len(), 3);
+        assert!((v[1] - 0.2).abs() < 1e-12);
+        assert_eq!(g.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "step must be positive")]
+    fn zero_step_panics() {
+        let _ = ThresholdGrid::new(0.0, 1.0, 0.0);
+    }
+}

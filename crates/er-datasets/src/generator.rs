@@ -1,0 +1,505 @@
+//! The synthetic dataset generator.
+//!
+//! Generation pipeline:
+//!
+//! 1. A **universe** of `n1 + n2 − duplicates` distinct real-world entities
+//!    is synthesized with canonical field values for the union of both
+//!    schemas (domain-specific composition rules).
+//! 2. The left collection renders universe entities `0..n1`; the right
+//!    collection renders the shared prefix `0..duplicates` plus
+//!    `n1..n1+n2−duplicates`. Each collection is then deterministically
+//!    shuffled so profile ids carry no positional signal.
+//! 3. Rendering applies per-side formatting conventions (author "Last, F."
+//!    vs "First Last", parenthesized years, phone prefixes) and the spec's
+//!    noise profile (typos, token drops, missing values, abbreviations,
+//!    spurious tokens, misplaced bibliographic values).
+//!
+//! Both collections are clean by construction: distinct universe entities
+//! have distinct canonical cores, and each universe entity renders at most
+//! once per collection.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use er_core::GroundTruth;
+
+use crate::dataset::Dataset;
+use crate::noise::{abbreviate_token, apply_typo, drop_token, NoiseProfile};
+use crate::profile::{EntityCollection, EntityProfile};
+use crate::spec::{DatasetSpec, Domain};
+use crate::vocab::{digits, Lexicon};
+
+/// A canonical real-world entity: attribute → canonical value.
+#[derive(Debug, Clone)]
+struct CanonicalEntity {
+    fields: Vec<(&'static str, String)>,
+}
+
+impl CanonicalEntity {
+    fn get(&self, attr: &str) -> Option<&str> {
+        self.fields
+            .iter()
+            .find(|(a, _)| *a == attr)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Deterministic generator for one dataset spec.
+#[derive(Debug, Clone)]
+pub struct DatasetGenerator {
+    spec: DatasetSpec,
+    seed: u64,
+}
+
+impl DatasetGenerator {
+    /// Create a generator; the same `(spec, seed)` always yields the same
+    /// dataset.
+    pub fn new(spec: DatasetSpec, seed: u64) -> Self {
+        DatasetGenerator { spec, seed }
+    }
+
+    /// Generate the dataset.
+    pub fn generate(&self) -> Dataset {
+        let spec = &self.spec;
+        let lex = Lexicon::new(self.seed);
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x0da7_a5e7);
+
+        let n1 = spec.n1 as usize;
+        let n2 = spec.n2 as usize;
+        let dup = spec.duplicates as usize;
+        let universe_len = n1 + n2 - dup;
+
+        // 1. Distinct canonical entities.
+        let mut universe = Vec::with_capacity(universe_len);
+        let mut seen_cores = er_core::FxHashSet::default();
+        while universe.len() < universe_len {
+            let e = synthesize(spec.domain, &lex, &mut rng);
+            let core = e
+                .get("title")
+                .or_else(|| e.get("name"))
+                .unwrap_or_default()
+                .to_string();
+            if seen_cores.insert(core) {
+                universe.push(e);
+            }
+        }
+
+        // 2. Membership: left = universe[0..n1]; right = universe[0..dup] ∪
+        //    universe[n1..]. Shuffle the *render order* of each side.
+        let left_members: Vec<usize> = (0..n1).collect();
+        let right_members: Vec<usize> = (0..dup).chain(n1..universe_len).collect();
+
+        let mut left_order = left_members;
+        let mut right_order = right_members;
+        let mut shuffle_rng = StdRng::seed_from_u64(self.seed ^ 0x005b_ff1e);
+        left_order.shuffle(&mut shuffle_rng);
+        right_order.shuffle(&mut shuffle_rng);
+
+        // 3. Render each side.
+        let mut render_rng = StdRng::seed_from_u64(self.seed ^ 0x00e0_de12);
+        let left = render_collection(
+            &left_order,
+            &universe,
+            &spec.attributes1,
+            &spec.focus_attributes,
+            &spec.noise,
+            Side::Left,
+            spec.domain,
+            &lex,
+            &mut render_rng,
+        );
+        let right = render_collection(
+            &right_order,
+            &universe,
+            &spec.attributes2,
+            &spec.focus_attributes,
+            &spec.noise,
+            Side::Right,
+            spec.domain,
+            &lex,
+            &mut render_rng,
+        );
+
+        // Ground truth: pair up the positions of shared universe entities.
+        let mut right_pos = er_core::FxHashMap::default();
+        for (pos, &u) in right_order.iter().enumerate() {
+            right_pos.insert(u, pos as u32);
+        }
+        let mut pairs = Vec::with_capacity(dup);
+        for (pos, &u) in left_order.iter().enumerate() {
+            if u < dup {
+                let rp = right_pos[&u];
+                pairs.push((pos as u32, rp));
+            }
+        }
+        let ground_truth = GroundTruth::new(pairs);
+
+        Dataset {
+            spec: spec.clone(),
+            left,
+            right,
+            ground_truth,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Side {
+    Left,
+    Right,
+}
+
+/// Synthesize one canonical entity for a domain.
+fn synthesize(domain: Domain, lex: &Lexicon, rng: &mut StdRng) -> CanonicalEntity {
+    let mut fields: Vec<(&'static str, String)> = Vec::new();
+    match domain {
+        Domain::Restaurants => {
+            let name = format!("{} {}", lex.noun(rng), lex.noun(rng));
+            let phone = format!(
+                "{}-{}-{}",
+                digits(rng, 3),
+                digits(rng, 3),
+                digits(rng, 4)
+            );
+            let street = format!(
+                "{} {} st",
+                rng.gen_range(1..999),
+                lex.streets[rng.gen_range(0..lex.streets.len())]
+            );
+            fields.push(("name", name.clone()));
+            fields.push(("phone", phone));
+            fields.push(("address", street));
+            fields.push((
+                "city",
+                lex.cities[rng.gen_range(0..lex.cities.len())].clone(),
+            ));
+            fields.push((
+                "cuisine",
+                lex.cuisines[rng.gen_range(0..lex.cuisines.len())].clone(),
+            ));
+            fields.push(("type", lex.noun(rng).to_string()));
+            fields.push(("web", format!("www.{}.com", name.replace(' ', ""))));
+        }
+        Domain::Products => {
+            let brand = lex.brands[rng.gen_range(0..lex.brands.len())].clone();
+            let prefix: String = lex.noun(rng).chars().take(2).collect::<String>().to_uppercase();
+            let n_digits = rng.gen_range(3..6);
+            let modelno = format!("{prefix}{}", digits(rng, n_digits));
+            let title = format!("{brand} {modelno} {}", lex.phrase(rng, 2, 5));
+            fields.push(("title", title.clone()));
+            fields.push(("name", title));
+            fields.push(("brand", brand.clone()));
+            fields.push(("manufacturer", brand));
+            fields.push(("modelno", modelno));
+            fields.push(("price", format!("{}.{}9", rng.gen_range(5..900), rng.gen_range(0..10))));
+            fields.push(("category", lex.noun(rng).to_string()));
+            fields.push(("description", lex.phrase(rng, 6, 14)));
+        }
+        Domain::Bibliographic => {
+            let title = lex.phrase(rng, 4, 9);
+            let n_authors = rng.gen_range(1..=4);
+            let authors = (0..n_authors)
+                .map(|_| lex.person(rng))
+                .collect::<Vec<_>>()
+                .join(", ");
+            fields.push(("title", title));
+            fields.push(("authors", authors));
+            fields.push((
+                "venue",
+                lex.venues[rng.gen_range(0..lex.venues.len())].clone(),
+            ));
+            fields.push(("year", rng.gen_range(1975..2021).to_string()));
+        }
+        Domain::Movies => {
+            let title = lex.phrase(rng, 1, 4);
+            fields.push(("title", title.clone()));
+            fields.push(("name", title));
+            fields.push(("year", rng.gen_range(1950..2021).to_string()));
+            fields.push(("director", lex.person(rng)));
+            fields.push((
+                "genre",
+                lex.genres[rng.gen_range(0..lex.genres.len())].clone(),
+            ));
+            let actors = (0..rng.gen_range(2..=3))
+                .map(|_| lex.person(rng))
+                .collect::<Vec<_>>()
+                .join(", ");
+            fields.push(("actors", actors));
+            fields.push(("runtime", format!("{} min", rng.gen_range(60..200))));
+            fields.push(("country", lex.cities[rng.gen_range(0..lex.cities.len())].clone()));
+            fields.push(("language", lex.noun(rng).to_string()));
+            fields.push(("rating", format!("{:.1}", rng.gen_range(10..100) as f64 / 10.0)));
+            fields.push(("votes", rng.gen_range(100..1_000_000).to_string()));
+            fields.push(("plot", lex.phrase(rng, 6, 16)));
+            fields.push(("writer", lex.person(rng)));
+        }
+    }
+    CanonicalEntity { fields }
+}
+
+/// Render one collection: schema projection + formatting + noise.
+#[allow(clippy::too_many_arguments)]
+fn render_collection(
+    order: &[usize],
+    universe: &[CanonicalEntity],
+    schema: &[&'static str],
+    focus: &[&'static str],
+    noise: &NoiseProfile,
+    side: Side,
+    domain: Domain,
+    lex: &Lexicon,
+    rng: &mut StdRng,
+) -> EntityCollection {
+    let mut profiles = Vec::with_capacity(order.len());
+    for (pos, &u) in order.iter().enumerate() {
+        let entity = &universe[u];
+        let mut attributes = Vec::with_capacity(schema.len());
+        for &attr in schema {
+            let is_focus = focus.contains(&attr);
+            // Focus attributes were chosen by the paper for their high
+            // coverage: they go missing five times less often.
+            let missing_rate = if is_focus {
+                noise.missing_value_rate * 0.2
+            } else {
+                noise.missing_value_rate
+            };
+            if rng.gen_bool(missing_rate.clamp(0.0, 1.0)) {
+                continue;
+            }
+            let canonical = match entity.get(attr) {
+                Some(v) => v.to_string(),
+                // Attributes outside the canonical core (wide movie schemas)
+                // carry per-entity filler that does not correlate across
+                // sources.
+                None => lex.phrase(rng, 1, 3),
+            };
+            let value = render_value(attr, &canonical, side, domain, noise, entity, rng);
+            if !value.is_empty() {
+                attributes.push((attr.to_string(), value));
+            }
+        }
+        profiles.push(EntityProfile::new(pos as u32, attributes));
+    }
+    EntityCollection {
+        profiles,
+        attribute_names: schema.iter().map(|s| s.to_string()).collect(),
+    }
+}
+
+/// Apply side-specific formatting and the noise profile to one value.
+fn render_value(
+    attr: &str,
+    canonical: &str,
+    side: Side,
+    domain: Domain,
+    noise: &NoiseProfile,
+    entity: &CanonicalEntity,
+    rng: &mut StdRng,
+) -> String {
+    let mut value = canonical.to_string();
+
+    // Per-side formatting conventions.
+    match (attr, side) {
+        ("authors", Side::Right) => {
+            // "First Last, First Last" → "Last, F. and Last, F."
+            value = value
+                .split(", ")
+                .map(|full| {
+                    let mut parts = full.split_whitespace();
+                    let first = parts.next().unwrap_or_default();
+                    let last = parts.next().unwrap_or_default();
+                    let initial = first.chars().next().unwrap_or('x');
+                    format!("{last}, {initial}.")
+                })
+                .collect::<Vec<_>>()
+                .join(" and ");
+        }
+        ("year", Side::Right) => {
+            value = format!("({value})");
+        }
+        ("phone", Side::Right) => {
+            value = format!("+1 {value}");
+        }
+        _ => {}
+    }
+
+    // Misplaced-value noise (bibliographic): the authors leak into the
+    // title on the right side.
+    if attr == "title"
+        && side == Side::Right
+        && domain == Domain::Bibliographic
+        && rng.gen_bool(noise.misplaced_value_rate)
+    {
+        if let Some(authors) = entity.get("authors") {
+            value = format!("{value} {authors}");
+        }
+    }
+
+    // Generic noise.
+    if rng.gen_bool(noise.token_drop_rate) {
+        value = drop_token(rng, &value);
+    }
+    if rng.gen_bool(noise.abbreviation_rate) {
+        value = abbreviate_token(rng, &value);
+    }
+    if rng.gen_bool(noise.typo_rate) {
+        value = apply_typo(rng, &value);
+    }
+    if rng.gen_bool(noise.extra_token_rate) {
+        value = format!("{value} {}", lex_filler(rng));
+    }
+    value
+}
+
+/// A tiny pool of spurious qualifier tokens (noise, not vocabulary).
+fn lex_filler(rng: &mut StdRng) -> &'static str {
+    const FILLERS: &[&str] = &[
+        "new", "pro", "deluxe", "edition", "pack", "set", "series", "vol", "plus", "original",
+    ];
+    FILLERS[rng.gen_range(0..FILLERS.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{DatasetId, DatasetSpec};
+
+    fn small(id: DatasetId) -> Dataset {
+        DatasetGenerator::new(DatasetSpec::of(id).scaled(0.05), 42).generate()
+    }
+
+    #[test]
+    fn sizes_match_spec() {
+        let d = small(DatasetId::D2);
+        assert_eq!(d.left.len() as u32, d.spec.n1);
+        assert_eq!(d.right.len() as u32, d.spec.n2);
+        assert_eq!(d.ground_truth.len() as u32, d.spec.duplicates);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = DatasetGenerator::new(DatasetSpec::of(DatasetId::D1).scaled(0.1), 7).generate();
+        let b = DatasetGenerator::new(DatasetSpec::of(DatasetId::D1).scaled(0.1), 7).generate();
+        assert_eq!(a.left.profiles, b.left.profiles);
+        assert_eq!(a.right.profiles, b.right.profiles);
+        assert_eq!(a.ground_truth.pairs(), b.ground_truth.pairs());
+        let c = DatasetGenerator::new(DatasetSpec::of(DatasetId::D1).scaled(0.1), 8).generate();
+        assert_ne!(a.left.profiles, c.left.profiles);
+    }
+
+    #[test]
+    fn ground_truth_is_one_to_one_and_in_bounds() {
+        let d = small(DatasetId::D3);
+        let mut lefts = er_core::FxHashSet::default();
+        let mut rights = er_core::FxHashSet::default();
+        for &(l, r) in d.ground_truth.pairs() {
+            assert!(l < d.spec.n1 && r < d.spec.n2);
+            assert!(lefts.insert(l), "duplicate left {l}");
+            assert!(rights.insert(r), "duplicate right {r}");
+        }
+    }
+
+    #[test]
+    fn matched_pairs_share_content() {
+        // A matched pair renders the same canonical entity, so its
+        // schema-agnostic texts overlap far more than random pairs.
+        use er_textsim_free::jaccard_tokens;
+        let d = small(DatasetId::D4);
+        let mut matched_sim = 0.0;
+        for &(l, r) in d.ground_truth.pairs() {
+            matched_sim += jaccard_tokens(
+                &d.left.profiles[l as usize].all_values_text(),
+                &d.right.profiles[r as usize].all_values_text(),
+            );
+        }
+        matched_sim /= d.ground_truth.len() as f64;
+
+        let mut random_sim = 0.0;
+        let n = d.ground_truth.len().min(50);
+        for i in 0..n {
+            let (l, _) = d.ground_truth.pairs()[i];
+            let r = (i * 7 + 3) as u32 % d.spec.n2;
+            if d.ground_truth.is_match(l, r) {
+                continue;
+            }
+            random_sim += jaccard_tokens(
+                &d.left.profiles[l as usize].all_values_text(),
+                &d.right.profiles[r as usize].all_values_text(),
+            );
+        }
+        random_sim /= n as f64;
+        assert!(
+            matched_sim > random_sim + 0.2,
+            "matched {matched_sim:.3} vs random {random_sim:.3}"
+        );
+    }
+
+    #[test]
+    fn collections_are_clean() {
+        // No two profiles within a collection share the same full text.
+        let d = small(DatasetId::D1);
+        for coll in [&d.left, &d.right] {
+            let mut seen = er_core::FxHashSet::default();
+            for p in &coll.profiles {
+                let text = p.all_values_text();
+                if text.is_empty() {
+                    continue;
+                }
+                assert!(seen.insert(text), "duplicate profile inside a collection");
+            }
+        }
+    }
+
+    #[test]
+    fn focus_attributes_have_high_coverage() {
+        let d = small(DatasetId::D5);
+        let focus = &d.spec.focus_attributes;
+        let coverage = |attr: &str| {
+            d.left
+                .profiles
+                .iter()
+                .filter(|p| p.value(attr).is_some())
+                .count() as f64
+                / d.left.len() as f64
+        };
+        for attr in focus {
+            assert!(
+                coverage(attr) > 0.8,
+                "focus attribute {attr} coverage too low"
+            );
+        }
+    }
+
+    #[test]
+    fn bibliographic_right_side_misplaces_values() {
+        let d = DatasetGenerator::new(DatasetSpec::of(DatasetId::D4).scaled(0.1), 3).generate();
+        // Some right-side titles must be longer than any left-side title of
+        // the same entity due to author leakage.
+        let mut leaks = 0;
+        for &(l, r) in d.ground_truth.pairs() {
+            let lt = d.left.profiles[l as usize].value("title").unwrap_or("");
+            let rt = d.right.profiles[r as usize].value("title").unwrap_or("");
+            if rt.split_whitespace().count() > lt.split_whitespace().count() + 2 {
+                leaks += 1;
+            }
+        }
+        assert!(leaks > 0, "misplaced-value noise must appear on D4");
+    }
+
+    /// Minimal token-Jaccard used only by tests (er-textsim is not a
+    /// dependency of er-datasets; this avoids a cycle).
+    mod er_textsim_free {
+        pub fn jaccard_tokens(a: &str, b: &str) -> f64 {
+            let sa: std::collections::HashSet<&str> =
+                a.split_whitespace().collect();
+            let sb: std::collections::HashSet<&str> =
+                b.split_whitespace().collect();
+            if sa.is_empty() && sb.is_empty() {
+                return 1.0;
+            }
+            let inter = sa.intersection(&sb).count();
+            inter as f64 / (sa.len() + sb.len() - inter) as f64
+        }
+    }
+}

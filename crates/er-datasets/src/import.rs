@@ -1,0 +1,280 @@
+//! Import real datasets from TSV files.
+//!
+//! The adoption path for users with actual benchmark data (e.g. the JedAI
+//! data repository the paper evaluates on): read two collection TSVs and
+//! a ground-truth TSV in the exact format [`export`](crate::export)
+//! writes, and run the full pipeline on them via
+//! `er_pipeline::build_graph_over`.
+//!
+//! Format:
+//!
+//! * collection — a header line `id <TAB> attr1 <TAB> attr2 …` followed
+//!   by one row per entity; entity ids must be the dense sequence
+//!   `0..n` in order (the row index), empty cells mean "attribute
+//!   absent";
+//! * ground truth — an optional `left_id <TAB> right_id` header followed
+//!   by one id pair per line.
+
+use std::io::{self, BufRead, BufReader};
+use std::path::Path;
+
+use er_core::GroundTruth;
+
+use crate::profile::{EntityCollection, EntityProfile};
+
+/// Errors raised while importing TSV data.
+#[derive(Debug)]
+pub enum ImportError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The input violates the expected format; the message names the line.
+    Format(String),
+}
+
+impl std::fmt::Display for ImportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImportError::Io(e) => write!(f, "i/o error: {e}"),
+            ImportError::Format(m) => write!(f, "format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ImportError {}
+
+impl From<io::Error> for ImportError {
+    fn from(e: io::Error) -> Self {
+        ImportError::Io(e)
+    }
+}
+
+/// A dataset read from TSV files: the importer's counterpart of
+/// [`Dataset`](crate::Dataset), without a generator spec.
+#[derive(Debug, Clone)]
+pub struct ImportedDataset {
+    /// A short name for reports (derived from the directory or label).
+    pub name: String,
+    /// The first clean collection `V1`.
+    pub left: EntityCollection,
+    /// The second clean collection `V2`.
+    pub right: EntityCollection,
+    /// Known duplicates.
+    pub ground_truth: GroundTruth,
+}
+
+/// Read one collection TSV (see the module docs for the format).
+pub fn read_collection<R: BufRead>(r: R) -> Result<EntityCollection, ImportError> {
+    let mut lines = r.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| ImportError::Format("empty file: missing header".into()))??;
+    let mut cols = header.split('\t');
+    let id_col = cols.next().unwrap_or_default();
+    if id_col != "id" {
+        return Err(ImportError::Format(format!(
+            "header must start with an 'id' column, found {id_col:?}"
+        )));
+    }
+    let attribute_names: Vec<String> = cols.map(str::to_string).collect();
+    if attribute_names.is_empty() {
+        return Err(ImportError::Format(
+            "header declares no attribute columns".into(),
+        ));
+    }
+
+    let mut profiles = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let mut cells = line.split('\t');
+        let id_cell = cells.next().unwrap_or_default();
+        let id: u32 = id_cell.parse().map_err(|_| {
+            ImportError::Format(format!("line {}: invalid id {id_cell:?}", lineno + 2))
+        })?;
+        if id as usize != profiles.len() {
+            return Err(ImportError::Format(format!(
+                "line {}: ids must be dense and in order (expected {}, found {id})",
+                lineno + 2,
+                profiles.len()
+            )));
+        }
+        let mut attributes = Vec::new();
+        for (a, v) in attribute_names.iter().zip(cells.by_ref()) {
+            if !v.is_empty() {
+                attributes.push((a.clone(), v.to_string()));
+            }
+        }
+        if cells.next().is_some() {
+            return Err(ImportError::Format(format!(
+                "line {}: more cells than header columns",
+                lineno + 2
+            )));
+        }
+        profiles.push(EntityProfile::new(id, attributes));
+    }
+    Ok(EntityCollection {
+        profiles,
+        attribute_names,
+    })
+}
+
+/// Read a ground-truth TSV of `left_id <TAB> right_id` pairs (an optional
+/// header line is skipped). Ids are validated against the collection sizes
+/// and the one-to-one constraint of clean collections.
+pub fn read_ground_truth<R: BufRead>(
+    r: R,
+    n_left: u32,
+    n_right: u32,
+) -> Result<GroundTruth, ImportError> {
+    let mut pairs = Vec::new();
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        if line.is_empty() || (lineno == 0 && line.starts_with("left_id")) {
+            continue;
+        }
+        let mut cells = line.split('\t');
+        let parse = |cell: Option<&str>| -> Result<u32, ImportError> {
+            cell.and_then(|c| c.parse().ok()).ok_or_else(|| {
+                ImportError::Format(format!("line {}: expected two numeric ids", lineno + 1))
+            })
+        };
+        let l = parse(cells.next())?;
+        let r_ = parse(cells.next())?;
+        if l >= n_left || r_ >= n_right {
+            return Err(ImportError::Format(format!(
+                "line {}: pair ({l}, {r_}) out of bounds for {n_left}x{n_right} collections",
+                lineno + 1
+            )));
+        }
+        pairs.push((l, r_));
+    }
+    let mut seen_l = er_core::FxHashSet::default();
+    let mut seen_r = er_core::FxHashSet::default();
+    for &(l, r_) in &pairs {
+        if !seen_l.insert(l) || !seen_r.insert(r_) {
+            return Err(ImportError::Format(format!(
+                "ground truth is not one-to-one at pair ({l}, {r_}) — \
+                 clean collections admit at most one match per entity"
+            )));
+        }
+    }
+    Ok(GroundTruth::new(pairs))
+}
+
+/// Import `<label>_left.tsv`, `<label>_right.tsv` and `<label>_truth.tsv`
+/// from a directory — the layout [`export_dataset`](crate::export::export_dataset) writes.
+pub fn import_dataset(dir: &Path, label: &str) -> Result<ImportedDataset, ImportError> {
+    let open = |suffix: &str| -> Result<BufReader<std::fs::File>, ImportError> {
+        let path = dir.join(format!("{label}_{suffix}.tsv"));
+        Ok(BufReader::new(std::fs::File::open(&path).map_err(|e| {
+            ImportError::Format(format!("cannot open {}: {e}", path.display()))
+        })?))
+    };
+    let left = read_collection(open("left")?)?;
+    let right = read_collection(open("right")?)?;
+    let ground_truth =
+        read_ground_truth(open("truth")?, left.len() as u32, right.len() as u32)?;
+    Ok(ImportedDataset {
+        name: label.to_string(),
+        left,
+        right,
+        ground_truth,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+    use crate::export;
+    use crate::spec::DatasetId;
+
+    #[test]
+    fn collection_round_trip() {
+        let d = Dataset::generate(DatasetId::D2, 0.03, 9);
+        let mut buf = Vec::new();
+        export::write_collection(&d.left, &mut buf).unwrap();
+        let back = read_collection(buf.as_slice()).unwrap();
+        assert_eq!(back.len(), d.left.len());
+        assert_eq!(back.attribute_names, d.left.attribute_names);
+        for (a, b) in d.left.profiles.iter().zip(&back.profiles) {
+            assert_eq!(a.id, b.id);
+            for attr in &d.left.attribute_names {
+                // Export sanitizes tabs/newlines; generated values have
+                // none, so values survive unchanged.
+                assert_eq!(a.value(attr), b.value(attr), "attribute {attr}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_dataset_round_trip() {
+        let d = Dataset::generate(DatasetId::D1, 0.05, 3);
+        let dir = std::env::temp_dir().join("ccer_import_test");
+        export::export_dataset(&d, &dir).unwrap();
+        let back = import_dataset(&dir, d.label()).unwrap();
+        assert_eq!(back.name, "D1");
+        assert_eq!(back.left.len(), d.left.len());
+        assert_eq!(back.right.len(), d.right.len());
+        assert_eq!(back.ground_truth.pairs(), d.ground_truth.pairs());
+    }
+
+    #[test]
+    fn header_violations_are_rejected() {
+        assert!(matches!(
+            read_collection("nope\tname\n".as_bytes()),
+            Err(ImportError::Format(_))
+        ));
+        assert!(matches!(
+            read_collection("id\n".as_bytes()),
+            Err(ImportError::Format(m)) if m.contains("no attribute columns")
+        ));
+        assert!(matches!(
+            read_collection("".as_bytes()),
+            Err(ImportError::Format(m)) if m.contains("missing header")
+        ));
+    }
+
+    #[test]
+    fn row_violations_are_rejected() {
+        // Non-numeric id.
+        let r = read_collection("id\tname\nx\tfoo\n".as_bytes());
+        assert!(matches!(r, Err(ImportError::Format(m)) if m.contains("invalid id")));
+        // Non-dense ids.
+        let r = read_collection("id\tname\n1\tfoo\n".as_bytes());
+        assert!(matches!(r, Err(ImportError::Format(m)) if m.contains("dense")));
+        // Too many cells.
+        let r = read_collection("id\tname\n0\tfoo\tbar\n".as_bytes());
+        assert!(matches!(r, Err(ImportError::Format(m)) if m.contains("more cells")));
+        // Empty cells are absent attributes, not errors.
+        let c = read_collection("id\tname\tphone\n0\t\t555\n".as_bytes()).unwrap();
+        assert_eq!(c.profiles[0].value("name"), None);
+        assert_eq!(c.profiles[0].value("phone"), Some("555"));
+        // Missing trailing cells are also absent attributes.
+        let c = read_collection("id\tname\tphone\n0\tfoo\n".as_bytes()).unwrap();
+        assert_eq!(c.profiles[0].value("phone"), None);
+    }
+
+    #[test]
+    fn ground_truth_validation() {
+        let ok = read_ground_truth("left_id\tright_id\n0\t1\n1\t0\n".as_bytes(), 2, 2).unwrap();
+        assert_eq!(ok.pairs(), &[(0, 1), (1, 0)]);
+        // Out of bounds.
+        let r = read_ground_truth("0\t5\n".as_bytes(), 2, 2);
+        assert!(matches!(r, Err(ImportError::Format(m)) if m.contains("out of bounds")));
+        // Not one-to-one.
+        let r = read_ground_truth("0\t0\n0\t1\n".as_bytes(), 2, 2);
+        assert!(matches!(r, Err(ImportError::Format(m)) if m.contains("one-to-one")));
+        // Garbage line.
+        let r = read_ground_truth("0\n".as_bytes(), 2, 2);
+        assert!(matches!(r, Err(ImportError::Format(m)) if m.contains("two numeric ids")));
+    }
+
+    #[test]
+    fn missing_files_surface_cleanly() {
+        let r = import_dataset(Path::new("/nonexistent"), "D1");
+        assert!(matches!(r, Err(ImportError::Format(m)) if m.contains("cannot open")));
+    }
+}

@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! # er-datasets — synthetic Clean-Clean ER datasets
+//!
+//! The paper evaluates on ten real-world CCER datasets (Table 2) from the
+//! JedAI data repository. Those files are not available offline, so this
+//! crate generates **synthetic analogues that reproduce every structural
+//! characteristic the paper's analysis conditions on** (DESIGN.md §3,
+//! substitution 1):
+//!
+//! * collection sizes `|V1|, |V2|`, number of duplicates, attribute schemas
+//!   and average name-value pairs per profile (Table 2);
+//! * the category split the paper uses for Table 5 — *balanced* (D2, D4,
+//!   D10), *one-sided* (D3, D9), *scarce* (D1, D5–D8);
+//! * domain vocabulary (restaurants / products / bibliographic / movies)
+//!   and per-domain noise forms the paper cites when explaining results:
+//!   typos, missing values, **misplaced attribute values** (bibliographic
+//!   D4/D9), limited vocabulary, format variation.
+//!
+//! Every generator is fully deterministic given a seed, and every dataset
+//! can be scaled down (`DatasetSpec::scaled`) so the complete reproduction
+//! suite runs on a laptop; the harness prints the effective sizes.
+//!
+//! Users with *real* data load it through the [`import`] module (the TSV
+//! format [`export`] writes) and run the pipeline via
+//! `er_pipeline::build_graph_over`.
+
+pub mod dataset;
+pub mod export;
+pub mod generator;
+pub mod import;
+pub mod noise;
+pub mod profile;
+pub mod spec;
+pub mod stats;
+pub mod vocab;
+
+pub use dataset::Dataset;
+pub use generator::DatasetGenerator;
+pub use import::{import_dataset, ImportedDataset};
+pub use noise::NoiseProfile;
+pub use profile::{EntityCollection, EntityProfile};
+pub use spec::{Category, DatasetId, DatasetSpec, Domain};
+pub use stats::DatasetStats;

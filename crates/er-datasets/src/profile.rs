@@ -1,0 +1,147 @@
+//! Entity profiles and collections.
+//!
+//! An entity profile is "the description of a real-world object, provided
+//! as a set of attribute-value pairs" (§2). A collection is an ordered list
+//! of profiles; profile ids are their dense indices.
+
+use serde::{Deserialize, Serialize};
+
+/// One entity: a bag of attribute name → value pairs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EntityProfile {
+    /// Dense id within its collection.
+    pub id: u32,
+    /// Attribute name-value pairs (missing attributes are simply absent).
+    pub attributes: Vec<(String, String)>,
+}
+
+impl EntityProfile {
+    /// Create a profile.
+    pub fn new(id: u32, attributes: Vec<(String, String)>) -> Self {
+        EntityProfile { id, attributes }
+    }
+
+    /// Value of a named attribute, if present and non-empty.
+    pub fn value(&self, attribute: &str) -> Option<&str> {
+        self.attributes
+            .iter()
+            .find(|(a, v)| a == attribute && !v.is_empty())
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All values concatenated — the schema-agnostic view of the entity.
+    pub fn all_values_text(&self) -> String {
+        let mut out = String::new();
+        for (_, v) in &self.attributes {
+            if v.is_empty() {
+                continue;
+            }
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            out.push_str(v);
+        }
+        out
+    }
+
+    /// All non-empty values as a list (for n-gram graph models, which merge
+    /// per-value graphs).
+    pub fn values(&self) -> impl Iterator<Item = &str> {
+        self.attributes
+            .iter()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Number of (non-empty) name-value pairs.
+    pub fn n_pairs(&self) -> usize {
+        self.attributes.iter().filter(|(_, v)| !v.is_empty()).count()
+    }
+}
+
+/// A clean (duplicate-free) entity collection.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EntityCollection {
+    /// Profiles, indexed by id.
+    pub profiles: Vec<EntityProfile>,
+    /// The schema: all attribute names that may appear.
+    pub attribute_names: Vec<String>,
+}
+
+impl EntityCollection {
+    /// Number of entities.
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Whether the collection is empty.
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    /// Total number of non-empty name-value pairs (Table 2's `NVP`).
+    pub fn total_pairs(&self) -> usize {
+        self.profiles.iter().map(|p| p.n_pairs()).sum()
+    }
+
+    /// Average name-value pairs per profile (Table 2's `|p̄|`).
+    pub fn avg_pairs(&self) -> f64 {
+        if self.profiles.is_empty() {
+            0.0
+        } else {
+            self.total_pairs() as f64 / self.profiles.len() as f64
+        }
+    }
+
+    /// Number of attributes in the schema (Table 2's `|A|`).
+    pub fn n_attributes(&self) -> usize {
+        self.attribute_names.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EntityProfile {
+        EntityProfile::new(
+            3,
+            vec![
+                ("name".into(), "Blue Fig".into()),
+                ("phone".into(), "555-0192".into()),
+                ("city".into(), String::new()),
+            ],
+        )
+    }
+
+    #[test]
+    fn value_lookup_skips_empty() {
+        let p = sample();
+        assert_eq!(p.value("name"), Some("Blue Fig"));
+        assert_eq!(p.value("city"), None, "empty value counts as missing");
+        assert_eq!(p.value("unknown"), None);
+    }
+
+    #[test]
+    fn schema_agnostic_text_concatenates() {
+        let p = sample();
+        assert_eq!(p.all_values_text(), "Blue Fig 555-0192");
+        assert_eq!(p.values().count(), 2);
+        assert_eq!(p.n_pairs(), 2);
+    }
+
+    #[test]
+    fn collection_statistics() {
+        let c = EntityCollection {
+            profiles: vec![
+                sample(),
+                EntityProfile::new(1, vec![("name".into(), "Casa Roja".into())]),
+            ],
+            attribute_names: vec!["name".into(), "phone".into(), "city".into()],
+        };
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.total_pairs(), 3);
+        assert!((c.avg_pairs() - 1.5).abs() < 1e-12);
+        assert_eq!(c.n_attributes(), 3);
+    }
+}

@@ -1,0 +1,66 @@
+//! Per-dataset statistics — the generated analogue of Table 2.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Dataset;
+
+/// One row of Table 2, computed from a generated dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Dataset label.
+    pub label: String,
+    /// Source names.
+    pub sources: (String, String),
+    /// `|V1|`.
+    pub n1: usize,
+    /// `|V2|`.
+    pub n2: usize,
+    /// Total name-value pairs of each side.
+    pub nvp: (usize, usize),
+    /// Schema sizes.
+    pub n_attributes: (usize, usize),
+    /// Average name-value pairs per profile.
+    pub avg_pairs: (f64, f64),
+    /// Ground-truth duplicates.
+    pub duplicates: usize,
+    /// Brute-force comparisons `||V1 × V2||`.
+    pub cartesian: u64,
+}
+
+impl DatasetStats {
+    /// Compute statistics of a generated dataset.
+    pub fn of(d: &Dataset) -> DatasetStats {
+        DatasetStats {
+            label: d.label().to_string(),
+            sources: (
+                d.spec.source_names.0.to_string(),
+                d.spec.source_names.1.to_string(),
+            ),
+            n1: d.left.len(),
+            n2: d.right.len(),
+            nvp: (d.left.total_pairs(), d.right.total_pairs()),
+            n_attributes: (d.left.n_attributes(), d.right.n_attributes()),
+            avg_pairs: (d.left.avg_pairs(), d.right.avg_pairs()),
+            duplicates: d.ground_truth.len(),
+            cartesian: d.left.len() as u64 * d.right.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DatasetId;
+
+    #[test]
+    fn stats_reflect_generated_content() {
+        let d = Dataset::generate(DatasetId::D1, 0.1, 5);
+        let s = DatasetStats::of(&d);
+        assert_eq!(s.label, "D1");
+        assert_eq!(s.n1, d.left.len());
+        assert_eq!(s.cartesian, (s.n1 * s.n2) as u64);
+        assert!(s.avg_pairs.0 > 1.0, "profiles carry several pairs");
+        assert!(s.nvp.0 >= s.n1, "at least ~1 pair per profile");
+        assert_eq!(s.n_attributes, (7, 7));
+    }
+}

@@ -1,0 +1,72 @@
+//! Property tests for the dataset generators: structural invariants must
+//! hold for every dataset, scale and seed.
+
+use er_datasets::{Dataset, DatasetId, DatasetSpec};
+use proptest::prelude::*;
+
+fn arb_dataset_id() -> impl Strategy<Value = DatasetId> {
+    proptest::sample::select(DatasetId::ALL.to_vec())
+}
+
+proptest! {
+    // Generation is the expensive part; keep case counts moderate.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sizes_and_ground_truth_match_spec(
+        id in arb_dataset_id(),
+        scale in 0.005f64..0.03,
+        seed in 0u64..1000,
+    ) {
+        let d = Dataset::generate(id, scale, seed);
+        prop_assert_eq!(d.left.len() as u32, d.spec.n1);
+        prop_assert_eq!(d.right.len() as u32, d.spec.n2);
+        prop_assert_eq!(d.ground_truth.len() as u32, d.spec.duplicates);
+        // Ground truth ids in bounds and one-to-one.
+        let mut ls = std::collections::HashSet::new();
+        let mut rs = std::collections::HashSet::new();
+        for &(l, r) in d.ground_truth.pairs() {
+            prop_assert!(l < d.spec.n1);
+            prop_assert!(r < d.spec.n2);
+            prop_assert!(ls.insert(l));
+            prop_assert!(rs.insert(r));
+        }
+    }
+
+    #[test]
+    fn profiles_have_dense_ids_and_schema_attributes(
+        id in arb_dataset_id(),
+        seed in 0u64..100,
+    ) {
+        let d = Dataset::generate(id, 0.01, seed);
+        for (i, p) in d.left.profiles.iter().enumerate() {
+            prop_assert_eq!(p.id as usize, i, "ids are dense positions");
+            for (attr, _) in &p.attributes {
+                prop_assert!(
+                    d.left.attribute_names.contains(attr),
+                    "attribute {} outside schema",
+                    attr
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scaling_is_monotone(id in arb_dataset_id(), seed in 0u64..50) {
+        let small = DatasetSpec::of(id).scaled(0.01);
+        let large = DatasetSpec::of(id).scaled(0.02);
+        prop_assert!(small.n1 <= large.n1);
+        prop_assert!(small.n2 <= large.n2);
+        prop_assert!(small.duplicates <= large.duplicates);
+        let _ = seed;
+    }
+
+    #[test]
+    fn determinism_per_seed(id in arb_dataset_id(), seed in 0u64..100) {
+        let a = Dataset::generate(id, 0.01, seed);
+        let b = Dataset::generate(id, 0.01, seed);
+        prop_assert_eq!(a.left.profiles, b.left.profiles);
+        prop_assert_eq!(a.right.profiles, b.right.profiles);
+        prop_assert_eq!(a.ground_truth.pairs(), b.ground_truth.pairs());
+    }
+}

@@ -1,0 +1,216 @@
+//! Center and Merge-Center clustering (Hassanzadeh et al., VLDB 2009).
+//!
+//! Both scan the retained edges in descending weight order and grow
+//! star-shaped clusters around *center* nodes:
+//!
+//! * **Center**: the first endpoint of the heaviest edge touching two
+//!   unassigned nodes becomes a center; later edges attach unassigned
+//!   nodes to adjacent centers. Edges between two assigned nodes, or
+//!   between an unassigned node and a non-center member, are skipped.
+//! * **Merge-Center**: identical scan, but an edge that connects a node of
+//!   one cluster to the *center* of another merges the two clusters,
+//!   trading Center's high precision for recall.
+//!
+//! These are the Dirty ER ancestors of the paper's `RSR` (which adapts the
+//! same framework's Ricochet family to bipartite graphs). Both run in
+//! `O(m log m)` — the sort dominates.
+
+use er_core::UnionFind;
+
+use crate::graph::{DirtyEdge, DirtyGraph};
+use crate::partition::Partition;
+
+/// Per-node state during the scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Unassigned,
+    Center,
+    Member,
+}
+
+/// Retained edges in descending weight order with deterministic
+/// tie-breaking (lower `(a, b)` first).
+fn sorted_edges(g: &DirtyGraph, t: f64) -> Vec<DirtyEdge> {
+    let mut edges: Vec<DirtyEdge> = g.edges().iter().copied().filter(|e| e.weight >= t).collect();
+    edges.sort_unstable_by(|x, y| {
+        y.weight
+            .total_cmp(&x.weight)
+            .then_with(|| x.a.cmp(&y.a))
+            .then_with(|| x.b.cmp(&y.b))
+    });
+    edges
+}
+
+/// Center clustering: star clusters around greedily chosen centers.
+pub fn center_clustering(g: &DirtyGraph, t: f64) -> Partition {
+    let n = g.n_nodes() as usize;
+    let mut state = vec![State::Unassigned; n];
+    let mut cluster = vec![u32::MAX; n];
+    let mut next = 0u32;
+
+    for e in sorted_edges(g, t) {
+        let (a, b) = (e.a as usize, e.b as usize);
+        match (state[a], state[b]) {
+            (State::Unassigned, State::Unassigned) => {
+                // The lower-id endpoint of the heaviest edge becomes the
+                // center; the other joins its star.
+                state[a] = State::Center;
+                state[b] = State::Member;
+                cluster[a] = next;
+                cluster[b] = next;
+                next += 1;
+            }
+            (State::Center, State::Unassigned) => {
+                state[b] = State::Member;
+                cluster[b] = cluster[a];
+            }
+            (State::Unassigned, State::Center) => {
+                state[a] = State::Member;
+                cluster[a] = cluster[b];
+            }
+            // Member-unassigned, member-member, center-center,
+            // center-member: skipped — stars never chain.
+            _ => {}
+        }
+    }
+
+    for c in &mut cluster {
+        if *c == u32::MAX {
+            *c = next;
+            next += 1;
+        }
+    }
+    Partition::from_assignments(&cluster)
+}
+
+/// Merge-Center clustering: like Center, but clusters merge when an edge
+/// reaches another cluster's center.
+pub fn merge_center_clustering(g: &DirtyGraph, t: f64) -> Partition {
+    let n = g.n_nodes() as usize;
+    let mut state = vec![State::Unassigned; n];
+    // Union-find over *nodes*; a cluster is the set of nodes merged with
+    // its center(s).
+    let mut uf = UnionFind::new(n);
+
+    for e in sorted_edges(g, t) {
+        let (a, b) = (e.a as usize, e.b as usize);
+        match (state[a], state[b]) {
+            (State::Unassigned, State::Unassigned) => {
+                state[a] = State::Center;
+                state[b] = State::Member;
+                uf.union(e.a, e.b);
+            }
+            (State::Center, State::Unassigned) => {
+                state[b] = State::Member;
+                uf.union(e.a, e.b);
+            }
+            (State::Unassigned, State::Center) => {
+                state[a] = State::Member;
+                uf.union(e.a, e.b);
+            }
+            // An edge into a center from any *assigned* node merges the
+            // two clusters (this is the one rule Merge-Center adds).
+            (State::Center, State::Member)
+            | (State::Member, State::Center)
+            | (State::Center, State::Center) => {
+                uf.union(e.a, e.b);
+            }
+            _ => {}
+        }
+    }
+
+    let raw: Vec<u32> = (0..g.n_nodes()).map(|v| uf.find(v)).collect();
+    Partition::from_assignments(&raw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DirtyGraphBuilder;
+
+    /// A chain 0-1-2 with strong edges: Center splits it (stars do not
+    /// chain), Merge-Center may merge through the shared center.
+    fn chain() -> DirtyGraph {
+        let mut b = DirtyGraphBuilder::new(3);
+        b.add_edge(0, 1, 0.9).unwrap();
+        b.add_edge(1, 2, 0.8).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn center_stars_do_not_chain() {
+        let p = center_clustering(&chain(), 0.5);
+        // Edge (0,1): 0 center, 1 member. Edge (1,2): 1 is a member →
+        // skipped, 2 stays singleton.
+        assert!(p.same_cluster(0, 1));
+        assert!(!p.same_cluster(1, 2));
+        assert_eq!(p.n_clusters(), 2);
+    }
+
+    #[test]
+    fn merge_center_merges_through_centers() {
+        // Two stars {0 ← 1} and {2 ← 3}; the late member-to-center edge
+        // (1, 2) merges them under Merge-Center but not under Center.
+        let mut b = DirtyGraphBuilder::new(4);
+        b.add_edge(0, 1, 0.9).unwrap();
+        b.add_edge(2, 3, 0.85).unwrap();
+        b.add_edge(1, 2, 0.5).unwrap();
+        let g = b.build();
+        let m = merge_center_clustering(&g, 0.0);
+        assert!(m.same_cluster(0, 1));
+        assert!(m.same_cluster(2, 3));
+        assert!(m.same_cluster(1, 2), "member-to-center contact merges");
+        assert_eq!(m.n_clusters(), 1);
+        let c = center_clustering(&g, 0.0);
+        assert!(!c.same_cluster(1, 2), "Center never merges stars");
+        assert_eq!(c.n_clusters(), 2);
+    }
+
+    #[test]
+    fn center_prefers_heaviest_edges() {
+        // 1-2 is the heaviest edge, so 1 centers {1,2}; 0 then attaches to
+        // nobody (its only edge reaches member 2? no — center 1).
+        let mut b = DirtyGraphBuilder::new(3);
+        b.add_edge(1, 2, 0.9).unwrap();
+        b.add_edge(0, 1, 0.8).unwrap();
+        let p = center_clustering(&b.build(), 0.0);
+        assert!(p.same_cluster(1, 2));
+        assert!(p.same_cluster(0, 1), "0 attaches to center 1");
+        assert_eq!(p.n_clusters(), 1);
+    }
+
+    #[test]
+    fn both_respect_threshold() {
+        let mut b = DirtyGraphBuilder::new(2);
+        b.add_edge(0, 1, 0.4).unwrap();
+        let g = b.build();
+        assert_eq!(center_clustering(&g, 0.5).n_clusters(), 2);
+        assert_eq!(merge_center_clustering(&g, 0.5).n_clusters(), 2);
+        assert_eq!(center_clustering(&g, 0.4).n_clusters(), 1);
+    }
+
+    #[test]
+    fn deterministic_under_ties() {
+        let mut b = DirtyGraphBuilder::new(4);
+        b.add_edge(0, 1, 0.5).unwrap();
+        b.add_edge(2, 3, 0.5).unwrap();
+        b.add_edge(1, 2, 0.5).unwrap();
+        let g = b.build();
+        let p1 = center_clustering(&g, 0.0);
+        let p2 = center_clustering(&g, 0.0);
+        assert_eq!(p1, p2);
+        // Tie-break order: (0,1) first → 0 centers {0,1}; then (1,2):
+        // member-unassigned, skipped; then (2,3): 2 centers {2,3}.
+        assert!(p1.same_cluster(0, 1));
+        assert!(p1.same_cluster(2, 3));
+        assert!(!p1.same_cluster(1, 2));
+    }
+
+    #[test]
+    fn merge_center_is_at_least_as_coarse_as_center() {
+        let g = chain();
+        let c = center_clustering(&g, 0.0);
+        let m = merge_center_clustering(&g, 0.0);
+        assert!(m.n_clusters() <= c.n_clusters());
+    }
+}

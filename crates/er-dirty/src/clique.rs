@@ -1,0 +1,271 @@
+//! Maximum Clique and Extended Maximum Clique clustering.
+//!
+//! From the paper's related work on recent Dirty ER methods:
+//!
+//! * **Maximum Clique Clustering (MCC)** "ignores edge weights and
+//!   iteratively removes the maximum clique along with its vertices until
+//!   all nodes have been assigned to an equivalence cluster."
+//! * **Extended Maximum Clique Clustering (EMCC)** "generalizes this
+//!   approach … removes maximal cliques from the similarity graph and
+//!   enlarges them by adding \[vertices\] that are incident to a minimum
+//!   portion of their nodes."
+//!
+//! Maximum clique is NP-hard in general; we use a Bron–Kerbosch search
+//! with pivoting, which is exact and fast on the sparse, small-clique
+//! graphs ER produces (cliques are bounded by duplicate-group sizes). The
+//! iteration removes one cluster per round, so the overall cost is
+//! `O(rounds · BK)`; callers control the worst case through the
+//! similarity threshold.
+
+use er_core::FxHashSet;
+
+use crate::graph::DirtyGraph;
+use crate::partition::Partition;
+
+/// Cluster by iteratively extracting the maximum clique (ties: the
+/// lexicographically smallest vertex set).
+pub fn maximum_clique_clustering(g: &DirtyGraph, t: f64) -> Partition {
+    clique_clustering(g, t, None)
+}
+
+/// Extended variant: each extracted maximum clique `C` is enlarged with
+/// every remaining vertex adjacent to at least `min_portion · |C|` of its
+/// members (computed against the original clique, then removed together).
+///
+/// `min_portion` is clamped to `(0, 1]`; `1.0` degenerates to [`maximum_clique_clustering`]
+/// on clique-closed neighborhoods.
+pub fn extended_maximum_clique_clustering(g: &DirtyGraph, t: f64, min_portion: f64) -> Partition {
+    let p = min_portion.clamp(f64::MIN_POSITIVE, 1.0);
+    clique_clustering(g, t, Some(p))
+}
+
+fn clique_clustering(g: &DirtyGraph, t: f64, extend_portion: Option<f64>) -> Partition {
+    let n = g.n_nodes() as usize;
+    let mut adj: Vec<FxHashSet<u32>> = vec![FxHashSet::default(); n];
+    for e in g.edges() {
+        if e.weight >= t {
+            adj[e.a as usize].insert(e.b);
+            adj[e.b as usize].insert(e.a);
+        }
+    }
+
+    let mut alive: Vec<bool> = (0..n).map(|v| !adj[v].is_empty()).collect();
+    let mut clusters: Vec<Vec<u32>> = Vec::new();
+
+    loop {
+        let clique = max_clique(&adj, &alive);
+        if clique.len() < 2 {
+            break;
+        }
+        let mut cluster = clique.clone();
+        if let Some(portion) = extend_portion {
+            let need = (portion * clique.len() as f64).ceil() as usize;
+            let members: FxHashSet<u32> = clique.iter().copied().collect();
+            let mut extension: Vec<u32> = (0..n as u32)
+                .filter(|&v| alive[v as usize] && !members.contains(&v))
+                .filter(|&v| {
+                    let hits = adj[v as usize].iter().filter(|u| members.contains(u)).count();
+                    hits >= need.max(1)
+                })
+                .collect();
+            cluster.append(&mut extension);
+        }
+        for &v in &cluster {
+            alive[v as usize] = false;
+        }
+        cluster.sort_unstable();
+        clusters.push(cluster);
+    }
+
+    Partition::from_clusters(&clusters, g.n_nodes())
+}
+
+/// Exact maximum clique over the `alive` vertices (Bron–Kerbosch with
+/// pivoting, tracking the best clique). Ties prefer the clique found
+/// first under ascending-id expansion, making the result deterministic.
+fn max_clique(adj: &[FxHashSet<u32>], alive: &[bool]) -> Vec<u32> {
+    let candidates: Vec<u32> = (0..adj.len() as u32).filter(|&v| alive[v as usize]).collect();
+    let mut best: Vec<u32> = Vec::new();
+    let mut current: Vec<u32> = Vec::new();
+    let alive_neighbors = |v: u32| -> Vec<u32> {
+        let mut ns: Vec<u32> = adj[v as usize]
+            .iter()
+            .copied()
+            .filter(|&u| alive[u as usize])
+            .collect();
+        ns.sort_unstable();
+        ns
+    };
+    bron_kerbosch(
+        &|v| alive_neighbors(v),
+        &mut current,
+        candidates,
+        Vec::new(),
+        &mut best,
+    );
+    best
+}
+
+fn bron_kerbosch(
+    neighbors: &dyn Fn(u32) -> Vec<u32>,
+    current: &mut Vec<u32>,
+    mut p: Vec<u32>,
+    mut x: Vec<u32>,
+    best: &mut Vec<u32>,
+) {
+    if p.is_empty() && x.is_empty() {
+        if current.len() > best.len() {
+            *best = current.clone();
+        }
+        return;
+    }
+    // Bound: even taking all of P cannot beat the best found.
+    if current.len() + p.len() <= best.len() {
+        return;
+    }
+    // Pivot: the vertex of P ∪ X with the most neighbors in P.
+    let pivot = p
+        .iter()
+        .chain(x.iter())
+        .copied()
+        .max_by_key(|&u| {
+            let ns = neighbors(u);
+            p.iter().filter(|v| ns.binary_search(v).is_ok()).count()
+        })
+        .expect("P ∪ X non-empty");
+    let pivot_ns = neighbors(pivot);
+    let expand: Vec<u32> = p
+        .iter()
+        .copied()
+        .filter(|v| pivot_ns.binary_search(v).is_err())
+        .collect();
+
+    for v in expand {
+        let ns = neighbors(v);
+        let p2: Vec<u32> = p
+            .iter()
+            .copied()
+            .filter(|u| ns.binary_search(u).is_ok())
+            .collect();
+        let x2: Vec<u32> = x
+            .iter()
+            .copied()
+            .filter(|u| ns.binary_search(u).is_ok())
+            .collect();
+        current.push(v);
+        bron_kerbosch(neighbors, current, p2, x2, best);
+        current.pop();
+        p.retain(|&u| u != v);
+        x.push(v);
+        x.sort_unstable();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DirtyGraphBuilder;
+
+    fn graph(n: u32, edges: &[(u32, u32)]) -> DirtyGraph {
+        let mut b = DirtyGraphBuilder::new(n);
+        for &(u, v) in edges {
+            b.add_edge(u, v, 0.9).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn extracts_the_triangle_before_the_edge() {
+        // Triangle {0,1,2} plus edge {3,4}.
+        let g = graph(5, &[(0, 1), (0, 2), (1, 2), (3, 4)]);
+        let p = maximum_clique_clustering(&g, 0.5);
+        assert!(p.same_cluster(0, 1) && p.same_cluster(1, 2));
+        assert!(p.same_cluster(3, 4));
+        assert!(!p.same_cluster(0, 3));
+        assert_eq!(p.n_clusters(), 2);
+    }
+
+    #[test]
+    fn clique_extraction_splits_overlaps() {
+        // K4 {0,1,2,3} sharing node 3 with triangle {3,4,5}: MCC takes the
+        // K4 first, leaving only edge (4,5).
+        let g = graph(
+            6,
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (3, 5),
+                (4, 5),
+            ],
+        );
+        let p = maximum_clique_clustering(&g, 0.5);
+        assert_eq!(p.max_cluster_size(), 4);
+        assert!(p.same_cluster(4, 5));
+        assert!(!p.same_cluster(3, 4), "3 left with the K4");
+    }
+
+    #[test]
+    fn weights_are_ignored_above_threshold() {
+        let mut b = DirtyGraphBuilder::new(3);
+        b.add_edge(0, 1, 0.5).unwrap();
+        b.add_edge(1, 2, 0.99).unwrap();
+        b.add_edge(0, 2, 0.5).unwrap();
+        let p = maximum_clique_clustering(&b.build(), 0.5);
+        assert_eq!(p.n_clusters(), 1, "the triangle wins regardless of weights");
+    }
+
+    #[test]
+    fn emcc_extends_with_well_attached_vertices() {
+        // Triangle {0,1,2}; vertex 3 adjacent to two of its members.
+        let g = graph(4, &[(0, 1), (0, 2), (1, 2), (3, 0), (3, 1)]);
+        // Portion 0.5: 3 needs ≥ 2 of 3 members (ceil(1.5)=2) → included.
+        let p = extended_maximum_clique_clustering(&g, 0.5, 0.5);
+        assert_eq!(p.n_clusters(), 1);
+        assert!(p.same_cluster(0, 3));
+        // Portion 1.0: 3 needs all 3 members → excluded.
+        let p = extended_maximum_clique_clustering(&g, 0.5, 1.0);
+        assert!(!p.same_cluster(0, 3));
+        assert_eq!(p.max_cluster_size(), 3);
+    }
+
+    #[test]
+    fn emcc_with_tiny_portion_extends_with_any_neighbor() {
+        let g = graph(4, &[(0, 1), (0, 2), (1, 2), (3, 2)]);
+        let p = extended_maximum_clique_clustering(&g, 0.5, 1e-9);
+        assert_eq!(p.n_clusters(), 1, "one shared edge suffices at ε→0");
+    }
+
+    #[test]
+    fn isolated_nodes_stay_singletons() {
+        let g = graph(4, &[(0, 1)]);
+        let p = maximum_clique_clustering(&g, 0.5);
+        assert_eq!(p.n_clusters(), 3);
+        assert!(!p.same_cluster(2, 3));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DirtyGraphBuilder::new(3).build();
+        assert_eq!(maximum_clique_clustering(&g, 0.0), Partition::singletons(3));
+        assert_eq!(
+            extended_maximum_clique_clustering(&g, 0.0, 0.5),
+            Partition::singletons(3)
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let g = graph(
+            7,
+            &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3), (6, 0)],
+        );
+        let a = maximum_clique_clustering(&g, 0.0);
+        let b = maximum_clique_clustering(&g, 0.0);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,80 @@
+//! Connected-components clustering for Dirty ER.
+//!
+//! The transitive-closure baseline of Hassanzadeh et al.'s evaluation
+//! framework: retain edges with `weight >= t` and emit each connected
+//! component as one cluster. Unlike the CCER `CNC`, components of *any*
+//! size are kept — a dirty collection may hold many duplicates of the same
+//! real-world entity.
+
+use er_core::UnionFind;
+
+use crate::graph::DirtyGraph;
+use crate::partition::Partition;
+
+/// Cluster a dirty similarity graph into its connected components over
+/// edges with `weight >= t`. Runs in `O(n + m α(n))`.
+pub fn connected_components(g: &DirtyGraph, t: f64) -> Partition {
+    let n = g.n_nodes();
+    let mut uf = UnionFind::new(n as usize);
+    for e in g.edges() {
+        if e.weight >= t {
+            uf.union(e.a, e.b);
+        }
+    }
+    let raw: Vec<u32> = (0..n).map(|v| uf.find(v)).collect();
+    Partition::from_assignments(&raw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DirtyGraphBuilder;
+
+    fn path_graph(weights: &[f64]) -> DirtyGraph {
+        let mut b = DirtyGraphBuilder::new(weights.len() as u32 + 1);
+        for (i, &w) in weights.iter().enumerate() {
+            b.add_edge(i as u32, i as u32 + 1, w).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn components_respect_threshold() {
+        // 0-1 (0.9), 1-2 (0.3), 2-3 (0.8): at t=0.5 the middle edge breaks.
+        let g = path_graph(&[0.9, 0.3, 0.8]);
+        let p = connected_components(&g, 0.5);
+        assert_eq!(p.n_clusters(), 2);
+        assert!(p.same_cluster(0, 1));
+        assert!(p.same_cluster(2, 3));
+        assert!(!p.same_cluster(1, 2));
+    }
+
+    #[test]
+    fn threshold_is_inclusive() {
+        let g = path_graph(&[0.5]);
+        assert_eq!(connected_components(&g, 0.5).n_clusters(), 1);
+        assert_eq!(connected_components(&g, 0.5 + 1e-9).n_clusters(), 2);
+    }
+
+    #[test]
+    fn empty_graph_gives_singletons() {
+        let g = DirtyGraphBuilder::new(3).build();
+        let p = connected_components(&g, 0.0);
+        assert_eq!(p.n_clusters(), 3);
+        assert_eq!(p.n_intra_pairs(), 0);
+    }
+
+    #[test]
+    fn large_component_is_kept_whole() {
+        // A triangle plus a pendant: all one cluster at t=0 — Dirty ER
+        // keeps components of any size.
+        let mut b = DirtyGraphBuilder::new(4);
+        b.add_edge(0, 1, 0.9).unwrap();
+        b.add_edge(1, 2, 0.9).unwrap();
+        b.add_edge(0, 2, 0.9).unwrap();
+        b.add_edge(2, 3, 0.6).unwrap();
+        let p = connected_components(&b.build(), 0.5);
+        assert_eq!(p.n_clusters(), 1);
+        assert_eq!(p.max_cluster_size(), 4);
+    }
+}

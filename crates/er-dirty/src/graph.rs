@@ -1,0 +1,288 @@
+//! The unipartite similarity graph of Dirty ER.
+//!
+//! Unlike the bipartite [`SimilarityGraph`](er_core::SimilarityGraph) of
+//! CCER, a dirty collection may contain duplicates *within itself*, so the
+//! similarity graph is a general undirected weighted graph over a single
+//! node set. Edges are stored canonically with `a < b`.
+
+use serde::{Deserialize, Serialize};
+
+use er_core::FxHashSet;
+
+/// An undirected weighted edge; invariant `a < b`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DirtyEdge {
+    /// Lower endpoint id.
+    pub a: u32,
+    /// Higher endpoint id.
+    pub b: u32,
+    /// Similarity score in `[0, 1]`.
+    pub weight: f64,
+}
+
+/// Errors raised while building a [`DirtyGraph`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum DirtyGraphError {
+    /// An endpoint id is `>= n_nodes`.
+    NodeOutOfBounds {
+        /// The offending id.
+        id: u32,
+        /// The number of nodes in the graph.
+        n_nodes: u32,
+    },
+    /// A self-loop `(v, v)` was added; similarity to oneself is not an edge.
+    SelfLoop(u32),
+    /// The weight is not a finite value in `[0, 1]`.
+    InvalidWeight(f64),
+    /// The (unordered) node pair appears more than once.
+    DuplicateEdge(u32, u32),
+}
+
+impl std::fmt::Display for DirtyGraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DirtyGraphError::NodeOutOfBounds { id, n_nodes } => {
+                write!(f, "node id {id} out of bounds for {n_nodes} nodes")
+            }
+            DirtyGraphError::SelfLoop(v) => write!(f, "self-loop on node {v}"),
+            DirtyGraphError::InvalidWeight(w) => {
+                write!(f, "weight {w} is not a finite value in [0, 1]")
+            }
+            DirtyGraphError::DuplicateEdge(a, b) => write!(f, "duplicate edge ({a}, {b})"),
+        }
+    }
+}
+
+impl std::error::Error for DirtyGraphError {}
+
+/// An undirected similarity graph over one (dirty) entity collection.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DirtyGraph {
+    n_nodes: u32,
+    edges: Vec<DirtyEdge>,
+}
+
+impl DirtyGraph {
+    /// Number of nodes (entity profiles).
+    #[inline]
+    pub fn n_nodes(&self) -> u32 {
+        self.n_nodes
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn n_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All edges, in insertion order, each with `a < b`.
+    #[inline]
+    pub fn edges(&self) -> &[DirtyEdge] {
+        &self.edges
+    }
+
+    /// Whether the graph has no edges.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// The weight of the edge between `u` and `v` in either order.
+    pub fn weight_of(&self, u: u32, v: u32) -> Option<f64> {
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        self.edges
+            .iter()
+            .find(|e| e.a == a && e.b == b)
+            .map(|e| e.weight)
+    }
+
+    /// Per-node neighbor lists over edges with `weight >= t`, each sorted by
+    /// descending weight (ties: ascending neighbor id).
+    ///
+    /// The Dirty ER algorithms of Hassanzadeh et al. prune edges *below*
+    /// the threshold, hence the inclusive comparison.
+    pub fn adjacency_at(&self, t: f64) -> DirtyAdjacency {
+        let n = self.n_nodes as usize;
+        let mut lists: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
+        for e in &self.edges {
+            if e.weight >= t {
+                lists[e.a as usize].push((e.b, e.weight));
+                lists[e.b as usize].push((e.a, e.weight));
+            }
+        }
+        for l in &mut lists {
+            l.sort_unstable_by(|x, y| y.1.total_cmp(&x.1).then_with(|| x.0.cmp(&y.0)));
+        }
+        DirtyAdjacency { lists }
+    }
+}
+
+/// Validating builder for [`DirtyGraph`].
+#[derive(Debug)]
+pub struct DirtyGraphBuilder {
+    n_nodes: u32,
+    edges: Vec<DirtyEdge>,
+    seen: FxHashSet<(u32, u32)>,
+}
+
+impl DirtyGraphBuilder {
+    /// Start a graph over `n_nodes` entities.
+    pub fn new(n_nodes: u32) -> Self {
+        DirtyGraphBuilder {
+            n_nodes,
+            edges: Vec::new(),
+            seen: FxHashSet::default(),
+        }
+    }
+
+    /// Add the undirected edge `{u, v}` with the given similarity.
+    pub fn add_edge(&mut self, u: u32, v: u32, weight: f64) -> Result<(), DirtyGraphError> {
+        if u >= self.n_nodes {
+            return Err(DirtyGraphError::NodeOutOfBounds {
+                id: u,
+                n_nodes: self.n_nodes,
+            });
+        }
+        if v >= self.n_nodes {
+            return Err(DirtyGraphError::NodeOutOfBounds {
+                id: v,
+                n_nodes: self.n_nodes,
+            });
+        }
+        if u == v {
+            return Err(DirtyGraphError::SelfLoop(u));
+        }
+        if !(weight.is_finite() && (0.0..=1.0).contains(&weight)) {
+            return Err(DirtyGraphError::InvalidWeight(weight));
+        }
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        if !self.seen.insert((a, b)) {
+            return Err(DirtyGraphError::DuplicateEdge(a, b));
+        }
+        self.edges.push(DirtyEdge { a, b, weight });
+        Ok(())
+    }
+
+    /// Number of edges added so far.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether no edges were added.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Finish building.
+    pub fn build(self) -> DirtyGraph {
+        DirtyGraph {
+            n_nodes: self.n_nodes,
+            edges: self.edges,
+        }
+    }
+}
+
+/// Per-node neighbor lists over retained edges (built by
+/// [`DirtyGraph::adjacency_at`]).
+#[derive(Debug, Clone)]
+pub struct DirtyAdjacency {
+    lists: Vec<Vec<(u32, f64)>>,
+}
+
+impl DirtyAdjacency {
+    /// Neighbors of `v` as `(node, weight)`, sorted by descending weight.
+    #[inline]
+    pub fn neighbors(&self, v: u32) -> &[(u32, f64)] {
+        &self.lists[v as usize]
+    }
+
+    /// Degree of `v` among retained edges.
+    #[inline]
+    pub fn degree(&self, v: u32) -> usize {
+        self.lists[v as usize].len()
+    }
+
+    /// Average retained-edge weight around `v` (0 for isolated nodes).
+    pub fn avg_weight(&self, v: u32) -> f64 {
+        let l = &self.lists[v as usize];
+        if l.is_empty() {
+            0.0
+        } else {
+            l.iter().map(|&(_, w)| w).sum::<f64>() / l.len() as f64
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n_nodes(&self) -> usize {
+        self.lists.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_canonicalizes_and_validates() {
+        let mut b = DirtyGraphBuilder::new(4);
+        b.add_edge(2, 1, 0.5).unwrap();
+        assert_eq!(
+            b.add_edge(1, 2, 0.9),
+            Err(DirtyGraphError::DuplicateEdge(1, 2)),
+            "same unordered pair in either order is a duplicate"
+        );
+        assert_eq!(b.add_edge(3, 3, 0.5), Err(DirtyGraphError::SelfLoop(3)));
+        assert_eq!(
+            b.add_edge(0, 4, 0.5),
+            Err(DirtyGraphError::NodeOutOfBounds { id: 4, n_nodes: 4 })
+        );
+        assert!(matches!(
+            b.add_edge(0, 1, f64::NAN),
+            Err(DirtyGraphError::InvalidWeight(w)) if w.is_nan()
+        ));
+        assert_eq!(
+            b.add_edge(0, 1, 1.5),
+            Err(DirtyGraphError::InvalidWeight(1.5))
+        );
+        let g = b.build();
+        assert_eq!(g.n_edges(), 1);
+        assert_eq!(g.edges()[0].a, 1);
+        assert_eq!(g.edges()[0].b, 2);
+        assert_eq!(g.weight_of(2, 1), Some(0.5));
+        assert_eq!(g.weight_of(0, 1), None);
+    }
+
+    #[test]
+    fn invalid_weight_nan_rendering() {
+        let e = DirtyGraphError::InvalidWeight(f64::NAN);
+        assert!(e.to_string().contains("NaN"));
+    }
+
+    #[test]
+    fn adjacency_sorts_desc_and_prunes_inclusively() {
+        let mut b = DirtyGraphBuilder::new(4);
+        b.add_edge(0, 1, 0.5).unwrap();
+        b.add_edge(0, 2, 0.9).unwrap();
+        b.add_edge(0, 3, 0.2).unwrap();
+        let g = b.build();
+        let adj = g.adjacency_at(0.5);
+        // 0.2 pruned, 0.5 retained (inclusive).
+        assert_eq!(adj.neighbors(0), &[(2, 0.9), (1, 0.5)]);
+        assert_eq!(adj.degree(3), 0);
+        assert!((adj.avg_weight(0) - 0.7).abs() < 1e-12);
+        assert_eq!(adj.avg_weight(3), 0.0);
+        assert_eq!(adj.n_nodes(), 4);
+    }
+
+    #[test]
+    fn adjacency_tie_breaks_by_node_id() {
+        let mut b = DirtyGraphBuilder::new(4);
+        b.add_edge(0, 3, 0.5).unwrap();
+        b.add_edge(0, 1, 0.5).unwrap();
+        b.add_edge(0, 2, 0.5).unwrap();
+        let g = b.build();
+        let adj = g.adjacency_at(0.0);
+        assert_eq!(adj.neighbors(0), &[(1, 0.5), (2, 0.5), (3, 0.5)]);
+    }
+}

@@ -1,0 +1,150 @@
+#![warn(missing_docs)]
+
+//! # er-dirty — graph clustering baselines for Dirty ER
+//!
+//! The paper restricts its study to *Clean-Clean* ER, where the bipartite
+//! structure admits the unique-mapping constraint. Its related-work
+//! section positions the study against graph clustering for **Dirty ER**
+//! (a single collection that contains duplicates in itself — e.g. two
+//! clean sources merged into one): the framework of Hassanzadeh et al.
+//! (VLDB 2009), from which the paper adapts `RSR`, and the more recent
+//! clique/consistency methods it cites. This crate implements those
+//! baselines so the workspace can quantify — on the same similarity
+//! graphs — what the CCER-specific algorithms gain by exploiting the
+//! bipartite structure:
+//!
+//! | Algorithm | Function | Source |
+//! |-----------|----------|--------|
+//! | Connected Components | [`connected_components`] | transitive-closure baseline |
+//! | Center | [`center_clustering`] | Hassanzadeh et al., star clusters |
+//! | Merge-Center | [`merge_center_clustering`] | Hassanzadeh et al., merging stars |
+//! | Star | [`star_clustering`] | Hassanzadeh et al., degree-driven hubs |
+//! | Sequential Rippling | [`sequential_rippling`] | Ricochet family — the ancestor of the paper's RSR |
+//! | Markov Clustering | [`markov_clustering`] | van Dongen's flow simulation (expansion + inflation) |
+//! | Global Edge Consistency Gain | [`global_edge_consistency_gain`] | triangle-consistency local search |
+//! | Maximum Clique Clustering | [`maximum_clique_clustering`] | iterated maximum-clique removal |
+//! | Extended Maximum Clique Clustering | [`extended_maximum_clique_clustering`] | clique removal + ε-attachment |
+//!
+//! All consume a [`DirtyGraph`] (unipartite, weighted) with an inclusive
+//! similarity threshold and produce a [`Partition`] of the node set;
+//! [`pairwise_scores`] evaluates partitions at the pair level. The
+//! [`merge`] module converts CCER inputs/outputs into this representation.
+
+pub mod center;
+pub mod clique;
+pub mod connected;
+pub mod consistency;
+pub mod graph;
+pub mod markov;
+pub mod merge;
+pub mod partition;
+pub mod rippling;
+pub mod star;
+
+pub use center::{center_clustering, merge_center_clustering};
+pub use clique::{extended_maximum_clique_clustering, maximum_clique_clustering};
+pub use connected::connected_components;
+pub use consistency::{global_edge_consistency_gain, GecgConfig};
+pub use graph::{DirtyAdjacency, DirtyEdge, DirtyGraph, DirtyGraphBuilder, DirtyGraphError};
+pub use markov::{markov_clustering, MclConfig};
+pub use merge::{is_ccer_shaped, matching_to_partition, merge_bipartite, merge_ground_truth};
+pub use partition::{pairwise_scores, PairScores, Partition};
+pub use rippling::sequential_rippling;
+pub use star::star_clustering;
+
+/// The Dirty ER clustering algorithms of this crate, enumerable for
+/// uniform sweeps (mirrors `er_matchers::AlgorithmKind`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DirtyAlgorithm {
+    /// Transitive closure over retained edges.
+    ConnectedComponents,
+    /// Star clusters around greedily chosen centers.
+    Center,
+    /// Center with cluster merging on center contact.
+    MergeCenter,
+    /// Degree-driven hubs absorbing their whole neighborhood.
+    Star,
+    /// Ricochet Sequential Rippling (the paper's RSR, un-adapted).
+    SequentialRippling,
+    /// Markov Clustering (flow simulation, inflation 2.0).
+    Markov,
+    /// Triangle-consistency local search.
+    EdgeConsistency,
+    /// Iterated maximum-clique removal.
+    MaxClique,
+    /// Clique removal with ε-attachment extension (ε = 0.5).
+    ExtendedMaxClique,
+}
+
+impl DirtyAlgorithm {
+    /// All algorithms in presentation order.
+    pub const ALL: [DirtyAlgorithm; 9] = [
+        DirtyAlgorithm::ConnectedComponents,
+        DirtyAlgorithm::Center,
+        DirtyAlgorithm::MergeCenter,
+        DirtyAlgorithm::Star,
+        DirtyAlgorithm::SequentialRippling,
+        DirtyAlgorithm::Markov,
+        DirtyAlgorithm::EdgeConsistency,
+        DirtyAlgorithm::MaxClique,
+        DirtyAlgorithm::ExtendedMaxClique,
+    ];
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DirtyAlgorithm::ConnectedComponents => "CC",
+            DirtyAlgorithm::Center => "Center",
+            DirtyAlgorithm::MergeCenter => "MergeCenter",
+            DirtyAlgorithm::Star => "Star",
+            DirtyAlgorithm::SequentialRippling => "SR",
+            DirtyAlgorithm::Markov => "MCL",
+            DirtyAlgorithm::EdgeConsistency => "GECG",
+            DirtyAlgorithm::MaxClique => "MCC",
+            DirtyAlgorithm::ExtendedMaxClique => "EMCC",
+        }
+    }
+
+    /// Run the algorithm on `g` at inclusive threshold `t`.
+    pub fn run(&self, g: &DirtyGraph, t: f64) -> Partition {
+        match self {
+            DirtyAlgorithm::ConnectedComponents => connected_components(g, t),
+            DirtyAlgorithm::Center => center_clustering(g, t),
+            DirtyAlgorithm::MergeCenter => merge_center_clustering(g, t),
+            DirtyAlgorithm::Star => star_clustering(g, t),
+            DirtyAlgorithm::SequentialRippling => sequential_rippling(g, t),
+            DirtyAlgorithm::Markov => markov_clustering(g, t, MclConfig::default()),
+            DirtyAlgorithm::EdgeConsistency => {
+                global_edge_consistency_gain(g, t, GecgConfig::default())
+            }
+            DirtyAlgorithm::MaxClique => maximum_clique_clustering(g, t),
+            DirtyAlgorithm::ExtendedMaxClique => extended_maximum_clique_clustering(g, t, 0.5),
+        }
+    }
+}
+
+impl std::fmt::Display for DirtyAlgorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_runs_every_algorithm() {
+        let mut b = DirtyGraphBuilder::new(4);
+        b.add_edge(0, 1, 0.9).unwrap();
+        b.add_edge(1, 2, 0.8).unwrap();
+        b.add_edge(0, 2, 0.7).unwrap();
+        let g = b.build();
+        for a in DirtyAlgorithm::ALL {
+            let p = a.run(&g, 0.5);
+            assert_eq!(p.n_nodes(), 4, "{a} returned a partition over all nodes");
+            assert!(!a.name().is_empty());
+            assert_eq!(format!("{a}"), a.name());
+        }
+    }
+}

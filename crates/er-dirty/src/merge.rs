@@ -1,0 +1,113 @@
+//! Bridging CCER and Dirty ER.
+//!
+//! The paper's related work (Hassanzadeh et al.) targets "a scenario where
+//! … two clean sources are merged into a dirty source that contains
+//! duplicates in itself". This module performs that merge: the two node
+//! sets of a bipartite [`er_core::SimilarityGraph`] are
+//! concatenated into one collection (`V2` ids offset by `|V1|`), yielding
+//! a [`DirtyGraph`] the Dirty ER algorithms can consume — which is how the
+//! extension experiment quantifies what the unique-mapping constraint
+//! buys the CCER-specific algorithms.
+
+use er_core::{GroundTruth, Matching, SimilarityGraph};
+
+use crate::graph::{DirtyGraph, DirtyGraphBuilder};
+use crate::partition::Partition;
+
+/// Merge a bipartite similarity graph into a unipartite one: node ids
+/// `0..n_left` keep their id, right ids become `n_left + r`.
+///
+/// Clean sources contain no intra-source duplicates, so the merged graph
+/// has no intra-source edges — exactly the structure Dirty ER algorithms
+/// would face after concatenating two clean files.
+pub fn merge_bipartite(g: &SimilarityGraph) -> DirtyGraph {
+    let offset = g.n_left();
+    let mut b = DirtyGraphBuilder::new(g.n_left() + g.n_right());
+    for e in g.edges() {
+        b.add_edge(e.left, offset + e.right, e.weight)
+            .expect("bipartite edges are valid unipartite edges");
+    }
+    b.build()
+}
+
+/// Translate bipartite ground truth into merged-id duplicate pairs.
+pub fn merge_ground_truth(gt: &GroundTruth, n_left: u32) -> Vec<(u32, u32)> {
+    gt.pairs()
+        .iter()
+        .map(|&(l, r)| (l, n_left + r))
+        .collect()
+}
+
+/// View a CCER matching as a partition of the merged collection (matched
+/// pairs become 2-node clusters; everything else is a singleton).
+pub fn matching_to_partition(m: &Matching, n_left: u32, n_right: u32) -> Partition {
+    let clusters: Vec<Vec<u32>> = m
+        .iter()
+        .map(|(l, r)| vec![l, n_left + r])
+        .collect();
+    Partition::from_clusters(&clusters, n_left + n_right)
+}
+
+/// Check whether a partition of the merged collection is a valid CCER
+/// output: every cluster has at most two nodes, at most one from each
+/// side.
+pub fn is_ccer_shaped(p: &Partition, n_left: u32) -> bool {
+    p.clusters().iter().all(|c| {
+        c.len() <= 2
+            && (c.len() < 2 || (c[0] < n_left) != (c[1] < n_left))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_core::GraphBuilder;
+
+    fn bipartite() -> SimilarityGraph {
+        let mut b = GraphBuilder::new(2, 3);
+        b.add_edge(0, 0, 0.9).unwrap();
+        b.add_edge(0, 2, 0.4).unwrap();
+        b.add_edge(1, 1, 0.8).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn merge_offsets_right_ids() {
+        let g = bipartite();
+        let d = merge_bipartite(&g);
+        assert_eq!(d.n_nodes(), 5);
+        assert_eq!(d.n_edges(), 3);
+        assert_eq!(d.weight_of(0, 2), Some(0.9)); // right 0 → merged 2
+        assert_eq!(d.weight_of(0, 4), Some(0.4)); // right 2 → merged 4
+        assert_eq!(d.weight_of(1, 3), Some(0.8));
+        assert_eq!(d.weight_of(0, 1), None, "no intra-source edges");
+    }
+
+    #[test]
+    fn ground_truth_translation() {
+        let gt = GroundTruth::new(vec![(0, 0), (1, 2)]);
+        assert_eq!(merge_ground_truth(&gt, 2), vec![(0, 2), (1, 4)]);
+    }
+
+    #[test]
+    fn matching_round_trip_and_shape_check() {
+        let m = Matching::new(vec![(0, 0), (1, 2)]);
+        let p = matching_to_partition(&m, 2, 3);
+        assert_eq!(p.n_intra_pairs(), 2);
+        assert!(p.same_cluster(0, 2));
+        assert!(p.same_cluster(1, 4));
+        assert!(is_ccer_shaped(&p, 2));
+    }
+
+    #[test]
+    fn non_ccer_shapes_are_detected() {
+        // Three-node cluster.
+        let p = Partition::from_clusters(&[vec![0, 2, 3]], 5);
+        assert!(!is_ccer_shaped(&p, 2));
+        // Two nodes from the same side.
+        let p = Partition::from_clusters(&[vec![0, 1]], 5);
+        assert!(!is_ccer_shaped(&p, 2));
+        // Singletons only: trivially CCER-shaped.
+        assert!(is_ccer_shaped(&Partition::singletons(5), 2));
+    }
+}

@@ -1,0 +1,270 @@
+//! Node partitions (clusterings) and pairwise evaluation.
+//!
+//! Dirty ER output is a partition of the node set into equivalence
+//! clusters of *any* size (unlike CCER's ≤ 2). Effectiveness is measured
+//! at the pair level: a predicted pair is every unordered node pair that
+//! shares a cluster; precision/recall/F1 follow against the ground-truth
+//! duplicate pairs, exactly as in Hassanzadeh et al.'s evaluation
+//! framework.
+
+use serde::{Deserialize, Serialize};
+
+use er_core::FxHashSet;
+
+/// A partition of nodes `0..n` into disjoint clusters.
+///
+/// Stored as a dense cluster-id assignment; cluster ids are consecutive
+/// from 0 in order of first appearance, which makes equal partitions
+/// structurally equal regardless of how they were produced.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Partition {
+    assign: Vec<u32>,
+    n_clusters: u32,
+}
+
+impl Partition {
+    /// Build from a raw per-node cluster-id vector (ids may be arbitrary;
+    /// they are renumbered by first appearance).
+    pub fn from_assignments(raw: &[u32]) -> Self {
+        let mut remap: er_core::FxHashMap<u32, u32> = er_core::FxHashMap::default();
+        let mut assign = Vec::with_capacity(raw.len());
+        for &c in raw {
+            let next = remap.len() as u32;
+            let id = *remap.entry(c).or_insert(next);
+            assign.push(id);
+        }
+        Partition {
+            n_clusters: remap.len() as u32,
+            assign,
+        }
+    }
+
+    /// Build from explicit clusters; nodes absent from every cluster get a
+    /// singleton each.
+    ///
+    /// # Panics
+    /// Panics if a node id is `>= n` or appears in two clusters.
+    pub fn from_clusters(clusters: &[Vec<u32>], n: u32) -> Self {
+        const UNSET: u32 = u32::MAX;
+        let mut raw = vec![UNSET; n as usize];
+        let mut next = 0u32;
+        for c in clusters {
+            if c.is_empty() {
+                continue;
+            }
+            for &v in c {
+                assert!(v < n, "node {v} out of bounds for {n} nodes");
+                assert_eq!(raw[v as usize], UNSET, "node {v} in two clusters");
+                raw[v as usize] = next;
+            }
+            next += 1;
+        }
+        for slot in &mut raw {
+            if *slot == UNSET {
+                *slot = next;
+                next += 1;
+            }
+        }
+        Partition::from_assignments(&raw)
+    }
+
+    /// The all-singletons partition over `n` nodes.
+    pub fn singletons(n: u32) -> Self {
+        Partition {
+            assign: (0..n).collect(),
+            n_clusters: n,
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n_nodes(&self) -> u32 {
+        self.assign.len() as u32
+    }
+
+    /// Number of clusters (including singletons).
+    #[inline]
+    pub fn n_clusters(&self) -> u32 {
+        self.n_clusters
+    }
+
+    /// Cluster id of a node.
+    #[inline]
+    pub fn cluster_of(&self, v: u32) -> u32 {
+        self.assign[v as usize]
+    }
+
+    /// Whether two nodes share a cluster.
+    #[inline]
+    pub fn same_cluster(&self, u: u32, v: u32) -> bool {
+        self.assign[u as usize] == self.assign[v as usize]
+    }
+
+    /// Materialize the clusters, each sorted ascending, ordered by id.
+    pub fn clusters(&self) -> Vec<Vec<u32>> {
+        let mut out = vec![Vec::new(); self.n_clusters as usize];
+        for (v, &c) in self.assign.iter().enumerate() {
+            out[c as usize].push(v as u32);
+        }
+        out
+    }
+
+    /// Number of intra-cluster (predicted duplicate) pairs: `Σ |c|·(|c|−1)/2`.
+    pub fn n_intra_pairs(&self) -> u64 {
+        let mut sizes = vec![0u64; self.n_clusters as usize];
+        for &c in &self.assign {
+            sizes[c as usize] += 1;
+        }
+        sizes.iter().map(|&s| s * (s - 1) / 2).sum()
+    }
+
+    /// Size of the largest cluster (0 for an empty partition).
+    pub fn max_cluster_size(&self) -> usize {
+        let mut sizes = vec![0usize; self.n_clusters as usize];
+        for &c in &self.assign {
+            sizes[c as usize] += 1;
+        }
+        sizes.into_iter().max().unwrap_or(0)
+    }
+}
+
+/// Pair-level effectiveness of a partition against ground-truth duplicate
+/// pairs (unordered node-id pairs).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PairScores {
+    /// Correct predicted pairs / all predicted pairs (1 when nothing is
+    /// predicted).
+    pub precision: f64,
+    /// Correct predicted pairs / all true pairs (1 when there are none).
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+    /// Number of correctly predicted pairs.
+    pub true_positives: u64,
+    /// Number of predicted (intra-cluster) pairs.
+    pub predicted: u64,
+    /// Number of ground-truth pairs.
+    pub actual: u64,
+}
+
+/// Score a partition against ground-truth duplicate pairs.
+///
+/// `truth` pairs may be in either order; self-pairs are ignored.
+pub fn pairwise_scores(p: &Partition, truth: &[(u32, u32)]) -> PairScores {
+    let mut seen: FxHashSet<(u32, u32)> = FxHashSet::default();
+    let mut tp = 0u64;
+    let mut actual = 0u64;
+    for &(u, v) in truth {
+        if u == v {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if !seen.insert(key) {
+            continue;
+        }
+        actual += 1;
+        if key.0 < p.n_nodes() && key.1 < p.n_nodes() && p.same_cluster(key.0, key.1) {
+            tp += 1;
+        }
+    }
+    let predicted = p.n_intra_pairs();
+    let precision = if predicted == 0 {
+        1.0
+    } else {
+        tp as f64 / predicted as f64
+    };
+    let recall = if actual == 0 {
+        1.0
+    } else {
+        tp as f64 / actual as f64
+    };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    PairScores {
+        precision,
+        recall,
+        f1,
+        true_positives: tp,
+        predicted,
+        actual,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_assignments_renumbers() {
+        let p = Partition::from_assignments(&[7, 7, 3, 7, 3, 9]);
+        assert_eq!(p.n_nodes(), 6);
+        assert_eq!(p.n_clusters(), 3);
+        assert!(p.same_cluster(0, 1));
+        assert!(p.same_cluster(2, 4));
+        assert!(!p.same_cluster(0, 2));
+        assert_eq!(p.cluster_of(0), 0);
+        assert_eq!(p.cluster_of(2), 1);
+        assert_eq!(p.cluster_of(5), 2);
+    }
+
+    #[test]
+    fn from_clusters_fills_singletons() {
+        let p = Partition::from_clusters(&[vec![1, 3], vec![], vec![0]], 5);
+        assert_eq!(p.n_clusters(), 4); // {1,3}, {0}, {2}, {4}
+        assert!(p.same_cluster(1, 3));
+        assert!(!p.same_cluster(0, 2));
+        assert_eq!(p.clusters().iter().map(Vec::len).sum::<usize>(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "two clusters")]
+    fn from_clusters_rejects_overlap() {
+        let _ = Partition::from_clusters(&[vec![0, 1], vec![1, 2]], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn from_clusters_rejects_out_of_bounds() {
+        let _ = Partition::from_clusters(&[vec![5]], 3);
+    }
+
+    #[test]
+    fn intra_pair_counting() {
+        // Cluster sizes 3, 2, 1 → 3 + 1 + 0 pairs.
+        let p = Partition::from_assignments(&[0, 0, 0, 1, 1, 2]);
+        assert_eq!(p.n_intra_pairs(), 4);
+        assert_eq!(p.max_cluster_size(), 3);
+        assert_eq!(Partition::singletons(4).n_intra_pairs(), 0);
+        assert_eq!(Partition::singletons(0).max_cluster_size(), 0);
+    }
+
+    #[test]
+    fn pairwise_scores_basics() {
+        let p = Partition::from_assignments(&[0, 0, 1, 1, 2]);
+        // Truth: (0,1) correct, (2,4) missed; duplicate + self entries
+        // ignored.
+        let s = pairwise_scores(&p, &[(1, 0), (0, 1), (4, 2), (3, 3)]);
+        assert_eq!(s.true_positives, 1);
+        assert_eq!(s.predicted, 2);
+        assert_eq!(s.actual, 2);
+        assert!((s.precision - 0.5).abs() < 1e-12);
+        assert!((s.recall - 0.5).abs() < 1e-12);
+        assert!((s.f1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pairwise_scores_degenerate_cases() {
+        let p = Partition::singletons(3);
+        let s = pairwise_scores(&p, &[]);
+        assert_eq!(s.precision, 1.0);
+        assert_eq!(s.recall, 1.0);
+        assert_eq!(s.f1, 1.0);
+        let s = pairwise_scores(&p, &[(0, 1)]);
+        assert_eq!(s.precision, 1.0); // nothing predicted
+        assert_eq!(s.recall, 0.0);
+        assert_eq!(s.f1, 0.0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Sequential Rippling clustering (Wijaya & Bressan's Ricochet family, as
+//! evaluated for Dirty ER by Hassanzadeh et al.).
+//!
+//! This is the direct ancestor of the paper's `RSR`: seeds are taken from
+//! the node list in descending order of average adjacent weight; each new
+//! seed "ripples" outward, claiming every neighbor that is unassigned or
+//! strictly closer to the new seed than to its current cluster's center.
+//! A cluster whose re-assignments reduce it to a lone center is dissolved
+//! into the nearest assigned neighbor's cluster. The CCER adaptation in
+//! `er_matchers::rsr` restricts claims to one node per seed and filters
+//! the output to valid one-per-side pairs; here clusters grow without
+//! bound, as Dirty ER requires.
+//!
+//! Complexity: `O(n·m)` worst case (each seed scans its adjacency; every
+//! node is a seed candidate once).
+
+use crate::graph::DirtyGraph;
+use crate::partition::Partition;
+
+/// Marker: node not assigned to any cluster.
+const FREE: u32 = u32::MAX;
+
+/// Sequential Rippling over edges with `weight >= t`.
+pub fn sequential_rippling(g: &DirtyGraph, t: f64) -> Partition {
+    let n = g.n_nodes() as usize;
+    let adj = g.adjacency_at(t);
+
+    // Seed order: average adjacent weight descending, id ascending.
+    let mut order: Vec<u32> = (0..g.n_nodes()).collect();
+    order.sort_by(|&a, &b| {
+        adj.avg_weight(b)
+            .total_cmp(&adj.avg_weight(a))
+            .then_with(|| a.cmp(&b))
+    });
+
+    // Cluster state, keyed by the center's node id.
+    let mut center_of = vec![FREE; n]; // cluster (center id) per node
+    let mut sim_with_center = vec![0.0f64; n];
+    let mut is_center = vec![false; n];
+    let mut size = vec![0u32; n]; // members incl. center, per center id
+
+    for v in order {
+        let vu = v as usize;
+        if is_center[vu] {
+            continue; // already anchors a cluster
+        }
+
+        // Ripple: claim every neighbor that is free or strictly closer.
+        let mut orphaned_centers: Vec<u32> = Vec::new();
+        let mut claimed: Vec<(u32, f64)> = Vec::new();
+        for &(u, sim) in adj.neighbors(v) {
+            let uu = u as usize;
+            if is_center[uu] || sim <= sim_with_center[uu] {
+                continue;
+            }
+            let old = center_of[uu];
+            if old != FREE {
+                size[old as usize] -= 1;
+                if size[old as usize] == 1 {
+                    orphaned_centers.push(old);
+                }
+            }
+            claimed.push((u, sim));
+        }
+
+        if !claimed.is_empty() {
+            // v becomes a center; detach it from any previous cluster.
+            let old = center_of[vu];
+            if old != FREE && old != v {
+                size[old as usize] -= 1;
+                if size[old as usize] == 1 {
+                    orphaned_centers.push(old);
+                }
+            }
+            is_center[vu] = true;
+            center_of[vu] = v;
+            sim_with_center[vu] = 1.0;
+            size[vu] = 1 + claimed.len() as u32;
+            for (u, sim) in claimed {
+                center_of[u as usize] = v;
+                sim_with_center[u as usize] = sim;
+            }
+        }
+
+        // Dissolve clusters reduced to their lone center: the center joins
+        // its most similar assigned neighbor's cluster (if any).
+        for c in orphaned_centers {
+            let cu = c as usize;
+            if size[cu] != 1 || !is_center[cu] {
+                continue; // regained members or already dissolved
+            }
+            let target = adj
+                .neighbors(c)
+                .iter()
+                .find(|&&(u, _)| center_of[u as usize] != FREE && center_of[u as usize] != c);
+            if let Some(&(u, sim)) = target {
+                let host = center_of[u as usize];
+                is_center[cu] = false;
+                size[cu] = 0;
+                center_of[cu] = host;
+                sim_with_center[cu] = sim;
+                size[host as usize] += 1;
+            }
+        }
+    }
+
+    // Unassigned nodes are singletons (their own cluster id).
+    let raw: Vec<u32> = center_of
+        .iter()
+        .enumerate()
+        .map(|(v, &c)| if c == FREE { v as u32 } else { c })
+        .collect();
+    Partition::from_assignments(&raw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DirtyGraphBuilder;
+
+    #[test]
+    fn seed_ripples_over_all_neighbors() {
+        // Hub 0 with three spokes: the hub has the highest average weight
+        // among... actually node 1 (single 0.9 edge) sorts first, claims 0;
+        // then 0 is a member but becomes a seed later and steals nothing
+        // (its neighbors are closer to it? 2 and 3 are free → claimed).
+        let mut b = DirtyGraphBuilder::new(4);
+        b.add_edge(0, 1, 0.9).unwrap();
+        b.add_edge(0, 2, 0.8).unwrap();
+        b.add_edge(0, 3, 0.7).unwrap();
+        let p = sequential_rippling(&b.build(), 0.5);
+        // All four nodes end up connected to 0's cluster structure: 1
+        // seeds {1, 0}, then 0 seeds and claims 2 and 3 (free), detaching
+        // from 1, whose cluster dissolves into 0's.
+        assert_eq!(p.n_clusters(), 1);
+        assert_eq!(p.max_cluster_size(), 4);
+    }
+
+    #[test]
+    fn closer_seed_steals_members() {
+        // Chain: 0-1 (0.6), 1-2 (0.9). Seed order by avg: 2 (0.9),
+        // 1 (0.75), 0 (0.6). Seed 2 claims 1. Seed 1: is a member; its
+        // neighbors: 2 is a center (skip), 0 free → claims 0, becomes a
+        // center, detaches from 2 → cluster {2} dissolves into 1's cluster
+        // via its nearest assigned neighbor.
+        let mut b = DirtyGraphBuilder::new(3);
+        b.add_edge(0, 1, 0.6).unwrap();
+        b.add_edge(1, 2, 0.9).unwrap();
+        let p = sequential_rippling(&b.build(), 0.5);
+        assert_eq!(p.n_clusters(), 1);
+        assert!(p.same_cluster(0, 1) && p.same_cluster(1, 2));
+    }
+
+    #[test]
+    fn threshold_respected() {
+        let mut b = DirtyGraphBuilder::new(2);
+        b.add_edge(0, 1, 0.4).unwrap();
+        let g = b.build();
+        assert_eq!(sequential_rippling(&g, 0.5).n_clusters(), 2);
+        assert_eq!(sequential_rippling(&g, 0.4).n_clusters(), 1);
+    }
+
+    #[test]
+    fn empty_graph_gives_singletons() {
+        let g = DirtyGraphBuilder::new(5).build();
+        assert_eq!(sequential_rippling(&g, 0.0), Partition::singletons(5));
+    }
+
+    #[test]
+    fn two_separate_pairs_stay_separate() {
+        let mut b = DirtyGraphBuilder::new(4);
+        b.add_edge(0, 1, 0.9).unwrap();
+        b.add_edge(2, 3, 0.8).unwrap();
+        let p = sequential_rippling(&b.build(), 0.5);
+        assert_eq!(p.n_clusters(), 2);
+        assert!(p.same_cluster(0, 1));
+        assert!(p.same_cluster(2, 3));
+        assert!(!p.same_cluster(1, 2));
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut b = DirtyGraphBuilder::new(5);
+        b.add_edge(0, 1, 0.5).unwrap();
+        b.add_edge(1, 2, 0.5).unwrap();
+        b.add_edge(2, 3, 0.5).unwrap();
+        b.add_edge(3, 4, 0.5).unwrap();
+        let g = b.build();
+        assert_eq!(sequential_rippling(&g, 0.0), sequential_rippling(&g, 0.0));
+    }
+}

@@ -1,0 +1,128 @@
+//! Star clustering (Hassanzadeh et al.'s framework).
+//!
+//! A degree-driven relative of Center clustering: instead of scanning
+//! edges by weight, Star repeatedly promotes the unassigned node with the
+//! highest retained *degree* to a star center and claims **all** its
+//! still-unassigned neighbors as satellites. Unlike Center, a single hub
+//! absorbs its whole retained neighborhood at once, trading precision for
+//! recall on hub-shaped graphs.
+//!
+//! Determinism: centers are chosen by (degree desc, average weight desc,
+//! node id asc); satellites are the center's retained neighbors in
+//! adjacency order. Complexity: `O(n log n + m)` after the adjacency
+//! build.
+
+use crate::graph::DirtyGraph;
+use crate::partition::Partition;
+
+/// Star clustering over edges with `weight >= t`.
+pub fn star_clustering(g: &DirtyGraph, t: f64) -> Partition {
+    let n = g.n_nodes() as usize;
+    let adj = g.adjacency_at(t);
+
+    // Candidate centers by descending degree (ties: average weight, id).
+    let mut order: Vec<u32> = (0..g.n_nodes()).collect();
+    order.sort_by(|&a, &b| {
+        adj.degree(b)
+            .cmp(&adj.degree(a))
+            .then_with(|| adj.avg_weight(b).total_cmp(&adj.avg_weight(a)))
+            .then_with(|| a.cmp(&b))
+    });
+
+    const UNSET: u32 = u32::MAX;
+    let mut cluster = vec![UNSET; n];
+    let mut next = 0u32;
+    for v in order {
+        if cluster[v as usize] != UNSET || adj.degree(v) == 0 {
+            continue;
+        }
+        // v becomes a star center; all unassigned neighbors join it.
+        cluster[v as usize] = next;
+        for &(u, _) in adj.neighbors(v) {
+            if cluster[u as usize] == UNSET {
+                cluster[u as usize] = next;
+            }
+        }
+        next += 1;
+    }
+    for c in &mut cluster {
+        if *c == UNSET {
+            *c = next;
+            next += 1;
+        }
+    }
+    Partition::from_assignments(&cluster)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DirtyGraphBuilder;
+
+    #[test]
+    fn hub_absorbs_whole_neighborhood() {
+        // Node 0 is a hub with three heavy spokes; Center would only take
+        // the single heaviest edge per scan step, Star takes all three.
+        let mut b = DirtyGraphBuilder::new(4);
+        b.add_edge(0, 1, 0.9).unwrap();
+        b.add_edge(0, 2, 0.8).unwrap();
+        b.add_edge(0, 3, 0.7).unwrap();
+        let p = star_clustering(&b.build(), 0.5);
+        assert_eq!(p.n_clusters(), 1);
+        assert_eq!(p.max_cluster_size(), 4);
+    }
+
+    #[test]
+    fn highest_degree_wins_the_center() {
+        // Node 0 (degree 2) is promoted before either leaf, so its star
+        // takes both neighbors regardless of the weight imbalance.
+        let mut b = DirtyGraphBuilder::new(3);
+        b.add_edge(0, 1, 0.9).unwrap();
+        b.add_edge(0, 2, 0.2).unwrap();
+        let p = star_clustering(&b.build(), 0.0);
+        assert_eq!(p.n_clusters(), 1);
+        assert!(p.same_cluster(0, 1) && p.same_cluster(0, 2));
+    }
+
+    #[test]
+    fn satellites_do_not_chain() {
+        // Path 0-1-2-3 with equal weights: node 1 (degree 2, lower id than
+        // the equally-heavy 2) centers {0,1,2}; 3's only neighbor is taken,
+        // so it stays a singleton star.
+        let mut b = DirtyGraphBuilder::new(4);
+        b.add_edge(0, 1, 0.5).unwrap();
+        b.add_edge(1, 2, 0.5).unwrap();
+        b.add_edge(2, 3, 0.5).unwrap();
+        let p = star_clustering(&b.build(), 0.0);
+        assert!(p.same_cluster(0, 1) && p.same_cluster(1, 2));
+        assert!(!p.same_cluster(2, 3));
+        assert_eq!(p.n_clusters(), 2);
+    }
+
+    #[test]
+    fn threshold_prunes_inclusively() {
+        let mut b = DirtyGraphBuilder::new(2);
+        b.add_edge(0, 1, 0.5).unwrap();
+        let g = b.build();
+        assert_eq!(star_clustering(&g, 0.5).n_clusters(), 1);
+        assert_eq!(star_clustering(&g, 0.51).n_clusters(), 2);
+    }
+
+    #[test]
+    fn empty_graph_gives_singletons() {
+        let g = DirtyGraphBuilder::new(3).build();
+        assert_eq!(star_clustering(&g, 0.0), Partition::singletons(3));
+    }
+
+    #[test]
+    fn deterministic_under_ties() {
+        let mut b = DirtyGraphBuilder::new(4);
+        b.add_edge(0, 1, 0.5).unwrap();
+        b.add_edge(2, 3, 0.5).unwrap();
+        let g = b.build();
+        assert_eq!(star_clustering(&g, 0.0), star_clustering(&g, 0.0));
+        let p = star_clustering(&g, 0.0);
+        assert!(p.same_cluster(0, 1));
+        assert!(p.same_cluster(2, 3));
+    }
+}

@@ -1,0 +1,195 @@
+//! Property-based tests over random dirty similarity graphs.
+//!
+//! Invariants:
+//! 1. every algorithm outputs a partition over exactly the input nodes;
+//! 2. connected components puts two nodes together iff a retained path
+//!    joins them — and every other algorithm *refines* it (no cluster
+//!    crosses a component boundary);
+//! 3. Merge-Center is a coarsening of Center (their scans make identical
+//!    state transitions; Merge-Center only adds unions);
+//! 4. every Maximum-Clique cluster of size ≥ 2 is a clique of the
+//!    retained graph;
+//! 5. every Center cluster of size ≥ 2 is a star (some member is adjacent
+//!    to all others);
+//! 6. pairwise scores stay in [0, 1] and the F1 is the harmonic mean.
+
+use er_dirty::{
+    center_clustering, connected_components, merge_center_clustering, pairwise_scores,
+    star_clustering, DirtyAlgorithm, DirtyGraph, DirtyGraphBuilder, Partition,
+};
+use proptest::prelude::*;
+
+/// Random graph over up to 14 nodes with weights on the 0.05 grid.
+fn arb_graph() -> impl Strategy<Value = DirtyGraph> {
+    (2u32..14).prop_flat_map(|n| {
+        let max_edges = (n * (n - 1) / 2) as usize;
+        proptest::collection::btree_map(
+            (0..n, 0..n).prop_filter("no self-loops", |(u, v)| u != v),
+            0u32..=20,
+            0..=max_edges.min(32),
+        )
+        .prop_map(move |edges| {
+            let mut b = DirtyGraphBuilder::new(n);
+            for ((u, v), w) in edges {
+                // The btree keys are ordered pairs; skip the reversed
+                // duplicate of a pair that was already inserted.
+                let _ = b.add_edge(u, v, w as f64 * 0.05);
+            }
+            b.build()
+        })
+    })
+}
+
+fn arb_threshold() -> impl Strategy<Value = f64> {
+    (0u32..=20).prop_map(|i| i as f64 * 0.05)
+}
+
+/// Reference connectivity: BFS over retained edges.
+fn reachable(g: &DirtyGraph, t: f64, from: u32) -> Vec<bool> {
+    let n = g.n_nodes() as usize;
+    let adj = g.adjacency_at(t);
+    let mut seen = vec![false; n];
+    let mut queue = vec![from];
+    seen[from as usize] = true;
+    while let Some(v) = queue.pop() {
+        for &(u, _) in adj.neighbors(v) {
+            if !seen[u as usize] {
+                seen[u as usize] = true;
+                queue.push(u);
+            }
+        }
+    }
+    seen
+}
+
+/// Whether `coarse` puts together everything `fine` puts together.
+fn coarsens(coarse: &Partition, fine: &Partition) -> bool {
+    let n = fine.n_nodes();
+    (0..n).all(|u| (u + 1..n).all(|v| !fine.same_cluster(u, v) || coarse.same_cluster(u, v)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn all_algorithms_partition_all_nodes(g in arb_graph(), t in arb_threshold()) {
+        for a in DirtyAlgorithm::ALL {
+            let p = a.run(&g, t);
+            prop_assert_eq!(p.n_nodes(), g.n_nodes(), "{} node count", a);
+            let covered: usize = p.clusters().iter().map(Vec::len).sum();
+            prop_assert_eq!(covered, g.n_nodes() as usize, "{} coverage", a);
+            // Determinism.
+            prop_assert_eq!(p, a.run(&g, t), "{} not deterministic", a);
+        }
+    }
+
+    #[test]
+    fn connected_components_match_bfs(g in arb_graph(), t in arb_threshold()) {
+        let p = connected_components(&g, t);
+        for u in 0..g.n_nodes() {
+            let seen = reachable(&g, t, u);
+            for v in 0..g.n_nodes() {
+                prop_assert_eq!(
+                    p.same_cluster(u, v),
+                    seen[v as usize],
+                    "CC disagrees with BFS on ({}, {})", u, v
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_algorithm_refines_connected_components(g in arb_graph(), t in arb_threshold()) {
+        let cc = connected_components(&g, t);
+        for a in DirtyAlgorithm::ALL {
+            let p = a.run(&g, t);
+            prop_assert!(
+                coarsens(&cc, &p),
+                "{} clusters cross component boundaries", a
+            );
+        }
+    }
+
+    #[test]
+    fn merge_center_coarsens_center(g in arb_graph(), t in arb_threshold()) {
+        let c = center_clustering(&g, t);
+        let mc = merge_center_clustering(&g, t);
+        prop_assert!(coarsens(&mc, &c));
+    }
+
+    #[test]
+    fn max_clique_clusters_are_cliques(g in arb_graph(), t in arb_threshold()) {
+        let p = DirtyAlgorithm::MaxClique.run(&g, t);
+        for cluster in p.clusters() {
+            for (i, &u) in cluster.iter().enumerate() {
+                for &v in &cluster[i + 1..] {
+                    let w = g.weight_of(u, v);
+                    prop_assert!(
+                        w.is_some() && w.unwrap() >= t,
+                        "cluster {:?} is not a clique: ({}, {}) missing", cluster, u, v
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn center_clusters_are_stars(g in arb_graph(), t in arb_threshold()) {
+        let p = center_clustering(&g, t);
+        for cluster in p.clusters() {
+            if cluster.len() < 2 {
+                continue;
+            }
+            let has_center = cluster.iter().any(|&c| {
+                cluster
+                    .iter()
+                    .filter(|&&v| v != c)
+                    .all(|&v| g.weight_of(c, v).is_some_and(|w| w >= t))
+            });
+            prop_assert!(has_center, "cluster {:?} has no star center", cluster);
+        }
+    }
+
+    #[test]
+    fn star_clusters_are_stars_too(g in arb_graph(), t in arb_threshold()) {
+        let p = star_clustering(&g, t);
+        for cluster in p.clusters() {
+            if cluster.len() < 2 {
+                continue;
+            }
+            let has_center = cluster.iter().any(|&c| {
+                cluster
+                    .iter()
+                    .filter(|&&v| v != c)
+                    .all(|&v| g.weight_of(c, v).is_some_and(|w| w >= t))
+            });
+            prop_assert!(has_center, "star cluster {:?} has no hub", cluster);
+        }
+    }
+
+    #[test]
+    fn pairwise_scores_are_bounded(g in arb_graph(), t in arb_threshold()) {
+        // Score each algorithm against an arbitrary "truth": the retained
+        // edge list itself.
+        let truth: Vec<(u32, u32)> = g
+            .edges()
+            .iter()
+            .filter(|e| e.weight >= t)
+            .map(|e| (e.a, e.b))
+            .collect();
+        for a in DirtyAlgorithm::ALL {
+            let s = pairwise_scores(&a.run(&g, t), &truth);
+            for v in [s.precision, s.recall, s.f1] {
+                prop_assert!((0.0..=1.0).contains(&v), "{} score out of range", a);
+            }
+            let expect_f1 = if s.precision + s.recall == 0.0 {
+                0.0
+            } else {
+                2.0 * s.precision * s.recall / (s.precision + s.recall)
+            };
+            prop_assert!((s.f1 - expect_f1).abs() < 1e-12);
+            prop_assert!(s.true_positives <= s.predicted || s.predicted == 0);
+            prop_assert!(s.true_positives <= s.actual || s.actual == 0);
+        }
+    }
+}

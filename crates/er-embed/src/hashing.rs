@@ -1,0 +1,69 @@
+//! Deterministic pseudo-random vectors from hashed seeds.
+//!
+//! Each string (n-gram, token, context signature) deterministically maps to
+//! a fixed unit vector whose components come from a splitmix64 stream —
+//! the "hash kernel" that replaces learned embedding tables.
+
+use er_core::hash::seeded_hash64;
+
+use crate::dense::DenseVector;
+
+/// Generate the unit pseudo-embedding of `key` in `dim` dimensions under a
+/// model-specific `seed`.
+pub fn pseudo_unit_vector(key: &str, dim: usize, seed: u64) -> DenseVector {
+    let mut state = seeded_hash64(key.as_bytes(), seed);
+    let mut v = Vec::with_capacity(dim);
+    for _ in 0..dim {
+        state = splitmix64(state);
+        // Map the top 24 bits to a uniform value in [-1, 1).
+        let u = (state >> 40) as f32 / (1u64 << 23) as f32 - 1.0;
+        v.push(u);
+    }
+    let mut dv = DenseVector(v);
+    dv.normalize();
+    dv
+}
+
+/// The shared anisotropy direction of a model: every encoded text blends a
+/// fraction of this vector, concentrating all embeddings in a cone.
+pub fn anisotropy_direction(dim: usize, seed: u64) -> DenseVector {
+    pseudo_unit_vector("\u{0}__anisotropy__", dim, seed)
+}
+
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vectors_are_deterministic_unit_length() {
+        let a = pseudo_unit_vector("token", 64, 1);
+        let b = pseudo_unit_vector("token", 64, 1);
+        assert_eq!(a, b);
+        assert!((a.norm() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn different_keys_or_seeds_decorrelate() {
+        let a = pseudo_unit_vector("token", 256, 1);
+        let b = pseudo_unit_vector("other", 256, 1);
+        let c = pseudo_unit_vector("token", 256, 2);
+        // Random unit vectors in 256-d are nearly orthogonal.
+        assert!(a.dot(&b).abs() < 0.25);
+        assert!(a.dot(&c).abs() < 0.25);
+    }
+
+    #[test]
+    fn components_are_centered() {
+        let v = pseudo_unit_vector("statistics", 512, 7);
+        let mean: f32 = v.0.iter().sum::<f32>() / v.0.len() as f32;
+        assert!(mean.abs() < 0.05, "mean {mean} should be near zero");
+    }
+}

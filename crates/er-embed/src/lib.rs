@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! # er-embed — deterministic semantic embedding substrate
+//!
+//! The paper's semantic similarity graphs use pre-trained **fastText**
+//! (300-d, character-level) and **ALBERT** (768-d, transformer) models.
+//! Neither is available offline, so this crate provides *hash-kernel*
+//! stand-ins that preserve the properties the paper's analysis depends on
+//! (see DESIGN.md §3, substitution 2):
+//!
+//! * [`FastTextLike`] composes a token vector by summing pseudo-random unit
+//!   vectors of its character 3–6-grams — fastText's actual composition
+//!   rule with hashed instead of learned n-gram tables. Misspelled or OOV
+//!   tokens therefore still embed close to their neighbors.
+//! * [`AlbertLike`] hashes each token *together with its neighbors*, so the
+//!   same surface form in different contexts receives different vectors
+//!   (the homonym property) while synonym handling is approximated by
+//!   shared sub-word content.
+//! * Both add a shared **anisotropy component** to every vector: real
+//!   sentence encoders concentrate embeddings in a narrow cone, which is
+//!   why the paper finds that "semantic similarities assign relatively
+//!   high similarity scores to most pairs of entities". The blend factor
+//!   reproduces that cone.
+//!
+//! Similarities: cosine, Euclidean (`1/(1+d)`) and Word Mover's
+//! (`1/(1+RWMD)` with the standard relaxed-WMD bound) — the three semantic
+//! measures of Figure 6.
+
+pub mod albert;
+pub mod dense;
+pub mod fasttext;
+pub mod hashing;
+pub mod measures;
+pub mod wmd;
+
+pub use albert::AlbertLike;
+pub use dense::DenseVector;
+pub use fasttext::FastTextLike;
+pub use measures::{EmbeddingModel, SemanticMeasure};
+pub use wmd::relaxed_wmd;

@@ -1,0 +1,99 @@
+//! Relaxed Word Mover's Distance.
+//!
+//! Exact WMD is an optimal-transport problem; the standard *relaxed* lower
+//! bound (Kusner et al.) drops one marginal constraint per direction and
+//! takes the max: each token moves all its mass to its nearest counterpart.
+//! This is the usual practical surrogate and preserves the ranking
+//! behaviour the paper's Word Mover's *similarity* (`1/(1+WMD)`) relies on.
+
+use crate::dense::DenseVector;
+
+/// Relaxed WMD between two uniform-weight token-vector bags:
+/// `max(Σᵢ minⱼ d(aᵢ, bⱼ)/|a|, Σⱼ minᵢ d(bⱼ, aᵢ)/|b|)`.
+///
+/// Conventions: both bags empty → 0 (identical); one empty → `f64::INFINITY`
+/// is avoided by returning the norm-scale constant 1.0 per missing side —
+/// callers convert to similarity via `1/(1+d)`, so an empty-vs-nonempty pair
+/// scores 0.5 at most through the explicit guard below, and the pipeline
+/// filters empty texts beforehand.
+pub fn relaxed_wmd(a: &[DenseVector], b: &[DenseVector]) -> f64 {
+    match (a.is_empty(), b.is_empty()) {
+        (true, true) => return 0.0,
+        (true, false) | (false, true) => return f64::MAX,
+        (false, false) => {}
+    }
+    let dir = |xs: &[DenseVector], ys: &[DenseVector]| -> f64 {
+        xs.iter()
+            .map(|x| {
+                ys.iter()
+                    .map(|y| x.euclidean_distance(y))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .sum::<f64>()
+            / xs.len() as f64
+    };
+    dir(a, b).max(dir(b, a))
+}
+
+/// Word Mover's similarity: `1 / (1 + RWMD)`; 0 when one side is empty.
+pub fn word_movers_similarity(a: &[DenseVector], b: &[DenseVector]) -> f64 {
+    let d = relaxed_wmd(a, b);
+    if d == f64::MAX {
+        0.0
+    } else {
+        1.0 / (1.0 + d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fasttext::FastTextLike;
+
+    #[test]
+    fn identical_bags_have_zero_distance() {
+        let ft = FastTextLike::new(64, 0.0);
+        let a = ft.token_vectors("apple iphone pro");
+        assert_eq!(relaxed_wmd(&a, &a), 0.0);
+        assert_eq!(word_movers_similarity(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn permutations_have_zero_distance() {
+        // WMD is transport-based: word order is irrelevant.
+        let ft = FastTextLike::new(64, 0.0);
+        let a = ft.token_vectors("apple iphone pro");
+        let b = ft.token_vectors("pro apple iphone");
+        assert!(relaxed_wmd(&a, &b) < 1e-9);
+    }
+
+    #[test]
+    fn related_bags_closer_than_unrelated() {
+        let ft = FastTextLike::new(128, 0.0);
+        let a = ft.token_vectors("canon powershot camera");
+        let b = ft.token_vectors("canon powershot digital camera");
+        let c = ft.token_vectors("sigmod conference proceedings");
+        assert!(
+            word_movers_similarity(&a, &b) > word_movers_similarity(&a, &c),
+            "shared tokens must raise WM similarity"
+        );
+    }
+
+    #[test]
+    fn symmetry_of_relaxed_bound() {
+        let ft = FastTextLike::new(64, 0.0);
+        let a = ft.token_vectors("alpha beta");
+        let b = ft.token_vectors("beta gamma delta");
+        assert!((relaxed_wmd(&a, &b) - relaxed_wmd(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_bag_conventions() {
+        let ft = FastTextLike::new(64, 0.0);
+        let a = ft.token_vectors("something");
+        let empty: Vec<_> = ft.token_vectors("");
+        assert_eq!(relaxed_wmd(&empty, &empty), 0.0);
+        assert_eq!(word_movers_similarity(&a, &empty), 0.0);
+        assert_eq!(word_movers_similarity(&empty, &empty), 1.0);
+    }
+}

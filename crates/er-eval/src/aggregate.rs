@@ -1,0 +1,56 @@
+//! Macro-average aggregation (Table 4 and Figure 3 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// Mean and (population) standard deviation of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeanStd {
+    /// Arithmetic mean (`μ`).
+    pub mean: f64,
+    /// Population standard deviation (`σ`).
+    pub std: f64,
+}
+
+impl MeanStd {
+    /// The zero statistic (empty samples).
+    pub fn zero() -> Self {
+        MeanStd { mean: 0.0, std: 0.0 }
+    }
+}
+
+/// Compute mean and population standard deviation.
+pub fn mean_std(values: &[f64]) -> MeanStd {
+    if values.is_empty() {
+        return MeanStd::zero();
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    MeanStd {
+        mean,
+        std: var.sqrt(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        let s = mean_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        assert_eq!(mean_std(&[]), MeanStd::zero());
+        let one = mean_std(&[3.5]);
+        assert_eq!(one.mean, 3.5);
+        assert_eq!(one.std, 0.0);
+        let constant = mean_std(&[0.7, 0.7, 0.7]);
+        assert!((constant.mean - 0.7).abs() < 1e-12);
+        assert!(constant.std < 1e-12);
+    }
+}

@@ -1,0 +1,128 @@
+//! #Top1 / Δ% / #Top2 accounting with tie handling (Table 5 of the paper).
+//!
+//! For each similarity graph: every algorithm achieving the maximum F1
+//! increments its `#Top1`; the winners' Δ is the gap to the second-highest
+//! *distinct* F1; every algorithm achieving that second value increments
+//! its `#Top2`. "In case of ties, we increment #Top1 and #Top2 for all
+//! involved algorithms."
+
+use er_core::FxHashMap;
+use er_matchers::AlgorithmKind;
+use serde::{Deserialize, Serialize};
+
+/// Accumulated Top-1/Top-2 statistics for one algorithm.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct TopCounts {
+    /// Times this algorithm achieved the maximum F1.
+    pub top1: usize,
+    /// Times it achieved the second-highest F1.
+    pub top2: usize,
+    /// Sum of (max − second-max) gaps over its wins.
+    pub delta_sum: f64,
+    /// Number of wins contributing to `delta_sum`.
+    pub delta_count: usize,
+}
+
+impl TopCounts {
+    /// Average Δ over wins, as a percentage (the paper's Δ (%)).
+    pub fn delta_pct(&self) -> f64 {
+        if self.delta_count == 0 {
+            0.0
+        } else {
+            100.0 * self.delta_sum / self.delta_count as f64
+        }
+    }
+}
+
+/// Accumulate counts over many graphs. `per_graph[g]` holds each
+/// algorithm's best F1 on graph `g`.
+pub fn top_counts(
+    per_graph: &[Vec<(AlgorithmKind, f64)>],
+) -> FxHashMap<AlgorithmKind, TopCounts> {
+    let mut out: FxHashMap<AlgorithmKind, TopCounts> = FxHashMap::default();
+    for scores in per_graph {
+        if scores.is_empty() {
+            continue;
+        }
+        let max = scores
+            .iter()
+            .map(|&(_, f)| f)
+            .fold(f64::NEG_INFINITY, f64::max);
+        // Second-highest *distinct* value (equal to max when all tie).
+        let second = scores
+            .iter()
+            .map(|&(_, f)| f)
+            .filter(|&f| f < max)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let (second, delta) = if second.is_finite() {
+            (second, max - second)
+        } else {
+            (max, 0.0)
+        };
+        for &(k, f) in scores {
+            let e = out.entry(k).or_default();
+            if f == max {
+                e.top1 += 1;
+                e.delta_sum += delta;
+                e.delta_count += 1;
+            } else if f == second {
+                e.top2 += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use AlgorithmKind::*;
+
+    #[test]
+    fn simple_winner_and_runner_up() {
+        let per_graph = vec![
+            vec![(Umc, 0.9), (Krc, 0.8), (Cnc, 0.5)],
+            vec![(Umc, 0.7), (Krc, 0.75), (Cnc, 0.2)],
+        ];
+        let c = top_counts(&per_graph);
+        assert_eq!(c[&Umc].top1, 1);
+        assert_eq!(c[&Umc].top2, 1);
+        assert_eq!(c[&Krc].top1, 1);
+        assert_eq!(c[&Krc].top2, 1);
+        assert_eq!(c[&Cnc].top1, 0);
+        // UMC's win gap: 0.9 − 0.8 = 0.1 → Δ% = 10.
+        assert!((c[&Umc].delta_pct() - 10.0).abs() < 1e-9);
+        assert!((c[&Krc].delta_pct() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ties_increment_all_involved() {
+        let per_graph = vec![vec![(Umc, 0.9), (Krc, 0.9), (Exc, 0.8), (Bmc, 0.8)]];
+        let c = top_counts(&per_graph);
+        assert_eq!(c[&Umc].top1, 1);
+        assert_eq!(c[&Krc].top1, 1);
+        assert_eq!(c[&Exc].top2, 1);
+        assert_eq!(c[&Bmc].top2, 1);
+        // Δ is max − second distinct = 0.1 for both winners.
+        assert!((c[&Umc].delta_sum - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_tied_gives_zero_delta() {
+        let per_graph = vec![vec![(Umc, 0.5), (Krc, 0.5)]];
+        let c = top_counts(&per_graph);
+        assert_eq!(c[&Umc].top1, 1);
+        assert_eq!(c[&Krc].top1, 1);
+        assert_eq!(c[&Umc].delta_pct(), 0.0);
+        // Nobody is second when everyone is first.
+        assert_eq!(c[&Umc].top2, 0);
+    }
+
+    #[test]
+    fn empty_input() {
+        let c = top_counts(&[]);
+        assert!(c.is_empty());
+        let c = top_counts(&[vec![]]);
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,170 @@
+//! F1-dependent corpus cleaning (paper §5, rules 2 and 3).
+//!
+//! Rule 2: "we removed all noisy graphs, where all algorithms achieve an
+//! F-Measure lower than 0.25".
+//!
+//! Rule 3: "we cleaned our data from duplicate inputs, i.e., similarity
+//! graphs that emanate from the same dataset but different similarity
+//! functions and have the same number of edges, while at least two
+//! different algorithms achieve their best performance with the same
+//! similarity threshold, exhibiting almost identical effectiveness (the
+//! difference in F-Measure and precision or recall is less than 0.2%)".
+
+use serde::{Deserialize, Serialize};
+
+use crate::sweep::SweepResult;
+
+/// Rule 2: is a graph noisy (every algorithm's best F1 below 0.25)?
+pub fn is_noisy_graph(results: &[SweepResult]) -> bool {
+    !results.is_empty() && results.iter().all(|r| r.best.f1 < 0.25)
+}
+
+/// A summarised graph identity used by rule 3 duplicate detection.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GraphFingerprint {
+    /// Identifier of the source dataset.
+    pub dataset: String,
+    /// Number of edges of the graph.
+    pub n_edges: usize,
+    /// Per-algorithm `(best threshold, f1, precision, recall)`.
+    pub per_algorithm: Vec<(f64, f64, f64, f64)>,
+}
+
+impl GraphFingerprint {
+    /// Build from sweep results.
+    pub fn new(dataset: &str, n_edges: usize, results: &[SweepResult]) -> Self {
+        GraphFingerprint {
+            dataset: dataset.to_string(),
+            n_edges,
+            per_algorithm: results
+                .iter()
+                .map(|r| {
+                    (
+                        r.best_threshold,
+                        r.best.f1,
+                        r.best.precision,
+                        r.best.recall,
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Rule 3's pairwise duplicate criterion.
+    fn duplicates(&self, other: &GraphFingerprint) -> bool {
+        if self.dataset != other.dataset
+            || self.n_edges != other.n_edges
+            || self.per_algorithm.len() != other.per_algorithm.len()
+        {
+            return false;
+        }
+        const EPS: f64 = 0.002; // "less than 0.2%"
+        let near_identical = self
+            .per_algorithm
+            .iter()
+            .zip(&other.per_algorithm)
+            .filter(|((t1, f1, p1, r1), (t2, f2, p2, r2))| {
+                t1 == t2
+                    && (f1 - f2).abs() < EPS
+                    && ((p1 - p2).abs() < EPS || (r1 - r2).abs() < EPS)
+            })
+            .count();
+        near_identical >= 2
+    }
+}
+
+/// Rule 3: return the indices of fingerprints to **drop** (later duplicates
+/// of an earlier graph are removed; the first occurrence stays).
+pub fn dedup_duplicate_inputs(fingerprints: &[GraphFingerprint]) -> Vec<usize> {
+    let mut dropped = Vec::new();
+    let mut kept: Vec<usize> = Vec::new();
+    for i in 0..fingerprints.len() {
+        let dup = kept
+            .iter()
+            .any(|&j| fingerprints[j].duplicates(&fingerprints[i]));
+        if dup {
+            dropped.push(i);
+        } else {
+            kept.push(i);
+        }
+    }
+    dropped
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::PrecisionRecall;
+    use er_matchers::AlgorithmKind;
+
+    fn result(kind: AlgorithmKind, t: f64, f1: f64, p: f64, r: f64) -> SweepResult {
+        SweepResult {
+            algorithm: kind,
+            best_threshold: t,
+            best: PrecisionRecall {
+                precision: p,
+                recall: r,
+                f1,
+                true_positives: 0,
+                output_pairs: 0,
+                ground_truth_pairs: 0,
+            },
+            bmc_basis_right: None,
+        }
+    }
+
+    #[test]
+    fn rule2_flags_noisy_graphs() {
+        let noisy = vec![
+            result(AlgorithmKind::Umc, 0.5, 0.20, 0.2, 0.2),
+            result(AlgorithmKind::Krc, 0.5, 0.10, 0.1, 0.1),
+        ];
+        assert!(is_noisy_graph(&noisy));
+        let ok = vec![
+            result(AlgorithmKind::Umc, 0.5, 0.30, 0.3, 0.3),
+            result(AlgorithmKind::Krc, 0.5, 0.10, 0.1, 0.1),
+        ];
+        assert!(!is_noisy_graph(&ok));
+        assert!(!is_noisy_graph(&[]));
+    }
+
+    #[test]
+    fn rule3_detects_duplicates() {
+        let rs1 = vec![
+            result(AlgorithmKind::Umc, 0.5, 0.80, 0.8, 0.8),
+            result(AlgorithmKind::Krc, 0.4, 0.70, 0.7, 0.7),
+        ];
+        let rs2 = vec![
+            result(AlgorithmKind::Umc, 0.5, 0.8001, 0.8, 0.8),
+            result(AlgorithmKind::Krc, 0.4, 0.7001, 0.7, 0.7),
+        ];
+        let f1 = GraphFingerprint::new("D1", 100, &rs1);
+        let f2 = GraphFingerprint::new("D1", 100, &rs2);
+        assert!(f1.duplicates(&f2));
+        let dropped = dedup_duplicate_inputs(&[f1.clone(), f2]);
+        assert_eq!(dropped, vec![1]);
+
+        // Different edge count → not duplicates.
+        let f3 = GraphFingerprint::new("D1", 101, &rs1);
+        assert!(!f1.duplicates(&f3));
+        // Different dataset → not duplicates.
+        let f4 = GraphFingerprint::new("D2", 100, &rs1);
+        assert!(!f1.duplicates(&f4));
+    }
+
+    #[test]
+    fn rule3_requires_two_agreeing_algorithms() {
+        let rs1 = vec![
+            result(AlgorithmKind::Umc, 0.5, 0.80, 0.8, 0.8),
+            result(AlgorithmKind::Krc, 0.4, 0.70, 0.7, 0.7),
+        ];
+        // Only UMC matches; KRC differs in threshold.
+        let rs2 = vec![
+            result(AlgorithmKind::Umc, 0.5, 0.80, 0.8, 0.8),
+            result(AlgorithmKind::Krc, 0.6, 0.70, 0.7, 0.7),
+        ];
+        let f1 = GraphFingerprint::new("D1", 100, &rs1);
+        let f2 = GraphFingerprint::new("D1", 100, &rs2);
+        assert!(!f1.duplicates(&f2));
+    }
+}

@@ -1,0 +1,234 @@
+//! The Friedman test over paired samples (§6, statistical significance).
+//!
+//! The paper ranks the eight algorithms on each of the 739 similarity
+//! graphs, then tests the null hypothesis that all algorithms perform
+//! equally (α = 0.05) before running the post-hoc Nemenyi analysis.
+
+use serde::{Deserialize, Serialize};
+
+/// Result of a Friedman test over `n` blocks (graphs) × `k` treatments
+/// (algorithms).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FriedmanResult {
+    /// Mean rank per treatment (1 = best), in input order.
+    pub mean_ranks: Vec<f64>,
+    /// The Friedman chi-square statistic.
+    pub chi_square: f64,
+    /// Degrees of freedom (`k − 1`).
+    pub df: usize,
+    /// Approximate p-value from the chi-square distribution.
+    pub p_value: f64,
+    /// Number of blocks.
+    pub n_blocks: usize,
+}
+
+impl FriedmanResult {
+    /// Whether the null hypothesis is rejected at significance `alpha`.
+    pub fn rejects_null(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Run the Friedman test.
+///
+/// `scores[b][t]` is the score of treatment `t` on block `b`; **higher is
+/// better** (ranks are assigned descending, with average ranks on ties).
+pub fn friedman_test(scores: &[Vec<f64>]) -> FriedmanResult {
+    let n = scores.len();
+    assert!(n > 0, "need at least one block");
+    let k = scores[0].len();
+    assert!(k >= 2, "need at least two treatments");
+
+    let mut rank_sums = vec![0.0f64; k];
+    for row in scores {
+        assert_eq!(row.len(), k, "ragged score matrix");
+        for (t, r) in ranks_desc(row).into_iter().enumerate() {
+            rank_sums[t] += r;
+        }
+    }
+    let mean_ranks: Vec<f64> = rank_sums.iter().map(|s| s / n as f64).collect();
+
+    // χ²_F = 12n/(k(k+1)) · [Σ R̄_j² − k(k+1)²/4]
+    let nf = n as f64;
+    let kf = k as f64;
+    let sum_sq: f64 = mean_ranks.iter().map(|r| r * r).sum();
+    let chi_square = (12.0 * nf / (kf * (kf + 1.0))) * (sum_sq - kf * (kf + 1.0) * (kf + 1.0) / 4.0);
+    let chi_square = chi_square.max(0.0);
+    let df = k - 1;
+    let p_value = chi_square_sf(chi_square, df as f64);
+
+    FriedmanResult {
+        mean_ranks,
+        chi_square,
+        df,
+        p_value,
+        n_blocks: n,
+    }
+}
+
+/// Descending ranks with average ranks for ties (rank 1 = highest score).
+pub fn ranks_desc(row: &[f64]) -> Vec<f64> {
+    let k = row.len();
+    let mut order: Vec<usize> = (0..k).collect();
+    order.sort_by(|&a, &b| row[b].total_cmp(&row[a]));
+    let mut ranks = vec![0.0; k];
+    let mut i = 0;
+    while i < k {
+        let mut j = i;
+        while j + 1 < k && row[order[j + 1]] == row[order[i]] {
+            j += 1;
+        }
+        // Positions i..=j (0-based) share the average of ranks i+1..=j+1.
+        let avg = (i + 1 + j + 1) as f64 / 2.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Chi-square survival function `P(X ≥ x)` via the regularized upper
+/// incomplete gamma function `Q(df/2, x/2)`.
+pub fn chi_square_sf(x: f64, df: f64) -> f64 {
+    if x <= 0.0 {
+        return 1.0;
+    }
+    upper_regularized_gamma(df / 2.0, x / 2.0)
+}
+
+/// Regularized upper incomplete gamma `Q(a, x)` (series for `x < a+1`,
+/// continued fraction otherwise; Numerical-Recipes style).
+fn upper_regularized_gamma(a: f64, x: f64) -> f64 {
+    if x < a + 1.0 {
+        1.0 - lower_gamma_series(a, x)
+    } else {
+        upper_gamma_cf(a, x)
+    }
+}
+
+fn lower_gamma_series(a: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    let ln_gamma_a = ln_gamma(a);
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut del = sum;
+    for _ in 0..500 {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if del.abs() < sum.abs() * 1e-15 {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma_a).exp()
+}
+
+fn upper_gamma_cf(a: f64, x: f64) -> f64 {
+    let ln_gamma_a = ln_gamma(a);
+    let tiny = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / tiny;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < tiny {
+            d = tiny;
+        }
+        c = b + an / c;
+        if c.abs() < tiny {
+            c = tiny;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < 1e-15 {
+            break;
+        }
+    }
+    (-x + a * x.ln() - ln_gamma_a).exp() * h
+}
+
+/// Lanczos log-gamma.
+fn ln_gamma(x: f64) -> f64 {
+    const G: [f64; 6] = [
+        76.180_091_729_471_46,
+        -86.505_320_329_416_77,
+        24.014_098_240_830_91,
+        -1.231_739_572_450_155,
+        0.120_865_097_386_617_7e-2,
+        -0.539_523_938_495_3e-5,
+    ];
+    let mut y = x;
+    let tmp = x + 5.5;
+    let tmp = tmp - (x + 0.5) * tmp.ln();
+    let mut ser = 1.000_000_000_190_015;
+    for g in G {
+        y += 1.0;
+        ser += g / y;
+    }
+    -tmp + (2.506_628_274_631_000_5 * ser / x).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_handle_ties() {
+        assert_eq!(ranks_desc(&[0.9, 0.5, 0.7]), vec![1.0, 3.0, 2.0]);
+        // Tie for first: ranks (1+2)/2.
+        assert_eq!(ranks_desc(&[0.9, 0.9, 0.1]), vec![1.5, 1.5, 3.0]);
+        // All tied.
+        assert_eq!(ranks_desc(&[0.4, 0.4, 0.4]), vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn chi_square_sf_known_values() {
+        // Textbook: P(X ≥ 3.84 | df=1) ≈ 0.05; P(X ≥ 14.07 | df=7) ≈ 0.05.
+        assert!((chi_square_sf(3.841, 1.0) - 0.05).abs() < 1e-3);
+        assert!((chi_square_sf(14.067, 7.0) - 0.05).abs() < 1e-3);
+        assert!((chi_square_sf(0.0, 5.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clear_differences_reject_null() {
+        // Treatment 0 always wins, 2 always loses.
+        let scores: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![0.9 + (i % 3) as f64 * 0.01, 0.5, 0.1])
+            .collect();
+        let r = friedman_test(&scores);
+        assert!(r.rejects_null(0.05), "p = {}", r.p_value);
+        assert!(r.mean_ranks[0] < r.mean_ranks[1]);
+        assert!(r.mean_ranks[1] < r.mean_ranks[2]);
+        assert!((r.mean_ranks[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_treatments_accept_null() {
+        let scores: Vec<Vec<f64>> = (0..20).map(|_| vec![0.5, 0.5, 0.5, 0.5]).collect();
+        let r = friedman_test(&scores);
+        assert!(!r.rejects_null(0.05));
+        for mr in &r.mean_ranks {
+            assert!((mr - 2.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mean_ranks_sum_is_invariant() {
+        // Σ mean ranks = k(k+1)/2 regardless of data.
+        let scores = vec![
+            vec![0.3, 0.9, 0.1, 0.5],
+            vec![0.2, 0.2, 0.8, 0.4],
+            vec![0.6, 0.6, 0.6, 0.6],
+        ];
+        let r = friedman_test(&scores);
+        let sum: f64 = r.mean_ranks.iter().sum();
+        assert!((sum - 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,115 @@
+//! Effectiveness measures (§5, Evaluation Measures).
+
+use serde::{Deserialize, Serialize};
+
+use er_core::{GroundTruth, Matching};
+
+/// Pair-level effectiveness of one matching.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrecisionRecall {
+    /// Portion of output partitions that involve two matching entities.
+    pub precision: f64,
+    /// Portion of matching partitions that are included in the output.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+    /// Correctly matched pairs.
+    pub true_positives: usize,
+    /// Output pairs.
+    pub output_pairs: usize,
+    /// Ground-truth pairs.
+    pub ground_truth_pairs: usize,
+}
+
+impl PrecisionRecall {
+    /// All-zero metrics (the convention for empty outputs).
+    pub fn zero(ground_truth_pairs: usize) -> Self {
+        PrecisionRecall {
+            precision: 0.0,
+            recall: 0.0,
+            f1: 0.0,
+            true_positives: 0,
+            output_pairs: 0,
+            ground_truth_pairs,
+        }
+    }
+}
+
+/// Evaluate a matching against the ground truth.
+///
+/// Conventions: an empty output has precision 0 (nothing correct was
+/// emitted); an empty ground truth yields recall 0. F1 is 0 whenever either
+/// constituent is 0.
+pub fn evaluate(m: &Matching, gt: &GroundTruth) -> PrecisionRecall {
+    let tp = gt.true_positives(m);
+    let precision = if m.is_empty() {
+        0.0
+    } else {
+        tp as f64 / m.len() as f64
+    };
+    let recall = if gt.is_empty() {
+        0.0
+    } else {
+        tp as f64 / gt.len() as f64
+    };
+    let f1 = if precision + recall > 0.0 {
+        2.0 * precision * recall / (precision + recall)
+    } else {
+        0.0
+    };
+    PrecisionRecall {
+        precision,
+        recall,
+        f1,
+        true_positives: tp,
+        output_pairs: m.len(),
+        ground_truth_pairs: gt.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_matching() {
+        let gt = GroundTruth::new(vec![(0, 0), (1, 1)]);
+        let m = Matching::new(vec![(0, 0), (1, 1)]);
+        let e = evaluate(&m, &gt);
+        assert_eq!(e.precision, 1.0);
+        assert_eq!(e.recall, 1.0);
+        assert_eq!(e.f1, 1.0);
+        assert_eq!(e.true_positives, 2);
+    }
+
+    #[test]
+    fn partial_matching() {
+        let gt = GroundTruth::new(vec![(0, 0), (1, 1), (2, 2), (3, 3)]);
+        let m = Matching::new(vec![(0, 0), (1, 2)]); // 1 of 2 correct
+        let e = evaluate(&m, &gt);
+        assert_eq!(e.precision, 0.5);
+        assert_eq!(e.recall, 0.25);
+        let f1 = 2.0 * 0.5 * 0.25 / 0.75;
+        assert!((e.f1 - f1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_output_conventions() {
+        let gt = GroundTruth::new(vec![(0, 0)]);
+        let e = evaluate(&Matching::empty(), &gt);
+        assert_eq!(e.precision, 0.0);
+        assert_eq!(e.recall, 0.0);
+        assert_eq!(e.f1, 0.0);
+        assert_eq!(e, PrecisionRecall::zero(1));
+    }
+
+    #[test]
+    fn empty_ground_truth() {
+        let gt = GroundTruth::new(vec![]);
+        let m = Matching::new(vec![(0, 0)]);
+        let e = evaluate(&m, &gt);
+        assert_eq!(e.precision, 0.0);
+        assert_eq!(e.recall, 0.0);
+        assert_eq!(e.f1, 0.0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Post-hoc Nemenyi analysis and critical-distance diagrams (Figures 2,
+//! 7, 8 of the paper).
+//!
+//! Two treatments differ significantly when their mean ranks differ by at
+//! least the critical distance `CD = q_α · sqrt(k(k+1) / 6N)`, with `q_α`
+//! the Studentized-range-based constant. With k = 8 and N = 739 the paper
+//! obtains CD = 0.37.
+
+use serde::{Deserialize, Serialize};
+
+/// `q_0.05` constants for the Nemenyi test, `k = 2..=10` (Demšar 2006,
+/// Table 5a: Studentized range values divided by √2).
+const Q_ALPHA_05: [f64; 9] = [
+    1.960, 2.343, 2.569, 2.728, 2.850, 2.949, 3.031, 3.102, 3.164,
+];
+
+/// The critical distance at α = 0.05 for `k` treatments over `n` blocks.
+///
+/// Panics unless `2 <= k <= 10` (the tabulated range).
+pub fn nemenyi_critical_distance(k: usize, n: usize) -> f64 {
+    assert!((2..=10).contains(&k), "q_alpha tabulated for k in 2..=10");
+    assert!(n > 0, "need at least one block");
+    let q = Q_ALPHA_05[k - 2];
+    q * ((k * (k + 1)) as f64 / (6.0 * n as f64)).sqrt()
+}
+
+/// A complete Nemenyi analysis over named treatments.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NemenyiAnalysis {
+    /// Treatment names, sorted by mean rank ascending (best first).
+    pub names: Vec<String>,
+    /// Mean ranks aligned with `names`.
+    pub mean_ranks: Vec<f64>,
+    /// The critical distance.
+    pub critical_distance: f64,
+    /// Maximal groups of mutually-insignificant treatments, as index
+    /// ranges into `names` (`start..=end`).
+    pub cliques: Vec<(usize, usize)>,
+}
+
+impl NemenyiAnalysis {
+    /// Build the analysis from unsorted `(name, mean rank)` pairs.
+    pub fn new(pairs: Vec<(String, f64)>, n_blocks: usize) -> NemenyiAnalysis {
+        let k = pairs.len();
+        let cd = nemenyi_critical_distance(k, n_blocks);
+        let mut sorted = pairs;
+        sorted.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let names: Vec<String> = sorted.iter().map(|(n, _)| n.clone()).collect();
+        let mean_ranks: Vec<f64> = sorted.iter().map(|(_, r)| *r).collect();
+
+        // Maximal cliques: for each start, extend while within CD; keep
+        // only ranges not contained in a previous one.
+        let mut cliques: Vec<(usize, usize)> = Vec::new();
+        for i in 0..k {
+            let mut j = i;
+            while j + 1 < k && mean_ranks[j + 1] - mean_ranks[i] <= cd {
+                j += 1;
+            }
+            if j > i {
+                if let Some(&(_, last_end)) = cliques.last() {
+                    if j <= last_end {
+                        continue; // contained in the previous clique
+                    }
+                }
+                cliques.push((i, j));
+            }
+        }
+        NemenyiAnalysis {
+            names,
+            mean_ranks,
+            critical_distance: cd,
+            cliques,
+        }
+    }
+
+    /// Whether treatments `a` and `b` (indices into `names`) differ
+    /// significantly.
+    pub fn significantly_different(&self, a: usize, b: usize) -> bool {
+        (self.mean_ranks[a] - self.mean_ranks[b]).abs() > self.critical_distance
+    }
+}
+
+/// Render an ASCII critical-difference diagram:
+///
+/// ```text
+/// CD = 0.37 (k=8, N=739)
+/// rank 1.0        8.0
+///  2.46 KRC  ──┐
+///  2.90 UMC  ──┤
+///  ...
+/// groups: [KRC UMC] [EXC BMC] ...
+/// ```
+pub fn render_cd_diagram(analysis: &NemenyiAnalysis, n_blocks: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "CD = {:.3} (k={}, N={})\n",
+        analysis.critical_distance,
+        analysis.names.len(),
+        n_blocks
+    ));
+    let width = 40usize;
+    let k = analysis.names.len() as f64;
+    for (name, rank) in analysis.names.iter().zip(&analysis.mean_ranks) {
+        let pos = (((rank - 1.0) / (k - 1.0)) * (width as f64 - 1.0)).round() as usize;
+        let mut bar: Vec<char> = vec!['-'; width];
+        bar[pos.min(width - 1)] = '*';
+        out.push_str(&format!(
+            "  {rank:5.2}  {name:<4} |{}|\n",
+            bar.iter().collect::<String>()
+        ));
+    }
+    if analysis.cliques.is_empty() {
+        out.push_str("groups: all pairwise differences significant\n");
+    } else {
+        out.push_str("groups (no significant difference): ");
+        for &(s, e) in &analysis.cliques {
+            out.push('[');
+            out.push_str(&analysis.names[s..=e].join(" "));
+            out.push_str("] ");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_critical_distance() {
+        // §6: "a post-hoc Nemenyi test to identify the critical distance
+        // (CD = 0.37)" for k = 8, N = 739.
+        let cd = nemenyi_critical_distance(8, 739);
+        assert!((cd - 0.37).abs() < 0.02, "CD = {cd}");
+    }
+
+    #[test]
+    fn cd_shrinks_with_more_blocks() {
+        assert!(nemenyi_critical_distance(8, 1000) < nemenyi_critical_distance(8, 100));
+    }
+
+    fn sample() -> NemenyiAnalysis {
+        NemenyiAnalysis::new(
+            vec![
+                ("UMC".into(), 2.9),
+                ("KRC".into(), 2.5),
+                ("EXC".into(), 3.4),
+                ("CNC".into(), 6.5),
+            ],
+            739,
+        )
+    }
+
+    #[test]
+    fn analysis_sorts_by_rank() {
+        let a = sample();
+        assert_eq!(a.names, vec!["KRC", "UMC", "EXC", "CNC"]);
+        assert!(a.mean_ranks.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn significance_respects_cd() {
+        let a = sample();
+        // CD for k=4, N=739 ≈ 2.569*sqrt(20/(6*739)) ≈ 0.17.
+        assert!(a.significantly_different(0, 3), "KRC vs CNC");
+        assert!(
+            a.significantly_different(0, 1),
+            "KRC vs UMC differ by 0.4 > 0.17"
+        );
+    }
+
+    #[test]
+    fn cliques_group_close_ranks() {
+        let a = NemenyiAnalysis::new(
+            vec![
+                ("A".into(), 1.0),
+                ("B".into(), 1.05),
+                ("C".into(), 1.10),
+                ("D".into(), 5.0),
+            ],
+            100,
+        );
+        // A, B, C are mutually within CD; D is alone.
+        assert_eq!(a.cliques, vec![(0, 2)]);
+        assert!(!a.significantly_different(0, 2));
+        assert!(a.significantly_different(2, 3));
+    }
+
+    #[test]
+    fn diagram_renders_all_names() {
+        let a = sample();
+        let d = render_cd_diagram(&a, 739);
+        for n in ["KRC", "UMC", "EXC", "CNC", "CD ="] {
+            assert!(d.contains(n), "missing {n} in diagram:\n{d}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "tabulated")]
+    fn cd_out_of_range_panics() {
+        nemenyi_critical_distance(11, 10);
+    }
+}

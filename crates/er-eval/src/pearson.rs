@@ -1,0 +1,95 @@
+//! Pearson correlation (Table 8's `ρ(t, |E|/||V1×V2||)` and Figure 9's
+//! between-algorithm threshold correlations).
+
+/// Pearson correlation coefficient of two paired samples.
+///
+/// Returns 0 when either sample has zero variance or fewer than two
+/// points (no linear relationship is measurable).
+pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "paired samples must have equal length");
+    let n = x.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    let mx = x.iter().sum::<f64>() / nf;
+    let my = y.iter().sum::<f64>() / nf;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for i in 0..n {
+        let dx = x[i] - mx;
+        let dy = y[i] - my;
+        cov += dx * dy;
+        vx += dx * dx;
+        vy += dy * dy;
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        return 0.0;
+    }
+    (cov / (vx.sqrt() * vy.sqrt())).clamp(-1.0, 1.0)
+}
+
+/// Pairwise correlation matrix of several aligned series (Figure 9).
+pub fn pearson_matrix(series: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let k = series.len();
+    let mut m = vec![vec![0.0; k]; k];
+    for i in 0..k {
+        for j in 0..k {
+            m[i][j] = if i == j {
+                1.0
+            } else {
+                pearson(&series[i], &series[j])
+            };
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_correlations() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+        let z = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&x, &z) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_correlation_for_constants() {
+        let x = [1.0, 2.0, 3.0];
+        let c = [5.0, 5.0, 5.0];
+        assert_eq!(pearson(&x, &c), 0.0);
+        assert_eq!(pearson(&[], &[]), 0.0);
+        assert_eq!(pearson(&[1.0], &[2.0]), 0.0);
+    }
+
+    #[test]
+    fn known_partial_correlation() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [2.0, 1.0, 4.0, 3.0, 5.0];
+        let r = pearson(&x, &y);
+        assert!((r - 0.8).abs() < 1e-12, "r = {r}");
+    }
+
+    #[test]
+    fn matrix_diagonal_is_one() {
+        let s = vec![vec![1.0, 2.0, 3.0], vec![3.0, 2.0, 1.0], vec![1.0, 3.0, 2.0]];
+        let m = pearson_matrix(&s);
+        for (i, row) in m.iter().enumerate() {
+            assert_eq!(row[i], 1.0);
+        }
+        assert!((m[0][1] + 1.0).abs() < 1e-12);
+        assert!((m[0][1] - m[1][0]).abs() < 1e-12, "symmetric");
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn length_mismatch_panics() {
+        pearson(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,94 @@
+//! Quartile descriptive statistics (Table 8's threshold distributions).
+
+use serde::{Deserialize, Serialize};
+
+/// Five-number summary (plus mean/std convenience) of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Quartiles {
+    /// Minimum.
+    pub min: f64,
+    /// First quartile (25th percentile).
+    pub q1: f64,
+    /// Median.
+    pub q2: f64,
+    /// Third quartile (75th percentile).
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Quartiles {
+    /// Compute the summary with linear interpolation (type-7 quantiles,
+    /// the R/NumPy default). Returns `None` for empty samples.
+    pub fn of(values: &[f64]) -> Option<Quartiles> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        Some(Quartiles {
+            min: sorted[0],
+            q1: quantile(&sorted, 0.25),
+            q2: quantile(&sorted, 0.50),
+            q3: quantile(&sorted, 0.75),
+            max: sorted[sorted.len() - 1],
+        })
+    }
+
+    /// Interquartile range `Q3 − Q1`.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+/// Type-7 quantile of pre-sorted data.
+fn quantile(sorted: &[f64], p: f64) -> f64 {
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let h = p * (n - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_quartiles() {
+        let q = Quartiles::of(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(q.min, 1.0);
+        assert_eq!(q.q1, 2.0);
+        assert_eq!(q.q2, 3.0);
+        assert_eq!(q.q3, 4.0);
+        assert_eq!(q.max, 5.0);
+        assert_eq!(q.iqr(), 2.0);
+    }
+
+    #[test]
+    fn interpolated_quartiles() {
+        let q = Quartiles::of(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert!((q.q1 - 1.75).abs() < 1e-12);
+        assert!((q.q2 - 2.5).abs() < 1e-12);
+        assert!((q.q3 - 3.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unsorted_input_and_degenerates() {
+        let q = Quartiles::of(&[5.0, 1.0, 3.0]).unwrap();
+        assert_eq!(q.min, 1.0);
+        assert_eq!(q.max, 5.0);
+        assert_eq!(q.q2, 3.0);
+        assert!(Quartiles::of(&[]).is_none());
+        let single = Quartiles::of(&[2.5]).unwrap();
+        assert_eq!(single.q1, 2.5);
+        assert_eq!(single.q3, 2.5);
+    }
+}

@@ -1,0 +1,151 @@
+//! Threshold transfer across algorithms.
+//!
+//! The paper's threshold analysis (Appendix 3.2) finds that "the optimal
+//! threshold for a particular similarity graph is relatively stable across
+//! different algorithms … it depends more on the characteristics of the
+//! input, than the functionality of the graph matching algorithm", with
+//! pairwise Pearson correlations "well above 0.8" (Figure 9). That makes
+//! threshold *transfer* practical: tune one cheap algorithm (say CNC) on a
+//! dataset, then predict the optimal threshold of an expensive one via a
+//! simple linear fit.
+//!
+//! [`ThresholdTransfer`] implements that predictor: ordinary least squares
+//! on paired `(source, target)` optimal thresholds, with predictions
+//! clamped to the threshold grid's domain.
+
+use serde::{Deserialize, Serialize};
+
+use crate::pearson::pearson;
+
+/// A fitted linear threshold predictor `target ≈ intercept + slope·source`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThresholdTransfer {
+    /// Regression intercept.
+    pub intercept: f64,
+    /// Regression slope.
+    pub slope: f64,
+    /// Pearson correlation of the training pairs (transfer quality).
+    pub correlation: f64,
+    /// Number of training pairs.
+    pub n: usize,
+}
+
+impl ThresholdTransfer {
+    /// Fit on paired optimal thresholds; `None` with fewer than two pairs
+    /// or a degenerate (constant) source.
+    pub fn fit(pairs: &[(f64, f64)]) -> Option<ThresholdTransfer> {
+        let n = pairs.len();
+        if n < 2 {
+            return None;
+        }
+        let nf = n as f64;
+        let mx = pairs.iter().map(|p| p.0).sum::<f64>() / nf;
+        let my = pairs.iter().map(|p| p.1).sum::<f64>() / nf;
+        let mut sxx = 0.0;
+        let mut sxy = 0.0;
+        for &(x, y) in pairs {
+            sxx += (x - mx) * (x - mx);
+            sxy += (x - mx) * (y - my);
+        }
+        if sxx <= 1e-12 {
+            return None;
+        }
+        let slope = sxy / sxx;
+        let intercept = my - slope * mx;
+        let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        Some(ThresholdTransfer {
+            intercept,
+            slope,
+            correlation: pearson(&xs, &ys),
+            n,
+        })
+    }
+
+    /// Predict the target algorithm's optimal threshold from the source's,
+    /// clamped to `[0, 1]`.
+    pub fn predict(&self, source_threshold: f64) -> f64 {
+        (self.intercept + self.slope * source_threshold).clamp(0.0, 1.0)
+    }
+
+    /// Whether the fit is reliable by the paper's standard (the Figure 9
+    /// correlations are "well above 0.8 in the vast majority of cases").
+    pub fn is_reliable(&self) -> bool {
+        self.correlation >= 0.8 && self.n >= 10
+    }
+
+    /// Mean absolute prediction error on a held-out set of pairs.
+    pub fn mae(&self, pairs: &[(f64, f64)]) -> f64 {
+        if pairs.is_empty() {
+            return 0.0;
+        }
+        pairs
+            .iter()
+            .map(|&(x, y)| (self.predict(x) - y).abs())
+            .sum::<f64>()
+            / pairs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_linear_relation() {
+        let pairs: Vec<(f64, f64)> = (1..=10)
+            .map(|i| {
+                let x = i as f64 * 0.05;
+                (x, 0.9 * x + 0.02)
+            })
+            .collect();
+        let t = ThresholdTransfer::fit(&pairs).unwrap();
+        assert!((t.slope - 0.9).abs() < 1e-9);
+        assert!((t.intercept - 0.02).abs() < 1e-9);
+        assert!((t.correlation - 1.0).abs() < 1e-9);
+        assert!(t.is_reliable());
+        assert!((t.predict(0.5) - 0.47).abs() < 1e-9);
+        assert!(t.mae(&pairs) < 1e-9);
+    }
+
+    #[test]
+    fn identity_transfer_from_equal_thresholds() {
+        let pairs = vec![(0.2, 0.2), (0.4, 0.4), (0.6, 0.6), (0.9, 0.9)];
+        let t = ThresholdTransfer::fit(&pairs).unwrap();
+        assert!((t.predict(0.5) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn predictions_are_clamped() {
+        let pairs = vec![(0.1, 0.9), (0.9, 1.0), (0.5, 0.99)];
+        let t = ThresholdTransfer::fit(&pairs).unwrap();
+        assert!(t.predict(5.0) <= 1.0);
+        assert!(t.predict(-5.0) >= 0.0);
+    }
+
+    #[test]
+    fn degenerate_fits_rejected() {
+        assert!(ThresholdTransfer::fit(&[]).is_none());
+        assert!(ThresholdTransfer::fit(&[(0.5, 0.4)]).is_none());
+        // Constant source has no slope.
+        assert!(ThresholdTransfer::fit(&[(0.5, 0.3), (0.5, 0.6)]).is_none());
+    }
+
+    #[test]
+    fn noisy_fit_reports_low_reliability() {
+        let pairs = vec![
+            (0.1, 0.9),
+            (0.2, 0.1),
+            (0.3, 0.8),
+            (0.4, 0.2),
+            (0.5, 0.7),
+            (0.6, 0.3),
+            (0.7, 0.6),
+            (0.8, 0.4),
+            (0.9, 0.5),
+            (0.95, 0.45),
+        ];
+        let t = ThresholdTransfer::fit(&pairs).unwrap();
+        assert!(!t.is_reliable(), "correlation {} too high", t.correlation);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests for the evaluation layer.
+
+use er_core::{GroundTruth, Matching};
+use er_eval::aggregate::mean_std;
+use er_eval::friedman::{friedman_test, ranks_desc};
+use er_eval::metrics::evaluate;
+use er_eval::pearson::pearson;
+use er_eval::quartiles::Quartiles;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn metrics_are_bounded_and_consistent(
+        gt_pairs in proptest::collection::btree_set((0u32..30, 0u32..30), 0..15),
+        out_pairs in proptest::collection::btree_set((0u32..30, 0u32..30), 0..15),
+    ) {
+        // Make both sides one-to-one by keeping first occurrence per id.
+        let one_to_one = |pairs: &std::collections::BTreeSet<(u32, u32)>| {
+            let mut ls = std::collections::HashSet::new();
+            let mut rs = std::collections::HashSet::new();
+            pairs
+                .iter()
+                .filter(|(l, r)| ls.insert(*l) && rs.insert(*r))
+                .copied()
+                .collect::<Vec<_>>()
+        };
+        let gt = GroundTruth::new(one_to_one(&gt_pairs));
+        let m = Matching::new(one_to_one(&out_pairs));
+        let e = evaluate(&m, &gt);
+        prop_assert!((0.0..=1.0).contains(&e.precision));
+        prop_assert!((0.0..=1.0).contains(&e.recall));
+        prop_assert!((0.0..=1.0).contains(&e.f1));
+        prop_assert!(e.true_positives <= e.output_pairs);
+        prop_assert!(e.true_positives <= e.ground_truth_pairs);
+        // F1 is between min and max of precision/recall.
+        let lo = e.precision.min(e.recall);
+        let hi = e.precision.max(e.recall);
+        prop_assert!(e.f1 >= lo - 1e-12 || e.f1 == 0.0);
+        prop_assert!(e.f1 <= hi + 1e-12);
+    }
+
+    #[test]
+    fn ranks_are_a_permutation_mean(row in proptest::collection::vec(0.0f64..1.0, 2..10)) {
+        let ranks = ranks_desc(&row);
+        let k = row.len() as f64;
+        let sum: f64 = ranks.iter().sum();
+        // Σ ranks = k(k+1)/2 regardless of ties.
+        prop_assert!((sum - k * (k + 1.0) / 2.0).abs() < 1e-9);
+        // Better score never gets a worse (higher) rank.
+        for i in 0..row.len() {
+            for j in 0..row.len() {
+                if row[i] > row[j] {
+                    prop_assert!(ranks[i] < ranks[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn friedman_mean_ranks_bounded(
+        scores in proptest::collection::vec(
+            proptest::collection::vec(0.0f64..1.0, 4),
+            2..30,
+        )
+    ) {
+        let r = friedman_test(&scores);
+        for mr in &r.mean_ranks {
+            prop_assert!((1.0..=4.0).contains(mr));
+        }
+        prop_assert!((0.0..=1.0).contains(&r.p_value));
+        prop_assert!(r.chi_square >= 0.0);
+    }
+
+    #[test]
+    fn quartiles_are_ordered(values in proptest::collection::vec(-10.0f64..10.0, 1..50)) {
+        let q = Quartiles::of(&values).unwrap();
+        prop_assert!(q.min <= q.q1 + 1e-12);
+        prop_assert!(q.q1 <= q.q2 + 1e-12);
+        prop_assert!(q.q2 <= q.q3 + 1e-12);
+        prop_assert!(q.q3 <= q.max + 1e-12);
+        prop_assert!(q.iqr() >= -1e-12);
+    }
+
+    #[test]
+    fn pearson_is_bounded_and_scale_invariant(
+        pairs in proptest::collection::vec((-5.0f64..5.0, -5.0f64..5.0), 3..40),
+        a in 0.1f64..5.0,
+        b in -3.0f64..3.0,
+    ) {
+        let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let r = pearson(&xs, &ys);
+        prop_assert!((-1.0..=1.0).contains(&r));
+        // Positive affine transforms preserve correlation.
+        let ys2: Vec<f64> = ys.iter().map(|y| a * y + b).collect();
+        let r2 = pearson(&xs, &ys2);
+        prop_assert!((r - r2).abs() < 1e-6, "{r} vs {r2}");
+    }
+
+    #[test]
+    fn mean_std_shift_invariance(
+        values in proptest::collection::vec(-100.0f64..100.0, 1..60),
+        shift in -50.0f64..50.0,
+    ) {
+        let base = mean_std(&values);
+        let shifted: Vec<f64> = values.iter().map(|v| v + shift).collect();
+        let s = mean_std(&shifted);
+        prop_assert!((s.mean - (base.mean + shift)).abs() < 1e-6);
+        prop_assert!((s.std - base.std).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,106 @@
+//! Connected Components clustering (CNC) — Algorithm 2 of the paper.
+//!
+//! The simplest bipartite matcher: discard all edges with weight **below**
+//! the threshold, compute the transitive closure of what remains, and keep
+//! only the components that consist of exactly two entities, one from each
+//! collection. Larger components are dropped entirely (the paper's Figure 1
+//! example: the 4-node component `{A1, B1, A5, B3}` produces no output).
+//!
+//! Complexity: `O(m · α(n))` with union-find ≈ `O(m)`.
+
+use er_core::{Matching, UnionFind};
+
+use crate::matcher::{Matcher, PreparedGraph};
+
+/// Connected Components clustering.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Cnc;
+
+impl Matcher for Cnc {
+    fn name(&self) -> &'static str {
+        "CNC"
+    }
+
+    fn run(&self, g: &PreparedGraph<'_>, t: f64) -> Matching {
+        let n_left = g.n_left();
+        let n = n_left as usize + g.n_right() as usize;
+        let mut uf = UnionFind::new(n);
+        // Right node j maps to union-find id n_left + j.
+        for e in g.graph().edges() {
+            if e.weight >= t {
+                uf.union(e.left, n_left + e.right);
+            }
+        }
+        // A valid output pair is a retained edge whose component has exactly
+        // two members; since the graph is bipartite and simple, that
+        // component is precisely {left, right} of this edge.
+        let mut pairs = Vec::new();
+        for e in g.graph().edges() {
+            if e.weight >= t && uf.set_size(e.left) == 2 {
+                pairs.push((e.left, e.right));
+            }
+        }
+        Matching::new(pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::{diamond, figure1};
+
+    #[test]
+    fn figure1_example() {
+        // Paper, Figure 1(b): with t = 0.5 CNC discards the 4-node component
+        // (A1, B1, A5, B3) and keeps (A2, B2) and (A3, B4).
+        let g = figure1();
+        let pg = PreparedGraph::new(&g);
+        let m = Cnc.run(&pg, 0.5);
+        assert_eq!(m.pairs(), &[(1, 1), (2, 3)]);
+    }
+
+    #[test]
+    fn high_threshold_isolates_pairs() {
+        // At t = 0.9 only A5-B1 survives, as its own 2-node component.
+        let g = figure1();
+        let pg = PreparedGraph::new(&g);
+        let m = Cnc.run(&pg, 0.9);
+        assert_eq!(m.pairs(), &[(4, 0)]);
+    }
+
+    #[test]
+    fn threshold_is_inclusive() {
+        // Algorithm 2 removes edges with sim < t, so w == t is retained.
+        let g = figure1();
+        let pg = PreparedGraph::new(&g);
+        let m = Cnc.run(&pg, 0.7);
+        assert!(m.contains(1, 1), "A2-B2 at exactly 0.7 must be kept");
+    }
+
+    #[test]
+    fn chains_are_dropped() {
+        let g = diamond();
+        let pg = PreparedGraph::new(&g);
+        // At t = 0.2 everything is connected except (2,2): the 4-node
+        // component {0,1}×{0,1} is dropped, only (2,2) remains.
+        let m = Cnc.run(&pg, 0.2);
+        assert_eq!(m.pairs(), &[(2, 2)]);
+    }
+
+    #[test]
+    fn empty_when_nothing_survives() {
+        let g = figure1();
+        let pg = PreparedGraph::new(&g);
+        let m = Cnc.run(&pg, 0.95);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn unique_mapping_holds() {
+        let g = diamond();
+        let pg = PreparedGraph::new(&g);
+        for t in [0.0, 0.3, 0.5, 0.8, 1.0] {
+            assert!(Cnc.run(&pg, t).is_unique_mapping());
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Exact Clustering (EXC) — Algorithm 6 of the paper.
+//!
+//! Two entities are matched only if they are **mutually** each other's best
+//! candidate and their edge weight exceeds `t`. A stricter, symmetric
+//! version of BMC — equivalently, a strict reciprocity filter. Inspired by
+//! the Exact strategy of Similarity Flooding.
+//!
+//! Complexity: `O(n·m)` in the paper's accounting; with pre-sorted
+//! adjacency the scan is `O(n)` after the `O(m log m)` sort already paid by
+//! [`crate::PreparedGraph`].
+
+use er_core::Matching;
+
+use crate::matcher::{Matcher, PreparedGraph};
+
+/// Exact (mutual best match) clustering.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Exc;
+
+impl Matcher for Exc {
+    fn name(&self) -> &'static str {
+        "EXC"
+    }
+
+    fn run(&self, g: &PreparedGraph<'_>, t: f64) -> Matching {
+        let adj = g.adjacency();
+        let mut pairs = Vec::new();
+        for i in 0..g.n_left() {
+            // Best candidate of i with weight > t (adjacency is sorted).
+            let Some(best) = adj.best_left(i, t) else {
+                continue;
+            };
+            // Reciprocity: i must also be the best candidate of best.node.
+            let Some(back) = adj.best_right(best.node, t) else {
+                continue;
+            };
+            if back.node == i {
+                pairs.push((i, best.node));
+            }
+        }
+        Matching::new(pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::{diamond, figure1};
+
+    #[test]
+    fn figure1_example() {
+        // Paper, Figure 1(d): EXC produces the same output as UMC because
+        // the entities in each partition are mutually most similar.
+        let g = figure1();
+        let pg = PreparedGraph::new(&g);
+        let m = Exc.run(&pg, 0.5);
+        assert_eq!(m.pairs(), &[(1, 1), (2, 3), (4, 0)]);
+    }
+
+    #[test]
+    fn non_reciprocal_best_is_rejected() {
+        let g = diamond();
+        let pg = PreparedGraph::new(&g);
+        // 0's best is 0 (0.9) and 0's best is 0 → pair. 1's best is 0
+        // (0.8) but 0's best is 0 (left id 0, 0.9) → no pair for 1.
+        let m = Exc.run(&pg, 0.1);
+        assert_eq!(m.pairs(), &[(0, 0), (2, 2)]);
+    }
+
+    #[test]
+    fn exc_is_subset_of_mutual_best_relation() {
+        let g = figure1();
+        let pg = PreparedGraph::new(&g);
+        let adj = pg.adjacency();
+        for t in [0.0, 0.2, 0.5, 0.8] {
+            let m = Exc.run(&pg, t);
+            for (l, r) in m.iter() {
+                assert_eq!(adj.best_left(l, t).unwrap().node, r);
+                assert_eq!(adj.best_right(r, t).unwrap().node, l);
+            }
+        }
+    }
+
+    #[test]
+    fn tie_break_keeps_reciprocity_consistent() {
+        use er_core::GraphBuilder;
+        // Left 0 and 1 both weigh 0.8 to right 0; right 0's deterministic
+        // best is left 0 (lower id). Only (0,0) is mutual.
+        let mut b = GraphBuilder::new(2, 1);
+        b.add_edge(0, 0, 0.8).unwrap();
+        b.add_edge(1, 0, 0.8).unwrap();
+        let g = b.build();
+        let pg = PreparedGraph::new(&g);
+        let m = Exc.run(&pg, 0.0);
+        assert_eq!(m.pairs(), &[(0, 0)]);
+    }
+
+    #[test]
+    fn threshold_is_strict() {
+        let g = figure1();
+        let pg = PreparedGraph::new(&g);
+        let m = Exc.run(&pg, 0.9); // A5-B1 weighs exactly 0.9 → dropped
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn unique_mapping_holds() {
+        let g = diamond();
+        let pg = PreparedGraph::new(&g);
+        for t in [0.0, 0.3, 0.6] {
+            assert!(Exc.run(&pg, t).is_unique_mapping());
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! Exact maximum-weight bipartite matching (Kuhn–Munkres / Hungarian).
+//!
+//! The paper *excludes* the Hungarian algorithm from its study because its
+//! `O(n³)` complexity violates selection criterion (3). It is nevertheless
+//! invaluable here as a **test oracle**: it bounds every heuristic's total
+//! weight from above, certifies BAH/RCA quality on small graphs, and backs
+//! the `MaxWeight` ablation bench.
+//!
+//! Implementation: the classic potentials formulation of the assignment
+//! problem (row-by-row Dijkstra-style augmentation) on a dense matrix,
+//! minimizing negated weights. Edges at or below the threshold contribute
+//! nothing and are dropped from the final matching, which is exactly the
+//! reduction from max-weight matching to the assignment problem (any
+//! matching extends to a full assignment via zero-weight fills).
+
+use er_core::{Matching, SimilarityGraph};
+
+/// Compute an exact maximum-weight matching among edges with `weight > t`.
+///
+/// Complexity `O(s² · l)` where `s = min(|V1|,|V2|)`, `l = max(|V1|,|V2|)`;
+/// memory `O(s · l)`. Intended for tests and ablations on small graphs.
+pub fn hungarian_matching(g: &SimilarityGraph, t: f64) -> Matching {
+    let flip = g.n_left() > g.n_right();
+    let (rows, cols) = if flip {
+        (g.n_right() as usize, g.n_left() as usize)
+    } else {
+        (g.n_left() as usize, g.n_right() as usize)
+    };
+    if rows == 0 || cols == 0 {
+        return Matching::empty();
+    }
+
+    // Dense cost matrix: cost = -weight for retained edges, 0 otherwise.
+    let mut cost = vec![0.0f64; rows * cols];
+    for e in g.graph_edges_above(t) {
+        let (r, c) = if flip {
+            (e.right as usize, e.left as usize)
+        } else {
+            (e.left as usize, e.right as usize)
+        };
+        cost[r * cols + c] = -e.weight;
+    }
+
+    let assignment = solve_assignment(&cost, rows, cols);
+
+    let mut pairs = Vec::new();
+    for (r, c) in assignment.into_iter().enumerate() {
+        let Some(c) = c else { continue };
+        if cost[r * cols + c] < 0.0 {
+            // Backed by a real edge above the threshold.
+            let pair = if flip {
+                (c as u32, r as u32)
+            } else {
+                (r as u32, c as u32)
+            };
+            pairs.push(pair);
+        }
+    }
+    Matching::new(pairs)
+}
+
+/// Total weight of the exact maximum-weight matching above `t`.
+pub fn max_weight_matching_value(g: &SimilarityGraph, t: f64) -> f64 {
+    hungarian_matching(g, t).total_weight(g)
+}
+
+/// Solve the rectangular assignment problem (rows ≤ cols) minimizing total
+/// cost; returns per-row column assignments.
+///
+/// This is the standard `O(rows² · cols)` potentials algorithm (e-maxx
+/// formulation) with 1-based internal indexing.
+fn solve_assignment(cost: &[f64], rows: usize, cols: usize) -> Vec<Option<usize>> {
+    assert!(rows <= cols, "assignment requires rows <= cols");
+    let inf = f64::INFINITY;
+    let a = |i: usize, j: usize| cost[(i - 1) * cols + (j - 1)];
+
+    let mut u = vec![0.0f64; rows + 1];
+    let mut v = vec![0.0f64; cols + 1];
+    let mut p = vec![0usize; cols + 1]; // row matched to column j (0 = none)
+    let mut way = vec![0usize; cols + 1];
+
+    for i in 1..=rows {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![inf; cols + 1];
+        let mut used = vec![false; cols + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = inf;
+            let mut j1 = 0usize;
+            for j in 1..=cols {
+                if !used[j] {
+                    let cur = a(i0, j) - u[i0] - v[j];
+                    if cur < minv[j] {
+                        minv[j] = cur;
+                        way[j] = j0;
+                    }
+                    if minv[j] < delta {
+                        delta = minv[j];
+                        j1 = j;
+                    }
+                }
+            }
+            for j in 0..=cols {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        // Augment along the alternating path.
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut ans = vec![None; rows];
+    for j in 1..=cols {
+        if p[j] != 0 {
+            ans[p[j] - 1] = Some(j - 1);
+        }
+    }
+    ans
+}
+
+/// Internal helper so the matrix fill can iterate retained edges without
+/// exposing a public filtered iterator on `SimilarityGraph`.
+trait EdgesAbove {
+    fn graph_edges_above(&self, t: f64) -> Vec<er_core::Edge>;
+}
+
+impl EdgesAbove for SimilarityGraph {
+    fn graph_edges_above(&self, t: f64) -> Vec<er_core::Edge> {
+        self.edges()
+            .iter()
+            .copied()
+            .filter(|e| e.weight > t)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::{diamond, figure1};
+    use er_core::GraphBuilder;
+
+    #[test]
+    fn figure1_optimum_is_assignment_not_greedy() {
+        // Figure 1(c): optimal total weight at t=0.5 is
+        // 0.6 (A1-B1) + 0.7 (A2-B2) + 0.6 (A3-B4) + 0.6 (A5-B3) = 2.5.
+        let g = figure1();
+        let m = hungarian_matching(&g, 0.5);
+        assert!((m.total_weight(&g) - 2.5).abs() < 1e-9);
+        assert!(m.contains(0, 0));
+        assert!(m.contains(4, 2));
+    }
+
+    #[test]
+    fn diamond_optimum() {
+        // Best: 0-1 (0.8) + 1-0 (0.8) + 2-2 (0.5) = 2.1, beating the greedy
+        // 0-0 (0.9) + 1-1 (0.2) + 2-2 (0.5) = 1.6.
+        let g = diamond();
+        let m = hungarian_matching(&g, 0.0);
+        assert!((m.total_weight(&g) - 2.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exhaustive_check_on_tiny_graphs() {
+        // Brute-force all matchings of a 3x3 graph and compare optima.
+        let mut b = GraphBuilder::new(3, 3);
+        let ws = [
+            (0, 0, 0.31),
+            (0, 1, 0.95),
+            (1, 0, 0.85),
+            (1, 2, 0.40),
+            (2, 1, 0.70),
+            (2, 2, 0.20),
+        ];
+        for (l, r, w) in ws {
+            b.add_edge(l, r, w).unwrap();
+        }
+        let g = b.build();
+        let brute = brute_force_max(&g, 0.0);
+        let hung = max_weight_matching_value(&g, 0.0);
+        assert!((brute - hung).abs() < 1e-9, "brute {brute} vs hung {hung}");
+    }
+
+    #[test]
+    fn respects_threshold() {
+        let g = diamond();
+        let m = hungarian_matching(&g, 0.6);
+        // Only 0-0 (0.9) and 0-1/1-0 (0.8) exceed 0.6; the optimum takes the
+        // two 0.8 edges.
+        assert!((m.total_weight(&g) - 1.6).abs() < 1e-9);
+        for (l, r) in m.iter() {
+            assert!(g.weight_of(l, r).unwrap() > 0.6);
+        }
+    }
+
+    #[test]
+    fn rectangular_graphs_both_orientations() {
+        let mut b = GraphBuilder::new(2, 4);
+        b.add_edge(0, 3, 0.9).unwrap();
+        b.add_edge(1, 3, 0.8).unwrap();
+        b.add_edge(1, 0, 0.5).unwrap();
+        let g = b.build();
+        let m = hungarian_matching(&g, 0.0);
+        assert!((m.total_weight(&g) - 1.4).abs() < 1e-9);
+
+        let mut b = GraphBuilder::new(4, 2);
+        b.add_edge(3, 0, 0.9).unwrap();
+        b.add_edge(3, 1, 0.8).unwrap();
+        b.add_edge(0, 1, 0.5).unwrap();
+        let g = b.build();
+        let m = hungarian_matching(&g, 0.0);
+        assert!((m.total_weight(&g) - 1.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_degenerate() {
+        let g = GraphBuilder::new(0, 5).build();
+        assert!(hungarian_matching(&g, 0.0).is_empty());
+        let g = GraphBuilder::new(3, 3).build();
+        assert!(hungarian_matching(&g, 0.0).is_empty());
+    }
+
+    /// Brute force: enumerate all injective partial assignments (tiny n!).
+    fn brute_force_max(g: &SimilarityGraph, t: f64) -> f64 {
+        fn rec(
+            g: &SimilarityGraph,
+            t: f64,
+            row: u32,
+            used: &mut Vec<bool>,
+        ) -> f64 {
+            if row == g.n_left() {
+                return 0.0;
+            }
+            // Skip this row entirely.
+            let mut best = rec(g, t, row + 1, used);
+            for c in 0..g.n_right() {
+                if !used[c as usize] {
+                    if let Some(w) = g.weight_of(row, c) {
+                        if w > t {
+                            used[c as usize] = true;
+                            best = best.max(w + rec(g, t, row + 1, used));
+                            used[c as usize] = false;
+                        }
+                    }
+                }
+            }
+            best
+        }
+        let mut used = vec![false; g.n_right() as usize];
+        rec(g, t, 0, &mut used)
+    }
+}

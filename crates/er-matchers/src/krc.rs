@@ -1,0 +1,207 @@
+//! Király's Clustering (KRC) — Algorithm 7 of the paper.
+//!
+//! An adaptation of Király's linear-time 3/2-approximation to the Maximum
+//! Stable Marriage problem with ties and incomplete lists ("New Algorithm",
+//! Király 2013). The entities of `V1` ("men") propose to the entities of
+//! `V2` ("women") along edges with weight above `t`, in decreasing
+//! similarity. A woman accepts a proposal when she is free, when the
+//! proposer is strictly more similar than her current fiancé, or — on
+//! ties — when the proposer is on his *second chance* and the fiancé is
+//! not (Király's promotion rule for ties). Every man whose preference list
+//! runs out once gets exactly one refill of his list; the algorithm ends
+//! when no free man has proposals left.
+//!
+//! The paper (and this implementation) omits the rare "uncertain man"
+//! bookkeeping of the original algorithm.
+//!
+//! Complexity: `O(n + m log m)` — the log factor pays for the sorted
+//! preference lists, which [`crate::PreparedGraph`] provides.
+
+use std::collections::VecDeque;
+
+use er_core::Matching;
+
+use crate::matcher::{Matcher, PreparedGraph};
+
+/// Király's stable-marriage-based clustering.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Krc;
+
+impl Matcher for Krc {
+    fn name(&self) -> &'static str {
+        "KRC"
+    }
+
+    fn run(&self, g: &PreparedGraph<'_>, t: f64) -> Matching {
+        let adj = g.adjacency();
+        let n_left = g.n_left() as usize;
+        let n_right = g.n_right() as usize;
+
+        // Per-man cursor into his preference list (adjacency, already sorted
+        // by descending weight). `prefs_len` caps at the last edge > t.
+        let mut cursor = vec![0usize; n_left];
+        let mut last_chance = vec![false; n_left];
+        // fiancé bookkeeping for women: current partner and his similarity.
+        let mut fiance: Vec<Option<u32>> = vec![None; n_right];
+        let mut fiance_sim = vec![0.0f64; n_right];
+
+        let mut free: VecDeque<u32> = (0..g.n_left()).collect();
+
+        while let Some(i) = free.pop_front() {
+            let prefs = adj.left(i);
+            // Advance to the next proposal with weight > t.
+            let next = prefs.get(cursor[i as usize]).filter(|n| n.weight > t);
+            match next {
+                Some(&er_core::Neighbor { node: j, weight }) => {
+                    cursor[i as usize] += 1;
+                    match fiance[j as usize] {
+                        None => {
+                            fiance[j as usize] = Some(i);
+                            fiance_sim[j as usize] = weight;
+                        }
+                        Some(cur) => {
+                            if accepts(
+                                weight,
+                                fiance_sim[j as usize],
+                                last_chance[i as usize],
+                                last_chance[cur as usize],
+                            ) {
+                                // cur and j break up; cur is free again.
+                                free.push_back(cur);
+                                fiance[j as usize] = Some(i);
+                                fiance_sim[j as usize] = weight;
+                            } else {
+                                // Rejected: i keeps proposing from his list.
+                                free.push_back(i);
+                            }
+                        }
+                    }
+                }
+                None => {
+                    if !last_chance[i as usize] {
+                        // Second chance: recover the initial queue.
+                        last_chance[i as usize] = true;
+                        cursor[i as usize] = 0;
+                        free.push_back(i);
+                    }
+                    // Otherwise i stays unmatched for good.
+                }
+            }
+        }
+
+        let pairs = fiance
+            .iter()
+            .enumerate()
+            .filter_map(|(j, m)| m.map(|i| (i, j as u32)))
+            .collect();
+        Matching::new(pairs)
+    }
+}
+
+/// The acceptance criterion for a woman with a fiancé:
+/// strictly better similarity always wins; equal similarity wins only for a
+/// promoted (second-chance) proposer over a non-promoted fiancé.
+#[inline]
+fn accepts(new_sim: f64, cur_sim: f64, new_promoted: bool, cur_promoted: bool) -> bool {
+    new_sim > cur_sim || (new_sim == cur_sim && new_promoted && !cur_promoted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::{diamond, figure1};
+    use er_core::GraphBuilder;
+
+    #[test]
+    fn figure1_example() {
+        // Paper §3: the outcome in Figure 1(d) is the most likely one for
+        // KRC — here the proposal order makes it deterministic: A5 wins B1
+        // over A1 (0.9 > 0.6), A1 then has no other option above t.
+        let g = figure1();
+        let pg = PreparedGraph::new(&g);
+        let m = Krc.run(&pg, 0.5);
+        assert_eq!(m.pairs(), &[(1, 1), (2, 3), (4, 0)]);
+    }
+
+    #[test]
+    fn displaced_man_retries_his_list() {
+        // Man 0 engages woman 0 (0.6); man 1 steals her (0.9); man 0 then
+        // proposes to woman 1 (0.5) and is accepted.
+        let mut b = GraphBuilder::new(2, 2);
+        b.add_edge(0, 0, 0.6).unwrap();
+        b.add_edge(0, 1, 0.5).unwrap();
+        b.add_edge(1, 0, 0.9).unwrap();
+        let g = b.build();
+        let pg = PreparedGraph::new(&g);
+        let m = Krc.run(&pg, 0.1);
+        assert_eq!(m.pairs(), &[(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn women_trade_up_strictly() {
+        let g = diamond();
+        let pg = PreparedGraph::new(&g);
+        // Man 0 proposes 0 (0.9) → engaged. Man 1 proposes 0 (0.8) →
+        // rejected (0.8 < 0.9); proposes 1 (0.2) → engaged. Man 2 → 2.
+        let m = Krc.run(&pg, 0.1);
+        assert_eq!(m.pairs(), &[(0, 0), (1, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn ties_favor_second_chance_proposers() {
+        // Both men weigh 0.8 to woman 0. Man 0 engages her first; man 1 is
+        // rejected on the tie (not promoted), exhausts his list, returns
+        // promoted, and now wins the tie, displacing man 0. Man 0 then
+        // exhausts his list, returns promoted, but cannot displace the
+        // equally-preferred, equally-promoted man 1 — so woman 0 ends with
+        // man 1, and exactly one pair is produced.
+        let mut b = GraphBuilder::new(2, 1);
+        b.add_edge(0, 0, 0.8).unwrap();
+        b.add_edge(1, 0, 0.8).unwrap();
+        let g = b.build();
+        let pg = PreparedGraph::new(&g);
+        let m = Krc.run(&pg, 0.0);
+        assert_eq!(m.pairs(), &[(1, 0)]);
+    }
+
+    #[test]
+    fn promoted_man_beats_engaged_tie() {
+        // Man 1's only edge ties with man 0's edge to woman 0, but man 0
+        // also has woman 1. Order: man 0 engages woman 0 (0.8). Man 1
+        // rejected (tie, not promoted), list exhausted → promoted, retries:
+        // now the tie goes to him; man 0 is displaced and settles for
+        // woman 1.
+        let mut b = GraphBuilder::new(2, 2);
+        b.add_edge(0, 0, 0.8).unwrap();
+        b.add_edge(0, 1, 0.3).unwrap();
+        b.add_edge(1, 0, 0.8).unwrap();
+        let g = b.build();
+        let pg = PreparedGraph::new(&g);
+        let m = Krc.run(&pg, 0.1);
+        assert_eq!(m.pairs(), &[(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn threshold_is_strict() {
+        let g = figure1();
+        let pg = PreparedGraph::new(&g);
+        let m = Krc.run(&pg, 0.7);
+        assert_eq!(m.pairs(), &[(4, 0)], "only A5-B1 exceeds 0.7");
+    }
+
+    #[test]
+    fn terminates_and_unique_on_dense_ties() {
+        // A fully tied 4x4 block must terminate despite everyone retrying.
+        let mut b = GraphBuilder::new(4, 4);
+        for i in 0..4 {
+            for j in 0..4 {
+                b.add_edge(i, j, 0.5).unwrap();
+            }
+        }
+        let g = b.build();
+        let pg = PreparedGraph::new(&g);
+        let m = Krc.run(&pg, 0.1);
+        assert_eq!(m.len(), 4, "a perfect matching exists on tied weights");
+        assert!(m.is_unique_mapping());
+    }
+}

@@ -1,0 +1,78 @@
+//! The matcher abstraction shared by all eight algorithms.
+
+use er_core::{Adjacency, Matching, SimilarityGraph};
+
+/// A similarity graph bundled with its CSR adjacency, built once and shared
+/// by every algorithm run (the paper times the algorithms on an
+/// already-loaded graph; adjacency construction is part of graph loading).
+pub struct PreparedGraph<'g> {
+    graph: &'g SimilarityGraph,
+    adjacency: Adjacency,
+}
+
+impl<'g> PreparedGraph<'g> {
+    /// Build the adjacency view for `graph`.
+    pub fn new(graph: &'g SimilarityGraph) -> Self {
+        PreparedGraph {
+            adjacency: graph.adjacency(),
+            graph,
+        }
+    }
+
+    /// The underlying graph.
+    #[inline]
+    pub fn graph(&self) -> &SimilarityGraph {
+        self.graph
+    }
+
+    /// The adjacency view (neighbors sorted by descending weight).
+    #[inline]
+    pub fn adjacency(&self) -> &Adjacency {
+        &self.adjacency
+    }
+
+    /// `|V1|`.
+    #[inline]
+    pub fn n_left(&self) -> u32 {
+        self.graph.n_left()
+    }
+
+    /// `|V2|`.
+    #[inline]
+    pub fn n_right(&self) -> u32 {
+        self.graph.n_right()
+    }
+}
+
+/// A bipartite graph matching algorithm.
+///
+/// Implementations must return a [`Matching`] that
+/// (a) satisfies the unique-mapping constraint, and
+/// (b) only contains pairs that are edges of the input graph with weight
+///     above (or equal to, for CNC/RCA — see each algorithm's docs) the
+///     threshold `t`.
+pub trait Matcher {
+    /// Short algorithm acronym as used in the paper (e.g. `"UMC"`).
+    fn name(&self) -> &'static str;
+
+    /// Run the algorithm on `g` with similarity threshold `t`.
+    fn run(&self, g: &PreparedGraph<'_>, t: f64) -> Matching;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::figure1;
+
+    #[test]
+    fn prepared_graph_exposes_parts() {
+        let g = figure1();
+        let pg = PreparedGraph::new(&g);
+        assert_eq!(pg.n_left(), 5);
+        assert_eq!(pg.n_right(), 4);
+        assert_eq!(pg.graph().n_edges(), 6);
+        // Adjacency of A5 (id 4): B1 (0.9) before B3 (0.6).
+        let n: Vec<u32> = pg.adjacency().left(4).iter().map(|x| x.node).collect();
+        assert_eq!(n, vec![0, 2]);
+    }
+}

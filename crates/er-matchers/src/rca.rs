@@ -1,0 +1,158 @@
+//! Row Column Assignment Clustering (RCA) — Algorithm 3 of the paper.
+//!
+//! Based on Kurtzberg's Row-Column Scan approximation to the assignment
+//! problem. Two passes over the similarity graph:
+//!
+//! 1. each `V1` entity (in id order) claims its most similar *unassigned*
+//!    `V2` entity — **regardless of the threshold**, because the assignment
+//!    problem assumes a complete bipartite graph ("any job can be performed
+//!    by all men");
+//! 2. the symmetric pass over `V2`.
+//!
+//! Each pass's value is the sum of claimed edge weights; the higher-valued
+//! solution wins, and pairs below the threshold are discarded at the end.
+//!
+//! Complexity: `O(|V1|·|V2|)` in the dense formulation; here each node scans
+//! its pre-sorted adjacency, so the practical cost is bounded by `O(m)`.
+
+use er_core::Matching;
+
+use crate::matcher::{Matcher, PreparedGraph};
+
+/// Row-Column Assignment clustering.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Rca;
+
+impl Matcher for Rca {
+    fn name(&self) -> &'static str {
+        "RCA"
+    }
+
+    fn run(&self, g: &PreparedGraph<'_>, t: f64) -> Matching {
+        let adj = g.adjacency();
+        let (pairs1, d1) = scan(g.n_left(), g.n_right(), |i| adj.left(i), false);
+        let (pairs2, d2) = scan(g.n_right(), g.n_left(), |j| adj.right(j), true);
+        let (winner, winner_weights) = if d1 >= d2 { pairs1 } else { pairs2 }
+            .into_iter()
+            .fold((Vec::new(), Vec::new()), |mut acc, (pair, w)| {
+                acc.0.push(pair);
+                acc.1.push(w);
+                acc
+            });
+        // Final filter: "remove partition pairs with similarity less than t".
+        let pairs = winner
+            .into_iter()
+            .zip(winner_weights)
+            .filter(|&(_, w)| w >= t)
+            .map(|(p, _)| p)
+            .collect();
+        Matching::new(pairs)
+    }
+}
+
+/// A claimed pair with the weight it contributes to the pass's value.
+type WeightedPairs = Vec<((u32, u32), f64)>;
+
+/// One scan: every node of the driving side claims its best unassigned
+/// counterpart. Returns ((pair, weight) list, assignment value).
+fn scan<'a>(
+    n_from: u32,
+    n_to: u32,
+    neighbors: impl Fn(u32) -> &'a [er_core::Neighbor],
+    flipped: bool,
+) -> (WeightedPairs, f64) {
+    let mut assigned = vec![false; n_to as usize];
+    let mut out = Vec::new();
+    let mut value = 0.0;
+    for i in 0..n_from {
+        for n in neighbors(i) {
+            if !assigned[n.node as usize] {
+                assigned[n.node as usize] = true;
+                let pair = if flipped { (n.node, i) } else { (i, n.node) };
+                out.push((pair, n.weight));
+                value += n.weight;
+                break;
+            }
+        }
+    }
+    (out, value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::figure1;
+    use er_core::GraphBuilder;
+
+    #[test]
+    fn figure1_finds_the_higher_value_assignment() {
+        // Paper, Figure 1(c): an optimal assignment clusters A1-B1 and
+        // A5-B3 (0.6 + 0.6 = 1.2 beats A5-B1's 0.9).
+        //
+        // Row scan (V1 order): A1→B1 (0.6), A2→B2 (0.7), A3→B4 (0.6),
+        // A4→B3 (0.3), A5→(all taken) = 2.2.
+        // Column scan (V2 order): B1→A5 (0.9), B2→A2 (0.7), B3→A4 (0.3)...
+        // wait B3's best is A5 (0.6) but A5 is taken, so A4 (0.3);
+        // B4→A3 (0.6) = 2.5. Column wins; after filtering at t=0.5 the
+        // output is (A5,B1), (A2,B2), (A3,B4).
+        let g = figure1();
+        let pg = PreparedGraph::new(&g);
+        let m = Rca.run(&pg, 0.5);
+        assert_eq!(m.pairs(), &[(1, 1), (2, 3), (4, 0)]);
+    }
+
+    #[test]
+    fn row_scan_wins_when_left_drives_better() {
+        // Left 0 prefers right 1 (0.9); left 1 only connects right 1 (0.8).
+        // Row scan: 0→1 (0.9), 1→nothing = 0.9.
+        // Column scan: right 0 → left 0 (0.2), right 1 → left... 0 taken
+        // → left 1 (0.8) = 1.0 → column wins with pairs (0,0),(1,1).
+        let mut b = GraphBuilder::new(2, 2);
+        b.add_edge(0, 1, 0.9).unwrap();
+        b.add_edge(0, 0, 0.2).unwrap();
+        b.add_edge(1, 1, 0.8).unwrap();
+        let g = b.build();
+        let pg = PreparedGraph::new(&g);
+        let m = Rca.run(&pg, 0.0);
+        assert_eq!(m.pairs(), &[(0, 0), (1, 1)]);
+        // With a threshold of 0.5, the low 0.2 pair is discarded afterwards.
+        let m = Rca.run(&pg, 0.5);
+        assert_eq!(m.pairs(), &[(1, 1)]);
+    }
+
+    #[test]
+    fn sub_threshold_claims_still_block() {
+        // RCA's defining quirk: pass assignments ignore the threshold, so a
+        // sub-threshold claim can block a node even though the pair is later
+        // discarded.
+        let mut b = GraphBuilder::new(2, 1);
+        b.add_edge(0, 0, 0.3).unwrap(); // below t, still claims in row scan
+        b.add_edge(1, 0, 0.9).unwrap();
+        let g = b.build();
+        let pg = PreparedGraph::new(&g);
+        // Row scan: 0→0 (0.3), 1 blocked → value 0.3.
+        // Column scan: 0→1 (0.9) → value 0.9 → column wins → pair (1,0).
+        let m = Rca.run(&pg, 0.5);
+        assert_eq!(m.pairs(), &[(1, 0)]);
+    }
+
+    #[test]
+    fn final_filter_is_inclusive_of_t() {
+        let mut b = GraphBuilder::new(1, 1);
+        b.add_edge(0, 0, 0.5).unwrap();
+        let g = b.build();
+        let pg = PreparedGraph::new(&g);
+        // Algorithm 3 removes pairs with sim < t, so sim == t survives.
+        assert_eq!(Rca.run(&pg, 0.5).pairs(), &[(0, 0)]);
+        assert!(Rca.run(&pg, 0.51).is_empty());
+    }
+
+    #[test]
+    fn unique_mapping_holds() {
+        let g = figure1();
+        let pg = PreparedGraph::new(&g);
+        for t in [0.0, 0.3, 0.5, 0.7, 1.0] {
+            assert!(Rca.run(&pg, t).is_unique_mapping());
+        }
+    }
+}

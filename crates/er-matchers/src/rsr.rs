@@ -1,0 +1,341 @@
+//! Ricochet Sequential Rippling Clustering (RSR) — Algorithm 1 of the paper.
+//!
+//! An adaptation of the homonymous Dirty-ER clustering of Wijaya & Bressan
+//! (via Hassanzadeh et al.) that exclusively considers clusters with one
+//! entity from each collection. Nodes from both collections are processed
+//! in descending order of the average weight of their adjacent edges;
+//! each seed ripples outward, stealing the first adjacent vertex that is
+//! unassigned or closer to the seed than to its current center. Partitions
+//! reduced to singletons are re-placed into their nearest single-node
+//! cluster.
+//!
+//! Interpretation notes (the published pseudocode leaves these implicit;
+//! see DESIGN.md §6):
+//! * each node's adjacency is iterated in descending weight;
+//! * a vertex is only recorded for re-assignment when it actually belonged
+//!   to another partition;
+//! * "nearest single-node cluster" targets are nodes that are either fully
+//!   unassigned or centers of singleton partitions — when an unassigned
+//!   node is chosen, it joins the new 2-node cluster;
+//! * the final output keeps only valid CCER clusters: exactly two nodes,
+//!   one from each collection.
+//!
+//! Complexity: `O(n·m)` worst case.
+
+use er_core::Matching;
+
+use crate::matcher::{Matcher, PreparedGraph};
+
+/// Ricochet Sequential Rippling clustering.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Rsr;
+
+impl Matcher for Rsr {
+    fn name(&self) -> &'static str {
+        "RSR"
+    }
+
+    fn run(&self, g: &PreparedGraph<'_>, t: f64) -> Matching {
+        State::new(g, t).run()
+    }
+}
+
+/// Mutable algorithm state over global node ids: left node `i` is `i`,
+/// right node `j` is `n_left + j`.
+struct State<'a, 'g> {
+    g: &'a PreparedGraph<'g>,
+    t: f64,
+    n_left: u32,
+    n: usize,
+    /// Similarity between a node and the center of its current partition.
+    sim_with_center: Vec<f64>,
+    /// Center of the partition each node currently belongs to (self if free).
+    center_of: Vec<u32>,
+    /// Members of the partition centered at each node (includes the center
+    /// itself once established).
+    members: Vec<Vec<u32>>,
+    /// Whether a node is currently a center.
+    is_center: Vec<bool>,
+}
+
+impl<'a, 'g> State<'a, 'g> {
+    fn new(g: &'a PreparedGraph<'g>, t: f64) -> Self {
+        let n = g.n_left() as usize + g.n_right() as usize;
+        State {
+            g,
+            t,
+            n_left: g.n_left(),
+            n,
+            sim_with_center: vec![0.0; n],
+            center_of: (0..n as u32).collect(),
+            members: vec![Vec::new(); n],
+            is_center: vec![false; n],
+        }
+    }
+
+    /// Adjacency of a global node id, best neighbor first, as global ids.
+    fn neighbors(&self, v: u32) -> impl Iterator<Item = (u32, f64)> + '_ {
+        let (side_left, local) = self.split(v);
+        let adj = self.g.adjacency();
+        let slice = if side_left {
+            adj.left(local)
+        } else {
+            adj.right(local)
+        };
+        let n_left = self.n_left;
+        slice.iter().map(move |nb| {
+            let global = if side_left { n_left + nb.node } else { nb.node };
+            (global, nb.weight)
+        })
+    }
+
+    #[inline]
+    fn split(&self, v: u32) -> (bool, u32) {
+        if v < self.n_left {
+            (true, v)
+        } else {
+            (false, v - self.n_left)
+        }
+    }
+
+    fn avg_weight(&self, v: u32) -> f64 {
+        let mut sum = 0.0;
+        let mut cnt = 0usize;
+        for (_, w) in self.neighbors(v) {
+            if w > self.t {
+                sum += w;
+                cnt += 1;
+            }
+        }
+        if cnt == 0 {
+            0.0
+        } else {
+            sum / cnt as f64
+        }
+    }
+
+    fn remove_member(&mut self, center: u32, node: u32) {
+        let list = &mut self.members[center as usize];
+        if let Some(pos) = list.iter().position(|&x| x == node) {
+            list.swap_remove(pos);
+        }
+    }
+
+    fn run(mut self) -> Matching {
+        // Seed queue: all nodes in descending average adjacent weight,
+        // id-ascending on ties (deterministic).
+        let mut queue: Vec<u32> = (0..self.n as u32).collect();
+        let avgs: Vec<f64> = queue.iter().map(|&v| self.avg_weight(v)).collect();
+        queue.sort_by(|&a, &b| {
+            avgs[b as usize]
+                .total_cmp(&avgs[a as usize])
+                .then_with(|| a.cmp(&b))
+        });
+
+        for &vi in &queue {
+            let mut to_reassign: Vec<u32> = Vec::new();
+
+            // Ripple: steal the first adjacent vertex that is unassigned or
+            // closer to vi than to its current center. Skipped when vi's
+            // cluster is already a complete CCER pair (the adaptation only
+            // considers clusters with one entity per collection).
+            if self.members[vi as usize].len() < 2 {
+                let candidates: Vec<(u32, f64)> = self
+                    .neighbors(vi)
+                    .take_while(|&(_, w)| w > self.t)
+                    .collect();
+                for (vj, w) in candidates {
+                    if self.is_center[vj as usize] {
+                        continue;
+                    }
+                    if w > self.sim_with_center[vj as usize] {
+                        let old_center = self.center_of[vj as usize];
+                        if old_center != vj {
+                            self.remove_member(old_center, vj);
+                            to_reassign.push(old_center);
+                        }
+                        self.members[vi as usize].push(vj);
+                        self.sim_with_center[vj as usize] = w;
+                        self.center_of[vj as usize] = vi;
+                        break;
+                    }
+                }
+            }
+
+            // Establish vi as the center of its (non-empty) partition —
+            // unless it already is one (partitions are sets in Algorithm 1,
+            // so the center joins at most once).
+            if !self.members[vi as usize].is_empty() && !self.is_center[vi as usize] {
+                let old_center = self.center_of[vi as usize];
+                if old_center != vi {
+                    self.remove_member(old_center, vi);
+                    to_reassign.push(old_center);
+                }
+                self.is_center[vi as usize] = true;
+                self.members[vi as usize].push(vi);
+                self.center_of[vi as usize] = vi;
+                self.sim_with_center[vi as usize] = 1.0;
+            }
+
+            // Re-place centers whose partition shrank to a singleton.
+            to_reassign.sort_unstable();
+            to_reassign.dedup();
+            for vk in to_reassign {
+                self.reassign_singleton(vk);
+            }
+        }
+
+        self.collect()
+    }
+
+    /// Place a singleton-center `vk` into its nearest single-node cluster.
+    fn reassign_singleton(&mut self, vk: u32) {
+        // Only applies when vk's partition is exactly itself.
+        if self.members[vk as usize].len() != 1 || self.members[vk as usize][0] != vk {
+            return;
+        }
+        let mut best: Option<(u32, f64)> = None;
+        for (vl, w) in self.neighbors(vk) {
+            if w <= self.t {
+                break; // descending order
+            }
+            let free = !self.is_center[vl as usize]
+                && self.center_of[vl as usize] == vl
+                && self.members[vl as usize].is_empty();
+            let singleton_center = self.is_center[vl as usize]
+                && self.members[vl as usize].len() == 1;
+            if (free || singleton_center) && best.is_none() {
+                best = Some((vl, w));
+                break; // neighbors are sorted: the first eligible is nearest
+            }
+        }
+        let Some((c_max, w)) = best else {
+            return;
+        };
+        // vk leaves its own (singleton) partition …
+        self.members[vk as usize].clear();
+        self.is_center[vk as usize] = false;
+        // … and joins c_max's cluster; if c_max was fully unassigned it
+        // becomes the center of the new 2-node cluster.
+        if !self.is_center[c_max as usize] {
+            self.is_center[c_max as usize] = true;
+            self.center_of[c_max as usize] = c_max;
+            self.sim_with_center[c_max as usize] = 1.0;
+            self.members[c_max as usize].push(c_max);
+        }
+        self.members[c_max as usize].push(vk);
+        self.center_of[vk as usize] = c_max;
+        self.sim_with_center[vk as usize] = w;
+    }
+
+    /// Keep only valid CCER clusters: two nodes, one from each collection.
+    fn collect(self) -> Matching {
+        let mut pairs = Vec::new();
+        for v in 0..self.n as u32 {
+            let list = &self.members[v as usize];
+            if list.len() != 2 {
+                continue;
+            }
+            let (a, b) = (list[0], list[1]);
+            let (a_left, a_local) = self.split(a);
+            let (b_left, b_local) = self.split(b);
+            match (a_left, b_left) {
+                (true, false) => pairs.push((a_local, b_local)),
+                (false, true) => pairs.push((b_local, a_local)),
+                _ => {} // same-side cluster: invalid for CCER
+            }
+        }
+        Matching::new(pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::{diamond, figure1};
+    use er_core::GraphBuilder;
+
+    #[test]
+    fn figure1_example() {
+        // The paper notes RSR's output "depends on the sequence of adjacent
+        // vertices" and calls Figure 1(d) merely the most likely outcome.
+        // Under our deterministic seed order, A5 first claims B1, then the
+        // seed B1 ricochets: it steals A1 (its best non-center neighbor),
+        // displacing A5, which re-homes to B3 — i.e. RSR lands on the
+        // maximum-weight configuration of Figure 1(c), pairing all of
+        // (A1,B1), (A2,B2), (A3,B4) and (A5,B3).
+        let g = figure1();
+        let pg = PreparedGraph::new(&g);
+        let m = Rsr.run(&pg, 0.5);
+        assert_eq!(m.pairs(), &[(0, 0), (1, 1), (2, 3), (4, 2)]);
+    }
+
+    #[test]
+    fn simple_disjoint_pairs() {
+        let mut b = GraphBuilder::new(2, 2);
+        b.add_edge(0, 0, 0.9).unwrap();
+        b.add_edge(1, 1, 0.8).unwrap();
+        let g = b.build();
+        let pg = PreparedGraph::new(&g);
+        let m = Rsr.run(&pg, 0.5);
+        assert_eq!(m.pairs(), &[(0, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn displaced_singleton_finds_new_home() {
+        // Chain: L0-R0 (0.9), L1-R0 (0.8), L1-R1 (0.7).
+        // Seeds by avg weight: R0 (0.85), L1 (0.75), L0 (0.9 avg!)...
+        // avg(L0)=0.9, avg(R0)=0.85, avg(L1)=0.75, avg(R1)=0.7.
+        // L0 seeds: steals R0 (0.9) → {L0, R0}.
+        // R0 seeds: candidates L0 (center? yes → skip), L1: 0.8 >
+        //   simWithCenter(L1)=0 → steal L1 into R0's partition... but R0 is
+        //   a member of L0's partition; R0 becomes a center itself and
+        //   leaves L0 alone → L0 re-assigned.
+        // Final clusters must still be valid 1-1 pairs.
+        let mut b = GraphBuilder::new(2, 2);
+        b.add_edge(0, 0, 0.9).unwrap();
+        b.add_edge(1, 0, 0.8).unwrap();
+        b.add_edge(1, 1, 0.7).unwrap();
+        let g = b.build();
+        let pg = PreparedGraph::new(&g);
+        let m = Rsr.run(&pg, 0.5);
+        assert!(m.is_unique_mapping());
+        assert!(!m.is_empty());
+        for (l, r) in m.iter() {
+            assert!(g.weight_of(l, r).unwrap() > 0.5);
+        }
+    }
+
+    #[test]
+    fn threshold_prunes_everything() {
+        let g = diamond();
+        let pg = PreparedGraph::new(&g);
+        assert!(Rsr.run(&pg, 0.95).is_empty());
+    }
+
+    #[test]
+    fn output_is_always_valid() {
+        let g = diamond();
+        let pg = PreparedGraph::new(&g);
+        for t in [0.0, 0.1, 0.3, 0.5, 0.7, 0.85] {
+            let m = Rsr.run(&pg, t);
+            assert!(m.is_unique_mapping(), "t={t}");
+            for (l, r) in m.iter() {
+                assert!(
+                    g.weight_of(l, r).unwrap() > t,
+                    "pair ({l},{r}) below threshold {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_nodes_stay_single() {
+        let mut b = GraphBuilder::new(3, 3);
+        b.add_edge(0, 0, 0.9).unwrap();
+        let g = b.build();
+        let pg = PreparedGraph::new(&g);
+        let m = Rsr.run(&pg, 0.5);
+        assert_eq!(m.pairs(), &[(0, 0)]);
+    }
+}

@@ -1,0 +1,211 @@
+//! Unique Mapping Clustering (UMC) — Algorithm 8 of the paper.
+//!
+//! Prune edges with weight ≤ `t`, sort the rest by descending
+//! weight/similarity, and greedily form a pair for the top-weighted edge as
+//! long as neither of its entities is already matched. This is the classic
+//! greedy ½-approximation to maximum-weight bipartite matching, driven by
+//! CCER's unique-mapping constraint. Equivalent to FAMER's CLIP clustering
+//! in the two-source case.
+//!
+//! Complexity: `O(m log m)` for the sort.
+
+use er_core::float::edge_key_desc;
+use er_core::Matching;
+use std::collections::BinaryHeap;
+
+use crate::matcher::{Matcher, PreparedGraph};
+
+/// How UMC orders the retained edges. Both strategies produce the *same*
+/// matching; they are separated so the ablation bench can compare constants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UmcStrategy {
+    /// Materialize the retained edges and sort them (`O(m log m)` upfront).
+    #[default]
+    Sort,
+    /// Push retained edges in a binary max-heap and pop lazily
+    /// (`O(m)` build, `O(log m)` per pop; wins when the matching saturates
+    /// early and most edges are never popped).
+    Heap,
+}
+
+/// Unique Mapping Clustering.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Umc {
+    /// Edge-ordering strategy (identical output either way).
+    pub strategy: UmcStrategy,
+}
+
+impl Umc {
+    /// UMC with the heap strategy.
+    pub fn with_heap() -> Self {
+        Umc {
+            strategy: UmcStrategy::Heap,
+        }
+    }
+}
+
+impl Matcher for Umc {
+    fn name(&self) -> &'static str {
+        "UMC"
+    }
+
+    fn run(&self, g: &PreparedGraph<'_>, t: f64) -> Matching {
+        match self.strategy {
+            UmcStrategy::Sort => run_sorted(g, t),
+            UmcStrategy::Heap => run_heap(g, t),
+        }
+    }
+}
+
+fn run_sorted(g: &PreparedGraph<'_>, t: f64) -> Matching {
+    let mut edges: Vec<(f64, u32, u32)> = g
+        .graph()
+        .edges()
+        .iter()
+        .filter(|e| e.weight > t)
+        .map(|e| (e.weight, e.left, e.right))
+        .collect();
+    edges.sort_by(|a, b| edge_key_desc(*a, *b));
+    greedy(g, edges.into_iter())
+}
+
+/// Max-heap key: weight desc, then (left, right) asc — same total order as
+/// [`edge_key_desc`], encoded so that `BinaryHeap`'s max-first pop matches.
+#[derive(PartialEq)]
+struct HeapEdge(f64, u32, u32);
+
+impl Eq for HeapEdge {}
+
+impl PartialOrd for HeapEdge {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEdge {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap pops the maximum, so "greater" must mean "comes first"
+        // under edge_key_desc: invert the comparator.
+        edge_key_desc(
+            (other.0, other.1, other.2),
+            (self.0, self.1, self.2),
+        )
+    }
+}
+
+fn run_heap(g: &PreparedGraph<'_>, t: f64) -> Matching {
+    let mut heap: BinaryHeap<HeapEdge> = g
+        .graph()
+        .edges()
+        .iter()
+        .filter(|e| e.weight > t)
+        .map(|e| HeapEdge(e.weight, e.left, e.right))
+        .collect();
+    let mut matched_left = vec![false; g.n_left() as usize];
+    let mut matched_right = vec![false; g.n_right() as usize];
+    let mut pairs = Vec::new();
+    let mut remaining = heap.len().min(g.n_left().min(g.n_right()) as usize);
+    while remaining > 0 {
+        let Some(HeapEdge(_, l, r)) = heap.pop() else {
+            break;
+        };
+        if !matched_left[l as usize] && !matched_right[r as usize] {
+            matched_left[l as usize] = true;
+            matched_right[r as usize] = true;
+            pairs.push((l, r));
+            remaining -= 1;
+        }
+    }
+    Matching::new(pairs)
+}
+
+fn greedy(g: &PreparedGraph<'_>, edges: impl Iterator<Item = (f64, u32, u32)>) -> Matching {
+    let mut matched_left = vec![false; g.n_left() as usize];
+    let mut matched_right = vec![false; g.n_right() as usize];
+    let mut pairs = Vec::new();
+    for (_, l, r) in edges {
+        if !matched_left[l as usize] && !matched_right[r as usize] {
+            matched_left[l as usize] = true;
+            matched_right[r as usize] = true;
+            pairs.push((l, r));
+        }
+    }
+    Matching::new(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::{diamond, figure1};
+
+    #[test]
+    fn figure1_example() {
+        // Paper, Figure 1(d): UMC matches A5-B1 (0.9), A2-B2 (0.7) and
+        // A3-B4 (0.6); A1 and B3 stay singletons because their candidates
+        // were already matched.
+        let g = figure1();
+        let pg = PreparedGraph::new(&g);
+        let m = Umc::default().run(&pg, 0.5);
+        assert_eq!(m.pairs(), &[(1, 1), (2, 3), (4, 0)]);
+    }
+
+    #[test]
+    fn threshold_is_strict() {
+        // Algorithm 8 keeps edges with sim > t: an edge at exactly t drops.
+        let g = figure1();
+        let pg = PreparedGraph::new(&g);
+        let m = Umc::default().run(&pg, 0.6);
+        assert_eq!(m.pairs(), &[(1, 1), (4, 0)]);
+    }
+
+    #[test]
+    fn greedy_takes_heaviest_first() {
+        let g = diamond();
+        let pg = PreparedGraph::new(&g);
+        // 0-0 (0.9) first, blocking 0-1 and 1-0; then 2-2 (0.5); 1-1 (0.2).
+        let m = Umc::default().run(&pg, 0.1);
+        assert_eq!(m.pairs(), &[(0, 0), (1, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn heap_and_sort_agree() {
+        let g = diamond();
+        let pg = PreparedGraph::new(&g);
+        for t in [0.0, 0.1, 0.3, 0.45, 0.79, 0.9] {
+            let a = Umc::default().run(&pg, t);
+            let b = Umc::with_heap().run(&pg, t);
+            assert_eq!(a, b, "strategies must be output-equivalent at t={t}");
+        }
+        let g = figure1();
+        let pg = PreparedGraph::new(&g);
+        for t in [0.0, 0.3, 0.5, 0.6, 0.75] {
+            assert_eq!(
+                Umc::default().run(&pg, t),
+                Umc::with_heap().run(&pg, t)
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        use er_core::GraphBuilder;
+        // Two equal-weight edges competing for the same right node: the
+        // lower left id wins.
+        let mut b = GraphBuilder::new(2, 1);
+        b.add_edge(1, 0, 0.8).unwrap();
+        b.add_edge(0, 0, 0.8).unwrap();
+        let g = b.build();
+        let pg = PreparedGraph::new(&g);
+        let m = Umc::default().run(&pg, 0.0);
+        assert_eq!(m.pairs(), &[(0, 0)]);
+        assert_eq!(Umc::with_heap().run(&pg, 0.0).pairs(), &[(0, 0)]);
+    }
+
+    #[test]
+    fn empty_graph_gives_empty_matching() {
+        use er_core::GraphBuilder;
+        let g = GraphBuilder::new(3, 3).build();
+        let pg = PreparedGraph::new(&g);
+        assert!(Umc::default().run(&pg, 0.5).is_empty());
+    }
+}

@@ -1,0 +1,181 @@
+//! Edge-case and failure-injection tests shared across all algorithms:
+//! degenerate shapes (empty sides, single nodes, stars, complete graphs),
+//! boundary thresholds, and pathological weight distributions.
+
+use er_core::{GraphBuilder, SimilarityGraph};
+use er_matchers::{AlgorithmConfig, AlgorithmKind, PreparedGraph};
+
+fn run_all(g: &SimilarityGraph, t: f64) -> Vec<(AlgorithmKind, er_core::Matching)> {
+    let pg = PreparedGraph::new(g);
+    let cfg = AlgorithmConfig::default();
+    AlgorithmKind::ALL
+        .into_iter()
+        .map(|k| (k, cfg.run(k, &pg, t)))
+        .collect()
+}
+
+fn assert_valid(g: &SimilarityGraph, t: f64) {
+    for (k, m) in run_all(g, t) {
+        assert!(m.is_unique_mapping(), "{k} at t={t}");
+        for (l, r) in m.iter() {
+            assert!(l < g.n_left() && r < g.n_right(), "{k} out of bounds");
+            let w = g.weight_of(l, r).unwrap_or_else(|| panic!("{k} emitted non-edge"));
+            // CNC/RCA use inclusive thresholds; everyone else strict.
+            assert!(w >= t, "{k} emitted pair below threshold");
+        }
+    }
+}
+
+#[test]
+fn empty_graph_zero_nodes() {
+    let g = GraphBuilder::new(0, 0).build();
+    for (k, m) in run_all(&g, 0.5) {
+        assert!(m.is_empty(), "{k} on empty graph");
+    }
+}
+
+#[test]
+fn one_side_empty() {
+    let g = GraphBuilder::new(5, 0).build();
+    for (k, m) in run_all(&g, 0.0) {
+        assert!(m.is_empty(), "{k} with empty right side");
+    }
+    let g = GraphBuilder::new(0, 5).build();
+    for (k, m) in run_all(&g, 0.0) {
+        assert!(m.is_empty(), "{k} with empty left side");
+    }
+}
+
+#[test]
+fn nodes_but_no_edges() {
+    let g = GraphBuilder::new(10, 10).build();
+    for (k, m) in run_all(&g, 0.1) {
+        assert!(m.is_empty(), "{k} with no edges");
+    }
+}
+
+#[test]
+fn single_edge_graph() {
+    let mut b = GraphBuilder::new(1, 1);
+    b.add_edge(0, 0, 0.9).unwrap();
+    let g = b.build();
+    for (k, m) in run_all(&g, 0.5) {
+        assert_eq!(m.pairs(), &[(0, 0)], "{k} must match the only pair");
+    }
+    // Above the edge weight nobody matches.
+    for (k, m) in run_all(&g, 0.95) {
+        assert!(m.is_empty(), "{k} above the only weight");
+    }
+}
+
+#[test]
+fn star_graph_left_center() {
+    // One left node connected to 50 right nodes: at most one pair possible.
+    let mut b = GraphBuilder::new(1, 50);
+    for j in 0..50 {
+        b.add_edge(0, j, 0.3 + 0.01 * j as f64).unwrap();
+    }
+    let g = b.build();
+    for (k, m) in run_all(&g, 0.3) {
+        assert!(m.len() <= 1, "{k} on a star");
+        if k == AlgorithmKind::Umc || k == AlgorithmKind::Krc {
+            assert_eq!(
+                m.pairs(),
+                &[(0, 49)],
+                "{k} must pick the heaviest spoke"
+            );
+        }
+    }
+    assert_valid(&g, 0.3);
+}
+
+#[test]
+fn complete_bipartite_uniform_weights() {
+    // Every pair weighs the same: all algorithms must still emit a valid
+    // (partial) matching deterministically.
+    let mut b = GraphBuilder::new(6, 6);
+    for i in 0..6 {
+        for j in 0..6 {
+            b.add_edge(i, j, 0.5).unwrap();
+        }
+    }
+    let g = b.build();
+    assert_valid(&g, 0.2);
+    for (k, m) in run_all(&g, 0.2) {
+        // A perfect matching exists; the greedy family finds it.
+        if matches!(
+            k,
+            AlgorithmKind::Umc | AlgorithmKind::Bmc | AlgorithmKind::Rca | AlgorithmKind::Krc
+        ) {
+            assert_eq!(m.len(), 6, "{k} should saturate uniform complete graph");
+        }
+        // CNC sees a single 12-node component → nothing.
+        if k == AlgorithmKind::Cnc {
+            assert!(m.is_empty(), "CNC drops the big component");
+        }
+    }
+}
+
+#[test]
+fn threshold_one_keeps_only_perfect_scores() {
+    let mut b = GraphBuilder::new(2, 2);
+    b.add_edge(0, 0, 1.0).unwrap();
+    b.add_edge(1, 1, 0.999).unwrap();
+    let g = b.build();
+    // Strict-threshold algorithms drop everything at t = 1.0.
+    let pg = PreparedGraph::new(&g);
+    let cfg = AlgorithmConfig::default();
+    for k in [AlgorithmKind::Umc, AlgorithmKind::Krc, AlgorithmKind::Exc] {
+        assert!(cfg.run(k, &pg, 1.0).is_empty(), "{k} strict at 1.0");
+    }
+    // Inclusive ones keep the exact-1.0 edge.
+    let m = cfg.run(AlgorithmKind::Cnc, &pg, 1.0);
+    assert_eq!(m.pairs(), &[(0, 0)]);
+}
+
+#[test]
+fn zero_threshold_respects_positive_weights() {
+    let mut b = GraphBuilder::new(3, 3);
+    b.add_edge(0, 0, 0.0).unwrap(); // zero-weight edge exists
+    b.add_edge(1, 1, 0.4).unwrap();
+    let g = b.build();
+    for (k, m) in run_all(&g, 0.0) {
+        assert!(m.is_unique_mapping(), "{k}");
+        // Strict algorithms must not match the zero-weight edge at t=0.
+        if !matches!(k, AlgorithmKind::Cnc | AlgorithmKind::Rca) {
+            assert!(!m.contains(0, 0), "{k} matched a zero-weight edge at t=0");
+        }
+    }
+}
+
+#[test]
+fn heavily_skewed_sides() {
+    // 2 left vs 400 right nodes.
+    let mut b = GraphBuilder::new(2, 400);
+    for j in 0..400 {
+        b.add_edge(j % 2, j, 0.2 + (j as f64) / 1000.0).unwrap();
+    }
+    let g = b.build();
+    assert_valid(&g, 0.25);
+    for (k, m) in run_all(&g, 0.25) {
+        assert!(m.len() <= 2, "{k} cannot exceed the smaller side");
+    }
+}
+
+#[test]
+fn duplicate_weight_chains_stay_deterministic() {
+    // A chain with all-equal weights exercises tie-breaking paths.
+    let mut b = GraphBuilder::new(4, 4);
+    for i in 0..4u32 {
+        b.add_edge(i, i, 0.6).unwrap();
+        b.add_edge(i, (i + 1) % 4, 0.6).unwrap();
+    }
+    let g = b.build();
+    for k in AlgorithmKind::ALL {
+        let pg = PreparedGraph::new(&g);
+        let cfg = AlgorithmConfig::default();
+        let a = cfg.run(k, &pg, 0.1);
+        let b2 = cfg.run(k, &pg, 0.1);
+        assert_eq!(a, b2, "{k} must be deterministic on ties");
+    }
+}

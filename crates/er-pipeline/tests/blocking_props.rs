@@ -1,0 +1,137 @@
+//! Property-based tests for the blocking stack.
+//!
+//! Invariants:
+//! 1. token blocking is *complete* for token sharing: a cross pair is a
+//!    candidate iff the two entities share at least one normalized token;
+//! 2. purging and filtering only ever shrink the candidate set, and
+//!    filtering is monotone in its ratio;
+//! 3. every restricted-graph edge is a candidate pair and carries its
+//!    original weight;
+//! 4. the quality measures stay in range and reduction ratio reflects the
+//!    candidate count exactly.
+
+use er_core::{FxHashSet, GraphBuilder, GroundTruth};
+use er_datasets::{EntityCollection, EntityProfile};
+use er_pipeline::blocking::{blocking_quality, restrict_graph, token_blocking};
+use proptest::prelude::*;
+
+/// A vocabulary of short distinct tokens.
+const VOCAB: [&str; 12] = [
+    "alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta", "iota", "kappa",
+    "lambda", "mu",
+];
+
+fn arb_collection(max_entities: usize) -> impl Strategy<Value = EntityCollection> {
+    proptest::collection::vec(
+        proptest::collection::vec(0usize..VOCAB.len(), 0..5),
+        1..=max_entities,
+    )
+    .prop_map(|entities| EntityCollection {
+        profiles: entities
+            .into_iter()
+            .enumerate()
+            .map(|(i, toks)| {
+                let text: Vec<&str> = toks.into_iter().map(|t| VOCAB[t]).collect();
+                EntityProfile::new(i as u32, vec![("name".into(), text.join(" "))])
+            })
+            .collect(),
+        attribute_names: vec!["name".into()],
+    })
+}
+
+fn token_set(p: &EntityProfile) -> FxHashSet<String> {
+    p.values()
+        .flat_map(|v| {
+            er_textsim::tokenize::tokens(&er_textsim::tokenize::normalize_text(v))
+                .into_iter()
+                .map(str::to_string)
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn candidates_are_exactly_token_sharing_pairs(
+        left in arb_collection(8),
+        right in arb_collection(8),
+    ) {
+        let cands = token_blocking(&left, &right).candidate_pairs();
+        for (l, lp) in left.profiles.iter().enumerate() {
+            let lt = token_set(lp);
+            for (r, rp) in right.profiles.iter().enumerate() {
+                let shares = token_set(rp).iter().any(|t| lt.contains(t));
+                prop_assert_eq!(
+                    cands.contains(&(l as u32, r as u32)),
+                    shares,
+                    "pair ({}, {}) candidacy mismatch", l, r
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn purge_and_filter_only_shrink(
+        left in arb_collection(8),
+        right in arb_collection(8),
+        cap in 1u64..20,
+        ratio in 0.1f64..1.0,
+    ) {
+        let bc = token_blocking(&left, &right);
+        let all = bc.candidate_pairs();
+        let purged = bc.clone().purge(cap).candidate_pairs();
+        prop_assert!(purged.is_subset(&all));
+        let filtered = bc.clone().filter(ratio).candidate_pairs();
+        prop_assert!(filtered.is_subset(&all));
+        // Monotonicity in the filter ratio.
+        let tighter = bc.filter(ratio / 2.0).candidate_pairs();
+        prop_assert!(tighter.is_subset(&filtered));
+    }
+
+    #[test]
+    fn restricted_graph_edges_are_candidates(
+        left in arb_collection(6),
+        right in arb_collection(6),
+    ) {
+        // Score every pair 0.5 and restrict by the blocks.
+        let (nl, nr) = (left.len() as u32, right.len() as u32);
+        let mut b = GraphBuilder::new(nl, nr);
+        for l in 0..nl {
+            for r in 0..nr {
+                b.add_edge(l, r, 0.5).unwrap();
+            }
+        }
+        let g = b.build();
+        let cands = token_blocking(&left, &right).candidate_pairs();
+        let rg = restrict_graph(&g, &cands);
+        prop_assert_eq!(rg.n_edges(), cands.len());
+        for e in rg.edges() {
+            prop_assert!(cands.contains(&(e.left, e.right)));
+            prop_assert_eq!(e.weight, 0.5);
+        }
+    }
+
+    #[test]
+    fn quality_measures_are_bounded(
+        left in arb_collection(8),
+        right in arb_collection(8),
+        n_truth in 0usize..6,
+    ) {
+        let (nl, nr) = (left.len() as u32, right.len() as u32);
+        // Ground truth must be one-to-one (clean collections).
+        let truth: Vec<(u32, u32)> = (0..(n_truth as u32).min(nl).min(nr))
+            .map(|i| (i, i))
+            .collect();
+        let gt = GroundTruth::new(truth);
+        let cands = token_blocking(&left, &right).candidate_pairs();
+        let q = blocking_quality(&cands, &gt, nl, nr);
+        prop_assert!((0.0..=1.0).contains(&q.pairs_completeness));
+        prop_assert!((0.0..=1.0).contains(&q.pairs_quality));
+        prop_assert!((0.0..=1.0).contains(&q.reduction_ratio));
+        prop_assert_eq!(q.n_candidates, cands.len() as u64);
+        let expect_rr = 1.0 - cands.len() as f64 / (nl as f64 * nr as f64);
+        prop_assert!((q.reduction_ratio - expect_rr).abs() < 1e-12);
+    }
+}

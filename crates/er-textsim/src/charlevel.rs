@@ -1,0 +1,459 @@
+//! Character-level schema-based similarity measures (Appendix B.1.1).
+//!
+//! All functions return similarities in `[0, 1]`; distance measures are
+//! normalized as documented per function. Two empty strings are maximally
+//! similar (1.0); an empty vs non-empty string scores 0.0.
+
+use serde::{Deserialize, Serialize};
+
+/// The seven character-level measures of the paper's taxonomy (Figure 6),
+/// in its listing order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CharMeasure {
+    /// Damerau-Levenshtein similarity (edit distance with transpositions).
+    DamerauLevenshtein,
+    /// Levenshtein similarity.
+    Levenshtein,
+    /// q-grams distance (block distance over padded trigram profiles).
+    QGrams,
+    /// Jaro similarity.
+    Jaro,
+    /// Needleman-Wunch global-alignment similarity.
+    NeedlemanWunsch,
+    /// Longest common subsequence similarity.
+    LongestCommonSubsequence,
+    /// Longest common substring similarity.
+    LongestCommonSubstring,
+}
+
+impl CharMeasure {
+    /// All character-level measures.
+    pub fn all() -> [CharMeasure; 7] {
+        [
+            CharMeasure::DamerauLevenshtein,
+            CharMeasure::Levenshtein,
+            CharMeasure::QGrams,
+            CharMeasure::Jaro,
+            CharMeasure::NeedlemanWunsch,
+            CharMeasure::LongestCommonSubsequence,
+            CharMeasure::LongestCommonSubstring,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CharMeasure::DamerauLevenshtein => "DamerauLevenshtein",
+            CharMeasure::Levenshtein => "Levenshtein",
+            CharMeasure::QGrams => "QGrams",
+            CharMeasure::Jaro => "Jaro",
+            CharMeasure::NeedlemanWunsch => "NeedlemanWunsch",
+            CharMeasure::LongestCommonSubsequence => "LCSubsequence",
+            CharMeasure::LongestCommonSubstring => "LCSubstring",
+        }
+    }
+
+    /// Compute the similarity of two strings.
+    pub fn similarity(&self, a: &str, b: &str) -> f64 {
+        match self {
+            CharMeasure::DamerauLevenshtein => damerau_levenshtein_similarity(a, b),
+            CharMeasure::Levenshtein => levenshtein_similarity(a, b),
+            CharMeasure::QGrams => qgrams_similarity(a, b),
+            CharMeasure::Jaro => jaro_similarity(a, b),
+            CharMeasure::NeedlemanWunsch => needleman_wunsch_similarity(a, b),
+            CharMeasure::LongestCommonSubsequence => lcs_subsequence_similarity(a, b),
+            CharMeasure::LongestCommonSubstring => lcs_substring_similarity(a, b),
+        }
+    }
+}
+
+/// Levenshtein edit distance (insert/delete/substitute), O(|a|·|b|) time,
+/// O(min) memory.
+pub fn levenshtein_distance(a: &str, b: &str) -> usize {
+    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+    let (a, b) = if a.len() < b.len() { (b, a) } else { (a, b) };
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// `1 - d / max(|a|, |b|)`; 1.0 for two empty strings.
+pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein_distance(a, b) as f64 / max_len as f64
+}
+
+/// Damerau-Levenshtein distance in the *optimal string alignment* variant
+/// (adjacent transpositions, no substring edited twice) — the variant used
+/// by Simmetrics.
+pub fn damerau_levenshtein_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let cols = b.len() + 1;
+    // Three rolling rows: i-2, i-1, i.
+    let mut row2: Vec<usize> = vec![0; cols];
+    let mut row1: Vec<usize> = (0..cols).collect();
+    let mut row0: Vec<usize> = vec![0; cols];
+    for i in 1..=a.len() {
+        row0[0] = i;
+        for j in 1..=b.len() {
+            let cost = usize::from(a[i - 1] != b[j - 1]);
+            let mut d = (row1[j - 1] + cost)
+                .min(row1[j] + 1)
+                .min(row0[j - 1] + 1);
+            if i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1] {
+                d = d.min(row2[j - 2] + 1);
+            }
+            row0[j] = d;
+        }
+        std::mem::swap(&mut row2, &mut row1);
+        std::mem::swap(&mut row1, &mut row0);
+    }
+    row1[b.len()]
+}
+
+/// `1 - d / max(|a|, |b|)`; 1.0 for two empty strings.
+pub fn damerau_levenshtein_similarity(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - damerau_levenshtein_distance(a, b) as f64 / max_len as f64
+}
+
+/// Jaro similarity: `(m/|a| + m/|b| + (m-t)/m) / 3` with `m` common
+/// characters within the match window and `t` half-transpositions.
+pub fn jaro_similarity(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_used = vec![false; b.len()];
+    let mut matches_a: Vec<char> = Vec::new();
+    for (i, ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_used[j] && b[j] == *ca {
+                b_used[j] = true;
+                matches_a.push(*ca);
+                break;
+            }
+        }
+    }
+    let m = matches_a.len();
+    if m == 0 {
+        return 0.0;
+    }
+    let matches_b: Vec<char> = b
+        .iter()
+        .zip(b_used.iter())
+        .filter(|(_, &u)| u)
+        .map(|(c, _)| *c)
+        .collect();
+    let t = matches_a
+        .iter()
+        .zip(matches_b.iter())
+        .filter(|(x, y)| x != y)
+        .count() as f64
+        / 2.0;
+    let m = m as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
+}
+
+/// Needleman-Wunch alignment scores (Simmetrics defaults): match 0,
+/// mismatch −1, gap −2; similarity is the score normalized by the all-gap
+/// worst case of the longer string: `1 − (−S) / (2·max(|a|,|b|))`.
+pub fn needleman_wunsch_similarity(a: &str, b: &str) -> f64 {
+    const MISMATCH: f64 = -1.0;
+    const GAP: f64 = -2.0;
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let max_len = a.len().max(b.len());
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let mut prev: Vec<f64> = (0..=b.len()).map(|j| j as f64 * GAP).collect();
+    let mut cur = vec![0.0f64; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = (i + 1) as f64 * GAP;
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + if ca == cb { 0.0 } else { MISMATCH };
+            cur[j + 1] = sub.max(prev[j + 1] + GAP).max(cur[j] + GAP);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    let score = prev[b.len()]; // <= 0
+    (1.0 - (-score) / (2.0 * max_len as f64)).clamp(0.0, 1.0)
+}
+
+/// q-grams distance (q = 3, Simmetrics-style `##` padding): block distance
+/// between trigram profiles, normalized to a similarity by the total
+/// profile mass: `1 − Σ|f_a − f_b| / (N_a + N_b)`.
+pub fn qgrams_similarity(a: &str, b: &str) -> f64 {
+    const Q: usize = 3;
+    let profile = |s: &str| -> er_core::FxHashMap<String, usize> {
+        let mut m = er_core::FxHashMap::default();
+        if s.is_empty() {
+            return m;
+        }
+        let padded: String = format!("{pad}{s}{pad}", pad = "#".repeat(Q - 1));
+        let chars: Vec<char> = padded.chars().collect();
+        for w in chars.windows(Q) {
+            *m.entry(w.iter().collect()).or_insert(0) += 1;
+        }
+        m
+    };
+    let pa = profile(a);
+    let pb = profile(b);
+    let na: usize = pa.values().sum();
+    let nb: usize = pb.values().sum();
+    if na + nb == 0 {
+        return 1.0;
+    }
+    let mut diff = 0usize;
+    for (g, &fa) in &pa {
+        let fb = pb.get(g).copied().unwrap_or(0);
+        diff += fa.abs_diff(fb);
+    }
+    for (g, &fb) in &pb {
+        if !pa.contains_key(g) {
+            diff += fb;
+        }
+    }
+    1.0 - diff as f64 / (na + nb) as f64
+}
+
+/// Longest common subsequence length (characters need not be consecutive).
+pub fn lcs_subsequence_len(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() || b.is_empty() {
+        return 0;
+    }
+    let mut prev = vec![0usize; b.len() + 1];
+    let mut cur = vec![0usize; b.len() + 1];
+    for ca in &a {
+        for (j, cb) in b.iter().enumerate() {
+            cur[j + 1] = if ca == cb {
+                prev[j] + 1
+            } else {
+                prev[j + 1].max(cur[j])
+            };
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// `|lcs_seq(a,b)| / max(|a|, |b|)`; 1.0 for two empty strings.
+pub fn lcs_subsequence_similarity(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    lcs_subsequence_len(a, b) as f64 / max_len as f64
+}
+
+/// Longest common substring length (consecutive characters).
+pub fn lcs_substring_len(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() || b.is_empty() {
+        return 0;
+    }
+    let mut prev = vec![0usize; b.len() + 1];
+    let mut cur = vec![0usize; b.len() + 1];
+    let mut best = 0;
+    for ca in &a {
+        for (j, cb) in b.iter().enumerate() {
+            cur[j + 1] = if ca == cb { prev[j] + 1 } else { 0 };
+            best = best.max(cur[j + 1]);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+        cur.fill(0);
+    }
+    best
+}
+
+/// `|lcs_str(a,b)| / max(|a|, |b|)`; 1.0 for two empty strings.
+pub fn lcs_substring_similarity(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    lcs_substring_len(a, b) as f64 / max_len as f64
+}
+
+/// Smith-Waterman local alignment similarity (Simmetrics defaults: match
+/// +1, mismatch −2, gap −0.5), normalized by the shorter length:
+/// `best_local_score / min(|a|, |b|)`.
+///
+/// Used as the secondary character-level measure inside Monge-Elkan.
+pub fn smith_waterman_similarity(a: &str, b: &str) -> f64 {
+    const MATCH: f64 = 1.0;
+    const MISMATCH: f64 = -2.0;
+    const GAP: f64 = -0.5;
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let mut prev = vec![0.0f64; b.len() + 1];
+    let mut cur = vec![0.0f64; b.len() + 1];
+    let mut best = 0.0f64;
+    for ca in &a {
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + if ca == cb { MATCH } else { MISMATCH };
+            cur[j + 1] = sub.max(prev[j + 1] + GAP).max(cur[j] + GAP).max(0.0);
+            best = best.max(cur[j + 1]);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    (best / a.len().min(b.len()) as f64).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-9;
+
+    #[test]
+    fn levenshtein_classic_cases() {
+        assert_eq!(levenshtein_distance("kitten", "sitting"), 3);
+        assert_eq!(levenshtein_distance("", "abc"), 3);
+        assert_eq!(levenshtein_distance("abc", "abc"), 0);
+        assert!((levenshtein_similarity("kitten", "sitting") - (1.0 - 3.0 / 7.0)).abs() < EPS);
+        assert_eq!(levenshtein_similarity("", ""), 1.0);
+        assert_eq!(levenshtein_similarity("", "x"), 0.0);
+    }
+
+    #[test]
+    fn damerau_counts_transpositions() {
+        assert_eq!(damerau_levenshtein_distance("ca", "ac"), 1);
+        assert_eq!(levenshtein_distance("ca", "ac"), 2);
+        assert_eq!(damerau_levenshtein_distance("abcdef", "abcdfe"), 1);
+        // OSA variant: "ca" -> "abc" is 3 (no double-edit of a substring).
+        assert_eq!(damerau_levenshtein_distance("ca", "abc"), 3);
+        assert!((damerau_levenshtein_similarity("ca", "ac") - 0.5).abs() < EPS);
+    }
+
+    #[test]
+    fn jaro_known_values() {
+        // Classic textbook values.
+        assert!((jaro_similarity("MARTHA", "MARHTA") - 0.944444444).abs() < 1e-6);
+        assert!((jaro_similarity("DIXON", "DICKSONX") - 0.766666666).abs() < 1e-6);
+        assert!((jaro_similarity("JELLYFISH", "SMELLYFISH") - 0.896296296).abs() < 1e-6);
+        assert_eq!(jaro_similarity("abc", "abc"), 1.0);
+        assert_eq!(jaro_similarity("abc", "xyz"), 0.0);
+        assert_eq!(jaro_similarity("", ""), 1.0);
+    }
+
+    #[test]
+    fn needleman_wunsch_properties() {
+        assert_eq!(needleman_wunsch_similarity("abc", "abc"), 1.0);
+        assert_eq!(needleman_wunsch_similarity("", ""), 1.0);
+        assert_eq!(needleman_wunsch_similarity("", "abc"), 0.0);
+        // One substitution in three characters: score -1, norm 1 - 1/6.
+        assert!((needleman_wunsch_similarity("abc", "abd") - (1.0 - 1.0 / 6.0)).abs() < EPS);
+        // Completely different strings still ≥ 0.
+        let s = needleman_wunsch_similarity("aaaa", "zzzz");
+        assert!((0.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn qgrams_profile_distance() {
+        assert_eq!(qgrams_similarity("abc", "abc"), 1.0);
+        assert_eq!(qgrams_similarity("", ""), 1.0);
+        assert_eq!(qgrams_similarity("", "abc"), 0.0);
+        let s = qgrams_similarity("night", "nacht");
+        assert!(s > 0.0 && s < 1.0);
+        // Symmetric.
+        assert!((s - qgrams_similarity("nacht", "night")).abs() < EPS);
+    }
+
+    #[test]
+    fn lcs_subsequence_known() {
+        assert_eq!(lcs_subsequence_len("ABCBDAB", "BDCABA"), 4); // BCAB/BDAB
+        assert_eq!(lcs_subsequence_len("abc", ""), 0);
+        assert!((lcs_subsequence_similarity("ABCBDAB", "BDCABA") - 4.0 / 7.0).abs() < EPS);
+    }
+
+    #[test]
+    fn lcs_substring_known() {
+        assert_eq!(lcs_substring_len("abcdxyz", "xyzabcd"), 4); // "abcd"
+        assert_eq!(lcs_substring_len("zzz", "aaa"), 0);
+        assert!((lcs_substring_similarity("abcdxyz", "xyzabcd") - 4.0 / 7.0).abs() < EPS);
+        assert_eq!(lcs_substring_similarity("", ""), 1.0);
+    }
+
+    #[test]
+    fn smith_waterman_local_alignment() {
+        assert_eq!(smith_waterman_similarity("abc", "abc"), 1.0);
+        // The common "bcd" core aligns locally despite different context.
+        let s = smith_waterman_similarity("xbcdy", "zbcdw");
+        assert!((s - 3.0 / 5.0).abs() < EPS);
+        assert_eq!(smith_waterman_similarity("", "abc"), 0.0);
+    }
+
+    #[test]
+    fn all_measures_are_bounded_symmetric_reflexive() {
+        let samples = [
+            ("iphone 12 pro", "iphone 12"),
+            ("abc", "xyz"),
+            ("data", "daat"),
+            ("", "nonempty"),
+            ("same", "same"),
+        ];
+        for m in CharMeasure::all() {
+            for (a, b) in samples {
+                let s = m.similarity(a, b);
+                assert!((0.0..=1.0).contains(&s), "{} out of range: {s}", m.name());
+                let rev = m.similarity(b, a);
+                assert!((s - rev).abs() < EPS, "{} not symmetric", m.name());
+            }
+            assert!(
+                (m.similarity("reflexive", "reflexive") - 1.0).abs() < EPS,
+                "{} not reflexive",
+                m.name()
+            );
+        }
+    }
+
+    #[test]
+    fn roster_has_seven() {
+        assert_eq!(CharMeasure::all().len(), 7);
+    }
+}

@@ -1,0 +1,345 @@
+//! Schema-agnostic n-gram **graph** models — Appendix B.2.2 (JInsect-style).
+//!
+//! Each value becomes an undirected graph: one vertex per n-gram, an edge
+//! between n-grams co-occurring within a window of size `n`, weighted by
+//! co-occurrence frequency — preserving n-gram *order* information that the
+//! bag models discard. An entity's graphs (one per attribute value) are
+//! merged with the update operator of Giannakopoulos et al.: existing edge
+//! weights move toward the incoming weight with a learning factor, new
+//! edges join at their incoming weight; we use the incremental-average
+//! factor `l = 1/(i+1)` for the i-th merge.
+//!
+//! Similarities (all in `[0, 1]`): Containment (shared-edge ratio), Value
+//! (weight-ratio-aware), Normalized Value (small-graph-robust) and Overall
+//! (their mean).
+
+use er_core::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+use crate::tokenize::NGramScheme;
+use crate::vector::term_id;
+
+/// An n-gram graph: undirected weighted edges over hashed n-gram vertices.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct NGramGraph {
+    edges: FxHashMap<(u64, u64), f64>,
+}
+
+impl NGramGraph {
+    /// The empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build the graph of a single value under `scheme`.
+    ///
+    /// n-grams at positions `i < j` are connected when `j - i < window`,
+    /// with the window equal to the n-gram size (min 2, so token unigrams
+    /// still connect adjacent tokens). Matches the paper's "Joe Biden"
+    /// example: `Joe` connects to `oe_` and `e_B` for character 3-grams.
+    pub fn from_value(value: &str, scheme: NGramScheme) -> Self {
+        let grams = scheme.extract(value);
+        let window = scheme.window();
+        let ids: Vec<u64> = grams.iter().map(|g| term_id(g)).collect();
+        let mut edges: FxHashMap<(u64, u64), f64> = FxHashMap::default();
+        for i in 0..ids.len() {
+            for j in (i + 1)..ids.len().min(i + window) {
+                *edges.entry(edge_key(ids[i], ids[j])).or_insert(0.0) += 1.0;
+            }
+        }
+        NGramGraph { edges }
+    }
+
+    /// Build an entity's graph by merging the graphs of all its values with
+    /// the incremental-average update operator.
+    pub fn from_values<'a, I: IntoIterator<Item = &'a str>>(values: I, scheme: NGramScheme) -> Self {
+        let mut merged = NGramGraph::new();
+        for (i, v) in values.into_iter().enumerate() {
+            let g = NGramGraph::from_value(v, scheme);
+            if i == 0 {
+                merged = g;
+            } else {
+                merged.update(&g, 1.0 / (i as f64 + 1.0));
+            }
+        }
+        merged
+    }
+
+    /// The update operator: existing edges move toward the incoming weight
+    /// by factor `l`; edges only in `other` are inserted at their weight.
+    pub fn update(&mut self, other: &NGramGraph, l: f64) {
+        for (&k, &w_new) in &other.edges {
+            self.edges
+                .entry(k)
+                .and_modify(|w| *w += (w_new - *w) * l)
+                .or_insert(w_new);
+        }
+    }
+
+    /// Number of edges `|G|`.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the graph has no edges.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Weight of an edge, if present.
+    pub fn weight(&self, a: u64, b: u64) -> Option<f64> {
+        self.edges.get(&edge_key(a, b)).copied()
+    }
+
+    /// Iterate the canonical `(lo, hi)` edge keys — used by the pipeline's
+    /// inverted index over graph edges.
+    pub fn edge_keys(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.edges.keys().copied()
+    }
+
+    /// Containment Similarity: `Σ_{e∈Gi} μ(e, Gj) / min(|Gi|, |Gj|)` —
+    /// the portion of shared edges, weight-agnostic.
+    pub fn containment_similarity(&self, other: &NGramGraph) -> f64 {
+        if let Some(s) = self.degenerate(other) { return s }
+        let (small, large) = if self.size() <= other.size() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let common = small
+            .edges
+            .keys()
+            .filter(|k| large.edges.contains_key(*k))
+            .count();
+        common as f64 / small.size() as f64
+    }
+
+    /// Value Similarity: `Σ_{e∈Gi∩Gj} min(w_i,w_j)/max(w_i,w_j) / max(|Gi|,|Gj|)`.
+    pub fn value_similarity(&self, other: &NGramGraph) -> f64 {
+        if let Some(s) = self.degenerate(other) { return s }
+        self.value_ratio_sum(other) / self.size().max(other.size()) as f64
+    }
+
+    /// Normalized Value Similarity: as VS but divided by `min(|Gi|, |Gj|)`,
+    /// mitigating imbalanced graph sizes.
+    pub fn normalized_value_similarity(&self, other: &NGramGraph) -> f64 {
+        if let Some(s) = self.degenerate(other) { return s }
+        (self.value_ratio_sum(other) / self.size().min(other.size()) as f64).clamp(0.0, 1.0)
+    }
+
+    /// Overall Similarity: the mean of containment, value and normalized
+    /// value similarity.
+    pub fn overall_similarity(&self, other: &NGramGraph) -> f64 {
+        (self.containment_similarity(other)
+            + self.value_similarity(other)
+            + self.normalized_value_similarity(other))
+            / 3.0
+    }
+
+    fn value_ratio_sum(&self, other: &NGramGraph) -> f64 {
+        let (small, large) = if self.size() <= other.size() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        small
+            .edges
+            .iter()
+            .filter_map(|(k, &wa)| {
+                large.edges.get(k).map(|&wb| {
+                    let (lo, hi) = if wa <= wb { (wa, wb) } else { (wb, wa) };
+                    if hi <= 0.0 {
+                        0.0
+                    } else {
+                        lo / hi
+                    }
+                })
+            })
+            .sum()
+    }
+
+    /// Empty-graph conventions: both empty → 1, one empty → 0.
+    fn degenerate(&self, other: &NGramGraph) -> Option<f64> {
+        match (self.is_empty(), other.is_empty()) {
+            (true, true) => Some(1.0),
+            (true, false) | (false, true) => Some(0.0),
+            (false, false) => None,
+        }
+    }
+}
+
+fn edge_key(a: u64, b: u64) -> (u64, u64) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// The four graph similarity measures of the paper (Figure 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GraphSimilarity {
+    /// Containment Similarity (CoS).
+    Containment,
+    /// Value Similarity (VS).
+    Value,
+    /// Normalized Value Similarity (NS).
+    NormalizedValue,
+    /// Overall Similarity (OS): the mean of the other three.
+    Overall,
+}
+
+impl GraphSimilarity {
+    /// All four measures.
+    pub fn all() -> [GraphSimilarity; 4] {
+        [
+            GraphSimilarity::Containment,
+            GraphSimilarity::Value,
+            GraphSimilarity::NormalizedValue,
+            GraphSimilarity::Overall,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            GraphSimilarity::Containment => "Containment",
+            GraphSimilarity::Value => "Value",
+            GraphSimilarity::NormalizedValue => "NormalizedValue",
+            GraphSimilarity::Overall => "Overall",
+        }
+    }
+
+    /// Compute the similarity of two n-gram graphs.
+    pub fn similarity(&self, a: &NGramGraph, b: &NGramGraph) -> f64 {
+        match self {
+            GraphSimilarity::Containment => a.containment_similarity(b),
+            GraphSimilarity::Value => a.value_similarity(b),
+            GraphSimilarity::NormalizedValue => a.normalized_value_similarity(b),
+            GraphSimilarity::Overall => a.overall_similarity(b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-9;
+
+    #[test]
+    fn paper_joe_biden_graph_structure() {
+        // §4: seven nodes; 'Joe' connects to 'oe_' and 'e_B' with weight 1.
+        let g = NGramGraph::from_value("Joe Biden", NGramScheme::Char(3));
+        let joe = term_id("Joe");
+        assert_eq!(g.weight(joe, term_id("oe ")), Some(1.0));
+        assert_eq!(g.weight(joe, term_id("e B")), Some(1.0));
+        assert_eq!(g.weight(joe, term_id(" Bi")), None, "outside window");
+        // 7 grams, each (except the last two) linking 2 ahead: 6 + 5 = 11.
+        assert_eq!(g.size(), 11);
+    }
+
+    #[test]
+    fn repeated_cooccurrence_increases_weight() {
+        // "abab" char 2-grams: ab, ba, ab → 'ab'-'ba' co-occurs twice
+        // (positions 0-1 and 1-2).
+        let g = NGramGraph::from_value("abab", NGramScheme::Char(2));
+        assert_eq!(g.weight(term_id("ab"), term_id("ba")), Some(2.0));
+    }
+
+    #[test]
+    fn token_unigram_graph_links_adjacent_tokens() {
+        let g = NGramGraph::from_value("new york city", NGramScheme::Token(1));
+        assert_eq!(g.weight(term_id("new"), term_id("york")), Some(1.0));
+        assert_eq!(g.weight(term_id("york"), term_id("city")), Some(1.0));
+        assert_eq!(g.weight(term_id("new"), term_id("city")), None);
+    }
+
+    #[test]
+    fn update_operator_averages() {
+        let mut a = NGramGraph::from_value("ab", NGramScheme::Char(1));
+        // 'a'-'b' weight 1 in both; merging identical graphs keeps 1.
+        let b = NGramGraph::from_value("ab", NGramScheme::Char(1));
+        a.update(&b, 0.5);
+        assert_eq!(a.weight(term_id("a"), term_id("b")), Some(1.0));
+        // A new edge joins at its own weight.
+        let c = NGramGraph::from_value("cd", NGramScheme::Char(1));
+        a.update(&c, 0.5);
+        assert_eq!(a.weight(term_id("c"), term_id("d")), Some(1.0));
+    }
+
+    #[test]
+    fn identity_similarity_is_one() {
+        let g = NGramGraph::from_value("entity resolution", NGramScheme::Char(3));
+        for m in GraphSimilarity::all() {
+            assert!(
+                (m.similarity(&g, &g) - 1.0).abs() < EPS,
+                "{} of identical graphs",
+                m.name()
+            );
+        }
+    }
+
+    #[test]
+    fn disjoint_graphs_score_zero() {
+        let a = NGramGraph::from_value("aaaa", NGramScheme::Char(2));
+        let b = NGramGraph::from_value("zzzz", NGramScheme::Char(2));
+        for m in GraphSimilarity::all() {
+            assert_eq!(m.similarity(&a, &b), 0.0, "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn empty_graph_conventions() {
+        let e = NGramGraph::new();
+        let g = NGramGraph::from_value("abc", NGramScheme::Char(2));
+        for m in GraphSimilarity::all() {
+            assert_eq!(m.similarity(&e, &e), 1.0, "{}", m.name());
+            assert_eq!(m.similarity(&e, &g), 0.0, "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn normalized_value_counters_imbalance() {
+        // A small graph fully contained in a much larger one: NS stays
+        // high where VS collapses.
+        let small = NGramGraph::from_value("abcd", NGramScheme::Char(2));
+        let large = NGramGraph::from_value(
+            "abcd qrst uvwx yzab cdef ghij klmn oprs",
+            NGramScheme::Char(2),
+        );
+        let vs = small.value_similarity(&large);
+        let ns = small.normalized_value_similarity(&large);
+        assert!(ns > vs, "NS {ns} must exceed VS {vs} on imbalanced graphs");
+        // Overall is the mean of the three.
+        let cs = small.containment_similarity(&large);
+        assert!(
+            (small.overall_similarity(&large) - (cs + vs + ns) / 3.0).abs() < EPS
+        );
+    }
+
+    #[test]
+    fn entity_graph_merges_values() {
+        let g = NGramGraph::from_values(["john smith", "london"], NGramScheme::Char(3));
+        assert!(g.weight(term_id("joh"), term_id("ohn")).is_some());
+        assert!(g.weight(term_id("lon"), term_id("ond")).is_some());
+        // Similarity to a single-value graph with shared content is high.
+        let h = NGramGraph::from_value("john smith", NGramScheme::Char(3));
+        assert!(g.containment_similarity(&h) > 0.9);
+    }
+
+    #[test]
+    fn symmetry() {
+        let a = NGramGraph::from_value("apple iphone 12", NGramScheme::Char(3));
+        let b = NGramGraph::from_value("apple iphone 13 pro", NGramScheme::Char(3));
+        for m in GraphSimilarity::all() {
+            assert!(
+                (m.similarity(&a, &b) - m.similarity(&b, &a)).abs() < EPS,
+                "{} not symmetric",
+                m.name()
+            );
+        }
+    }
+}

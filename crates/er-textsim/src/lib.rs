@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! # er-textsim — syntactic similarity measures and representation models
+//!
+//! Implements the full learning-free syntactic taxonomy of §4 / Appendix B
+//! of the paper:
+//!
+//! * **Schema-based, character-level** ([`charlevel`]): Levenshtein,
+//!   Damerau-Levenshtein, Jaro, Needleman-Wunch, q-grams distance, longest
+//!   common substring and subsequence (7 measures), plus Smith-Waterman as
+//!   the secondary measure inside Monge-Elkan.
+//! * **Schema-based, token-level** ([`tokenlevel`]): cosine, block distance,
+//!   Euclidean, Jaccard, generalized Jaccard, Dice, Simon White, overlap
+//!   coefficient, Monge-Elkan (9 measures) — 16 schema-based measures total,
+//!   unified by [`SchemaBasedMeasure`].
+//! * **Schema-agnostic n-gram vector models** ([`vector`]): character
+//!   n∈{2,3,4} and token n∈{1,2,3} bag models with TF/TF-IDF weights and the
+//!   ARCS / cosine / Jaccard / generalized-Jaccard similarities.
+//! * **Schema-agnostic n-gram graph models** ([`graphmodel`]): the JInsect
+//!   n-gram graphs with containment / value / normalized value / overall
+//!   similarity.
+//!
+//! All similarities return values in `[0, 1]`; distances are normalized into
+//! similarities as documented per measure. Unicode is handled at the
+//! `char` level.
+
+pub mod charlevel;
+pub mod graphmodel;
+pub mod measure;
+pub mod tokenize;
+pub mod tokenlevel;
+pub mod vector;
+
+pub use charlevel::CharMeasure;
+pub use graphmodel::{GraphSimilarity, NGramGraph};
+pub use measure::SchemaBasedMeasure;
+pub use tokenize::{char_ngrams, normalize_text, token_ngrams, tokens, NGramScheme};
+pub use tokenlevel::TokenMeasure;
+pub use vector::{DfIndex, SparseVector, TermWeighting, VectorMeasure, VectorModel};

@@ -1,0 +1,403 @@
+//! Token-level schema-based similarity measures (Appendix B.1.2).
+//!
+//! Inputs are treated as sets or multisets (bags) of whitespace tokens,
+//! per measure. All similarities are in `[0, 1]`; two empty token lists are
+//! maximally similar, an empty vs non-empty list scores 0.
+
+use er_core::{FxHashMap, FxHashSet};
+use serde::{Deserialize, Serialize};
+
+use crate::charlevel::smith_waterman_similarity;
+use crate::tokenize::tokens;
+
+/// The nine token-level measures of the paper's taxonomy (Figure 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TokenMeasure {
+    /// Cosine of token-count vectors.
+    Cosine,
+    /// Monge-Elkan with Smith-Waterman as the secondary measure.
+    MongeElkan,
+    /// Block (L1 / Manhattan) distance over token counts, normalized.
+    BlockDistance,
+    /// Dice similarity over token sets.
+    Dice,
+    /// Overlap coefficient over token sets.
+    OverlapCoefficient,
+    /// Euclidean (L2) distance over token counts, normalized.
+    Euclidean,
+    /// Jaccard similarity over token sets.
+    Jaccard,
+    /// Generalized Jaccard over token multisets.
+    GeneralizedJaccard,
+    /// Simon White: Dice over multisets of within-token character bigrams.
+    SimonWhite,
+}
+
+impl TokenMeasure {
+    /// All token-level measures.
+    pub fn all() -> [TokenMeasure; 9] {
+        [
+            TokenMeasure::Cosine,
+            TokenMeasure::MongeElkan,
+            TokenMeasure::BlockDistance,
+            TokenMeasure::Dice,
+            TokenMeasure::OverlapCoefficient,
+            TokenMeasure::Euclidean,
+            TokenMeasure::Jaccard,
+            TokenMeasure::GeneralizedJaccard,
+            TokenMeasure::SimonWhite,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TokenMeasure::Cosine => "Cosine",
+            TokenMeasure::MongeElkan => "MongeElkan",
+            TokenMeasure::BlockDistance => "BlockDistance",
+            TokenMeasure::Dice => "Dice",
+            TokenMeasure::OverlapCoefficient => "OverlapCoefficient",
+            TokenMeasure::Euclidean => "Euclidean",
+            TokenMeasure::Jaccard => "Jaccard",
+            TokenMeasure::GeneralizedJaccard => "GeneralizedJaccard",
+            TokenMeasure::SimonWhite => "SimonWhite",
+        }
+    }
+
+    /// Compute the similarity of two strings (tokenized internally).
+    pub fn similarity(&self, a: &str, b: &str) -> f64 {
+        let ta = tokens(a);
+        let tb = tokens(b);
+        match self {
+            TokenMeasure::Cosine => cosine_similarity(&ta, &tb),
+            TokenMeasure::MongeElkan => monge_elkan_similarity(&ta, &tb),
+            TokenMeasure::BlockDistance => block_distance_similarity(&ta, &tb),
+            TokenMeasure::Dice => dice_similarity(&ta, &tb),
+            TokenMeasure::OverlapCoefficient => overlap_coefficient(&ta, &tb),
+            TokenMeasure::Euclidean => euclidean_similarity(&ta, &tb),
+            TokenMeasure::Jaccard => jaccard_similarity(&ta, &tb),
+            TokenMeasure::GeneralizedJaccard => generalized_jaccard_similarity(&ta, &tb),
+            TokenMeasure::SimonWhite => simon_white_similarity(&ta, &tb),
+        }
+    }
+}
+
+fn counts<'a>(toks: &[&'a str]) -> FxHashMap<&'a str, usize> {
+    let mut m = FxHashMap::default();
+    for t in toks {
+        *m.entry(*t).or_insert(0) += 1;
+    }
+    m
+}
+
+fn set<'a>(toks: &[&'a str]) -> FxHashSet<&'a str> {
+    toks.iter().copied().collect()
+}
+
+/// Cosine of the token count vectors: `a·b / (‖a‖·‖b‖)`.
+pub fn cosine_similarity(a: &[&str], b: &[&str]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let ca = counts(a);
+    let cb = counts(b);
+    let dot: f64 = ca
+        .iter()
+        .filter_map(|(t, &fa)| cb.get(t).map(|&fb| (fa * fb) as f64))
+        .sum();
+    let na: f64 = ca.values().map(|&f| (f * f) as f64).sum::<f64>().sqrt();
+    let nb: f64 = cb.values().map(|&f| (f * f) as f64).sum::<f64>().sqrt();
+    (dot / (na * nb)).clamp(0.0, 1.0)
+}
+
+/// Block (L1) distance over token counts, normalized:
+/// `1 − ‖a − b‖₁ / (N_a + N_b)`.
+pub fn block_distance_similarity(a: &[&str], b: &[&str]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let ca = counts(a);
+    let cb = counts(b);
+    let mut diff = 0usize;
+    for (t, &fa) in &ca {
+        diff += fa.abs_diff(cb.get(t).copied().unwrap_or(0));
+    }
+    for (t, &fb) in &cb {
+        if !ca.contains_key(t) {
+            diff += fb;
+        }
+    }
+    1.0 - diff as f64 / (a.len() + b.len()) as f64
+}
+
+/// Euclidean (L2) distance over token counts, normalized by the maximal
+/// possible distance `√(N_a² + N_b²)` (disjoint bags):
+/// `1 − ‖a − b‖₂ / √(N_a² + N_b²)`.
+pub fn euclidean_similarity(a: &[&str], b: &[&str]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let ca = counts(a);
+    let cb = counts(b);
+    let mut sq = 0.0f64;
+    for (t, &fa) in &ca {
+        let fb = cb.get(t).copied().unwrap_or(0);
+        let d = fa as f64 - fb as f64;
+        sq += d * d;
+    }
+    for (t, &fb) in &cb {
+        if !ca.contains_key(t) {
+            sq += (fb * fb) as f64;
+        }
+    }
+    let denom = ((a.len() * a.len() + b.len() * b.len()) as f64).sqrt();
+    if denom == 0.0 {
+        return 1.0;
+    }
+    (1.0 - sq.sqrt() / denom).clamp(0.0, 1.0)
+}
+
+/// Jaccard over token sets: `|A ∩ B| / |A ∪ B|`.
+pub fn jaccard_similarity(a: &[&str], b: &[&str]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let sa = set(a);
+    let sb = set(b);
+    let inter = sa.intersection(&sb).count();
+    let union = sa.len() + sb.len() - inter;
+    if union == 0 {
+        1.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// Generalized Jaccard over token multisets: `Σ min(f_a, f_b) / Σ max(f_a, f_b)`.
+pub fn generalized_jaccard_similarity(a: &[&str], b: &[&str]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let ca = counts(a);
+    let cb = counts(b);
+    let mut min_sum = 0usize;
+    for (t, &fa) in &ca {
+        min_sum += fa.min(cb.get(t).copied().unwrap_or(0));
+    }
+    let max_sum = a.len() + b.len() - min_sum;
+    if max_sum == 0 {
+        1.0
+    } else {
+        min_sum as f64 / max_sum as f64
+    }
+}
+
+/// Dice over token sets: `2|A ∩ B| / (|A| + |B|)`.
+pub fn dice_similarity(a: &[&str], b: &[&str]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let sa = set(a);
+    let sb = set(b);
+    let inter = sa.intersection(&sb).count();
+    let denom = sa.len() + sb.len();
+    if denom == 0 {
+        1.0
+    } else {
+        2.0 * inter as f64 / denom as f64
+    }
+}
+
+/// Overlap coefficient over token sets: `|A ∩ B| / min(|A|, |B|)`.
+pub fn overlap_coefficient(a: &[&str], b: &[&str]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let sa = set(a);
+    let sb = set(b);
+    let inter = sa.intersection(&sb).count();
+    inter as f64 / sa.len().min(sb.len()) as f64
+}
+
+/// Simon White ("strike a match"): Dice over the *multisets* of adjacent
+/// character pairs taken within each token.
+pub fn simon_white_similarity(a: &[&str], b: &[&str]) -> f64 {
+    fn pairs(toks: &[&str]) -> Vec<(char, char)> {
+        let mut out = Vec::new();
+        for t in toks {
+            let chars: Vec<char> = t.chars().collect();
+            for w in chars.windows(2) {
+                out.push((w[0], w[1]));
+            }
+        }
+        out
+    }
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let pa = pairs(a);
+    let pb = pairs(b);
+    if pa.is_empty() && pb.is_empty() {
+        // Tokens exist but are single characters: fall back to set Dice.
+        return dice_similarity(a, b);
+    }
+    let mut cb: FxHashMap<(char, char), usize> = FxHashMap::default();
+    for p in &pb {
+        *cb.entry(*p).or_insert(0) += 1;
+    }
+    let mut inter = 0usize;
+    for p in &pa {
+        if let Some(c) = cb.get_mut(p) {
+            if *c > 0 {
+                *c -= 1;
+                inter += 1;
+            }
+        }
+    }
+    2.0 * inter as f64 / (pa.len() + pb.len()) as f64
+}
+
+/// Monge-Elkan: `(1/|a|) Σ_i max_j sim'(a_i, b_j)` with Smith-Waterman as
+/// the secondary measure (Appendix B.1.2). Asymmetric by definition; we
+/// symmetrize with the mean of both directions so the similarity-graph
+/// contract (symmetric weights) holds.
+pub fn monge_elkan_similarity(a: &[&str], b: &[&str]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let dir = |xs: &[&str], ys: &[&str]| -> f64 {
+        xs.iter()
+            .map(|x| {
+                ys.iter()
+                    .map(|y| smith_waterman_similarity(x, y))
+                    .fold(0.0f64, f64::max)
+            })
+            .sum::<f64>()
+            / xs.len() as f64
+    };
+    (dir(a, b) + dir(b, a)) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-9;
+    fn toks(s: &str) -> Vec<&str> {
+        tokens(s)
+    }
+
+    #[test]
+    fn cosine_counts() {
+        let a = toks("new york city");
+        let b = toks("york city hall");
+        // dot = 2 (york, city); norms √3 → 2/3.
+        assert!((cosine_similarity(&a, &b) - 2.0 / 3.0).abs() < EPS);
+        assert_eq!(cosine_similarity(&toks(""), &toks("")), 1.0);
+        assert_eq!(cosine_similarity(&toks("a"), &toks("")), 0.0);
+    }
+
+    #[test]
+    fn block_distance_example() {
+        let a = toks("a b b");
+        let b = toks("a b c");
+        // diff: b 1, c 1 → 2; sim = 1 - 2/6.
+        assert!((block_distance_similarity(&a, &b) - (1.0 - 2.0 / 6.0)).abs() < EPS);
+    }
+
+    #[test]
+    fn euclidean_example() {
+        let a = toks("a b");
+        let b = toks("a c");
+        // diff vector: b 1, c 1 → √2; denom √(4+4)=2√2 → sim = 0.5.
+        assert!((euclidean_similarity(&a, &b) - 0.5).abs() < EPS);
+        assert_eq!(euclidean_similarity(&toks(""), &toks("")), 1.0);
+    }
+
+    #[test]
+    fn jaccard_and_generalized() {
+        let a = toks("a b c");
+        let b = toks("b c d");
+        assert!((jaccard_similarity(&a, &b) - 0.5).abs() < EPS); // 2/4
+        // Multiset: a = {a,a,b}, b = {a,b,b}: min 1+1=2, max 2+2=4 → 0.5.
+        let a2 = toks("a a b");
+        let b2 = toks("a b b");
+        assert!((generalized_jaccard_similarity(&a2, &b2) - 0.5).abs() < EPS);
+        // Set Jaccard of the same pair is 1 — multisets matter.
+        assert!((jaccard_similarity(&a2, &b2) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn dice_and_overlap() {
+        let a = toks("a b c");
+        let b = toks("b c d e");
+        assert!((dice_similarity(&a, &b) - 2.0 * 2.0 / 7.0).abs() < EPS);
+        assert!((overlap_coefficient(&a, &b) - 2.0 / 3.0).abs() < EPS);
+        // Subset → overlap = 1.
+        assert!((overlap_coefficient(&toks("a b"), &toks("a b c d")) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn simon_white_pairs() {
+        // Classic example: "healed" vs "sealed" → pairs he,ea,al,le,ed vs
+        // se,ea,al,le,ed → 2*4/10 = 0.8.
+        let s = simon_white_similarity(&toks("healed"), &toks("sealed"));
+        assert!((s - 0.8).abs() < EPS);
+        // Single-char tokens fall back to set Dice.
+        let s = simon_white_similarity(&toks("a b"), &toks("a c"));
+        assert!((s - 0.5).abs() < EPS);
+    }
+
+    #[test]
+    fn monge_elkan_rewards_best_alignments() {
+        let a = toks("peter christen");
+        let b = toks("christen peter");
+        assert!((monge_elkan_similarity(&a, &b) - 1.0).abs() < EPS);
+        let c = toks("peter christen");
+        let d = toks("petra christen");
+        let s = monge_elkan_similarity(&c, &d);
+        assert!(s > 0.5 && s < 1.0);
+        // Symmetrized.
+        assert!((s - monge_elkan_similarity(&d, &c)).abs() < EPS);
+    }
+
+    #[test]
+    fn all_measures_bounded_symmetric_reflexive() {
+        let samples = [
+            ("apple iphone 12", "iphone 12 apple"),
+            ("a b c", "d e f"),
+            ("", "x y"),
+            ("dup dup dup", "dup"),
+        ];
+        for m in TokenMeasure::all() {
+            for (a, b) in samples {
+                let s = m.similarity(a, b);
+                assert!((0.0..=1.0).contains(&s), "{} out of range: {s}", m.name());
+                assert!(
+                    (s - m.similarity(b, a)).abs() < EPS,
+                    "{} not symmetric",
+                    m.name()
+                );
+            }
+            assert!(
+                (m.similarity("same same", "same same") - 1.0).abs() < EPS,
+                "{} not reflexive",
+                m.name()
+            );
+        }
+    }
+
+    #[test]
+    fn roster_has_nine() {
+        assert_eq!(TokenMeasure::all().len(), 9);
+    }
+}

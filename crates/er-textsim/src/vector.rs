@@ -1,0 +1,499 @@
+//! Schema-agnostic n-gram **vector** (bag) models — Appendix B.2.1.
+//!
+//! An entity is modelled as a sparse vector with one dimension per distinct
+//! n-gram, weighted by TF or TF-IDF. Term dimensions are *feature-hashed*
+//! to `u64` ids (deterministic, collision probability negligible at our
+//! vocabulary sizes), which keeps corpus statistics and inverted indexes
+//! allocation-light.
+//!
+//! The four measure families of the paper: ARCS, cosine (TF / TF-IDF),
+//! Jaccard (set), generalized Jaccard (TF / TF-IDF) — six similarity
+//! functions per scheme, matching Figure 6.
+
+use er_core::hash::seeded_hash64;
+use er_core::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+use crate::tokenize::NGramScheme;
+
+/// Seed for term-id hashing (fixed so vectors are comparable across runs).
+const TERM_SEED: u64 = 0x7e57_0123_4567_89ab;
+
+/// Hash an n-gram to its dimension id.
+#[inline]
+pub fn term_id(gram: &str) -> u64 {
+    seeded_hash64(gram.as_bytes(), TERM_SEED)
+}
+
+/// A sparse vector: `(term id, weight)` pairs sorted by term id.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SparseVector {
+    terms: Vec<(u64, f64)>,
+}
+
+impl SparseVector {
+    /// Build from unordered (term, weight) pairs; duplicate terms are summed.
+    pub fn from_pairs(mut pairs: Vec<(u64, f64)>) -> Self {
+        pairs.sort_unstable_by_key(|&(t, _)| t);
+        let mut terms: Vec<(u64, f64)> = Vec::with_capacity(pairs.len());
+        for (t, w) in pairs {
+            match terms.last_mut() {
+                Some(last) if last.0 == t => last.1 += w,
+                _ => terms.push((t, w)),
+            }
+        }
+        SparseVector { terms }
+    }
+
+    /// The empty vector.
+    pub fn empty() -> Self {
+        SparseVector { terms: Vec::new() }
+    }
+
+    /// Number of non-zero dimensions.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether the vector has no terms.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Sorted `(term, weight)` pairs.
+    #[inline]
+    pub fn terms(&self) -> &[(u64, f64)] {
+        &self.terms
+    }
+
+    /// Dot product (sorted merge join).
+    pub fn dot(&self, other: &SparseVector) -> f64 {
+        self.join(other).map(|(_, wa, wb)| wa * wb).sum()
+    }
+
+    /// Euclidean norm.
+    pub fn norm(&self) -> f64 {
+        self.terms.iter().map(|&(_, w)| w * w).sum::<f64>().sqrt()
+    }
+
+    /// Sum of weights.
+    pub fn weight_sum(&self) -> f64 {
+        self.terms.iter().map(|&(_, w)| w).sum()
+    }
+
+    /// Number of common terms.
+    pub fn common_terms(&self, other: &SparseVector) -> usize {
+        self.join(other).count()
+    }
+
+    /// Σ min(w_a, w_b) over common terms.
+    pub fn common_min_sum(&self, other: &SparseVector) -> f64 {
+        self.join(other).map(|(_, wa, wb)| wa.min(wb)).sum()
+    }
+
+    /// Iterate common terms as `(term, w_self, w_other)`.
+    pub fn join<'a>(
+        &'a self,
+        other: &'a SparseVector,
+    ) -> impl Iterator<Item = (u64, f64, f64)> + 'a {
+        JoinIter {
+            a: &self.terms,
+            b: &other.terms,
+            i: 0,
+            j: 0,
+        }
+    }
+}
+
+struct JoinIter<'a> {
+    a: &'a [(u64, f64)],
+    b: &'a [(u64, f64)],
+    i: usize,
+    j: usize,
+}
+
+impl Iterator for JoinIter<'_> {
+    type Item = (u64, f64, f64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while self.i < self.a.len() && self.j < self.b.len() {
+            let (ta, wa) = self.a[self.i];
+            let (tb, wb) = self.b[self.j];
+            match ta.cmp(&tb) {
+                std::cmp::Ordering::Less => self.i += 1,
+                std::cmp::Ordering::Greater => self.j += 1,
+                std::cmp::Ordering::Equal => {
+                    self.i += 1;
+                    self.j += 1;
+                    return Some((ta, wa, wb));
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Term weighting scheme for bag models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TermWeighting {
+    /// Term frequency, normalized by the entity's n-gram count.
+    Tf,
+    /// TF × inverse document frequency over an entity collection.
+    TfIdf,
+}
+
+/// Document-frequency statistics of one entity collection.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DfIndex {
+    n_docs: usize,
+    df: FxHashMap<u64, u32>,
+}
+
+impl DfIndex {
+    /// Empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register one document's distinct terms.
+    pub fn add_document<I: IntoIterator<Item = u64>>(&mut self, distinct_terms: I) {
+        self.n_docs += 1;
+        for t in distinct_terms {
+            *self.df.entry(t).or_insert(0) += 1;
+        }
+    }
+
+    /// Number of registered documents.
+    pub fn n_docs(&self) -> usize {
+        self.n_docs
+    }
+
+    /// Document frequency of a term.
+    pub fn df(&self, term: u64) -> u32 {
+        self.df.get(&term).copied().unwrap_or(0)
+    }
+
+    /// `IDF(t) = ln(|E| / (df(t) + 1))`, clamped at 0 (the paper's
+    /// Appendix B.2.1 formula; frequent terms approach zero weight).
+    pub fn idf(&self, term: u64) -> f64 {
+        if self.n_docs == 0 {
+            return 0.0;
+        }
+        (self.n_docs as f64 / (self.df(term) as f64 + 1.0)).ln().max(0.0)
+    }
+}
+
+/// A bag-of-n-grams representation model for one scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VectorModel {
+    /// Which n-grams this model extracts.
+    pub scheme: NGramScheme,
+}
+
+impl VectorModel {
+    /// Create a model over `scheme`.
+    pub fn new(scheme: NGramScheme) -> Self {
+        VectorModel { scheme }
+    }
+
+    /// Normalized term frequencies of a text: `TF(t) = f_t / N`.
+    pub fn term_frequencies(&self, text: &str) -> FxHashMap<u64, f64> {
+        let grams = self.scheme.extract(text);
+        let n = grams.len() as f64;
+        let mut counts: FxHashMap<u64, f64> = FxHashMap::default();
+        for g in &grams {
+            *counts.entry(term_id(g)).or_insert(0.0) += 1.0;
+        }
+        if n > 0.0 {
+            for w in counts.values_mut() {
+                *w /= n;
+            }
+        }
+        counts
+    }
+
+    /// Build the entity vector under a weighting scheme.
+    ///
+    /// For TF-IDF, `df` must be the entity's own collection index.
+    pub fn vector(&self, text: &str, weighting: TermWeighting, df: Option<&DfIndex>) -> SparseVector {
+        let tf = self.term_frequencies(text);
+        let pairs = tf
+            .into_iter()
+            .map(|(t, w)| {
+                let w = match weighting {
+                    TermWeighting::Tf => w,
+                    TermWeighting::TfIdf => {
+                        w * df.expect("TF-IDF weighting requires a DfIndex").idf(t)
+                    }
+                };
+                (t, w)
+            })
+            .collect();
+        SparseVector::from_pairs(pairs)
+    }
+}
+
+/// The six bag-model similarity functions (Figure 6, schema-agnostic
+/// vector column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VectorMeasure {
+    /// ARCS: Σ over common terms of `log 2 / log(DF1·DF2)` — rare shared
+    /// n-grams dominate. Unbounded above; the pipeline min-max normalizes.
+    Arcs,
+    /// Cosine with TF weights.
+    CosineTf,
+    /// Cosine with TF-IDF weights.
+    CosineTfIdf,
+    /// Set Jaccard over term sets.
+    Jaccard,
+    /// Generalized Jaccard with TF weights.
+    GeneralizedJaccardTf,
+    /// Generalized Jaccard with TF-IDF weights.
+    GeneralizedJaccardTfIdf,
+}
+
+impl VectorMeasure {
+    /// All six measures.
+    pub fn all() -> [VectorMeasure; 6] {
+        [
+            VectorMeasure::Arcs,
+            VectorMeasure::CosineTf,
+            VectorMeasure::CosineTfIdf,
+            VectorMeasure::Jaccard,
+            VectorMeasure::GeneralizedJaccardTf,
+            VectorMeasure::GeneralizedJaccardTfIdf,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            VectorMeasure::Arcs => "ARCS",
+            VectorMeasure::CosineTf => "CosineTF",
+            VectorMeasure::CosineTfIdf => "CosineTFIDF",
+            VectorMeasure::Jaccard => "Jaccard",
+            VectorMeasure::GeneralizedJaccardTf => "GenJaccardTF",
+            VectorMeasure::GeneralizedJaccardTfIdf => "GenJaccardTFIDF",
+        }
+    }
+
+    /// Which weighting the entity vectors must carry for this measure.
+    pub fn weighting(&self) -> TermWeighting {
+        match self {
+            VectorMeasure::CosineTfIdf | VectorMeasure::GeneralizedJaccardTfIdf => {
+                TermWeighting::TfIdf
+            }
+            // ARCS and set-Jaccard ignore weights; TF vectors suffice.
+            _ => TermWeighting::Tf,
+        }
+    }
+
+    /// Whether the raw score can exceed 1 (requiring graph-level
+    /// normalization).
+    pub fn is_unbounded(&self) -> bool {
+        matches!(self, VectorMeasure::Arcs)
+    }
+
+    /// Similarity of two entity vectors. `dfs` are the per-collection
+    /// document-frequency indexes, required by ARCS.
+    pub fn similarity(
+        &self,
+        a: &SparseVector,
+        b: &SparseVector,
+        dfs: Option<(&DfIndex, &DfIndex)>,
+    ) -> f64 {
+        if a.is_empty() && b.is_empty() {
+            return match self {
+                VectorMeasure::Arcs => 0.0,
+                _ => 1.0,
+            };
+        }
+        if a.is_empty() || b.is_empty() {
+            return 0.0;
+        }
+        match self {
+            VectorMeasure::Arcs => {
+                let (df1, df2) = dfs.expect("ARCS requires per-collection DF indexes");
+                a.join(b)
+                    .map(|(t, _, _)| arcs_term_weight(df1.df(t), df2.df(t)))
+                    .sum()
+            }
+            VectorMeasure::CosineTf | VectorMeasure::CosineTfIdf => {
+                let denom = a.norm() * b.norm();
+                if denom == 0.0 {
+                    0.0
+                } else {
+                    (a.dot(b) / denom).clamp(0.0, 1.0)
+                }
+            }
+            VectorMeasure::Jaccard => {
+                let inter = a.common_terms(b);
+                let union = a.len() + b.len() - inter;
+                if union == 0 {
+                    1.0
+                } else {
+                    inter as f64 / union as f64
+                }
+            }
+            VectorMeasure::GeneralizedJaccardTf | VectorMeasure::GeneralizedJaccardTfIdf => {
+                let min_sum = a.common_min_sum(b);
+                let max_sum = a.weight_sum() + b.weight_sum() - min_sum;
+                if max_sum <= 0.0 {
+                    1.0
+                } else {
+                    (min_sum / max_sum).clamp(0.0, 1.0)
+                }
+            }
+        }
+    }
+}
+
+/// One common term's ARCS contribution: `log 2 / log(DF1·DF2)`, guarding
+/// the degenerate `DF1·DF2 ≤ 1` case (unique terms) by flooring the product
+/// at 2 — such terms then contribute the maximal weight 1.
+#[inline]
+fn arcs_term_weight(df1: u32, df2: u32) -> f64 {
+    let prod = (df1 as f64 * df2 as f64).max(2.0);
+    std::f64::consts::LN_2 / prod.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-9;
+
+    fn vec_of(pairs: &[(u64, f64)]) -> SparseVector {
+        SparseVector::from_pairs(pairs.to_vec())
+    }
+
+    #[test]
+    fn sparse_vector_merges_duplicates_and_sorts() {
+        let v = vec_of(&[(5, 1.0), (2, 0.5), (5, 2.0)]);
+        assert_eq!(v.terms(), &[(2, 0.5), (5, 3.0)]);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn dot_and_norm() {
+        let a = vec_of(&[(1, 1.0), (2, 2.0)]);
+        let b = vec_of(&[(2, 3.0), (3, 4.0)]);
+        assert!((a.dot(&b) - 6.0).abs() < EPS);
+        assert!((a.norm() - 5.0f64.sqrt()).abs() < EPS);
+        assert_eq!(a.common_terms(&b), 1);
+        assert!((a.common_min_sum(&b) - 2.0).abs() < EPS);
+    }
+
+    #[test]
+    fn model_builds_normalized_tf() {
+        let m = VectorModel::new(NGramScheme::Token(1));
+        let tf = m.term_frequencies("a b a");
+        assert_eq!(tf.len(), 2);
+        assert!((tf[&term_id("a")] - 2.0 / 3.0).abs() < EPS);
+        assert!((tf[&term_id("b")] - 1.0 / 3.0).abs() < EPS);
+    }
+
+    #[test]
+    fn tfidf_discounts_common_terms() {
+        let m = VectorModel::new(NGramScheme::Token(1));
+        let mut df = DfIndex::new();
+        // "the" appears in all 4 docs; "zebra" in 1.
+        for _ in 0..3 {
+            df.add_document([term_id("the")]);
+        }
+        df.add_document([term_id("the"), term_id("zebra")]);
+        let v = m.vector("the zebra", TermWeighting::TfIdf, Some(&df));
+        let w_the = v
+            .terms()
+            .iter()
+            .find(|&&(t, _)| t == term_id("the"))
+            .unwrap()
+            .1;
+        let w_zebra = v
+            .terms()
+            .iter()
+            .find(|&&(t, _)| t == term_id("zebra"))
+            .unwrap()
+            .1;
+        assert!(w_zebra > w_the, "rare term must outweigh stop word");
+        assert!((w_the - 0.0).abs() < EPS, "df+1 == |E| → idf 0");
+    }
+
+    #[test]
+    fn cosine_tf_identity_and_disjoint() {
+        let m = VectorModel::new(NGramScheme::Char(3));
+        let a = m.vector("john smith", TermWeighting::Tf, None);
+        let b = m.vector("john smith", TermWeighting::Tf, None);
+        let c = m.vector("zzzzzz", TermWeighting::Tf, None);
+        assert!((VectorMeasure::CosineTf.similarity(&a, &b, None) - 1.0).abs() < EPS);
+        assert_eq!(VectorMeasure::CosineTf.similarity(&a, &c, None), 0.0);
+    }
+
+    #[test]
+    fn jaccard_counts_term_sets() {
+        let a = vec_of(&[(1, 0.9), (2, 0.1), (3, 0.5)]);
+        let b = vec_of(&[(2, 0.7), (3, 0.2), (4, 0.4)]);
+        assert!((VectorMeasure::Jaccard.similarity(&a, &b, None) - 0.5).abs() < EPS);
+    }
+
+    #[test]
+    fn generalized_jaccard_uses_weights() {
+        let a = vec_of(&[(1, 0.6), (2, 0.4)]);
+        let b = vec_of(&[(1, 0.2), (3, 0.8)]);
+        // min common = 0.2; max total = 1.0 + 1.0 - 0.2 = 1.8.
+        let s = VectorMeasure::GeneralizedJaccardTf.similarity(&a, &b, None);
+        assert!((s - 0.2 / 1.8).abs() < EPS);
+    }
+
+    #[test]
+    fn arcs_prefers_rare_shared_terms() {
+        let mut df1 = DfIndex::new();
+        let mut df2 = DfIndex::new();
+        // term 1 is common in both collections, term 2 rare.
+        for _ in 0..100 {
+            df1.add_document([1u64]);
+            df2.add_document([1u64]);
+        }
+        df1.add_document([2u64]);
+        df2.add_document([2u64]);
+        let shared_common = vec_of(&[(1, 1.0)]);
+        let shared_rare = vec_of(&[(2, 1.0)]);
+        let s_common =
+            VectorMeasure::Arcs.similarity(&shared_common, &shared_common, Some((&df1, &df2)));
+        let s_rare = VectorMeasure::Arcs.similarity(&shared_rare, &shared_rare, Some((&df1, &df2)));
+        assert!(
+            s_rare > s_common,
+            "rare shared term {s_rare} must beat common {s_common}"
+        );
+        // Exact: df=100 each → ln2/ln(10000); df=1 each → floor at 2.
+        assert!((s_common - std::f64::consts::LN_2 / 10_000f64.ln()).abs() < EPS);
+        assert!((s_rare - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn measure_roster_and_weighting() {
+        assert_eq!(VectorMeasure::all().len(), 6);
+        assert_eq!(
+            VectorMeasure::CosineTfIdf.weighting(),
+            TermWeighting::TfIdf
+        );
+        assert_eq!(VectorMeasure::Jaccard.weighting(), TermWeighting::Tf);
+        assert!(VectorMeasure::Arcs.is_unbounded());
+        assert!(!VectorMeasure::CosineTf.is_unbounded());
+    }
+
+    #[test]
+    fn empty_vector_conventions() {
+        let e = SparseVector::empty();
+        let v = vec_of(&[(1, 1.0)]);
+        for m in VectorMeasure::all() {
+            if m == VectorMeasure::Arcs {
+                continue; // needs DF indexes
+            }
+            assert_eq!(m.similarity(&e, &v, None), 0.0, "{}", m.name());
+            assert_eq!(m.similarity(&e, &e, None), 1.0, "{}", m.name());
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Property tests for the similarity measures: bounds, symmetry,
+//! reflexivity and tokenization invariants over random ASCII-ish strings.
+
+use er_textsim::{
+    char_ngrams, normalize_text, token_ngrams, GraphSimilarity, NGramGraph, NGramScheme,
+    SchemaBasedMeasure, SparseVector, TermWeighting, VectorMeasure, VectorModel,
+};
+use proptest::prelude::*;
+
+fn arb_text() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z0-9 ]{0,24}").expect("valid regex")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn schema_based_measures_bounded_symmetric(a in arb_text(), b in arb_text()) {
+        for m in SchemaBasedMeasure::all() {
+            let s = m.similarity(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&s), "{} = {s} for {a:?} vs {b:?}", m.name());
+            let r = m.similarity(&b, &a);
+            prop_assert!((s - r).abs() < 1e-9, "{} asymmetric", m.name());
+        }
+    }
+
+    #[test]
+    fn schema_based_measures_reflexive(a in arb_text()) {
+        for m in SchemaBasedMeasure::all() {
+            let s = m.similarity(&a, &a);
+            prop_assert!((s - 1.0).abs() < 1e-9, "{}({a:?},{a:?}) = {s}", m.name());
+        }
+    }
+
+    #[test]
+    fn ngram_counts_match_lengths(a in arb_text(), n in 1usize..5) {
+        let grams = char_ngrams(&a, n);
+        let len = a.chars().count();
+        if len == 0 {
+            prop_assert!(grams.is_empty());
+        } else if len <= n {
+            prop_assert_eq!(grams.len(), 1);
+        } else {
+            prop_assert_eq!(grams.len(), len - n + 1);
+        }
+        for g in &grams {
+            prop_assert!(g.chars().count() <= n.max(len.min(n)));
+        }
+    }
+
+    #[test]
+    fn token_ngram_counts(a in arb_text(), n in 1usize..4) {
+        let grams = token_ngrams(&a, n);
+        let toks = a.split_whitespace().count();
+        if toks == 0 {
+            prop_assert!(grams.is_empty());
+        } else if toks <= n {
+            prop_assert_eq!(grams.len(), 1);
+        } else {
+            prop_assert_eq!(grams.len(), toks - n + 1);
+        }
+    }
+
+    #[test]
+    fn normalization_is_idempotent(a in "[\\PC]{0,32}") {
+        let once = normalize_text(&a);
+        let twice = normalize_text(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn vector_measures_bounded_symmetric(a in arb_text(), b in arb_text()) {
+        for scheme in NGramScheme::all() {
+            let model = VectorModel::new(scheme);
+            let va = model.vector(&a, TermWeighting::Tf, None);
+            let vb = model.vector(&b, TermWeighting::Tf, None);
+            for m in [
+                VectorMeasure::CosineTf,
+                VectorMeasure::Jaccard,
+                VectorMeasure::GeneralizedJaccardTf,
+            ] {
+                let s = m.similarity(&va, &vb, None);
+                prop_assert!((0.0..=1.0).contains(&s), "{} = {s}", m.name());
+                let r = m.similarity(&vb, &va, None);
+                prop_assert!((s - r).abs() < 1e-9, "{} asymmetric", m.name());
+            }
+        }
+    }
+
+    #[test]
+    fn vector_identity_is_one(a in "[a-z0-9 ]{1,24}") {
+        prop_assume!(!a.trim().is_empty());
+        let model = VectorModel::new(NGramScheme::Char(3));
+        let v = model.vector(&a, TermWeighting::Tf, None);
+        prop_assume!(!v.is_empty());
+        for m in [
+            VectorMeasure::CosineTf,
+            VectorMeasure::Jaccard,
+            VectorMeasure::GeneralizedJaccardTf,
+        ] {
+            let s = m.similarity(&v, &v, None);
+            prop_assert!((s - 1.0).abs() < 1e-9, "{}(v,v) = {s}", m.name());
+        }
+    }
+
+    #[test]
+    fn sparse_vector_dot_is_commutative(
+        pairs_a in proptest::collection::vec((0u64..50, 0.0f64..2.0), 0..20),
+        pairs_b in proptest::collection::vec((0u64..50, 0.0f64..2.0), 0..20),
+    ) {
+        let a = SparseVector::from_pairs(pairs_a);
+        let b = SparseVector::from_pairs(pairs_b);
+        prop_assert!((a.dot(&b) - b.dot(&a)).abs() < 1e-9);
+        prop_assert!(a.common_min_sum(&b) <= a.weight_sum() + 1e-9);
+        prop_assert_eq!(a.common_terms(&b), b.common_terms(&a));
+    }
+
+    #[test]
+    fn graph_similarities_bounded_symmetric(a in arb_text(), b in arb_text()) {
+        for scheme in [NGramScheme::Char(3), NGramScheme::Token(1)] {
+            let ga = NGramGraph::from_value(&a, scheme);
+            let gb = NGramGraph::from_value(&b, scheme);
+            for m in GraphSimilarity::all() {
+                let s = m.similarity(&ga, &gb);
+                prop_assert!((0.0..=1.0).contains(&s), "{} = {s}", m.name());
+                let r = m.similarity(&gb, &ga);
+                prop_assert!((s - r).abs() < 1e-9, "{} asymmetric", m.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Dirty ER on merged clean sources — why CCER needs bipartite algorithms.
+//!
+//! ```text
+//! cargo run --example dirty_er
+//! ```
+//!
+//! The paper restricts its study to algorithms "crafted for bipartite
+//! similarity graphs" (selection criterion 1) and points Dirty ER — a
+//! single collection containing duplicates in itself — to Hassanzadeh et
+//! al.'s clustering framework. This example shows the boundary on a small
+//! generated dataset: merge the two clean collections into one, run the
+//! Dirty ER clustering baselines, and compare them pair-for-pair with the
+//! bipartite-aware UMC on the identical graph.
+
+use ccer::core::ThresholdGrid;
+use ccer::datasets::{Dataset, DatasetId};
+use ccer::dirty::{
+    matching_to_partition, merge_bipartite, merge_ground_truth, pairwise_scores, DirtyAlgorithm,
+};
+use ccer::matchers::{AlgorithmConfig, AlgorithmKind, PreparedGraph};
+use ccer::pipeline::{build_graph, PipelineConfig, SimilarityFunction};
+use ccer::textsim::{NGramScheme, VectorMeasure};
+
+fn main() {
+    // A small Walmart-Amazon-like dataset (scarce and noisy: only a small
+    // fraction of entities have a counterpart, so shared tokens chain
+    // non-matching entities together).
+    let dataset = Dataset::generate(DatasetId::D8, 0.03, 42);
+    let function = SimilarityFunction::SchemaAgnosticVector {
+        scheme: NGramScheme::Token(1),
+        measure: VectorMeasure::CosineTfIdf,
+    };
+    let graph = build_graph(&dataset, &function, &PipelineConfig::default());
+    println!(
+        "bipartite graph: |V1| = {}, |V2| = {}, |E| = {}",
+        graph.n_left(),
+        graph.n_right(),
+        graph.n_edges()
+    );
+
+    // Merge the two clean collections into one dirty collection: V2 ids
+    // are offset by |V1|; clean sources contribute no intra-source edges.
+    let merged = merge_bipartite(&graph);
+    let truth = merge_ground_truth(&dataset.ground_truth, graph.n_left());
+    println!(
+        "merged dirty graph: {} nodes, {} edges, {} true duplicate pairs\n",
+        merged.n_nodes(),
+        merged.n_edges(),
+        truth.len()
+    );
+
+    println!(
+        "{:<14} {:>7} {:>10} {:>8} {:>12} {:>12}",
+        "algorithm", "best t", "precision", "recall", "F1", "max cluster"
+    );
+
+    // Dirty baselines: best pair-level F1 over the paper's threshold grid.
+    for algo in DirtyAlgorithm::ALL {
+        let mut best: Option<(f64, ccer::dirty::PairScores, usize)> = None;
+        for t in ThresholdGrid::paper().values() {
+            let p = algo.run(&merged, t);
+            let s = pairwise_scores(&p, &truth);
+            if best.is_none() || s.f1 > best.as_ref().unwrap().1.f1 {
+                best = Some((t, s, p.max_cluster_size()));
+            }
+        }
+        let (t, s, mc) = best.expect("grid is non-empty");
+        println!(
+            "{:<14} {:>7.2} {:>10.3} {:>8.3} {:>12.3} {:>12}",
+            algo.name(),
+            t,
+            s.precision,
+            s.recall,
+            s.f1,
+            mc
+        );
+    }
+
+    // The CCER representative, scored through the identical pair metric.
+    let prepared = PreparedGraph::new(&graph);
+    let cfg = AlgorithmConfig::default();
+    let mut best: Option<(f64, ccer::dirty::PairScores)> = None;
+    for t in ThresholdGrid::paper().values() {
+        let m = cfg.run(AlgorithmKind::Umc, &prepared, t);
+        let p = matching_to_partition(&m, graph.n_left(), graph.n_right());
+        let s = pairwise_scores(&p, &truth);
+        if best.is_none() || s.f1 > best.as_ref().unwrap().1.f1 {
+            best = Some((t, s));
+        }
+    }
+    let (t, s) = best.expect("grid is non-empty");
+    println!(
+        "{:<14} {:>7.2} {:>10.3} {:>8.3} {:>12.3} {:>12}",
+        "UMC (CCER)", t, s.precision, s.recall, s.f1, 2
+    );
+
+    println!(
+        "\nThe dirty baselines cannot express the unique-mapping constraint:\n\
+         connected components chain entities through shared tokens, and the\n\
+         clique methods ignore edge weights (merged clean sources have no\n\
+         triangles, so a maximum clique is just *some* edge). The bipartite\n\
+         algorithms exploit exactly the structure the merge throws away."
+    );
+}

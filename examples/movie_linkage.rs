@@ -1,0 +1,88 @@
+//! Movie linkage on a scarce dataset: syntactic vs semantic weights.
+//!
+//! ```text
+//! cargo run --release --example movie_linkage
+//! ```
+//!
+//! IMDb-TMDb-style collections (the paper's D5 analogue) are *scarce*: only
+//! a small fraction of entities have a counterpart, with many missing
+//! values. This example contrasts a syntactic n-gram graph model with the
+//! semantic fastText-like weights, and shows how the anisotropy of semantic
+//! embeddings (every pair looks somewhat similar) forces much higher
+//! optimal thresholds — the effect behind the paper's Table 8(c)/(d).
+
+use ccer::core::{GraphStats, ThresholdGrid};
+use ccer::datasets::{Dataset, DatasetId};
+use ccer::embed::{EmbeddingModel, SemanticMeasure};
+use ccer::eval::sweep::sweep_algorithm;
+use ccer::matchers::{AlgorithmConfig, AlgorithmKind, PreparedGraph};
+use ccer::pipeline::{build_graph, PipelineConfig, SemanticScope, SimilarityFunction};
+use ccer::textsim::{GraphSimilarity, NGramScheme};
+
+fn main() {
+    let dataset = Dataset::generate(DatasetId::D5, 0.06, 99);
+    let matched_share = dataset.ground_truth.len() as f64 / dataset.left.len() as f64;
+    println!(
+        "dataset {} (scarce): |V1| = {}, |V2| = {}, only {:.0}% of V1 matched\n",
+        dataset.label(),
+        dataset.left.len(),
+        dataset.right.len(),
+        100.0 * matched_share
+    );
+
+    let functions = vec![
+        (
+            "syntactic: char 3-gram graph, value similarity",
+            SimilarityFunction::SchemaAgnosticGraph {
+                scheme: NGramScheme::Char(3),
+                measure: GraphSimilarity::Value,
+            },
+        ),
+        (
+            "semantic: fastText-like cosine (schema-agnostic)",
+            SimilarityFunction::Semantic {
+                model: EmbeddingModel::FastText,
+                measure: SemanticMeasure::Cosine,
+                scope: SemanticScope::SchemaAgnostic,
+            },
+        ),
+        (
+            "semantic: ALBERT-like cosine (title only)",
+            SimilarityFunction::Semantic {
+                model: EmbeddingModel::Albert,
+                measure: SemanticMeasure::Cosine,
+                scope: SemanticScope::SchemaBased {
+                    attribute: "title".into(),
+                },
+            },
+        ),
+    ];
+
+    let cfg = PipelineConfig::default();
+    let grid = ThresholdGrid::paper();
+    for (label, function) in functions {
+        let graph = build_graph(&dataset, &function, &cfg);
+        let stats = GraphStats::of(&graph);
+        let prepared = PreparedGraph::new(&graph);
+        let r = sweep_algorithm(
+            AlgorithmKind::Krc,
+            &AlgorithmConfig::default(),
+            &prepared,
+            &dataset.ground_truth,
+            &grid,
+        );
+        println!("{label}");
+        println!(
+            "  density = {:>5.1}%  mean weight = {:.2}  KRC best t = {:.2}  F1 = {:.3}\n",
+            100.0 * stats.normalized_size,
+            stats.mean_weight,
+            r.best_threshold,
+            r.best.f1
+        );
+    }
+    println!(
+        "paper finding: semantic weights are dense and uniformly high, so all \
+         algorithms need high thresholds and lose robustness on them; KRC excels \
+         on scarce collections (conclusion viii)."
+    );
+}

@@ -1,0 +1,93 @@
+//! Publication deduplication: schema-based vs schema-agnostic weights on a
+//! DBLP-ACM-style bibliographic dataset (the paper's D4 analogue).
+//!
+//! ```text
+//! cargo run --release --example publication_dedup
+//! ```
+//!
+//! Bibliographic sources suffer *misplaced attribute values* — author
+//! strings leaking into titles. The paper (§6, Figure 10 discussion of D4)
+//! shows that schema-agnostic weights absorb this noise, while schema-based
+//! weights on the title attribute suffer. This example reproduces that
+//! comparison with Unique Mapping Clustering.
+
+use ccer::core::ThresholdGrid;
+use ccer::datasets::{Dataset, DatasetId};
+use ccer::eval::sweep::sweep_algorithm;
+use ccer::matchers::{AlgorithmConfig, AlgorithmKind, PreparedGraph};
+use ccer::pipeline::{build_graph, PipelineConfig, SimilarityFunction};
+use ccer::textsim::{CharMeasure, NGramScheme, SchemaBasedMeasure, VectorMeasure};
+
+fn main() {
+    let dataset = Dataset::generate(DatasetId::D4, 0.10, 21);
+    println!(
+        "dataset {}: |V1| = {}, |V2| = {}, duplicates = {} (misplaced-value noise active)\n",
+        dataset.label(),
+        dataset.left.len(),
+        dataset.right.len(),
+        dataset.ground_truth.len()
+    );
+
+    let candidates = vec![
+        (
+            "schema-based: Levenshtein on title",
+            SimilarityFunction::SchemaBasedSyntactic {
+                attribute: "title".into(),
+                measure: SchemaBasedMeasure::Char(CharMeasure::Levenshtein),
+            },
+        ),
+        (
+            "schema-based: Jaro on title",
+            SimilarityFunction::SchemaBasedSyntactic {
+                attribute: "title".into(),
+                measure: SchemaBasedMeasure::Char(CharMeasure::Jaro),
+            },
+        ),
+        (
+            "schema-agnostic: token TF-IDF cosine",
+            SimilarityFunction::SchemaAgnosticVector {
+                scheme: NGramScheme::Token(1),
+                measure: VectorMeasure::CosineTfIdf,
+            },
+        ),
+        (
+            "schema-agnostic: char 3-gram TF-IDF cosine",
+            SimilarityFunction::SchemaAgnosticVector {
+                scheme: NGramScheme::Char(3),
+                measure: VectorMeasure::CosineTfIdf,
+            },
+        ),
+    ];
+
+    let cfg = PipelineConfig::default();
+    let grid = ThresholdGrid::paper();
+    let mut rows = Vec::new();
+    for (label, function) in candidates {
+        let graph = build_graph(&dataset, &function, &cfg);
+        let prepared = PreparedGraph::new(&graph);
+        let r = sweep_algorithm(
+            AlgorithmKind::Umc,
+            &AlgorithmConfig::default(),
+            &prepared,
+            &dataset.ground_truth,
+            &grid,
+        );
+        println!(
+            "{label:<45} edges = {:>7}  best t = {:.2}  F1 = {:.3}",
+            graph.n_edges(),
+            r.best_threshold,
+            r.best.f1
+        );
+        rows.push((label, r.best.f1));
+    }
+
+    let best_schema_based = rows[..2].iter().map(|r| r.1).fold(0.0f64, f64::max);
+    let best_agnostic = rows[2..].iter().map(|r| r.1).fold(0.0f64, f64::max);
+    println!(
+        "\nbest schema-based F1 = {best_schema_based:.3}, best schema-agnostic F1 = {best_agnostic:.3}"
+    );
+    println!(
+        "paper finding (D4): \"this type of error cannot be addressed by schema-based \
+         weights … schema-agnostic weights address this noise inherently\"."
+    );
+}

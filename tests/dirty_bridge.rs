@@ -1,0 +1,109 @@
+//! Cross-crate consistency: the Dirty ER pair-level scorer agrees with the
+//! CCER evaluation metrics on CCER-shaped outputs.
+//!
+//! `er_eval::evaluate` counts matched pairs directly; `er_dirty` views the
+//! same output as a partition of the merged collection and counts
+//! intra-cluster pairs. For non-degenerate inputs (non-empty output and
+//! ground truth) the two must coincide exactly — this pins the bridge the
+//! `repro dirty` extension experiment relies on.
+
+use ccer::core::{GroundTruth, Matching};
+use ccer::dirty::{
+    connected_components, is_ccer_shaped, matching_to_partition, merge_bipartite,
+    merge_ground_truth, pairwise_scores,
+};
+use ccer::eval::evaluate;
+use ccer::matchers::{AlgorithmConfig, AlgorithmKind, PreparedGraph};
+use proptest::prelude::*;
+
+/// `(n_left, n_right, ground truth pairs, output pairs)`.
+type Case = (u32, u32, Vec<(u32, u32)>, Vec<(u32, u32)>);
+
+/// Random one-to-one ground truth and matching over small collections.
+fn arb_case() -> impl Strategy<Value = Case> {
+    (2u32..10, 2u32..10).prop_flat_map(|(nl, nr)| {
+        let k = nl.min(nr);
+        // One-to-one pairs: a permutation prefix on each side.
+        let truth = proptest::sample::subsequence((0..k).collect::<Vec<u32>>(), 0..=k as usize)
+            .prop_map(move |ids| ids.into_iter().map(|i| (i, i)).collect::<Vec<_>>());
+        let output = proptest::sample::subsequence((0..k).collect::<Vec<u32>>(), 0..=k as usize)
+            .prop_map(move |ids| {
+                ids.into_iter()
+                    .map(|i| (i, (i + 1) % k)) // a shifted, still 1-1 mapping
+                    .collect::<Vec<_>>()
+            });
+        (Just(nl), Just(nr), truth, output)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn pairwise_scores_agree_with_ccer_metrics(
+        (nl, nr, truth, output) in arb_case()
+    ) {
+        prop_assume!(!truth.is_empty() && !output.is_empty());
+        let gt = GroundTruth::new(truth);
+        let m = Matching::new(output);
+
+        let ccer = evaluate(&m, &gt);
+        let p = matching_to_partition(&m, nl, nr);
+        prop_assert!(is_ccer_shaped(&p, nl));
+        let merged_truth = merge_ground_truth(&gt, nl);
+        let dirty = pairwise_scores(&p, &merged_truth);
+
+        prop_assert!((ccer.precision - dirty.precision).abs() < 1e-12);
+        prop_assert!((ccer.recall - dirty.recall).abs() < 1e-12);
+        prop_assert!((ccer.f1 - dirty.f1).abs() < 1e-12);
+        prop_assert_eq!(ccer.true_positives as u64, dirty.true_positives);
+        prop_assert_eq!(ccer.output_pairs as u64, dirty.predicted);
+        prop_assert_eq!(ccer.ground_truth_pairs as u64, dirty.actual);
+    }
+}
+
+/// The merged view of CNC coincides with Dirty connected components
+/// restricted to 2-node cross clusters — the exact relationship the paper
+/// uses to position CNC ("the transitive closure" specialized to CCER).
+#[test]
+fn cnc_is_connected_components_restricted_to_pairs() {
+    let mut b = ccer::core::GraphBuilder::new(4, 4);
+    // One isolated pair, one chain of three, one isolated heavy pair.
+    b.add_edge(0, 0, 0.9).unwrap();
+    b.add_edge(1, 1, 0.8).unwrap();
+    b.add_edge(2, 1, 0.7).unwrap(); // chains 1-1-2
+    b.add_edge(3, 3, 0.95).unwrap();
+    let g = b.build();
+
+    let pg = PreparedGraph::new(&g);
+    let cnc = AlgorithmConfig::default().run(AlgorithmKind::Cnc, &pg, 0.5);
+
+    let merged = merge_bipartite(&g);
+    let cc = connected_components(&merged, 0.5);
+
+    // Every CNC pair is a 2-node dirty component…
+    for (l, r) in cnc.iter() {
+        let a = l;
+        let b = g.n_left() + r;
+        assert!(cc.same_cluster(a, b));
+        let cluster = cc
+            .clusters()
+            .into_iter()
+            .find(|c| c.contains(&a))
+            .expect("node is clustered");
+        assert_eq!(cluster.len(), 2, "CNC pairs are isolated components");
+    }
+    // …and every 2-node cross-source dirty component is a CNC pair.
+    for cluster in cc.clusters() {
+        if cluster.len() == 2 {
+            let (a, b) = (cluster[0], cluster[1]);
+            let cross = (a < g.n_left()) != (b < g.n_left());
+            if cross {
+                let l = a.min(b);
+                let r = a.max(b) - g.n_left();
+                assert!(cnc.contains(l, r), "({l},{r}) missing from CNC");
+            }
+        }
+    }
+    assert_eq!(cnc.len(), 2, "the chain is discarded, two pairs survive");
+}
