@@ -51,7 +51,7 @@ fn bench_bmc_basis(c: &mut Criterion) {
     group.sample_size(10);
     // Asymmetric: 500 x 5000 nodes.
     let mut rng = StdRng::seed_from_u64(11);
-    let mut b = GraphBuilder::new(500, 5000, );
+    let mut b = GraphBuilder::new(500, 5000);
     for l in 0..500u32 {
         for _ in 0..40 {
             let r = rng.gen_range(0..5000);

@@ -47,16 +47,12 @@ fn bench_matchers(c: &mut Criterion) {
         let prepared = PreparedGraph::new(&graph);
         group.throughput(Throughput::Elements(n_edges as u64));
         for kind in AlgorithmKind::ALL {
-            group.bench_with_input(
-                BenchmarkId::new(kind.name(), n_edges),
-                &n_edges,
-                |b, _| {
-                    b.iter(|| {
-                        let m = config.run(kind, &prepared, 0.5);
-                        std::hint::black_box(m.len())
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(kind.name(), n_edges), &n_edges, |b, _| {
+                b.iter(|| {
+                    let m = config.run(kind, &prepared, 0.5);
+                    std::hint::black_box(m.len())
+                })
+            });
         }
     }
     group.finish();

@@ -36,10 +36,9 @@ fn bench_vector_models(c: &mut Criterion) {
         let va = model.vector(LONG_A, TermWeighting::Tf, None);
         let vb = model.vector(LONG_B, TermWeighting::Tf, None);
         for measure in [VectorMeasure::CosineTf, VectorMeasure::GeneralizedJaccardTf] {
-            group.bench_function(
-                format!("{}/{}", measure.name(), scheme.short_name()),
-                |b| b.iter(|| std::hint::black_box(measure.similarity(&va, &vb, None))),
-            );
+            group.bench_function(format!("{}/{}", measure.name(), scheme.short_name()), |b| {
+                b.iter(|| std::hint::black_box(measure.similarity(&va, &vb, None)))
+            });
         }
     }
     group.finish();
@@ -77,9 +76,7 @@ fn bench_semantic(c: &mut Criterion) {
         let ta = enc.token_vectors(SHORT_A);
         let tb = enc.token_vectors(SHORT_B);
         group.bench_function(format!("wmd/{}", model.name()), |b| {
-            b.iter(|| {
-                std::hint::black_box(SemanticMeasure::WordMovers.similarity_tokens(&ta, &tb))
-            })
+            b.iter(|| std::hint::black_box(SemanticMeasure::WordMovers.similarity_tokens(&ta, &tb)))
         });
     }
     group.finish();

@@ -59,7 +59,9 @@ fn main() {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--algorithm" | "-a" => {
-                let name = args.next().unwrap_or_else(|| die("--algorithm needs a value"));
+                let name = args
+                    .next()
+                    .unwrap_or_else(|| die("--algorithm needs a value"));
                 algorithm = Chosen::parse(&name)
                     .unwrap_or_else(|| die(&format!("unknown algorithm {name} (use CNC/RSR/RCA/BAH/BMC/EXC/KRC/UMC, or HUN/MCF for the exact oracles)")));
             }
@@ -89,7 +91,8 @@ fn main() {
     }
     let path = path.unwrap_or_else(|| die("missing input file (see --help)"));
 
-    let graph = load(&path).unwrap_or_else(|e| die(&format!("cannot load {}: {e}", path.display())));
+    let graph =
+        load(&path).unwrap_or_else(|e| die(&format!("cannot load {}: {e}", path.display())));
     eprintln!(
         "loaded {}x{} graph with {} edges; running {} at t = {threshold}",
         graph.n_left(),

@@ -14,10 +14,10 @@ use parking_lot::Mutex;
 
 use er_core::{GraphStats, ThresholdGrid, WeightSeparation};
 use er_datasets::{Dataset, DatasetId, DatasetStats};
-use er_matchers::{AlgorithmConfig, AlgorithmKind, BahConfig, Basis, PreparedGraph};
 use er_eval::cleaning::{dedup_duplicate_inputs, is_noisy_graph, GraphFingerprint};
 use er_eval::sweep::{sweep_all, SweepResult};
 use er_eval::timing::time_algorithm;
+use er_matchers::{AlgorithmConfig, AlgorithmKind, BahConfig, Basis, PreparedGraph};
 use er_pipeline::{build_graph, PipelineConfig, SimilarityFunction};
 
 use crate::records::{AlgoOutcome, CleaningSummary, GraphRecord, RunData};
@@ -339,7 +339,10 @@ mod tests {
             ..ReproConfig::default()
         };
         let data = run_all(&cfg);
-        assert!(!data.records.is_empty(), "some graphs must survive cleaning");
+        assert!(
+            !data.records.is_empty(),
+            "some graphs must survive cleaning"
+        );
         assert_eq!(data.dataset_stats.len(), 1);
         for r in &data.records {
             assert_eq!(r.dataset, "D1");

@@ -112,7 +112,12 @@ mod tests {
     #[test]
     fn blocking_extension_renders_all_stages() {
         let s = render(5);
-        for stage in ["no blocking (paper)", "token blocking", "+ purging", "+ filtering"] {
+        for stage in [
+            "no blocking (paper)",
+            "token blocking",
+            "+ purging",
+            "+ filtering",
+        ] {
             assert!(s.contains(stage), "{stage} missing");
         }
         for ds in ["D1", "D2", "D3", "D8"] {

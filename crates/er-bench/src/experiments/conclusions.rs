@@ -26,9 +26,7 @@ pub fn render(data: &RunData) -> String {
         return "no records".into();
     }
     let findings = evaluate(data);
-    let mut out = String::from(
-        "Paper §7 conclusions, checked against the measured records:\n\n",
-    );
+    let mut out = String::from("Paper §7 conclusions, checked against the measured records:\n\n");
     let mut held = 0usize;
     for f in &findings {
         out.push_str(&format!(
@@ -132,9 +130,7 @@ fn evaluate(data: &RunData) -> Vec<Finding> {
             .iter()
             .filter(|r| {
                 let rsr = r.outcome(Rsr).f1;
-                r.outcomes
-                    .iter()
-                    .all(|o| o.algorithm == Rsr || o.f1 < rsr)
+                r.outcomes.iter().all(|o| o.algorithm == Rsr || o.f1 < rsr)
             })
             .count();
         let total = data.n_graphs();
@@ -228,9 +224,8 @@ fn evaluate(data: &RunData) -> Vec<Finding> {
 
     // (ix) UMC is the most balanced and excels on balanced collections.
     {
-        let gap = |k: AlgorithmKind| {
-            (mean_of(k, Metric::Precision) - mean_of(k, Metric::Recall)).abs()
-        };
+        let gap =
+            |k: AlgorithmKind| (mean_of(k, Metric::Precision) - mean_of(k, Metric::Recall)).abs();
         let umc_gap = gap(Umc);
         let min_gap = AlgorithmKind::ALL
             .into_iter()
@@ -260,7 +255,9 @@ mod tests {
     #[test]
     fn renders_all_nine() {
         let s = render(&sample_rundata());
-        for id in ["(i)", "(ii)", "(iii)", "(iv)", "(v)", "(vi)", "(vii)", "(viii)", "(ix)"] {
+        for id in [
+            "(i)", "(ii)", "(iii)", "(iv)", "(v)", "(vi)", "(vii)", "(viii)", "(ix)",
+        ] {
             assert!(s.contains(id), "missing conclusion {id}");
         }
         assert!(s.contains("conclusions hold"));

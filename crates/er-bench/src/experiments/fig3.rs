@@ -10,9 +10,8 @@ use crate::records::RunData;
 
 /// Render Figure 3 as four per-type panels of μ±σ for all three metrics.
 pub fn render(data: &RunData) -> String {
-    let mut out = String::from(
-        "Figure 3: effectiveness distributions per weight type (mean±std).\n\n",
-    );
+    let mut out =
+        String::from("Figure 3: effectiveness distributions per weight type (mean±std).\n\n");
     for wt in WeightType::ALL {
         let records: Vec<_> = data.of_type(wt).collect();
         out.push_str(&format!("({}) n = {} graphs\n", wt.name(), records.len()));
@@ -22,7 +21,11 @@ pub fn render(data: &RunData) -> String {
         }
         let mut t = Table::new(vec!["", "Precision", "Recall", "F-Measure"]);
         for k in AlgorithmKind::ALL {
-            let p = mean_std(&metric_series(records.iter().copied(), k, Metric::Precision));
+            let p = mean_std(&metric_series(
+                records.iter().copied(),
+                k,
+                Metric::Precision,
+            ));
             let r = mean_std(&metric_series(records.iter().copied(), k, Metric::Recall));
             let f = mean_std(&metric_series(records.iter().copied(), k, Metric::F1));
             t.row(vec![

@@ -46,9 +46,7 @@ pub fn render(data: &RunData) -> String {
             for &d in &decades {
                 let times: Vec<f64> = records
                     .iter()
-                    .filter(|r| {
-                        r.n_edges > 0 && (r.n_edges as f64).log10().floor() as u32 == d
-                    })
+                    .filter(|r| r.n_edges > 0 && (r.n_edges as f64).log10().floor() as u32 == d)
                     .map(|r| r.outcome(k).runtime_mean_s)
                     .collect();
                 if times.is_empty() {

@@ -6,9 +6,7 @@
 
 use er_embed::{EmbeddingModel, SemanticMeasure};
 use er_eval::report::Table;
-use er_textsim::{
-    CharMeasure, GraphSimilarity, NGramScheme, TokenMeasure, VectorMeasure,
-};
+use er_textsim::{CharMeasure, GraphSimilarity, NGramScheme, TokenMeasure, VectorMeasure};
 
 /// Render the taxonomy.
 pub fn render() -> String {
@@ -17,7 +15,11 @@ pub fn render() -> String {
          similarity graphs.\n\n",
     );
 
-    let mut t = Table::new(vec!["scope/form", "representation model", "similarity measures"]);
+    let mut t = Table::new(vec![
+        "scope/form",
+        "representation model",
+        "similarity measures",
+    ]);
     t.row(vec![
         "schema-based syntactic".to_string(),
         "character sequences".to_string(),

@@ -14,11 +14,7 @@ pub fn render(data: &RunData, metric: Metric) -> String {
     if data.records.is_empty() {
         return "no records".into();
     }
-    let scores: Vec<Vec<f64>> = data
-        .records
-        .iter()
-        .map(|r| metric_row(r, metric))
-        .collect();
+    let scores: Vec<Vec<f64>> = data.records.iter().map(|r| metric_row(r, metric)).collect();
     let fr = friedman_test(&scores);
     let pairs: Vec<(String, f64)> = AlgorithmKind::ALL
         .iter()

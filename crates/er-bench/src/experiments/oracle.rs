@@ -13,7 +13,9 @@ use er_datasets::{Dataset, DatasetId};
 use er_eval::aggregate::mean_std;
 use er_eval::evaluate;
 use er_eval::report::Table;
-use er_matchers::{hungarian_matching, mcf_matching, AlgorithmConfig, AlgorithmKind, PreparedGraph};
+use er_matchers::{
+    hungarian_matching, mcf_matching, AlgorithmConfig, AlgorithmKind, PreparedGraph,
+};
 use er_pipeline::{build_graph, PipelineConfig, SimilarityFunction, WeightType};
 
 /// Run the oracle comparison on fresh small-scale graphs.
@@ -32,12 +34,11 @@ pub fn render(seed: u64) -> String {
 
     for id in [DatasetId::D1, DatasetId::D2, DatasetId::D4] {
         let dataset = Dataset::generate(id, 0.02, seed);
-        let functions: Vec<SimilarityFunction> =
-            SimilarityFunction::catalog(&dataset.spec, false)
-                .into_iter()
-                .filter(|f| f.weight_type() == WeightType::SchemaAgnosticSyntactic)
-                .step_by(7)
-                .collect();
+        let functions: Vec<SimilarityFunction> = SimilarityFunction::catalog(&dataset.spec, false)
+            .into_iter()
+            .filter(|f| f.weight_type() == WeightType::SchemaAgnosticSyntactic)
+            .step_by(7)
+            .collect();
         for f in &functions {
             let graph = build_graph(&dataset, f, &cfg);
             if graph.is_empty() {
@@ -69,8 +70,8 @@ pub fn render(seed: u64) -> String {
     }
 
     let n = optimum_f1.len();
-    let mut t_out = Table::new(vec!["algorithm", "weight/optimum (μ±σ)", "min ratio"])
-        .with_title(format!(
+    let mut t_out =
+        Table::new(vec!["algorithm", "weight/optimum (μ±σ)", "min ratio"]).with_title(format!(
             "Oracle extension: total matched weight relative to the exact \
              Hungarian optimum at t = {t} over {n} graphs (D1/D2/D4, \
              schema-agnostic syntactic)."

@@ -7,8 +7,19 @@ use crate::records::RunData;
 /// Render the generated analogue of Table 2 at the run's scale.
 pub fn render(data: &RunData) -> String {
     let mut t = Table::new(vec![
-        "", "Dataset1", "Dataset2", "|V1|", "|V2|", "NVP1", "NVP2", "|A1|", "|A2|", "|p1|",
-        "|p2|", "|D|", "||V1xV2||",
+        "",
+        "Dataset1",
+        "Dataset2",
+        "|V1|",
+        "|V2|",
+        "NVP1",
+        "NVP2",
+        "|A1|",
+        "|A2|",
+        "|p1|",
+        "|p2|",
+        "|D|",
+        "||V1xV2||",
     ])
     .with_title(format!(
         "Table 2: Technical characteristics of the generated datasets (scale = {}).",

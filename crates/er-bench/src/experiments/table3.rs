@@ -37,8 +37,8 @@ pub fn render(data: &RunData) -> String {
                 cells.push("-".into());
                 cells.push("-".into());
             } else {
-                let avg_edges = graphs.iter().map(|r| r.n_edges).sum::<usize>() as f64
-                    / graphs.len() as f64;
+                let avg_edges =
+                    graphs.iter().map(|r| r.n_edges).sum::<usize>() as f64 / graphs.len() as f64;
                 let ratio = 100.0 * avg_edges / stats.cartesian as f64;
                 cells.push(graphs.len().to_string());
                 cells.push(format!("{:.2e} ({ratio:.1}%)", avg_edges));

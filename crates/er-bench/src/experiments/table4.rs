@@ -9,13 +9,11 @@ use crate::records::RunData;
 
 /// Render Table 4.
 pub fn render(data: &RunData) -> String {
-    let mut t = Table::new(vec![
-        "", "P μ", "P σ", "R μ", "R σ", "F1 μ", "F1 σ",
-    ])
-    .with_title(format!(
-        "Table 4: Macro-average performance across all {} similarity graphs.",
-        data.n_graphs()
-    ));
+    let mut t =
+        Table::new(vec!["", "P μ", "P σ", "R μ", "R σ", "F1 μ", "F1 σ"]).with_title(format!(
+            "Table 4: Macro-average performance across all {} similarity graphs.",
+            data.n_graphs()
+        ));
     for k in AlgorithmKind::ALL {
         let p = mean_std(&metric_series(data.records.iter(), k, Metric::Precision));
         let r = mean_std(&metric_series(data.records.iter(), k, Metric::Recall));

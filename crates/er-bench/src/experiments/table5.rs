@@ -18,9 +18,7 @@ pub fn render(data: &RunData) -> String {
     );
     for wt in WeightType::ALL {
         out.push_str(&format!("== {} ==\n", wt.name()));
-        let mut t = Table::new(vec![
-            "", "stat", "BLC", "OSD", "SCR", "OVL",
-        ]);
+        let mut t = Table::new(vec!["", "stat", "BLC", "OSD", "SCR", "OVL"]);
         // Per category and overall.
         let count_for = |cat: Option<&str>| {
             let per_graph: Vec<Vec<(AlgorithmKind, f64)>> = data
@@ -39,39 +37,42 @@ pub fn render(data: &RunData) -> String {
         let overall = count_for(None);
 
         for k in AlgorithmKind::ALL {
-            let cell = |m: &er_core::FxHashMap<AlgorithmKind, er_eval::TopCounts>,
-                        which: u8|
-             -> String {
-                match m.get(&k) {
-                    None => "-".into(),
-                    Some(c) => match which {
-                        0 => {
-                            if c.top1 == 0 {
-                                "-".into()
-                            } else {
-                                c.top1.to_string()
+            let cell =
+                |m: &er_core::FxHashMap<AlgorithmKind, er_eval::TopCounts>, which: u8| -> String {
+                    match m.get(&k) {
+                        None => "-".into(),
+                        Some(c) => match which {
+                            0 => {
+                                if c.top1 == 0 {
+                                    "-".into()
+                                } else {
+                                    c.top1.to_string()
+                                }
                             }
-                        }
-                        1 => {
-                            if c.delta_count == 0 || c.top1 == 0 {
-                                "-".into()
-                            } else {
-                                format!("{:.2}", c.delta_pct())
+                            1 => {
+                                if c.delta_count == 0 || c.top1 == 0 {
+                                    "-".into()
+                                } else {
+                                    format!("{:.2}", c.delta_pct())
+                                }
                             }
-                        }
-                        _ => {
-                            if c.top2 == 0 {
-                                "-".into()
-                            } else {
-                                c.top2.to_string()
+                            _ => {
+                                if c.top2 == 0 {
+                                    "-".into()
+                                } else {
+                                    c.top2.to_string()
+                                }
                             }
-                        }
-                    },
-                }
-            };
+                        },
+                    }
+                };
             for (label, which) in [("#Top1", 0u8), ("Δ(%)", 1), ("#Top2", 2)] {
                 let mut row = vec![
-                    if which == 0 { k.name().to_string() } else { String::new() },
+                    if which == 0 {
+                        k.name().to_string()
+                    } else {
+                        String::new()
+                    },
                     label.to_string(),
                 ];
                 for c in &per_cat {

@@ -14,11 +14,7 @@ pub fn render(data: &RunData) -> String {
          ({} repetitions per measurement).\n\n",
         data.timing_reps
     );
-    let datasets: Vec<String> = data
-        .dataset_stats
-        .iter()
-        .map(|s| s.label.clone())
-        .collect();
+    let datasets: Vec<String> = data.dataset_stats.iter().map(|s| s.label.clone()).collect();
     for wt in WeightType::ALL {
         out.push_str(&format!("== {} ==\n", wt.name()));
         let mut headers: Vec<String> = vec![String::new()];

@@ -24,7 +24,14 @@ pub fn render(data: &RunData) -> String {
         }
         out.push_str(&format!("== {} (n = {}) ==\n", wt.name(), records.len()));
         let mut t = Table::new(vec![
-            "", "mean±std", "min", "Q1", "Q2", "Q3", "max", "ρ(t, size)",
+            "",
+            "mean±std",
+            "min",
+            "Q1",
+            "Q2",
+            "Q3",
+            "max",
+            "ρ(t, size)",
         ]);
         let sizes: Vec<f64> = records.iter().map(|r| r.normalized_size).collect();
         for k in AlgorithmKind::ALL {

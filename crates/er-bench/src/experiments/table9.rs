@@ -14,11 +14,7 @@ pub fn render(data: &RunData) -> String {
         "Table 9: average optimal similarity threshold (±std) per algorithm, \
          dataset and input type.\n\n",
     );
-    let datasets: Vec<String> = data
-        .dataset_stats
-        .iter()
-        .map(|s| s.label.clone())
-        .collect();
+    let datasets: Vec<String> = data.dataset_stats.iter().map(|s| s.label.clone()).collect();
     for wt in WeightType::ALL {
         out.push_str(&format!("== {} ==\n", wt.name()));
         let mut headers = vec!["".to_string()];

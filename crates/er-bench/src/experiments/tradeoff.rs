@@ -29,12 +29,7 @@ pub fn render_dataset(data: &RunData, dataset: &str, include_bah: bool) -> Strin
             if !include_bah && k == AlgorithmKind::Bah {
                 continue;
             }
-            let f1 = mean_std(
-                &records
-                    .iter()
-                    .map(|r| r.outcome(k).f1)
-                    .collect::<Vec<_>>(),
-            );
+            let f1 = mean_std(&records.iter().map(|r| r.outcome(k).f1).collect::<Vec<_>>());
             let rt = mean_std(
                 &records
                     .iter()
@@ -64,11 +59,7 @@ pub fn render_dataset(data: &RunData, dataset: &str, include_bah: bool) -> Strin
     // lower run-time).
     let pareto: Vec<String> = points
         .iter()
-        .filter(|(_, _, f1, rt)| {
-            !points
-                .iter()
-                .any(|(_, _, f2, rt2)| f2 > f1 && rt2 < rt)
-        })
+        .filter(|(_, _, f1, rt)| !points.iter().any(|(_, _, f2, rt2)| f2 > f1 && rt2 < rt))
         .map(|(wt, k, _, _)| format!("{k} ({wt})"))
         .collect();
     out.push_str(&format!("Pareto frontier: {}\n", pareto.join(", ")));

@@ -26,7 +26,14 @@ pub fn render(data: &RunData) -> String {
             continue;
         }
         out.push_str(&format!("== {} (n = {}) ==\n", wt.name(), records.len()));
-        let mut t = Table::new(vec!["target", "slope", "intercept", "r", "test MAE", "reliable"]);
+        let mut t = Table::new(vec![
+            "target",
+            "slope",
+            "intercept",
+            "r",
+            "test MAE",
+            "reliable",
+        ]);
         for target in AlgorithmKind::ALL {
             if target == source {
                 continue;

@@ -5,7 +5,7 @@
 //!
 //! Commands:
 //!   table1..table9   one table each
-//!   fig2 fig3 fig4 fig5 fig7 fig8 fig9 fig10
+//!   fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
 //!   conclusions      extension: the paper's §7 claims as executable checks
 //!   oracle           extension: heuristics vs the exact optimum (both oracles)
 //!   dirty            extension: Dirty ER baselines vs UMC on merged sources
@@ -79,6 +79,10 @@ fn main() {
     if commands.is_empty() {
         die("no command given");
     }
+    // Reject typos before load_or_run spends minutes computing run data.
+    if let Some(bad) = commands.iter().find(|c| !is_known_command(c)) {
+        die(&format!("unknown command {bad}"));
+    }
 
     // The export command writes datasets and exits.
     if commands.iter().any(|c| c == "export") {
@@ -97,9 +101,12 @@ fn main() {
 
     // Table 1, Figure 6 and the oracle/dirty extensions are
     // self-contained; only load run data when something needs it.
-    let needs_data = commands
-        .iter()
-        .any(|c| !matches!(c.as_str(), "table1" | "fig6" | "oracle" | "dirty" | "blocking"));
+    let needs_data = commands.iter().any(|c| {
+        !matches!(
+            c.as_str(),
+            "table1" | "fig6" | "oracle" | "dirty" | "blocking"
+        )
+    });
     let data = if needs_data {
         Some(load_or_run(&cfg, &out_dir, fresh))
     } else {
@@ -107,14 +114,7 @@ fn main() {
     };
 
     let expanded: Vec<String> = if commands.iter().any(|c| c == "all") {
-        [
-            "table1", "table2", "table3", "table4", "fig2", "fig3", "table5", "table6", "fig4",
-            "fig5", "fig6", "table7", "table8", "table9", "fig7", "fig8", "fig9", "fig10",
-            "oracle", "dirty", "blocking", "conclusions", "transfer",
-        ]
-        .iter()
-        .map(|s| s.to_string())
-        .collect()
+        ALL_EXPANSION.iter().map(|s| s.to_string()).collect()
     } else {
         commands
     };
@@ -129,10 +129,42 @@ fn main() {
     }
 }
 
+/// What `all` expands to, in the paper's presentation order. This is the
+/// single roster of dispatchable commands: the upfront typo check accepts
+/// exactly these plus the meta commands `export` and `all`.
+const ALL_EXPANSION: [&str; 23] = [
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "fig2",
+    "fig3",
+    "table5",
+    "table6",
+    "fig4",
+    "fig5",
+    "fig6",
+    "table7",
+    "table8",
+    "table9",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "oracle",
+    "dirty",
+    "blocking",
+    "conclusions",
+    "transfer",
+];
+
+fn is_known_command(cmd: &str) -> bool {
+    cmd == "export" || cmd == "all" || ALL_EXPANSION.contains(&cmd)
+}
+
 fn run_command(cmd: &str, data: Option<&RunData>) -> String {
-    let data = |name: &str| -> &RunData {
-        data.unwrap_or_else(|| die(&format!("{name} needs run data")))
-    };
+    let data =
+        |name: &str| -> &RunData { data.unwrap_or_else(|| die(&format!("{name} needs run data"))) };
     match cmd {
         "table1" => experiments::table1::render(),
         "table2" => experiments::table2::render(data("table2")),

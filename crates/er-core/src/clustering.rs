@@ -92,20 +92,18 @@ impl Clustering {
 
     /// The cluster containing a `V1` entity.
     pub fn cluster_of_left(&self, id: u32) -> Option<Cluster> {
-        self.clusters
-            .iter()
-            .copied()
-            .find(|c| matches!(c, Cluster::Pair { left, .. } if *left == id)
-                || matches!(c, Cluster::LeftSingleton(l) if *l == id))
+        self.clusters.iter().copied().find(|c| {
+            matches!(c, Cluster::Pair { left, .. } if *left == id)
+                || matches!(c, Cluster::LeftSingleton(l) if *l == id)
+        })
     }
 
     /// The cluster containing a `V2` entity.
     pub fn cluster_of_right(&self, id: u32) -> Option<Cluster> {
-        self.clusters
-            .iter()
-            .copied()
-            .find(|c| matches!(c, Cluster::Pair { right, .. } if *right == id)
-                || matches!(c, Cluster::RightSingleton(r) if *r == id))
+        self.clusters.iter().copied().find(|c| {
+            matches!(c, Cluster::Pair { right, .. } if *right == id)
+                || matches!(c, Cluster::RightSingleton(r) if *r == id)
+        })
     }
 }
 

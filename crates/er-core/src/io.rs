@@ -103,11 +103,7 @@ pub fn read_edge_list<R: Read>(r: R) -> Result<SimilarityGraph, IoError> {
     Ok(b.build())
 }
 
-fn parse<T: std::str::FromStr>(
-    tok: Option<&str>,
-    lineno: usize,
-    what: &str,
-) -> Result<T, IoError> {
+fn parse<T: std::str::FromStr>(tok: Option<&str>, lineno: usize, what: &str) -> Result<T, IoError> {
     tok.ok_or_else(|| IoError::Format(format!("line {}: missing {what}", lineno + 1)))?
         .parse()
         .map_err(|_| IoError::Format(format!("line {}: invalid {what}", lineno + 1)))

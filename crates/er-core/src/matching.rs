@@ -78,15 +78,13 @@ impl Matching {
     /// deliberately scores them as worthless).
     pub fn total_weight(&self, g: &SimilarityGraph) -> f64 {
         // Build a hash of the graph edges once; O(m + k).
-        let mut weights: crate::hash::FxHashMap<(u32, u32), f64> = crate::hash::FxHashMap::default();
+        let mut weights: crate::hash::FxHashMap<(u32, u32), f64> =
+            crate::hash::FxHashMap::default();
         weights.reserve(g.n_edges());
         for e in g.edges() {
             weights.insert((e.left, e.right), e.weight);
         }
-        self.pairs
-            .iter()
-            .filter_map(|p| weights.get(p))
-            .sum()
+        self.pairs.iter().filter_map(|p| weights.get(p)).sum()
     }
 
     /// Iterate over the pairs.
@@ -118,11 +116,17 @@ mod tests {
 
     #[test]
     fn unique_mapping_detects_violations() {
-        let ok = Matching { pairs: vec![(0, 0), (1, 1)] };
+        let ok = Matching {
+            pairs: vec![(0, 0), (1, 1)],
+        };
         assert!(ok.is_unique_mapping());
-        let dup_left = Matching { pairs: vec![(0, 0), (0, 1)] };
+        let dup_left = Matching {
+            pairs: vec![(0, 0), (0, 1)],
+        };
         assert!(!dup_left.is_unique_mapping());
-        let dup_right = Matching { pairs: vec![(0, 0), (1, 0)] };
+        let dup_right = Matching {
+            pairs: vec![(0, 0), (1, 0)],
+        };
         assert!(!dup_right.is_unique_mapping());
     }
 

@@ -94,7 +94,11 @@ impl WeightSeparation {
             } else {
                 0.0
             },
-            mean_nonmatch_weight: if non_n > 0 { non_sum / non_n as f64 } else { 0.0 },
+            mean_nonmatch_weight: if non_n > 0 {
+                non_sum / non_n as f64
+            } else {
+                0.0
+            },
         }
     }
 

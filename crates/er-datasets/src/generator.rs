@@ -156,12 +156,7 @@ fn synthesize(domain: Domain, lex: &Lexicon, rng: &mut StdRng) -> CanonicalEntit
     match domain {
         Domain::Restaurants => {
             let name = format!("{} {}", lex.noun(rng), lex.noun(rng));
-            let phone = format!(
-                "{}-{}-{}",
-                digits(rng, 3),
-                digits(rng, 3),
-                digits(rng, 4)
-            );
+            let phone = format!("{}-{}-{}", digits(rng, 3), digits(rng, 3), digits(rng, 4));
             let street = format!(
                 "{} {} st",
                 rng.gen_range(1..999),
@@ -183,7 +178,12 @@ fn synthesize(domain: Domain, lex: &Lexicon, rng: &mut StdRng) -> CanonicalEntit
         }
         Domain::Products => {
             let brand = lex.brands[rng.gen_range(0..lex.brands.len())].clone();
-            let prefix: String = lex.noun(rng).chars().take(2).collect::<String>().to_uppercase();
+            let prefix: String = lex
+                .noun(rng)
+                .chars()
+                .take(2)
+                .collect::<String>()
+                .to_uppercase();
             let n_digits = rng.gen_range(3..6);
             let modelno = format!("{prefix}{}", digits(rng, n_digits));
             let title = format!("{brand} {modelno} {}", lex.phrase(rng, 2, 5));
@@ -192,7 +192,10 @@ fn synthesize(domain: Domain, lex: &Lexicon, rng: &mut StdRng) -> CanonicalEntit
             fields.push(("brand", brand.clone()));
             fields.push(("manufacturer", brand));
             fields.push(("modelno", modelno));
-            fields.push(("price", format!("{}.{}9", rng.gen_range(5..900), rng.gen_range(0..10))));
+            fields.push((
+                "price",
+                format!("{}.{}9", rng.gen_range(5..900), rng.gen_range(0..10)),
+            ));
             fields.push(("category", lex.noun(rng).to_string()));
             fields.push(("description", lex.phrase(rng, 6, 14)));
         }
@@ -227,9 +230,15 @@ fn synthesize(domain: Domain, lex: &Lexicon, rng: &mut StdRng) -> CanonicalEntit
                 .join(", ");
             fields.push(("actors", actors));
             fields.push(("runtime", format!("{} min", rng.gen_range(60..200))));
-            fields.push(("country", lex.cities[rng.gen_range(0..lex.cities.len())].clone()));
+            fields.push((
+                "country",
+                lex.cities[rng.gen_range(0..lex.cities.len())].clone(),
+            ));
             fields.push(("language", lex.noun(rng).to_string()));
-            fields.push(("rating", format!("{:.1}", rng.gen_range(10..100) as f64 / 10.0)));
+            fields.push((
+                "rating",
+                format!("{:.1}", rng.gen_range(10..100) as f64 / 10.0),
+            ));
             fields.push(("votes", rng.gen_range(100..1_000_000).to_string()));
             fields.push(("plot", lex.phrase(rng, 6, 16)));
             fields.push(("writer", lex.person(rng)));
@@ -491,10 +500,8 @@ mod tests {
     /// dependency of er-datasets; this avoids a cycle).
     mod er_textsim_free {
         pub fn jaccard_tokens(a: &str, b: &str) -> f64 {
-            let sa: std::collections::HashSet<&str> =
-                a.split_whitespace().collect();
-            let sb: std::collections::HashSet<&str> =
-                b.split_whitespace().collect();
+            let sa: std::collections::HashSet<&str> = a.split_whitespace().collect();
+            let sb: std::collections::HashSet<&str> = b.split_whitespace().collect();
             if sa.is_empty() && sb.is_empty() {
                 return 1.0;
             }

@@ -174,8 +174,7 @@ pub fn import_dataset(dir: &Path, label: &str) -> Result<ImportedDataset, Import
     };
     let left = read_collection(open("left")?)?;
     let right = read_collection(open("right")?)?;
-    let ground_truth =
-        read_ground_truth(open("truth")?, left.len() as u32, right.len() as u32)?;
+    let ground_truth = read_ground_truth(open("truth")?, left.len() as u32, right.len() as u32)?;
     Ok(ImportedDataset {
         name: label.to_string(),
         left,

@@ -55,7 +55,10 @@ impl EntityProfile {
 
     /// Number of (non-empty) name-value pairs.
     pub fn n_pairs(&self) -> usize {
-        self.attributes.iter().filter(|(_, v)| !v.is_empty()).count()
+        self.attributes
+            .iter()
+            .filter(|(_, v)| !v.is_empty())
+            .count()
     }
 }
 

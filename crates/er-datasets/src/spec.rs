@@ -209,15 +209,40 @@ impl DatasetSpec {
                 n2: 6056,
                 duplicates: 1968,
                 attributes1: vec![
-                    "title", "name", "year", "director", "genre", "actors", "runtime",
-                    "country", "language", "rating", "votes", "plot", "writer",
+                    "title", "name", "year", "director", "genre", "actors", "runtime", "country",
+                    "language", "rating", "votes", "plot", "writer",
                 ],
                 attributes2: vec![
-                    "title", "name", "year", "director", "genre", "actors", "runtime",
-                    "country", "language", "rating", "votes", "plot", "writer", "budget",
-                    "revenue", "status", "tagline", "homepage", "spoken", "production",
-                    "release", "popularity", "overview", "original", "adult", "video",
-                    "collection", "keywords", "certification", "crew",
+                    "title",
+                    "name",
+                    "year",
+                    "director",
+                    "genre",
+                    "actors",
+                    "runtime",
+                    "country",
+                    "language",
+                    "rating",
+                    "votes",
+                    "plot",
+                    "writer",
+                    "budget",
+                    "revenue",
+                    "status",
+                    "tagline",
+                    "homepage",
+                    "spoken",
+                    "production",
+                    "release",
+                    "popularity",
+                    "overview",
+                    "original",
+                    "adult",
+                    "video",
+                    "collection",
+                    "keywords",
+                    "certification",
+                    "crew",
                 ],
                 domain: Domain::Movies,
                 category: Category::Scarce,
@@ -233,12 +258,12 @@ impl DatasetSpec {
                 n2: 7810,
                 duplicates: 1072,
                 attributes1: vec![
-                    "title", "name", "year", "director", "genre", "actors", "runtime",
-                    "country", "language", "rating", "votes", "plot", "writer",
+                    "title", "name", "year", "director", "genre", "actors", "runtime", "country",
+                    "language", "rating", "votes", "plot", "writer",
                 ],
                 attributes2: vec![
-                    "title", "name", "year", "genre", "network", "status", "runtime",
-                    "overview", "rating",
+                    "title", "name", "year", "genre", "network", "status", "runtime", "overview",
+                    "rating",
                 ],
                 domain: Domain::Movies,
                 category: Category::Scarce,
@@ -254,15 +279,40 @@ impl DatasetSpec {
                 n2: 7810,
                 duplicates: 1095,
                 attributes1: vec![
-                    "title", "name", "year", "director", "genre", "actors", "runtime",
-                    "country", "language", "rating", "votes", "plot", "writer", "budget",
-                    "revenue", "status", "tagline", "homepage", "spoken", "production",
-                    "release", "popularity", "overview", "original", "adult", "video",
-                    "collection", "keywords", "certification", "crew",
+                    "title",
+                    "name",
+                    "year",
+                    "director",
+                    "genre",
+                    "actors",
+                    "runtime",
+                    "country",
+                    "language",
+                    "rating",
+                    "votes",
+                    "plot",
+                    "writer",
+                    "budget",
+                    "revenue",
+                    "status",
+                    "tagline",
+                    "homepage",
+                    "spoken",
+                    "production",
+                    "release",
+                    "popularity",
+                    "overview",
+                    "original",
+                    "adult",
+                    "video",
+                    "collection",
+                    "keywords",
+                    "certification",
+                    "crew",
                 ],
                 attributes2: vec![
-                    "title", "name", "year", "genre", "network", "status", "runtime",
-                    "overview", "rating",
+                    "title", "name", "year", "genre", "network", "status", "runtime", "overview",
+                    "rating",
                 ],
                 domain: Domain::Movies,
                 category: Category::Scarce,
@@ -277,8 +327,22 @@ impl DatasetSpec {
                 n1: 2554,
                 n2: 22074,
                 duplicates: 853,
-                attributes1: vec!["title", "modelno", "brand", "category", "price", "description"],
-                attributes2: vec!["title", "modelno", "brand", "category", "price", "description"],
+                attributes1: vec![
+                    "title",
+                    "modelno",
+                    "brand",
+                    "category",
+                    "price",
+                    "description",
+                ],
+                attributes2: vec![
+                    "title",
+                    "modelno",
+                    "brand",
+                    "category",
+                    "price",
+                    "description",
+                ],
                 domain: Domain::Products,
                 category: Category::Scarce,
                 focus_attributes: vec!["title", "modelno"],
@@ -312,7 +376,9 @@ impl DatasetSpec {
                 n2: 23182,
                 duplicates: 22863,
                 attributes1: vec!["title", "year", "director", "genre"],
-                attributes2: vec!["title", "year", "director", "genre", "country", "writer", "abstract"],
+                attributes2: vec![
+                    "title", "year", "director", "genre", "country", "writer", "abstract",
+                ],
                 domain: Domain::Movies,
                 category: Category::Balanced,
                 focus_attributes: vec!["title"],

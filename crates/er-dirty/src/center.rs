@@ -31,7 +31,12 @@ enum State {
 /// Retained edges in descending weight order with deterministic
 /// tie-breaking (lower `(a, b)` first).
 fn sorted_edges(g: &DirtyGraph, t: f64) -> Vec<DirtyEdge> {
-    let mut edges: Vec<DirtyEdge> = g.edges().iter().copied().filter(|e| e.weight >= t).collect();
+    let mut edges: Vec<DirtyEdge> = g
+        .edges()
+        .iter()
+        .copied()
+        .filter(|e| e.weight >= t)
+        .collect();
     edges.sort_unstable_by(|x, y| {
         y.weight
             .total_cmp(&x.weight)

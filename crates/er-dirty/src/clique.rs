@@ -64,7 +64,10 @@ fn clique_clustering(g: &DirtyGraph, t: f64, extend_portion: Option<f64>) -> Par
             let mut extension: Vec<u32> = (0..n as u32)
                 .filter(|&v| alive[v as usize] && !members.contains(&v))
                 .filter(|&v| {
-                    let hits = adj[v as usize].iter().filter(|u| members.contains(u)).count();
+                    let hits = adj[v as usize]
+                        .iter()
+                        .filter(|u| members.contains(u))
+                        .count();
                     hits >= need.max(1)
                 })
                 .collect();
@@ -84,7 +87,9 @@ fn clique_clustering(g: &DirtyGraph, t: f64, extend_portion: Option<f64>) -> Par
 /// pivoting, tracking the best clique). Ties prefer the clique found
 /// first under ascending-id expansion, making the result deterministic.
 fn max_clique(adj: &[FxHashSet<u32>], alive: &[bool]) -> Vec<u32> {
-    let candidates: Vec<u32> = (0..adj.len() as u32).filter(|&v| alive[v as usize]).collect();
+    let candidates: Vec<u32> = (0..adj.len() as u32)
+        .filter(|&v| alive[v as usize])
+        .collect();
     let mut best: Vec<u32> = Vec::new();
     let mut current: Vec<u32> = Vec::new();
     let alive_neighbors = |v: u32| -> Vec<u32> {
@@ -262,7 +267,16 @@ mod tests {
     fn deterministic_across_runs() {
         let g = graph(
             7,
-            &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3), (6, 0)],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 3),
+                (6, 0),
+            ],
         );
         let a = maximum_clique_clustering(&g, 0.0);
         let b = maximum_clique_clustering(&g, 0.0);

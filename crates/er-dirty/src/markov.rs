@@ -224,8 +224,12 @@ mod tests {
             Partition::singletons(3)
         );
         assert_eq!(
-            markov_clustering(&DirtyGraphBuilder::new(0).build(), 0.0, MclConfig::default())
-                .n_nodes(),
+            markov_clustering(
+                &DirtyGraphBuilder::new(0).build(),
+                0.0,
+                MclConfig::default()
+            )
+            .n_nodes(),
             0
         );
     }
@@ -233,7 +237,13 @@ mod tests {
     #[test]
     fn deterministic() {
         let mut b = DirtyGraphBuilder::new(5);
-        for (u, v, w) in [(0, 1, 0.7), (1, 2, 0.6), (2, 3, 0.8), (3, 4, 0.5), (0, 4, 0.4)] {
+        for (u, v, w) in [
+            (0, 1, 0.7),
+            (1, 2, 0.6),
+            (2, 3, 0.8),
+            (3, 4, 0.5),
+            (0, 4, 0.4),
+        ] {
             b.add_edge(u, v, w).unwrap();
         }
         let g = b.build();

@@ -32,19 +32,13 @@ pub fn merge_bipartite(g: &SimilarityGraph) -> DirtyGraph {
 
 /// Translate bipartite ground truth into merged-id duplicate pairs.
 pub fn merge_ground_truth(gt: &GroundTruth, n_left: u32) -> Vec<(u32, u32)> {
-    gt.pairs()
-        .iter()
-        .map(|&(l, r)| (l, n_left + r))
-        .collect()
+    gt.pairs().iter().map(|&(l, r)| (l, n_left + r)).collect()
 }
 
 /// View a CCER matching as a partition of the merged collection (matched
 /// pairs become 2-node clusters; everything else is a singleton).
 pub fn matching_to_partition(m: &Matching, n_left: u32, n_right: u32) -> Partition {
-    let clusters: Vec<Vec<u32>> = m
-        .iter()
-        .map(|(l, r)| vec![l, n_left + r])
-        .collect();
+    let clusters: Vec<Vec<u32>> = m.iter().map(|(l, r)| vec![l, n_left + r]).collect();
     Partition::from_clusters(&clusters, n_left + n_right)
 }
 
@@ -52,10 +46,9 @@ pub fn matching_to_partition(m: &Matching, n_left: u32, n_right: u32) -> Partiti
 /// output: every cluster has at most two nodes, at most one from each
 /// side.
 pub fn is_ccer_shaped(p: &Partition, n_left: u32) -> bool {
-    p.clusters().iter().all(|c| {
-        c.len() <= 2
-            && (c.len() < 2 || (c[0] < n_left) != (c[1] < n_left))
-    })
+    p.clusters()
+        .iter()
+        .all(|c| c.len() <= 2 && (c.len() < 2 || (c[0] < n_left) != (c[1] < n_left)))
 }
 
 #[cfg(test)]

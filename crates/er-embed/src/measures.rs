@@ -162,9 +162,19 @@ mod tests {
             let enc = model.encoder();
             for m in SemanticMeasure::all() {
                 let s = m.similarity(&enc, "canon eos camera", "canon eos camera");
-                assert!((s - 1.0).abs() < 1e-6, "{}/{} reflexive", model.name(), m.name());
+                assert!(
+                    (s - 1.0).abs() < 1e-6,
+                    "{}/{} reflexive",
+                    model.name(),
+                    m.name()
+                );
                 let d = m.similarity(&enc, "canon eos camera", "acm sigmod record");
-                assert!((0.0..=1.0).contains(&d), "{}/{} bounded", model.name(), m.name());
+                assert!(
+                    (0.0..=1.0).contains(&d),
+                    "{}/{} bounded",
+                    model.name(),
+                    m.name()
+                );
                 assert!(d < 1.0, "distinct texts are not identical");
             }
         }
@@ -183,10 +193,7 @@ mod tests {
     #[test]
     fn empty_text_conventions() {
         let enc = EmbeddingModel::Albert.encoder();
-        assert_eq!(
-            SemanticMeasure::Euclidean.similarity(&enc, "", "text"),
-            0.0
-        );
+        assert_eq!(SemanticMeasure::Euclidean.similarity(&enc, "", "text"), 0.0);
         assert_eq!(SemanticMeasure::Cosine.similarity(&enc, "", "text"), 0.0);
         assert_eq!(
             SemanticMeasure::WordMovers.similarity(&enc, "", "text"),

@@ -14,7 +14,10 @@ pub struct MeanStd {
 impl MeanStd {
     /// The zero statistic (empty samples).
     pub fn zero() -> Self {
-        MeanStd { mean: 0.0, std: 0.0 }
+        MeanStd {
+            mean: 0.0,
+            std: 0.0,
+        }
     }
 }
 

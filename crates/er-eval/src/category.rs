@@ -36,9 +36,7 @@ impl TopCounts {
 
 /// Accumulate counts over many graphs. `per_graph[g]` holds each
 /// algorithm's best F1 on graph `g`.
-pub fn top_counts(
-    per_graph: &[Vec<(AlgorithmKind, f64)>],
-) -> FxHashMap<AlgorithmKind, TopCounts> {
+pub fn top_counts(per_graph: &[Vec<(AlgorithmKind, f64)>]) -> FxHashMap<AlgorithmKind, TopCounts> {
     let mut out: FxHashMap<AlgorithmKind, TopCounts> = FxHashMap::default();
     for scores in per_graph {
         if scores.is_empty() {

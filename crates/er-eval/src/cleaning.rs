@@ -38,14 +38,7 @@ impl GraphFingerprint {
             n_edges,
             per_algorithm: results
                 .iter()
-                .map(|r| {
-                    (
-                        r.best_threshold,
-                        r.best.f1,
-                        r.best.precision,
-                        r.best.recall,
-                    )
-                })
+                .map(|r| (r.best_threshold, r.best.f1, r.best.precision, r.best.recall))
                 .collect(),
         }
     }

@@ -52,7 +52,8 @@ pub fn friedman_test(scores: &[Vec<f64>]) -> FriedmanResult {
     let nf = n as f64;
     let kf = k as f64;
     let sum_sq: f64 = mean_ranks.iter().map(|r| r * r).sum();
-    let chi_square = (12.0 * nf / (kf * (kf + 1.0))) * (sum_sq - kf * (kf + 1.0) * (kf + 1.0) / 4.0);
+    let chi_square =
+        (12.0 * nf / (kf * (kf + 1.0))) * (sum_sq - kf * (kf + 1.0) * (kf + 1.0) / 4.0);
     let chi_square = chi_square.max(0.0);
     let df = k - 1;
     let p_value = chi_square_sf(chi_square, df as f64);

@@ -78,7 +78,11 @@ mod tests {
 
     #[test]
     fn matrix_diagonal_is_one() {
-        let s = vec![vec![1.0, 2.0, 3.0], vec![3.0, 2.0, 1.0], vec![1.0, 3.0, 2.0]];
+        let s = vec![
+            vec![1.0, 2.0, 3.0],
+            vec![3.0, 2.0, 1.0],
+            vec![1.0, 3.0, 2.0],
+        ];
         let m = pearson_matrix(&s);
         for (i, row) in m.iter().enumerate() {
             assert_eq!(row[i], 1.0);

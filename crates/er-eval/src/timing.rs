@@ -79,13 +79,7 @@ mod tests {
         }
         let g = b.build();
         let pg = PreparedGraph::new(&g);
-        let s = time_algorithm(
-            AlgorithmKind::Umc,
-            &AlgorithmConfig::default(),
-            &pg,
-            0.5,
-            5,
-        );
+        let s = time_algorithm(AlgorithmKind::Umc, &AlgorithmConfig::default(), &pg, 0.5, 5);
         assert!(s.mean_s > 0.0);
         assert!(s.std_s >= 0.0);
         assert_eq!(s.reps, 5);

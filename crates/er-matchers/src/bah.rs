@@ -94,10 +94,7 @@ impl Matcher for Bah {
             }
         }
         let contrib = |big: u32, small: Option<u32>| -> f64 {
-            small
-                .and_then(|s| d.get(&(big, s)))
-                .copied()
-                .unwrap_or(0.0)
+            small.and_then(|s| d.get(&(big, s))).copied().unwrap_or(0.0)
         };
 
         // Initial assignment: identity pairing of the first n_small drivers.

@@ -108,7 +108,10 @@ mod tests {
         // (blue) is used as the basis entity collection."
         let g = figure1();
         let pg = PreparedGraph::new(&g);
-        let m = Bmc { basis: Basis::Right }.run(&pg, 0.5);
+        let m = Bmc {
+            basis: Basis::Right,
+        }
+        .run(&pg, 0.5);
         assert_eq!(m.pairs(), &[(1, 1), (2, 3), (4, 0)]);
     }
 
@@ -136,7 +139,10 @@ mod tests {
     fn threshold_is_strict() {
         let g = figure1();
         let pg = PreparedGraph::new(&g);
-        let m = Bmc { basis: Basis::Right }.run(&pg, 0.7);
+        let m = Bmc {
+            basis: Basis::Right,
+        }
+        .run(&pg, 0.7);
         // Only A5-B1 (0.9) exceeds 0.7; A2-B2 is exactly 0.7 and drops.
         assert_eq!(m.pairs(), &[(4, 0)]);
     }

@@ -239,12 +239,7 @@ mod tests {
 
     /// Brute force: enumerate all injective partial assignments (tiny n!).
     fn brute_force_max(g: &SimilarityGraph, t: f64) -> f64 {
-        fn rec(
-            g: &SimilarityGraph,
-            t: f64,
-            row: u32,
-            used: &mut Vec<bool>,
-        ) -> f64 {
+        fn rec(g: &SimilarityGraph, t: f64, row: u32, used: &mut Vec<bool>) -> f64 {
             if row == g.n_left() {
                 return 0.0;
             }

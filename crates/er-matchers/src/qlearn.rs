@@ -161,8 +161,7 @@ impl Matcher for QMatcher {
 
         // Train with linearly decaying exploration …
         for ep in 0..self.config.episodes {
-            let eps = self.config.epsilon
-                * (1.0 - ep as f64 / self.config.episodes.max(1) as f64);
+            let eps = self.config.epsilon * (1.0 - ep as f64 / self.config.episodes.max(1) as f64);
             let _ = self.episode(&edges, n_left, n_right, &mut q, eps, &mut rng);
         }
         // … then roll out the greedy policy.

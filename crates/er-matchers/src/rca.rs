@@ -32,13 +32,14 @@ impl Matcher for Rca {
         let adj = g.adjacency();
         let (pairs1, d1) = scan(g.n_left(), g.n_right(), |i| adj.left(i), false);
         let (pairs2, d2) = scan(g.n_right(), g.n_left(), |j| adj.right(j), true);
-        let (winner, winner_weights) = if d1 >= d2 { pairs1 } else { pairs2 }
-            .into_iter()
-            .fold((Vec::new(), Vec::new()), |mut acc, (pair, w)| {
+        let (winner, winner_weights) = if d1 >= d2 { pairs1 } else { pairs2 }.into_iter().fold(
+            (Vec::new(), Vec::new()),
+            |mut acc, (pair, w)| {
                 acc.0.push(pair);
                 acc.1.push(w);
                 acc
-            });
+            },
+        );
         // Final filter: "remove partition pairs with similarity less than t".
         let pairs = winner
             .into_iter()

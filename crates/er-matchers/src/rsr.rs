@@ -202,8 +202,8 @@ impl<'a, 'g> State<'a, 'g> {
             let free = !self.is_center[vl as usize]
                 && self.center_of[vl as usize] == vl
                 && self.members[vl as usize].is_empty();
-            let singleton_center = self.is_center[vl as usize]
-                && self.members[vl as usize].len() == 1;
+            let singleton_center =
+                self.is_center[vl as usize] && self.members[vl as usize].len() == 1;
             if (free || singleton_center) && best.is_none() {
                 best = Some((vl, w));
                 break; // neighbors are sorted: the first eligible is nearest

@@ -86,10 +86,7 @@ impl Ord for HeapEdge {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // BinaryHeap pops the maximum, so "greater" must mean "comes first"
         // under edge_key_desc: invert the comparator.
-        edge_key_desc(
-            (other.0, other.1, other.2),
-            (self.0, self.1, self.2),
-        )
+        edge_key_desc((other.0, other.1, other.2), (self.0, self.1, self.2))
     }
 }
 
@@ -179,10 +176,7 @@ mod tests {
         let g = figure1();
         let pg = PreparedGraph::new(&g);
         for t in [0.0, 0.3, 0.5, 0.6, 0.75] {
-            assert_eq!(
-                Umc::default().run(&pg, t),
-                Umc::with_heap().run(&pg, t)
-            );
+            assert_eq!(Umc::default().run(&pg, t), Umc::with_heap().run(&pg, t));
         }
     }
 

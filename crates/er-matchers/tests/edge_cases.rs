@@ -19,7 +19,9 @@ fn assert_valid(g: &SimilarityGraph, t: f64) {
         assert!(m.is_unique_mapping(), "{k} at t={t}");
         for (l, r) in m.iter() {
             assert!(l < g.n_left() && r < g.n_right(), "{k} out of bounds");
-            let w = g.weight_of(l, r).unwrap_or_else(|| panic!("{k} emitted non-edge"));
+            let w = g
+                .weight_of(l, r)
+                .unwrap_or_else(|| panic!("{k} emitted non-edge"));
             // CNC/RCA use inclusive thresholds; everyone else strict.
             assert!(w >= t, "{k} emitted pair below threshold");
         }
@@ -79,11 +81,7 @@ fn star_graph_left_center() {
     for (k, m) in run_all(&g, 0.3) {
         assert!(m.len() <= 1, "{k} on a star");
         if k == AlgorithmKind::Umc || k == AlgorithmKind::Krc {
-            assert_eq!(
-                m.pairs(),
-                &[(0, 49)],
-                "{k} must pick the heaviest spoke"
-            );
+            assert_eq!(m.pairs(), &[(0, 49)], "{k} must pick the heaviest spoke");
         }
     }
     assert_valid(&g, 0.3);

@@ -23,18 +23,15 @@ use proptest::prelude::*;
 fn arb_graph() -> impl Strategy<Value = SimilarityGraph> {
     (1u32..12, 1u32..12).prop_flat_map(|(nl, nr)| {
         let max_edges = (nl * nr) as usize;
-        proptest::collection::btree_map(
-            (0..nl, 0..nr),
-            1u32..=20,
-            0..=max_edges.min(40),
+        proptest::collection::btree_map((0..nl, 0..nr), 1u32..=20, 0..=max_edges.min(40)).prop_map(
+            move |edges| {
+                let mut b = GraphBuilder::new(nl, nr);
+                for ((l, r), w) in edges {
+                    b.add_edge(l, r, w as f64 * 0.05).unwrap();
+                }
+                b.build()
+            },
         )
-        .prop_map(move |edges| {
-            let mut b = GraphBuilder::new(nl, nr);
-            for ((l, r), w) in edges {
-                b.add_edge(l, r, w as f64 * 0.05).unwrap();
-            }
-            b.build()
-        })
     })
 }
 

@@ -267,10 +267,7 @@ pub fn blocking_quality(
 
 /// Restrict a scored similarity graph to the blocked candidate pairs —
 /// the graph the matching step would have seen had blocking preceded it.
-pub fn restrict_graph(
-    g: &SimilarityGraph,
-    candidates: &FxHashSet<(u32, u32)>,
-) -> SimilarityGraph {
+pub fn restrict_graph(g: &SimilarityGraph, candidates: &FxHashSet<(u32, u32)>) -> SimilarityGraph {
     let mut b = GraphBuilder::with_capacity(g.n_left(), g.n_right(), candidates.len());
     for e in g.edges() {
         if candidates.contains(&(e.left, e.right)) {

@@ -95,7 +95,8 @@ fn finalize(
         } else {
             ((w - lo) / span).clamp(0.0, 1.0)
         };
-        b.add_edge(l, r, w).expect("generator emits valid unique edges");
+        b.add_edge(l, r, w)
+            .expect("generator emits valid unique edges");
     }
     b.build()
 }
@@ -157,9 +158,7 @@ fn schema_agnostic_vector(
         df_union.add_document(terms);
     }
 
-    let vec_of = |text: &String| -> SparseVector {
-        model.vector(text, weighting, Some(&df_union))
-    };
+    let vec_of = |text: &String| -> SparseVector { model.vector(text, weighting, Some(&df_union)) };
     let left_vecs: Vec<SparseVector> = texts_left.iter().map(vec_of).collect();
     let right_vecs: Vec<SparseVector> = texts_right.iter().map(vec_of).collect();
 
@@ -331,9 +330,9 @@ fn word_movers_cached(
 
     let mut cache: FxHashMap<(u32, u32), f64> = FxHashMap::default();
     let mut dist = |a: u32, b: u32| -> f64 {
-        *cache.entry((a, b)).or_insert_with(|| {
-            vectors[a as usize].euclidean_distance(&vectors[b as usize])
-        })
+        *cache
+            .entry((a, b))
+            .or_insert_with(|| vectors[a as usize].euclidean_distance(&vectors[b as usize]))
     };
 
     let mut out = Vec::new();

@@ -110,9 +110,7 @@ impl SimilarityFunction {
         match self {
             SimilarityFunction::SchemaBasedSyntactic { .. } => WeightType::SchemaBasedSyntactic,
             SimilarityFunction::SchemaAgnosticVector { .. }
-            | SimilarityFunction::SchemaAgnosticGraph { .. } => {
-                WeightType::SchemaAgnosticSyntactic
-            }
+            | SimilarityFunction::SchemaAgnosticGraph { .. } => WeightType::SchemaAgnosticSyntactic,
             SimilarityFunction::Semantic { scope, .. } => match scope {
                 SemanticScope::SchemaBased { .. } => WeightType::SchemaBasedSemantic,
                 SemanticScope::SchemaAgnostic => WeightType::SchemaAgnosticSemantic,

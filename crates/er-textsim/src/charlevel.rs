@@ -118,9 +118,7 @@ pub fn damerau_levenshtein_distance(a: &str, b: &str) -> usize {
         row0[0] = i;
         for j in 1..=b.len() {
             let cost = usize::from(a[i - 1] != b[j - 1]);
-            let mut d = (row1[j - 1] + cost)
-                .min(row1[j] + 1)
-                .min(row0[j - 1] + 1);
+            let mut d = (row1[j - 1] + cost).min(row1[j] + 1).min(row0[j - 1] + 1);
             if i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1] {
                 d = d.min(row2[j - 2] + 1);
             }

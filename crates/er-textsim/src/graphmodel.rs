@@ -52,7 +52,10 @@ impl NGramGraph {
 
     /// Build an entity's graph by merging the graphs of all its values with
     /// the incremental-average update operator.
-    pub fn from_values<'a, I: IntoIterator<Item = &'a str>>(values: I, scheme: NGramScheme) -> Self {
+    pub fn from_values<'a, I: IntoIterator<Item = &'a str>>(
+        values: I,
+        scheme: NGramScheme,
+    ) -> Self {
         let mut merged = NGramGraph::new();
         for (i, v) in values.into_iter().enumerate() {
             let g = NGramGraph::from_value(v, scheme);
@@ -102,7 +105,9 @@ impl NGramGraph {
     /// Containment Similarity: `Σ_{e∈Gi} μ(e, Gj) / min(|Gi|, |Gj|)` —
     /// the portion of shared edges, weight-agnostic.
     pub fn containment_similarity(&self, other: &NGramGraph) -> f64 {
-        if let Some(s) = self.degenerate(other) { return s }
+        if let Some(s) = self.degenerate(other) {
+            return s;
+        }
         let (small, large) = if self.size() <= other.size() {
             (self, other)
         } else {
@@ -118,14 +123,18 @@ impl NGramGraph {
 
     /// Value Similarity: `Σ_{e∈Gi∩Gj} min(w_i,w_j)/max(w_i,w_j) / max(|Gi|,|Gj|)`.
     pub fn value_similarity(&self, other: &NGramGraph) -> f64 {
-        if let Some(s) = self.degenerate(other) { return s }
+        if let Some(s) = self.degenerate(other) {
+            return s;
+        }
         self.value_ratio_sum(other) / self.size().max(other.size()) as f64
     }
 
     /// Normalized Value Similarity: as VS but divided by `min(|Gi|, |Gj|)`,
     /// mitigating imbalanced graph sizes.
     pub fn normalized_value_similarity(&self, other: &NGramGraph) -> f64 {
-        if let Some(s) = self.degenerate(other) { return s }
+        if let Some(s) = self.degenerate(other) {
+            return s;
+        }
         (self.value_ratio_sum(other) / self.size().min(other.size()) as f64).clamp(0.0, 1.0)
     }
 
@@ -315,9 +324,7 @@ mod tests {
         assert!(ns > vs, "NS {ns} must exceed VS {vs} on imbalanced graphs");
         // Overall is the mean of the three.
         let cs = small.containment_similarity(&large);
-        assert!(
-            (small.overall_similarity(&large) - (cs + vs + ns) / 3.0).abs() < EPS
-        );
+        assert!((small.overall_similarity(&large) - (cs + vs + ns) / 3.0).abs() < EPS);
     }
 
     #[test]

@@ -25,7 +25,11 @@ impl SchemaBasedMeasure {
         CharMeasure::all()
             .into_iter()
             .map(SchemaBasedMeasure::Char)
-            .chain(TokenMeasure::all().into_iter().map(SchemaBasedMeasure::Token))
+            .chain(
+                TokenMeasure::all()
+                    .into_iter()
+                    .map(SchemaBasedMeasure::Token),
+            )
             .collect()
     }
 

@@ -67,7 +67,9 @@ pub fn token_ngrams(s: &str, n: usize) -> Vec<String> {
     if toks.len() <= n {
         return vec![toks.join(" ")];
     }
-    (0..=toks.len() - n).map(|i| toks[i..i + n].join(" ")).collect()
+    (0..=toks.len() - n)
+        .map(|i| toks[i..i + n].join(" "))
+        .collect()
 }
 
 /// A schema-agnostic n-gram scheme: which unit and which `n`.
@@ -138,10 +140,7 @@ mod tests {
         // §4: "the set of character 3-grams {'Joe', 'oe_', 'e_B', '_Bi',
         // 'Bid', 'ide', 'den'}" — seven 3-grams.
         let grams = char_ngrams("Joe Biden", 3);
-        assert_eq!(
-            grams,
-            vec!["Joe", "oe ", "e B", " Bi", "Bid", "ide", "den"]
-        );
+        assert_eq!(grams, vec!["Joe", "oe ", "e B", " Bi", "Bid", "ide", "den"]);
     }
 
     #[test]
@@ -153,8 +152,14 @@ mod tests {
 
     #[test]
     fn token_ngrams_window_over_tokens() {
-        assert_eq!(token_ngrams("joe biden usa", 1), vec!["joe", "biden", "usa"]);
-        assert_eq!(token_ngrams("joe biden usa", 2), vec!["joe biden", "biden usa"]);
+        assert_eq!(
+            token_ngrams("joe biden usa", 1),
+            vec!["joe", "biden", "usa"]
+        );
+        assert_eq!(
+            token_ngrams("joe biden usa", 2),
+            vec!["joe biden", "biden usa"]
+        );
         assert_eq!(token_ngrams("joe biden", 3), vec!["joe biden"]);
         assert!(token_ngrams("", 2).is_empty());
     }

@@ -328,7 +328,7 @@ mod tests {
         let a = toks("a b c");
         let b = toks("b c d");
         assert!((jaccard_similarity(&a, &b) - 0.5).abs() < EPS); // 2/4
-        // Multiset: a = {a,a,b}, b = {a,b,b}: min 1+1=2, max 2+2=4 → 0.5.
+                                                                 // Multiset: a = {a,a,b}, b = {a,b,b}: min 1+1=2, max 2+2=4 → 0.5.
         let a2 = toks("a a b");
         let b2 = toks("a b b");
         assert!((generalized_jaccard_similarity(&a2, &b2) - 0.5).abs() < EPS);

@@ -181,7 +181,9 @@ impl DfIndex {
         if self.n_docs == 0 {
             return 0.0;
         }
-        (self.n_docs as f64 / (self.df(term) as f64 + 1.0)).ln().max(0.0)
+        (self.n_docs as f64 / (self.df(term) as f64 + 1.0))
+            .ln()
+            .max(0.0)
     }
 }
 
@@ -217,7 +219,12 @@ impl VectorModel {
     /// Build the entity vector under a weighting scheme.
     ///
     /// For TF-IDF, `df` must be the entity's own collection index.
-    pub fn vector(&self, text: &str, weighting: TermWeighting, df: Option<&DfIndex>) -> SparseVector {
+    pub fn vector(
+        &self,
+        text: &str,
+        weighting: TermWeighting,
+        df: Option<&DfIndex>,
+    ) -> SparseVector {
         let tf = self.term_frequencies(text);
         let pairs = tf
             .into_iter()
@@ -475,10 +482,7 @@ mod tests {
     #[test]
     fn measure_roster_and_weighting() {
         assert_eq!(VectorMeasure::all().len(), 6);
-        assert_eq!(
-            VectorMeasure::CosineTfIdf.weighting(),
-            TermWeighting::TfIdf
-        );
+        assert_eq!(VectorMeasure::CosineTfIdf.weighting(), TermWeighting::TfIdf);
         assert_eq!(VectorMeasure::Jaccard.weighting(), TermWeighting::Tf);
         assert!(VectorMeasure::Arcs.is_unbounded());
         assert!(!VectorMeasure::CosineTf.is_unbounded());

@@ -25,7 +25,11 @@ fn main() {
     let dir = std::env::temp_dir().join("ccer_custom_dataset");
     let generated = Dataset::generate(DatasetId::D3, 0.05, 11);
     export_dataset(&generated, &dir).expect("write TSVs");
-    println!("wrote {}_{{left,right,truth}}.tsv under {}\n", generated.label(), dir.display());
+    println!(
+        "wrote {}_{{left,right,truth}}.tsv under {}\n",
+        generated.label(),
+        dir.display()
+    );
 
     // 1. Import. Collections are validated (dense ids, header shape) and
     //    the ground truth is checked for the one-to-one constraint.
@@ -58,19 +62,35 @@ fn main() {
         scheme: NGramScheme::Token(1),
         measure: VectorMeasure::CosineTfIdf,
     };
-    let scored = build_graph_over(&data.left, &data.right, &function, &PipelineConfig::default());
+    let scored = build_graph_over(
+        &data.left,
+        &data.right,
+        &function,
+        &PipelineConfig::default(),
+    );
     let graph = restrict_graph(&scored, &candidates);
-    println!("similarity graph: {} edges after blocking\n", graph.n_edges());
+    println!(
+        "similarity graph: {} edges after blocking\n",
+        graph.n_edges()
+    );
 
     // 4. Match: sweep the paper's threshold grid with KRC and UMC, report
     //    the best configuration of each.
     let prepared = PreparedGraph::new(&graph);
     let cfg = AlgorithmConfig::default();
-    println!("{:<6} {:>7} {:>10} {:>8} {:>8}", "algo", "best t", "precision", "recall", "F1");
+    println!(
+        "{:<6} {:>7} {:>10} {:>8} {:>8}",
+        "algo", "best t", "precision", "recall", "F1"
+    );
     for kind in [AlgorithmKind::Krc, AlgorithmKind::Umc, AlgorithmKind::Exc] {
         let (t, scores) = ThresholdGrid::paper()
             .values()
-            .map(|t| (t, evaluate(&cfg.run(kind, &prepared, t), &data.ground_truth)))
+            .map(|t| {
+                (
+                    t,
+                    evaluate(&cfg.run(kind, &prepared, t), &data.ground_truth),
+                )
+            })
             .max_by(|a, b| a.1.f1.total_cmp(&b.1.f1))
             .expect("grid is non-empty");
         println!(

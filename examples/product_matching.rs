@@ -39,8 +39,7 @@ fn main() {
         "similarity graph {}: {} edges ({:.1}% of the Cartesian product)\n",
         function.name(),
         graph.n_edges(),
-        100.0 * graph.n_edges() as f64
-            / (graph.n_left() as f64 * graph.n_right() as f64)
+        100.0 * graph.n_edges() as f64 / (graph.n_left() as f64 * graph.n_right() as f64)
     );
 
     // Sweep all eight algorithms over the paper's threshold grid.

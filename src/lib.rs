@@ -47,17 +47,17 @@
 
 /// Graph substrate: similarity graphs, matchings, ground truth, utilities.
 pub use er_core as core;
-/// The eight bipartite matching algorithms plus the Hungarian oracle.
-pub use er_matchers as matchers;
-/// Syntactic similarity measures and representation models.
-pub use er_textsim as textsim;
-/// Deterministic semantic embedding substrate.
-pub use er_embed as embed;
 /// Synthetic CCER dataset generators (D1–D10 analogues).
 pub use er_datasets as datasets;
 /// Dirty ER clustering baselines (extension: the paper's related work).
 pub use er_dirty as dirty;
-/// Similarity graph generation pipeline.
-pub use er_pipeline as pipeline;
+/// Deterministic semantic embedding substrate.
+pub use er_embed as embed;
 /// Evaluation framework: metrics, sweeps, statistics.
 pub use er_eval as eval;
+/// The eight bipartite matching algorithms plus the Hungarian oracle.
+pub use er_matchers as matchers;
+/// Similarity graph generation pipeline.
+pub use er_pipeline as pipeline;
+/// Syntactic similarity measures and representation models.
+pub use er_textsim as textsim;

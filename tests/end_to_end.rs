@@ -5,7 +5,9 @@ use ccer::core::{GraphStats, ThresholdGrid, WeightSeparation};
 use ccer::datasets::{Dataset, DatasetId, DatasetSpec};
 use ccer::eval::sweep::sweep_all;
 use ccer::matchers::{AlgorithmConfig, AlgorithmKind, PreparedGraph};
-use ccer::pipeline::{build_graph, generate_corpus, PipelineConfig, SimilarityFunction, WeightType};
+use ccer::pipeline::{
+    build_graph, generate_corpus, PipelineConfig, SimilarityFunction, WeightType,
+};
 
 #[test]
 fn full_pipeline_on_a_balanced_dataset() {

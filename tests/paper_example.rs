@@ -54,7 +54,10 @@ fn figure1c_optimal_assignment_pairs_a1b1_and_a5b3() {
     // BAH finds that optimum on this small instance.
     let pg = PreparedGraph::new(&g);
     let m = AlgorithmConfig::default().run(AlgorithmKind::Bah, &pg, 0.5);
-    assert!((m.total_weight(&g) - 2.5).abs() < 1e-9, "BAH reaches the optimum");
+    assert!(
+        (m.total_weight(&g) - 2.5).abs() < 1e-9,
+        "BAH reaches the optimum"
+    );
 }
 
 #[test]
@@ -72,7 +75,10 @@ fn figure1d_umc_exc_and_right_basis_bmc_agree() {
     let exc = AlgorithmConfig::default().run(AlgorithmKind::Exc, &pg, 0.5);
     assert_eq!(exc.pairs(), expected, "EXC");
 
-    let bmc = Bmc { basis: Basis::Right }.run(&pg, 0.5);
+    let bmc = Bmc {
+        basis: Basis::Right,
+    }
+    .run(&pg, 0.5);
     assert_eq!(bmc.pairs(), expected, "BMC with V2 basis");
 }
 

@@ -27,21 +27,20 @@ fn collect_sweeps() -> Vec<Vec<SweepResult>> {
         (DatasetId::D6, 7), // scarce
     ] {
         let dataset = Dataset::generate(id, 0.04, seed);
-        let functions: Vec<SimilarityFunction> =
-            SimilarityFunction::catalog(&dataset.spec, false)
-                .into_iter()
-                .filter(|f| {
-                    matches!(
-                        f.weight_type(),
-                        WeightType::SchemaBasedSyntactic | WeightType::SchemaAgnosticSyntactic
-                    )
-                })
-                .enumerate()
-                // Every 5th function: keeps the smoke test fast while
-                // spanning measure families.
-                .filter(|(i, _)| i % 5 == 0)
-                .map(|(_, f)| f)
-                .collect();
+        let functions: Vec<SimilarityFunction> = SimilarityFunction::catalog(&dataset.spec, false)
+            .into_iter()
+            .filter(|f| {
+                matches!(
+                    f.weight_type(),
+                    WeightType::SchemaBasedSyntactic | WeightType::SchemaAgnosticSyntactic
+                )
+            })
+            .enumerate()
+            // Every 5th function: keeps the smoke test fast while
+            // spanning measure families.
+            .filter(|(i, _)| i % 5 == 0)
+            .map(|(_, f)| f)
+            .collect();
         for f in &functions {
             let graph = build_graph(&dataset, f, &cfg);
             if graph.is_empty() {
@@ -56,7 +55,11 @@ fn collect_sweeps() -> Vec<Vec<SweepResult>> {
             out.push(sweeps);
         }
     }
-    assert!(out.len() >= 15, "need a meaningful corpus, got {}", out.len());
+    assert!(
+        out.len() >= 15,
+        "need a meaningful corpus, got {}",
+        out.len()
+    );
     out
 }
 

@@ -1,0 +1,388 @@
+#![warn(missing_docs)]
+
+//! Offline API shim for the `criterion` crate.
+//!
+//! Provides the API surface this workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`,
+//! `BenchmarkId`, `Throughput`, `sample_size`, `measurement_time`, the
+//! `criterion_group!` / `criterion_main!` macros and `black_box` — backed
+//! by a simple adaptive timing loop instead of criterion's statistical
+//! machinery. Each benchmark reports the mean wall-clock time per
+//! iteration (plus throughput when configured) on stdout.
+//!
+//! Command-line compatibility: a positional argument filters benchmarks
+//! by substring (like real criterion), and the `--bench`/`--test`-style
+//! flags cargo passes are accepted and ignored. Set the environment
+//! variable `CRITERION_SHIM_QUICK=1` to cap measurement at one sample per
+//! benchmark for smoke runs. See `vendor/README.md` for the shim policy.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group: a name plus an optional
+/// parameter rendered as `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id like `umc/5000` from a function name and a parameter value.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id carrying only a parameter (used with group names).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+impl From<&String> for BenchmarkId {
+    fn from(s: &String) -> Self {
+        BenchmarkId { id: s.clone() }
+    }
+}
+
+/// Throughput declaration for per-element / per-byte rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The measured block processes this many elements.
+    Elements(u64),
+    /// The measured block processes this many bytes.
+    Bytes(u64),
+}
+
+/// The timing callback handed to benchmark closures.
+pub struct Bencher {
+    /// Mean seconds per iteration, filled by [`Bencher::iter`].
+    elapsed_per_iter: f64,
+    max_samples: usize,
+    target: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, adaptively choosing an iteration count that fills the
+    /// measurement window.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and single-shot estimate.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+
+        // Size each sample so that max_samples of them roughly fill the
+        // measurement window.
+        let per_sample = (self.target.as_secs_f64() / once.as_secs_f64() / self.max_samples as f64)
+            .clamp(1.0, 1e6);
+        let iters = per_sample as usize;
+        let mut best = f64::INFINITY;
+        let budget_start = Instant::now();
+        for _ in 0..self.max_samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let mean = start.elapsed().as_secs_f64() / iters as f64;
+            if mean < best {
+                best = mean;
+            }
+            // Stop early only when the wall-clock already spent exceeds
+            // twice the window (slow benchmarks whose single sample
+            // overshot the estimate).
+            if budget_start.elapsed() > 2 * self.target {
+                break;
+            }
+        }
+        self.elapsed_per_iter = best;
+    }
+}
+
+fn format_seconds(s: f64) -> String {
+    if s < 1e-6 {
+        format!("{:8.2} ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:8.2} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:8.2} ms", s * 1e3)
+    } else {
+        format!("{s:8.2} s ")
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Settings {
+    filter: Option<String>,
+    quick: bool,
+}
+
+impl Settings {
+    fn from_env_and_args() -> Self {
+        let mut filter = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                // Flags cargo-bench / libtest pass through; ignore values
+                // where applicable.
+                "--bench" | "--test" | "--nocapture" | "--quiet" | "-q" | "--exact" => {}
+                "--save-baseline" | "--baseline" | "--measurement-time" | "--sample-size"
+                | "--warm-up-time" => {
+                    let _ = args.next();
+                }
+                s if s.starts_with('-') => {
+                    // Unknown flag: warn. If it takes a value, that value
+                    // will be announced as the filter below rather than
+                    // silently matching nothing.
+                    eprintln!("criterion shim: ignoring unknown flag `{s}`");
+                }
+                s => filter = Some(s.to_owned()),
+            }
+        }
+        if let Some(f) = &filter {
+            eprintln!("criterion shim: filtering benchmarks by substring `{f}`");
+        }
+        let quick = std::env::var("CRITERION_SHIM_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false);
+        Settings { filter, quick }
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    settings: Settings,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            settings: Settings::from_env_and_args(),
+            measurement_time: Duration::from_millis(400),
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the per-benchmark measurement window.
+    pub fn measurement_time(mut self, dur: Duration) -> Self {
+        self.measurement_time = dur;
+        self
+    }
+
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            measurement_time: None,
+            sample_size: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mt = self.measurement_time;
+        let ss = self.sample_size;
+        self.run_one(&id.id.clone(), mt, ss, f);
+        self
+    }
+
+    fn run_one<F>(&mut self, full_id: &str, mt: Duration, ss: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if !self.settings.matches(full_id) {
+            return;
+        }
+        let (mt, ss) = if self.settings.quick {
+            (Duration::from_millis(50), 1)
+        } else {
+            (mt, ss)
+        };
+        let mut b = Bencher {
+            elapsed_per_iter: 0.0,
+            max_samples: ss.max(1),
+            target: mt,
+        };
+        f(&mut b);
+        println!("{full_id:<60} time: {}", format_seconds(b.elapsed_per_iter));
+    }
+
+    /// Accepted for API compatibility; argument parsing happens in
+    /// [`Criterion::default`].
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// No-op in the shim (criterion prints its summary here).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of related benchmarks sharing throughput/size settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    measurement_time: Option<Duration>,
+    sample_size: Option<usize>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Declares the work per iteration for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Overrides the group's measurement window.
+    pub fn measurement_time(&mut self, dur: Duration) -> &mut Self {
+        self.measurement_time = Some(dur);
+        self
+    }
+
+    /// Overrides the group's sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.dispatch(&id.id.clone(), f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        self.dispatch(&id.id.clone(), |b| f(b, input));
+        self
+    }
+
+    fn dispatch<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let full = format!("{}/{}", self.name, id);
+        let mt = self
+            .measurement_time
+            .unwrap_or(self.criterion.measurement_time);
+        let ss = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let throughput = self.throughput;
+        self.criterion.run_one(&full, mt, ss, |b| {
+            f(b);
+            if let Some(t) = throughput {
+                let per_s = match t {
+                    Throughput::Elements(n) => n as f64 / b.elapsed_per_iter,
+                    Throughput::Bytes(n) => n as f64 / b.elapsed_per_iter,
+                };
+                let unit = match t {
+                    Throughput::Elements(_) => "elem/s",
+                    Throughput::Bytes(_) => "B/s",
+                };
+                println!("{full:<60} thrpt: {per_s:12.0} {unit}");
+            }
+        });
+    }
+
+    /// Ends the group (printing is immediate in the shim, so this is a
+    /// no-op kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, like criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, like criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(10));
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(2);
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..1000u64).sum::<u64>());
+        });
+        group.bench_with_input(BenchmarkId::new("sum_n", 100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn format_spans_units() {
+        assert!(format_seconds(3e-9).contains("ns"));
+        assert!(format_seconds(3e-6).contains("µs"));
+        assert!(format_seconds(3e-3).contains("ms"));
+        assert!(format_seconds(3.0).contains('s'));
+    }
+}

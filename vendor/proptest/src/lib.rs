@@ -1,0 +1,912 @@
+#![warn(missing_docs)]
+
+//! Offline API shim for the `proptest` crate.
+//!
+//! Implements the surface this workspace's property tests use: the
+//! [`Strategy`] trait with `prop_map` / `prop_flat_map` / `prop_filter`,
+//! range and tuple strategies, [`collection`] (`vec`, `btree_map`,
+//! `btree_set`), [`sample`] (`select`, `subsequence`), [`string`]
+//! (`string_regex` over a regex subset), the [`proptest!`] macro with
+//! `#![proptest_config(...)]`, and `prop_assert!` / `prop_assert_eq!` /
+//! `prop_assert_ne!` / `prop_assume!`.
+//!
+//! Differences from real proptest, by design: failing cases are **not
+//! shrunk** and the generated inputs are not printed — instead, a failure
+//! reports the case index and seed, and because value streams come from a
+//! deterministic per-test RNG seeded from the test's name, re-running the
+//! test reproduces the identical failing draw (attach a debugger or add a
+//! `dbg!`). See `vendor/README.md` for the shim policy.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Everything a property-test module usually imports.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+/// The RNG handed to strategies (deterministic per test).
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Seeds a generator; the `proptest!` macro derives the seed from the
+    /// test's name so every test has its own reproducible stream.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng(StdRng::seed_from_u64(seed))
+    }
+
+    fn gen_index(&mut self, bound: usize) -> usize {
+        self.0.gen_range(0..bound)
+    }
+}
+
+/// FNV-1a, used by the macro to derive a per-test seed from its name.
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Why a generated case did not run to completion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case was vetoed by `prop_assume!` — skipped, not failed.
+    Reject,
+}
+
+/// Runtime configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases each property must pass.
+    pub cases: u32,
+    /// Upper bound on generator/assume rejections before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` successful cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating values of a given type.
+///
+/// `generate` returns `None` when a `prop_filter` rejected the draw; the
+/// test runner then retries with fresh randomness.
+pub trait Strategy {
+    /// The type of the generated values.
+    type Value;
+
+    /// Draws one value, or `None` on filter rejection.
+    fn generate(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { base: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` builds
+    /// out of it (dependent generation).
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { base: self, f }
+    }
+
+    /// Discards generated values failing `pred`; `reason` is reported if
+    /// too many draws are rejected.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        reason: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            base: self,
+            reason,
+            pred,
+        }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<O> {
+        self.base.generate(rng).map(&self.f)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S2::Value> {
+        let inner = (self.f)(self.base.generate(rng)?);
+        inner.generate(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    base: S,
+    #[allow(dead_code)]
+    reason: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        self.base.generate(rng).filter(|v| (self.pred)(v))
+    }
+}
+
+/// String literals are regex strategies, as in real proptest
+/// (`s in "[a-z]{3}"`). The pattern must be valid for the [`string`]
+/// module's regex subset; it is compiled on first use per case.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<String> {
+        string::string_regex(self)
+            .unwrap_or_else(|e| panic!("invalid regex strategy {self:?}: {}", e.0))
+            .generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                Some(rng.0.gen_range(self.clone()))
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                Some(rng.0.gen_range(self.clone()))
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($t:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                let ($($t,)+) = self;
+                Some(($($t.generate(rng)?,)+))
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+// ---------------------------------------------------------------------------
+// collection
+// ---------------------------------------------------------------------------
+
+/// Collection strategies: `vec`, `btree_map`, `btree_set`.
+pub mod collection {
+    use super::*;
+
+    /// A size specification: a fixed length or a range of lengths.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl SizeRange {
+        pub(crate) fn draw(&self, rng: &mut TestRng) -> usize {
+            if self.hi_inclusive <= self.lo {
+                self.lo
+            } else {
+                self.lo + rng.gen_index(self.hi_inclusive - self.lo + 1)
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<T>` with lengths drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors of values drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+            let n = self.size.draw(rng);
+            let mut out = Vec::with_capacity(n);
+            let mut attempts = 0usize;
+            while out.len() < n {
+                attempts += 1;
+                if attempts > n * 20 + 100 {
+                    // Heavily filtered element strategy: reject the whole draw.
+                    return None;
+                }
+                if let Some(v) = self.element.generate(rng) {
+                    out.push(v);
+                }
+            }
+            Some(out)
+        }
+    }
+
+    /// Strategy for `BTreeMap<K, V>` with entry counts drawn from `size`.
+    pub struct BTreeMapStrategy<K, V> {
+        keys: K,
+        values: V,
+        size: SizeRange,
+    }
+
+    /// Generates maps; duplicate keys collapse, so maps may come out
+    /// smaller than the drawn size (matching real proptest).
+    pub fn btree_map<K, V>(keys: K, values: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        BTreeMapStrategy {
+            keys,
+            values,
+            size: size.into(),
+        }
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+            let n = self.size.draw(rng);
+            let mut out = BTreeMap::new();
+            let mut attempts = 0usize;
+            while out.len() < n && attempts < n * 20 + 100 {
+                attempts += 1;
+                let (Some(k), Some(v)) = (self.keys.generate(rng), self.values.generate(rng))
+                else {
+                    continue;
+                };
+                out.insert(k, v);
+            }
+            Some(out)
+        }
+    }
+
+    /// Strategy for `BTreeSet<T>` with element counts drawn from `size`.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates sets; duplicates collapse as in [`btree_map`].
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+            let n = self.size.draw(rng);
+            let mut out = BTreeSet::new();
+            let mut attempts = 0usize;
+            while out.len() < n && attempts < n * 20 + 100 {
+                attempts += 1;
+                if let Some(v) = self.element.generate(rng) {
+                    out.insert(v);
+                }
+            }
+            Some(out)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// sample
+// ---------------------------------------------------------------------------
+
+/// Strategies drawing from explicit value lists.
+pub mod sample {
+    use super::*;
+
+    /// Strategy yielding one element of a fixed list.
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// Picks uniformly from `options` (must be non-empty).
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select of empty list");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<T> {
+            let i = rng.gen_index(self.options.len());
+            Some(self.options[i].clone())
+        }
+    }
+
+    /// Strategy yielding an order-preserving subsequence of a fixed list.
+    pub struct Subsequence<T> {
+        options: Vec<T>,
+        size: collection::SizeRange,
+    }
+
+    /// Picks a subsequence whose length is drawn from `size` (clamped to
+    /// the list length), preserving the original order.
+    pub fn subsequence<T: Clone>(
+        options: Vec<T>,
+        size: impl Into<collection::SizeRange>,
+    ) -> Subsequence<T> {
+        Subsequence {
+            options,
+            size: size.into(),
+        }
+    }
+
+    impl<T: Clone> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<Vec<T>> {
+            let n = self.size.draw(rng).min(self.options.len());
+            // Floyd's algorithm for n distinct indices, then sort to
+            // preserve order.
+            let mut picked = BTreeSet::new();
+            for j in self.options.len() - n..self.options.len() {
+                let t = rng.gen_index(j + 1);
+                if !picked.insert(t) {
+                    picked.insert(j);
+                }
+            }
+            Some(picked.iter().map(|&i| self.options[i].clone()).collect())
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// string
+// ---------------------------------------------------------------------------
+
+/// String strategies from regular expressions (a generation-oriented
+/// subset: literals, `[...]` classes with ranges, `.`, and the `{m,n}`,
+/// `{n}`, `?`, `*`, `+` quantifiers).
+pub mod string {
+    use super::*;
+
+    /// A parse error for an unsupported or malformed pattern.
+    #[derive(Debug, Clone)]
+    pub struct Error(pub String);
+
+    enum Atom {
+        Literal(char),
+        Class(Vec<char>),
+        Any,
+    }
+
+    struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    /// Strategy yielding strings matching a regex subset.
+    pub struct RegexStrategy {
+        pieces: Vec<Piece>,
+    }
+
+    /// Compiles `pattern` into a generator. Unsupported syntax
+    /// (alternation, groups, anchors, backreferences) is an `Err`.
+    pub fn string_regex(pattern: &str) -> Result<RegexStrategy, Error> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pieces = Vec::new();
+        let mut i = 0usize;
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '[' => {
+                    let close = chars[i + 1..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .map(|p| p + i + 1)
+                        .ok_or_else(|| Error("unterminated class".into()))?;
+                    let mut set = Vec::new();
+                    let inner = &chars[i + 1..close];
+                    let mut j = 0usize;
+                    while j < inner.len() {
+                        if inner[j] == '\\' && j + 1 < inner.len() {
+                            match inner[j + 1] {
+                                // Unicode category escapes (`\PC`, `\p{L}`, ...):
+                                // approximate with a representative char set.
+                                'p' | 'P' => {
+                                    set.extend(' '..='~');
+                                    set.extend(['é', 'ß', 'Ω', '漢']);
+                                    j += 2;
+                                    if inner.get(j) == Some(&'{') {
+                                        while j < inner.len() && inner[j] != '}' {
+                                            j += 1;
+                                        }
+                                        j += 1;
+                                    } else {
+                                        j += 1; // single-letter category name
+                                    }
+                                }
+                                'n' => {
+                                    set.push('\n');
+                                    j += 2;
+                                }
+                                't' => {
+                                    set.push('\t');
+                                    j += 2;
+                                }
+                                c => {
+                                    set.push(c);
+                                    j += 2;
+                                }
+                            }
+                        } else if j + 2 < inner.len() && inner[j + 1] == '-' {
+                            let (lo, hi) = (inner[j], inner[j + 2]);
+                            if lo > hi {
+                                return Err(Error("inverted class range".into()));
+                            }
+                            for c in lo..=hi {
+                                set.push(c);
+                            }
+                            j += 3;
+                        } else {
+                            set.push(inner[j]);
+                            j += 1;
+                        }
+                    }
+                    if set.is_empty() {
+                        return Err(Error("empty class".into()));
+                    }
+                    i = close + 1;
+                    Atom::Class(set)
+                }
+                '.' => {
+                    i += 1;
+                    Atom::Any
+                }
+                '\\' => {
+                    let c = *chars
+                        .get(i + 1)
+                        .ok_or_else(|| Error("trailing backslash".into()))?;
+                    i += 2;
+                    Atom::Literal(c)
+                }
+                '(' | ')' | '|' | '^' | '$' => {
+                    return Err(Error(format!("unsupported regex syntax `{}`", chars[i])));
+                }
+                c => {
+                    i += 1;
+                    Atom::Literal(c)
+                }
+            };
+            let (min, max) = match chars.get(i) {
+                Some('{') => {
+                    let close = chars[i + 1..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .map(|p| p + i + 1)
+                        .ok_or_else(|| Error("unterminated repetition".into()))?;
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    let parse = |s: &str| {
+                        s.trim()
+                            .parse::<usize>()
+                            .map_err(|_| Error("bad repeat".into()))
+                    };
+                    match body.split_once(',') {
+                        Some((lo, hi)) => (parse(lo)?, parse(hi)?),
+                        None => {
+                            let n = parse(&body)?;
+                            (n, n)
+                        }
+                    }
+                }
+                Some('?') => {
+                    i += 1;
+                    (0, 1)
+                }
+                Some('*') => {
+                    i += 1;
+                    (0, 8)
+                }
+                Some('+') => {
+                    i += 1;
+                    (1, 8)
+                }
+                _ => (1, 1),
+            };
+            if min > max {
+                return Err(Error("inverted repetition".into()));
+            }
+            pieces.push(Piece { atom, min, max });
+        }
+        Ok(RegexStrategy { pieces })
+    }
+
+    impl Strategy for RegexStrategy {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<String> {
+            let mut out = String::new();
+            for piece in &self.pieces {
+                let reps = piece.min + rng.gen_index(piece.max - piece.min + 1);
+                for _ in 0..reps {
+                    match &piece.atom {
+                        Atom::Literal(c) => out.push(*c),
+                        Atom::Class(set) => out.push(set[rng.gen_index(set.len())]),
+                        Atom::Any => {
+                            // Printable ASCII.
+                            out.push(char::from(b' ' + rng.gen_index(95) as u8));
+                        }
+                    }
+                }
+            }
+            Some(out)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner + macros
+// ---------------------------------------------------------------------------
+
+/// Drives one property: `body` generates inputs and runs the assertions;
+/// it reports `Err(TestCaseError::Reject)` for vetoed draws and `Ok(false)`
+/// when generation itself rejected (filter miss).
+pub fn run_property<F>(config: &ProptestConfig, name: &str, mut body: F)
+where
+    F: FnMut(&mut TestRng) -> Result<bool, TestCaseError>,
+{
+    let seed = seed_from_name(name);
+    let mut rng = TestRng::from_seed(seed);
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    while passed < config.cases {
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+        match attempt {
+            Err(payload) => {
+                // The failing draw is reproducible: the stream is a pure
+                // function of the seed, and `passed + rejected` draws
+                // preceded this one.
+                eprintln!(
+                    "property `{name}` failed on case {} (seed {seed:#x}, \
+                     {rejected} rejects before it); the stream is \
+                     deterministic, so re-running reproduces it",
+                    passed + 1
+                );
+                std::panic::resume_unwind(payload);
+            }
+            Ok(Ok(true)) => passed += 1,
+            Ok(Ok(false)) | Ok(Err(TestCaseError::Reject)) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "property `{name}`: gave up after {rejected} rejected draws \
+                         ({passed}/{} cases passed)",
+                        config.cases
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Declares property tests. Mirrors proptest's surface:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg) $($rest)*);
+    };
+    (@impl ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            // Strategies are built once; generation draws from them per case.
+            let strategies = ($($strat,)+);
+            $crate::run_property(&config, stringify!($name), |rng| {
+                let inputs = match $crate::Strategy::generate(&strategies, rng) {
+                    Some(v) => v,
+                    None => return Ok(false),
+                };
+                let ($($arg,)+) = inputs;
+                #[allow(clippy::redundant_closure_call)]
+                let out: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                })();
+                out.map(|()| true)
+            });
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            panic!("prop_assert failed: {}", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            panic!("prop_assert failed: {}: {}", stringify!($cond), format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            panic!("prop_assert_eq failed: {left:?} != {right:?}");
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            panic!(
+                "prop_assert_eq failed: {left:?} != {right:?}: {}",
+                format!($($fmt)+)
+            );
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if left == right {
+            panic!("prop_assert_ne failed: both {left:?}");
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        if left == right {
+            panic!(
+                "prop_assert_ne failed: both {left:?}: {}",
+                format!($($fmt)+)
+            );
+        }
+    }};
+}
+
+/// Skips the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    fn arb_pairs() -> impl Strategy<Value = Vec<(u32, f64)>> {
+        crate::collection::vec((0u32..50, 0.0f64..1.0), 0..20)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn ranges_in_bounds(a in 3u32..17, b in 0.25f64..=0.75) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!((0.25..=0.75).contains(&b));
+        }
+
+        #[test]
+        fn collections_respect_sizes(v in arb_pairs()) {
+            prop_assert!(v.len() < 20);
+            for (k, x) in v {
+                prop_assert!(k < 50 && (0.0..1.0).contains(&x));
+            }
+        }
+
+        #[test]
+        fn flat_map_and_filter_compose(
+            v in (1usize..6).prop_flat_map(|n| crate::collection::vec(0u32..10, n))
+                .prop_filter("nonempty", |v| !v.is_empty())
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 6);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u32..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+
+        #[test]
+        fn regex_strings_match_class(s in crate::string::string_regex("[a-c]{2,5}").unwrap()) {
+            prop_assert!((2..=5).contains(&s.len()));
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+
+        #[test]
+        fn subsequence_preserves_order(
+            sub in crate::sample::subsequence((0..20u32).collect::<Vec<_>>(), 0..=20usize)
+        ) {
+            prop_assert!(sub.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn select_draws_each_option() {
+        let strat = crate::sample::select(vec![1, 2, 3]);
+        let mut rng = crate::TestRng::from_seed(1);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..100 {
+            seen.insert(strat.generate(&mut rng).unwrap());
+        }
+        assert_eq!(seen.into_iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn btree_map_respects_key_filter() {
+        let strat = crate::collection::btree_map(
+            (0u32..10, 0u32..10).prop_filter("no diagonal", |(a, b)| a != b),
+            0.0f64..1.0,
+            0..30,
+        );
+        let mut rng = crate::TestRng::from_seed(2);
+        for _ in 0..50 {
+            for ((a, b), _) in strat.generate(&mut rng).unwrap() {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

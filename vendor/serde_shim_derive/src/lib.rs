@@ -1,0 +1,491 @@
+#![warn(missing_docs)]
+
+//! Derive macros for the offline `serde` shim.
+//!
+//! Parses the item's `TokenStream` by hand (the container has no network
+//! access, so `syn`/`quote` are unavailable) and emits `Serialize` /
+//! `Deserialize` impls against the shim's `Value` data model. Supported
+//! shapes — the exact set this workspace uses:
+//!
+//! * structs with named fields (plus unit structs),
+//! * enums with unit, tuple and struct variants (externally tagged, like
+//!   real serde),
+//! * the `#[serde(skip)]` field attribute (skipped on serialize,
+//!   `Default::default()` on deserialize).
+//!
+//! Generics are rejected with a compile error rather than silently
+//! mishandled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    let code = match (&item.shape, mode) {
+        (Shape::Struct(fields), Mode::Serialize) => struct_serialize(&item.name, fields),
+        (Shape::Struct(fields), Mode::Deserialize) => struct_deserialize(&item.name, fields),
+        (Shape::Enum(variants), Mode::Serialize) => enum_serialize(&item.name, variants),
+        (Shape::Enum(variants), Mode::Deserialize) => enum_deserialize(&item.name, variants),
+    };
+    code.parse().expect("derive shim generated invalid Rust")
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Shape {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+// ---------------------------------------------------------------------------
+// Token-level parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_punct(&self, c: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == c)
+    }
+
+    fn at_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == word)
+    }
+
+    /// Consumes leading `#[...]` attributes; returns whether any of them
+    /// was `#[serde(skip)]`.
+    fn skip_attributes(&mut self) -> bool {
+        let mut skip = false;
+        while self.at_punct('#') {
+            self.next();
+            if let Some(TokenTree::Group(g)) = self.next() {
+                skip |= attr_is_serde_skip(&g.stream());
+            }
+        }
+        skip
+    }
+
+    /// Consumes `pub`, `pub(crate)`, `pub(in path)` etc.
+    fn skip_visibility(&mut self) {
+        if self.at_ident("pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+
+    /// Consumes tokens of a type expression up to a top-level `,`,
+    /// tracking `<`/`>` nesting (groups are atomic tokens already).
+    fn skip_type(&mut self) {
+        let mut angle_depth = 0i32;
+        while let Some(t) = self.peek() {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => return,
+                    _ => {}
+                }
+            }
+            self.next();
+        }
+    }
+}
+
+fn attr_is_serde_skip(inner: &TokenStream) -> bool {
+    // inner is e.g. `serde(skip)` or `doc = "..."`.
+    let tokens: Vec<TokenTree> = inner.clone().into_iter().collect();
+    match tokens.as_slice() {
+        [TokenTree::Ident(name), TokenTree::Group(args)] if name.to_string() == "serde" => args
+            .stream()
+            .into_iter()
+            .any(|t| matches!(t, TokenTree::Ident(i) if i.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut c = Cursor::new(input);
+    c.skip_attributes();
+    c.skip_visibility();
+
+    let kind = match c.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    let name = match c.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    if c.at_punct('<') {
+        return Err(format!(
+            "serde shim derive does not support generic type `{name}`"
+        ));
+    }
+
+    match kind.as_str() {
+        "struct" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item {
+                name,
+                shape: Shape::Struct(parse_named_fields(g.stream())?),
+            }),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item {
+                name,
+                shape: Shape::Struct(Vec::new()),
+            }),
+            other => Err(format!(
+                "serde shim derive supports only named-field or unit structs \
+                 (`{name}` has {other:?})"
+            )),
+        },
+        "enum" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item {
+                name,
+                shape: Shape::Enum(parse_variants(g.stream())?),
+            }),
+            other => Err(format!("expected enum body for `{name}`, found {other:?}")),
+        },
+        other => Err(format!("cannot derive for item kind `{other}`")),
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let mut c = Cursor::new(body);
+    let mut fields = Vec::new();
+    while c.peek().is_some() {
+        let skip = c.skip_attributes();
+        c.skip_visibility();
+        let name = match c.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        if !c.at_punct(':') {
+            return Err(format!("expected `:` after field `{name}`"));
+        }
+        c.next();
+        c.skip_type();
+        if c.at_punct(',') {
+            c.next();
+        }
+        fields.push(Field { name, skip });
+    }
+    Ok(fields)
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut c = Cursor::new(body);
+    let mut variants = Vec::new();
+    while c.peek().is_some() {
+        c.skip_attributes();
+        let name = match c.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        let shape = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g.stream());
+                c.next();
+                VariantShape::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                c.next();
+                VariantShape::Struct(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) if present.
+        if c.at_punct('=') {
+            c.next();
+            c.skip_type();
+        }
+        if c.at_punct(',') {
+            c.next();
+        }
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+/// Counts the fields of a tuple variant: top-level commas at angle depth 0,
+/// ignoring a trailing comma.
+fn tuple_arity(inner: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = inner.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut arity = 1;
+    let mut angle_depth = 0i32;
+    for (i, t) in tokens.iter().enumerate() {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 && i + 1 < tokens.len() => arity += 1,
+                _ => {}
+            }
+        }
+    }
+    arity
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (emitted as source text, then re-parsed)
+// ---------------------------------------------------------------------------
+
+fn struct_serialize(name: &str, fields: &[Field]) -> String {
+    let mut pushes = String::new();
+    for f in fields.iter().filter(|f| !f.skip) {
+        let fname = &f.name;
+        pushes.push_str(&format!(
+            "entries.push(({fname:?}.to_string(), \
+             ::serde::Serialize::to_value(&self.{fname})));\n"
+        ));
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut entries: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                     ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Map(entries)\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn struct_deserialize(name: &str, fields: &[Field]) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        let fname = &f.name;
+        if f.skip {
+            inits.push_str(&format!("{fname}: ::std::default::Default::default(),\n"));
+        } else {
+            inits.push_str(&format!(
+                "{fname}: ::serde::Deserialize::from_value(\
+                 ::serde::map_field(entries, {fname:?})?)?,\n"
+            ));
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 let entries = v.as_map().ok_or_else(|| \
+                     ::serde::Error::custom(concat!(\"expected map for \", {name:?})))?;\n\
+                 let _ = entries;\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }})\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn enum_serialize(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.shape {
+            VariantShape::Unit => arms.push_str(&format!(
+                "{name}::{vname} => ::serde::Value::Str({vname:?}.to_string()),\n"
+            )),
+            VariantShape::Tuple(1) => arms.push_str(&format!(
+                "{name}::{vname}(f0) => ::serde::Value::Map(vec![({vname:?}.to_string(), \
+                 ::serde::Serialize::to_value(f0))]),\n"
+            )),
+            VariantShape::Tuple(n) => {
+                let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                let items: Vec<String> = binders
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                    .collect();
+                arms.push_str(&format!(
+                    "{name}::{vname}({}) => ::serde::Value::Map(vec![({vname:?}.to_string(), \
+                     ::serde::Value::Seq(vec![{}]))]),\n",
+                    binders.join(", "),
+                    items.join(", ")
+                ));
+            }
+            VariantShape::Struct(fields) => {
+                let binders: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                let items: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "({:?}.to_string(), ::serde::Serialize::to_value({}))",
+                            f.name, f.name
+                        )
+                    })
+                    .collect();
+                arms.push_str(&format!(
+                    "{name}::{vname} {{ {} }} => ::serde::Value::Map(vec![({vname:?}.to_string(), \
+                     ::serde::Value::Map(vec![{}]))]),\n",
+                    binders.join(", "),
+                    items.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{ {arms} }}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut tagged_arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.shape {
+            VariantShape::Unit => unit_arms.push_str(&format!(
+                "{vname:?} => ::std::result::Result::Ok({name}::{vname}),\n"
+            )),
+            VariantShape::Tuple(1) => tagged_arms.push_str(&format!(
+                "{vname:?} => ::std::result::Result::Ok({name}::{vname}(\
+                 ::serde::Deserialize::from_value(payload)?)),\n"
+            )),
+            VariantShape::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                    .collect();
+                tagged_arms.push_str(&format!(
+                    "{vname:?} => {{\n\
+                         let items = payload.as_seq().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected tuple-variant payload\"))?;\n\
+                         if items.len() != {n} {{\n\
+                             return ::std::result::Result::Err(\
+                                 ::serde::Error::custom(\"tuple variant arity mismatch\"));\n\
+                         }}\n\
+                         ::std::result::Result::Ok({name}::{vname}({}))\n\
+                     }}\n",
+                    items.join(", ")
+                ));
+            }
+            VariantShape::Struct(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        if f.skip {
+                            format!("{}: ::std::default::Default::default()", f.name)
+                        } else {
+                            format!(
+                                "{}: ::serde::Deserialize::from_value(\
+                                 ::serde::map_field(entries, {:?})?)?",
+                                f.name, f.name
+                            )
+                        }
+                    })
+                    .collect();
+                tagged_arms.push_str(&format!(
+                    "{vname:?} => {{\n\
+                         let entries = payload.as_map().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected struct-variant payload\"))?;\n\
+                         let _ = entries;\n\
+                         ::std::result::Result::Ok({name}::{vname} {{ {} }})\n\
+                     }}\n",
+                    inits.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 match v {{\n\
+                     ::serde::Value::Str(tag) => match tag.as_str() {{\n\
+                         {unit_arms}\n\
+                         other => ::std::result::Result::Err(::serde::Error::custom(\
+                             format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                         let (tag, payload) = &entries[0];\n\
+                         match tag.as_str() {{\n\
+                             {tagged_arms}\n\
+                             other => ::std::result::Result::Err(::serde::Error::custom(\
+                                 format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     _ => ::std::result::Result::Err(::serde::Error::custom(\
+                         concat!(\"expected variant of \", {name:?}))),\n\
+                 }}\n\
+             }}\n\
+         }}"
+    )
+}
