@@ -1,0 +1,121 @@
+//! The threshold-sweep engine benchmark: incremental `SweepEngine` vs the
+//! naive per-threshold re-run over a paper-scale similarity graph
+//! (10⁵ edges, the protocol's 20-point grid, all eight algorithms).
+//!
+//! Recorded in docs/BENCH_BASELINE.md as this PR's before/after evidence.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use er_core::{GraphBuilder, GroundTruth, SimilarityGraph, ThresholdGrid};
+use er_eval::sweep::{sweep_naive, SweepEngine};
+use er_matchers::{AlgorithmConfig, AlgorithmKind, BahConfig, PreparedGraph};
+
+/// A random bipartite similarity graph with `n_edges` edges and a planted
+/// high-weight matching (same construction as the matcher bench), plus the
+/// planted pairs as ground truth so the sweep's metrics are non-trivial.
+fn random_instance(n_edges: usize, seed: u64) -> (SimilarityGraph, GroundTruth) {
+    let n = ((n_edges * 8) as f64).sqrt().ceil() as u32;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, n, n_edges + n as usize);
+    for i in 0..n {
+        b.add_edge(i, i, 0.7 + 0.3 * rng.gen::<f64>()).unwrap();
+    }
+    let mut added = n as usize;
+    while added < n_edges {
+        let l = rng.gen_range(0..n);
+        let r = rng.gen_range(0..n);
+        if b.add_edge(l, r, rng.gen::<f64>() * 0.7).is_ok() {
+            added += 1;
+        }
+    }
+    let gt = GroundTruth::new((0..n).map(|i| (i, i)).collect());
+    (b.build(), gt)
+}
+
+fn config() -> AlgorithmConfig {
+    AlgorithmConfig {
+        // BAH's paper budget (10k steps) would drown every other signal;
+        // bench the per-step machinery with a smaller budget, as the
+        // matcher bench does.
+        bah: BahConfig {
+            max_moves: 2_000,
+            ..BahConfig::default()
+        },
+        ..AlgorithmConfig::default()
+    }
+}
+
+/// Full protocol sweep: all 8 algorithms × 20 thresholds.
+fn bench_sweep_all(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep_all");
+    group.sample_size(10);
+    let cfg = config();
+    let n_edges = 100_000usize;
+    let (graph, gt) = random_instance(n_edges, 42);
+    let prepared = PreparedGraph::new(&graph);
+    let grid = ThresholdGrid::paper();
+    group.throughput(Throughput::Elements((n_edges * grid.len() * 8) as u64));
+    group.bench_with_input(BenchmarkId::new("engine", n_edges), &n_edges, |b, _| {
+        b.iter(|| {
+            let rs = SweepEngine::new(cfg).sweep_all(&prepared, &gt, &grid);
+            std::hint::black_box(rs.len())
+        })
+    });
+    group.bench_with_input(
+        BenchmarkId::new("naive_rerun", n_edges),
+        &n_edges,
+        |b, _| {
+            b.iter(|| {
+                let rs: Vec<_> = AlgorithmKind::ALL
+                    .into_iter()
+                    .map(|k| sweep_naive(k, &cfg, &prepared, &gt, &grid))
+                    .collect();
+                std::hint::black_box(rs.len())
+            })
+        },
+    );
+    group.finish();
+}
+
+/// Per-algorithm sweeps where the incremental modes bite hardest: UMC
+/// resumes its greedy scan (one O(m) pass for the whole grid) and BAH
+/// maintains its contribution map across grid points.
+fn bench_sweep_single(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep_algorithm");
+    group.sample_size(10);
+    let cfg = config();
+    let n_edges = 100_000usize;
+    let (graph, gt) = random_instance(n_edges, 7);
+    let prepared = PreparedGraph::new(&graph);
+    let grid = ThresholdGrid::paper();
+    group.throughput(Throughput::Elements((n_edges * grid.len()) as u64));
+    for kind in [AlgorithmKind::Umc, AlgorithmKind::Bah, AlgorithmKind::Cnc] {
+        let engine = SweepEngine::new(cfg).with_threads(1);
+        group.bench_with_input(
+            BenchmarkId::new(format!("{kind}/incremental"), n_edges),
+            &n_edges,
+            |b, _| {
+                b.iter(|| {
+                    let r = engine.sweep_algorithm(kind, &prepared, &gt, &grid);
+                    std::hint::black_box(r.best_threshold)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("{kind}/naive_rerun"), n_edges),
+            &n_edges,
+            |b, _| {
+                b.iter(|| {
+                    let r = sweep_naive(kind, &cfg, &prepared, &gt, &grid);
+                    std::hint::black_box(r.best_threshold)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_all, bench_sweep_single);
+criterion_main!(benches);

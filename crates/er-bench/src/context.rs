@@ -15,7 +15,7 @@ use parking_lot::Mutex;
 use er_core::{GraphStats, ThresholdGrid, WeightSeparation};
 use er_datasets::{Dataset, DatasetId, DatasetStats};
 use er_eval::cleaning::{dedup_duplicate_inputs, is_noisy_graph, GraphFingerprint};
-use er_eval::sweep::{sweep_all, SweepResult};
+use er_eval::sweep::{SweepEngine, SweepResult};
 use er_eval::timing::time_algorithm;
 use er_matchers::{AlgorithmConfig, AlgorithmKind, BahConfig, Basis, PreparedGraph};
 use er_pipeline::{build_graph, PipelineConfig, SimilarityFunction};
@@ -227,7 +227,14 @@ fn evaluate_dataset(
                 }
                 let stats = GraphStats::of(&graph);
                 let pg = PreparedGraph::new(&graph);
-                let sweeps = sweep_all(&algo_config, &pg, &dataset.ground_truth, &cfg.grid);
+                // This loop already fans out across similarity functions, so
+                // the engine runs its units serially (still incremental);
+                // nesting its default thread pool here would oversubscribe.
+                let sweeps = SweepEngine::new(algo_config).with_threads(1).sweep_all(
+                    &pg,
+                    &dataset.ground_truth,
+                    &cfg.grid,
+                );
                 // Time each algorithm at its optimal threshold; BMC times
                 // under its winning basis.
                 let timings: Vec<(f64, f64)> = sweeps

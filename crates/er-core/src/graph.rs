@@ -158,6 +158,88 @@ impl SimilarityGraph {
     pub fn adjacency(&self) -> Adjacency {
         Adjacency::build(self)
     }
+
+    /// Build the weight-descending sorted edge view (see [`SortedEdges`]).
+    pub fn sorted_edges(&self) -> SortedEdges {
+        SortedEdges::build(self)
+    }
+}
+
+/// The graph's edges sorted by **descending weight** (ties: ascending
+/// `(left, right)` — the workspace-wide [`edge_key_desc`] order).
+///
+/// The point of this view is that *"all edges above a threshold `t`"* is a
+/// **prefix** of the sorted array, locatable with one binary search instead
+/// of an `O(m)` re-scan. Threshold sweeps exploit this: as the threshold
+/// descends along a grid, each step's edge set extends the previous step's
+/// prefix, so incremental algorithms can resume from a cursor rather than
+/// restart.
+///
+/// Invariants:
+/// * `all()` is sorted by [`edge_key_desc`]: weight descending, then
+///   `(left, right)` ascending;
+/// * `above(t)` is exactly `{e | e.weight > t}` and is a prefix of `all()`;
+/// * `at_least(t)` is exactly `{e | e.weight >= t}`, also a prefix, and
+///   `above(t)` is a prefix of `at_least(t)`.
+///
+/// [`edge_key_desc`]: crate::float::edge_key_desc
+#[derive(Debug, Clone)]
+pub struct SortedEdges {
+    edges: Vec<Edge>,
+}
+
+impl SortedEdges {
+    /// Sort the graph's edges once — `O(m log m)`.
+    pub fn build(g: &SimilarityGraph) -> Self {
+        let mut edges = g.edges.clone();
+        edges.sort_by(|a, b| {
+            crate::float::edge_key_desc((a.weight, a.left, a.right), (b.weight, b.left, b.right))
+        });
+        SortedEdges { edges }
+    }
+
+    /// All edges, highest weight first.
+    #[inline]
+    pub fn all(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the view is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// The prefix of edges with `weight > t` — one binary search, `O(log m)`.
+    #[inline]
+    pub fn above(&self, t: f64) -> &[Edge] {
+        &self.edges[..self.count_above(t)]
+    }
+
+    /// The prefix of edges with `weight >= t` — one binary search.
+    #[inline]
+    pub fn at_least(&self, t: f64) -> &[Edge] {
+        &self.edges[..self.count_at_least(t)]
+    }
+
+    /// Length of the `weight > t` prefix.
+    #[inline]
+    pub fn count_above(&self, t: f64) -> usize {
+        // Weights descend, so `weight > t` is a monotone prefix predicate.
+        self.edges.partition_point(|e| e.weight > t)
+    }
+
+    /// Length of the `weight >= t` prefix.
+    #[inline]
+    pub fn count_at_least(&self, t: f64) -> usize {
+        self.edges.partition_point(|e| e.weight >= t)
+    }
 }
 
 /// Incremental, validating constructor for [`SimilarityGraph`].
@@ -505,5 +587,58 @@ mod tests {
         let mut g = sample();
         g.map_weights(|w| w / 2.0);
         assert_eq!(g.weight_of(0, 0), Some(0.45));
+    }
+
+    #[test]
+    fn sorted_edges_descend_with_id_tiebreak() {
+        let g = sample();
+        let s = g.sorted_edges();
+        let order: Vec<(u32, u32, f64)> = s
+            .all()
+            .iter()
+            .map(|e| (e.left, e.right, e.weight))
+            .collect();
+        // 0.9, 0.7, 0.5, then the two 0.4 edges by ascending (left, right).
+        assert_eq!(
+            order,
+            vec![
+                (0, 0, 0.9),
+                (1, 1, 0.7),
+                (0, 1, 0.5),
+                (2, 1, 0.4),
+                (2, 2, 0.4),
+            ]
+        );
+        assert_eq!(s.len(), 5);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn sorted_prefixes_match_scans() {
+        let g = sample();
+        let s = g.sorted_edges();
+        for t in [-0.5, 0.0, 0.39, 0.4, 0.5, 0.7, 0.9, 1.0] {
+            assert_eq!(
+                s.count_above(t),
+                g.edges().iter().filter(|e| e.weight > t).count(),
+                "strict prefix at t={t}"
+            );
+            assert_eq!(
+                s.count_at_least(t),
+                g.edges_at_least(t),
+                "inclusive prefix at t={t}"
+            );
+            assert!(s.above(t).iter().all(|e| e.weight > t));
+            assert!(s.at_least(t).iter().all(|e| e.weight >= t));
+            assert!(s.count_above(t) <= s.count_at_least(t));
+        }
+    }
+
+    #[test]
+    fn sorted_edges_of_empty_graph() {
+        let s = GraphBuilder::new(3, 3).build().sorted_edges();
+        assert!(s.is_empty());
+        assert!(s.above(0.0).is_empty());
+        assert!(s.at_least(0.0).is_empty());
     }
 }

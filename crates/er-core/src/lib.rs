@@ -36,7 +36,7 @@ pub mod union_find;
 pub use clustering::{Cluster, Clustering};
 pub use error::{CoreError, Result};
 pub use float::{total_cmp_desc, OrderedF64};
-pub use graph::{Adjacency, Neighbor};
+pub use graph::{Adjacency, Neighbor, SortedEdges};
 pub use graph::{Edge, GraphBuilder, SimilarityGraph};
 pub use ground_truth::GroundTruth;
 pub use hash::{FxHashMap, FxHashSet, FxHasher};

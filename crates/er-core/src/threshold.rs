@@ -25,14 +25,31 @@ impl ThresholdGrid {
         }
     }
 
-    /// A custom grid; `start` and `end` are rounded to multiples of `step`.
+    /// A custom grid; `start` and `end` snap to multiples of `step`,
+    /// **rounding toward the interior** of the requested range.
     ///
-    /// Panics if `step <= 0` or the rounded range is empty.
+    /// A bound that is already a multiple of `step` (within a small relative
+    /// tolerance absorbing float drift, e.g. `0.3 / 0.1`) is kept as-is.
+    /// Any other bound moves inward — `start` up to the next multiple, `end`
+    /// down to the previous one — so that every emitted threshold satisfies
+    /// `start <= t <= end` (up to the snapping tolerance). In particular
+    /// `new(0.024, 1.0, 0.05)` starts at 0.05, never at 0.0: the grid can
+    /// never emit a threshold *below* the requested start.
+    ///
+    /// Panics if `step <= 0`, a bound is non-finite or negative, or the
+    /// snapped range contains no grid point (e.g. `new(0.26, 0.29, 0.05)`).
     pub fn new(start: f64, end: f64, step: f64) -> Self {
         assert!(step > 0.0, "step must be positive");
-        let start_steps = (start / step).round() as u32;
-        let end_steps = (end / step).round() as u32;
-        assert!(start_steps <= end_steps, "empty threshold grid");
+        assert!(
+            start.is_finite() && end.is_finite() && start >= 0.0,
+            "grid bounds must be finite and non-negative"
+        );
+        let start_steps = snap(start / step, f64::ceil);
+        let end_steps = snap(end / step, f64::floor);
+        assert!(
+            start_steps <= end_steps,
+            "empty threshold grid: no multiple of {step} lies in [{start}, {end}]"
+        );
         ThresholdGrid {
             start_steps,
             end_steps,
@@ -61,6 +78,20 @@ impl ThresholdGrid {
         (self.start_steps..=self.end_steps)
             .rev()
             .map(move |i| i as f64 * self.step)
+    }
+}
+
+/// Snap a step ratio to an integer grid index: exact multiples (within a
+/// tolerance covering accumulated float drift) round to the nearest integer;
+/// everything else moves toward the interior via `inward` (`ceil` for the
+/// start bound, `floor` for the end bound).
+fn snap(ratio: f64, inward: impl Fn(f64) -> f64) -> u32 {
+    const TOL: f64 = 1e-9;
+    let nearest = ratio.round();
+    if (ratio - nearest).abs() <= TOL * nearest.abs().max(1.0) {
+        nearest as u32
+    } else {
+        inward(ratio) as u32
     }
 }
 
@@ -109,5 +140,47 @@ mod tests {
     #[should_panic(expected = "step must be positive")]
     fn zero_step_panics() {
         let _ = ThresholdGrid::new(0.0, 1.0, 0.0);
+    }
+
+    #[test]
+    fn off_grid_start_rounds_into_the_interior() {
+        // Previously `(0.024 / 0.05).round()` silently produced 0, emitting
+        // the threshold 0.0 *below* the requested start. Now the start snaps
+        // up to the first in-range multiple.
+        let g = ThresholdGrid::new(0.024, 1.0, 0.05);
+        let v: Vec<f64> = g.values().collect();
+        assert!((v[0] - 0.05).abs() < 1e-12, "got {}", v[0]);
+        assert_eq!(v.len(), 20);
+        assert!(v.iter().all(|&t| t >= 0.024));
+    }
+
+    #[test]
+    fn off_grid_end_rounds_into_the_interior() {
+        let g = ThresholdGrid::new(0.1, 0.27, 0.05);
+        let v: Vec<f64> = g.values().collect();
+        assert!((v.last().unwrap() - 0.25).abs() < 1e-12);
+        assert!(v.iter().all(|&t| t <= 0.27));
+    }
+
+    #[test]
+    fn exact_multiples_are_preserved_despite_float_drift() {
+        // 0.3 / 0.1 = 2.9999999999999996: nearest-integer snapping must keep
+        // the bound rather than pushing it inward to 0.2.
+        let g = ThresholdGrid::new(0.1, 0.3, 0.1);
+        assert_eq!(g.len(), 3);
+        let g = ThresholdGrid::new(0.15, 0.9, 0.05);
+        assert_eq!(g.len(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty threshold grid")]
+    fn range_without_grid_point_panics() {
+        let _ = ThresholdGrid::new(0.26, 0.29, 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_start_panics() {
+        let _ = ThresholdGrid::new(-0.1, 1.0, 0.05);
     }
 }

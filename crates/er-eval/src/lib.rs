@@ -8,7 +8,9 @@
 //!   ([`metrics`]);
 //! * the **threshold sweep**: every algorithm × every threshold in
 //!   0.05..=1.0 step 0.05, selecting the *largest* threshold that achieves
-//!   the highest F1 ([`sweep`]), with BMC evaluated under both bases;
+//!   the highest F1 ([`sweep`]), with BMC evaluated under both bases —
+//!   executed by the incremental, parallel [`SweepEngine`] (sorted-prefix
+//!   edge views, descending-threshold state reuse, scoped worker threads);
 //! * run-time measurement at the optimal threshold over repeated
 //!   executions ([`timing`]);
 //! * macro-averages with standard deviations ([`aggregate`]);
@@ -43,6 +45,6 @@ pub use nemenyi::{nemenyi_critical_distance, render_cd_diagram, NemenyiAnalysis}
 pub use pearson::{pearson, pearson_matrix};
 pub use quartiles::Quartiles;
 pub use report::Table;
-pub use sweep::{sweep_algorithm, sweep_all, SweepResult};
+pub use sweep::{sweep_algorithm, sweep_all, sweep_naive, SweepEngine, SweepResult};
 pub use timing::{time_algorithm, TimingStats};
 pub use transfer::ThresholdTransfer;

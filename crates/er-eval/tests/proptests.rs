@@ -1,12 +1,61 @@
 //! Property tests for the evaluation layer.
 
-use er_core::{GroundTruth, Matching};
+use er_core::{GraphBuilder, GroundTruth, Matching, SimilarityGraph, ThresholdGrid};
 use er_eval::aggregate::mean_std;
 use er_eval::friedman::{friedman_test, ranks_desc};
 use er_eval::metrics::evaluate;
 use er_eval::pearson::pearson;
 use er_eval::quartiles::Quartiles;
+use er_eval::sweep::{sweep_naive, SweepEngine};
+use er_matchers::{AlgorithmConfig, AlgorithmKind, BahConfig, PreparedGraph};
 use proptest::prelude::*;
+
+/// Strategy: a random bipartite graph with up to 10x10 nodes and weights on
+/// the 0.025 half-grid, so roughly half the weights fall *exactly on* paper
+/// grid points (stressing the strict/inclusive boundary semantics) and half
+/// between them (stressing the unchanged-prefix memo of the sweepers).
+fn arb_graph() -> impl Strategy<Value = SimilarityGraph> {
+    (1u32..10, 1u32..10).prop_flat_map(|(nl, nr)| {
+        let max_edges = (nl * nr) as usize;
+        proptest::collection::btree_map((0..nl, 0..nr), 1u32..=40, 0..=max_edges.min(30)).prop_map(
+            move |edges| {
+                let mut b = GraphBuilder::new(nl, nr);
+                for ((l, r), w) in edges {
+                    b.add_edge(l, r, w as f64 * 0.025).unwrap();
+                }
+                b.build()
+            },
+        )
+    })
+}
+
+/// Strategy: a one-to-one ground truth over the collections' id space.
+fn arb_ground_truth() -> impl Strategy<Value = GroundTruth> {
+    proptest::collection::btree_set((0u32..10, 0u32..10), 0..8).prop_map(|pairs| {
+        let mut ls = std::collections::HashSet::new();
+        let mut rs = std::collections::HashSet::new();
+        GroundTruth::new(
+            pairs
+                .iter()
+                .filter(|(l, r)| ls.insert(*l) && rs.insert(*r))
+                .copied()
+                .collect::<Vec<_>>(),
+        )
+    })
+}
+
+/// The sweep configuration for equivalence testing: paper defaults except a
+/// trimmed BAH move budget (the search is equivalence-tested all the same,
+/// just faster).
+fn sweep_config() -> AlgorithmConfig {
+    AlgorithmConfig {
+        bah: BahConfig {
+            max_moves: 300,
+            ..BahConfig::default()
+        },
+        ..AlgorithmConfig::default()
+    }
+}
 
 proptest! {
     #[test]
@@ -95,6 +144,60 @@ proptest! {
         let ys2: Vec<f64> = ys.iter().map(|y| a * y + b).collect();
         let r2 = pearson(&xs, &ys2);
         prop_assert!((r - r2).abs() < 1e-6, "{r} vs {r2}");
+    }
+
+    /// The tentpole guarantee: the incremental parallel [`SweepEngine`] can
+    /// never drift from the protocol. For every algorithm, the engine's
+    /// sweep result (best threshold, precision, recall, F1, pair counts,
+    /// BMC basis) equals a naive per-threshold from-scratch re-run.
+    #[test]
+    fn sweep_engine_is_equivalent_to_naive_rerun(
+        g in arb_graph(),
+        gt in arb_ground_truth(),
+    ) {
+        let pg = PreparedGraph::new(&g);
+        let grid = ThresholdGrid::paper();
+        let config = sweep_config();
+        let engine = SweepEngine::new(config).with_threads(4);
+        let all = engine.sweep_all(&pg, &gt, &grid);
+        prop_assert_eq!(all.len(), 8);
+        for (kind, fast) in AlgorithmKind::ALL.into_iter().zip(&all) {
+            prop_assert_eq!(fast.algorithm, kind);
+            let slow = sweep_naive(kind, &config, &pg, &gt, &grid);
+            prop_assert_eq!(
+                fast.best_threshold, slow.best_threshold,
+                "{} best threshold drifted", kind
+            );
+            prop_assert_eq!(fast.best, slow.best, "{} P/R/F1 drifted", kind);
+            prop_assert_eq!(
+                fast.bmc_basis_right, slow.bmc_basis_right,
+                "{} basis selection drifted", kind
+            );
+        }
+    }
+
+    /// Stronger than result equivalence: at *every* grid point, each
+    /// algorithm's incremental sweeper emits the exact same matching pairs
+    /// as a fresh run at that threshold.
+    #[test]
+    fn incremental_sweepers_emit_identical_matchings(
+        g in arb_graph(),
+    ) {
+        let pg = PreparedGraph::new(&g);
+        let grid = ThresholdGrid::paper();
+        let config = sweep_config();
+        for kind in AlgorithmKind::ALL {
+            let matcher = config.build(kind);
+            let mut sweeper = config.sweeper(kind);
+            for t in grid.values_desc() {
+                let incremental = sweeper.step(&pg, t);
+                let fresh = matcher.run(&pg, t);
+                prop_assert_eq!(
+                    incremental, fresh,
+                    "{} matching drifted at t={}", kind, t
+                );
+            }
+        }
     }
 
     #[test]

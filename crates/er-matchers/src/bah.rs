@@ -19,7 +19,7 @@ use er_core::{FxHashMap, Matching};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::matcher::{Matcher, PreparedGraph};
+use crate::matcher::{EdgeView, Matcher};
 
 /// Budgets and seed for the random search (Table 1's BAH parameters).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,96 +66,119 @@ impl Matcher for Bah {
         "BAH"
     }
 
-    fn run(&self, g: &PreparedGraph<'_>, t: f64) -> Matching {
-        // Orient so the "driver" side is the larger collection, as in the
-        // pseudocode (|V1| > |V2|); ties keep the left side as driver.
-        let left_drives = g.n_left() >= g.n_right();
-        let (n_big, n_small) = if left_drives {
-            (g.n_left() as usize, g.n_right() as usize)
-        } else {
-            (g.n_right() as usize, g.n_left() as usize)
-        };
-        if n_small == 0 {
-            return Matching::empty();
-        }
-
+    fn run_view(&self, view: &EdgeView<'_, '_>) -> Matching {
         // Pair contribution d(big, small): the edge weight when it exceeds
-        // the threshold, else 0 (absent from the map).
+        // the threshold, else 0 (absent from the map). The strict prefix of
+        // the sorted view is exactly the retained edge set.
+        let left_drives = left_drives(view.n_left(), view.n_right());
         let mut d: FxHashMap<(u32, u32), f64> = FxHashMap::default();
-        d.reserve(g.graph().n_edges());
-        for e in g.graph().edges() {
-            if e.weight > t {
-                let key = if left_drives {
-                    (e.left, e.right)
-                } else {
-                    (e.right, e.left)
-                };
-                d.insert(key, e.weight);
-            }
+        d.reserve(view.edges().len());
+        for e in view.edges() {
+            d.insert(driver_key(e.left, e.right, left_drives), e.weight);
         }
-        let contrib = |big: u32, small: Option<u32>| -> f64 {
-            small.and_then(|s| d.get(&(big, s))).copied().unwrap_or(0.0)
-        };
-
-        // Initial assignment: identity pairing of the first n_small drivers.
-        let mut partner: Vec<Option<u32>> = (0..n_big)
-            .map(|i| (i < n_small).then_some(i as u32))
-            .collect();
-
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let start = Instant::now();
-        if n_big >= 2 {
-            for step in 0..self.config.max_moves {
-                // Time check amortized over 256 steps: the budget dominates
-                // only on graphs far larger than a single check's cost.
-                if step % 256 == 0 && start.elapsed() > self.config.time_limit {
-                    break;
-                }
-                let i = rng.gen_range(0..n_big);
-                let j = {
-                    let mut j = rng.gen_range(0..n_big - 1);
-                    if j >= i {
-                        j += 1;
-                    }
-                    j
-                };
-                let (pi, pj) = (partner[i], partner[j]);
-                let mut delta = 0.0;
-                if pi.is_some() {
-                    delta += contrib(j as u32, pi) - contrib(i as u32, pi);
-                }
-                if pj.is_some() {
-                    delta += contrib(i as u32, pj) - contrib(j as u32, pj);
-                }
-                if delta >= 0.0 {
-                    partner.swap(i, j);
-                }
-            }
-        }
-
-        // Emit the pairs whose contribution is positive, i.e. backed by an
-        // actual edge above the threshold.
-        let mut pairs = Vec::new();
-        for (i, p) in partner.iter().enumerate() {
-            if let Some(s) = p {
-                if d.contains_key(&(i as u32, *s)) {
-                    let pair = if left_drives {
-                        (i as u32, *s)
-                    } else {
-                        (*s, i as u32)
-                    };
-                    pairs.push(pair);
-                }
-            }
-        }
-        Matching::new(pairs)
+        search(view.n_left(), view.n_right(), &d, self.config)
     }
+}
+
+/// Orientation: the "driver" side is the larger collection, as in the
+/// pseudocode (|V1| > |V2|); ties keep the left side as driver.
+#[inline]
+pub(crate) fn left_drives(n_left: u32, n_right: u32) -> bool {
+    n_left >= n_right
+}
+
+/// The contribution-map key for an edge under the given orientation.
+#[inline]
+pub(crate) fn driver_key(left: u32, right: u32, left_drives: bool) -> (u32, u32) {
+    if left_drives {
+        (left, right)
+    } else {
+        (right, left)
+    }
+}
+
+/// The swap search proper, over a prebuilt contribution map. Shared by the
+/// one-shot [`Matcher`] path and the incremental
+/// [`crate::sweeper::BahSweeper`], which maintains `d` across grid points.
+pub(crate) fn search(
+    n_left: u32,
+    n_right: u32,
+    d: &FxHashMap<(u32, u32), f64>,
+    config: BahConfig,
+) -> Matching {
+    let left_drives = left_drives(n_left, n_right);
+    let (n_big, n_small) = if left_drives {
+        (n_left as usize, n_right as usize)
+    } else {
+        (n_right as usize, n_left as usize)
+    };
+    if n_small == 0 {
+        return Matching::empty();
+    }
+
+    let contrib = |big: u32, small: Option<u32>| -> f64 {
+        small.and_then(|s| d.get(&(big, s))).copied().unwrap_or(0.0)
+    };
+
+    // Initial assignment: identity pairing of the first n_small drivers.
+    let mut partner: Vec<Option<u32>> = (0..n_big)
+        .map(|i| (i < n_small).then_some(i as u32))
+        .collect();
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let start = Instant::now();
+    if n_big >= 2 {
+        for step in 0..config.max_moves {
+            // Time check amortized over 256 steps: the budget dominates
+            // only on graphs far larger than a single check's cost.
+            if step % 256 == 0 && start.elapsed() > config.time_limit {
+                break;
+            }
+            let i = rng.gen_range(0..n_big);
+            let j = {
+                let mut j = rng.gen_range(0..n_big - 1);
+                if j >= i {
+                    j += 1;
+                }
+                j
+            };
+            let (pi, pj) = (partner[i], partner[j]);
+            let mut delta = 0.0;
+            if pi.is_some() {
+                delta += contrib(j as u32, pi) - contrib(i as u32, pi);
+            }
+            if pj.is_some() {
+                delta += contrib(i as u32, pj) - contrib(j as u32, pj);
+            }
+            if delta >= 0.0 {
+                partner.swap(i, j);
+            }
+        }
+    }
+
+    // Emit the pairs whose contribution is positive, i.e. backed by an
+    // actual edge above the threshold.
+    let mut pairs = Vec::new();
+    for (i, p) in partner.iter().enumerate() {
+        if let Some(s) = p {
+            if d.contains_key(&(i as u32, *s)) {
+                let pair = if left_drives {
+                    (i as u32, *s)
+                } else {
+                    (*s, i as u32)
+                };
+                pairs.push(pair);
+            }
+        }
+    }
+    Matching::new(pairs)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::hungarian::max_weight_matching_value;
+    use crate::matcher::PreparedGraph;
     use crate::testkit::{diamond, figure1};
     use er_core::GraphBuilder;
 

@@ -11,7 +11,7 @@
 
 use er_core::Matching;
 
-use crate::matcher::{Matcher, PreparedGraph};
+use crate::matcher::{EdgeView, Matcher, PreparedGraph};
 
 /// Which collection drives the partition creation (Table 1: "node partition
 /// used as basis"). The paper evaluates both and retains the better; it
@@ -58,8 +58,9 @@ impl Matcher for Bmc {
         "BMC"
     }
 
-    fn run(&self, g: &PreparedGraph<'_>, t: f64) -> Matching {
-        let adj = g.adjacency();
+    fn run_view(&self, view: &EdgeView<'_, '_>) -> Matching {
+        let (g, t) = (view.prepared(), view.threshold());
+        let adj = view.adjacency();
         let mut pairs = Vec::new();
         match self.basis {
             Basis::Left => {

@@ -10,7 +10,7 @@
 
 use er_core::{Matching, UnionFind};
 
-use crate::matcher::{Matcher, PreparedGraph};
+use crate::matcher::{EdgeView, Matcher};
 
 /// Connected Components clustering.
 #[derive(Debug, Clone, Copy, Default)]
@@ -21,22 +21,22 @@ impl Matcher for Cnc {
         "CNC"
     }
 
-    fn run(&self, g: &PreparedGraph<'_>, t: f64) -> Matching {
-        let n_left = g.n_left();
-        let n = n_left as usize + g.n_right() as usize;
+    fn run_view(&self, view: &EdgeView<'_, '_>) -> Matching {
+        let n_left = view.n_left();
+        let n = n_left as usize + view.n_right() as usize;
         let mut uf = UnionFind::new(n);
-        // Right node j maps to union-find id n_left + j.
-        for e in g.graph().edges() {
-            if e.weight >= t {
-                uf.union(e.left, n_left + e.right);
-            }
+        // Algorithm 2 removes edges with sim < t, so the inclusive prefix
+        // is the retained edge set. Right node j maps to id n_left + j.
+        let retained = view.edges_inclusive();
+        for e in retained {
+            uf.union(e.left, n_left + e.right);
         }
         // A valid output pair is a retained edge whose component has exactly
         // two members; since the graph is bipartite and simple, that
         // component is precisely {left, right} of this edge.
         let mut pairs = Vec::new();
-        for e in g.graph().edges() {
-            if e.weight >= t && uf.set_size(e.left) == 2 {
+        for e in retained {
+            if uf.set_size(e.left) == 2 {
                 pairs.push((e.left, e.right));
             }
         }
@@ -47,6 +47,7 @@ impl Matcher for Cnc {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::matcher::PreparedGraph;
     use crate::testkit::{diamond, figure1};
 
     #[test]

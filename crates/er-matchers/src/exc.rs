@@ -11,7 +11,7 @@
 
 use er_core::Matching;
 
-use crate::matcher::{Matcher, PreparedGraph};
+use crate::matcher::{EdgeView, Matcher};
 
 /// Exact (mutual best match) clustering.
 #[derive(Debug, Clone, Copy, Default)]
@@ -22,10 +22,11 @@ impl Matcher for Exc {
         "EXC"
     }
 
-    fn run(&self, g: &PreparedGraph<'_>, t: f64) -> Matching {
-        let adj = g.adjacency();
+    fn run_view(&self, view: &EdgeView<'_, '_>) -> Matching {
+        let t = view.threshold();
+        let adj = view.adjacency();
         let mut pairs = Vec::new();
-        for i in 0..g.n_left() {
+        for i in 0..view.n_left() {
             // Best candidate of i with weight > t (adjacency is sorted).
             let Some(best) = adj.best_left(i, t) else {
                 continue;
@@ -45,6 +46,7 @@ impl Matcher for Exc {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::matcher::PreparedGraph;
     use crate::testkit::{diamond, figure1};
 
     #[test]

@@ -13,32 +13,70 @@
 //! reduction from max-weight matching to the assignment problem (any
 //! matching extends to a full assignment via zero-weight fills).
 
-use er_core::{Matching, SimilarityGraph};
+use er_core::{Edge, Matching, SimilarityGraph};
+
+use crate::matcher::{EdgeView, Matcher};
+
+/// The Hungarian oracle as a [`Matcher`], consuming the prepared graph's
+/// sorted prefix slice like the eight evaluated heuristics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Hungarian;
+
+impl Matcher for Hungarian {
+    fn name(&self) -> &'static str {
+        "HUN"
+    }
+
+    fn run_view(&self, view: &EdgeView<'_, '_>) -> Matching {
+        hungarian_on_edges(view.n_left(), view.n_right(), view.edges())
+    }
+}
 
 /// Compute an exact maximum-weight matching among edges with `weight > t`.
 ///
 /// Complexity `O(s² · l)` where `s = min(|V1|,|V2|)`, `l = max(|V1|,|V2|)`;
 /// memory `O(s · l)`. Intended for tests and ablations on small graphs.
 pub fn hungarian_matching(g: &SimilarityGraph, t: f64) -> Matching {
-    let flip = g.n_left() > g.n_right();
+    let retained: Vec<Edge> = g.edges().iter().copied().filter(|e| e.weight > t).collect();
+    hungarian_on_edges(g.n_left(), g.n_right(), &retained)
+}
+
+/// Exact maximum-weight matching over an explicit retained edge list.
+///
+/// Every edge in `edges` is eligible for the matching, including edges of
+/// weight exactly 0.0 (a negated-cost sentinel would silently drop them, so
+/// retained cells are tracked explicitly instead). Should `edges` contain
+/// duplicate `(left, right)` entries — impossible through [`er_core::GraphBuilder`],
+/// but possible for deserialized or hand-assembled inputs — the **maximum**
+/// weight wins, rather than whichever entry happened to be written last.
+pub fn hungarian_on_edges(n_left: u32, n_right: u32, edges: &[Edge]) -> Matching {
+    let flip = n_left > n_right;
     let (rows, cols) = if flip {
-        (g.n_right() as usize, g.n_left() as usize)
+        (n_right as usize, n_left as usize)
     } else {
-        (g.n_left() as usize, g.n_right() as usize)
+        (n_left as usize, n_right as usize)
     };
     if rows == 0 || cols == 0 {
         return Matching::empty();
     }
 
-    // Dense cost matrix: cost = -weight for retained edges, 0 otherwise.
+    // Dense cost matrix: cost = -weight for retained edges, 0 otherwise —
+    // with the retained cells tracked explicitly so zero-weight edges and
+    // zero-cost fills stay distinguishable.
     let mut cost = vec![0.0f64; rows * cols];
-    for e in g.graph_edges_above(t) {
+    let mut retained = vec![false; rows * cols];
+    for e in edges {
         let (r, c) = if flip {
             (e.right as usize, e.left as usize)
         } else {
             (e.left as usize, e.right as usize)
         };
-        cost[r * cols + c] = -e.weight;
+        let idx = r * cols + c;
+        // Keep the best (most negative) cost on duplicates.
+        if !retained[idx] || -e.weight < cost[idx] {
+            cost[idx] = -e.weight;
+        }
+        retained[idx] = true;
     }
 
     let assignment = solve_assignment(&cost, rows, cols);
@@ -46,7 +84,7 @@ pub fn hungarian_matching(g: &SimilarityGraph, t: f64) -> Matching {
     let mut pairs = Vec::new();
     for (r, c) in assignment.into_iter().enumerate() {
         let Some(c) = c else { continue };
-        if cost[r * cols + c] < 0.0 {
+        if retained[r * cols + c] {
             // Backed by a real edge above the threshold.
             let pair = if flip {
                 (c as u32, r as u32)
@@ -135,22 +173,6 @@ fn solve_assignment(cost: &[f64], rows: usize, cols: usize) -> Vec<Option<usize>
     ans
 }
 
-/// Internal helper so the matrix fill can iterate retained edges without
-/// exposing a public filtered iterator on `SimilarityGraph`.
-trait EdgesAbove {
-    fn graph_edges_above(&self, t: f64) -> Vec<er_core::Edge>;
-}
-
-impl EdgesAbove for SimilarityGraph {
-    fn graph_edges_above(&self, t: f64) -> Vec<er_core::Edge> {
-        self.edges()
-            .iter()
-            .copied()
-            .filter(|e| e.weight > t)
-            .collect()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -235,6 +257,84 @@ mod tests {
         assert!(hungarian_matching(&g, 0.0).is_empty());
         let g = GraphBuilder::new(3, 3).build();
         assert!(hungarian_matching(&g, 0.0).is_empty());
+    }
+
+    #[test]
+    fn zero_weight_edges_survive_degenerate_thresholds() {
+        // A legitimate edge of weight exactly 0.0 is retained under a
+        // negative threshold. The old negated-cost sentinel (`cost < 0.0`)
+        // silently dropped it.
+        let mut b = GraphBuilder::new(1, 1);
+        b.add_edge(0, 0, 0.0).unwrap();
+        let g = b.build();
+        assert_eq!(hungarian_matching(&g, -1.0).pairs(), &[(0, 0)]);
+        // The same edge filtered the same way the matrix fill sees it.
+        let retained: Vec<Edge> = g
+            .edges()
+            .iter()
+            .copied()
+            .filter(|e| e.weight > -1.0)
+            .collect();
+        assert_eq!(retained.len(), 1);
+        assert_eq!(
+            hungarian_on_edges(1, 1, &retained).pairs(),
+            &[(0, 0)],
+            "every retained edge must be assignable"
+        );
+        // At t = 0.0 the edge is strictly filtered out and nothing remains.
+        assert!(hungarian_matching(&g, 0.0).is_empty());
+    }
+
+    #[test]
+    fn zero_weight_edges_in_larger_optimum() {
+        // Mixed zero and positive weights under t = -1: the optimum must
+        // count the 0.0 edge as a real (retained) pair.
+        let mut b = GraphBuilder::new(2, 2);
+        b.add_edge(0, 0, 0.0).unwrap();
+        b.add_edge(1, 1, 0.9).unwrap();
+        let g = b.build();
+        let m = hungarian_matching(&g, -0.5);
+        assert_eq!(m.pairs(), &[(0, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn duplicate_edges_keep_the_maximum_weight() {
+        // GraphBuilder rejects duplicates, but hand-assembled edge lists
+        // (deserialized inputs) may contain them; the dense fill must
+        // keep-max rather than last-write-win.
+        let edges = vec![
+            Edge::new(0, 0, 0.9), // the strong copy first …
+            Edge::new(0, 0, 0.1), // … then a weak duplicate overwriting it
+            Edge::new(0, 1, 0.3),
+            Edge::new(1, 0, 0.3),
+        ];
+        // Keep-max weighs (0,0) at 0.9, so {(0,0)} (0.9) beats
+        // {(0,1), (1,0)} (0.6). Last-write-win would weigh it at 0.1 and
+        // pick the two 0.3 edges instead.
+        let m = hungarian_on_edges(2, 2, &edges);
+        assert_eq!(m.pairs(), &[(0, 0)], "keep-max must make (0,0) optimal");
+        // Flipped orientation (rows > cols) exercises the other fill path.
+        let edges = vec![
+            Edge::new(0, 0, 0.1),
+            Edge::new(0, 0, 0.9), // stronger duplicate second: also kept
+        ];
+        let m = hungarian_on_edges(3, 1, &edges);
+        assert_eq!(m.pairs(), &[(0, 0)]);
+    }
+
+    #[test]
+    fn matcher_impl_agrees_with_standalone() {
+        use crate::matcher::PreparedGraph;
+        let g = figure1();
+        let pg = PreparedGraph::new(&g);
+        for t in [0.0, 0.3, 0.5, 0.6, 0.75] {
+            assert_eq!(
+                Hungarian.run(&pg, t),
+                hungarian_matching(&g, t),
+                "prefix-slice path must agree at t={t}"
+            );
+        }
+        assert_eq!(Hungarian.name(), "HUN");
     }
 
     /// Brute force: enumerate all injective partial assignments (tiny n!).

@@ -21,7 +21,7 @@ use std::collections::VecDeque;
 
 use er_core::Matching;
 
-use crate::matcher::{Matcher, PreparedGraph};
+use crate::matcher::{EdgeView, Matcher};
 
 /// Király's stable-marriage-based clustering.
 #[derive(Debug, Clone, Copy, Default)]
@@ -32,10 +32,11 @@ impl Matcher for Krc {
         "KRC"
     }
 
-    fn run(&self, g: &PreparedGraph<'_>, t: f64) -> Matching {
-        let adj = g.adjacency();
-        let n_left = g.n_left() as usize;
-        let n_right = g.n_right() as usize;
+    fn run_view(&self, view: &EdgeView<'_, '_>) -> Matching {
+        let t = view.threshold();
+        let adj = view.adjacency();
+        let n_left = view.n_left() as usize;
+        let n_right = view.n_right() as usize;
 
         // Per-man cursor into his preference list (adjacency, already sorted
         // by descending weight). `prefs_len` caps at the last edge > t.
@@ -45,7 +46,7 @@ impl Matcher for Krc {
         let mut fiance: Vec<Option<u32>> = vec![None; n_right];
         let mut fiance_sim = vec![0.0f64; n_right];
 
-        let mut free: VecDeque<u32> = (0..g.n_left()).collect();
+        let mut free: VecDeque<u32> = (0..view.n_left()).collect();
 
         while let Some(i) = free.pop_front() {
             let prefs = adj.left(i);
@@ -109,6 +110,7 @@ fn accepts(new_sim: f64, cur_sim: f64, new_promoted: bool, cur_promoted: bool) -
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::matcher::PreparedGraph;
     use crate::testkit::{diamond, figure1};
     use er_core::GraphBuilder;
 

@@ -39,20 +39,22 @@ pub mod qlearn;
 pub mod rca;
 pub mod registry;
 pub mod rsr;
+pub mod sweeper;
 pub mod umc;
 
 pub use bah::{Bah, BahConfig};
 pub use bmc::{Basis, Bmc};
 pub use cnc::Cnc;
 pub use exc::Exc;
-pub use hungarian::{hungarian_matching, max_weight_matching_value};
+pub use hungarian::{hungarian_matching, hungarian_on_edges, max_weight_matching_value, Hungarian};
 pub use krc::Krc;
-pub use matcher::{Matcher, PreparedGraph};
+pub use matcher::{EdgeView, Matcher, PreparedGraph};
 pub use mcf::mcf_matching;
 pub use qlearn::{QLearnConfig, QMatcher};
 pub use rca::Rca;
 pub use registry::{AlgorithmConfig, AlgorithmKind};
 pub use rsr::Rsr;
+pub use sweeper::{BahSweeper, RestartSweeper, ThresholdSweeper, UmcSweeper};
 pub use umc::{Umc, UmcStrategy};
 
 #[cfg(test)]

@@ -1,20 +1,27 @@
 //! The matcher abstraction shared by all eight algorithms.
 
-use er_core::{Adjacency, Matching, SimilarityGraph};
+use er_core::{Adjacency, Edge, Matching, SimilarityGraph, SortedEdges};
 
-/// A similarity graph bundled with its CSR adjacency, built once and shared
-/// by every algorithm run (the paper times the algorithms on an
-/// already-loaded graph; adjacency construction is part of graph loading).
+/// A similarity graph bundled with its CSR adjacency **and** its
+/// weight-descending sorted edge view, built once and shared by every
+/// algorithm run (the paper times the algorithms on an already-loaded graph;
+/// view construction is part of graph loading).
+///
+/// The sorted view turns "edges above `t`" into a prefix slice found by one
+/// binary search ([`PreparedGraph::edges_above`]), which is what makes
+/// threshold sweeps incremental: see [`crate::sweeper`].
 pub struct PreparedGraph<'g> {
     graph: &'g SimilarityGraph,
     adjacency: Adjacency,
+    sorted: SortedEdges,
 }
 
 impl<'g> PreparedGraph<'g> {
-    /// Build the adjacency view for `graph`.
+    /// Build the adjacency and sorted-edge views for `graph`.
     pub fn new(graph: &'g SimilarityGraph) -> Self {
         PreparedGraph {
             adjacency: graph.adjacency(),
+            sorted: graph.sorted_edges(),
             graph,
         }
     }
@@ -31,6 +38,35 @@ impl<'g> PreparedGraph<'g> {
         &self.adjacency
     }
 
+    /// The weight-descending sorted edge view.
+    #[inline]
+    pub fn sorted_edges(&self) -> &SortedEdges {
+        &self.sorted
+    }
+
+    /// The prefix of edges with `weight > t` (descending weight order).
+    #[inline]
+    pub fn edges_above(&self, t: f64) -> &[Edge] {
+        self.sorted.above(t)
+    }
+
+    /// The prefix of edges with `weight >= t` (descending weight order).
+    #[inline]
+    pub fn edges_at_least(&self, t: f64) -> &[Edge] {
+        self.sorted.at_least(t)
+    }
+
+    /// The threshold-filtered view matchers consume; two binary searches.
+    #[inline]
+    pub fn view(&self, t: f64) -> EdgeView<'_, 'g> {
+        EdgeView {
+            g: self,
+            t,
+            above_end: self.sorted.count_above(t),
+            at_least_end: self.sorted.count_at_least(t),
+        }
+    }
+
     /// `|V1|`.
     #[inline]
     pub fn n_left(&self) -> u32 {
@@ -44,19 +80,102 @@ impl<'g> PreparedGraph<'g> {
     }
 }
 
+/// A threshold-filtered edge view over a [`PreparedGraph`]: the input every
+/// matching algorithm consumes.
+///
+/// Construction costs two binary searches on the sorted edge array; the
+/// filtered edge sets are then **prefix slices** returned in `O(1)` — no
+/// per-run `O(m)` re-scan, no per-run sort. Both cut-offs are exposed
+/// because the algorithms disagree on boundary semantics: UMC/RSR/BAH/BMC/
+/// EXC/KRC retain edges with `weight > t` ([`EdgeView::edges`]) while
+/// CNC/RCA retain `weight >= t` ([`EdgeView::edges_inclusive`]).
+pub struct EdgeView<'a, 'g> {
+    g: &'a PreparedGraph<'g>,
+    t: f64,
+    above_end: usize,
+    at_least_end: usize,
+}
+
+impl<'a, 'g> EdgeView<'a, 'g> {
+    /// The similarity threshold this view was cut at.
+    #[inline]
+    pub fn threshold(&self) -> f64 {
+        self.t
+    }
+
+    /// The prepared graph behind the view.
+    #[inline]
+    pub fn prepared(&self) -> &'a PreparedGraph<'g> {
+        self.g
+    }
+
+    /// The underlying graph.
+    #[inline]
+    pub fn graph(&self) -> &'g SimilarityGraph {
+        self.g.graph
+    }
+
+    /// The adjacency view (not threshold-filtered; algorithms early-break on
+    /// the descending per-node weight order).
+    #[inline]
+    pub fn adjacency(&self) -> &'a Adjacency {
+        &self.g.adjacency
+    }
+
+    /// Edges with `weight > t`, highest weight first (prefix slice).
+    #[inline]
+    pub fn edges(&self) -> &'a [Edge] {
+        &self.g.sorted.all()[..self.above_end]
+    }
+
+    /// Edges with `weight >= t`, highest weight first (prefix slice).
+    #[inline]
+    pub fn edges_inclusive(&self) -> &'a [Edge] {
+        &self.g.sorted.all()[..self.at_least_end]
+    }
+
+    /// Lengths of the strict and inclusive prefixes, `(above, at_least)`.
+    ///
+    /// For a fixed graph, every deterministic matcher's output is a function
+    /// of this pair alone (the threshold only ever enters via `> t` / `>= t`
+    /// comparisons), which is what makes the unchanged-prefix memo of
+    /// [`crate::sweeper::RestartSweeper`] sound.
+    #[inline]
+    pub fn prefix_lens(&self) -> (usize, usize) {
+        (self.above_end, self.at_least_end)
+    }
+
+    /// `|V1|`.
+    #[inline]
+    pub fn n_left(&self) -> u32 {
+        self.g.n_left()
+    }
+
+    /// `|V2|`.
+    #[inline]
+    pub fn n_right(&self) -> u32 {
+        self.g.n_right()
+    }
+}
+
 /// A bipartite graph matching algorithm.
 ///
 /// Implementations must return a [`Matching`] that
 /// (a) satisfies the unique-mapping constraint, and
 /// (b) only contains pairs that are edges of the input graph with weight
 ///     above (or equal to, for CNC/RCA — see each algorithm's docs) the
-///     threshold `t`.
+///     view's threshold.
 pub trait Matcher {
     /// Short algorithm acronym as used in the paper (e.g. `"UMC"`).
     fn name(&self) -> &'static str;
 
+    /// Run the algorithm on a threshold-filtered edge view.
+    fn run_view(&self, view: &EdgeView<'_, '_>) -> Matching;
+
     /// Run the algorithm on `g` with similarity threshold `t`.
-    fn run(&self, g: &PreparedGraph<'_>, t: f64) -> Matching;
+    fn run(&self, g: &PreparedGraph<'_>, t: f64) -> Matching {
+        self.run_view(&g.view(t))
+    }
 }
 
 #[cfg(test)]
@@ -74,5 +193,43 @@ mod tests {
         // Adjacency of A5 (id 4): B1 (0.9) before B3 (0.6).
         let n: Vec<u32> = pg.adjacency().left(4).iter().map(|x| x.node).collect();
         assert_eq!(n, vec![0, 2]);
+    }
+
+    #[test]
+    fn view_exposes_prefix_slices() {
+        let g = figure1();
+        let pg = PreparedGraph::new(&g);
+        let v = pg.view(0.6);
+        assert_eq!(v.threshold(), 0.6);
+        // Strict: 0.9 and 0.7 exceed 0.6; inclusive adds the three 0.6s.
+        assert_eq!(v.edges().len(), 2);
+        assert_eq!(v.edges_inclusive().len(), 5);
+        assert_eq!(v.prefix_lens(), (2, 5));
+        // Prefixes are themselves weight-descending.
+        for w in v.edges_inclusive().windows(2) {
+            assert!(w[0].weight >= w[1].weight);
+        }
+        assert_eq!(v.n_left(), 5);
+        assert_eq!(v.n_right(), 4);
+        assert_eq!(v.graph().n_edges(), 6);
+        assert_eq!(v.prepared().n_left(), 5);
+    }
+
+    #[test]
+    fn view_prefixes_match_pruned_graph() {
+        let g = figure1();
+        let pg = PreparedGraph::new(&g);
+        for t in [0.0, 0.3, 0.5, 0.6, 0.75, 0.9, 1.0] {
+            assert_eq!(
+                pg.edges_at_least(t).len(),
+                g.pruned(t).n_edges(),
+                "inclusive prefix at t={t}"
+            );
+            assert_eq!(
+                pg.edges_above(t).len(),
+                g.edges().iter().filter(|e| e.weight > t).count(),
+                "strict prefix at t={t}"
+            );
+        }
     }
 }

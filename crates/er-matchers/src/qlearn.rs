@@ -19,12 +19,11 @@
 //! episodes on the same graph, then a greedy rollout of the learned policy
 //! produces the matching. Deterministic for a fixed seed.
 
-use er_core::float::edge_key_desc;
 use er_core::Matching;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::matcher::{Matcher, PreparedGraph};
+use crate::matcher::{EdgeView, Matcher};
 
 /// Hyper-parameters of the Q-learning matcher.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -140,15 +139,13 @@ impl Matcher for QMatcher {
         "QRL"
     }
 
-    fn run(&self, g: &PreparedGraph<'_>, t: f64) -> Matching {
-        let mut edges: Vec<(f64, u32, u32)> = g
-            .graph()
+    fn run_view(&self, view: &EdgeView<'_, '_>) -> Matching {
+        // The view's strict prefix is already in edge_key_desc order.
+        let edges: Vec<(f64, u32, u32)> = view
             .edges()
             .iter()
-            .filter(|e| e.weight > t)
             .map(|e| (e.weight, e.left, e.right))
             .collect();
-        edges.sort_by(|a, b| edge_key_desc(*a, *b));
         if edges.is_empty() {
             return Matching::empty();
         }
@@ -156,8 +153,8 @@ impl Matcher for QMatcher {
         let b = self.config.buckets;
         let mut q = vec![0.0f64; b * b * ACTIONS];
         let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let n_left = g.n_left() as usize;
-        let n_right = g.n_right() as usize;
+        let n_left = view.n_left() as usize;
+        let n_right = view.n_right() as usize;
 
         // Train with linearly decaying exploration …
         for ep in 0..self.config.episodes {
@@ -173,6 +170,7 @@ impl Matcher for QMatcher {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::matcher::PreparedGraph;
     use crate::testkit::{diamond, figure1};
     use crate::umc::Umc;
 

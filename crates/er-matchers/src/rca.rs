@@ -17,7 +17,7 @@
 
 use er_core::Matching;
 
-use crate::matcher::{Matcher, PreparedGraph};
+use crate::matcher::{EdgeView, Matcher};
 
 /// Row-Column Assignment clustering.
 #[derive(Debug, Clone, Copy, Default)]
@@ -28,10 +28,11 @@ impl Matcher for Rca {
         "RCA"
     }
 
-    fn run(&self, g: &PreparedGraph<'_>, t: f64) -> Matching {
-        let adj = g.adjacency();
-        let (pairs1, d1) = scan(g.n_left(), g.n_right(), |i| adj.left(i), false);
-        let (pairs2, d2) = scan(g.n_right(), g.n_left(), |j| adj.right(j), true);
+    fn run_view(&self, view: &EdgeView<'_, '_>) -> Matching {
+        let t = view.threshold();
+        let adj = view.adjacency();
+        let (pairs1, d1) = scan(view.n_left(), view.n_right(), |i| adj.left(i), false);
+        let (pairs2, d2) = scan(view.n_right(), view.n_left(), |j| adj.right(j), true);
         let (winner, winner_weights) = if d1 >= d2 { pairs1 } else { pairs2 }.into_iter().fold(
             (Vec::new(), Vec::new()),
             |mut acc, (pair, w)| {
@@ -82,6 +83,7 @@ fn scan<'a>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::matcher::PreparedGraph;
     use crate::testkit::figure1;
     use er_core::GraphBuilder;
 

@@ -16,6 +16,7 @@ use crate::krc::Krc;
 use crate::matcher::{Matcher, PreparedGraph};
 use crate::rca::Rca;
 use crate::rsr::Rsr;
+use crate::sweeper::{BahSweeper, RestartSweeper, ThresholdSweeper, UmcSweeper};
 use crate::umc::Umc;
 
 /// The eight bipartite graph matching algorithms of the paper, in its
@@ -174,6 +175,19 @@ impl AlgorithmConfig {
     /// Run `kind` directly on a prepared graph.
     pub fn run(&self, kind: AlgorithmKind, g: &PreparedGraph<'_>, t: f64) -> Matching {
         self.build(kind).run(g, t)
+    }
+
+    /// Instantiate the **incremental descending-threshold sweeper** for
+    /// `kind` (see [`crate::sweeper`]): UMC resumes its greedy scan, BAH
+    /// maintains its contribution map, everything else restarts per grid
+    /// point with an unchanged-prefix memo. Result-equivalent to calling
+    /// [`Matcher::run`] fresh at every threshold.
+    pub fn sweeper(&self, kind: AlgorithmKind) -> Box<dyn ThresholdSweeper> {
+        match kind {
+            AlgorithmKind::Umc => Box::new(UmcSweeper::new()),
+            AlgorithmKind::Bah => Box::new(BahSweeper::new(self.bah)),
+            _ => Box::new(RestartSweeper::new(self.build(kind))),
+        }
     }
 }
 

@@ -24,7 +24,7 @@
 
 use er_core::Matching;
 
-use crate::matcher::{Matcher, PreparedGraph};
+use crate::matcher::{EdgeView, Matcher, PreparedGraph};
 
 /// Ricochet Sequential Rippling clustering.
 #[derive(Debug, Clone, Copy, Default)]
@@ -35,8 +35,8 @@ impl Matcher for Rsr {
         "RSR"
     }
 
-    fn run(&self, g: &PreparedGraph<'_>, t: f64) -> Matching {
-        State::new(g, t).run()
+    fn run_view(&self, view: &EdgeView<'_, '_>) -> Matching {
+        State::new(view.prepared(), view.threshold()).run()
     }
 }
 

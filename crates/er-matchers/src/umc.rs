@@ -7,13 +7,17 @@
 //! CCER's unique-mapping constraint. Equivalent to FAMER's CLIP clustering
 //! in the two-source case.
 //!
-//! Complexity: `O(m log m)` for the sort.
+//! Complexity: `O(m log m)` for the sort — paid **once** by
+//! [`PreparedGraph`], whose sorted view already hands the retained edges to
+//! UMC in exactly the greedy consumption order; a run is then `O(m')` over
+//! the retained prefix. The greedy scan is also resumable across descending
+//! thresholds (see [`crate::sweeper::UmcSweeper`]).
 
 use er_core::float::edge_key_desc;
 use er_core::Matching;
 use std::collections::BinaryHeap;
 
-use crate::matcher::{Matcher, PreparedGraph};
+use crate::matcher::{EdgeView, Matcher, PreparedGraph};
 
 /// How UMC orders the retained edges. Both strategies produce the *same*
 /// matching; they are separated so the ablation bench can compare constants.
@@ -49,24 +53,21 @@ impl Matcher for Umc {
         "UMC"
     }
 
-    fn run(&self, g: &PreparedGraph<'_>, t: f64) -> Matching {
+    fn run_view(&self, view: &EdgeView<'_, '_>) -> Matching {
         match self.strategy {
-            UmcStrategy::Sort => run_sorted(g, t),
-            UmcStrategy::Heap => run_heap(g, t),
+            UmcStrategy::Sort => run_sorted(view),
+            UmcStrategy::Heap => run_heap(view),
         }
     }
 }
 
-fn run_sorted(g: &PreparedGraph<'_>, t: f64) -> Matching {
-    let mut edges: Vec<(f64, u32, u32)> = g
-        .graph()
-        .edges()
-        .iter()
-        .filter(|e| e.weight > t)
-        .map(|e| (e.weight, e.left, e.right))
-        .collect();
-    edges.sort_by(|a, b| edge_key_desc(*a, *b));
-    greedy(g, edges.into_iter())
+fn run_sorted(view: &EdgeView<'_, '_>) -> Matching {
+    // The sorted view's prefix is already in edge_key_desc order — exactly
+    // the greedy consumption order; no per-run filter or sort remains.
+    greedy(
+        view.prepared(),
+        view.edges().iter().map(|e| (e.weight, e.left, e.right)),
+    )
 }
 
 /// Max-heap key: weight desc, then (left, right) asc — same total order as
@@ -90,12 +91,11 @@ impl Ord for HeapEdge {
     }
 }
 
-fn run_heap(g: &PreparedGraph<'_>, t: f64) -> Matching {
-    let mut heap: BinaryHeap<HeapEdge> = g
-        .graph()
+fn run_heap(view: &EdgeView<'_, '_>) -> Matching {
+    let g = view.prepared();
+    let mut heap: BinaryHeap<HeapEdge> = view
         .edges()
         .iter()
-        .filter(|e| e.weight > t)
         .map(|e| HeapEdge(e.weight, e.left, e.right))
         .collect();
     let mut matched_left = vec![false; g.n_left() as usize];
