@@ -18,7 +18,7 @@ use er_eval::cleaning::{dedup_duplicate_inputs, is_noisy_graph, GraphFingerprint
 use er_eval::sweep::{SweepEngine, SweepResult};
 use er_eval::timing::time_algorithm;
 use er_matchers::{AlgorithmConfig, AlgorithmKind, BahConfig, Basis, PreparedGraph};
-use er_pipeline::{build_graph, PipelineConfig, SimilarityFunction};
+use er_pipeline::{PipelineConfig, SimilarityFunction};
 
 use crate::records::{AlgoOutcome, CleaningSummary, GraphRecord, RunData};
 
@@ -205,6 +205,9 @@ fn evaluate_dataset(
     let slots: Mutex<Vec<Option<Option<Evaluated>>>> = Mutex::new((0..n).map(|_| None).collect());
     let next = std::sync::atomic::AtomicUsize::new(0);
     let workers = cfg.pipeline.effective_threads().min(n.max(1));
+    // This loop already fans out across functions, so each build gets a
+    // divided intra-graph thread budget (see PipelineConfig::divided_among).
+    let pipeline_cfg = cfg.pipeline.divided_among(workers);
     let algo_config = AlgorithmConfig {
         bah: cfg.bah,
         bmc_basis: Basis::Left,
@@ -218,7 +221,11 @@ fn evaluate_dataset(
                     break;
                 }
                 let function = functions[idx].clone();
-                let graph = build_graph(dataset, &function, &cfg.pipeline);
+                // Prepared construction: the sorted edge view is emitted
+                // with the graph and handed to the sweep via from_sorted,
+                // so exactly one view build happens per graph.
+                let built = er_pipeline::build_prepared(dataset, &function, &pipeline_cfg);
+                let graph = built.graph;
                 // Cleaning rule 1: all true matches at zero weight.
                 let sep = WeightSeparation::of(&graph, &dataset.ground_truth);
                 if sep.all_matches_zero() {
@@ -226,7 +233,7 @@ fn evaluate_dataset(
                     continue;
                 }
                 let stats = GraphStats::of(&graph);
-                let pg = PreparedGraph::new(&graph);
+                let pg = PreparedGraph::from_sorted(&graph, built.sorted);
                 // This loop already fans out across similarity functions, so
                 // the engine runs its units serially (still incremental);
                 // nesting its default thread pool here would oversubscribe.

@@ -6,15 +6,18 @@
 //! each dataset, the token-blocking → purging → filtering stack is scored
 //! on comparisons suggested, pairs completeness (PC), reduction ratio
 //! (RR), and the best UMC F1 still reachable on the blocked graph —
-//! versus the paper's unblocked protocol on the identical weights.
+//! versus the paper's unblocked protocol. Blocked graphs come from the
+//! candidate-restricted construction path (`build_graph_restricted`),
+//! i.e. a true blocking-first pipeline: only candidate pairs are scored
+//! and min-max normalization runs over the restricted score set.
 
 use er_core::{FxHashSet, ThresholdGrid};
 use er_datasets::{Dataset, DatasetId};
 use er_eval::evaluate;
 use er_eval::report::Table;
 use er_matchers::{AlgorithmConfig, AlgorithmKind, PreparedGraph};
-use er_pipeline::blocking::{blocking_quality, restrict_graph, token_blocking};
-use er_pipeline::{build_graph, PipelineConfig, SimilarityFunction};
+use er_pipeline::blocking::{blocking_quality, token_blocking};
+use er_pipeline::{build_graph, build_graph_restricted, PipelineConfig, SimilarityFunction};
 use er_textsim::{NGramScheme, VectorMeasure};
 
 /// Run the blocking cost/benefit sweep on fresh small-scale datasets.
@@ -70,7 +73,16 @@ pub fn render(seed: u64) -> String {
         ];
         for (stage, cands) in stages {
             let q = blocking_quality(&cands, &dataset.ground_truth, nl, nr);
-            let blocked = restrict_graph(&full, &cands);
+            // Blocking-first pipeline: score only the candidate pairs
+            // (normalized over the restricted score set) instead of
+            // building the full graph and discarding most of it.
+            let blocked = build_graph_restricted(
+                &dataset.left,
+                &dataset.right,
+                &function,
+                &cands,
+                &PipelineConfig::default(),
+            );
             t.row(vec![
                 dataset.label().to_string(),
                 stage.to_string(),

@@ -296,6 +296,30 @@ impl GraphBuilder {
         Ok(())
     }
 
+    /// Merge one worker shard of edges — the bulk ingestion path of
+    /// parallel graph construction, where each worker scores a disjoint
+    /// left-entity range and emits a local edge buffer.
+    ///
+    /// Equivalent to calling [`GraphBuilder::add_edge`] for every edge in
+    /// iteration order (so merging shards in deterministic shard order
+    /// reproduces the serial insertion order exactly), with one up-front
+    /// capacity reservation. Shards from disjoint left-ranges cannot
+    /// collide, but the duplicate check still runs so the builder's
+    /// invariants hold for arbitrary input.
+    pub fn merge_shard<I>(&mut self, edges: I) -> Result<()>
+    where
+        I: IntoIterator<Item = Edge>,
+        I::IntoIter: ExactSizeIterator,
+    {
+        let edges = edges.into_iter();
+        self.edges.reserve(edges.len());
+        self.seen.reserve(edges.len());
+        for e in edges {
+            self.add_edge(e.left, e.right, e.weight)?;
+        }
+        Ok(())
+    }
+
     /// Number of edges added so far.
     pub fn len(&self) -> usize {
         self.edges.len()
@@ -506,6 +530,46 @@ mod tests {
         assert!(b.add_edge(0, 0, f64::NAN).is_err());
         assert!(b.add_edge(0, 0, 0.0).is_ok());
         assert!(b.add_edge(0, 1, 1.0).is_ok());
+    }
+
+    #[test]
+    fn merge_shard_matches_sequential_adds() {
+        // Two disjoint left-range shards, merged in shard order.
+        let shards = vec![
+            vec![
+                Edge::new(0, 0, 0.9),
+                Edge::new(0, 1, 0.5),
+                Edge::new(1, 1, 0.7),
+            ],
+            vec![Edge::new(2, 2, 0.4), Edge::new(2, 1, 0.4)],
+        ];
+        let mut merged = GraphBuilder::new(3, 3);
+        for shard in shards {
+            merged.merge_shard(shard).unwrap();
+        }
+        let merged = merged.build();
+        let serial = sample();
+        assert_eq!(merged.n_edges(), serial.n_edges());
+        for (a, b) in merged.edges().iter().zip(serial.edges()) {
+            assert_eq!((a.left, a.right), (b.left, b.right));
+            assert_eq!(a.weight.to_bits(), b.weight.to_bits());
+        }
+    }
+
+    #[test]
+    fn merge_shard_still_validates() {
+        let mut b = GraphBuilder::new(2, 2);
+        b.merge_shard(vec![Edge::new(0, 0, 0.5)]).unwrap();
+        assert_eq!(
+            b.merge_shard(vec![Edge::new(1, 1, 0.4), Edge::new(0, 0, 0.6)]),
+            Err(CoreError::DuplicateEdge { left: 0, right: 0 }),
+            "cross-shard duplicates are caught"
+        );
+        assert_eq!(
+            b.merge_shard(vec![Edge::new(1, 0, 1.5)]),
+            Err(CoreError::InvalidWeight(1.5))
+        );
+        assert_eq!(b.len(), 2, "edges before the failing one are kept");
     }
 
     #[test]

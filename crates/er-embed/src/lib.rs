@@ -38,3 +38,26 @@ pub use dense::DenseVector;
 pub use fasttext::FastTextLike;
 pub use measures::{EmbeddingModel, SemanticMeasure};
 pub use wmd::relaxed_wmd;
+
+#[cfg(test)]
+mod sync_tests {
+    //! `er-pipeline`'s parallel construction engine shares encoders,
+    //! dense vectors and the interned WMD token table immutably across
+    //! scoped worker threads. Pin the `Send + Sync` contract at compile
+    //! time so an accidental interior-mutability addition fails here, not
+    //! in a downstream crate.
+    use super::*;
+    use crate::measures::Encoder;
+
+    fn assert_shared_read_side<T: Send + Sync>() {}
+
+    #[test]
+    fn read_side_structures_are_send_sync() {
+        assert_shared_read_side::<Encoder>();
+        assert_shared_read_side::<FastTextLike>();
+        assert_shared_read_side::<AlbertLike>();
+        assert_shared_read_side::<DenseVector>();
+        assert_shared_read_side::<EmbeddingModel>();
+        assert_shared_read_side::<SemanticMeasure>();
+    }
+}

@@ -26,6 +26,30 @@ impl<'g> PreparedGraph<'g> {
         }
     }
 
+    /// Wrap a graph together with a sorted edge view built elsewhere —
+    /// e.g. emitted by `er-pipeline`'s construction engine — skipping the
+    /// `O(m log m)` re-sort [`PreparedGraph::new`] would pay.
+    ///
+    /// `sorted` must be the weight-descending view of exactly `graph`'s
+    /// edge set (debug builds verify the edge count and the descending
+    /// weight order).
+    pub fn from_sorted(graph: &'g SimilarityGraph, sorted: SortedEdges) -> Self {
+        debug_assert_eq!(
+            sorted.len(),
+            graph.n_edges(),
+            "sorted view must cover the graph's edges"
+        );
+        debug_assert!(
+            sorted.all().windows(2).all(|w| w[0].weight >= w[1].weight),
+            "sorted view must descend by weight"
+        );
+        PreparedGraph {
+            adjacency: graph.adjacency(),
+            sorted,
+            graph,
+        }
+    }
+
     /// The underlying graph.
     #[inline]
     pub fn graph(&self) -> &SimilarityGraph {
@@ -193,6 +217,21 @@ mod tests {
         // Adjacency of A5 (id 4): B1 (0.9) before B3 (0.6).
         let n: Vec<u32> = pg.adjacency().left(4).iter().map(|x| x.node).collect();
         assert_eq!(n, vec![0, 2]);
+    }
+
+    #[test]
+    fn from_sorted_matches_new() {
+        let g = figure1();
+        let fresh = PreparedGraph::new(&g);
+        let reused = PreparedGraph::from_sorted(&g, g.sorted_edges());
+        for t in [0.0, 0.3, 0.6, 0.9] {
+            assert_eq!(
+                fresh.view(t).prefix_lens(),
+                reused.view(t).prefix_lens(),
+                "views agree at t={t}"
+            );
+        }
+        assert_eq!(fresh.sorted_edges().len(), reused.sorted_edges().len());
     }
 
     #[test]

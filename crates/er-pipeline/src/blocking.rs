@@ -86,10 +86,21 @@ impl BlockCollection {
 
     /// **Block filtering**: keep each entity only in the `⌈ratio·|Bₑ|⌉`
     /// smallest (by cardinality) of its blocks; a comparison survives only
-    /// if *both* entities keep the block. `ratio` is clamped to `(0, 1]`;
-    /// `1.0` is a no-op.
+    /// if *both* entities keep the block. `ratio` must lie in `(0, 1]`
+    /// (values above 1 are clamped down); `1.0` is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `ratio <= 0.0` or NaN. A non-positive ratio has no
+    /// meaningful reading — the old behaviour silently clamped it to
+    /// `f64::MIN_POSITIVE`, turning an invalid argument into a near-zero
+    /// filter that kept exactly one block per entity.
     pub fn filter(self, ratio: f64) -> Self {
-        let ratio = ratio.clamp(f64::MIN_POSITIVE, 1.0);
+        assert!(
+            ratio > 0.0,
+            "block-filtering ratio must be positive, got {ratio}"
+        );
+        let ratio = ratio.min(1.0);
         if ratio >= 1.0 {
             return self;
         }
@@ -265,8 +276,14 @@ pub fn blocking_quality(
     }
 }
 
-/// Restrict a scored similarity graph to the blocked candidate pairs —
-/// the graph the matching step would have seen had blocking preceded it.
+/// Restrict a scored similarity graph to the blocked candidate pairs,
+/// keeping the full graph's normalized weights — the tool for isolating
+/// blocking's effect on the *matching algorithms* over identical weights.
+///
+/// A production pipeline that blocks **before** scoring should use
+/// [`crate::graphgen::build_graph_restricted`] instead: it scores only the
+/// candidate pairs (instead of building the full graph and discarding most
+/// of it) and normalizes over the restricted score set.
 pub fn restrict_graph(g: &SimilarityGraph, candidates: &FxHashSet<(u32, u32)>) -> SimilarityGraph {
     let mut b = GraphBuilder::with_capacity(g.n_left(), g.n_right(), candidates.len());
     for e in g.edges() {
@@ -375,6 +392,35 @@ mod tests {
         let before = bc.candidate_pairs();
         let after = bc.filter(1.0).candidate_pairs();
         assert_eq!(before, after);
+    }
+
+    #[test]
+    fn filter_ratio_above_one_clamps_to_noop() {
+        let (l, r) = sample();
+        let bc = token_blocking(&l, &r);
+        let before = bc.candidate_pairs();
+        assert_eq!(bc.filter(1.5).candidate_pairs(), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio must be positive")]
+    fn filter_rejects_zero_ratio() {
+        let (l, r) = sample();
+        token_blocking(&l, &r).filter(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio must be positive")]
+    fn filter_rejects_negative_ratio() {
+        let (l, r) = sample();
+        token_blocking(&l, &r).filter(-0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio must be positive")]
+    fn filter_rejects_nan_ratio() {
+        let (l, r) = sample();
+        token_blocking(&l, &r).filter(f64::NAN);
     }
 
     #[test]

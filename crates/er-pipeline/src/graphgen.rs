@@ -6,11 +6,41 @@
 //! inverted index enumerates the positive pairs *exactly*; edit-distance
 //! and semantic measures score the full Cartesian product.
 //!
-//! All weights are min-max normalized to `[0, 1]` (also putting the
-//! unbounded ARCS scores on the common threshold grid).
+//! All weights are min-max normalized with a `0.0` floor: non-negative raw
+//! scores map onto `(0, 1]` (the weakest retained edge keeps a positive
+//! weight instead of being demoted to an exact-0 non-edge), and graphs
+//! with negative raw scores (`keep_positive_only: false` under signed
+//! measures) fall back to plain min-max over `[lo, hi]`.
+//!
+//! # The parallel construction engine
+//!
+//! Construction of one graph is split into a serial **prepare** phase that
+//! builds the immutable read-side structures — DF indexes, the inverted
+//! index, encoded vectors / n-gram graphs, the interned WMD token table —
+//! and a **score** phase that shards the left-entity rows over
+//! `cfg.effective_threads()` crossbeam scoped workers. Workers share the
+//! prepared state read-only (plain `&` reads, no locks on the hot path),
+//! keep their own scratch (probe stamps, WMD distance caches), claim
+//! contiguous row chunks through an atomic cursor, and emit local triple
+//! buffers that a deterministic chunk-order merge feeds into
+//! [`GraphBuilder`] — so results are **bit-identical** to the serial path
+//! for any thread count (property-tested in `tests/graphgen_props.rs`).
+//!
+//! [`build_graph_restricted`] reuses the same scorers to score *only*
+//! blocked candidate pairs — the production "blocking first" pipeline —
+//! instead of building the full graph and discarding most of it, and
+//! [`build_prepared`] emits the sorted edge view alongside the graph, so
+//! construction and a following threshold sweep
+//! (`er_matchers::PreparedGraph::from_sorted`) share exactly one
+//! `O(m log m)` sort between them instead of each deriving its own view.
 
-use er_core::{FxHashMap, GraphBuilder, SimilarityGraph};
-use er_datasets::{Dataset, EntityCollection};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crossbeam::thread;
+use parking_lot::Mutex;
+
+use er_core::{Edge, FxHashMap, FxHashSet, GraphBuilder, SimilarityGraph, SortedEdges};
+use er_datasets::{Dataset, EntityCollection, EntityProfile};
 use er_embed::{DenseVector, SemanticMeasure};
 use er_textsim::{
     DfIndex, GraphSimilarity, NGramGraph, NGramScheme, SchemaBasedMeasure, SparseVector,
@@ -21,6 +51,9 @@ use serde::Serialize;
 use crate::config::PipelineConfig;
 use crate::taxonomy::{SemanticScope, SimilarityFunction};
 
+/// A scored pair before normalization: `(left, right, raw weight)`.
+type Triple = (u32, u32, f64);
+
 /// A similarity graph together with the function that produced it.
 #[derive(Debug, Clone, Serialize)]
 pub struct GeneratedGraph {
@@ -28,6 +61,20 @@ pub struct GeneratedGraph {
     pub function: SimilarityFunction,
     /// The normalized similarity graph.
     pub graph: SimilarityGraph,
+}
+
+/// A constructed graph bundled with its weight-descending sorted edge
+/// view, produced in one pass by [`build_prepared`] /
+/// [`build_prepared_over`]. Feed it to
+/// `er_matchers::PreparedGraph::from_sorted`: the sort happens once, at
+/// emit time, and every downstream consumer (sweeps, stats, caches)
+/// shares this view instead of deriving its own.
+#[derive(Debug, Clone)]
+pub struct BuiltGraph {
+    /// The normalized similarity graph.
+    pub graph: SimilarityGraph,
+    /// The graph's edges sorted once at emit time (weight descending).
+    pub sorted: SortedEdges,
 }
 
 /// Build the similarity graph of `function` over `dataset`.
@@ -42,326 +89,869 @@ pub fn build_graph(
 /// Build the similarity graph of `function` over two bare collections.
 ///
 /// The entry point for *imported* data (`er_datasets::import`): everything
-/// `build_graph` does — inverted-index candidate generation, scoring,
-/// min-max normalization — without requiring a generated [`Dataset`].
+/// `build_graph` does — inverted-index candidate generation, parallel
+/// scoring, min-max normalization — without requiring a generated
+/// [`Dataset`].
 pub fn build_graph_over(
     left: &EntityCollection,
     right: &EntityCollection,
     function: &SimilarityFunction,
     cfg: &PipelineConfig,
 ) -> SimilarityGraph {
-    let triples = match function {
+    finalize(
+        left,
+        right,
+        score_shards(left, right, function, None, cfg),
+        cfg,
+    )
+}
+
+/// Build the similarity graph of `function` over `dataset`, emitting the
+/// sorted edge view alongside (see [`BuiltGraph`]).
+pub fn build_prepared(
+    dataset: &Dataset,
+    function: &SimilarityFunction,
+    cfg: &PipelineConfig,
+) -> BuiltGraph {
+    build_prepared_over(&dataset.left, &dataset.right, function, cfg)
+}
+
+/// [`build_graph_over`] plus the sorted edge view, sorted once at emit
+/// time. Total work equals `build_graph_over` + `PreparedGraph::new`
+/// (one sort either way); the point is ownership — construction emits
+/// the view, so callers that need the graph *and* a prepared sweep input
+/// cannot end up sorting twice.
+pub fn build_prepared_over(
+    left: &EntityCollection,
+    right: &EntityCollection,
+    function: &SimilarityFunction,
+    cfg: &PipelineConfig,
+) -> BuiltGraph {
+    let graph = build_graph_over(left, right, function, cfg);
+    let sorted = graph.sorted_edges();
+    BuiltGraph { graph, sorted }
+}
+
+/// Build the similarity graph of `function` restricted to the blocked
+/// `candidates` — the **blocking-first** pipeline.
+///
+/// Only candidate pairs are scored, so the cost is `O(|candidates|)`
+/// comparisons instead of the full (or inverted-index) enumeration the
+/// unrestricted build pays; under the paper's protocol
+/// (`keep_positive_only: true`, the default) the edge set equals
+/// `restrict_graph(build_graph_over(..), candidates)`'s. (With the
+/// positivity filter off, zero-scored candidate pairs are additionally
+/// retained here — the inverted-index full build cannot enumerate
+/// non-term-sharing pairs at all.) Min-max normalization runs over the
+/// *restricted* score set — exactly what a pipeline that blocks before
+/// scoring would see — so absolute weights can differ from the
+/// build-full-then-restrict flow, which normalizes over the full graph
+/// first. Candidate pairs referencing out-of-range entity ids are
+/// ignored.
+pub fn build_graph_restricted(
+    left: &EntityCollection,
+    right: &EntityCollection,
+    function: &SimilarityFunction,
+    candidates: &FxHashSet<(u32, u32)>,
+    cfg: &PipelineConfig,
+) -> SimilarityGraph {
+    let lists = CandidateLists::new(left.len() as u32, right.len() as u32, candidates);
+    finalize(
+        left,
+        right,
+        score_shards(left, right, function, Some(&lists), cfg),
+        cfg,
+    )
+}
+
+/// Per-left-entity candidate lists (right ids, ascending) for the
+/// restricted path, built once from the blocked pair set.
+struct CandidateLists {
+    rows: Vec<Vec<u32>>,
+}
+
+impl CandidateLists {
+    fn new(n_left: u32, n_right: u32, pairs: &FxHashSet<(u32, u32)>) -> Self {
+        let mut rows = vec![Vec::new(); n_left as usize];
+        for &(l, r) in pairs {
+            if l < n_left && r < n_right {
+                rows[l as usize].push(r);
+            }
+        }
+        for row in &mut rows {
+            row.sort_unstable();
+        }
+        CandidateLists { rows }
+    }
+
+    #[inline]
+    fn row(&self, left_id: u32) -> &[u32] {
+        self.rows
+            .get(left_id as usize)
+            .map_or(&[], |row| row.as_slice())
+    }
+}
+
+/// One taxonomy branch's scoring state: prepared serially, then shared
+/// read-only (`Sync`) by every worker of the score phase.
+///
+/// Each scorer carries the `keep_positive` flag
+/// (`cfg.keep_positive_only`): when set (the paper's protocol), only
+/// positive-similarity pairs are emitted; when cleared, every *enumerated*
+/// pair is emitted regardless of sign, so zero or negative raw scores
+/// (e.g. semantic cosine) reach `finalize`'s plain min-max fallback. Note
+/// the inverted-index branches enumerate only term-sharing pairs either
+/// way — that is their exactness guarantee, not a positivity filter.
+trait RowScorer: Sync {
+    /// Per-worker mutable scratch (probe stamps, distance caches).
+    type Scratch: Send;
+
+    /// Number of left rows to score.
+    fn n_rows(&self) -> usize;
+
+    /// Fresh scratch for one worker.
+    fn scratch(&self) -> Self::Scratch;
+
+    /// Score row `row` against the scorer's own candidate enumeration
+    /// (inverted index or full cross product), pushing retained triples.
+    fn score_row(&self, row: usize, scratch: &mut Self::Scratch, out: &mut Vec<Triple>);
+
+    /// Score row `row` against the blocked candidates only.
+    fn score_row_restricted(
+        &self,
+        row: usize,
+        cands: &CandidateLists,
+        scratch: &mut Self::Scratch,
+        out: &mut Vec<Triple>,
+    );
+}
+
+/// The parallel score phase: shard rows into contiguous chunks, fan the
+/// chunks out over scoped workers, and return the per-chunk triple buffers
+/// **in chunk order** — which equals the serial row order, making the
+/// merge deterministic and the whole build bit-identical to `threads: 1`.
+fn run_rows<S: RowScorer>(
+    scorer: &S,
+    cands: Option<&CandidateLists>,
+    cfg: &PipelineConfig,
+) -> Vec<Vec<Triple>> {
+    let n_rows = scorer.n_rows();
+    if n_rows == 0 {
+        return Vec::new();
+    }
+    let threads = cfg.effective_threads().clamp(1, n_rows);
+    let chunk = cfg.effective_chunk_rows(n_rows, threads);
+    let n_chunks = n_rows.div_ceil(chunk);
+
+    let score_chunk = |c: usize, scratch: &mut S::Scratch| -> Vec<Triple> {
+        let mut buf = Vec::new();
+        for row in c * chunk..((c + 1) * chunk).min(n_rows) {
+            match cands {
+                None => scorer.score_row(row, scratch, &mut buf),
+                Some(lists) => scorer.score_row_restricted(row, lists, scratch, &mut buf),
+            }
+        }
+        buf
+    };
+
+    if threads == 1 {
+        let mut scratch = scorer.scratch();
+        return (0..n_chunks)
+            .map(|c| score_chunk(c, &mut scratch))
+            .collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<Vec<Triple>>>> = Mutex::new((0..n_chunks).map(|_| None).collect());
+    thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| {
+                let mut scratch = scorer.scratch();
+                loop {
+                    let c = next.fetch_add(1, Ordering::Relaxed);
+                    if c >= n_chunks {
+                        break;
+                    }
+                    let buf = score_chunk(c, &mut scratch);
+                    slots.lock()[c] = Some(buf);
+                }
+            });
+        }
+    })
+    .expect("construction worker panicked");
+    slots
+        .into_inner()
+        .into_iter()
+        .map(|slot| slot.expect("every chunk scored"))
+        .collect()
+}
+
+/// Prepare the branch's scorer and run the score phase.
+fn score_shards(
+    left: &EntityCollection,
+    right: &EntityCollection,
+    function: &SimilarityFunction,
+    cands: Option<&CandidateLists>,
+    cfg: &PipelineConfig,
+) -> Vec<Vec<Triple>> {
+    match function {
         SimilarityFunction::SchemaBasedSyntactic { attribute, measure } => {
-            schema_based_syntactic(left, right, attribute, *measure)
+            let s = SchemaBasedScorer::prepare(
+                left,
+                right,
+                attribute,
+                *measure,
+                cfg.keep_positive_only,
+            );
+            run_rows(&s, cands, cfg)
         }
         SimilarityFunction::SchemaAgnosticVector { scheme, measure } => {
-            schema_agnostic_vector(left, right, *scheme, *measure)
+            let s = VectorScorer::prepare(left, right, *scheme, *measure, cfg.keep_positive_only);
+            run_rows(&s, cands, cfg)
         }
         SimilarityFunction::SchemaAgnosticGraph { scheme, measure } => {
-            schema_agnostic_graph(left, right, *scheme, *measure)
+            let s =
+                GraphModelScorer::prepare(left, right, *scheme, *measure, cfg.keep_positive_only);
+            run_rows(&s, cands, cfg)
         }
         SimilarityFunction::Semantic {
             model,
             measure,
             scope,
-        } => semantic(left, right, *model, *measure, scope, cfg),
-    };
-    finalize(left, right, triples, cfg)
+        } => {
+            let enc = model.encoder();
+            if measure.needs_token_vectors() {
+                let s = WmdScorer::prepare(left, right, &enc, scope, cfg);
+                run_rows(&s, cands, cfg)
+            } else {
+                let s = DenseSemanticScorer::prepare(
+                    left,
+                    right,
+                    &enc,
+                    *measure,
+                    scope,
+                    cfg.keep_positive_only,
+                );
+                run_rows(&s, cands, cfg)
+            }
+        }
+    }
 }
 
-/// Filter non-positive weights, min-max normalize and build the graph.
+/// Filter non-positive weights, min-max normalize with a `0.0` floor, and
+/// merge the shards into the graph (deterministic shard order).
+///
+/// The floor keeps non-negative measures on `(0, 1]`: with plain min-max
+/// the weakest retained edge maps to exactly `0.0`, silently demoting a
+/// positive-similarity pair to a non-edge at every positive grid
+/// threshold. Only genuinely negative raw scores (possible under
+/// `keep_positive_only: false`) shift the lower bound below zero.
 fn finalize(
     left: &EntityCollection,
     right: &EntityCollection,
-    mut triples: Vec<(u32, u32, f64)>,
+    mut shards: Vec<Vec<Triple>>,
     cfg: &PipelineConfig,
 ) -> SimilarityGraph {
     if cfg.keep_positive_only {
-        triples.retain(|&(_, _, w)| w > 0.0);
+        for shard in &mut shards {
+            shard.retain(|&(_, _, w)| w > 0.0);
+        }
     }
-    // Min-max normalization over the raw scores.
     let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
-    for &(_, _, w) in &triples {
-        lo = lo.min(w);
-        hi = hi.max(w);
+    for shard in &shards {
+        for &(_, _, w) in shard {
+            lo = lo.min(w);
+            hi = hi.max(w);
+        }
     }
+    let lo = lo.min(0.0);
     let span = hi - lo;
     let n1 = left.len() as u32;
     let n2 = right.len() as u32;
-    let mut b = GraphBuilder::with_capacity(n1, n2, triples.len());
-    for (l, r, w) in triples {
-        let w = if span <= f64::EPSILON {
-            1.0
-        } else {
-            ((w - lo) / span).clamp(0.0, 1.0)
-        };
-        b.add_edge(l, r, w)
-            .expect("generator emits valid unique edges");
+    let n_edges = shards.iter().map(Vec::len).sum();
+    let mut b = GraphBuilder::with_capacity(n1, n2, n_edges);
+    for shard in shards {
+        b.merge_shard(shard.into_iter().map(|(l, r, w)| {
+            let w = if span <= f64::EPSILON {
+                1.0
+            } else {
+                ((w - lo) / span).clamp(0.0, 1.0)
+            };
+            Edge::new(l, r, w)
+        }))
+        .expect("scorers emit valid unique edges");
     }
     b.build()
 }
 
+// ---------------------------------------------------------------------------
+// Schema-based syntactic: all-pairs scoring of one attribute.
+// ---------------------------------------------------------------------------
+
 /// All-pairs scoring of one attribute with a string measure. Entities
-/// missing the attribute produce no edges.
-fn schema_based_syntactic(
-    left: &EntityCollection,
-    right: &EntityCollection,
-    attribute: &str,
+/// missing the attribute produce no edges; rows range over the left
+/// entities that *have* the attribute.
+struct SchemaBasedScorer<'a> {
+    left: Vec<(u32, &'a str)>,
+    right: Vec<(u32, &'a str)>,
+    /// Right attribute values by entity id, for candidate lookups.
+    right_by_id: FxHashMap<u32, &'a str>,
     measure: SchemaBasedMeasure,
-) -> Vec<(u32, u32, f64)> {
-    let left: Vec<(u32, &str)> = left
-        .profiles
-        .iter()
-        .filter_map(|p| p.value(attribute).map(|v| (p.id, v)))
-        .collect();
-    let right: Vec<(u32, &str)> = right
-        .profiles
-        .iter()
-        .filter_map(|p| p.value(attribute).map(|v| (p.id, v)))
-        .collect();
-    let mut out = Vec::new();
-    for &(li, lv) in &left {
-        for &(ri, rv) in &right {
-            let w = measure.similarity(lv, rv);
-            if w > 0.0 {
+    keep_positive: bool,
+}
+
+impl<'a> SchemaBasedScorer<'a> {
+    fn prepare(
+        left: &'a EntityCollection,
+        right: &'a EntityCollection,
+        attribute: &str,
+        measure: SchemaBasedMeasure,
+        keep_positive: bool,
+    ) -> Self {
+        let with_attr = |c: &'a EntityCollection| -> Vec<(u32, &'a str)> {
+            c.profiles
+                .iter()
+                .filter_map(|p| p.value(attribute).map(|v| (p.id, v)))
+                .collect()
+        };
+        let right = with_attr(right);
+        SchemaBasedScorer {
+            left: with_attr(left),
+            right_by_id: right.iter().copied().collect(),
+            right,
+            measure,
+            keep_positive,
+        }
+    }
+}
+
+impl RowScorer for SchemaBasedScorer<'_> {
+    type Scratch = ();
+
+    fn n_rows(&self) -> usize {
+        self.left.len()
+    }
+
+    fn scratch(&self) -> Self::Scratch {}
+
+    fn score_row(&self, row: usize, _scratch: &mut (), out: &mut Vec<Triple>) {
+        let (li, lv) = self.left[row];
+        for &(ri, rv) in &self.right {
+            let w = self.measure.similarity(lv, rv);
+            if w > 0.0 || !self.keep_positive {
                 out.push((li, ri, w));
             }
         }
     }
-    out
+
+    fn score_row_restricted(
+        &self,
+        row: usize,
+        cands: &CandidateLists,
+        _scratch: &mut (),
+        out: &mut Vec<Triple>,
+    ) {
+        let (li, lv) = self.left[row];
+        for &r in cands.row(li) {
+            if let Some(rv) = self.right_by_id.get(&r) {
+                let w = self.measure.similarity(lv, rv);
+                if w > 0.0 || !self.keep_positive {
+                    out.push((li, r, w));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Schema-agnostic n-gram vector models: inverted-index scoring.
+// ---------------------------------------------------------------------------
+
+/// Per-worker probe scratch: a stamp array deduplicates inverted-index
+/// hits per row (mark = row + 1, unique per row, so workers never need to
+/// clear it).
+struct ProbeScratch {
+    stamp: Vec<u32>,
+    candidates: Vec<u32>,
 }
 
 /// Inverted-index scoring of n-gram vector models.
-fn schema_agnostic_vector(
-    left: &EntityCollection,
-    right: &EntityCollection,
-    scheme: NGramScheme,
+struct VectorScorer {
+    left_vecs: Vec<SparseVector>,
+    right_vecs: Vec<SparseVector>,
+    df_left: DfIndex,
+    df_right: DfIndex,
+    /// Inverted index over right-side terms.
+    index: FxHashMap<u64, Vec<u32>>,
     measure: VectorMeasure,
-) -> Vec<(u32, u32, f64)> {
-    let model = VectorModel::new(scheme);
-    let weighting = measure.weighting();
+    keep_positive: bool,
+}
 
-    // Per-collection DF indexes (ARCS) and the union index (TF-IDF).
-    let mut df_left = DfIndex::new();
-    let mut df_right = DfIndex::new();
-    let mut df_union = DfIndex::new();
-    let texts_left: Vec<String> = left.profiles.iter().map(|p| p.all_values_text()).collect();
-    let texts_right: Vec<String> = right.profiles.iter().map(|p| p.all_values_text()).collect();
-    for t in &texts_left {
-        let terms: Vec<u64> = model.term_frequencies(t).keys().copied().collect();
-        df_left.add_document(terms.iter().copied());
-        df_union.add_document(terms);
-    }
-    for t in &texts_right {
-        let terms: Vec<u64> = model.term_frequencies(t).keys().copied().collect();
-        df_right.add_document(terms.iter().copied());
-        df_union.add_document(terms);
-    }
+impl VectorScorer {
+    fn prepare(
+        left: &EntityCollection,
+        right: &EntityCollection,
+        scheme: NGramScheme,
+        measure: VectorMeasure,
+        keep_positive: bool,
+    ) -> Self {
+        let model = VectorModel::new(scheme);
+        let weighting = measure.weighting();
 
-    let vec_of = |text: &String| -> SparseVector { model.vector(text, weighting, Some(&df_union)) };
-    let left_vecs: Vec<SparseVector> = texts_left.iter().map(vec_of).collect();
-    let right_vecs: Vec<SparseVector> = texts_right.iter().map(vec_of).collect();
+        // Per-collection DF indexes (ARCS) and the union index (TF-IDF).
+        let mut df_left = DfIndex::new();
+        let mut df_right = DfIndex::new();
+        let mut df_union = DfIndex::new();
+        let texts_left: Vec<String> = left.profiles.iter().map(|p| p.all_values_text()).collect();
+        let texts_right: Vec<String> = right.profiles.iter().map(|p| p.all_values_text()).collect();
+        for t in &texts_left {
+            let terms: Vec<u64> = model.term_frequencies(t).keys().copied().collect();
+            df_left.add_document(terms.iter().copied());
+            df_union.add_document(terms);
+        }
+        for t in &texts_right {
+            let terms: Vec<u64> = model.term_frequencies(t).keys().copied().collect();
+            df_right.add_document(terms.iter().copied());
+            df_union.add_document(terms);
+        }
 
-    // Inverted index over right-side terms.
-    let mut index: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
-    for (j, v) in right_vecs.iter().enumerate() {
-        for &(t, _) in v.terms() {
-            index.entry(t).or_default().push(j as u32);
+        let vec_of =
+            |text: &String| -> SparseVector { model.vector(text, weighting, Some(&df_union)) };
+        let left_vecs: Vec<SparseVector> = texts_left.iter().map(vec_of).collect();
+        let right_vecs: Vec<SparseVector> = texts_right.iter().map(vec_of).collect();
+
+        let mut index: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+        for (j, v) in right_vecs.iter().enumerate() {
+            for &(t, _) in v.terms() {
+                index.entry(t).or_default().push(j as u32);
+            }
+        }
+
+        VectorScorer {
+            left_vecs,
+            right_vecs,
+            df_left,
+            df_right,
+            index,
+            measure,
+            keep_positive,
         }
     }
 
-    let dfs = Some((&df_left, &df_right));
-    let mut out = Vec::new();
-    let mut stamp = vec![0u32; right_vecs.len()];
-    let mut candidates: Vec<u32> = Vec::new();
-    for (i, lv) in left_vecs.iter().enumerate() {
-        let mark = i as u32 + 1;
-        candidates.clear();
+    #[inline]
+    fn dfs(&self) -> Option<(&DfIndex, &DfIndex)> {
+        Some((&self.df_left, &self.df_right))
+    }
+}
+
+impl RowScorer for VectorScorer {
+    type Scratch = ProbeScratch;
+
+    fn n_rows(&self) -> usize {
+        self.left_vecs.len()
+    }
+
+    fn scratch(&self) -> ProbeScratch {
+        ProbeScratch {
+            stamp: vec![0u32; self.right_vecs.len()],
+            candidates: Vec::new(),
+        }
+    }
+
+    fn score_row(&self, row: usize, scratch: &mut ProbeScratch, out: &mut Vec<Triple>) {
+        let lv = &self.left_vecs[row];
+        let mark = row as u32 + 1;
+        scratch.candidates.clear();
         for &(t, _) in lv.terms() {
-            if let Some(js) = index.get(&t) {
+            if let Some(js) = self.index.get(&t) {
                 for &j in js {
-                    if stamp[j as usize] != mark {
-                        stamp[j as usize] = mark;
-                        candidates.push(j);
+                    if scratch.stamp[j as usize] != mark {
+                        scratch.stamp[j as usize] = mark;
+                        scratch.candidates.push(j);
                     }
                 }
             }
         }
-        for &j in &candidates {
-            let w = measure.similarity(lv, &right_vecs[j as usize], dfs);
-            if w > 0.0 {
-                out.push((i as u32, j, w));
+        for &j in &scratch.candidates {
+            let w = self
+                .measure
+                .similarity(lv, &self.right_vecs[j as usize], self.dfs());
+            if w > 0.0 || !self.keep_positive {
+                out.push((row as u32, j, w));
             }
         }
     }
-    out
+
+    fn score_row_restricted(
+        &self,
+        row: usize,
+        cands: &CandidateLists,
+        _scratch: &mut ProbeScratch,
+        out: &mut Vec<Triple>,
+    ) {
+        let lv = &self.left_vecs[row];
+        for &j in cands.row(row as u32) {
+            let w = self
+                .measure
+                .similarity(lv, &self.right_vecs[j as usize], self.dfs());
+            if w > 0.0 || !self.keep_positive {
+                out.push((row as u32, j, w));
+            }
+        }
+    }
 }
+
+// ---------------------------------------------------------------------------
+// Schema-agnostic n-gram graph models: inverted-index scoring by edge key.
+// ---------------------------------------------------------------------------
 
 /// Inverted-index scoring of n-gram graph models (indexed by graph edges).
-fn schema_agnostic_graph(
-    left: &EntityCollection,
-    right: &EntityCollection,
-    scheme: NGramScheme,
+struct GraphModelScorer {
+    left_graphs: Vec<NGramGraph>,
+    right_graphs: Vec<NGramGraph>,
+    index: FxHashMap<(u64, u64), Vec<u32>>,
     measure: GraphSimilarity,
-) -> Vec<(u32, u32, f64)> {
-    let left_graphs: Vec<NGramGraph> = left
-        .profiles
-        .iter()
-        .map(|p| NGramGraph::from_values(p.values(), scheme))
-        .collect();
-    let right_graphs: Vec<NGramGraph> = right
-        .profiles
-        .iter()
-        .map(|p| NGramGraph::from_values(p.values(), scheme))
-        .collect();
+    keep_positive: bool,
+}
 
-    // Index right-side graphs by their edge keys.
-    let mut index: FxHashMap<(u64, u64), Vec<u32>> = FxHashMap::default();
-    for (j, g) in right_graphs.iter().enumerate() {
-        for k in g.edge_keys() {
-            index.entry(k).or_default().push(j as u32);
+impl GraphModelScorer {
+    fn prepare(
+        left: &EntityCollection,
+        right: &EntityCollection,
+        scheme: NGramScheme,
+        measure: GraphSimilarity,
+        keep_positive: bool,
+    ) -> Self {
+        let graphs_of = |c: &EntityCollection| -> Vec<NGramGraph> {
+            c.profiles
+                .iter()
+                .map(|p| NGramGraph::from_values(p.values(), scheme))
+                .collect()
+        };
+        let right_graphs = graphs_of(right);
+        let mut index: FxHashMap<(u64, u64), Vec<u32>> = FxHashMap::default();
+        for (j, g) in right_graphs.iter().enumerate() {
+            for k in g.edge_keys() {
+                index.entry(k).or_default().push(j as u32);
+            }
+        }
+        GraphModelScorer {
+            left_graphs: graphs_of(left),
+            right_graphs,
+            index,
+            measure,
+            keep_positive,
+        }
+    }
+}
+
+impl RowScorer for GraphModelScorer {
+    type Scratch = ProbeScratch;
+
+    fn n_rows(&self) -> usize {
+        self.left_graphs.len()
+    }
+
+    fn scratch(&self) -> ProbeScratch {
+        ProbeScratch {
+            stamp: vec![0u32; self.right_graphs.len()],
+            candidates: Vec::new(),
         }
     }
 
-    let mut out = Vec::new();
-    let mut stamp = vec![0u32; right_graphs.len()];
-    let mut candidates: Vec<u32> = Vec::new();
-    for (i, lg) in left_graphs.iter().enumerate() {
-        let mark = i as u32 + 1;
-        candidates.clear();
+    fn score_row(&self, row: usize, scratch: &mut ProbeScratch, out: &mut Vec<Triple>) {
+        let lg = &self.left_graphs[row];
+        let mark = row as u32 + 1;
+        scratch.candidates.clear();
         for k in lg.edge_keys() {
-            if let Some(js) = index.get(&k) {
+            if let Some(js) = self.index.get(&k) {
                 for &j in js {
-                    if stamp[j as usize] != mark {
-                        stamp[j as usize] = mark;
-                        candidates.push(j);
+                    if scratch.stamp[j as usize] != mark {
+                        scratch.stamp[j as usize] = mark;
+                        scratch.candidates.push(j);
                     }
                 }
             }
         }
-        for &j in &candidates {
-            let w = measure.similarity(lg, &right_graphs[j as usize]);
-            if w > 0.0 {
-                out.push((i as u32, j, w));
+        for &j in &scratch.candidates {
+            let w = self.measure.similarity(lg, &self.right_graphs[j as usize]);
+            if w > 0.0 || !self.keep_positive {
+                out.push((row as u32, j, w));
             }
         }
     }
-    out
+
+    fn score_row_restricted(
+        &self,
+        row: usize,
+        cands: &CandidateLists,
+        _scratch: &mut ProbeScratch,
+        out: &mut Vec<Triple>,
+    ) {
+        let lg = &self.left_graphs[row];
+        for &j in cands.row(row as u32) {
+            let w = self.measure.similarity(lg, &self.right_graphs[j as usize]);
+            if w > 0.0 || !self.keep_positive {
+                out.push((row as u32, j, w));
+            }
+        }
+    }
 }
 
-/// All-pairs semantic scoring.
-fn semantic(
-    left: &EntityCollection,
-    right: &EntityCollection,
-    model: er_embed::EmbeddingModel,
-    measure: SemanticMeasure,
-    scope: &SemanticScope,
-    cfg: &PipelineConfig,
-) -> Vec<(u32, u32, f64)> {
-    let enc = model.encoder();
-    let text_of = |p: &er_datasets::EntityProfile| -> String {
-        match scope {
-            SemanticScope::SchemaBased { attribute } => {
-                p.value(attribute).unwrap_or_default().to_string()
-            }
-            SemanticScope::SchemaAgnostic => p.all_values_text(),
-        }
-    };
+// ---------------------------------------------------------------------------
+// Semantic: dense all-pairs scoring (cosine / Euclidean).
+// ---------------------------------------------------------------------------
 
-    let mut out = Vec::new();
-    if measure.needs_token_vectors() {
-        return word_movers_cached(left, right, &enc, &text_of, cfg);
-    } else {
-        let encode_all = |profiles: &[er_datasets::EntityProfile]| -> Vec<DenseVector> {
-            profiles.iter().map(|p| enc.encode(&text_of(p))).collect()
+/// The text a semantic function compares for one profile.
+fn scoped_text(p: &EntityProfile, scope: &SemanticScope) -> String {
+    match scope {
+        SemanticScope::SchemaBased { attribute } => {
+            p.value(attribute).unwrap_or_default().to_string()
+        }
+        SemanticScope::SchemaAgnostic => p.all_values_text(),
+    }
+}
+
+/// All-pairs semantic scoring over pre-encoded text vectors.
+struct DenseSemanticScorer {
+    left: Vec<DenseVector>,
+    right: Vec<DenseVector>,
+    measure: SemanticMeasure,
+    keep_positive: bool,
+}
+
+impl DenseSemanticScorer {
+    fn prepare(
+        left: &EntityCollection,
+        right: &EntityCollection,
+        enc: &er_embed::measures::Encoder,
+        measure: SemanticMeasure,
+        scope: &SemanticScope,
+        keep_positive: bool,
+    ) -> Self {
+        let encode_all = |c: &EntityCollection| -> Vec<DenseVector> {
+            c.profiles
+                .iter()
+                .map(|p| enc.encode(&scoped_text(p, scope)))
+                .collect()
         };
-        let left = encode_all(&left.profiles);
-        let right = encode_all(&right.profiles);
-        for (i, a) in left.iter().enumerate() {
-            if a.is_zero() {
+        DenseSemanticScorer {
+            left: encode_all(left),
+            right: encode_all(right),
+            measure,
+            keep_positive,
+        }
+    }
+}
+
+impl RowScorer for DenseSemanticScorer {
+    type Scratch = ();
+
+    fn n_rows(&self) -> usize {
+        self.left.len()
+    }
+
+    fn scratch(&self) -> Self::Scratch {}
+
+    fn score_row(&self, row: usize, _scratch: &mut (), out: &mut Vec<Triple>) {
+        let a = &self.left[row];
+        if a.is_zero() {
+            return;
+        }
+        for (j, b) in self.right.iter().enumerate() {
+            if b.is_zero() {
                 continue;
             }
-            for (j, b) in right.iter().enumerate() {
-                if b.is_zero() {
-                    continue;
-                }
-                let w = measure.similarity_vectors(a, b);
-                if w > 0.0 {
-                    out.push((i as u32, j as u32, w));
-                }
+            let w = self.measure.similarity_vectors(a, b);
+            if w > 0.0 || !self.keep_positive {
+                out.push((row as u32, j as u32, w));
             }
         }
     }
-    out
+
+    fn score_row_restricted(
+        &self,
+        row: usize,
+        cands: &CandidateLists,
+        _scratch: &mut (),
+        out: &mut Vec<Triple>,
+    ) {
+        let a = &self.left[row];
+        if a.is_zero() {
+            return;
+        }
+        for &j in cands.row(row as u32) {
+            let b = &self.right[j as usize];
+            if b.is_zero() {
+                continue;
+            }
+            let w = self.measure.similarity_vectors(a, b);
+            if w > 0.0 || !self.keep_positive {
+                out.push((row as u32, j, w));
+            }
+        }
+    }
 }
 
-/// Word Mover's similarity over all pairs, with a global token-distance
-/// cache: contextual token vectors repeat heavily across profiles, so each
-/// distinct (token, token) distance is computed once. Bags are truncated to
-/// `cfg.wmd_token_cap` tokens (documented substitution — relaxed WMD is
-/// quadratic in bag size).
-fn word_movers_cached(
-    left: &EntityCollection,
-    right: &EntityCollection,
-    enc: &er_embed::measures::Encoder,
-    text_of: &dyn Fn(&er_datasets::EntityProfile) -> String,
-    cfg: &PipelineConfig,
-) -> Vec<(u32, u32, f64)> {
-    // Intern token vectors: identical vectors share one id. Contextual
-    // encoders produce per-(token, context) vectors, interned by the
-    // (prev, token, next) signature embedded in the vector bits.
-    let mut vectors: Vec<DenseVector> = Vec::new();
-    let mut intern: FxHashMap<Vec<u32>, u32> = FxHashMap::default();
-    let mut bag_of = |p: &er_datasets::EntityProfile| -> Vec<u32> {
-        let mut toks = enc.token_vectors(&text_of(p));
-        toks.truncate(cfg.wmd_token_cap);
-        toks.into_iter()
-            .map(|v| {
-                let bits: Vec<u32> = v.0.iter().map(|f| f.to_bits()).collect();
-                *intern.entry(bits).or_insert_with(|| {
-                    vectors.push(v);
-                    vectors.len() as u32 - 1
-                })
-            })
-            .collect()
-    };
-    let left: Vec<Vec<u32>> = left.profiles.iter().map(&mut bag_of).collect();
-    let right: Vec<Vec<u32>> = right.profiles.iter().map(&mut bag_of).collect();
+// ---------------------------------------------------------------------------
+// Semantic: Word Mover's over interned token bags with distance caching.
+// ---------------------------------------------------------------------------
 
-    let mut cache: FxHashMap<(u32, u32), f64> = FxHashMap::default();
-    let mut dist = |a: u32, b: u32| -> f64 {
-        *cache
-            .entry((a, b))
-            .or_insert_with(|| vectors[a as usize].euclidean_distance(&vectors[b as usize]))
-    };
+/// Symmetric token-distance cache. Euclidean distance is symmetric, so
+/// keys are canonicalized to `(min, max)`: each unordered vector pair is
+/// computed and stored **once** (a plain `(a, b)` key held every pair
+/// twice). One cache per worker — values are pure functions of the shared
+/// interned table, so per-worker caches cannot diverge.
+struct DistCache {
+    map: FxHashMap<(u32, u32), f64>,
+}
 
-    let mut out = Vec::new();
-    for (i, a) in left.iter().enumerate() {
-        if a.is_empty() {
-            continue;
+impl DistCache {
+    fn new() -> Self {
+        DistCache {
+            map: FxHashMap::default(),
         }
-        for (j, b) in right.iter().enumerate() {
+    }
+
+    #[inline]
+    fn dist(&mut self, vectors: &[DenseVector], a: u32, b: u32) -> f64 {
+        let key = (a.min(b), a.max(b));
+        *self
+            .map
+            .entry(key)
+            .or_insert_with(|| vectors[key.0 as usize].euclidean_distance(&vectors[key.1 as usize]))
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// Word Mover's scoring with a token-distance cache: contextual token
+/// vectors repeat heavily across profiles, so each distinct unordered
+/// (token, token) distance is computed once per worker. Bags are truncated
+/// to `cfg.wmd_token_cap` tokens (documented substitution — relaxed WMD is
+/// quadratic in bag size).
+struct WmdScorer {
+    /// Interned token-vector table: identical vectors share one id.
+    /// Contextual encoders produce per-(token, context) vectors, interned
+    /// by the (prev, token, next) signature embedded in the vector bits.
+    /// Built serially in prepare, then shared across workers behind a
+    /// lock-free read path (plain immutable slice reads).
+    vectors: Vec<DenseVector>,
+    left_bags: Vec<Vec<u32>>,
+    right_bags: Vec<Vec<u32>>,
+    keep_positive: bool,
+}
+
+impl WmdScorer {
+    fn prepare(
+        left: &EntityCollection,
+        right: &EntityCollection,
+        enc: &er_embed::measures::Encoder,
+        scope: &SemanticScope,
+        cfg: &PipelineConfig,
+    ) -> Self {
+        let mut vectors: Vec<DenseVector> = Vec::new();
+        let mut intern: FxHashMap<Vec<u32>, u32> = FxHashMap::default();
+        let mut bag_of = |p: &EntityProfile| -> Vec<u32> {
+            let mut toks = enc.token_vectors(&scoped_text(p, scope));
+            toks.truncate(cfg.wmd_token_cap);
+            toks.into_iter()
+                .map(|v| {
+                    let bits: Vec<u32> = v.0.iter().map(|f| f.to_bits()).collect();
+                    *intern.entry(bits).or_insert_with(|| {
+                        vectors.push(v);
+                        vectors.len() as u32 - 1
+                    })
+                })
+                .collect()
+        };
+        let left_bags: Vec<Vec<u32>> = left.profiles.iter().map(&mut bag_of).collect();
+        let right_bags: Vec<Vec<u32>> = right.profiles.iter().map(&mut bag_of).collect();
+        WmdScorer {
+            vectors,
+            left_bags,
+            right_bags,
+            keep_positive: cfg.keep_positive_only,
+        }
+    }
+
+    /// Relaxed WMD similarity of two non-empty bags:
+    /// `1 / (1 + max of the two directed nearest-neighbor means)`.
+    fn similarity(&self, cache: &mut DistCache, a: &[u32], b: &[u32]) -> f64 {
+        let mut d_ab = 0.0;
+        for &x in a {
+            let mut best = f64::INFINITY;
+            for &y in b {
+                best = best.min(cache.dist(&self.vectors, x, y));
+            }
+            d_ab += best;
+        }
+        d_ab /= a.len() as f64;
+        let mut d_ba = 0.0;
+        for &y in b {
+            let mut best = f64::INFINITY;
+            for &x in a {
+                best = best.min(cache.dist(&self.vectors, x, y));
+            }
+            d_ba += best;
+        }
+        d_ba /= b.len() as f64;
+        1.0 / (1.0 + d_ab.max(d_ba))
+    }
+}
+
+impl RowScorer for WmdScorer {
+    type Scratch = DistCache;
+
+    fn n_rows(&self) -> usize {
+        self.left_bags.len()
+    }
+
+    fn scratch(&self) -> DistCache {
+        DistCache::new()
+    }
+
+    fn score_row(&self, row: usize, cache: &mut DistCache, out: &mut Vec<Triple>) {
+        let a = &self.left_bags[row];
+        if a.is_empty() {
+            return;
+        }
+        for (j, b) in self.right_bags.iter().enumerate() {
             if b.is_empty() {
                 continue;
             }
-            // Relaxed WMD: max of the two directed nearest-neighbor means.
-            let d_ab: f64 = a
-                .iter()
-                .map(|&x| b.iter().map(|&y| dist(x, y)).fold(f64::INFINITY, f64::min))
-                .sum::<f64>()
-                / a.len() as f64;
-            let d_ba: f64 = b
-                .iter()
-                .map(|&y| a.iter().map(|&x| dist(x, y)).fold(f64::INFINITY, f64::min))
-                .sum::<f64>()
-                / b.len() as f64;
-            let w = 1.0 / (1.0 + d_ab.max(d_ba));
-            if w > 0.0 {
-                out.push((i as u32, j as u32, w));
+            let w = self.similarity(cache, a, b);
+            if w > 0.0 || !self.keep_positive {
+                out.push((row as u32, j as u32, w));
             }
         }
     }
-    out
+
+    fn score_row_restricted(
+        &self,
+        row: usize,
+        cands: &CandidateLists,
+        cache: &mut DistCache,
+        out: &mut Vec<Triple>,
+    ) {
+        let a = &self.left_bags[row];
+        if a.is_empty() {
+            return;
+        }
+        for &j in cands.row(row as u32) {
+            let b = &self.right_bags[j as usize];
+            if b.is_empty() {
+                continue;
+            }
+            let w = self.similarity(cache, a, b);
+            if w > 0.0 || !self.keep_positive {
+                out.push((row as u32, j, w));
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -381,6 +971,14 @@ mod tests {
         }
     }
 
+    /// Edge triples with weight bits, for exact graph comparison.
+    fn edge_bits(g: &SimilarityGraph) -> Vec<(u32, u32, u64)> {
+        g.edges()
+            .iter()
+            .map(|e| (e.left, e.right, e.weight.to_bits()))
+            .collect()
+    }
+
     #[test]
     fn schema_based_graph_is_normalized() {
         let d = tiny();
@@ -394,6 +992,103 @@ mod tests {
         let (lo, hi) = g.weight_range().unwrap();
         assert!(lo >= 0.0 && hi <= 1.0);
         assert!((hi - 1.0).abs() < 1e-12, "min-max maps max weight to 1");
+    }
+
+    #[test]
+    fn min_weight_edge_survives_lowest_grid_threshold() {
+        // Regression: plain min-max mapped the weakest retained edge to
+        // exactly 0.0, demoting a positive-similarity pair to a non-edge
+        // for every positive grid threshold. The 0.0 floor keeps
+        // non-negative measures on (0, 1]: weight = raw / max(raw).
+        let collection = |texts: &[&str]| EntityCollection {
+            profiles: texts
+                .iter()
+                .enumerate()
+                .map(|(i, t)| EntityProfile::new(i as u32, vec![("name".into(), (*t).into())]))
+                .collect(),
+            attribute_names: vec!["name".into()],
+        };
+        let left = collection(&["alpha", "alphas", "alpha x"]);
+        let right = collection(&["alpha", "alph"]);
+        let f = SimilarityFunction::SchemaBasedSyntactic {
+            attribute: "name".into(),
+            measure: SchemaBasedMeasure::Char(CharMeasure::Levenshtein),
+        };
+        let g = build_graph_over(&left, &right, &f, &PipelineConfig::default());
+        assert!(!g.is_empty());
+        let (lo, _) = g.weight_range().unwrap();
+        assert!(lo > 0.0, "weakest edge keeps positive weight, got {lo}");
+        let lowest_grid_t = er_core::ThresholdGrid::paper().values().next().unwrap();
+        assert_eq!(
+            g.edges()
+                .iter()
+                .filter(|e| e.weight > lowest_grid_t)
+                .count(),
+            g.n_edges(),
+            "every retained edge survives the lowest grid threshold here"
+        );
+        // The floor makes normalization proportional: weight = raw / hi.
+        let raws: Vec<(u32, u32, f64)> = {
+            let mut out = Vec::new();
+            for (i, lp) in left.profiles.iter().enumerate() {
+                for (j, rp) in right.profiles.iter().enumerate() {
+                    let w = SchemaBasedMeasure::Char(CharMeasure::Levenshtein)
+                        .similarity(lp.value("name").unwrap(), rp.value("name").unwrap());
+                    if w > 0.0 {
+                        out.push((i as u32, j as u32, w));
+                    }
+                }
+            }
+            out
+        };
+        let hi = raws.iter().map(|&(_, _, w)| w).fold(0.0, f64::max);
+        for (l, r, raw) in raws {
+            let got = g.weight_of(l, r).unwrap();
+            assert!((got - raw / hi).abs() < 1e-12, "({l},{r}): {got} vs raw/hi");
+        }
+    }
+
+    #[test]
+    fn keep_positive_only_false_retains_non_positive_scores() {
+        // "abc" vs "xyz": Levenshtein similarity is exactly 0 — dropped
+        // under the paper's protocol, retained (at normalized weight 0)
+        // when the positivity filter is switched off.
+        let collection = |texts: &[&str]| EntityCollection {
+            profiles: texts
+                .iter()
+                .enumerate()
+                .map(|(i, t)| EntityProfile::new(i as u32, vec![("name".into(), (*t).into())]))
+                .collect(),
+            attribute_names: vec!["name".into()],
+        };
+        let left = collection(&["abc"]);
+        let right = collection(&["abc", "xyz"]);
+        let f = SimilarityFunction::SchemaBasedSyntactic {
+            attribute: "name".into(),
+            measure: SchemaBasedMeasure::Char(CharMeasure::Levenshtein),
+        };
+        let strict = build_graph_over(&left, &right, &f, &PipelineConfig::default());
+        assert_eq!(strict.n_edges(), 1, "zero-similarity pair dropped");
+        let lax_cfg = PipelineConfig {
+            keep_positive_only: false,
+            ..PipelineConfig::default()
+        };
+        let lax = build_graph_over(&left, &right, &f, &lax_cfg);
+        assert_eq!(lax.n_edges(), 2, "zero-similarity pair retained");
+        assert_eq!(lax.weight_of(0, 0), Some(1.0));
+        assert_eq!(lax.weight_of(0, 1), Some(0.0));
+        // The lax path stays bit-identical across thread counts too.
+        let lax_par = build_graph_over(
+            &left,
+            &right,
+            &f,
+            &PipelineConfig {
+                threads: 3,
+                chunk_rows: 1,
+                ..lax_cfg
+            },
+        );
+        assert_eq!(edge_bits(&lax), edge_bits(&lax_par));
     }
 
     #[test]
@@ -465,6 +1160,10 @@ mod tests {
 
     #[test]
     fn cached_wmd_matches_direct_computation() {
+        // Full equivalence: recompute the raw score matrix directly via the
+        // measure (no interning, no distance cache), apply the same
+        // positive-filter + floored min-max normalization, and require the
+        // graph weights to agree within 1e-12.
         let d = tiny();
         let f = SimilarityFunction::Semantic {
             model: EmbeddingModel::FastText,
@@ -475,26 +1174,90 @@ mod tests {
         };
         let cfg = PipelineConfig::default();
         let g = build_graph(&d, &f, &cfg);
-        // Recompute a handful of edges directly via the measure.
+
         let enc = EmbeddingModel::FastText.encoder();
-        for e in g.edges().iter().take(10) {
-            let lt = d.left.profiles[e.left as usize]
-                .value("name")
-                .unwrap_or_default();
-            let rt = d.right.profiles[e.right as usize]
-                .value("name")
-                .unwrap_or_default();
-            let mut a = enc.token_vectors(lt);
-            let mut b = enc.token_vectors(rt);
-            a.truncate(cfg.wmd_token_cap);
-            b.truncate(cfg.wmd_token_cap);
-            let raw = SemanticMeasure::WordMovers.similarity_tokens(&a, &b);
-            // The graph weight is min-max normalized; invert via the raw
-            // range of all recomputed values is impractical, so instead
-            // verify the *cached* raw score matches the direct one by
-            // recomputing with an unnormalized single-pair config.
-            assert!(raw > 0.0, "edge must correspond to positive similarity");
+        let bag = |p: &EntityProfile| -> Vec<DenseVector> {
+            let mut toks = enc.token_vectors(p.value("name").unwrap_or_default());
+            toks.truncate(cfg.wmd_token_cap);
+            toks
+        };
+        let left: Vec<Vec<DenseVector>> = d.left.profiles.iter().map(&bag).collect();
+        let right: Vec<Vec<DenseVector>> = d.right.profiles.iter().map(&bag).collect();
+        let mut raws: Vec<(u32, u32, f64)> = Vec::new();
+        for (i, a) in left.iter().enumerate() {
+            if a.is_empty() {
+                continue;
+            }
+            for (j, b) in right.iter().enumerate() {
+                if b.is_empty() {
+                    continue;
+                }
+                let raw = SemanticMeasure::WordMovers.similarity_tokens(a, b);
+                if raw > 0.0 {
+                    raws.push((i as u32, j as u32, raw));
+                }
+            }
         }
+        assert_eq!(g.n_edges(), raws.len(), "same positive pair set");
+        let hi = raws
+            .iter()
+            .map(|&(_, _, w)| w)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let span = hi - 0.0;
+        for (l, r, raw) in raws {
+            let expect = if span <= f64::EPSILON {
+                1.0
+            } else {
+                (raw / span).clamp(0.0, 1.0)
+            };
+            let got = g
+                .weight_of(l, r)
+                .unwrap_or_else(|| panic!("edge ({l},{r}) missing"));
+            assert!(
+                (got - expect).abs() < 1e-12,
+                "({l},{r}): cached {got} vs direct {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn wmd_cache_canonicalizes_symmetric_pairs() {
+        // Symmetric workload: identical token bags on both sides, so every
+        // ordered (a, b) distance is also queried as (b, a). With 3
+        // distinct interned tokens the scoring queries all 9 ordered pairs;
+        // the canonical (min, max) key stores only the 6 unordered ones —
+        // the old (a, b) key held all 9.
+        let collection = |texts: &[&str]| EntityCollection {
+            profiles: texts
+                .iter()
+                .enumerate()
+                .map(|(i, t)| EntityProfile::new(i as u32, vec![("name".into(), (*t).into())]))
+                .collect(),
+            attribute_names: vec!["name".into()],
+        };
+        let left = collection(&["alpha beta gamma"]);
+        let right = collection(&["alpha beta gamma"]);
+        let cfg = PipelineConfig::default();
+        let scorer = WmdScorer::prepare(
+            &left,
+            &right,
+            &EmbeddingModel::FastText.encoder(),
+            &SemanticScope::SchemaBased {
+                attribute: "name".into(),
+            },
+            &cfg,
+        );
+        assert_eq!(scorer.vectors.len(), 3, "3 distinct interned tokens");
+        let mut cache = scorer.scratch();
+        let mut out = Vec::new();
+        scorer.score_row(0, &mut cache, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!((out[0].2 - 1.0).abs() < 1e-12, "identical bags score 1");
+        assert_eq!(
+            cache.len(),
+            6,
+            "canonical keys store 3·4/2 = 6 unordered pairs, not 9 ordered"
+        );
     }
 
     #[test]
@@ -529,5 +1292,69 @@ mod tests {
             }
         }
         assert_eq!(g.n_edges(), brute);
+    }
+
+    #[test]
+    fn parallel_construction_is_bit_identical_to_serial() {
+        // Quick smoke over one branch; the exhaustive four-branch property
+        // suite lives in tests/graphgen_props.rs.
+        let d = tiny();
+        let f = SimilarityFunction::SchemaAgnosticVector {
+            scheme: NGramScheme::Token(1),
+            measure: VectorMeasure::CosineTfIdf,
+        };
+        let serial = PipelineConfig {
+            threads: 1,
+            ..PipelineConfig::default()
+        };
+        let parallel = PipelineConfig {
+            threads: 4,
+            chunk_rows: 3,
+            ..PipelineConfig::default()
+        };
+        let gs = build_graph(&d, &f, &serial);
+        let gp = build_graph(&d, &f, &parallel);
+        assert_eq!(edge_bits(&gs), edge_bits(&gp));
+    }
+
+    #[test]
+    fn restricted_build_matches_full_restriction() {
+        let d = tiny();
+        let f = SimilarityFunction::SchemaAgnosticVector {
+            scheme: NGramScheme::Token(1),
+            measure: VectorMeasure::CosineTfIdf,
+        };
+        let cfg = PipelineConfig::default();
+        let candidates = crate::blocking::token_blocking(&d.left, &d.right).candidate_pairs();
+        let full = build_graph(&d, &f, &cfg);
+        let via_restrict = crate::blocking::restrict_graph(&full, &candidates);
+        let direct = build_graph_restricted(&d.left, &d.right, &f, &candidates, &cfg);
+        let pairs = |g: &SimilarityGraph| -> FxHashSet<(u32, u32)> {
+            g.edges().iter().map(|e| (e.left, e.right)).collect()
+        };
+        assert_eq!(
+            pairs(&direct),
+            pairs(&via_restrict),
+            "restricted build scores exactly the candidate edges"
+        );
+        assert!(!direct.is_empty());
+        weights_in_bounds(&direct);
+    }
+
+    #[test]
+    fn prepared_output_matches_separate_sort() {
+        let d = tiny();
+        let f = SimilarityFunction::SchemaBasedSyntactic {
+            attribute: "name".into(),
+            measure: SchemaBasedMeasure::Char(CharMeasure::Levenshtein),
+        };
+        let cfg = PipelineConfig::default();
+        let built = build_prepared(&d, &f, &cfg);
+        assert_eq!(built.sorted.len(), built.graph.n_edges());
+        let reference = build_graph(&d, &f, &cfg).sorted_edges();
+        for (a, b) in built.sorted.all().iter().zip(reference.all()) {
+            assert_eq!((a.left, a.right), (b.left, b.right));
+            assert_eq!(a.weight.to_bits(), b.weight.to_bits());
+        }
     }
 }

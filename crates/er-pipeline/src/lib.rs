@@ -15,12 +15,20 @@
 //!   edge; set/bag measures use exact inverted-index candidate generation
 //!   (a pair shares a term iff its similarity is positive), edit-distance
 //!   and semantic measures score all pairs;
-//! * **min-max normalization** of every graph's weights to `[0, 1]`;
+//! * **min-max normalization** of every graph's weights with a `0.0`
+//!   floor (non-negative measures map onto `(0, 1]`);
 //! * the paper's first **cleaning rule** (drop graphs whose true matches
 //!   all have zero weight) — the F1-dependent rules 2-3 live in `er-eval`,
 //!   as they need algorithm sweeps;
+//! * a **parallel construction engine** ([`graphgen`]): per-graph
+//!   left-row sharding over scoped workers with bit-identical results to
+//!   the serial path, a candidate-restricted fast path
+//!   ([`build_graph_restricted`]) for blocking-first pipelines, and a
+//!   prepared output ([`build_prepared`]) whose emit-time sorted edge
+//!   view is shared with threshold sweeps (one sort across construction
+//!   and matching);
 //! * a crossbeam-parallel [`runner`] that generates a dataset's whole
-//!   graph corpus.
+//!   graph corpus, dividing its thread budget with the per-graph engine.
 
 pub mod blocking;
 pub mod cleaning;
@@ -34,6 +42,9 @@ pub use blocking::{
 };
 pub use cleaning::{clean_graphs, CleaningOutcome};
 pub use config::PipelineConfig;
-pub use graphgen::{build_graph, build_graph_over, GeneratedGraph};
+pub use graphgen::{
+    build_graph, build_graph_over, build_graph_restricted, build_prepared, build_prepared_over,
+    BuiltGraph, GeneratedGraph,
+};
 pub use runner::generate_corpus;
 pub use taxonomy::{SemanticScope, SimilarityFunction, WeightType};

@@ -12,6 +12,14 @@ use crate::taxonomy::SimilarityFunction;
 /// Generate the graphs of all `functions` over `dataset`, fanning work out
 /// over `cfg.effective_threads()` workers. Results preserve the catalog
 /// order regardless of completion order.
+///
+/// The thread budget is **divided**, not multiplied, with the per-graph
+/// construction engine: with `T` effective threads and `W = min(T, n)`
+/// corpus workers, each `build_graph` call runs with `⌊T / W⌋` (at least
+/// one) intra-graph threads. Full catalogs therefore keep today's
+/// one-thread-per-function layout, while a short function list (or a
+/// single graph) lets construction itself use the whole budget. Results
+/// are independent of either thread count.
 pub fn generate_corpus(
     dataset: &Dataset,
     functions: &[SimilarityFunction],
@@ -22,6 +30,7 @@ pub fn generate_corpus(
         return Vec::new();
     }
     let workers = cfg.effective_threads().min(n);
+    let inner_cfg = cfg.divided_among(workers);
     let next = std::sync::atomic::AtomicUsize::new(0);
     let slots: Mutex<Vec<Option<GeneratedGraph>>> = Mutex::new((0..n).map(|_| None).collect());
 
@@ -33,7 +42,7 @@ pub fn generate_corpus(
                     break;
                 }
                 let function = functions[idx].clone();
-                let graph = build_graph(dataset, &function, cfg);
+                let graph = build_graph(dataset, &function, &inner_cfg);
                 slots.lock()[idx] = Some(GeneratedGraph { function, graph });
             });
         }

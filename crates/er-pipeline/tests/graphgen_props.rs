@@ -1,0 +1,221 @@
+//! Property-based tests for the parallel similarity-graph construction
+//! engine.
+//!
+//! Invariants:
+//! 1. parallel construction is **bit-identical** to the serial path
+//!    (same edges, same order, same weight bits) for every branch of the
+//!    similarity-function taxonomy, across thread counts and chunk sizes;
+//! 2. the candidate-restricted fast path scores exactly the candidate
+//!    edge set (equal to `restrict_graph` over the full build) and is
+//!    itself bit-identical across thread counts;
+//! 3. the prepared output's sorted edge view equals a from-scratch
+//!    `sorted_edges()` of the same graph;
+//! 4. every normalized weight is finite, in `[0, 1]`, and positive under
+//!    `keep_positive_only` (the 0.0-floor normalization contract).
+
+use er_core::{FxHashSet, SimilarityGraph};
+use er_datasets::{EntityCollection, EntityProfile};
+use er_embed::{EmbeddingModel, SemanticMeasure};
+use er_pipeline::blocking::{restrict_graph, token_blocking};
+use er_pipeline::{
+    build_graph_over, build_graph_restricted, build_prepared_over, PipelineConfig, SemanticScope,
+    SimilarityFunction,
+};
+use er_textsim::{CharMeasure, GraphSimilarity, NGramScheme, SchemaBasedMeasure, VectorMeasure};
+use proptest::prelude::*;
+
+/// A vocabulary of short distinct tokens.
+const VOCAB: [&str; 10] = [
+    "alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta", "iota", "kappa",
+];
+
+/// Collections of 1..=max entities with a "name" attribute (always) and a
+/// "desc" attribute (missing when its token list is empty, exercising the
+/// attribute filter).
+fn arb_collection(max_entities: usize) -> impl Strategy<Value = EntityCollection> {
+    proptest::collection::vec(
+        (
+            proptest::collection::vec(0usize..VOCAB.len(), 0..4),
+            proptest::collection::vec(0usize..VOCAB.len(), 0..3),
+        ),
+        1..=max_entities,
+    )
+    .prop_map(|entities| EntityCollection {
+        profiles: entities
+            .into_iter()
+            .enumerate()
+            .map(|(i, (name, desc))| {
+                let text = |toks: Vec<usize>| -> String {
+                    toks.into_iter()
+                        .map(|t| VOCAB[t])
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                };
+                let mut attrs = vec![("name".to_string(), text(name))];
+                if !desc.is_empty() {
+                    attrs.push(("desc".to_string(), text(desc)));
+                }
+                EntityProfile::new(i as u32, attrs)
+            })
+            .collect(),
+        attribute_names: vec!["name".into(), "desc".into()],
+    })
+}
+
+/// One representative function per taxonomy branch (the WMD variant covers
+/// the token-vector semantic sub-path with its per-worker distance cache).
+fn branch_representatives() -> Vec<SimilarityFunction> {
+    vec![
+        SimilarityFunction::SchemaBasedSyntactic {
+            attribute: "name".into(),
+            measure: SchemaBasedMeasure::Char(CharMeasure::Levenshtein),
+        },
+        SimilarityFunction::SchemaAgnosticVector {
+            scheme: NGramScheme::Token(1),
+            measure: VectorMeasure::CosineTfIdf,
+        },
+        SimilarityFunction::SchemaAgnosticGraph {
+            scheme: NGramScheme::Char(3),
+            measure: GraphSimilarity::Value,
+        },
+        SimilarityFunction::Semantic {
+            model: EmbeddingModel::FastText,
+            measure: SemanticMeasure::Cosine,
+            scope: SemanticScope::SchemaAgnostic,
+        },
+        SimilarityFunction::Semantic {
+            model: EmbeddingModel::Albert,
+            measure: SemanticMeasure::WordMovers,
+            scope: SemanticScope::SchemaBased {
+                attribute: "name".into(),
+            },
+        },
+    ]
+}
+
+fn serial_cfg() -> PipelineConfig {
+    PipelineConfig {
+        threads: 1,
+        wmd_token_cap: 4,
+        ..PipelineConfig::default()
+    }
+}
+
+fn parallel_cfg(threads: usize, chunk_rows: usize) -> PipelineConfig {
+    PipelineConfig {
+        threads,
+        chunk_rows,
+        wmd_token_cap: 4,
+        ..PipelineConfig::default()
+    }
+}
+
+/// Exact comparison: edge sequence and weight bits.
+fn assert_bit_identical(a: &SimilarityGraph, b: &SimilarityGraph, what: &str) {
+    assert_eq!(a.n_left(), b.n_left(), "{what}: n_left");
+    assert_eq!(a.n_right(), b.n_right(), "{what}: n_right");
+    assert_eq!(a.n_edges(), b.n_edges(), "{what}: edge count");
+    for (x, y) in a.edges().iter().zip(b.edges()) {
+        assert_eq!((x.left, x.right), (y.left, y.right), "{what}: pair order");
+        assert_eq!(
+            x.weight.to_bits(),
+            y.weight.to_bits(),
+            "{what}: weight bits of ({}, {})",
+            x.left,
+            x.right
+        );
+    }
+}
+
+fn assert_weights_normalized(g: &SimilarityGraph, what: &str) {
+    for e in g.edges() {
+        assert!(
+            e.weight.is_finite() && e.weight > 0.0 && e.weight <= 1.0,
+            "{what}: weight {} of ({}, {}) outside (0, 1]",
+            e.weight,
+            e.left,
+            e.right
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Invariants 1 and 4: parallel ≡ serial, bit for bit, for every
+    /// taxonomy branch, under an awkward chunk size (forcing multi-chunk
+    /// merges) and an oversubscribed thread count.
+    #[test]
+    fn parallel_construction_matches_serial(
+        left in arb_collection(6),
+        right in arb_collection(6),
+        threads in 2usize..=5,
+        chunk_rows in 1usize..=3,
+    ) {
+        for function in branch_representatives() {
+            let serial = build_graph_over(&left, &right, &function, &serial_cfg());
+            let parallel =
+                build_graph_over(&left, &right, &function, &parallel_cfg(threads, chunk_rows));
+            assert_bit_identical(&serial, &parallel, &function.name());
+            assert_weights_normalized(&serial, &function.name());
+        }
+    }
+
+    /// Invariant 2: the restricted fast path scores exactly the candidate
+    /// edges of the full graph, and parallel restricted ≡ serial
+    /// restricted bit for bit.
+    #[test]
+    fn restricted_path_matches_full_restriction(
+        left in arb_collection(6),
+        right in arb_collection(6),
+        threads in 2usize..=4,
+    ) {
+        let candidates = token_blocking(&left, &right).candidate_pairs();
+        for function in branch_representatives() {
+            let serial =
+                build_graph_restricted(&left, &right, &function, &candidates, &serial_cfg());
+            let parallel = build_graph_restricted(
+                &left,
+                &right,
+                &function,
+                &candidates,
+                &parallel_cfg(threads, 2),
+            );
+            assert_bit_identical(&serial, &parallel, &function.name());
+
+            let full = build_graph_over(&left, &right, &function, &serial_cfg());
+            let via_restrict = restrict_graph(&full, &candidates);
+            let pair_set = |g: &SimilarityGraph| -> FxHashSet<(u32, u32)> {
+                g.edges().iter().map(|e| (e.left, e.right)).collect()
+            };
+            assert_eq!(
+                pair_set(&serial),
+                pair_set(&via_restrict),
+                "{}: restricted edge set equals full ∩ candidates",
+                function.name()
+            );
+            assert_weights_normalized(&serial, &function.name());
+        }
+    }
+
+    /// Invariant 3: the prepared output's sorted view is exactly the
+    /// graph's sorted edge view — no divergence from sorting at emit time.
+    #[test]
+    fn prepared_output_sorted_view_is_canonical(
+        left in arb_collection(6),
+        right in arb_collection(6),
+        threads in 1usize..=4,
+    ) {
+        let function = SimilarityFunction::SchemaAgnosticVector {
+            scheme: NGramScheme::Token(1),
+            measure: VectorMeasure::Jaccard,
+        };
+        let built = build_prepared_over(&left, &right, &function, &parallel_cfg(threads, 2));
+        let reference = built.graph.sorted_edges();
+        prop_assert_eq!(built.sorted.len(), built.graph.n_edges());
+        for (a, b) in built.sorted.all().iter().zip(reference.all()) {
+            prop_assert_eq!((a.left, a.right), (b.left, b.right));
+            prop_assert_eq!(a.weight.to_bits(), b.weight.to_bits());
+        }
+    }
+}

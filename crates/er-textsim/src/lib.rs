@@ -37,3 +37,29 @@ pub use measure::SchemaBasedMeasure;
 pub use tokenize::{char_ngrams, normalize_text, token_ngrams, tokens, NGramScheme};
 pub use tokenlevel::TokenMeasure;
 pub use vector::{DfIndex, SparseVector, TermWeighting, VectorMeasure, VectorModel};
+
+#[cfg(test)]
+mod sync_tests {
+    //! `er-pipeline`'s parallel construction engine shares this crate's
+    //! read-side structures (DF indexes, sparse vectors, n-gram graphs,
+    //! models and measures) immutably across scoped worker threads. These
+    //! assertions pin the `Send + Sync` contract at compile time so an
+    //! accidental `Rc`/`RefCell`/raw-pointer addition fails here, not in a
+    //! downstream crate.
+    use super::*;
+
+    fn assert_shared_read_side<T: Send + Sync>() {}
+
+    #[test]
+    fn read_side_structures_are_send_sync() {
+        assert_shared_read_side::<DfIndex>();
+        assert_shared_read_side::<SparseVector>();
+        assert_shared_read_side::<VectorModel>();
+        assert_shared_read_side::<NGramGraph>();
+        assert_shared_read_side::<SchemaBasedMeasure>();
+        assert_shared_read_side::<VectorMeasure>();
+        assert_shared_read_side::<GraphSimilarity>();
+        assert_shared_read_side::<NGramScheme>();
+        assert_shared_read_side::<TermWeighting>();
+    }
+}
