@@ -1,6 +1,7 @@
 //! The parallel construction-engine benchmark: serial vs multi-threaded
-//! similarity-graph construction, and the candidate-restricted fast path
-//! vs the old build-full-then-restrict flow.
+//! similarity-graph construction, the candidate-restricted fast path vs
+//! the old build-full-then-restrict flow, and the streaming top-k build
+//! vs dense-then-prune.
 //!
 //! Recorded in docs/BENCH_BASELINE.md as this PR's before/after evidence.
 //! Thread-count cases are pinned explicitly (1 vs 4) so the numbers mean
@@ -13,7 +14,8 @@ use er_datasets::{Dataset, DatasetId};
 use er_embed::{EmbeddingModel, SemanticMeasure};
 use er_pipeline::blocking::{restrict_graph, token_blocking};
 use er_pipeline::{
-    build_graph, build_graph_restricted, PipelineConfig, SemanticScope, SimilarityFunction,
+    build_graph, build_graph_restricted, build_graph_topk, PipelineConfig, SemanticScope,
+    SimilarityFunction,
 };
 use er_textsim::{CharMeasure, NGramScheme, SchemaBasedMeasure, VectorMeasure};
 
@@ -110,5 +112,43 @@ fn bench_restricted_path(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_parallel_construction, bench_restricted_path);
+/// Streaming top-k construction vs dense-then-prune, on the corpus where
+/// the dense flow's per-edge costs bite: D5 movies at scale 0.25 (~1,280
+/// × 1,514 entities, ~590k positive token-sharing pairs). The streaming
+/// path disposes of a rejected candidate with one bounded-heap
+/// comparison; the dense flow buffers, dedup-hashes and normalizes every
+/// edge and then pays the prune sort on top. The full-scale portrait
+/// (12M edges, ≥2x) is the `scalability` repro experiment.
+fn bench_topk_path(c: &mut Criterion) {
+    let d = Dataset::generate(DatasetId::D5, 0.25, 13);
+    let cfg = cfg_threads(1);
+    let function = SimilarityFunction::SchemaAgnosticVector {
+        scheme: NGramScheme::Token(1),
+        measure: VectorMeasure::CosineTfIdf,
+    };
+    let mut group = c.benchmark_group("graphgen_topk");
+    group.sample_size(10);
+    for k in [1usize, 10] {
+        group.bench_function(format!("sa/vector-cosine-tfidf/topk_build/k{k}"), |b| {
+            b.iter(|| std::hint::black_box(build_graph_topk(&d, &function, k, &cfg).n_edges()))
+        });
+        group.bench_function(
+            format!("sa/vector-cosine-tfidf/dense_then_prune/k{k}"),
+            |b| {
+                b.iter(|| {
+                    let dense = build_graph(&d, &function, &cfg);
+                    std::hint::black_box(dense.pruned_top_k(k).n_edges())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_parallel_construction,
+    bench_restricted_path,
+    bench_topk_path
+);
 criterion_main!(benches);

@@ -1,0 +1,179 @@
+//! Extension experiment: the top-k pruned scale path (corpus size × k).
+//!
+//! The paper's scalability analysis (§6, Table 9 / Fig. 4) shows the
+//! similarity graph itself dominating end-to-end cost and memory; the
+//! configurations that reach web scale prune to a small per-entity
+//! candidate set before matching. This experiment quantifies that
+//! trade-off on our stack: for each corpus size and per-row bound `k`, it
+//! compares the streaming top-k construction (`build_graph_topk`, peak
+//! resident edges in `O(n_left × k)`) against the dense-then-prune flow
+//! (`build_graph` + `pruned_top_k`), and reports what pruning costs in
+//! effectiveness — the best UMC F1 on the pruned graph versus the dense
+//! protocol — plus the sweep time the smaller graph buys back.
+//!
+//! The corpus is D7 (the movies linkage, the largest benchmark both of
+//! whose collections the dense protocol can still hold in memory: 6,056 ×
+//! 7,810 entities and ~12M positive pairs at full scale), weighted by
+//! schema-agnostic token TF-IDF cosine. That is deliberately the regime
+//! where the dense flow hurts: per retained edge it pays buffering,
+//! duplicate-check hashing, normalization and the prune sort across a
+//! multi-hundred-MB edge set, while the streaming path disposes of a
+//! rejected candidate with one bounded-heap comparison. The semantic
+//! functions are *not* swept here — their build time is dominated by the
+//! serial encoder prepare phase, which both flows share, so pruning
+//! changes their memory (Table 9's concern), not their build time.
+//!
+//! Rows are produced from single timed runs (this is a scaling portrait,
+//! not a statistics-grade micro-benchmark; the criterion bench in
+//! `benches/graphgen.rs` covers the latter and its baseline lives in
+//! docs/BENCH_BASELINE.md).
+
+use std::time::Instant;
+
+use er_core::{CsrGraph, GroundTruth, SimilarityGraph, ThresholdGrid};
+use er_datasets::{Dataset, DatasetId};
+use er_eval::report::Table;
+use er_eval::sweep::SweepEngine;
+use er_matchers::{AlgorithmConfig, AlgorithmKind, PreparedGraph};
+use er_pipeline::{build_graph_over, build_graph_topk_stats, PipelineConfig, SimilarityFunction};
+use er_textsim::{NGramScheme, VectorMeasure};
+
+/// Run the corpus-size × k scalability sweep on fresh generated datasets.
+///
+/// `smoke` restricts the sweep to a small corpus and a single `k` (the
+/// CI configuration); the full sweep walks D7 up to paper scale (~12M
+/// dense edges — expect around a minute on one vCPU).
+pub fn render(seed: u64, smoke: bool) -> String {
+    let scales: &[f64] = if smoke { &[0.05] } else { &[0.25, 0.5, 1.0] };
+    let ks: &[usize] = if smoke { &[3] } else { &[1, 3, 5, 10] };
+    let function = SimilarityFunction::SchemaAgnosticVector {
+        scheme: NGramScheme::Token(1),
+        measure: VectorMeasure::CosineTfIdf,
+    };
+
+    let mut t = Table::new(vec![
+        "corpus", "k", "edges", "peak", "build ms", "speedup", "sweep ms", "UMC F1", "ΔF1",
+    ])
+    .with_title(
+        "Extension: top-k pruned graph construction at scale (D7, \
+         schema-agnostic token TF-IDF cosine). `dense` rows are the \
+         paper's protocol; k rows compare dense-then-prune (full dense \
+         build + per-row top-k, timed as `build ms` left of the slash) \
+         against the streaming top-k build (right of the slash), whose \
+         peak resident edge count is bounded by n_left × k (`peak`). \
+         Sweeps run all 8 algorithms over the paper grid; F1 is UMC's \
+         best, ΔF1 its drop versus the dense graph.",
+    );
+
+    let cfg = PipelineConfig::default();
+    for &scale in scales {
+        let dataset = Dataset::generate(DatasetId::D7, scale, seed);
+        let corpus = format!("{}x{}", dataset.left.len(), dataset.right.len());
+
+        // Dense reference: one timed build + one timed sweep, and the
+        // base of every dense-then-prune row (the dense build is timed
+        // once; per-k rows add the measured prune time on top).
+        let t0 = Instant::now();
+        let dense = build_graph_over(&dataset.left, &dataset.right, &function, &cfg);
+        let dense_build = t0.elapsed().as_secs_f64() * 1e3;
+        let (dense_sweep_ms, dense_f1) = sweep_umc(&dense, &dataset.ground_truth);
+        t.row(vec![
+            corpus.clone(),
+            "dense".into(),
+            dense.n_edges().to_string(),
+            dense.n_edges().to_string(),
+            format!("{dense_build:.0}"),
+            "-".into(),
+            format!("{dense_sweep_ms:.0}"),
+            format!("{dense_f1:.3}"),
+            "-".into(),
+        ]);
+
+        for &k in ks {
+            // Dense-then-prune: what pruning costs when the dense graph
+            // must exist first.
+            let t0 = Instant::now();
+            let pruned_via_dense = dense.pruned_top_k(k);
+            let dense_prune_ms = dense_build + t0.elapsed().as_secs_f64() * 1e3;
+
+            // Streaming top-k: the dense graph never materializes.
+            let t0 = Instant::now();
+            let (topk, stats) =
+                build_graph_topk_stats(&dataset.left, &dataset.right, &function, k, &cfg);
+            let topk_ms = t0.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(
+                topk.n_edges(),
+                pruned_via_dense.n_edges(),
+                "the two pruning flows must agree"
+            );
+
+            // Sweep the pruned graph through the CSR store — the
+            // production path: store compact, expand to sweep.
+            let csr = CsrGraph::from_graph(&topk);
+            let (sweep_ms, f1) =
+                sweep_umc_prepared(&PreparedGraph::from_csr(&csr), &dataset.ground_truth);
+            t.row(vec![
+                corpus.clone(),
+                k.to_string(),
+                topk.n_edges().to_string(),
+                stats.peak_resident_edges.to_string(),
+                format!("{dense_prune_ms:.0} / {topk_ms:.0}"),
+                format!("{:.1}x", dense_prune_ms / topk_ms.max(1e-9)),
+                format!("{sweep_ms:.0}"),
+                format!("{f1:.3}"),
+                format!("{:+.3}", f1 - dense_f1),
+            ]);
+        }
+    }
+
+    let mut out = t.render();
+    out.push_str(
+        "\nReading: `peak` is the construction's builder accounting (maximum \
+         resident edges; the dense column shows what the unpruned protocol \
+         must hold — at full scale a ~195 MB edge set against the top-k \
+         path's megabyte or less). Moderate k already recovers most of the \
+         dense F1 because UMC only ever matches each entity's strongest \
+         edges; the build speedup grows with the corpus because a rejected \
+         candidate costs the dense flow buffering, dedup hashing, \
+         normalization and its share of the prune sort, but the streaming \
+         flow one heap comparison.\n",
+    );
+    out
+}
+
+/// Time an 8-algorithm sweep and return `(elapsed ms, best UMC F1)`.
+fn sweep_umc(graph: &SimilarityGraph, gt: &GroundTruth) -> (f64, f64) {
+    sweep_umc_prepared(&PreparedGraph::new(graph), gt)
+}
+
+fn sweep_umc_prepared(prepared: &PreparedGraph<'_>, gt: &GroundTruth) -> (f64, f64) {
+    let engine = SweepEngine::new(AlgorithmConfig::default()).with_threads(1);
+    let t0 = Instant::now();
+    let results = engine.sweep_all(prepared, gt, &ThresholdGrid::paper());
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    let f1 = results
+        .iter()
+        .find(|r| r.algorithm == AlgorithmKind::Umc)
+        .map(|r| r.best.f1)
+        .unwrap_or(0.0);
+    (ms, f1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalability_smoke_renders_dense_and_topk_rows() {
+        let s = render(5, true);
+        assert!(s.contains("dense"), "dense reference row missing");
+        assert!(s.contains("D7"), "corpus description missing");
+        assert!(s.contains("speedup"), "speedup column missing");
+        assert!(
+            s.split_whitespace()
+                .any(|t| t.ends_with('x') && t.contains('.')),
+            "no `N.Nx` speedup cell rendered"
+        );
+        assert!(s.contains("ΔF1"), "F1 delta column missing");
+    }
+}

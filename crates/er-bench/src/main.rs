@@ -11,6 +11,8 @@
 //!   dirty            extension: Dirty ER baselines vs UMC on merged sources
 //!   blocking         extension: the blocking stack vs the unblocked protocol
 //!   transfer         extension: threshold transfer across algorithms
+//!   scalability      extension: top-k pruned construction, corpus size × k
+//!                    (--quick runs the smoke configuration)
 //!   export           write the generated datasets as TSV under --out
 //!   all              everything, written under --out
 //!
@@ -36,7 +38,7 @@ fn main() {
     if args.is_empty() {
         eprintln!("usage: repro [--scale f] [--seed n] [--reps n] [--quick] [--fresh] [--out dir] [--datasets D1,D2] <command>...");
         eprintln!("commands: table1..table9, fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10,");
-        eprintln!("          conclusions oracle dirty blocking transfer export, all");
+        eprintln!("          conclusions oracle dirty blocking scalability transfer export, all");
         std::process::exit(2);
     }
 
@@ -46,6 +48,7 @@ fn main() {
     };
     let mut out_dir = PathBuf::from("target/repro");
     let mut fresh = false;
+    let mut quick = false;
     let mut commands: Vec<String> = Vec::new();
 
     let mut it = args.into_iter();
@@ -57,6 +60,7 @@ fn main() {
             "--quick" => {
                 cfg.scale = 0.015;
                 cfg.timing_reps = 2;
+                quick = true;
             }
             "--fresh" => fresh = true,
             "--out" => out_dir = PathBuf::from(expect(it.next(), "--out")),
@@ -104,7 +108,7 @@ fn main() {
     let needs_data = commands.iter().any(|c| {
         !matches!(
             c.as_str(),
-            "table1" | "fig6" | "oracle" | "dirty" | "blocking"
+            "table1" | "fig6" | "oracle" | "dirty" | "blocking" | "scalability"
         )
     });
     let data = if needs_data {
@@ -121,7 +125,7 @@ fn main() {
 
     std::fs::create_dir_all(&out_dir).expect("create output directory");
     for cmd in expanded {
-        let output = run_command(&cmd, data.as_ref());
+        let output = run_command(&cmd, data.as_ref(), quick);
         println!("{output}");
         let path = out_dir.join(format!("{cmd}.txt"));
         std::fs::write(&path, &output).expect("write experiment output");
@@ -132,7 +136,7 @@ fn main() {
 /// What `all` expands to, in the paper's presentation order. This is the
 /// single roster of dispatchable commands: the upfront typo check accepts
 /// exactly these plus the meta commands `export` and `all`.
-const ALL_EXPANSION: [&str; 23] = [
+const ALL_EXPANSION: [&str; 24] = [
     "table1",
     "table2",
     "table3",
@@ -154,6 +158,7 @@ const ALL_EXPANSION: [&str; 23] = [
     "oracle",
     "dirty",
     "blocking",
+    "scalability",
     "conclusions",
     "transfer",
 ];
@@ -162,7 +167,7 @@ fn is_known_command(cmd: &str) -> bool {
     cmd == "export" || cmd == "all" || ALL_EXPANSION.contains(&cmd)
 }
 
-fn run_command(cmd: &str, data: Option<&RunData>) -> String {
+fn run_command(cmd: &str, data: Option<&RunData>, quick: bool) -> String {
     let data =
         |name: &str| -> &RunData { data.unwrap_or_else(|| die(&format!("{name} needs run data"))) };
     match cmd {
@@ -187,6 +192,7 @@ fn run_command(cmd: &str, data: Option<&RunData>) -> String {
         "oracle" => experiments::oracle::render(17),
         "dirty" => experiments::dirty::render(17),
         "blocking" => experiments::blocking::render(17),
+        "scalability" => experiments::scalability::render(17, quick),
         "conclusions" => experiments::conclusions::render(data("conclusions")),
         "transfer" => experiments::transfer::render(data("transfer")),
         other => die(&format!("unknown command {other}")),

@@ -1,0 +1,331 @@
+//! A compressed-sparse-row edge store for million-pair similarity graphs.
+//!
+//! [`SimilarityGraph`] keeps its edges as a flat `Vec<Edge>` — 16 bytes of
+//! ids per edge next to the weight, in insertion order, with no per-row
+//! structure. That is the right shape for construction and for the
+//! weight-sorted views the matchers consume, but it is wasteful as a
+//! *store*: pruned production graphs (top-k per entity, see
+//! [`TopKBuilder`](crate::TopKBuilder)) are row-regular, and both lookups
+//! and row scans want the edges grouped by left entity.
+//!
+//! [`CsrGraph`] is that store: one offset array over the left rows, the
+//! right-side column ids in a `u32` slab sorted ascending within each row,
+//! and the weights in a parallel `f64` slab. Per edge it spends 12 bytes
+//! (4 for the column id, 8 for the weight) plus `8 / degree` amortized
+//! offset bytes — 25% less than the 16-byte `Edge` triple, before
+//! counting whatever the duplicate-check hash of a builder holds — and
+//! `(left, right)` lookups are a row slice plus a binary search instead
+//! of a linear scan.
+//!
+//! Conversions are lossless in both directions up to edge *order*: a round
+//! trip through [`CsrGraph`] yields the same edge set with bit-identical
+//! weights, listed in the canonical `(left asc, right asc)` order.
+
+use crate::graph::{Edge, SimilarityGraph};
+
+/// A bipartite similarity graph in compressed-sparse-row form.
+///
+/// Rows are the left entities `0..n_left`; each row holds its right
+/// neighbors sorted by **ascending id** with weights in a parallel slab.
+/// Built from (and convertible back to) a [`SimilarityGraph`]; the
+/// conversion validates nothing because the source graph already did.
+///
+/// ```
+/// use er_core::{CsrGraph, GraphBuilder};
+///
+/// let mut b = GraphBuilder::new(2, 3);
+/// b.add_edge(0, 2, 0.9).unwrap();
+/// b.add_edge(0, 1, 0.4).unwrap();
+/// b.add_edge(1, 0, 0.7).unwrap();
+/// let csr = CsrGraph::from_graph(&b.build());
+/// assert_eq!(csr.n_edges(), 3);
+/// let (rights, weights) = csr.row(0);
+/// assert_eq!(rights, &[1, 2], "rows are sorted by right id");
+/// assert_eq!(weights, &[0.4, 0.9]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrGraph {
+    n_left: u32,
+    n_right: u32,
+    /// `offsets[i]..offsets[i + 1]` bounds row `i` in the slabs.
+    offsets: Vec<usize>,
+    /// Right-side column ids, ascending within each row.
+    rights: Vec<u32>,
+    /// Edge weights, parallel to `rights`.
+    weights: Vec<f64>,
+}
+
+impl CsrGraph {
+    /// Convert a [`SimilarityGraph`] into CSR form — `O(m log d)` for
+    /// maximum row degree `d` (counting sort into rows, then a per-row
+    /// sort by right id).
+    ///
+    /// ```
+    /// use er_core::{CsrGraph, Edge, SimilarityGraph};
+    ///
+    /// let g = SimilarityGraph::new(2, 2, vec![Edge::new(1, 0, 0.8)]).unwrap();
+    /// assert_eq!(CsrGraph::from_graph(&g).degree(1), 1);
+    /// ```
+    pub fn from_graph(g: &SimilarityGraph) -> Self {
+        let n = g.n_left() as usize;
+        let (offsets, mut cells) = crate::graph::group_edges_by_left(n, g.edges());
+        for i in 0..n {
+            cells[offsets[i]..offsets[i + 1]].sort_unstable_by_key(|&(r, _)| r);
+        }
+        CsrGraph {
+            n_left: g.n_left(),
+            n_right: g.n_right(),
+            offsets,
+            rights: cells.iter().map(|&(r, _)| r).collect(),
+            weights: cells.iter().map(|&(_, w)| w).collect(),
+        }
+    }
+
+    /// Convert back to a [`SimilarityGraph`], edges in the canonical
+    /// `(left asc, right asc)` order. Bit-exact weights; no re-validation
+    /// (the invariants were checked when the source graph was built).
+    ///
+    /// ```
+    /// use er_core::{CsrGraph, Edge, SimilarityGraph};
+    ///
+    /// let g = SimilarityGraph::new(3, 3, vec![Edge::new(2, 1, 0.5)]).unwrap();
+    /// let back = CsrGraph::from_graph(&g).to_graph();
+    /// assert_eq!(back.weight_of(2, 1), Some(0.5));
+    /// ```
+    pub fn to_graph(&self) -> SimilarityGraph {
+        SimilarityGraph::from_parts_unchecked(self.n_left, self.n_right, self.iter().collect())
+    }
+
+    /// Number of entities in the left collection `V1`.
+    ///
+    /// ```
+    /// # use er_core::{CsrGraph, GraphBuilder};
+    /// let csr = CsrGraph::from_graph(&GraphBuilder::new(4, 2).build());
+    /// assert_eq!(csr.n_left(), 4);
+    /// ```
+    #[inline]
+    pub fn n_left(&self) -> u32 {
+        self.n_left
+    }
+
+    /// Number of entities in the right collection `V2`.
+    ///
+    /// ```
+    /// # use er_core::{CsrGraph, GraphBuilder};
+    /// let csr = CsrGraph::from_graph(&GraphBuilder::new(4, 2).build());
+    /// assert_eq!(csr.n_right(), 2);
+    /// ```
+    #[inline]
+    pub fn n_right(&self) -> u32 {
+        self.n_right
+    }
+
+    /// Number of edges `m`.
+    ///
+    /// ```
+    /// # use er_core::{CsrGraph, GraphBuilder};
+    /// let mut b = GraphBuilder::new(1, 1);
+    /// b.add_edge(0, 0, 1.0).unwrap();
+    /// assert_eq!(CsrGraph::from_graph(&b.build()).n_edges(), 1);
+    /// ```
+    #[inline]
+    pub fn n_edges(&self) -> usize {
+        self.rights.len()
+    }
+
+    /// Whether the store holds no edges.
+    ///
+    /// ```
+    /// # use er_core::{CsrGraph, GraphBuilder};
+    /// assert!(CsrGraph::from_graph(&GraphBuilder::new(2, 2).build()).is_empty());
+    /// ```
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rights.is_empty()
+    }
+
+    /// Degree of left row `left` (panics if out of bounds).
+    ///
+    /// ```
+    /// # use er_core::{CsrGraph, GraphBuilder};
+    /// let mut b = GraphBuilder::new(2, 2);
+    /// b.add_edge(0, 0, 0.5).unwrap();
+    /// b.add_edge(0, 1, 0.5).unwrap();
+    /// let csr = CsrGraph::from_graph(&b.build());
+    /// assert_eq!(csr.degree(0), 2);
+    /// assert_eq!(csr.degree(1), 0);
+    /// ```
+    #[inline]
+    pub fn degree(&self, left: u32) -> usize {
+        self.offsets[left as usize + 1] - self.offsets[left as usize]
+    }
+
+    /// Row `left` as `(right ids, weights)` parallel slices, right ids
+    /// ascending (panics if out of bounds).
+    ///
+    /// ```
+    /// # use er_core::{CsrGraph, GraphBuilder};
+    /// let mut b = GraphBuilder::new(1, 3);
+    /// b.add_edge(0, 2, 0.3).unwrap();
+    /// b.add_edge(0, 0, 0.6).unwrap();
+    /// let csr = CsrGraph::from_graph(&b.build());
+    /// assert_eq!(csr.row(0), (&[0u32, 2][..], &[0.6f64, 0.3][..]));
+    /// ```
+    #[inline]
+    pub fn row(&self, left: u32) -> (&[u32], &[f64]) {
+        let (s, e) = (self.offsets[left as usize], self.offsets[left as usize + 1]);
+        (&self.rights[s..e], &self.weights[s..e])
+    }
+
+    /// Look up the weight of edge `(left, right)` — one binary search in
+    /// the row, `O(log degree)`. Out-of-bounds ids return `None`.
+    ///
+    /// ```
+    /// # use er_core::{CsrGraph, GraphBuilder};
+    /// let mut b = GraphBuilder::new(2, 2);
+    /// b.add_edge(1, 0, 0.8).unwrap();
+    /// let csr = CsrGraph::from_graph(&b.build());
+    /// assert_eq!(csr.weight_of(1, 0), Some(0.8));
+    /// assert_eq!(csr.weight_of(0, 0), None);
+    /// assert_eq!(csr.weight_of(9, 9), None);
+    /// ```
+    pub fn weight_of(&self, left: u32, right: u32) -> Option<f64> {
+        if left >= self.n_left {
+            return None;
+        }
+        let (rights, weights) = self.row(left);
+        rights.binary_search(&right).ok().map(|i| weights[i])
+    }
+
+    /// Iterate all edges in canonical `(left asc, right asc)` order.
+    ///
+    /// ```
+    /// # use er_core::{CsrGraph, GraphBuilder};
+    /// let mut b = GraphBuilder::new(2, 2);
+    /// b.add_edge(1, 1, 0.2).unwrap();
+    /// b.add_edge(0, 0, 0.9).unwrap();
+    /// let csr = CsrGraph::from_graph(&b.build());
+    /// let pairs: Vec<(u32, u32)> = csr.iter().map(|e| (e.left, e.right)).collect();
+    /// assert_eq!(pairs, vec![(0, 0), (1, 1)]);
+    /// ```
+    pub fn iter(&self) -> impl Iterator<Item = Edge> + '_ {
+        (0..self.n_left).flat_map(move |l| {
+            let (rights, weights) = self.row(l);
+            rights
+                .iter()
+                .zip(weights)
+                .map(move |(&r, &w)| Edge::new(l, r, w))
+        })
+    }
+
+    /// Total heap bytes of the three slabs — the store's resident size,
+    /// handy for the scalability experiment's memory reporting.
+    ///
+    /// ```
+    /// # use er_core::{CsrGraph, GraphBuilder};
+    /// let csr = CsrGraph::from_graph(&GraphBuilder::new(1, 1).build());
+    /// assert_eq!(csr.slab_bytes(), 2 * 8); // two offsets, no edges
+    /// ```
+    pub fn slab_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.rights.len() * std::mem::size_of::<u32>()
+            + self.weights.len() * std::mem::size_of::<f64>()
+    }
+}
+
+impl From<&SimilarityGraph> for CsrGraph {
+    fn from(g: &SimilarityGraph) -> Self {
+        CsrGraph::from_graph(g)
+    }
+}
+
+impl From<&CsrGraph> for SimilarityGraph {
+    fn from(csr: &CsrGraph) -> Self {
+        csr.to_graph()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn sample() -> SimilarityGraph {
+        let mut b = GraphBuilder::new(3, 4);
+        b.add_edge(0, 3, 0.9).unwrap();
+        b.add_edge(0, 1, 0.5).unwrap();
+        b.add_edge(2, 0, 0.7).unwrap();
+        b.add_edge(2, 2, 0.7).unwrap();
+        b.add_edge(2, 1, 0.1).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn rows_are_sorted_by_right_id() {
+        let csr = CsrGraph::from_graph(&sample());
+        assert_eq!(csr.row(0).0, &[1, 3]);
+        assert_eq!(csr.row(1).0, &[] as &[u32]);
+        assert_eq!(csr.row(2).0, &[0, 1, 2]);
+        assert_eq!(csr.degree(2), 3);
+        assert_eq!(csr.n_edges(), 5);
+        assert!(!csr.is_empty());
+    }
+
+    #[test]
+    fn lookup_matches_graph() {
+        let g = sample();
+        let csr = CsrGraph::from_graph(&g);
+        for l in 0..4u32 {
+            for r in 0..5u32 {
+                assert_eq!(csr.weight_of(l, r), g.weight_of(l, r), "({l},{r})");
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_edge_set_bitwise() {
+        let g = sample();
+        let back = CsrGraph::from_graph(&g).to_graph();
+        assert_eq!(back.n_left(), g.n_left());
+        assert_eq!(back.n_right(), g.n_right());
+        let canon = |g: &SimilarityGraph| -> Vec<(u32, u32, u64)> {
+            let mut v: Vec<_> = g
+                .edges()
+                .iter()
+                .map(|e| (e.left, e.right, e.weight.to_bits()))
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(canon(&back), canon(&g));
+        // And the round-tripped order is canonical.
+        let pairs: Vec<(u32, u32)> = back.edges().iter().map(|e| (e.left, e.right)).collect();
+        let mut sorted = pairs.clone();
+        sorted.sort_unstable();
+        assert_eq!(pairs, sorted);
+    }
+
+    #[test]
+    fn conversion_impls_delegate() {
+        let g = sample();
+        let csr: CsrGraph = (&g).into();
+        let back: SimilarityGraph = (&csr).into();
+        assert_eq!(back.n_edges(), g.n_edges());
+        assert_eq!(csr, CsrGraph::from_graph(&back), "CSR form is canonical");
+    }
+
+    #[test]
+    fn empty_graph_round_trips() {
+        let g = GraphBuilder::new(4, 4).build();
+        let csr = CsrGraph::from_graph(&g);
+        assert!(csr.is_empty());
+        assert_eq!(csr.to_graph().n_edges(), 0);
+        assert_eq!(csr.iter().count(), 0);
+    }
+
+    #[test]
+    fn slab_bytes_counts_all_slabs() {
+        let csr = CsrGraph::from_graph(&sample());
+        assert_eq!(csr.slab_bytes(), 4 * 8 + 5 * 4 + 5 * 8);
+    }
+}

@@ -7,7 +7,11 @@
 //!
 //! Matching algorithms never mutate the graph; they consume an [`Adjacency`]
 //! view (per-node neighbor lists sorted by descending weight) plus the raw
-//! edge list, both built once per graph.
+//! edge list, both built once per graph. For memory-bounded storage and
+//! `O(log d)` pair lookups see [`CsrGraph`](crate::CsrGraph); for bounded
+//! per-row construction see [`TopKBuilder`](crate::TopKBuilder).
+
+use std::sync::OnceLock;
 
 use serde::{Deserialize, Serialize};
 
@@ -15,6 +19,13 @@ use crate::error::{CoreError, Result};
 use crate::hash::FxHashSet;
 
 /// A weighted edge between a `V1` node and a `V2` node.
+///
+/// ```
+/// use er_core::Edge;
+///
+/// let e = Edge::new(0, 3, 0.75);
+/// assert_eq!((e.left, e.right, e.weight), (0, 3, 0.75));
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Edge {
     /// Index of the entity in the first (left) collection.
@@ -27,6 +38,11 @@ pub struct Edge {
 
 impl Edge {
     /// Construct an edge; no validation (the builder validates).
+    ///
+    /// ```
+    /// # use er_core::Edge;
+    /// assert_eq!(Edge::new(1, 2, 0.5).weight, 0.5);
+    /// ```
     #[inline]
     pub fn new(left: u32, right: u32, weight: f64) -> Self {
         Edge {
@@ -43,15 +59,39 @@ impl Edge {
 /// `V2`. Construction goes through [`GraphBuilder`], which enforces that ids
 /// are in bounds, weights are finite values in `[0, 1]`, and that no
 /// `(left, right)` pair appears twice.
+///
+/// ```
+/// use er_core::{GraphBuilder, SimilarityGraph};
+///
+/// let mut b = GraphBuilder::new(2, 2);
+/// b.add_edge(0, 1, 0.8).unwrap();
+/// let g: SimilarityGraph = b.build();
+/// assert_eq!(g.n_edges(), 1);
+/// ```
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimilarityGraph {
     n_left: u32,
     n_right: u32,
     edges: Vec<Edge>,
+    /// Lazy CSR-style lookup index for [`SimilarityGraph::weight_of`]: the
+    /// edge positions sorted by `(left, right)`, built on first lookup.
+    /// Keyed by ids only, so [`SimilarityGraph::map_weights`] (the one
+    /// post-build mutation, which touches weights alone) never invalidates
+    /// it. Skipped by serde; deserialized graphs start with a cold index.
+    #[serde(skip)]
+    by_pair: OnceLock<Vec<u32>>,
 }
 
 impl SimilarityGraph {
     /// Create a graph from parts, validating every edge.
+    ///
+    /// ```
+    /// use er_core::{Edge, SimilarityGraph};
+    ///
+    /// let g = SimilarityGraph::new(2, 2, vec![Edge::new(0, 0, 0.9)]).unwrap();
+    /// assert_eq!(g.n_edges(), 1);
+    /// assert!(SimilarityGraph::new(1, 1, vec![Edge::new(5, 0, 0.9)]).is_err());
+    /// ```
     pub fn new(n_left: u32, n_right: u32, edges: Vec<Edge>) -> Result<Self> {
         let mut builder = GraphBuilder::new(n_left, n_right);
         for e in edges {
@@ -60,57 +100,148 @@ impl SimilarityGraph {
         Ok(builder.build())
     }
 
+    /// Assemble a graph from already-validated parts — the internal fast
+    /// path for [`CsrGraph`](crate::CsrGraph) and
+    /// [`TopKBuilder`](crate::TopKBuilder), whose invariants guarantee
+    /// in-bounds unique edges with valid weights.
+    pub(crate) fn from_parts_unchecked(n_left: u32, n_right: u32, edges: Vec<Edge>) -> Self {
+        SimilarityGraph {
+            n_left,
+            n_right,
+            edges,
+            by_pair: OnceLock::new(),
+        }
+    }
+
     /// Number of entities in the left collection `V1`.
+    ///
+    /// ```
+    /// # use er_core::GraphBuilder;
+    /// assert_eq!(GraphBuilder::new(3, 5).build().n_left(), 3);
+    /// ```
     #[inline]
     pub fn n_left(&self) -> u32 {
         self.n_left
     }
 
     /// Number of entities in the right collection `V2`.
+    ///
+    /// ```
+    /// # use er_core::GraphBuilder;
+    /// assert_eq!(GraphBuilder::new(3, 5).build().n_right(), 5);
+    /// ```
     #[inline]
     pub fn n_right(&self) -> u32 {
         self.n_right
     }
 
     /// Total number of nodes `n = |V1 ∪ V2|`.
+    ///
+    /// ```
+    /// # use er_core::GraphBuilder;
+    /// assert_eq!(GraphBuilder::new(3, 5).build().n_nodes(), 8);
+    /// ```
     #[inline]
     pub fn n_nodes(&self) -> u64 {
         self.n_left as u64 + self.n_right as u64
     }
 
     /// Number of edges `m = |E|`.
+    ///
+    /// ```
+    /// # use er_core::GraphBuilder;
+    /// let mut b = GraphBuilder::new(1, 1);
+    /// b.add_edge(0, 0, 1.0).unwrap();
+    /// assert_eq!(b.build().n_edges(), 1);
+    /// ```
     #[inline]
     pub fn n_edges(&self) -> usize {
         self.edges.len()
     }
 
     /// The edges, in insertion order.
+    ///
+    /// ```
+    /// # use er_core::GraphBuilder;
+    /// let mut b = GraphBuilder::new(1, 2);
+    /// b.add_edge(0, 1, 0.3).unwrap();
+    /// b.add_edge(0, 0, 0.9).unwrap();
+    /// assert_eq!(b.build().edges()[0].right, 1);
+    /// ```
     #[inline]
     pub fn edges(&self) -> &[Edge] {
         &self.edges
     }
 
     /// Whether the graph has no edges.
+    ///
+    /// ```
+    /// # use er_core::GraphBuilder;
+    /// assert!(GraphBuilder::new(4, 4).build().is_empty());
+    /// ```
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.edges.is_empty()
     }
 
-    /// Look up the weight of edge `(left, right)` by scanning — O(m).
-    /// Intended for tests and small examples; algorithms use [`Adjacency`].
+    /// Look up the weight of edge `(left, right)`.
+    ///
+    /// Served by a lazy CSR-style index — the edge positions sorted by
+    /// `(left, right)`, built once on first call (`O(m log m)`) and then
+    /// binary-searched (`O(log m)` per lookup). The previous
+    /// implementation re-scanned all `m` edges per lookup, which made
+    /// repeated probes of large graphs quadratic.
+    ///
+    /// ```
+    /// use er_core::GraphBuilder;
+    ///
+    /// let mut b = GraphBuilder::new(2, 2);
+    /// b.add_edge(0, 1, 0.6).unwrap();
+    /// let g = b.build();
+    /// assert_eq!(g.weight_of(0, 1), Some(0.6));
+    /// assert_eq!(g.weight_of(1, 0), None);
+    /// ```
     pub fn weight_of(&self, left: u32, right: u32) -> Option<f64> {
-        self.edges
-            .iter()
-            .find(|e| e.left == left && e.right == right)
-            .map(|e| e.weight)
+        let index = self.by_pair.get_or_init(|| {
+            let mut order: Vec<u32> = (0..self.edges.len() as u32).collect();
+            order.sort_unstable_by_key(|&i| {
+                let e = &self.edges[i as usize];
+                (e.left, e.right)
+            });
+            order
+        });
+        index
+            .binary_search_by(|&i| {
+                let e = &self.edges[i as usize];
+                (e.left, e.right).cmp(&(left, right))
+            })
+            .ok()
+            .map(|pos| self.edges[index[pos] as usize].weight)
     }
 
     /// Count edges with `weight >= t`.
+    ///
+    /// ```
+    /// # use er_core::GraphBuilder;
+    /// let mut b = GraphBuilder::new(2, 2);
+    /// b.add_edge(0, 0, 0.2).unwrap();
+    /// b.add_edge(1, 1, 0.8).unwrap();
+    /// assert_eq!(b.build().edges_at_least(0.5), 1);
+    /// ```
     pub fn edges_at_least(&self, t: f64) -> usize {
         self.edges.iter().filter(|e| e.weight >= t).count()
     }
 
     /// The minimum and maximum edge weight, or `None` for an empty graph.
+    ///
+    /// ```
+    /// # use er_core::GraphBuilder;
+    /// let mut b = GraphBuilder::new(2, 2);
+    /// b.add_edge(0, 0, 0.2).unwrap();
+    /// b.add_edge(1, 1, 0.8).unwrap();
+    /// assert_eq!(b.build().weight_range(), Some((0.2, 0.8)));
+    /// assert_eq!(GraphBuilder::new(1, 1).build().weight_range(), None);
+    /// ```
     pub fn weight_range(&self) -> Option<(f64, f64)> {
         if self.edges.is_empty() {
             return None;
@@ -127,7 +258,18 @@ impl SimilarityGraph {
     /// Apply `f` to every edge weight in place.
     ///
     /// Used by min-max normalization; `f` must keep weights in `[0, 1]`
-    /// (checked with a debug assertion).
+    /// (checked with a debug assertion). The [`SimilarityGraph::weight_of`]
+    /// lookup index survives — it is keyed by edge ids, which this cannot
+    /// change.
+    ///
+    /// ```
+    /// # use er_core::GraphBuilder;
+    /// let mut b = GraphBuilder::new(1, 1);
+    /// b.add_edge(0, 0, 0.8).unwrap();
+    /// let mut g = b.build();
+    /// g.map_weights(|w| w / 2.0);
+    /// assert_eq!(g.weight_of(0, 0), Some(0.4));
+    /// ```
     pub fn map_weights(&mut self, mut f: impl FnMut(f64) -> f64) {
         for e in &mut self.edges {
             e.weight = f(e.weight);
@@ -140,26 +282,87 @@ impl SimilarityGraph {
     }
 
     /// A copy of the graph containing only edges with `weight >= t`.
+    ///
+    /// ```
+    /// # use er_core::GraphBuilder;
+    /// let mut b = GraphBuilder::new(2, 2);
+    /// b.add_edge(0, 0, 0.2).unwrap();
+    /// b.add_edge(1, 1, 0.8).unwrap();
+    /// assert_eq!(b.build().pruned(0.5).n_edges(), 1);
+    /// ```
     pub fn pruned(&self, t: f64) -> SimilarityGraph {
-        SimilarityGraph {
-            n_left: self.n_left,
-            n_right: self.n_right,
-            edges: self
-                .edges
+        SimilarityGraph::from_parts_unchecked(
+            self.n_left,
+            self.n_right,
+            self.edges
                 .iter()
                 .copied()
                 .filter(|e| e.weight >= t)
                 .collect(),
+        )
+    }
+
+    /// A copy of the graph keeping only each left row's best `k` edges —
+    /// ranked by weight descending, ties broken by ascending right id,
+    /// the same deterministic selection as
+    /// [`TopKBuilder`](crate::TopKBuilder). Rows come out in ascending
+    /// left order, each sorted by that rank — byte-for-byte the layout
+    /// `TopKBuilder` / `er-pipeline`'s `build_graph_topk` produce.
+    ///
+    /// This is the *dense-then-prune* flow (`O(m log d)`: counting sort
+    /// into rows, then per-row sorts): the dense graph already exists and
+    /// has paid its full memory cost. To keep peak memory at
+    /// `O(n_left × k)` prune **during** construction instead
+    /// (`er-pipeline`'s `build_graph_topk`).
+    ///
+    /// ```
+    /// use er_core::GraphBuilder;
+    ///
+    /// let mut b = GraphBuilder::new(1, 3);
+    /// b.add_edge(0, 0, 0.2).unwrap();
+    /// b.add_edge(0, 1, 0.9).unwrap();
+    /// b.add_edge(0, 2, 0.5).unwrap();
+    /// let top2 = b.build().pruned_top_k(2);
+    /// assert_eq!(top2.weight_of(0, 1), Some(0.9));
+    /// assert_eq!(top2.weight_of(0, 0), None, "worst edge dropped");
+    /// ```
+    pub fn pruned_top_k(&self, k: usize) -> SimilarityGraph {
+        let n = self.n_left as usize;
+        let (offsets, mut cells) = group_edges_by_left(n, &self.edges);
+        let mut edges = Vec::with_capacity(self.edges.len().min(n.saturating_mul(k)));
+        for l in 0..n {
+            let row = &mut cells[offsets[l]..offsets[l + 1]];
+            // Weight desc, right-id asc — total order, built graphs
+            // contain no NaN.
+            row.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+            edges.extend(row.iter().take(k).map(|&(r, w)| Edge::new(l as u32, r, w)));
         }
+        SimilarityGraph::from_parts_unchecked(self.n_left, self.n_right, edges)
     }
 
     /// Build the CSR adjacency view (per-node neighbors sorted by descending
     /// weight with id tie-break).
+    ///
+    /// ```
+    /// # use er_core::GraphBuilder;
+    /// let mut b = GraphBuilder::new(1, 2);
+    /// b.add_edge(0, 0, 0.1).unwrap();
+    /// b.add_edge(0, 1, 0.9).unwrap();
+    /// assert_eq!(b.build().adjacency().left(0)[0].node, 1);
+    /// ```
     pub fn adjacency(&self) -> Adjacency {
         Adjacency::build(self)
     }
 
     /// Build the weight-descending sorted edge view (see [`SortedEdges`]).
+    ///
+    /// ```
+    /// # use er_core::GraphBuilder;
+    /// let mut b = GraphBuilder::new(2, 2);
+    /// b.add_edge(0, 0, 0.1).unwrap();
+    /// b.add_edge(1, 1, 0.9).unwrap();
+    /// assert_eq!(b.build().sorted_edges().all()[0].weight, 0.9);
+    /// ```
     pub fn sorted_edges(&self) -> SortedEdges {
         SortedEdges::build(self)
     }
@@ -182,6 +385,17 @@ impl SimilarityGraph {
 /// * `at_least(t)` is exactly `{e | e.weight >= t}`, also a prefix, and
 ///   `above(t)` is a prefix of `at_least(t)`.
 ///
+/// ```
+/// use er_core::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(2, 2);
+/// b.add_edge(0, 0, 0.4).unwrap();
+/// b.add_edge(1, 1, 0.9).unwrap();
+/// let s = b.build().sorted_edges();
+/// assert_eq!(s.above(0.4).len(), 1);
+/// assert_eq!(s.at_least(0.4).len(), 2);
+/// ```
+///
 /// [`edge_key_desc`]: crate::float::edge_key_desc
 #[derive(Debug, Clone)]
 pub struct SortedEdges {
@@ -190,6 +404,12 @@ pub struct SortedEdges {
 
 impl SortedEdges {
     /// Sort the graph's edges once — `O(m log m)`.
+    ///
+    /// ```
+    /// # use er_core::{GraphBuilder, SortedEdges};
+    /// let s = SortedEdges::build(&GraphBuilder::new(2, 2).build());
+    /// assert!(s.is_empty());
+    /// ```
     pub fn build(g: &SimilarityGraph) -> Self {
         let mut edges = g.edges.clone();
         edges.sort_by(|a, b| {
@@ -199,36 +419,76 @@ impl SortedEdges {
     }
 
     /// All edges, highest weight first.
+    ///
+    /// ```
+    /// # use er_core::GraphBuilder;
+    /// let mut b = GraphBuilder::new(2, 2);
+    /// b.add_edge(0, 0, 0.1).unwrap();
+    /// b.add_edge(1, 1, 0.8).unwrap();
+    /// let s = b.build().sorted_edges();
+    /// assert_eq!(s.all()[0].weight, 0.8);
+    /// ```
     #[inline]
     pub fn all(&self) -> &[Edge] {
         &self.edges
     }
 
     /// Number of edges.
+    ///
+    /// ```
+    /// # use er_core::GraphBuilder;
+    /// assert_eq!(GraphBuilder::new(1, 1).build().sorted_edges().len(), 0);
+    /// ```
     #[inline]
     pub fn len(&self) -> usize {
         self.edges.len()
     }
 
     /// Whether the view is empty.
+    ///
+    /// ```
+    /// # use er_core::GraphBuilder;
+    /// assert!(GraphBuilder::new(1, 1).build().sorted_edges().is_empty());
+    /// ```
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.edges.is_empty()
     }
 
     /// The prefix of edges with `weight > t` — one binary search, `O(log m)`.
+    ///
+    /// ```
+    /// # use er_core::GraphBuilder;
+    /// let mut b = GraphBuilder::new(1, 1);
+    /// b.add_edge(0, 0, 0.5).unwrap();
+    /// assert!(b.build().sorted_edges().above(0.5).is_empty());
+    /// ```
     #[inline]
     pub fn above(&self, t: f64) -> &[Edge] {
         &self.edges[..self.count_above(t)]
     }
 
     /// The prefix of edges with `weight >= t` — one binary search.
+    ///
+    /// ```
+    /// # use er_core::GraphBuilder;
+    /// let mut b = GraphBuilder::new(1, 1);
+    /// b.add_edge(0, 0, 0.5).unwrap();
+    /// assert_eq!(b.build().sorted_edges().at_least(0.5).len(), 1);
+    /// ```
     #[inline]
     pub fn at_least(&self, t: f64) -> &[Edge] {
         &self.edges[..self.count_at_least(t)]
     }
 
     /// Length of the `weight > t` prefix.
+    ///
+    /// ```
+    /// # use er_core::GraphBuilder;
+    /// let mut b = GraphBuilder::new(1, 1);
+    /// b.add_edge(0, 0, 0.5).unwrap();
+    /// assert_eq!(b.build().sorted_edges().count_above(0.2), 1);
+    /// ```
     #[inline]
     pub fn count_above(&self, t: f64) -> usize {
         // Weights descend, so `weight > t` is a monotone prefix predicate.
@@ -236,6 +496,13 @@ impl SortedEdges {
     }
 
     /// Length of the `weight >= t` prefix.
+    ///
+    /// ```
+    /// # use er_core::GraphBuilder;
+    /// let mut b = GraphBuilder::new(1, 1);
+    /// b.add_edge(0, 0, 0.5).unwrap();
+    /// assert_eq!(b.build().sorted_edges().count_at_least(0.5), 1);
+    /// ```
     #[inline]
     pub fn count_at_least(&self, t: f64) -> usize {
         self.edges.partition_point(|e| e.weight >= t)
@@ -243,6 +510,14 @@ impl SortedEdges {
 }
 
 /// Incremental, validating constructor for [`SimilarityGraph`].
+///
+/// ```
+/// use er_core::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(2, 2);
+/// b.add_edge(0, 0, 0.9).unwrap();
+/// assert_eq!(b.build().n_edges(), 1);
+/// ```
 #[derive(Debug, Clone)]
 pub struct GraphBuilder {
     n_left: u32,
@@ -253,6 +528,12 @@ pub struct GraphBuilder {
 
 impl GraphBuilder {
     /// Start building a graph over collections of the given sizes.
+    ///
+    /// ```
+    /// # use er_core::GraphBuilder;
+    /// let g = GraphBuilder::new(3, 4).build();
+    /// assert_eq!((g.n_left(), g.n_right()), (3, 4));
+    /// ```
     pub fn new(n_left: u32, n_right: u32) -> Self {
         GraphBuilder {
             n_left,
@@ -263,6 +544,13 @@ impl GraphBuilder {
     }
 
     /// Pre-allocate for an expected number of edges.
+    ///
+    /// ```
+    /// # use er_core::GraphBuilder;
+    /// let mut b = GraphBuilder::with_capacity(2, 2, 4);
+    /// b.add_edge(0, 0, 0.5).unwrap();
+    /// assert_eq!(b.len(), 1);
+    /// ```
     pub fn with_capacity(n_left: u32, n_right: u32, edges: usize) -> Self {
         let mut b = Self::new(n_left, n_right);
         b.edges.reserve(edges);
@@ -271,6 +559,13 @@ impl GraphBuilder {
     }
 
     /// Add one validated edge.
+    ///
+    /// ```
+    /// # use er_core::GraphBuilder;
+    /// let mut b = GraphBuilder::new(1, 1);
+    /// assert!(b.add_edge(0, 0, 0.5).is_ok());
+    /// assert!(b.add_edge(0, 0, 0.7).is_err(), "duplicate pair");
+    /// ```
     pub fn add_edge(&mut self, left: u32, right: u32, weight: f64) -> Result<()> {
         if left >= self.n_left {
             return Err(CoreError::NodeOutOfBounds {
@@ -306,6 +601,13 @@ impl GraphBuilder {
     /// capacity reservation. Shards from disjoint left-ranges cannot
     /// collide, but the duplicate check still runs so the builder's
     /// invariants hold for arbitrary input.
+    ///
+    /// ```
+    /// # use er_core::{Edge, GraphBuilder};
+    /// let mut b = GraphBuilder::new(2, 2);
+    /// b.merge_shard(vec![Edge::new(0, 0, 0.5), Edge::new(1, 1, 0.7)]).unwrap();
+    /// assert_eq!(b.len(), 2);
+    /// ```
     pub fn merge_shard<I>(&mut self, edges: I) -> Result<()>
     where
         I: IntoIterator<Item = Edge>,
@@ -321,27 +623,47 @@ impl GraphBuilder {
     }
 
     /// Number of edges added so far.
+    ///
+    /// ```
+    /// # use er_core::GraphBuilder;
+    /// assert_eq!(GraphBuilder::new(1, 1).len(), 0);
+    /// ```
     pub fn len(&self) -> usize {
         self.edges.len()
     }
 
     /// Whether no edges have been added yet.
+    ///
+    /// ```
+    /// # use er_core::GraphBuilder;
+    /// assert!(GraphBuilder::new(1, 1).is_empty());
+    /// ```
     pub fn is_empty(&self) -> bool {
         self.edges.is_empty()
     }
 
     /// Finish construction.
+    ///
+    /// ```
+    /// # use er_core::GraphBuilder;
+    /// let mut b = GraphBuilder::new(1, 1);
+    /// b.add_edge(0, 0, 1.0).unwrap();
+    /// assert_eq!(b.build().n_edges(), 1);
+    /// ```
     pub fn build(self) -> SimilarityGraph {
-        SimilarityGraph {
-            n_left: self.n_left,
-            n_right: self.n_right,
-            edges: self.edges,
-        }
+        SimilarityGraph::from_parts_unchecked(self.n_left, self.n_right, self.edges)
     }
 }
 
 /// A neighbor entry in an adjacency list: the opposite-side node and the
 /// weight of the connecting edge.
+///
+/// ```
+/// use er_core::Neighbor;
+///
+/// let n = Neighbor { node: 2, weight: 0.4 };
+/// assert_eq!(n.node, 2);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Neighbor {
     /// The opposite-side node id.
@@ -355,6 +677,16 @@ pub struct Neighbor {
 /// Neighbor lists are sorted by **descending weight**, breaking ties by
 /// ascending node id — the deterministic order every matching algorithm
 /// iterates candidates in.
+///
+/// ```
+/// use er_core::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(1, 2);
+/// b.add_edge(0, 0, 0.3).unwrap();
+/// b.add_edge(0, 1, 0.8).unwrap();
+/// let adj = b.build().adjacency();
+/// assert_eq!(adj.left(0)[0].node, 1, "best neighbor first");
+/// ```
 #[derive(Debug, Clone)]
 pub struct Adjacency {
     left_offsets: Vec<u32>,
@@ -421,6 +753,13 @@ impl Adjacency {
     }
 
     /// Neighbors of left node `i`, best first.
+    ///
+    /// ```
+    /// # use er_core::GraphBuilder;
+    /// let mut b = GraphBuilder::new(1, 1);
+    /// b.add_edge(0, 0, 0.5).unwrap();
+    /// assert_eq!(b.build().adjacency().left(0).len(), 1);
+    /// ```
     #[inline]
     pub fn left(&self, i: u32) -> &[Neighbor] {
         let (s, e) = (
@@ -431,6 +770,13 @@ impl Adjacency {
     }
 
     /// Neighbors of right node `j`, best first.
+    ///
+    /// ```
+    /// # use er_core::GraphBuilder;
+    /// let mut b = GraphBuilder::new(1, 1);
+    /// b.add_edge(0, 0, 0.5).unwrap();
+    /// assert_eq!(b.build().adjacency().right(0)[0].node, 0);
+    /// ```
     #[inline]
     pub fn right(&self, j: u32) -> &[Neighbor] {
         let (s, e) = (
@@ -441,35 +787,75 @@ impl Adjacency {
     }
 
     /// Degree of left node `i`.
+    ///
+    /// ```
+    /// # use er_core::GraphBuilder;
+    /// assert_eq!(GraphBuilder::new(2, 2).build().adjacency().left_degree(0), 0);
+    /// ```
     #[inline]
     pub fn left_degree(&self, i: u32) -> usize {
         self.left(i).len()
     }
 
     /// Degree of right node `j`.
+    ///
+    /// ```
+    /// # use er_core::GraphBuilder;
+    /// assert_eq!(GraphBuilder::new(2, 2).build().adjacency().right_degree(1), 0);
+    /// ```
     #[inline]
     pub fn right_degree(&self, j: u32) -> usize {
         self.right(j).len()
     }
 
     /// Best neighbor of left node `i` with weight above `t`, if any.
+    ///
+    /// ```
+    /// # use er_core::GraphBuilder;
+    /// let mut b = GraphBuilder::new(1, 1);
+    /// b.add_edge(0, 0, 0.5).unwrap();
+    /// let adj = b.build().adjacency();
+    /// assert_eq!(adj.best_left(0, 0.4).map(|n| n.node), Some(0));
+    /// assert_eq!(adj.best_left(0, 0.5), None, "threshold is strict");
+    /// ```
     #[inline]
     pub fn best_left(&self, i: u32, t: f64) -> Option<Neighbor> {
         self.left(i).first().copied().filter(|n| n.weight > t)
     }
 
     /// Best neighbor of right node `j` with weight above `t`, if any.
+    ///
+    /// ```
+    /// # use er_core::GraphBuilder;
+    /// let mut b = GraphBuilder::new(1, 1);
+    /// b.add_edge(0, 0, 0.5).unwrap();
+    /// assert_eq!(b.build().adjacency().best_right(0, 0.0).map(|n| n.node), Some(0));
+    /// ```
     #[inline]
     pub fn best_right(&self, j: u32, t: f64) -> Option<Neighbor> {
         self.right(j).first().copied().filter(|n| n.weight > t)
     }
 
     /// Average adjacent-edge weight of left node `i` (0 for isolated nodes).
+    ///
+    /// ```
+    /// # use er_core::GraphBuilder;
+    /// let mut b = GraphBuilder::new(1, 2);
+    /// b.add_edge(0, 0, 0.2).unwrap();
+    /// b.add_edge(0, 1, 0.4).unwrap();
+    /// let avg = b.build().adjacency().avg_weight_left(0);
+    /// assert!((avg - 0.3).abs() < 1e-12);
+    /// ```
     pub fn avg_weight_left(&self, i: u32) -> f64 {
         avg(self.left(i))
     }
 
     /// Average adjacent-edge weight of right node `j` (0 for isolated nodes).
+    ///
+    /// ```
+    /// # use er_core::GraphBuilder;
+    /// assert_eq!(GraphBuilder::new(1, 1).build().adjacency().avg_weight_right(0), 0.0);
+    /// ```
     pub fn avg_weight_right(&self, j: u32) -> f64 {
         avg(self.right(j))
     }
@@ -481,6 +867,30 @@ fn avg(ns: &[Neighbor]) -> f64 {
     } else {
         ns.iter().map(|n| n.weight).sum::<f64>() / ns.len() as f64
     }
+}
+
+/// Counting-sort `edges` into per-left-row groups: returns the row
+/// `offsets` (length `n + 1`) and the `(right, weight)` cells, where row
+/// `l` occupies `cells[offsets[l]..offsets[l + 1]]` in input order.
+/// Shared by [`SimilarityGraph::pruned_top_k`] and
+/// [`CsrGraph`](crate::CsrGraph) construction, which differ only in the
+/// per-row sort they apply afterwards.
+pub(crate) fn group_edges_by_left(n: usize, edges: &[Edge]) -> (Vec<usize>, Vec<(u32, f64)>) {
+    let mut counts = vec![0usize; n + 1];
+    for e in edges {
+        counts[e.left as usize + 1] += 1;
+    }
+    for i in 1..counts.len() {
+        counts[i] += counts[i - 1];
+    }
+    let offsets = counts.clone();
+    let mut cursor = counts;
+    let mut cells: Vec<(u32, f64)> = vec![(0, 0.0); edges.len()];
+    for e in edges {
+        cells[cursor[e.left as usize]] = (e.right, e.weight);
+        cursor[e.left as usize] += 1;
+    }
+    (offsets, cells)
 }
 
 #[cfg(test)]
@@ -596,11 +1006,82 @@ mod tests {
     }
 
     #[test]
+    fn weight_of_index_agrees_with_scan_at_scale() {
+        // Regression: weight_of used to re-scan all edges per lookup —
+        // probing every pair of a 100k-edge graph was O(m²) (minutes).
+        // The lazy (left, right)-sorted index answers each probe with one
+        // binary search; this test's ~200k probes finish in well under a
+        // second, and every answer is checked against a directly-built map.
+        let (n_left, n_right) = (1000u32, 120u32);
+        let mut b = GraphBuilder::new(n_left, n_right);
+        let mut reference = crate::hash::FxHashMap::default();
+        for l in 0..n_left {
+            for r in 0..n_right {
+                // ~83% fill: 100_000 edges out of 120_000 slots.
+                if (l.wrapping_mul(31).wrapping_add(r.wrapping_mul(17))) % 6 != 0 {
+                    let w = ((l as u64 * 131 + r as u64 * 29) % 1000) as f64 / 1000.0;
+                    b.add_edge(l, r, w).unwrap();
+                    reference.insert((l, r), w);
+                }
+            }
+        }
+        let g = b.build();
+        assert_eq!(g.n_edges(), 100_000);
+        for l in 0..n_left {
+            for r in 0..n_right {
+                assert_eq!(
+                    g.weight_of(l, r),
+                    reference.get(&(l, r)).copied(),
+                    "({l},{r})"
+                );
+            }
+        }
+        assert_eq!(g.weight_of(n_left, 0), None, "out-of-range left misses");
+    }
+
+    #[test]
+    fn weight_of_index_survives_map_weights() {
+        let mut g = sample();
+        assert_eq!(g.weight_of(0, 0), Some(0.9)); // builds the index
+        g.map_weights(|w| w / 2.0);
+        assert_eq!(g.weight_of(0, 0), Some(0.45), "index serves new weights");
+        assert_eq!(g.weight_of(0, 2), None);
+    }
+
+    #[test]
     fn pruned_drops_low_edges() {
         let g = sample().pruned(0.5);
         assert_eq!(g.n_edges(), 3);
         assert!(g.edges().iter().all(|e| e.weight >= 0.5));
         assert_eq!(g.n_left(), 3, "pruning keeps node collections intact");
+    }
+
+    #[test]
+    fn pruned_top_k_keeps_best_per_row() {
+        let g = sample().pruned_top_k(1);
+        assert_eq!(g.n_edges(), 3, "one survivor per non-empty row");
+        assert_eq!(g.weight_of(0, 0), Some(0.9));
+        assert_eq!(g.weight_of(0, 1), None);
+        assert_eq!(g.weight_of(1, 1), Some(0.7));
+        // Row 2 ties at 0.4: ascending right id wins.
+        assert_eq!(g.weight_of(2, 1), Some(0.4));
+        assert_eq!(g.weight_of(2, 2), None);
+    }
+
+    #[test]
+    fn pruned_top_k_unbounded_is_identity_up_to_order() {
+        let g = sample();
+        let all = g.pruned_top_k(usize::MAX);
+        let canon = |g: &SimilarityGraph| -> Vec<(u32, u32, u64)> {
+            let mut v: Vec<_> = g
+                .edges()
+                .iter()
+                .map(|e| (e.left, e.right, e.weight.to_bits()))
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(canon(&all), canon(&g));
     }
 
     #[test]

@@ -9,6 +9,12 @@
 //!   two *clean* (duplicate-free) collections.
 //! * [`Adjacency`] — a CSR-style per-node adjacency view over a graph, built
 //!   once and shared by the matching algorithms.
+//! * [`CsrGraph`] — a compressed-sparse-row edge *store* (`u32` column ids,
+//!   weights in a parallel `f64` slab, `O(log d)` pair lookups) for
+//!   million-pair pruned graphs, convertible to/from [`SimilarityGraph`].
+//! * [`TopKBuilder`] / [`TopKRow`] — bounded per-row best-`k` edge selection
+//!   with resident/peak accounting, so pruned graphs can be built without
+//!   ever materializing the dense edge set.
 //! * [`Matching`] — the output of a bipartite graph matching algorithm: a set
 //!   of (left, right) entity pairs respecting the unique-mapping constraint.
 //! * [`GroundTruth`] — the known duplicate pairs used for evaluation.
@@ -21,6 +27,7 @@
 //! entity profiles lives in `er-pipeline`.
 
 pub mod clustering;
+pub mod csr;
 pub mod error;
 pub mod float;
 pub mod graph;
@@ -31,9 +38,11 @@ pub mod matching;
 pub mod normalize;
 pub mod stats;
 pub mod threshold;
+pub mod topk;
 pub mod union_find;
 
 pub use clustering::{Cluster, Clustering};
+pub use csr::CsrGraph;
 pub use error::{CoreError, Result};
 pub use float::{total_cmp_desc, OrderedF64};
 pub use graph::{Adjacency, Neighbor, SortedEdges};
@@ -44,4 +53,5 @@ pub use matching::Matching;
 pub use normalize::min_max_normalize;
 pub use stats::{GraphStats, WeightSeparation};
 pub use threshold::ThresholdGrid;
+pub use topk::{TopKBuilder, TopKRow};
 pub use union_find::UnionFind;

@@ -1,6 +1,6 @@
 //! Property tests for the evaluation layer.
 
-use er_core::{GraphBuilder, GroundTruth, Matching, SimilarityGraph, ThresholdGrid};
+use er_core::{CsrGraph, GraphBuilder, GroundTruth, Matching, SimilarityGraph, ThresholdGrid};
 use er_eval::aggregate::mean_std;
 use er_eval::friedman::{friedman_test, ranks_desc};
 use er_eval::metrics::evaluate;
@@ -197,6 +197,64 @@ proptest! {
                     "{} matching drifted at t={}", kind, t
                 );
             }
+        }
+    }
+
+    /// The CSR store is lossless: a round trip through [`CsrGraph`]
+    /// preserves the collections and the exact edge set (weight bits
+    /// included) — only the listing order changes, to canonical
+    /// `(left asc, right asc)`.
+    #[test]
+    fn csr_round_trip_is_identity(g in arb_graph()) {
+        let back = CsrGraph::from_graph(&g).to_graph();
+        prop_assert_eq!(back.n_left(), g.n_left());
+        prop_assert_eq!(back.n_right(), g.n_right());
+        let canon = |g: &SimilarityGraph| -> Vec<(u32, u32, u64)> {
+            let mut v: Vec<_> = g
+                .edges()
+                .iter()
+                .map(|e| (e.left, e.right, e.weight.to_bits()))
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        prop_assert_eq!(canon(&back), canon(&g));
+    }
+
+    /// Pruning at `k = ∞` changes nothing but the storage path: sweeping
+    /// the CSR-routed pruned graph gives the *same* result as sweeping
+    /// the dense graph, for all eight algorithms — best threshold,
+    /// precision/recall/F1, and BMC basis alike. This is the contract
+    /// that lets production pipelines hand pruned CSR stores to the
+    /// unchanged sweep engine.
+    #[test]
+    fn sweep_on_csr_pruned_graph_matches_dense(
+        g in arb_graph(),
+        gt in arb_ground_truth(),
+    ) {
+        let grid = ThresholdGrid::paper();
+        let config = sweep_config();
+        let engine = SweepEngine::new(config).with_threads(2);
+
+        let dense = PreparedGraph::new(&g);
+        let dense_results = engine.sweep_all(&dense, &gt, &grid);
+
+        let csr = CsrGraph::from_graph(&g.pruned_top_k(usize::MAX));
+        let pruned = PreparedGraph::from_csr(&csr);
+        let pruned_results = engine.sweep_all(&pruned, &gt, &grid);
+
+        prop_assert_eq!(dense_results.len(), pruned_results.len());
+        for (d, p) in dense_results.iter().zip(&pruned_results) {
+            prop_assert_eq!(d.algorithm, p.algorithm);
+            prop_assert_eq!(
+                d.best_threshold, p.best_threshold,
+                "{} best threshold drifted on the CSR path", d.algorithm
+            );
+            prop_assert_eq!(d.best, p.best, "{} P/R/F1 drifted", d.algorithm);
+            prop_assert_eq!(
+                d.bmc_basis_right, p.bmc_basis_right,
+                "{} basis selection drifted", d.algorithm
+            );
         }
     }
 

@@ -1,6 +1,24 @@
 //! The matcher abstraction shared by all eight algorithms.
 
-use er_core::{Adjacency, Edge, Matching, SimilarityGraph, SortedEdges};
+use er_core::{Adjacency, CsrGraph, Edge, Matching, SimilarityGraph, SortedEdges};
+
+/// How a [`PreparedGraph`] holds its graph: borrowed from the caller (the
+/// usual case) or owned after expanding a compact store such as
+/// [`CsrGraph`].
+enum GraphStore<'g> {
+    Borrowed(&'g SimilarityGraph),
+    Owned(Box<SimilarityGraph>),
+}
+
+impl GraphStore<'_> {
+    #[inline]
+    fn get(&self) -> &SimilarityGraph {
+        match self {
+            GraphStore::Borrowed(g) => g,
+            GraphStore::Owned(g) => g,
+        }
+    }
+}
 
 /// A similarity graph bundled with its CSR adjacency **and** its
 /// weight-descending sorted edge view, built once and shared by every
@@ -10,8 +28,14 @@ use er_core::{Adjacency, Edge, Matching, SimilarityGraph, SortedEdges};
 /// The sorted view turns "edges above `t`" into a prefix slice found by one
 /// binary search ([`PreparedGraph::edges_above`]), which is what makes
 /// threshold sweeps incremental: see [`crate::sweeper`].
+///
+/// Graphs can come in borrowed ([`PreparedGraph::new`], the usual case),
+/// pre-sorted ([`PreparedGraph::from_sorted`]), or expanded from the
+/// compact CSR store pruned production graphs live in
+/// ([`PreparedGraph::from_csr`]) — the matchers and the sweep engine are
+/// oblivious to the source.
 pub struct PreparedGraph<'g> {
-    graph: &'g SimilarityGraph,
+    graph: GraphStore<'g>,
     adjacency: Adjacency,
     sorted: SortedEdges,
 }
@@ -22,7 +46,7 @@ impl<'g> PreparedGraph<'g> {
         PreparedGraph {
             adjacency: graph.adjacency(),
             sorted: graph.sorted_edges(),
-            graph,
+            graph: GraphStore::Borrowed(graph),
         }
     }
 
@@ -46,14 +70,40 @@ impl<'g> PreparedGraph<'g> {
         PreparedGraph {
             adjacency: graph.adjacency(),
             sorted,
-            graph,
+            graph: GraphStore::Borrowed(graph),
+        }
+    }
+
+    /// Prepare a graph held in the compact CSR store: expand it once and
+    /// build the matcher views, so the threshold-sweep engine runs
+    /// **unchanged** on pruned graphs — the store is a serving/storage
+    /// format, not a third code path through the algorithms.
+    ///
+    /// ```
+    /// use er_core::{CsrGraph, GraphBuilder};
+    /// use er_matchers::{Matcher, PreparedGraph, Umc};
+    ///
+    /// let mut b = GraphBuilder::new(2, 2);
+    /// b.add_edge(0, 0, 0.9).unwrap();
+    /// b.add_edge(1, 1, 0.8).unwrap();
+    /// let csr = CsrGraph::from_graph(&b.build());
+    /// let prepared = PreparedGraph::from_csr(&csr);
+    /// let matching = Umc::default().run(&prepared, 0.5);
+    /// assert_eq!(matching.pairs(), &[(0, 0), (1, 1)]);
+    /// ```
+    pub fn from_csr(csr: &CsrGraph) -> PreparedGraph<'static> {
+        let graph = Box::new(csr.to_graph());
+        PreparedGraph {
+            adjacency: graph.adjacency(),
+            sorted: graph.sorted_edges(),
+            graph: GraphStore::Owned(graph),
         }
     }
 
     /// The underlying graph.
     #[inline]
     pub fn graph(&self) -> &SimilarityGraph {
-        self.graph
+        self.graph.get()
     }
 
     /// The adjacency view (neighbors sorted by descending weight).
@@ -94,13 +144,13 @@ impl<'g> PreparedGraph<'g> {
     /// `|V1|`.
     #[inline]
     pub fn n_left(&self) -> u32 {
-        self.graph.n_left()
+        self.graph.get().n_left()
     }
 
     /// `|V2|`.
     #[inline]
     pub fn n_right(&self) -> u32 {
-        self.graph.n_right()
+        self.graph.get().n_right()
     }
 }
 
@@ -135,8 +185,8 @@ impl<'a, 'g> EdgeView<'a, 'g> {
 
     /// The underlying graph.
     #[inline]
-    pub fn graph(&self) -> &'g SimilarityGraph {
-        self.g.graph
+    pub fn graph(&self) -> &'a SimilarityGraph {
+        self.g.graph.get()
     }
 
     /// The adjacency view (not threshold-filtered; algorithms early-break on
@@ -232,6 +282,34 @@ mod tests {
             );
         }
         assert_eq!(fresh.sorted_edges().len(), reused.sorted_edges().len());
+    }
+
+    #[test]
+    fn from_csr_matches_new() {
+        let g = figure1();
+        let fresh = PreparedGraph::new(&g);
+        let via_csr = PreparedGraph::from_csr(&er_core::CsrGraph::from_graph(&g));
+        assert_eq!(via_csr.n_left(), fresh.n_left());
+        assert_eq!(via_csr.n_right(), fresh.n_right());
+        assert_eq!(via_csr.graph().n_edges(), fresh.graph().n_edges());
+        for t in [0.0, 0.3, 0.6, 0.9] {
+            assert_eq!(
+                fresh.view(t).prefix_lens(),
+                via_csr.view(t).prefix_lens(),
+                "views agree at t={t}"
+            );
+        }
+        // The sorted views are identical edge for edge: CSR expansion
+        // changes insertion order only, and the sort is total.
+        for (a, b) in fresh
+            .sorted_edges()
+            .all()
+            .iter()
+            .zip(via_csr.sorted_edges().all())
+        {
+            assert_eq!((a.left, a.right), (b.left, b.right));
+            assert_eq!(a.weight.to_bits(), b.weight.to_bits());
+        }
     }
 
     #[test]

@@ -33,13 +33,26 @@
 //! construction and a following threshold sweep
 //! (`er_matchers::PreparedGraph::from_sorted`) share exactly one
 //! `O(m log m)` sort between them instead of each deriving its own view.
+//!
+//! # The streaming top-k path
+//!
+//! [`build_graph_topk`] bounds peak memory at `O(n_left × k)` edges: each
+//! worker streams its rows' candidates through a bounded per-row binary
+//! heap (`er_core::TopKRow`) **during** the score phase, so the dense
+//! graph never materializes — scored-and-rejected candidates cost one
+//! heap comparison and no storage. Selection is deterministic (weight
+//! descending, ties by ascending right id) and row-local, so results are
+//! bit-identical across thread counts; with `k = usize::MAX` the retained
+//! edge set equals [`build_graph`]'s (property-tested in
+//! `tests/graphgen_props.rs`). [`build_graph_topk_stats`] returns the
+//! builder accounting ([`TopKStats`]) that proves the bound.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crossbeam::thread;
 use parking_lot::Mutex;
 
-use er_core::{Edge, FxHashMap, FxHashSet, GraphBuilder, SimilarityGraph, SortedEdges};
+use er_core::{Edge, FxHashMap, FxHashSet, GraphBuilder, SimilarityGraph, SortedEdges, TopKRow};
 use er_datasets::{Dataset, EntityCollection, EntityProfile};
 use er_embed::{DenseVector, SemanticMeasure};
 use er_textsim::{
@@ -53,6 +66,21 @@ use crate::taxonomy::{SemanticScope, SimilarityFunction};
 
 /// A scored pair before normalization: `(left, right, raw weight)`.
 type Triple = (u32, u32, f64);
+
+/// Where a scorer's retained triples go. The dense path collects them
+/// verbatim (`Vec<Triple>`); the top-k path routes them through a bounded
+/// per-row heap so rejected candidates never occupy memory.
+trait EdgeSink {
+    /// Accept one scored pair (already positivity-filtered by the scorer).
+    fn emit(&mut self, left: u32, right: u32, weight: f64);
+}
+
+impl EdgeSink for Vec<Triple> {
+    #[inline]
+    fn emit(&mut self, left: u32, right: u32, weight: f64) {
+        self.push((left, right, weight));
+    }
+}
 
 /// A similarity graph together with the function that produced it.
 #[derive(Debug, Clone, Serialize)]
@@ -101,9 +129,198 @@ pub fn build_graph_over(
     finalize(
         left,
         right,
-        score_shards(left, right, function, None, cfg),
+        score_shards(left, right, function, None, cfg, ScoreMode::Dense),
         cfg,
     )
+}
+
+/// Build the **top-k pruned** similarity graph of `function` over
+/// `dataset`: only each left entity's best `k` edges are kept, selected
+/// *during* scoring so the dense graph never materializes (peak resident
+/// edges stay in `O(n_left × k)` — see [`build_graph_topk_stats`]).
+///
+/// ```
+/// use er_datasets::{Dataset, DatasetId};
+/// use er_pipeline::{build_graph_topk, PipelineConfig, SimilarityFunction};
+/// use er_textsim::{NGramScheme, VectorMeasure};
+///
+/// let d = Dataset::generate(DatasetId::D1, 0.02, 7);
+/// let f = SimilarityFunction::SchemaAgnosticVector {
+///     scheme: NGramScheme::Token(1),
+///     measure: VectorMeasure::CosineTfIdf,
+/// };
+/// let g = build_graph_topk(&d, &f, 2, &PipelineConfig::default());
+/// let adj = g.adjacency();
+/// assert!((0..g.n_left()).all(|l| adj.left_degree(l) <= 2));
+/// ```
+pub fn build_graph_topk(
+    dataset: &Dataset,
+    function: &SimilarityFunction,
+    k: usize,
+    cfg: &PipelineConfig,
+) -> SimilarityGraph {
+    build_graph_topk_over(&dataset.left, &dataset.right, function, k, cfg)
+}
+
+/// [`build_graph_topk`] over two bare collections (the imported-data
+/// entry point). See [`build_graph_topk_stats`] for the semantics and
+/// the accounting variant.
+///
+/// ```
+/// # use er_datasets::{Dataset, DatasetId};
+/// # use er_pipeline::{build_graph_topk_over, PipelineConfig, SimilarityFunction};
+/// # use er_textsim::{NGramScheme, VectorMeasure};
+/// let d = Dataset::generate(DatasetId::D1, 0.02, 7);
+/// let f = SimilarityFunction::SchemaAgnosticVector {
+///     scheme: NGramScheme::Token(1),
+///     measure: VectorMeasure::CosineTfIdf,
+/// };
+/// let g = build_graph_topk_over(&d.left, &d.right, &f, 1, &PipelineConfig::default());
+/// assert!(g.n_edges() <= d.left.len());
+/// ```
+pub fn build_graph_topk_over(
+    left: &EntityCollection,
+    right: &EntityCollection,
+    function: &SimilarityFunction,
+    k: usize,
+    cfg: &PipelineConfig,
+) -> SimilarityGraph {
+    build_graph_topk_stats(left, right, function, k, cfg).0
+}
+
+/// [`build_graph_topk_over`] plus the builder accounting that proves the
+/// memory bound.
+///
+/// Semantics: each left row keeps its `k` best candidates by **raw**
+/// score, ties broken by ascending right id (the deterministic
+/// `er_core::TopKBuilder` order); min-max normalization then runs over
+/// the retained set. Under the default `keep_positive_only` protocol the
+/// result equals `build_graph_over(..).pruned_top_k(k)` bit for bit —
+/// raw scores are non-negative, so the normalization floor pins
+/// `lo = 0` and the global maximum (always some row's best edge)
+/// survives pruning, making the normalizer the same strictly monotone
+/// map — at a fraction of the memory. (One theoretical caveat: the
+/// dense flow selects on *normalized* weights, so two distinct raw
+/// scores that collide onto one f64 after normalization would tie there
+/// but not here; no taxonomy measure emits adjacent-ulp raw scores, and
+/// the per-branch property suite enforces exact equality in practice.)
+/// With the positivity filter off and genuinely negative scores,
+/// normalization sees only the pruned score set (the same caveat as
+/// [`build_graph_restricted`]). `k = usize::MAX` reproduces
+/// [`build_graph_over`]'s edge set exactly; results are bit-identical
+/// across thread counts either way.
+///
+/// ```
+/// # use er_datasets::{Dataset, DatasetId};
+/// # use er_pipeline::{build_graph_topk_stats, PipelineConfig, SimilarityFunction};
+/// # use er_textsim::{NGramScheme, VectorMeasure};
+/// let d = Dataset::generate(DatasetId::D1, 0.02, 7);
+/// let f = SimilarityFunction::SchemaAgnosticVector {
+///     scheme: NGramScheme::Token(1),
+///     measure: VectorMeasure::CosineTfIdf,
+/// };
+/// let k = 2;
+/// let (g, stats) = build_graph_topk_stats(&d.left, &d.right, &f, k, &PipelineConfig::default());
+/// assert_eq!(stats.retained_edges, g.n_edges());
+/// assert!(stats.peak_resident_edges <= d.left.len() * k);
+/// ```
+pub fn build_graph_topk_stats(
+    left: &EntityCollection,
+    right: &EntityCollection,
+    function: &SimilarityFunction,
+    k: usize,
+    cfg: &PipelineConfig,
+) -> (SimilarityGraph, TopKStats) {
+    let acct = TopKAccounting::default();
+    let shards = score_shards(
+        left,
+        right,
+        function,
+        None,
+        cfg,
+        ScoreMode::TopK { k, acct: &acct },
+    );
+    let graph = finalize(left, right, shards, cfg);
+    let stats = TopKStats {
+        offered_edges: acct.offered.load(Ordering::Relaxed),
+        retained_edges: graph.n_edges(),
+        peak_resident_edges: acct.peak.load(Ordering::Relaxed),
+    };
+    (graph, stats)
+}
+
+/// [`build_graph_topk_over`] restricted to the blocked `candidates` —
+/// the production combination: block first, score only candidate pairs,
+/// and keep each left entity's best `k` of them, all in one streaming
+/// pass with peak resident edges in `O(n_left × k)`. Equivalent to
+/// [`build_graph_restricted`] followed by
+/// `SimilarityGraph::pruned_top_k(k)` under the default protocol (same
+/// caveats as [`build_graph_topk_stats`]); normalization runs over the
+/// restricted, pruned score set.
+///
+/// ```
+/// # use er_core::FxHashSet;
+/// # use er_datasets::{Dataset, DatasetId};
+/// # use er_pipeline::{build_graph_topk_restricted, PipelineConfig, SimilarityFunction};
+/// # use er_textsim::{NGramScheme, VectorMeasure};
+/// let d = Dataset::generate(DatasetId::D1, 0.02, 7);
+/// let f = SimilarityFunction::SchemaAgnosticVector {
+///     scheme: NGramScheme::Token(1),
+///     measure: VectorMeasure::CosineTfIdf,
+/// };
+/// let candidates = er_pipeline::token_blocking(&d.left, &d.right).candidate_pairs();
+/// let g =
+///     build_graph_topk_restricted(&d.left, &d.right, &f, &candidates, 2, &PipelineConfig::default());
+/// assert!(g.n_edges() <= d.left.len() * 2);
+/// ```
+pub fn build_graph_topk_restricted(
+    left: &EntityCollection,
+    right: &EntityCollection,
+    function: &SimilarityFunction,
+    candidates: &FxHashSet<(u32, u32)>,
+    k: usize,
+    cfg: &PipelineConfig,
+) -> SimilarityGraph {
+    let lists = CandidateLists::new(left.len() as u32, right.len() as u32, candidates);
+    let acct = TopKAccounting::default();
+    let shards = score_shards(
+        left,
+        right,
+        function,
+        Some(&lists),
+        cfg,
+        ScoreMode::TopK { k, acct: &acct },
+    );
+    finalize(left, right, shards, cfg)
+}
+
+/// Builder accounting of one streaming top-k construction
+/// ([`build_graph_topk_stats`]).
+///
+/// ```
+/// # use er_datasets::{Dataset, DatasetId};
+/// # use er_pipeline::{build_graph_topk_stats, PipelineConfig, SimilarityFunction};
+/// # use er_textsim::{NGramScheme, VectorMeasure};
+/// let d = Dataset::generate(DatasetId::D1, 0.02, 7);
+/// let f = SimilarityFunction::SchemaAgnosticVector {
+///     scheme: NGramScheme::Token(1),
+///     measure: VectorMeasure::CosineTfIdf,
+/// };
+/// let (_, stats) = build_graph_topk_stats(&d.left, &d.right, &f, 3, &PipelineConfig::default());
+/// assert!(stats.offered_edges >= stats.retained_edges);
+/// assert!(stats.peak_resident_edges >= stats.retained_edges);
+/// ```
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct TopKStats {
+    /// Triples the scorers emitted — what the dense path would have
+    /// buffered in full.
+    pub offered_edges: usize,
+    /// Edges in the finished graph (at most `n_left × k`).
+    pub retained_edges: usize,
+    /// Maximum triples resident at once during the score phase (bounded
+    /// row heaps plus finished shard buffers) — at most `n_left × k` by
+    /// construction, however many edges were offered.
+    pub peak_resident_edges: usize,
 }
 
 /// Build the similarity graph of `function` over `dataset`, emitting the
@@ -159,7 +376,7 @@ pub fn build_graph_restricted(
     finalize(
         left,
         right,
-        score_shards(left, right, function, Some(&lists), cfg),
+        score_shards(left, right, function, Some(&lists), cfg, ScoreMode::Dense),
         cfg,
     )
 }
@@ -213,47 +430,29 @@ trait RowScorer: Sync {
     fn scratch(&self) -> Self::Scratch;
 
     /// Score row `row` against the scorer's own candidate enumeration
-    /// (inverted index or full cross product), pushing retained triples.
-    fn score_row(&self, row: usize, scratch: &mut Self::Scratch, out: &mut Vec<Triple>);
+    /// (inverted index or full cross product), emitting retained triples.
+    fn score_row<O: EdgeSink>(&self, row: usize, scratch: &mut Self::Scratch, out: &mut O);
 
     /// Score row `row` against the blocked candidates only.
-    fn score_row_restricted(
+    fn score_row_restricted<O: EdgeSink>(
         &self,
         row: usize,
         cands: &CandidateLists,
         scratch: &mut Self::Scratch,
-        out: &mut Vec<Triple>,
+        out: &mut O,
     );
 }
 
-/// The parallel score phase: shard rows into contiguous chunks, fan the
-/// chunks out over scoped workers, and return the per-chunk triple buffers
-/// **in chunk order** — which equals the serial row order, making the
-/// merge deterministic and the whole build bit-identical to `threads: 1`.
-fn run_rows<S: RowScorer>(
+/// Fan `n_chunks` work units out over `threads` scoped workers claiming
+/// chunk indexes through an atomic cursor, and return the per-chunk
+/// results **in chunk order** — which equals the serial row order, making
+/// the merge deterministic and every build bit-identical to `threads: 1`.
+fn fan_out_chunks<S: RowScorer>(
     scorer: &S,
-    cands: Option<&CandidateLists>,
-    cfg: &PipelineConfig,
+    threads: usize,
+    n_chunks: usize,
+    score_chunk: impl Fn(usize, &mut S::Scratch) -> Vec<Triple> + Sync,
 ) -> Vec<Vec<Triple>> {
-    let n_rows = scorer.n_rows();
-    if n_rows == 0 {
-        return Vec::new();
-    }
-    let threads = cfg.effective_threads().clamp(1, n_rows);
-    let chunk = cfg.effective_chunk_rows(n_rows, threads);
-    let n_chunks = n_rows.div_ceil(chunk);
-
-    let score_chunk = |c: usize, scratch: &mut S::Scratch| -> Vec<Triple> {
-        let mut buf = Vec::new();
-        for row in c * chunk..((c + 1) * chunk).min(n_rows) {
-            match cands {
-                None => scorer.score_row(row, scratch, &mut buf),
-                Some(lists) => scorer.score_row_restricted(row, lists, scratch, &mut buf),
-            }
-        }
-        buf
-    };
-
     if threads == 1 {
         let mut scratch = scorer.scratch();
         return (0..n_chunks)
@@ -286,6 +485,158 @@ fn run_rows<S: RowScorer>(
         .collect()
 }
 
+/// The dense score phase: shard rows into contiguous chunks and collect
+/// every retained triple.
+fn run_rows<S: RowScorer>(
+    scorer: &S,
+    cands: Option<&CandidateLists>,
+    cfg: &PipelineConfig,
+) -> Vec<Vec<Triple>> {
+    let n_rows = scorer.n_rows();
+    if n_rows == 0 {
+        return Vec::new();
+    }
+    let threads = cfg.effective_threads().clamp(1, n_rows);
+    let chunk = cfg.effective_chunk_rows(n_rows, threads);
+    let n_chunks = n_rows.div_ceil(chunk);
+
+    let score_chunk = |c: usize, scratch: &mut S::Scratch| -> Vec<Triple> {
+        let mut buf = Vec::new();
+        for row in c * chunk..((c + 1) * chunk).min(n_rows) {
+            match cands {
+                None => scorer.score_row(row, scratch, &mut buf),
+                Some(lists) => scorer.score_row_restricted(row, lists, scratch, &mut buf),
+            }
+        }
+        buf
+    };
+
+    fan_out_chunks(scorer, threads, n_chunks, score_chunk)
+}
+
+/// Cross-worker accounting of the streaming top-k score phase: how many
+/// triples the scorers emitted, how many are resident right now (bounded
+/// per-row heaps + finished shard buffers), and the running peak. The
+/// whole point of the top-k path is that `peak` stays at `O(n_left × k)`
+/// while `offered` grows with the dense candidate volume.
+#[derive(Default)]
+struct TopKAccounting {
+    offered: AtomicUsize,
+    resident: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+/// Per-worker [`EdgeSink`] of the top-k path: candidates of the current
+/// row stream through a bounded binary heap; only net insertions touch
+/// the shared resident/peak counters (evictions swap one entry for
+/// another), and the offered count is accumulated locally per chunk.
+struct TopKSink<'a> {
+    row: TopKRow,
+    left: u32,
+    offered: usize,
+    drain_scratch: Vec<(u32, f64)>,
+    acct: &'a TopKAccounting,
+}
+
+impl<'a> TopKSink<'a> {
+    fn new(k: usize, acct: &'a TopKAccounting) -> Self {
+        TopKSink {
+            row: TopKRow::new(k),
+            left: 0,
+            offered: 0,
+            drain_scratch: Vec::new(),
+            acct,
+        }
+    }
+
+    /// Flush the finished row's survivors into the chunk buffer (sorted
+    /// by weight desc, right asc) and reset the heap for the next row.
+    fn drain_row_into(&mut self, buf: &mut Vec<Triple>) {
+        self.drain_scratch.clear();
+        self.row.drain_sorted_into(&mut self.drain_scratch);
+        let left = self.left;
+        buf.extend(self.drain_scratch.iter().map(|&(r, w)| (left, r, w)));
+    }
+}
+
+impl EdgeSink for TopKSink<'_> {
+    #[inline]
+    fn emit(&mut self, left: u32, right: u32, weight: f64) {
+        self.left = left;
+        self.offered += 1;
+        let before = self.row.len();
+        self.row.offer(right, weight);
+        if self.row.len() > before {
+            let now = self.acct.resident.fetch_add(1, Ordering::Relaxed) + 1;
+            self.acct.peak.fetch_max(now, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The streaming top-k score phase: like [`run_rows`], but each row's
+/// candidates pass through a bounded heap so at most `k` of them are ever
+/// resident per row. Selection is row-local, so sharding cannot change
+/// results: the output is bit-identical for any thread count and chunk
+/// size, exactly as for the dense path.
+fn run_rows_topk<S: RowScorer>(
+    scorer: &S,
+    cands: Option<&CandidateLists>,
+    k: usize,
+    cfg: &PipelineConfig,
+    acct: &TopKAccounting,
+) -> Vec<Vec<Triple>> {
+    let n_rows = scorer.n_rows();
+    if n_rows == 0 {
+        return Vec::new();
+    }
+    let threads = cfg.effective_threads().clamp(1, n_rows);
+    let chunk = cfg.effective_chunk_rows(n_rows, threads);
+    let n_chunks = n_rows.div_ceil(chunk);
+
+    let score_chunk = |c: usize, scratch: &mut S::Scratch| -> Vec<Triple> {
+        let mut buf = Vec::new();
+        let mut sink = TopKSink::new(k, acct);
+        for row in c * chunk..((c + 1) * chunk).min(n_rows) {
+            match cands {
+                None => scorer.score_row(row, scratch, &mut sink),
+                Some(lists) => scorer.score_row_restricted(row, lists, scratch, &mut sink),
+            }
+            sink.drain_row_into(&mut buf);
+        }
+        acct.offered.fetch_add(sink.offered, Ordering::Relaxed);
+        buf
+    };
+
+    fan_out_chunks(scorer, threads, n_chunks, score_chunk)
+}
+
+/// How the score phase collects a row's retained triples.
+#[derive(Clone, Copy)]
+enum ScoreMode<'a> {
+    /// Keep every retained triple — the paper's dense protocol.
+    Dense,
+    /// Stream through bounded per-row top-k heaps (the scale path).
+    TopK {
+        /// Edges kept per left row.
+        k: usize,
+        /// Shared offered/resident/peak counters.
+        acct: &'a TopKAccounting,
+    },
+}
+
+/// Dispatch one prepared scorer into the requested score phase.
+fn run_scorer<S: RowScorer>(
+    scorer: &S,
+    cands: Option<&CandidateLists>,
+    cfg: &PipelineConfig,
+    mode: ScoreMode<'_>,
+) -> Vec<Vec<Triple>> {
+    match mode {
+        ScoreMode::Dense => run_rows(scorer, cands, cfg),
+        ScoreMode::TopK { k, acct } => run_rows_topk(scorer, cands, k, cfg, acct),
+    }
+}
+
 /// Prepare the branch's scorer and run the score phase.
 fn score_shards(
     left: &EntityCollection,
@@ -293,6 +644,7 @@ fn score_shards(
     function: &SimilarityFunction,
     cands: Option<&CandidateLists>,
     cfg: &PipelineConfig,
+    mode: ScoreMode<'_>,
 ) -> Vec<Vec<Triple>> {
     match function {
         SimilarityFunction::SchemaBasedSyntactic { attribute, measure } => {
@@ -303,16 +655,16 @@ fn score_shards(
                 *measure,
                 cfg.keep_positive_only,
             );
-            run_rows(&s, cands, cfg)
+            run_scorer(&s, cands, cfg, mode)
         }
         SimilarityFunction::SchemaAgnosticVector { scheme, measure } => {
             let s = VectorScorer::prepare(left, right, *scheme, *measure, cfg.keep_positive_only);
-            run_rows(&s, cands, cfg)
+            run_scorer(&s, cands, cfg, mode)
         }
         SimilarityFunction::SchemaAgnosticGraph { scheme, measure } => {
             let s =
                 GraphModelScorer::prepare(left, right, *scheme, *measure, cfg.keep_positive_only);
-            run_rows(&s, cands, cfg)
+            run_scorer(&s, cands, cfg, mode)
         }
         SimilarityFunction::Semantic {
             model,
@@ -322,7 +674,7 @@ fn score_shards(
             let enc = model.encoder();
             if measure.needs_token_vectors() {
                 let s = WmdScorer::prepare(left, right, &enc, scope, cfg);
-                run_rows(&s, cands, cfg)
+                run_scorer(&s, cands, cfg, mode)
             } else {
                 let s = DenseSemanticScorer::prepare(
                     left,
@@ -332,7 +684,7 @@ fn score_shards(
                     scope,
                     cfg.keep_positive_only,
                 );
-                run_rows(&s, cands, cfg)
+                run_scorer(&s, cands, cfg, mode)
             }
         }
     }
@@ -434,29 +786,29 @@ impl RowScorer for SchemaBasedScorer<'_> {
 
     fn scratch(&self) -> Self::Scratch {}
 
-    fn score_row(&self, row: usize, _scratch: &mut (), out: &mut Vec<Triple>) {
+    fn score_row<O: EdgeSink>(&self, row: usize, _scratch: &mut (), out: &mut O) {
         let (li, lv) = self.left[row];
         for &(ri, rv) in &self.right {
             let w = self.measure.similarity(lv, rv);
             if w > 0.0 || !self.keep_positive {
-                out.push((li, ri, w));
+                out.emit(li, ri, w);
             }
         }
     }
 
-    fn score_row_restricted(
+    fn score_row_restricted<O: EdgeSink>(
         &self,
         row: usize,
         cands: &CandidateLists,
         _scratch: &mut (),
-        out: &mut Vec<Triple>,
+        out: &mut O,
     ) {
         let (li, lv) = self.left[row];
         for &r in cands.row(li) {
             if let Some(rv) = self.right_by_id.get(&r) {
                 let w = self.measure.similarity(lv, rv);
                 if w > 0.0 || !self.keep_positive {
-                    out.push((li, r, w));
+                    out.emit(li, r, w);
                 }
             }
         }
@@ -558,7 +910,7 @@ impl RowScorer for VectorScorer {
         }
     }
 
-    fn score_row(&self, row: usize, scratch: &mut ProbeScratch, out: &mut Vec<Triple>) {
+    fn score_row<O: EdgeSink>(&self, row: usize, scratch: &mut ProbeScratch, out: &mut O) {
         let lv = &self.left_vecs[row];
         let mark = row as u32 + 1;
         scratch.candidates.clear();
@@ -577,17 +929,17 @@ impl RowScorer for VectorScorer {
                 .measure
                 .similarity(lv, &self.right_vecs[j as usize], self.dfs());
             if w > 0.0 || !self.keep_positive {
-                out.push((row as u32, j, w));
+                out.emit(row as u32, j, w);
             }
         }
     }
 
-    fn score_row_restricted(
+    fn score_row_restricted<O: EdgeSink>(
         &self,
         row: usize,
         cands: &CandidateLists,
         _scratch: &mut ProbeScratch,
-        out: &mut Vec<Triple>,
+        out: &mut O,
     ) {
         let lv = &self.left_vecs[row];
         for &j in cands.row(row as u32) {
@@ -595,7 +947,7 @@ impl RowScorer for VectorScorer {
                 .measure
                 .similarity(lv, &self.right_vecs[j as usize], self.dfs());
             if w > 0.0 || !self.keep_positive {
-                out.push((row as u32, j, w));
+                out.emit(row as u32, j, w);
             }
         }
     }
@@ -659,7 +1011,7 @@ impl RowScorer for GraphModelScorer {
         }
     }
 
-    fn score_row(&self, row: usize, scratch: &mut ProbeScratch, out: &mut Vec<Triple>) {
+    fn score_row<O: EdgeSink>(&self, row: usize, scratch: &mut ProbeScratch, out: &mut O) {
         let lg = &self.left_graphs[row];
         let mark = row as u32 + 1;
         scratch.candidates.clear();
@@ -676,23 +1028,23 @@ impl RowScorer for GraphModelScorer {
         for &j in &scratch.candidates {
             let w = self.measure.similarity(lg, &self.right_graphs[j as usize]);
             if w > 0.0 || !self.keep_positive {
-                out.push((row as u32, j, w));
+                out.emit(row as u32, j, w);
             }
         }
     }
 
-    fn score_row_restricted(
+    fn score_row_restricted<O: EdgeSink>(
         &self,
         row: usize,
         cands: &CandidateLists,
         _scratch: &mut ProbeScratch,
-        out: &mut Vec<Triple>,
+        out: &mut O,
     ) {
         let lg = &self.left_graphs[row];
         for &j in cands.row(row as u32) {
             let w = self.measure.similarity(lg, &self.right_graphs[j as usize]);
             if w > 0.0 || !self.keep_positive {
-                out.push((row as u32, j, w));
+                out.emit(row as u32, j, w);
             }
         }
     }
@@ -753,7 +1105,7 @@ impl RowScorer for DenseSemanticScorer {
 
     fn scratch(&self) -> Self::Scratch {}
 
-    fn score_row(&self, row: usize, _scratch: &mut (), out: &mut Vec<Triple>) {
+    fn score_row<O: EdgeSink>(&self, row: usize, _scratch: &mut (), out: &mut O) {
         let a = &self.left[row];
         if a.is_zero() {
             return;
@@ -764,17 +1116,17 @@ impl RowScorer for DenseSemanticScorer {
             }
             let w = self.measure.similarity_vectors(a, b);
             if w > 0.0 || !self.keep_positive {
-                out.push((row as u32, j as u32, w));
+                out.emit(row as u32, j as u32, w);
             }
         }
     }
 
-    fn score_row_restricted(
+    fn score_row_restricted<O: EdgeSink>(
         &self,
         row: usize,
         cands: &CandidateLists,
         _scratch: &mut (),
-        out: &mut Vec<Triple>,
+        out: &mut O,
     ) {
         let a = &self.left[row];
         if a.is_zero() {
@@ -787,7 +1139,7 @@ impl RowScorer for DenseSemanticScorer {
             }
             let w = self.measure.similarity_vectors(a, b);
             if w > 0.0 || !self.keep_positive {
-                out.push((row as u32, j, w));
+                out.emit(row as u32, j, w);
             }
         }
     }
@@ -914,7 +1266,7 @@ impl RowScorer for WmdScorer {
         DistCache::new()
     }
 
-    fn score_row(&self, row: usize, cache: &mut DistCache, out: &mut Vec<Triple>) {
+    fn score_row<O: EdgeSink>(&self, row: usize, cache: &mut DistCache, out: &mut O) {
         let a = &self.left_bags[row];
         if a.is_empty() {
             return;
@@ -925,17 +1277,17 @@ impl RowScorer for WmdScorer {
             }
             let w = self.similarity(cache, a, b);
             if w > 0.0 || !self.keep_positive {
-                out.push((row as u32, j as u32, w));
+                out.emit(row as u32, j as u32, w);
             }
         }
     }
 
-    fn score_row_restricted(
+    fn score_row_restricted<O: EdgeSink>(
         &self,
         row: usize,
         cands: &CandidateLists,
         cache: &mut DistCache,
-        out: &mut Vec<Triple>,
+        out: &mut O,
     ) {
         let a = &self.left_bags[row];
         if a.is_empty() {
@@ -948,7 +1300,7 @@ impl RowScorer for WmdScorer {
             }
             let w = self.similarity(cache, a, b);
             if w > 0.0 || !self.keep_positive {
-                out.push((row as u32, j, w));
+                out.emit(row as u32, j, w);
             }
         }
     }
@@ -1035,7 +1387,7 @@ mod tests {
                     let w = SchemaBasedMeasure::Char(CharMeasure::Levenshtein)
                         .similarity(lp.value("name").unwrap(), rp.value("name").unwrap());
                     if w > 0.0 {
-                        out.push((i as u32, j as u32, w));
+                        out.emit(i as u32, j as u32, w);
                     }
                 }
             }
@@ -1339,6 +1691,158 @@ mod tests {
         );
         assert!(!direct.is_empty());
         weights_in_bounds(&direct);
+    }
+
+    #[test]
+    fn topk_matches_dense_then_prune_bitwise() {
+        let d = tiny();
+        let cfg = PipelineConfig::default();
+        let functions = [
+            SimilarityFunction::SchemaAgnosticVector {
+                scheme: NGramScheme::Token(1),
+                measure: VectorMeasure::CosineTfIdf,
+            },
+            SimilarityFunction::SchemaBasedSyntactic {
+                attribute: "name".into(),
+                measure: SchemaBasedMeasure::Char(CharMeasure::Levenshtein),
+            },
+        ];
+        for f in &functions {
+            let dense = build_graph(&d, f, &cfg);
+            for k in [1usize, 3] {
+                let streamed = build_graph_topk(&d, f, k, &cfg);
+                assert_eq!(
+                    edge_bits(&streamed),
+                    edge_bits(&dense.pruned_top_k(k)),
+                    "k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn topk_peak_is_bounded_while_dense_volume_is_not() {
+        // Semantic cosine makes nearly every pair an edge (density > 0.9),
+        // so the dense candidate volume is ~n_left × n_right while the
+        // streaming path's accounting must stay within n_left × k.
+        let d = tiny();
+        let f = SimilarityFunction::Semantic {
+            model: EmbeddingModel::FastText,
+            measure: SemanticMeasure::Cosine,
+            scope: SemanticScope::SchemaAgnostic,
+        };
+        let k = 2usize;
+        let (g, stats) =
+            build_graph_topk_stats(&d.left, &d.right, &f, k, &PipelineConfig::default());
+        let bound = d.left.len() * k;
+        assert!(
+            stats.peak_resident_edges <= bound,
+            "peak {} exceeds n_left × k = {bound}",
+            stats.peak_resident_edges
+        );
+        assert_eq!(stats.retained_edges, g.n_edges());
+        assert!(g.n_edges() <= bound);
+        assert!(
+            stats.offered_edges > 4 * bound,
+            "dense volume {} should dwarf the bound {bound} — otherwise \
+             this test proves nothing",
+            stats.offered_edges
+        );
+        // The same accounting holds when workers shard the rows.
+        let (_, par_stats) = build_graph_topk_stats(
+            &d.left,
+            &d.right,
+            &f,
+            k,
+            &PipelineConfig {
+                threads: 4,
+                chunk_rows: 2,
+                ..PipelineConfig::default()
+            },
+        );
+        assert!(par_stats.peak_resident_edges <= bound);
+        assert_eq!(par_stats.offered_edges, stats.offered_edges);
+    }
+
+    #[test]
+    fn topk_restricted_matches_restricted_then_prune() {
+        let d = tiny();
+        let f = SimilarityFunction::SchemaAgnosticVector {
+            scheme: NGramScheme::Token(1),
+            measure: VectorMeasure::CosineTfIdf,
+        };
+        let cfg = PipelineConfig::default();
+        let candidates = crate::blocking::token_blocking(&d.left, &d.right).candidate_pairs();
+        let restricted = build_graph_restricted(&d.left, &d.right, &f, &candidates, &cfg);
+        for k in [1usize, 3] {
+            let streamed = build_graph_topk_restricted(&d.left, &d.right, &f, &candidates, k, &cfg);
+            assert_eq!(
+                edge_bits(&streamed),
+                edge_bits(&restricted.pruned_top_k(k)),
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn topk_parallel_is_bit_identical_to_serial() {
+        let d = tiny();
+        let f = SimilarityFunction::SchemaAgnosticVector {
+            scheme: NGramScheme::Token(1),
+            measure: VectorMeasure::CosineTfIdf,
+        };
+        let serial = build_graph_topk(
+            &d,
+            &f,
+            2,
+            &PipelineConfig {
+                threads: 1,
+                ..PipelineConfig::default()
+            },
+        );
+        let parallel = build_graph_topk(
+            &d,
+            &f,
+            2,
+            &PipelineConfig {
+                threads: 4,
+                chunk_rows: 3,
+                ..PipelineConfig::default()
+            },
+        );
+        assert_eq!(edge_bits(&serial), edge_bits(&parallel));
+    }
+
+    #[test]
+    fn topk_unbounded_reproduces_dense_edge_set() {
+        let d = tiny();
+        let f = SimilarityFunction::SchemaAgnosticVector {
+            scheme: NGramScheme::Token(1),
+            measure: VectorMeasure::CosineTfIdf,
+        };
+        let cfg = PipelineConfig::default();
+        let dense = build_graph(&d, &f, &cfg);
+        let unbounded = build_graph_topk(&d, &f, usize::MAX, &cfg);
+        let canon = |g: &SimilarityGraph| {
+            let mut v = edge_bits(g);
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(canon(&dense), canon(&unbounded));
+    }
+
+    #[test]
+    fn topk_zero_keeps_nothing() {
+        let d = tiny();
+        let f = SimilarityFunction::SchemaAgnosticVector {
+            scheme: NGramScheme::Token(1),
+            measure: VectorMeasure::CosineTfIdf,
+        };
+        let (g, stats) =
+            build_graph_topk_stats(&d.left, &d.right, &f, 0, &PipelineConfig::default());
+        assert!(g.is_empty());
+        assert_eq!(stats.peak_resident_edges, 0);
+        assert!(stats.offered_edges > 0, "candidates were still scored");
     }
 
     #[test]

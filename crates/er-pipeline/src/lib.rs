@@ -23,10 +23,12 @@
 //! * a **parallel construction engine** ([`graphgen`]): per-graph
 //!   left-row sharding over scoped workers with bit-identical results to
 //!   the serial path, a candidate-restricted fast path
-//!   ([`build_graph_restricted`]) for blocking-first pipelines, and a
-//!   prepared output ([`build_prepared`]) whose emit-time sorted edge
-//!   view is shared with threshold sweeps (one sort across construction
-//!   and matching);
+//!   ([`build_graph_restricted`]) for blocking-first pipelines, a
+//!   **streaming top-k path** ([`build_graph_topk`]) that bounds peak
+//!   memory at `O(n_left × k)` edges by pruning during the score phase,
+//!   and a prepared output ([`build_prepared`]) whose emit-time sorted
+//!   edge view is shared with threshold sweeps (one sort across
+//!   construction and matching);
 //! * a crossbeam-parallel [`runner`] that generates a dataset's whole
 //!   graph corpus, dividing its thread budget with the per-graph engine.
 
@@ -43,8 +45,9 @@ pub use blocking::{
 pub use cleaning::{clean_graphs, CleaningOutcome};
 pub use config::PipelineConfig;
 pub use graphgen::{
-    build_graph, build_graph_over, build_graph_restricted, build_prepared, build_prepared_over,
-    BuiltGraph, GeneratedGraph,
+    build_graph, build_graph_over, build_graph_restricted, build_graph_topk, build_graph_topk_over,
+    build_graph_topk_restricted, build_graph_topk_stats, build_prepared, build_prepared_over,
+    BuiltGraph, GeneratedGraph, TopKStats,
 };
 pub use runner::generate_corpus;
 pub use taxonomy::{SemanticScope, SimilarityFunction, WeightType};

@@ -11,15 +11,19 @@
 //! 3. the prepared output's sorted edge view equals a from-scratch
 //!    `sorted_edges()` of the same graph;
 //! 4. every normalized weight is finite, in `[0, 1]`, and positive under
-//!    `keep_positive_only` (the 0.0-floor normalization contract).
+//!    `keep_positive_only` (the 0.0-floor normalization contract);
+//! 5. the streaming top-k path is bit-identical to dense-then-prune
+//!    (`build_graph` + `pruned_top_k`) for finite `k`, reproduces the
+//!    dense edge set at `k = ∞`, holds its `O(n_left × k)` peak-resident
+//!    bound, and is itself bit-identical across thread counts.
 
 use er_core::{FxHashSet, SimilarityGraph};
 use er_datasets::{EntityCollection, EntityProfile};
 use er_embed::{EmbeddingModel, SemanticMeasure};
 use er_pipeline::blocking::{restrict_graph, token_blocking};
 use er_pipeline::{
-    build_graph_over, build_graph_restricted, build_prepared_over, PipelineConfig, SemanticScope,
-    SimilarityFunction,
+    build_graph_over, build_graph_restricted, build_graph_topk_over, build_graph_topk_stats,
+    build_prepared_over, PipelineConfig, SemanticScope, SimilarityFunction,
 };
 use er_textsim::{CharMeasure, GraphSimilarity, NGramScheme, SchemaBasedMeasure, VectorMeasure};
 use proptest::prelude::*;
@@ -195,6 +199,56 @@ proptest! {
                 function.name()
             );
             assert_weights_normalized(&serial, &function.name());
+        }
+    }
+
+    /// Invariant 5: streaming top-k ≡ dense-then-prune for every branch,
+    /// bit for bit; `k = ∞` reproduces the dense edge set; parallel ≡
+    /// serial; the peak-resident accounting never exceeds `n_left × k`.
+    #[test]
+    fn topk_streaming_matches_dense_then_prune(
+        left in arb_collection(6),
+        right in arb_collection(6),
+        threads in 2usize..=4,
+        k in 1usize..=3,
+    ) {
+        for function in branch_representatives() {
+            let dense = build_graph_over(&left, &right, &function, &serial_cfg());
+            let (streamed, stats) =
+                build_graph_topk_stats(&left, &right, &function, k, &serial_cfg());
+            assert_bit_identical(
+                &dense.pruned_top_k(k),
+                &streamed,
+                &format!("{} topk k={k}", function.name()),
+            );
+            prop_assert!(stats.peak_resident_edges <= left.len() * k);
+            prop_assert_eq!(stats.retained_edges, streamed.n_edges());
+
+            let parallel =
+                build_graph_topk_over(&left, &right, &function, k, &parallel_cfg(threads, 2));
+            assert_bit_identical(
+                &streamed,
+                &parallel,
+                &format!("{} topk parallel k={k}", function.name()),
+            );
+
+            let unbounded =
+                build_graph_topk_over(&left, &right, &function, usize::MAX, &serial_cfg());
+            let canon = |g: &SimilarityGraph| -> Vec<(u32, u32, u64)> {
+                let mut v: Vec<_> = g
+                    .edges()
+                    .iter()
+                    .map(|e| (e.left, e.right, e.weight.to_bits()))
+                    .collect();
+                v.sort_unstable();
+                v
+            };
+            prop_assert_eq!(
+                canon(&dense),
+                canon(&unbounded),
+                "{}: k = ∞ reproduces the dense edge set",
+                function.name()
+            );
         }
     }
 
