@@ -4,9 +4,10 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use er_embed::{EmbeddingModel, SemanticMeasure};
+use er_textsim::charlevel::levenshtein_distance;
 use er_textsim::{
-    GraphSimilarity, NGramGraph, NGramScheme, SchemaBasedMeasure, TermWeighting, VectorMeasure,
-    VectorModel,
+    levenshtein_distance_bounded, levenshtein_distance_classic, CharMeasure, GraphSimilarity,
+    NGramGraph, NGramScheme, SchemaBasedMeasure, TermWeighting, VectorMeasure, VectorModel,
 };
 
 const SHORT_A: &str = "panasonic lumix dmc-fz8 digital camera";
@@ -15,6 +16,35 @@ const LONG_A: &str = "efficient entity resolution over large heterogeneous data 
                       with learning free blocking and matching techniques for the web of data";
 const LONG_B: &str = "blocking and filtering techniques for entity resolution a survey of \
                       learning free methods over large web data collections and benchmarks";
+
+/// All 7 character-level measures at two representative lengths (short
+/// attribute values and long, multi-block texts), plus the three
+/// Levenshtein kernels side by side: the classic DP reference, the
+/// Myers bit-parallel kernel, and the banded bounded kernel at a tight
+/// and a loose cutoff — the rows behind the bound-driven scoring
+/// engine's baseline in docs/BENCH_BASELINE.md.
+fn bench_charlevel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("charlevel");
+    for (label, a, b) in [("short", SHORT_A, SHORT_B), ("long", LONG_A, LONG_B)] {
+        for m in CharMeasure::all() {
+            group.bench_function(format!("{}/{label}", m.name()), |x| {
+                x.iter(|| std::hint::black_box(m.similarity(a, b)))
+            });
+        }
+        group.bench_function(format!("levenshtein-classic/{label}"), |x| {
+            x.iter(|| std::hint::black_box(levenshtein_distance_classic(a, b)))
+        });
+        group.bench_function(format!("levenshtein-bitparallel/{label}"), |x| {
+            x.iter(|| std::hint::black_box(levenshtein_distance(a, b)))
+        });
+        for max_dist in [2usize, 8] {
+            group.bench_function(format!("levenshtein-bounded-d{max_dist}/{label}"), |x| {
+                x.iter(|| std::hint::black_box(levenshtein_distance_bounded(a, b, max_dist)))
+            });
+        }
+    }
+    group.finish();
+}
 
 fn bench_schema_based(c: &mut Criterion) {
     let mut group = c.benchmark_group("schema_based");
@@ -84,6 +114,7 @@ fn bench_semantic(c: &mut Criterion) {
 
 criterion_group!(
     benches,
+    bench_charlevel,
     bench_schema_based,
     bench_vector_models,
     bench_graph_models,

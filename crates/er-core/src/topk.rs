@@ -152,6 +152,44 @@ impl TopKRow {
         }
     }
 
+    /// The weight a fresh candidate must reach to possibly be retained —
+    /// the row's **admission bound**.
+    ///
+    /// Returns `f64::NEG_INFINITY` while the row has spare capacity
+    /// (everything is admitted), the current worst retained weight once
+    /// the row is full (a candidate strictly below it can never enter; a
+    /// candidate *at* it can still win the ascending-right-id
+    /// tie-break), and `f64::INFINITY` for `k = 0` (nothing is ever
+    /// admitted).
+    ///
+    /// This is the hook behind bound-driven scoring: a scorer that can
+    /// cheaply upper-bound a candidate's weight may skip the candidate
+    /// whenever `upper_bound < admission_bound()` — the skipped offer
+    /// could not have changed the heap, so the retained set stays
+    /// bit-identical.
+    ///
+    /// ```
+    /// # use er_core::TopKRow;
+    /// let mut row = TopKRow::new(2);
+    /// assert_eq!(row.admission_bound(), f64::NEG_INFINITY);
+    /// row.offer(0, 0.9);
+    /// row.offer(1, 0.4);
+    /// assert_eq!(row.admission_bound(), 0.4);
+    /// row.offer(2, 0.7); // evicts 0.4
+    /// assert_eq!(row.admission_bound(), 0.7);
+    /// assert_eq!(TopKRow::new(0).admission_bound(), f64::INFINITY);
+    /// ```
+    #[inline]
+    pub fn admission_bound(&self) -> f64 {
+        if self.k == 0 {
+            return f64::INFINITY;
+        }
+        match self.heap.peek() {
+            Some(&Reverse((worst, _))) if self.heap.len() >= self.k => worst.0,
+            _ => f64::NEG_INFINITY,
+        }
+    }
+
     /// Append the retained candidates to `out` sorted by `(weight desc,
     /// right asc)` and clear the row for reuse (capacity kept).
     ///
@@ -418,6 +456,32 @@ mod tests {
         row.drain_sorted_into(&mut kept);
         // 0.9 first; the three 0.5s tie — ascending right id, ids 2 and 4 win.
         assert_eq!(kept, vec![(7, 0.9), (2, 0.5), (4, 0.5)]);
+    }
+
+    #[test]
+    fn admission_bound_tracks_worst_survivor() {
+        let mut row = TopKRow::new(3);
+        assert_eq!(row.admission_bound(), f64::NEG_INFINITY);
+        row.offer(0, 0.5);
+        row.offer(1, 0.8);
+        assert_eq!(
+            row.admission_bound(),
+            f64::NEG_INFINITY,
+            "spare capacity admits everything"
+        );
+        row.offer(9, 0.2);
+        assert_eq!(row.admission_bound(), 0.2);
+        // Equal-weight candidates can still be admitted (lower right id
+        // wins the tie-break) — the bound is a strict-below filter only.
+        assert!(row.offer(4, 0.2), "bound-equal, lower id: admitted");
+        assert!(!row.offer(99, 0.2), "bound-equal, higher id: rejected");
+        let mut kept = Vec::new();
+        row.drain_sorted_into(&mut kept);
+        assert_eq!(
+            row.admission_bound(),
+            f64::NEG_INFINITY,
+            "drained rows reset"
+        );
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub use albert::AlbertLike;
 pub use dense::DenseVector;
 pub use fasttext::FastTextLike;
 pub use measures::{EmbeddingModel, SemanticMeasure};
-pub use wmd::relaxed_wmd;
+pub use wmd::{relaxed_wmd, word_movers_similarity, BagSummary};
 
 #[cfg(test)]
 mod sync_tests {

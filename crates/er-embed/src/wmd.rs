@@ -45,6 +45,96 @@ pub fn word_movers_similarity(a: &[DenseVector], b: &[DenseVector]) -> f64 {
     }
 }
 
+/// Safety margin of [`BagSummary::wms_upper_bound`], applied **in the
+/// scale of the distances themselves** (`margin · (d + r_a + r_b)`),
+/// not of their difference: the rounding error of each computed
+/// distance is relative to its own magnitude (f64 accumulations over
+/// f32 components, ≲ 10⁻¹³ at the 768 dimensions of the largest
+/// encoder), so when `d − r_a − r_b` suffers catastrophic cancellation
+/// a margin relative to the *difference* could be smaller than the
+/// error it must absorb. Scaling by the operand magnitudes keeps the
+/// margin four orders above the worst accumulated rounding while
+/// costing nothing measurable in pruning power.
+const CENTROID_BOUND_MARGIN: f64 = 1e-9;
+
+/// One token bag's transport-bound summary: its centroid and the
+/// largest token-to-centroid distance (radius).
+///
+/// By the triangle inequality, for any token `x` of the other bag
+/// `min_j ‖x − bⱼ‖ ≥ ‖c_a − c_b‖ − r_a − r_b`, so the relaxed WMD of two
+/// bags is at least the centroid distance minus both radii — a bound
+/// that costs one vector distance per *pair* instead of `|a|·|b|`, after
+/// an `O(|bag|·dim)` prepare per bag.
+///
+/// ```
+/// use er_embed::{BagSummary, word_movers_similarity, EmbeddingModel};
+///
+/// let enc = EmbeddingModel::FastText.encoder();
+/// let a = enc.token_vectors("canon powershot camera");
+/// let b = enc.token_vectors("sigmod conference proceedings");
+/// let (sa, sb) = (BagSummary::of(&a).unwrap(), BagSummary::of(&b).unwrap());
+/// assert!(word_movers_similarity(&a, &b) <= sa.wms_upper_bound(&sb));
+/// assert!(BagSummary::of(&[]).is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct BagSummary {
+    centroid: DenseVector,
+    radius: f64,
+}
+
+impl BagSummary {
+    /// Summarize a non-empty token bag (`None` for an empty one).
+    pub fn of(bag: &[DenseVector]) -> Option<BagSummary> {
+        Self::from_vectors(bag.len(), bag.iter())
+    }
+
+    /// [`BagSummary::of`] over any re-iterable view of `n` vectors —
+    /// the shape interned token tables provide (ids resolved through a
+    /// shared vector slab).
+    pub fn from_vectors<'a>(
+        n: usize,
+        vectors: impl Iterator<Item = &'a DenseVector> + Clone,
+    ) -> Option<BagSummary> {
+        if n == 0 {
+            return None;
+        }
+        let mut centroid = {
+            let mut it = vectors.clone();
+            let first = it.next().expect("n > 0");
+            let mut c = first.clone();
+            for v in it {
+                c.add_assign(v);
+            }
+            c.scale(1.0 / n as f32);
+            c
+        };
+        let radius = vectors
+            .map(|v| v.euclidean_distance(&centroid))
+            .fold(0.0f64, f64::max);
+        centroid.0.shrink_to_fit();
+        Some(BagSummary { centroid, radius })
+    }
+
+    /// Upper bound on the Word Mover's **similarity** of the two
+    /// summarized bags: `1 / (1 + max(0, ‖c_a − c_b‖ − r_a − r_b))`,
+    /// slackened by a margin in the scale of the distances (see
+    /// `CENTROID_BOUND_MARGIN`) so float rounding — including
+    /// catastrophic cancellation when the difference is tiny — can
+    /// never push the bound below the actually computed similarity
+    /// (property-checked in the construction-engine suite — a top-k
+    /// scorer prunes only when this bound is strictly below its
+    /// admission weight, keeping results bit-identical).
+    pub fn wms_upper_bound(&self, other: &BagSummary) -> f64 {
+        let d = self.centroid.euclidean_distance(&other.centroid);
+        let slack = CENTROID_BOUND_MARGIN * (d + self.radius + other.radius);
+        let lb = d - self.radius - other.radius - slack;
+        if lb <= 0.0 {
+            return 1.0;
+        }
+        1.0 / (1.0 + lb)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -85,6 +175,49 @@ mod tests {
         let a = ft.token_vectors("alpha beta");
         let b = ft.token_vectors("beta gamma delta");
         assert!((relaxed_wmd(&a, &b) - relaxed_wmd(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn centroid_bound_dominates_similarity() {
+        // The bound must never fall below the actual similarity — on
+        // related bags (bound ≈ 1, useless but safe) and on far-apart
+        // bags (bound < 1, the pruning case).
+        let ft = FastTextLike::new(128, 0.0);
+        let texts = [
+            "canon powershot camera",
+            "canon powershot digital camera black",
+            "sigmod conference proceedings",
+            "x",
+            "alpha beta gamma delta epsilon",
+        ];
+        let bags: Vec<Vec<DenseVector>> = texts.iter().map(|t| ft.token_vectors(t)).collect();
+        let sums: Vec<BagSummary> = bags.iter().map(|b| BagSummary::of(b).unwrap()).collect();
+        let mut saw_effective_bound = false;
+        for (i, a) in bags.iter().enumerate() {
+            for (j, b) in bags.iter().enumerate() {
+                let sim = word_movers_similarity(a, b);
+                let ub = sums[i].wms_upper_bound(&sums[j]);
+                assert!(sim <= ub, "bags {i},{j}: sim {sim} > bound {ub}");
+                if ub < 1.0 {
+                    saw_effective_bound = true;
+                }
+            }
+        }
+        assert!(saw_effective_bound, "no pair produced a non-trivial bound");
+    }
+
+    #[test]
+    fn bag_summary_from_vectors_matches_of() {
+        let ft = FastTextLike::new(64, 0.0);
+        let bag = ft.token_vectors("alpha beta gamma");
+        let direct = BagSummary::of(&bag).unwrap();
+        let via_iter = BagSummary::from_vectors(bag.len(), bag.iter()).unwrap();
+        let probe = ft.token_vectors("delta")[0].clone();
+        let probe_sum = BagSummary::of(std::slice::from_ref(&probe)).unwrap();
+        assert_eq!(
+            direct.wms_upper_bound(&probe_sum),
+            via_iter.wms_upper_bound(&probe_sum)
+        );
     }
 
     #[test]

@@ -46,6 +46,24 @@
 //! edge set equals [`build_graph`]'s (property-tested in
 //! `tests/graphgen_props.rs`). [`build_graph_topk_stats`] returns the
 //! builder accounting ([`TopKStats`]) that proves the bound.
+//!
+//! # Bound-driven scoring
+//!
+//! The all-pairs branches (character edit distances, Word Mover's) go
+//! further: they **prune before scoring**. The sink exposes an
+//! *admission bound* — the row heap's current k-th weight — and the
+//! scorers skip any candidate whose cheap exact upper bound (length /
+//! character-bag counting filters for the char measures, centroid
+//! distance for relaxed WMD) falls strictly below it; the edit-distance
+//! measures additionally run banded early-exit kernels that abandon a
+//! pair once its distance provably exceeds what the bound admits, and
+//! the WMD transport sum short-circuits on its monotone partial sums.
+//! Every bound dominates the measure's own `f64` under monotone float
+//! steps and pruning is strict-below only, so a pruned candidate could
+//! never have entered the heap: [`build_graph_topk`] output stays
+//! **bit-identical** to the dense-then-prune flow (property-proven per
+//! measure and thread count). [`TopKStats`] reports the
+//! offered/pruned/scored accounting.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -54,10 +72,10 @@ use parking_lot::Mutex;
 
 use er_core::{Edge, FxHashMap, FxHashSet, GraphBuilder, SimilarityGraph, SortedEdges, TopKRow};
 use er_datasets::{Dataset, EntityCollection, EntityProfile};
-use er_embed::{DenseVector, SemanticMeasure};
+use er_embed::{BagSummary, DenseVector, SemanticMeasure};
 use er_textsim::{
-    DfIndex, GraphSimilarity, NGramGraph, NGramScheme, SchemaBasedMeasure, SparseVector,
-    VectorMeasure, VectorModel,
+    CharMeasure, CharScratch, CharTable, DfIndex, GraphSimilarity, NGramGraph, NGramScheme,
+    SchemaBasedMeasure, SparseVector, VectorMeasure, VectorModel,
 };
 use serde::Serialize;
 
@@ -70,9 +88,34 @@ type Triple = (u32, u32, f64);
 /// Where a scorer's retained triples go. The dense path collects them
 /// verbatim (`Vec<Triple>`); the top-k path routes them through a bounded
 /// per-row heap so rejected candidates never occupy memory.
+///
+/// The sink also drives **bound-driven scoring**: before paying for a
+/// full similarity computation a scorer may ask for the sink's
+/// [`admission_bound`](EdgeSink::admission_bound) and skip any candidate
+/// whose cheap *exact* upper bound falls strictly below it — the skipped
+/// emit could not have entered the sink, so results stay bit-identical.
+/// The dense sink admits everything (bound `-∞`, pruning never fires);
+/// [`TopKSink`] answers with its row heap's current k-th weight.
 trait EdgeSink {
     /// Accept one scored pair (already positivity-filtered by the scorer).
     fn emit(&mut self, left: u32, right: u32, weight: f64);
+
+    /// The weight a new candidate of the current row must reach to
+    /// possibly be retained. A scorer may skip a candidate iff its upper
+    /// bound is **strictly** below this (equal weights can still win the
+    /// sink's tie-break).
+    #[inline]
+    fn admission_bound(&self) -> f64 {
+        f64::NEG_INFINITY
+    }
+
+    /// Count one candidate skipped via an upper bound (never emitted).
+    #[inline]
+    fn note_pruned(&mut self) {}
+
+    /// Count one candidate fully scored (emitted or positivity-dropped).
+    #[inline]
+    fn note_scored(&mut self) {}
 }
 
 impl EdgeSink for Vec<Triple> {
@@ -245,6 +288,8 @@ pub fn build_graph_topk_stats(
         offered_edges: acct.offered.load(Ordering::Relaxed),
         retained_edges: graph.n_edges(),
         peak_resident_edges: acct.peak.load(Ordering::Relaxed),
+        pruned_pairs: acct.pruned.load(Ordering::Relaxed),
+        scored_pairs: acct.scored.load(Ordering::Relaxed),
     };
     (graph, stats)
 }
@@ -321,6 +366,17 @@ pub struct TopKStats {
     /// row heaps plus finished shard buffers) — at most `n_left × k` by
     /// construction, however many edges were offered.
     pub peak_resident_edges: usize,
+    /// Candidate pairs a bound-aware scorer skipped **before** scoring:
+    /// their exact upper bound fell strictly below the row heap's
+    /// admission weight, so scoring them could not have changed the
+    /// result. Zero for scorers without upper bounds (the
+    /// inverted-index branches, whose candidate enumeration is already
+    /// the filter).
+    pub pruned_pairs: usize,
+    /// Candidate pairs fully scored (then emitted or positivity-dropped).
+    /// `pruned_pairs + scored_pairs` is the candidate volume a
+    /// bound-aware scorer faced; the prune rate is their ratio.
+    pub scored_pairs: usize,
 }
 
 /// Build the similarity graph of `function` over `dataset`, emitting the
@@ -524,6 +580,8 @@ struct TopKAccounting {
     offered: AtomicUsize,
     resident: AtomicUsize,
     peak: AtomicUsize,
+    pruned: AtomicUsize,
+    scored: AtomicUsize,
 }
 
 /// Per-worker [`EdgeSink`] of the top-k path: candidates of the current
@@ -534,6 +592,8 @@ struct TopKSink<'a> {
     row: TopKRow,
     left: u32,
     offered: usize,
+    pruned: usize,
+    scored: usize,
     drain_scratch: Vec<(u32, f64)>,
     acct: &'a TopKAccounting,
 }
@@ -544,6 +604,8 @@ impl<'a> TopKSink<'a> {
             row: TopKRow::new(k),
             left: 0,
             offered: 0,
+            pruned: 0,
+            scored: 0,
             drain_scratch: Vec::new(),
             acct,
         }
@@ -570,6 +632,21 @@ impl EdgeSink for TopKSink<'_> {
             let now = self.acct.resident.fetch_add(1, Ordering::Relaxed) + 1;
             self.acct.peak.fetch_max(now, Ordering::Relaxed);
         }
+    }
+
+    #[inline]
+    fn admission_bound(&self) -> f64 {
+        self.row.admission_bound()
+    }
+
+    #[inline]
+    fn note_pruned(&mut self) {
+        self.pruned += 1;
+    }
+
+    #[inline]
+    fn note_scored(&mut self) {
+        self.scored += 1;
     }
 }
 
@@ -604,6 +681,8 @@ fn run_rows_topk<S: RowScorer>(
             sink.drain_row_into(&mut buf);
         }
         acct.offered.fetch_add(sink.offered, Ordering::Relaxed);
+        acct.pruned.fetch_add(sink.pruned, Ordering::Relaxed);
+        acct.scored.fetch_add(sink.scored, Ordering::Relaxed);
         buf
     };
 
@@ -647,16 +726,24 @@ fn score_shards(
     mode: ScoreMode<'_>,
 ) -> Vec<Vec<Triple>> {
     match function {
-        SimilarityFunction::SchemaBasedSyntactic { attribute, measure } => {
-            let s = SchemaBasedScorer::prepare(
-                left,
-                right,
-                attribute,
-                *measure,
-                cfg.keep_positive_only,
-            );
-            run_scorer(&s, cands, cfg, mode)
-        }
+        SimilarityFunction::SchemaBasedSyntactic { attribute, measure } => match measure {
+            // Character measures ride the bound-driven engine: interned
+            // char tables, bit-parallel Levenshtein, prune-aware sinks.
+            SchemaBasedMeasure::Char(m) => {
+                let s = CharScorer::prepare(left, right, attribute, *m, cfg.keep_positive_only);
+                run_scorer(&s, cands, cfg, mode)
+            }
+            SchemaBasedMeasure::Token(_) => {
+                let s = SchemaBasedScorer::prepare(
+                    left,
+                    right,
+                    attribute,
+                    *measure,
+                    cfg.keep_positive_only,
+                );
+                run_scorer(&s, cands, cfg, mode)
+            }
+        },
         SimilarityFunction::SchemaAgnosticVector { scheme, measure } => {
             let s = VectorScorer::prepare(left, right, *scheme, *measure, cfg.keep_positive_only);
             run_scorer(&s, cands, cfg, mode)
@@ -673,7 +760,8 @@ fn score_shards(
         } => {
             let enc = model.encoder();
             if measure.needs_token_vectors() {
-                let s = WmdScorer::prepare(left, right, &enc, scope, cfg);
+                let with_bounds = matches!(mode, ScoreMode::TopK { .. });
+                let s = WmdScorer::prepare(left, right, &enc, scope, cfg, with_bounds);
                 run_scorer(&s, cands, cfg, mode)
             } else {
                 let s = DenseSemanticScorer::prepare(
@@ -790,6 +878,7 @@ impl RowScorer for SchemaBasedScorer<'_> {
         let (li, lv) = self.left[row];
         for &(ri, rv) in &self.right {
             let w = self.measure.similarity(lv, rv);
+            out.note_scored();
             if w > 0.0 || !self.keep_positive {
                 out.emit(li, ri, w);
             }
@@ -807,9 +896,272 @@ impl RowScorer for SchemaBasedScorer<'_> {
         for &r in cands.row(li) {
             if let Some(rv) = self.right_by_id.get(&r) {
                 let w = self.measure.similarity(lv, rv);
+                out.note_scored();
                 if w > 0.0 || !self.keep_positive {
                     out.emit(li, r, w);
                 }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Schema-based character measures: bound-driven all-pairs scoring over a
+// prepared char table.
+// ---------------------------------------------------------------------------
+
+/// All-pairs scoring of one attribute with a **character-level** measure,
+/// rebuilt around upper bounds that prune before scoring.
+///
+/// The prepare phase interns every attribute value (both sides) once
+/// into one shared [`CharTable`] — contiguous scalar-value slab, offsets
+/// and sorted character bags — so the score phase never re-decodes a
+/// string or allocates a `Vec<char>` per pair. Per candidate the scorer
+/// asks the sink for its admission bound and, when one exists (the
+/// top-k path):
+///
+/// 1. checks the `O(1)` length bound, then the `O(|a| + |b|)`
+///    counting-filter bag bound ([`CharMeasure::length_upper_bound`] /
+///    [`CharMeasure::bag_upper_bound`]);
+/// 2. for the edit-distance measures, derives the largest distance the
+///    bound still admits and runs the banded early-exit kernel, which
+///    abandons the pair once the distance provably exceeds it.
+///
+/// Every bound is **exact** (≥ the measure's own `f64` under monotone
+/// float steps) and pruning fires only on *strictly* smaller bounds, so
+/// the retained edge set — and therefore the finished graph — is
+/// bit-identical to the unpruned build (property-proven per measure in
+/// `tests/graphgen_props.rs`). The dense path reports bound `-∞` and
+/// skips the bound machinery entirely; it still gains the char table
+/// and the row-prepared Myers bit-parallel Levenshtein.
+struct CharScorer {
+    /// One shared table: left entries first, then right entries.
+    table: CharTable,
+    /// Left entity ids that carry the attribute, in profile order.
+    left_ids: Vec<u32>,
+    /// Right entity ids that carry the attribute, in profile order.
+    right_ids: Vec<u32>,
+    /// Right entity id → table entry index, for the restricted path.
+    right_entry_by_id: FxHashMap<u32, usize>,
+    measure: CharMeasure,
+    keep_positive: bool,
+}
+
+impl CharScorer {
+    fn prepare(
+        left: &EntityCollection,
+        right: &EntityCollection,
+        attribute: &str,
+        measure: CharMeasure,
+        keep_positive: bool,
+    ) -> Self {
+        fn with_attr<'a>(c: &'a EntityCollection, attribute: &str) -> (Vec<u32>, Vec<&'a str>) {
+            let mut ids = Vec::new();
+            let mut values = Vec::new();
+            for p in &c.profiles {
+                if let Some(v) = p.value(attribute) {
+                    ids.push(p.id);
+                    values.push(v);
+                }
+            }
+            (ids, values)
+        }
+        let (left_ids, left_values) = with_attr(left, attribute);
+        let (right_ids, right_values) = with_attr(right, attribute);
+        let table = CharTable::build(
+            left_values
+                .iter()
+                .copied()
+                .chain(right_values.iter().copied()),
+        );
+        let right_entry_by_id = right_ids
+            .iter()
+            .enumerate()
+            .map(|(j, &id)| (id, left_ids.len() + j))
+            .collect();
+        CharScorer {
+            table,
+            left_ids,
+            right_ids,
+            right_entry_by_id,
+            measure,
+            keep_positive,
+        }
+    }
+
+    /// Whether the row-level Myers pattern is worth preparing (only the
+    /// bit-parallel Levenshtein kernel consumes it).
+    #[inline]
+    fn uses_pattern(&self) -> bool {
+        matches!(self.measure, CharMeasure::Levenshtein)
+    }
+
+    /// Full (unbounded) similarity; Levenshtein rides the row-prepared
+    /// bit-parallel pattern, everything else the shared slice kernels.
+    fn full_similarity(&self, a: &[u32], b: &[u32], s: &mut CharScratch) -> f64 {
+        match self.measure {
+            CharMeasure::Levenshtein => {
+                let max_len = a.len().max(b.len());
+                if max_len == 0 {
+                    1.0
+                } else {
+                    1.0 - s.pattern_distance(b) as f64 / max_len as f64
+                }
+            }
+            m => m.similarity_codes(a, b, s),
+        }
+    }
+
+    /// Similarity under an admission bound: the edit-distance measures
+    /// run the banded early-exit kernel with the largest cutoff the
+    /// bound still admits; `None` means the pair provably scores below
+    /// the bound (counted as pruned). Other measures are fully scored —
+    /// their bounds already did the pruning.
+    fn bounded_similarity(
+        &self,
+        a: &[u32],
+        b: &[u32],
+        bound: f64,
+        s: &mut CharScratch,
+    ) -> Option<f64> {
+        match self.measure {
+            CharMeasure::Levenshtein | CharMeasure::DamerauLevenshtein if bound > 0.0 => {
+                let max_len = a.len().max(b.len());
+                if max_len == 0 {
+                    return Some(1.0);
+                }
+                let cutoff = edit_cutoff(bound, max_len);
+                // Band the DP only where it beats the full kernel.
+                let banded = 2 * cutoff + 1 < max_len;
+                let d = match self.measure {
+                    CharMeasure::Levenshtein => {
+                        if banded {
+                            s.levenshtein_bounded(a, b, cutoff)?
+                        } else {
+                            s.pattern_distance(b)
+                        }
+                    }
+                    _ => {
+                        if banded {
+                            s.osa_bounded(a, b, cutoff)?
+                        } else {
+                            return Some(self.measure.similarity_codes(a, b, s));
+                        }
+                    }
+                };
+                Some(1.0 - d as f64 / max_len as f64)
+            }
+            _ => Some(self.full_similarity(a, b, s)),
+        }
+    }
+
+    /// Score one candidate: bounds first (when the sink has an
+    /// admission bound), then the measure.
+    fn score_candidate<O: EdgeSink>(
+        &self,
+        li: u32,
+        row_entry: usize,
+        ri: u32,
+        right_entry: usize,
+        scratch: &mut CharScratch,
+        out: &mut O,
+    ) {
+        let a = self.table.codes(row_entry);
+        let b = self.table.codes(right_entry);
+        let bound = out.admission_bound();
+        let w = if bound == f64::NEG_INFINITY {
+            self.full_similarity(a, b, scratch)
+        } else {
+            if self.measure.length_upper_bound(a.len(), b.len()) < bound {
+                out.note_pruned();
+                return;
+            }
+            if let Some(ub) = self
+                .measure
+                .bag_upper_bound(self.table.bag(row_entry), self.table.bag(right_entry))
+            {
+                if ub < bound {
+                    out.note_pruned();
+                    return;
+                }
+            }
+            match self.bounded_similarity(a, b, bound, scratch) {
+                Some(w) => w,
+                None => {
+                    out.note_pruned();
+                    return;
+                }
+            }
+        };
+        out.note_scored();
+        if w > 0.0 || !self.keep_positive {
+            out.emit(li, ri, w);
+        }
+    }
+}
+
+/// Largest edit distance whose similarity `1 − d/L` still reaches
+/// `bound`. Safety (the exactness of edit-distance pruning): on return,
+/// either `cutoff == L` — the kernel can never report "exceeded" — or
+/// `1.0 − (cutoff + 1) as f64 / L as f64 < bound` holds in **the same
+/// f64 arithmetic the similarity formula uses**; since that formula is
+/// monotone non-increasing in the integer distance, every `d > cutoff`
+/// yields a similarity strictly below the bound. The float guess only
+/// seeds the search — the verification loops decide.
+fn edit_cutoff(bound: f64, max_len: usize) -> usize {
+    let l = max_len as f64;
+    let sim = |d: usize| 1.0 - d as f64 / l;
+    let guess = (1.0 - bound) * l;
+    let mut cutoff = if guess.is_finite() && guess > 0.0 {
+        (guess as usize).min(max_len)
+    } else {
+        0
+    };
+    while cutoff > 0 && sim(cutoff) < bound {
+        cutoff -= 1;
+    }
+    while cutoff < max_len && sim(cutoff + 1) >= bound {
+        cutoff += 1;
+    }
+    cutoff
+}
+
+impl RowScorer for CharScorer {
+    type Scratch = CharScratch;
+
+    fn n_rows(&self) -> usize {
+        self.left_ids.len()
+    }
+
+    fn scratch(&self) -> CharScratch {
+        CharScratch::new()
+    }
+
+    fn score_row<O: EdgeSink>(&self, row: usize, scratch: &mut CharScratch, out: &mut O) {
+        let li = self.left_ids[row];
+        if self.uses_pattern() {
+            scratch.set_pattern(self.table.codes(row));
+        }
+        let offset = self.left_ids.len();
+        for (j, &ri) in self.right_ids.iter().enumerate() {
+            self.score_candidate(li, row, ri, offset + j, scratch, out);
+        }
+    }
+
+    fn score_row_restricted<O: EdgeSink>(
+        &self,
+        row: usize,
+        cands: &CandidateLists,
+        scratch: &mut CharScratch,
+        out: &mut O,
+    ) {
+        let li = self.left_ids[row];
+        if self.uses_pattern() {
+            scratch.set_pattern(self.table.codes(row));
+        }
+        for &r in cands.row(li) {
+            if let Some(&entry) = self.right_entry_by_id.get(&r) {
+                self.score_candidate(li, row, r, entry, scratch, out);
             }
         }
     }
@@ -928,6 +1280,7 @@ impl RowScorer for VectorScorer {
             let w = self
                 .measure
                 .similarity(lv, &self.right_vecs[j as usize], self.dfs());
+            out.note_scored();
             if w > 0.0 || !self.keep_positive {
                 out.emit(row as u32, j, w);
             }
@@ -946,6 +1299,7 @@ impl RowScorer for VectorScorer {
             let w = self
                 .measure
                 .similarity(lv, &self.right_vecs[j as usize], self.dfs());
+            out.note_scored();
             if w > 0.0 || !self.keep_positive {
                 out.emit(row as u32, j, w);
             }
@@ -1027,6 +1381,7 @@ impl RowScorer for GraphModelScorer {
         }
         for &j in &scratch.candidates {
             let w = self.measure.similarity(lg, &self.right_graphs[j as usize]);
+            out.note_scored();
             if w > 0.0 || !self.keep_positive {
                 out.emit(row as u32, j, w);
             }
@@ -1043,6 +1398,7 @@ impl RowScorer for GraphModelScorer {
         let lg = &self.left_graphs[row];
         for &j in cands.row(row as u32) {
             let w = self.measure.similarity(lg, &self.right_graphs[j as usize]);
+            out.note_scored();
             if w > 0.0 || !self.keep_positive {
                 out.emit(row as u32, j, w);
             }
@@ -1115,6 +1471,7 @@ impl RowScorer for DenseSemanticScorer {
                 continue;
             }
             let w = self.measure.similarity_vectors(a, b);
+            out.note_scored();
             if w > 0.0 || !self.keep_positive {
                 out.emit(row as u32, j as u32, w);
             }
@@ -1138,6 +1495,7 @@ impl RowScorer for DenseSemanticScorer {
                 continue;
             }
             let w = self.measure.similarity_vectors(a, b);
+            out.note_scored();
             if w > 0.0 || !self.keep_positive {
                 out.emit(row as u32, j, w);
             }
@@ -1194,6 +1552,13 @@ struct WmdScorer {
     vectors: Vec<DenseVector>,
     left_bags: Vec<Vec<u32>>,
     right_bags: Vec<Vec<u32>>,
+    /// Per-bag centroid + radius summaries (`None` for empty bags):
+    /// `RWMD(a, b) ≥ ‖c_a − c_b‖ − r_a − r_b`, so one vector distance
+    /// upper-bounds the similarity of a pair before any transport work.
+    /// Left **empty** on the dense path, whose sink never exposes an
+    /// admission bound — the summaries would be pure prepare overhead.
+    left_summaries: Vec<Option<BagSummary>>,
+    right_summaries: Vec<Option<BagSummary>>,
     keep_positive: bool,
 }
 
@@ -1204,6 +1569,7 @@ impl WmdScorer {
         enc: &er_embed::measures::Encoder,
         scope: &SemanticScope,
         cfg: &PipelineConfig,
+        with_bounds: bool,
     ) -> Self {
         let mut vectors: Vec<DenseVector> = Vec::new();
         let mut intern: FxHashMap<Vec<u32>, u32> = FxHashMap::default();
@@ -1222,17 +1588,47 @@ impl WmdScorer {
         };
         let left_bags: Vec<Vec<u32>> = left.profiles.iter().map(&mut bag_of).collect();
         let right_bags: Vec<Vec<u32>> = right.profiles.iter().map(&mut bag_of).collect();
+        let summarize = |bags: &[Vec<u32>]| -> Vec<Option<BagSummary>> {
+            if !with_bounds {
+                return Vec::new();
+            }
+            bags.iter()
+                .map(|bag| {
+                    BagSummary::from_vectors(bag.len(), bag.iter().map(|&id| &vectors[id as usize]))
+                })
+                .collect()
+        };
+        let left_summaries = summarize(&left_bags);
+        let right_summaries = summarize(&right_bags);
         WmdScorer {
             vectors,
             left_bags,
             right_bags,
+            left_summaries,
+            right_summaries,
             keep_positive: cfg.keep_positive_only,
         }
     }
 
     /// Relaxed WMD similarity of two non-empty bags:
-    /// `1 / (1 + max of the two directed nearest-neighbor means)`.
-    fn similarity(&self, cache: &mut DistCache, a: &[u32], b: &[u32]) -> f64 {
+    /// `1 / (1 + max of the two directed nearest-neighbor means)` —
+    /// with an **exact** admission-bound short-circuit.
+    ///
+    /// `None` means the final similarity is provably `< bound`: the
+    /// directed sums accumulate non-negative terms, and every float
+    /// step from a partial sum to the final similarity (add, divide by
+    /// a positive constant, `max`, `1/(1+d)`) is monotone — so once
+    /// `1/(1 + partial/|a|)` falls below the bound, the fully computed
+    /// similarity must too, bit for bit. Passing
+    /// `bound = f64::NEG_INFINITY` disables the short-circuit and
+    /// reproduces the plain computation exactly.
+    fn similarity_bounded(
+        &self,
+        cache: &mut DistCache,
+        a: &[u32],
+        b: &[u32],
+        bound: f64,
+    ) -> Option<f64> {
         let mut d_ab = 0.0;
         for &x in a {
             let mut best = f64::INFINITY;
@@ -1240,6 +1636,9 @@ impl WmdScorer {
                 best = best.min(cache.dist(&self.vectors, x, y));
             }
             d_ab += best;
+            if 1.0 / (1.0 + d_ab / a.len() as f64) < bound {
+                return None;
+            }
         }
         d_ab /= a.len() as f64;
         let mut d_ba = 0.0;
@@ -1249,9 +1648,39 @@ impl WmdScorer {
                 best = best.min(cache.dist(&self.vectors, x, y));
             }
             d_ba += best;
+            if 1.0 / (1.0 + d_ab.max(d_ba / b.len() as f64)) < bound {
+                return None;
+            }
         }
         d_ba /= b.len() as f64;
-        1.0 / (1.0 + d_ab.max(d_ba))
+        Some(1.0 / (1.0 + d_ab.max(d_ba)))
+    }
+
+    /// Score the candidate pair `(left row, right j)` — both known
+    /// non-empty: centroid upper bound first, then the short-circuiting
+    /// transport computation.
+    fn score_pair<O: EdgeSink>(&self, row: usize, j: usize, cache: &mut DistCache, out: &mut O) {
+        let (a, b) = (&self.left_bags[row], &self.right_bags[j]);
+        let bound = out.admission_bound();
+        if bound != f64::NEG_INFINITY {
+            if let (Some(Some(sa)), Some(Some(sb))) =
+                (self.left_summaries.get(row), self.right_summaries.get(j))
+            {
+                if sa.wms_upper_bound(sb) < bound {
+                    out.note_pruned();
+                    return;
+                }
+            }
+        }
+        match self.similarity_bounded(cache, a, b, bound) {
+            None => out.note_pruned(),
+            Some(w) => {
+                out.note_scored();
+                if w > 0.0 || !self.keep_positive {
+                    out.emit(row as u32, j as u32, w);
+                }
+            }
+        }
     }
 }
 
@@ -1267,18 +1696,14 @@ impl RowScorer for WmdScorer {
     }
 
     fn score_row<O: EdgeSink>(&self, row: usize, cache: &mut DistCache, out: &mut O) {
-        let a = &self.left_bags[row];
-        if a.is_empty() {
+        if self.left_bags[row].is_empty() {
             return;
         }
         for (j, b) in self.right_bags.iter().enumerate() {
             if b.is_empty() {
                 continue;
             }
-            let w = self.similarity(cache, a, b);
-            if w > 0.0 || !self.keep_positive {
-                out.emit(row as u32, j as u32, w);
-            }
+            self.score_pair(row, j, cache, out);
         }
     }
 
@@ -1289,19 +1714,14 @@ impl RowScorer for WmdScorer {
         cache: &mut DistCache,
         out: &mut O,
     ) {
-        let a = &self.left_bags[row];
-        if a.is_empty() {
+        if self.left_bags[row].is_empty() {
             return;
         }
         for &j in cands.row(row as u32) {
-            let b = &self.right_bags[j as usize];
-            if b.is_empty() {
+            if self.right_bags[j as usize].is_empty() {
                 continue;
             }
-            let w = self.similarity(cache, a, b);
-            if w > 0.0 || !self.keep_positive {
-                out.emit(row as u32, j, w);
-            }
+            self.score_pair(row, j as usize, cache, out);
         }
     }
 }
@@ -1598,6 +2018,7 @@ mod tests {
                 attribute: "name".into(),
             },
             &cfg,
+            false,
         );
         assert_eq!(scorer.vectors.len(), 3, "3 distinct interned tokens");
         let mut cache = scorer.scratch();

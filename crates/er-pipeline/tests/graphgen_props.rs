@@ -15,7 +15,14 @@
 //! 5. the streaming top-k path is bit-identical to dense-then-prune
 //!    (`build_graph` + `pruned_top_k`) for finite `k`, reproduces the
 //!    dense edge set at `k = ∞`, holds its `O(n_left × k)` peak-resident
-//!    bound, and is itself bit-identical across thread counts.
+//!    bound, and is itself bit-identical across thread counts;
+//! 6. **bound-driven scoring is exact**: for every character-level
+//!    measure and the Word Mover's branch — the scorers that prune
+//!    candidates against the sink's admission bound (length/bag filters,
+//!    banded edit-distance cutoffs, centroid bounds, transport
+//!    short-circuits) — the pruned top-k build remains bit-identical to
+//!    dense-then-prune for `threads ∈ {1, 4}`, and the offered/pruned/
+//!    scored accounting stays consistent.
 
 use er_core::{FxHashSet, SimilarityGraph};
 use er_datasets::{EntityCollection, EntityProfile};
@@ -249,6 +256,60 @@ proptest! {
                 "{}: k = ∞ reproduces the dense edge set",
                 function.name()
             );
+        }
+    }
+
+    /// Invariant 6: prune-aware scoring never changes a bit. Every
+    /// measure with upper bounds (all 7 character measures, Word
+    /// Mover's) builds the same top-k graph as the unpruned
+    /// dense-then-prune flow, serially and with 4 workers; small `k`
+    /// keeps the admission bound tight so pruning actually fires.
+    #[test]
+    fn prune_aware_topk_is_exact_for_bounded_scorers(
+        left in arb_collection(6),
+        right in arb_collection(6),
+        k in 1usize..=2,
+    ) {
+        let mut functions: Vec<SimilarityFunction> = CharMeasure::all()
+            .into_iter()
+            .map(|m| SimilarityFunction::SchemaBasedSyntactic {
+                attribute: "name".into(),
+                measure: SchemaBasedMeasure::Char(m),
+            })
+            .collect();
+        functions.push(SimilarityFunction::Semantic {
+            model: EmbeddingModel::FastText,
+            measure: SemanticMeasure::WordMovers,
+            scope: SemanticScope::SchemaBased {
+                attribute: "name".into(),
+            },
+        });
+        for function in functions {
+            let dense = build_graph_over(&left, &right, &function, &serial_cfg());
+            let (streamed, stats) =
+                build_graph_topk_stats(&left, &right, &function, k, &serial_cfg());
+            assert_bit_identical(
+                &dense.pruned_top_k(k),
+                &streamed,
+                &format!("{} pruned topk k={k}", function.name()),
+            );
+            let parallel =
+                build_graph_topk_over(&left, &right, &function, k, &parallel_cfg(4, 2));
+            assert_bit_identical(
+                &streamed,
+                &parallel,
+                &format!("{} pruned topk 4 threads k={k}", function.name()),
+            );
+            // Accounting consistency: every emitted candidate was fully
+            // scored, and pruned candidates were never emitted.
+            prop_assert!(
+                stats.offered_edges <= stats.scored_pairs,
+                "{}: offered {} > scored {}",
+                function.name(),
+                stats.offered_edges,
+                stats.scored_pairs
+            );
+            prop_assert!(stats.retained_edges <= stats.offered_edges);
         }
     }
 

@@ -3,8 +3,51 @@
 //! All functions return similarities in `[0, 1]`; distance measures are
 //! normalized as documented per function. Two empty strings are maximally
 //! similar (1.0); an empty vs non-empty string scores 0.0.
+//!
+//! # The scoring engine underneath
+//!
+//! Every measure has two faces:
+//!
+//! * the classic `&str` API (`levenshtein_similarity(a, b)` etc.), which
+//!   decodes each argument **once** into a thread-local scratch and
+//!   delegates to the slice kernels — no per-call `Vec<char>` pairs, no
+//!   double `chars()` walk for length + distance;
+//! * the `*_codes` slice kernels over `&[u32]` Unicode scalars with an
+//!   explicit reusable [`CharScratch`], the allocation-free shape the
+//!   all-pairs construction engine drives via a prepared
+//!   [`CharTable`](crate::CharTable).
+//!
+//! Levenshtein runs on the Myers bit-parallel kernel
+//! ([`crate::bitpar`]); [`levenshtein_distance_classic`] keeps the
+//! reference dynamic program for property tests and benchmarks.
+//! [`CharMeasure::length_upper_bound`] and
+//! [`CharMeasure::bag_upper_bound`] give cheap *exact* upper bounds
+//! (each provably ≥ the measure's own computed `f64`, term by term under
+//! monotone float operations), which is what lets a top-k sink prune a
+//! candidate **before** scoring without changing any retained weight.
+
+use std::cell::RefCell;
 
 use serde::{Deserialize, Serialize};
+
+use er_core::FxHashMap;
+
+use crate::bitpar::{self, BandRows, MyersPattern};
+use crate::chartable::sorted_common_count;
+
+/// q-gram order of [`qgrams_similarity`] (Simmetrics-style trigrams).
+const Q: usize = 3;
+
+/// Padding character of the q-gram profiles — the literal `#` of the
+/// Simmetrics convention, kept deliberately: a real `#` in the text
+/// merges with padding grams exactly as it always has, so the packed
+/// profiles are bit-compatible with the historical `String`-keyed ones
+/// for **every** input.
+const QGRAM_PAD: u32 = '#' as u32;
+
+// The packing invariant behind `qgram_key`: every scalar value (and the
+// pad) fits a 21-bit lane, so three pack losslessly into a u64.
+const _: () = assert!(QGRAM_PAD < (1 << 21) && (char::MAX as u32) < (1 << 21));
 
 /// The seven character-level measures of the paper's taxonomy (Figure 6),
 /// in its listing order.
@@ -53,23 +96,293 @@ impl CharMeasure {
         }
     }
 
-    /// Compute the similarity of two strings.
+    /// Compute the similarity of two strings (thread-local scratch; each
+    /// argument is decoded exactly once).
     pub fn similarity(&self, a: &str, b: &str) -> f64 {
+        let m = *self;
+        with_str_codes(a, b, |ca, cb, s| m.similarity_codes(ca, cb, s))
+    }
+
+    /// Compute the similarity of two pre-decoded scalar-value slices with
+    /// an explicit reusable scratch — the allocation-free hot path of the
+    /// all-pairs scorers. Bit-identical to [`CharMeasure::similarity`]
+    /// on the same text.
+    ///
+    /// ```
+    /// use er_textsim::{CharMeasure, CharScratch};
+    ///
+    /// let a: Vec<u32> = "kitten".chars().map(u32::from).collect();
+    /// let b: Vec<u32> = "sitting".chars().map(u32::from).collect();
+    /// let mut s = CharScratch::new();
+    /// let got = CharMeasure::Levenshtein.similarity_codes(&a, &b, &mut s);
+    /// assert_eq!(got, CharMeasure::Levenshtein.similarity("kitten", "sitting"));
+    /// ```
+    pub fn similarity_codes(&self, a: &[u32], b: &[u32], s: &mut CharScratch) -> f64 {
         match self {
-            CharMeasure::DamerauLevenshtein => damerau_levenshtein_similarity(a, b),
-            CharMeasure::Levenshtein => levenshtein_similarity(a, b),
-            CharMeasure::QGrams => qgrams_similarity(a, b),
-            CharMeasure::Jaro => jaro_similarity(a, b),
-            CharMeasure::NeedlemanWunsch => needleman_wunsch_similarity(a, b),
-            CharMeasure::LongestCommonSubsequence => lcs_subsequence_similarity(a, b),
-            CharMeasure::LongestCommonSubstring => lcs_substring_similarity(a, b),
+            CharMeasure::DamerauLevenshtein => {
+                let max_len = a.len().max(b.len());
+                if max_len == 0 {
+                    return 1.0;
+                }
+                1.0 - osa_distance_codes(a, b, s) as f64 / max_len as f64
+            }
+            CharMeasure::Levenshtein => {
+                let max_len = a.len().max(b.len());
+                if max_len == 0 {
+                    return 1.0;
+                }
+                // The shorter side as the pattern: fewest 64-bit blocks.
+                let d = if a.len() <= b.len() {
+                    s.set_pattern(a);
+                    s.pattern_distance(b)
+                } else {
+                    s.set_pattern(b);
+                    s.pattern_distance(a)
+                };
+                1.0 - d as f64 / max_len as f64
+            }
+            CharMeasure::QGrams => qgrams_similarity_codes(a, b, s),
+            CharMeasure::Jaro => jaro_similarity_codes(a, b, s),
+            CharMeasure::NeedlemanWunsch => needleman_wunsch_similarity_codes(a, b, s),
+            CharMeasure::LongestCommonSubsequence => {
+                let max_len = a.len().max(b.len());
+                if max_len == 0 {
+                    return 1.0;
+                }
+                lcs_subsequence_len_codes(a, b, s) as f64 / max_len as f64
+            }
+            CharMeasure::LongestCommonSubstring => {
+                let max_len = a.len().max(b.len());
+                if max_len == 0 {
+                    return 1.0;
+                }
+                lcs_substring_len_codes(a, b, s) as f64 / max_len as f64
+            }
         }
+    }
+
+    /// An **exact** `O(1)` upper bound on the similarity from the two
+    /// character lengths alone.
+    ///
+    /// Exactness contract: the returned value is ≥ the `f64` this
+    /// measure itself computes for any strings of these lengths — every
+    /// term of the bound dominates the corresponding term of the
+    /// measure's formula and only monotone float operations combine
+    /// them. A top-k sink may therefore skip any candidate whose bound
+    /// falls strictly below its admission weight without changing the
+    /// retained edge set by a single bit.
+    ///
+    /// ```
+    /// use er_textsim::CharMeasure;
+    ///
+    /// for m in CharMeasure::all() {
+    ///     let ub = m.length_upper_bound(6, 7);
+    ///     assert!(m.similarity("kitten", "sitting") <= ub);
+    /// }
+    /// assert_eq!(CharMeasure::Levenshtein.length_upper_bound(0, 0), 1.0);
+    /// assert_eq!(CharMeasure::Jaro.length_upper_bound(0, 4), 0.0);
+    /// ```
+    pub fn length_upper_bound(&self, la: usize, lb: usize) -> f64 {
+        let (mn, mx) = (la.min(lb), la.max(lb));
+        if mx == 0 {
+            return 1.0; // both empty: every measure scores exactly 1
+        }
+        if mn == 0 {
+            return 0.0; // one side empty: every measure scores exactly 0
+        }
+        match self {
+            // d ≥ |la − lb| (every edit changes the length by ≤ 1; a
+            // transposition not at all).
+            CharMeasure::DamerauLevenshtein | CharMeasure::Levenshtein => {
+                1.0 - (mx - mn) as f64 / mx as f64
+            }
+            // Padded profiles hold lᵢ + Q − 1 grams; the block distance
+            // is at least the profile-mass difference.
+            CharMeasure::QGrams => {
+                let (na, nb) = (la + Q - 1, lb + Q - 1);
+                1.0 - na.abs_diff(nb) as f64 / (na + nb) as f64
+            }
+            // m ≤ min(la, lb) and (m − t)/m ≤ 1.
+            CharMeasure::Jaro => (mn as f64 / la as f64 + mn as f64 / lb as f64 + 1.0) / 3.0,
+            // Any alignment pays ≥ |la − lb| gaps at −2 each.
+            CharMeasure::NeedlemanWunsch => {
+                let worst = 2 * (mx - mn);
+                (1.0 - worst as f64 / (2.0 * mx as f64)).clamp(0.0, 1.0)
+            }
+            // A common sub{sequence, string} is at most the shorter side.
+            CharMeasure::LongestCommonSubsequence | CharMeasure::LongestCommonSubstring => {
+                mn as f64 / mx as f64
+            }
+        }
+    }
+
+    /// An **exact** `O(|a| + |b|)` upper bound from the sorted character
+    /// bags (counting filter): `common` shared characters cap the match
+    /// count of every alignment-free term. `None` for measures without a
+    /// useful bag bound (q-grams, whose profile lives on windows, not
+    /// characters). Same exactness contract as
+    /// [`CharMeasure::length_upper_bound`].
+    ///
+    /// ```
+    /// use er_textsim::{CharMeasure, CharTable};
+    ///
+    /// let t = CharTable::build(["kitten", "sitting"]);
+    /// let m = CharMeasure::Levenshtein;
+    /// let ub = m.bag_upper_bound(t.bag(0), t.bag(1)).unwrap();
+    /// assert!(m.similarity("kitten", "sitting") <= ub);
+    /// assert!(CharMeasure::QGrams.bag_upper_bound(t.bag(0), t.bag(1)).is_none());
+    /// ```
+    pub fn bag_upper_bound(&self, bag_a: &[u32], bag_b: &[u32]) -> Option<f64> {
+        if matches!(self, CharMeasure::QGrams) {
+            return None;
+        }
+        let (la, lb) = (bag_a.len(), bag_b.len());
+        let (mn, mx) = (la.min(lb), la.max(lb));
+        if mx == 0 {
+            return Some(1.0);
+        }
+        if mn == 0 {
+            return Some(0.0);
+        }
+        let common = sorted_common_count(bag_a, bag_b);
+        Some(match self {
+            // Edits that fix the multiset difference: d ≥ max − common
+            // (a transposition changes no multiset, so this holds for
+            // the OSA variant too).
+            CharMeasure::DamerauLevenshtein | CharMeasure::Levenshtein => {
+                1.0 - (mx - common) as f64 / mx as f64
+            }
+            // Jaro matches are an injection between equal characters,
+            // so m ≤ common; m = 0 scores exactly 0.
+            CharMeasure::Jaro => {
+                if common == 0 {
+                    0.0
+                } else {
+                    (common as f64 / la as f64 + common as f64 / lb as f64 + 1.0) / 3.0
+                }
+            }
+            // matches ≤ common, so aligned mismatches ≥ min − common on
+            // top of the |la − lb| forced gaps.
+            CharMeasure::NeedlemanWunsch => {
+                let worst = (mn - common) + 2 * (mx - mn);
+                (1.0 - worst as f64 / (2.0 * mx as f64)).clamp(0.0, 1.0)
+            }
+            // A common sub{sequence, string} uses each character once
+            // per side, so its length is ≤ the multiset intersection.
+            CharMeasure::LongestCommonSubsequence | CharMeasure::LongestCommonSubstring => {
+                common as f64 / mx as f64
+            }
+            CharMeasure::QGrams => unreachable!("handled above"),
+        })
     }
 }
 
-/// Levenshtein edit distance (insert/delete/substitute), O(|a|·|b|) time,
-/// O(min) memory.
+/// Reusable per-worker scratch of the character kernels: Myers pattern
+/// masks, banded-DP rows, rolling DP rows, Jaro stamps and q-gram
+/// profile maps. One instance per scoring worker (or per thread for the
+/// `&str` API); after warm-up, no kernel allocates.
+#[derive(Debug, Clone, Default)]
+pub struct CharScratch {
+    myers: MyersPattern,
+    band: BandRows,
+    prev_u: Vec<usize>,
+    cur_u: Vec<usize>,
+    prev2_u: Vec<usize>,
+    prev_f: Vec<f64>,
+    cur_f: Vec<f64>,
+    /// Jaro "b used" stamps (generation-tagged, never cleared).
+    b_used: Vec<u32>,
+    used_gen: u32,
+    matches_a: Vec<u32>,
+    matches_b: Vec<u32>,
+    qa: FxHashMap<u64, usize>,
+    qb: FxHashMap<u64, usize>,
+}
+
+impl CharScratch {
+    /// Fresh scratch (all buffers empty; they grow to the corpus
+    /// high-water mark and stay there).
+    pub fn new() -> Self {
+        CharScratch::default()
+    }
+
+    /// Prepare the Myers bit-parallel pattern for `a` — the row-level
+    /// half of a Levenshtein comparison, reusable against every
+    /// candidate of the row via [`CharScratch::pattern_distance`].
+    #[inline]
+    pub fn set_pattern(&mut self, a: &[u32]) {
+        self.myers.prepare(a);
+    }
+
+    /// Levenshtein distance of the pattern prepared by
+    /// [`CharScratch::set_pattern`] to `b`.
+    #[inline]
+    pub fn pattern_distance(&mut self, b: &[u32]) -> usize {
+        self.myers.distance(b)
+    }
+
+    /// Cutoff-bounded Levenshtein distance (`None` ⇔ `> max_dist`) via
+    /// the scratch band rows; see [`bitpar::levenshtein_bounded`].
+    #[inline]
+    pub fn levenshtein_bounded(&mut self, a: &[u32], b: &[u32], max_dist: usize) -> Option<usize> {
+        bitpar::levenshtein_bounded(a, b, max_dist, &mut self.band)
+    }
+
+    /// Cutoff-bounded Damerau-Levenshtein (OSA) distance; see
+    /// [`bitpar::osa_bounded`].
+    #[inline]
+    pub fn osa_bounded(&mut self, a: &[u32], b: &[u32], max_dist: usize) -> Option<usize> {
+        bitpar::osa_bounded(a, b, max_dist, &mut self.band)
+    }
+}
+
+/// Thread-local decode buffers + scratch backing the `&str` API.
+struct StrScratch {
+    a: Vec<u32>,
+    b: Vec<u32>,
+    s: CharScratch,
+}
+
+thread_local! {
+    static STR_SCRATCH: RefCell<StrScratch> = RefCell::new(StrScratch {
+        a: Vec::new(),
+        b: Vec::new(),
+        s: CharScratch::new(),
+    });
+}
+
+/// Decode `a` and `b` once into the thread-local buffers and run `f`.
+fn with_str_codes<R>(a: &str, b: &str, f: impl FnOnce(&[u32], &[u32], &mut CharScratch) -> R) -> R {
+    STR_SCRATCH.with(|cell| {
+        let w = &mut *cell.borrow_mut();
+        w.a.clear();
+        w.a.extend(a.chars().map(u32::from));
+        w.b.clear();
+        w.b.extend(b.chars().map(u32::from));
+        f(&w.a, &w.b, &mut w.s)
+    })
+}
+
+/// Levenshtein edit distance (insert/delete/substitute) on the Myers
+/// bit-parallel kernel: `O(⌈min/64⌉·max)` word operations instead of the
+/// classic `O(|a|·|b|)` cell grid, with identical results
+/// (property-proven against [`levenshtein_distance_classic`]).
 pub fn levenshtein_distance(a: &str, b: &str) -> usize {
+    with_str_codes(a, b, |ca, cb, s| {
+        if ca.len() <= cb.len() {
+            s.set_pattern(ca);
+            s.pattern_distance(cb)
+        } else {
+            s.set_pattern(cb);
+            s.pattern_distance(ca)
+        }
+    })
+}
+
+/// The classic `O(|a|·|b|)`-time rolling-row Levenshtein dynamic
+/// program — kept as the reference implementation the bit-parallel and
+/// bounded kernels are verified (and benchmarked) against.
+pub fn levenshtein_distance_classic(a: &str, b: &str) -> usize {
     let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
     let (a, b) = if a.len() < b.len() { (b, a) } else { (a, b) };
     if b.is_empty() {
@@ -88,21 +401,39 @@ pub fn levenshtein_distance(a: &str, b: &str) -> usize {
     prev[b.len()]
 }
 
+/// Levenshtein distance if it is `≤ max_dist`, `None` otherwise — the
+/// Ukkonen-banded early-exit kernel ([`bitpar::levenshtein_bounded`])
+/// over a thread-local scratch. A pair whose distance provably exceeds
+/// the cutoff is abandoned after `O((2·max_dist + 1)·min(|a|, |b|))`
+/// work instead of the full grid.
+///
+/// ```
+/// use er_textsim::levenshtein_distance_bounded;
+///
+/// assert_eq!(levenshtein_distance_bounded("kitten", "sitting", 3), Some(3));
+/// assert_eq!(levenshtein_distance_bounded("kitten", "sitting", 2), None);
+/// assert_eq!(levenshtein_distance_bounded("", "", 0), Some(0));
+/// ```
+pub fn levenshtein_distance_bounded(a: &str, b: &str, max_dist: usize) -> Option<usize> {
+    with_str_codes(a, b, |ca, cb, s| s.levenshtein_bounded(ca, cb, max_dist))
+}
+
 /// `1 - d / max(|a|, |b|)`; 1.0 for two empty strings.
 pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
-    let max_len = a.chars().count().max(b.chars().count());
-    if max_len == 0 {
-        return 1.0;
-    }
-    1.0 - levenshtein_distance(a, b) as f64 / max_len as f64
+    with_str_codes(a, b, |ca, cb, s| {
+        CharMeasure::Levenshtein.similarity_codes(ca, cb, s)
+    })
 }
 
 /// Damerau-Levenshtein distance in the *optimal string alignment* variant
 /// (adjacent transpositions, no substring edited twice) — the variant used
 /// by Simmetrics.
 pub fn damerau_levenshtein_distance(a: &str, b: &str) -> usize {
-    let a: Vec<char> = a.chars().collect();
-    let b: Vec<char> = b.chars().collect();
+    with_str_codes(a, b, osa_distance_codes)
+}
+
+/// OSA distance over scalar slices with scratch-owned rolling rows.
+fn osa_distance_codes(a: &[u32], b: &[u32], s: &mut CharScratch) -> usize {
     if a.is_empty() {
         return b.len();
     }
@@ -111,39 +442,44 @@ pub fn damerau_levenshtein_distance(a: &str, b: &str) -> usize {
     }
     let cols = b.len() + 1;
     // Three rolling rows: i-2, i-1, i.
-    let mut row2: Vec<usize> = vec![0; cols];
-    let mut row1: Vec<usize> = (0..cols).collect();
-    let mut row0: Vec<usize> = vec![0; cols];
+    s.prev2_u.clear();
+    s.prev2_u.resize(cols, 0);
+    s.prev_u.clear();
+    s.prev_u.extend(0..cols);
+    s.cur_u.clear();
+    s.cur_u.resize(cols, 0);
     for i in 1..=a.len() {
-        row0[0] = i;
+        s.cur_u[0] = i;
         for j in 1..=b.len() {
             let cost = usize::from(a[i - 1] != b[j - 1]);
-            let mut d = (row1[j - 1] + cost).min(row1[j] + 1).min(row0[j - 1] + 1);
+            let mut d = (s.prev_u[j - 1] + cost)
+                .min(s.prev_u[j] + 1)
+                .min(s.cur_u[j - 1] + 1);
             if i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1] {
-                d = d.min(row2[j - 2] + 1);
+                d = d.min(s.prev2_u[j - 2] + 1);
             }
-            row0[j] = d;
+            s.cur_u[j] = d;
         }
-        std::mem::swap(&mut row2, &mut row1);
-        std::mem::swap(&mut row1, &mut row0);
+        std::mem::swap(&mut s.prev2_u, &mut s.prev_u);
+        std::mem::swap(&mut s.prev_u, &mut s.cur_u);
     }
-    row1[b.len()]
+    s.prev_u[b.len()]
 }
 
 /// `1 - d / max(|a|, |b|)`; 1.0 for two empty strings.
 pub fn damerau_levenshtein_similarity(a: &str, b: &str) -> f64 {
-    let max_len = a.chars().count().max(b.chars().count());
-    if max_len == 0 {
-        return 1.0;
-    }
-    1.0 - damerau_levenshtein_distance(a, b) as f64 / max_len as f64
+    with_str_codes(a, b, |ca, cb, s| {
+        CharMeasure::DamerauLevenshtein.similarity_codes(ca, cb, s)
+    })
 }
 
 /// Jaro similarity: `(m/|a| + m/|b| + (m-t)/m) / 3` with `m` common
 /// characters within the match window and `t` half-transpositions.
 pub fn jaro_similarity(a: &str, b: &str) -> f64 {
-    let a: Vec<char> = a.chars().collect();
-    let b: Vec<char> = b.chars().collect();
+    with_str_codes(a, b, jaro_similarity_codes)
+}
+
+fn jaro_similarity_codes(a: &[u32], b: &[u32], s: &mut CharScratch) -> f64 {
     if a.is_empty() && b.is_empty() {
         return 1.0;
     }
@@ -151,32 +487,42 @@ pub fn jaro_similarity(a: &str, b: &str) -> f64 {
         return 0.0;
     }
     let window = (a.len().max(b.len()) / 2).saturating_sub(1);
-    let mut b_used = vec![false; b.len()];
-    let mut matches_a: Vec<char> = Vec::new();
-    for (i, ca) in a.iter().enumerate() {
+    if s.used_gen == u32::MAX {
+        s.b_used.fill(0);
+        s.used_gen = 0;
+    }
+    s.used_gen += 1;
+    let gen = s.used_gen;
+    if s.b_used.len() < b.len() {
+        s.b_used.resize(b.len(), 0);
+    }
+    s.matches_a.clear();
+    for (i, &ca) in a.iter().enumerate() {
         let lo = i.saturating_sub(window);
         let hi = (i + window + 1).min(b.len());
-        for j in lo..hi {
-            if !b_used[j] && b[j] == *ca {
-                b_used[j] = true;
-                matches_a.push(*ca);
+        for (j, &cb) in b.iter().enumerate().take(hi).skip(lo) {
+            if s.b_used[j] != gen && cb == ca {
+                s.b_used[j] = gen;
+                s.matches_a.push(ca);
                 break;
             }
         }
     }
-    let m = matches_a.len();
+    let m = s.matches_a.len();
     if m == 0 {
         return 0.0;
     }
-    let matches_b: Vec<char> = b
+    s.matches_b.clear();
+    s.matches_b.extend(
+        b.iter()
+            .zip(s.b_used.iter())
+            .filter(|&(_, &u)| u == gen)
+            .map(|(&c, _)| c),
+    );
+    let t = s
+        .matches_a
         .iter()
-        .zip(b_used.iter())
-        .filter(|(_, &u)| u)
-        .map(|(c, _)| *c)
-        .collect();
-    let t = matches_a
-        .iter()
-        .zip(matches_b.iter())
+        .zip(s.matches_b.iter())
         .filter(|(x, y)| x != y)
         .count() as f64
         / 2.0;
@@ -188,10 +534,14 @@ pub fn jaro_similarity(a: &str, b: &str) -> f64 {
 /// mismatch −1, gap −2; similarity is the score normalized by the all-gap
 /// worst case of the longer string: `1 − (−S) / (2·max(|a|,|b|))`.
 pub fn needleman_wunsch_similarity(a: &str, b: &str) -> f64 {
+    with_str_codes(a, b, |ca, cb, s| {
+        needleman_wunsch_similarity_codes(ca, cb, s)
+    })
+}
+
+fn needleman_wunsch_similarity_codes(a: &[u32], b: &[u32], s: &mut CharScratch) -> f64 {
     const MISMATCH: f64 = -1.0;
     const GAP: f64 = -2.0;
-    let a: Vec<char> = a.chars().collect();
-    let b: Vec<char> = b.chars().collect();
     if a.is_empty() && b.is_empty() {
         return 1.0;
     }
@@ -199,17 +549,19 @@ pub fn needleman_wunsch_similarity(a: &str, b: &str) -> f64 {
     if a.is_empty() || b.is_empty() {
         return 0.0;
     }
-    let mut prev: Vec<f64> = (0..=b.len()).map(|j| j as f64 * GAP).collect();
-    let mut cur = vec![0.0f64; b.len() + 1];
+    s.prev_f.clear();
+    s.prev_f.extend((0..=b.len()).map(|j| j as f64 * GAP));
+    s.cur_f.clear();
+    s.cur_f.resize(b.len() + 1, 0.0);
     for (i, ca) in a.iter().enumerate() {
-        cur[0] = (i + 1) as f64 * GAP;
+        s.cur_f[0] = (i + 1) as f64 * GAP;
         for (j, cb) in b.iter().enumerate() {
-            let sub = prev[j] + if ca == cb { 0.0 } else { MISMATCH };
-            cur[j + 1] = sub.max(prev[j + 1] + GAP).max(cur[j] + GAP);
+            let sub = s.prev_f[j] + if ca == cb { 0.0 } else { MISMATCH };
+            s.cur_f[j + 1] = sub.max(s.prev_f[j + 1] + GAP).max(s.cur_f[j] + GAP);
         }
-        std::mem::swap(&mut prev, &mut cur);
+        std::mem::swap(&mut s.prev_f, &mut s.cur_f);
     }
-    let score = prev[b.len()]; // <= 0
+    let score = s.prev_f[b.len()]; // <= 0
     (1.0 - (-score) / (2.0 * max_len as f64)).clamp(0.0, 1.0)
 }
 
@@ -217,33 +569,55 @@ pub fn needleman_wunsch_similarity(a: &str, b: &str) -> f64 {
 /// between trigram profiles, normalized to a similarity by the total
 /// profile mass: `1 − Σ|f_a − f_b| / (N_a + N_b)`.
 pub fn qgrams_similarity(a: &str, b: &str) -> f64 {
-    const Q: usize = 3;
-    let profile = |s: &str| -> er_core::FxHashMap<String, usize> {
-        let mut m = er_core::FxHashMap::default();
-        if s.is_empty() {
-            return m;
+    with_str_codes(a, b, qgrams_similarity_codes)
+}
+
+/// Pack one padded trigram window into a collision-free `u64` key:
+/// scalar values are < 2²¹, so three fit. (Collision-free between
+/// *windows* — the pad is the real `#`, which is the point: see
+/// [`QGRAM_PAD`].)
+#[inline]
+fn qgram_key(c0: u32, c1: u32, c2: u32) -> u64 {
+    ((c0 as u64) << 42) | ((c1 as u64) << 21) | c2 as u64
+}
+
+/// Accumulate the padded trigram profile of `codes` into `map`
+/// (cleared first); returns the total gram mass. No allocation: windows
+/// are read through an index accessor and keyed as packed `u64`s —
+/// the old implementation built a `String` per window.
+fn qgram_profile(codes: &[u32], map: &mut FxHashMap<u64, usize>) -> usize {
+    map.clear();
+    if codes.is_empty() {
+        return 0;
+    }
+    let at = |i: usize| -> u32 {
+        if i < Q - 1 || i >= Q - 1 + codes.len() {
+            QGRAM_PAD
+        } else {
+            codes[i - (Q - 1)]
         }
-        let padded: String = format!("{pad}{s}{pad}", pad = "#".repeat(Q - 1));
-        let chars: Vec<char> = padded.chars().collect();
-        for w in chars.windows(Q) {
-            *m.entry(w.iter().collect()).or_insert(0) += 1;
-        }
-        m
     };
-    let pa = profile(a);
-    let pb = profile(b);
-    let na: usize = pa.values().sum();
-    let nb: usize = pb.values().sum();
+    let windows = codes.len() + Q - 1; // padded length − Q + 1
+    for w in 0..windows {
+        *map.entry(qgram_key(at(w), at(w + 1), at(w + 2)))
+            .or_insert(0) += 1;
+    }
+    windows
+}
+
+fn qgrams_similarity_codes(a: &[u32], b: &[u32], s: &mut CharScratch) -> f64 {
+    let na = qgram_profile(a, &mut s.qa);
+    let nb = qgram_profile(b, &mut s.qb);
     if na + nb == 0 {
         return 1.0;
     }
     let mut diff = 0usize;
-    for (g, &fa) in &pa {
-        let fb = pb.get(g).copied().unwrap_or(0);
+    for (g, &fa) in &s.qa {
+        let fb = s.qb.get(g).copied().unwrap_or(0);
         diff += fa.abs_diff(fb);
     }
-    for (g, &fb) in &pb {
-        if !pa.contains_key(g) {
+    for (g, &fb) in &s.qb {
+        if !s.qa.contains_key(g) {
             diff += fb;
         }
     }
@@ -252,63 +626,67 @@ pub fn qgrams_similarity(a: &str, b: &str) -> f64 {
 
 /// Longest common subsequence length (characters need not be consecutive).
 pub fn lcs_subsequence_len(a: &str, b: &str) -> usize {
-    let a: Vec<char> = a.chars().collect();
-    let b: Vec<char> = b.chars().collect();
+    with_str_codes(a, b, lcs_subsequence_len_codes)
+}
+
+fn lcs_subsequence_len_codes(a: &[u32], b: &[u32], s: &mut CharScratch) -> usize {
     if a.is_empty() || b.is_empty() {
         return 0;
     }
-    let mut prev = vec![0usize; b.len() + 1];
-    let mut cur = vec![0usize; b.len() + 1];
-    for ca in &a {
+    s.prev_u.clear();
+    s.prev_u.resize(b.len() + 1, 0);
+    s.cur_u.clear();
+    s.cur_u.resize(b.len() + 1, 0);
+    for ca in a {
         for (j, cb) in b.iter().enumerate() {
-            cur[j + 1] = if ca == cb {
-                prev[j] + 1
+            s.cur_u[j + 1] = if ca == cb {
+                s.prev_u[j] + 1
             } else {
-                prev[j + 1].max(cur[j])
+                s.prev_u[j + 1].max(s.cur_u[j])
             };
         }
-        std::mem::swap(&mut prev, &mut cur);
+        std::mem::swap(&mut s.prev_u, &mut s.cur_u);
     }
-    prev[b.len()]
+    s.prev_u[b.len()]
 }
 
 /// `|lcs_seq(a,b)| / max(|a|, |b|)`; 1.0 for two empty strings.
 pub fn lcs_subsequence_similarity(a: &str, b: &str) -> f64 {
-    let max_len = a.chars().count().max(b.chars().count());
-    if max_len == 0 {
-        return 1.0;
-    }
-    lcs_subsequence_len(a, b) as f64 / max_len as f64
+    with_str_codes(a, b, |ca, cb, s| {
+        CharMeasure::LongestCommonSubsequence.similarity_codes(ca, cb, s)
+    })
 }
 
 /// Longest common substring length (consecutive characters).
 pub fn lcs_substring_len(a: &str, b: &str) -> usize {
-    let a: Vec<char> = a.chars().collect();
-    let b: Vec<char> = b.chars().collect();
+    with_str_codes(a, b, lcs_substring_len_codes)
+}
+
+fn lcs_substring_len_codes(a: &[u32], b: &[u32], s: &mut CharScratch) -> usize {
     if a.is_empty() || b.is_empty() {
         return 0;
     }
-    let mut prev = vec![0usize; b.len() + 1];
-    let mut cur = vec![0usize; b.len() + 1];
+    s.prev_u.clear();
+    s.prev_u.resize(b.len() + 1, 0);
+    s.cur_u.clear();
+    s.cur_u.resize(b.len() + 1, 0);
     let mut best = 0;
-    for ca in &a {
+    for ca in a {
         for (j, cb) in b.iter().enumerate() {
-            cur[j + 1] = if ca == cb { prev[j] + 1 } else { 0 };
-            best = best.max(cur[j + 1]);
+            s.cur_u[j + 1] = if ca == cb { s.prev_u[j] + 1 } else { 0 };
+            best = best.max(s.cur_u[j + 1]);
         }
-        std::mem::swap(&mut prev, &mut cur);
-        cur.fill(0);
+        std::mem::swap(&mut s.prev_u, &mut s.cur_u);
+        s.cur_u.fill(0);
     }
     best
 }
 
 /// `|lcs_str(a,b)| / max(|a|, |b|)`; 1.0 for two empty strings.
 pub fn lcs_substring_similarity(a: &str, b: &str) -> f64 {
-    let max_len = a.chars().count().max(b.chars().count());
-    if max_len == 0 {
-        return 1.0;
-    }
-    lcs_substring_len(a, b) as f64 / max_len as f64
+    with_str_codes(a, b, |ca, cb, s| {
+        CharMeasure::LongestCommonSubstring.similarity_codes(ca, cb, s)
+    })
 }
 
 /// Smith-Waterman local alignment similarity (Simmetrics defaults: match
@@ -317,27 +695,34 @@ pub fn lcs_substring_similarity(a: &str, b: &str) -> f64 {
 ///
 /// Used as the secondary character-level measure inside Monge-Elkan.
 pub fn smith_waterman_similarity(a: &str, b: &str) -> f64 {
+    with_str_codes(a, b, smith_waterman_similarity_codes)
+}
+
+fn smith_waterman_similarity_codes(a: &[u32], b: &[u32], s: &mut CharScratch) -> f64 {
     const MATCH: f64 = 1.0;
     const MISMATCH: f64 = -2.0;
     const GAP: f64 = -0.5;
-    let a: Vec<char> = a.chars().collect();
-    let b: Vec<char> = b.chars().collect();
     if a.is_empty() && b.is_empty() {
         return 1.0;
     }
     if a.is_empty() || b.is_empty() {
         return 0.0;
     }
-    let mut prev = vec![0.0f64; b.len() + 1];
-    let mut cur = vec![0.0f64; b.len() + 1];
+    s.prev_f.clear();
+    s.prev_f.resize(b.len() + 1, 0.0);
+    s.cur_f.clear();
+    s.cur_f.resize(b.len() + 1, 0.0);
     let mut best = 0.0f64;
-    for ca in &a {
+    for ca in a {
         for (j, cb) in b.iter().enumerate() {
-            let sub = prev[j] + if ca == cb { MATCH } else { MISMATCH };
-            cur[j + 1] = sub.max(prev[j + 1] + GAP).max(cur[j] + GAP).max(0.0);
-            best = best.max(cur[j + 1]);
+            let sub = s.prev_f[j] + if ca == cb { MATCH } else { MISMATCH };
+            s.cur_f[j + 1] = sub
+                .max(s.prev_f[j + 1] + GAP)
+                .max(s.cur_f[j] + GAP)
+                .max(0.0);
+            best = best.max(s.cur_f[j + 1]);
         }
-        std::mem::swap(&mut prev, &mut cur);
+        std::mem::swap(&mut s.prev_f, &mut s.cur_f);
     }
     (best / a.len().min(b.len()) as f64).clamp(0.0, 1.0)
 }
@@ -356,6 +741,39 @@ mod tests {
         assert!((levenshtein_similarity("kitten", "sitting") - (1.0 - 3.0 / 7.0)).abs() < EPS);
         assert_eq!(levenshtein_similarity("", ""), 1.0);
         assert_eq!(levenshtein_similarity("", "x"), 0.0);
+    }
+
+    #[test]
+    fn bitparallel_agrees_with_classic_reference() {
+        let samples = [
+            ("kitten", "sitting"),
+            ("", ""),
+            ("abc", ""),
+            ("", "abc"),
+            ("panasonic lumix dmc-fz8", "panasonic dmc fz8s lumix"),
+            ("ΑΒΓΔΕ", "ΒΓΔΕΖ"),
+        ];
+        for (a, b) in samples {
+            assert_eq!(
+                levenshtein_distance(a, b),
+                levenshtein_distance_classic(a, b),
+                "{a:?} vs {b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_levenshtein_edge_cutoffs() {
+        assert_eq!(levenshtein_distance_bounded("abc", "abc", 0), Some(0));
+        assert_eq!(levenshtein_distance_bounded("abc", "abd", 0), None);
+        assert_eq!(levenshtein_distance_bounded("abc", "abd", 1), Some(1));
+        assert_eq!(levenshtein_distance_bounded("", "abcd", 3), None);
+        assert_eq!(levenshtein_distance_bounded("", "abcd", 4), Some(4));
+        // A generous cutoff behaves like the unbounded distance.
+        assert_eq!(
+            levenshtein_distance_bounded("kitten", "sitting", 100),
+            Some(3)
+        );
     }
 
     #[test]
@@ -403,6 +821,30 @@ mod tests {
     }
 
     #[test]
+    fn qgram_keys_are_collision_free_for_scalars() {
+        // All three window positions stay within their 21-bit lanes
+        // (the lane invariant itself is a compile-time assert).
+        let max = char::MAX as u32;
+        assert_ne!(qgram_key(max, 0, 0), qgram_key(0, max, 0));
+        assert_ne!(qgram_key(0, max, 0), qgram_key(0, 0, max));
+        assert_ne!(
+            qgram_key(QGRAM_PAD, QGRAM_PAD, 'a' as u32),
+            qgram_key(QGRAM_PAD, 'a' as u32, QGRAM_PAD)
+        );
+    }
+
+    #[test]
+    fn qgrams_pad_merges_with_real_hash_chars() {
+        // The Simmetrics `#` padding convention survives the u64-key
+        // rewrite: a real `#` in the text merges with padding grams,
+        // exactly as the historical String-keyed profiles behaved.
+        // "a#" vs "a": profiles share {##a, #a#} plus the merged
+        // a##/a#-tail overlap — 6 of 7 total mass.
+        let s = qgrams_similarity("a#", "a");
+        assert!((s - 6.0 / 7.0).abs() < EPS, "got {s}");
+    }
+
+    #[test]
     fn lcs_subsequence_known() {
         assert_eq!(lcs_subsequence_len("ABCBDAB", "BDCABA"), 4); // BCAB/BDAB
         assert_eq!(lcs_subsequence_len("abc", ""), 0);
@@ -447,6 +889,61 @@ mod tests {
                 "{} not reflexive",
                 m.name()
             );
+        }
+    }
+
+    #[test]
+    fn upper_bounds_dominate_similarities() {
+        let samples = [
+            ("iphone 12 pro", "iphone 12"),
+            ("abc", "xyz"),
+            ("data", "daat"),
+            ("", "nonempty"),
+            ("", ""),
+            ("kitten", "sitting"),
+            ("aaaa", "aa"),
+        ];
+        for m in CharMeasure::all() {
+            for (a, b) in samples {
+                let sim = m.similarity(a, b);
+                let (la, lb) = (a.chars().count(), b.chars().count());
+                let len_ub = m.length_upper_bound(la, lb);
+                assert!(
+                    sim <= len_ub,
+                    "{}: length bound {len_ub} < sim {sim} for {a:?} vs {b:?}",
+                    m.name()
+                );
+                let bag = |s: &str| -> Vec<u32> {
+                    let mut v: Vec<u32> = s.chars().map(u32::from).collect();
+                    v.sort_unstable();
+                    v
+                };
+                if let Some(bag_ub) = m.bag_upper_bound(&bag(a), &bag(b)) {
+                    assert!(
+                        sim <= bag_ub,
+                        "{}: bag bound {bag_ub} < sim {sim} for {a:?} vs {b:?}",
+                        m.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn codes_path_is_bit_identical_to_str_path() {
+        let samples = [("data", "daat"), ("kitten", "sitting"), ("", "x")];
+        let mut s = CharScratch::new();
+        for m in CharMeasure::all() {
+            for (a, b) in samples {
+                let ca: Vec<u32> = a.chars().map(u32::from).collect();
+                let cb: Vec<u32> = b.chars().map(u32::from).collect();
+                assert_eq!(
+                    m.similarity_codes(&ca, &cb, &mut s).to_bits(),
+                    m.similarity(a, b).to_bits(),
+                    "{} on {a:?} vs {b:?}",
+                    m.name()
+                );
+            }
         }
     }
 

@@ -23,15 +23,28 @@
 //! All similarities return values in `[0, 1]`; distances are normalized into
 //! similarities as documented per measure. Unicode is handled at the
 //! `char` level.
+//!
+//! The character measures run on a bound-driven scoring engine:
+//! [`bitpar`] holds the Myers bit-parallel Levenshtein kernel and the
+//! Ukkonen-banded cutoff variants, [`chartable`] the interned
+//! [`CharTable`] the all-pairs scorers prepare once per corpus, and
+//! [`CharMeasure::length_upper_bound`] / [`CharMeasure::bag_upper_bound`]
+//! the exact pre-scoring upper bounds a top-k sink prunes against.
 
+pub mod bitpar;
 pub mod charlevel;
+pub mod chartable;
 pub mod graphmodel;
 pub mod measure;
 pub mod tokenize;
 pub mod tokenlevel;
 pub mod vector;
 
-pub use charlevel::CharMeasure;
+pub use bitpar::{levenshtein_bounded, osa_bounded, BandRows, MyersPattern};
+pub use charlevel::{
+    levenshtein_distance_bounded, levenshtein_distance_classic, CharMeasure, CharScratch,
+};
+pub use chartable::{sorted_common_count, CharTable};
 pub use graphmodel::{GraphSimilarity, NGramGraph};
 pub use measure::SchemaBasedMeasure;
 pub use tokenize::{char_ngrams, normalize_text, token_ngrams, tokens, NGramScheme};
@@ -52,6 +65,7 @@ mod sync_tests {
 
     #[test]
     fn read_side_structures_are_send_sync() {
+        assert_shared_read_side::<CharTable>();
         assert_shared_read_side::<DfIndex>();
         assert_shared_read_side::<SparseVector>();
         assert_shared_read_side::<VectorModel>();

@@ -2,13 +2,31 @@
 //! reflexivity and tokenization invariants over random ASCII-ish strings.
 
 use er_textsim::{
-    char_ngrams, normalize_text, token_ngrams, GraphSimilarity, NGramGraph, NGramScheme,
-    SchemaBasedMeasure, SparseVector, TermWeighting, VectorMeasure, VectorModel,
+    char_ngrams, levenshtein_bounded, levenshtein_distance_bounded, levenshtein_distance_classic,
+    normalize_text, osa_bounded, token_ngrams, BandRows, CharMeasure, CharScratch, GraphSimilarity,
+    MyersPattern, NGramGraph, NGramScheme, SchemaBasedMeasure, SparseVector, TermWeighting,
+    VectorMeasure, VectorModel,
 };
 use proptest::prelude::*;
 
 fn arb_text() -> impl Strategy<Value = String> {
     proptest::string::string_regex("[a-z0-9 ]{0,24}").expect("valid regex")
+}
+
+/// A small repeat-heavy alphabet with multi-byte and supplementary-plane
+/// characters, so edit distances are interesting and `char`-level
+/// handling (not byte-level) is exercised.
+const UNI_ALPHA: [char; 10] = ['a', 'b', 'c', 'd', ' ', '-', 'é', 'ß', '漢', '𝄞'];
+
+/// Arbitrary unicode strings up to `max` scalars — beyond 64 to force
+/// multi-block bit-parallel patterns.
+fn arb_unicode(max: usize) -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..UNI_ALPHA.len(), 0..=max)
+        .prop_map(|ix| ix.into_iter().map(|i| UNI_ALPHA[i]).collect())
+}
+
+fn codes(s: &str) -> Vec<u32> {
+    s.chars().map(u32::from).collect()
 }
 
 proptest! {
@@ -29,6 +47,112 @@ proptest! {
         for m in SchemaBasedMeasure::all() {
             let s = m.similarity(&a, &a);
             prop_assert!((s - 1.0).abs() < 1e-9, "{}({a:?},{a:?}) = {s}", m.name());
+        }
+    }
+
+    /// The Myers bit-parallel kernel (single- and multi-block: strings
+    /// run past 64 scalars) computes exactly the classic DP distance,
+    /// both through the `&str` API and a reused prepared pattern.
+    #[test]
+    fn bit_parallel_levenshtein_matches_classic(
+        a in arb_unicode(140),
+        b in arb_unicode(140),
+    ) {
+        let expect = levenshtein_distance_classic(&a, &b);
+        prop_assert_eq!(er_textsim::charlevel::levenshtein_distance(&a, &b), expect);
+        let mut p = MyersPattern::new();
+        p.prepare(&codes(&a));
+        prop_assert_eq!(p.distance(&codes(&b)), expect);
+        // The pattern survives reuse against a second text.
+        prop_assert_eq!(p.distance(&codes(&a)), 0);
+    }
+
+    /// The banded bounded kernel returns the exact distance iff it is
+    /// within `max_dist`, and `None` otherwise — including `max_dist`
+    /// exactly at, one below and far beyond the true distance.
+    #[test]
+    fn bounded_levenshtein_matches_classic(
+        a in arb_unicode(90),
+        b in arb_unicode(90),
+        max_dist in 0usize..=40,
+    ) {
+        let d = levenshtein_distance_classic(&a, &b);
+        let got = levenshtein_distance_bounded(&a, &b, max_dist);
+        if max_dist >= d {
+            prop_assert_eq!(got, Some(d));
+        } else {
+            prop_assert_eq!(got, None);
+        }
+        // Pin the decision boundary regardless of the sampled cutoff.
+        let mut rows = BandRows::default();
+        let (ca, cb) = (codes(&a), codes(&b));
+        prop_assert_eq!(levenshtein_bounded(&ca, &cb, d, &mut rows), Some(d));
+        if d > 0 {
+            prop_assert_eq!(levenshtein_bounded(&ca, &cb, d - 1, &mut rows), None);
+        }
+    }
+
+    /// Same contract for the banded OSA (Damerau) kernel.
+    #[test]
+    fn bounded_osa_matches_classic(
+        a in arb_unicode(60),
+        b in arb_unicode(60),
+        max_dist in 0usize..=30,
+    ) {
+        let d = er_textsim::charlevel::damerau_levenshtein_distance(&a, &b);
+        let mut rows = BandRows::default();
+        let (ca, cb) = (codes(&a), codes(&b));
+        let got = osa_bounded(&ca, &cb, max_dist, &mut rows);
+        if max_dist >= d {
+            prop_assert_eq!(got, Some(d));
+        } else {
+            prop_assert_eq!(got, None);
+        }
+        prop_assert_eq!(osa_bounded(&ca, &cb, d, &mut rows), Some(d));
+        if d > 0 {
+            prop_assert_eq!(osa_bounded(&ca, &cb, d - 1, &mut rows), None);
+        }
+    }
+
+    /// The exactness contract behind prune-aware scoring: every upper
+    /// bound dominates the measure's own computed similarity.
+    #[test]
+    fn char_upper_bounds_dominate(a in arb_unicode(40), b in arb_unicode(40)) {
+        let (ca, cb) = (codes(&a), codes(&b));
+        let (mut bag_a, mut bag_b) = (ca.clone(), cb.clone());
+        bag_a.sort_unstable();
+        bag_b.sort_unstable();
+        for m in CharMeasure::all() {
+            let sim = m.similarity(&a, &b);
+            let len_ub = m.length_upper_bound(ca.len(), cb.len());
+            prop_assert!(
+                sim <= len_ub,
+                "{}: length bound {len_ub} < sim {sim} for {a:?} vs {b:?}",
+                m.name()
+            );
+            if let Some(bag_ub) = m.bag_upper_bound(&bag_a, &bag_b) {
+                prop_assert!(
+                    sim <= bag_ub,
+                    "{}: bag bound {bag_ub} < sim {sim} for {a:?} vs {b:?}",
+                    m.name()
+                );
+            }
+        }
+    }
+
+    /// The slice kernels behind the prepared char tables are bit-identical
+    /// to the `&str` API for every measure.
+    #[test]
+    fn codes_kernels_bit_identical_to_str(a in arb_unicode(70), b in arb_unicode(70)) {
+        let (ca, cb) = (codes(&a), codes(&b));
+        let mut s = CharScratch::new();
+        for m in CharMeasure::all() {
+            prop_assert_eq!(
+                m.similarity_codes(&ca, &cb, &mut s).to_bits(),
+                m.similarity(&a, &b).to_bits(),
+                "{} diverges on {:?} vs {:?}",
+                m.name(), &a, &b
+            );
         }
     }
 
