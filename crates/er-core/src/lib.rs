@@ -51,7 +51,7 @@ pub use ground_truth::GroundTruth;
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use matching::Matching;
 pub use normalize::min_max_normalize;
-pub use stats::{GraphStats, WeightSeparation};
+pub use stats::{ConstructionCounters, GraphStats, WeightSeparation};
 pub use threshold::ThresholdGrid;
 pub use topk::{TopKBuilder, TopKRow};
 pub use union_find::UnionFind;

@@ -1,12 +1,105 @@
 //! Descriptive statistics of a similarity graph.
 //!
 //! These power the paper's Table 3 (graph counts and average sizes) and the
-//! threshold-analysis correlations of Table 8 (`|E| / ||V1 × V2||`).
+//! threshold-analysis correlations of Table 8 (`|E| / ||V1 × V2||`), plus
+//! the cross-worker [`ConstructionCounters`] behind the streaming
+//! construction engine's accounting (`er_pipeline::TopKStats`).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use serde::{Deserialize, Serialize};
 
 use crate::graph::SimilarityGraph;
 use crate::ground_truth::GroundTruth;
+
+/// Atomic cross-worker accounting of one streaming graph construction.
+///
+/// Scoring workers accumulate locally per chunk and flush into these
+/// counters; `Relaxed` ordering suffices because the construction joins
+/// every worker before reading. The candidate-flow invariant every
+/// construction path maintains is
+/// `generated == pruned + scored` — a candidate handed to a scorer is
+/// either skipped via an exact upper bound or fully scored, never both,
+/// never silently dropped.
+///
+/// ```
+/// use er_core::ConstructionCounters;
+///
+/// let c = ConstructionCounters::default();
+/// c.add_generated(10);
+/// c.add_pruned(4);
+/// c.add_scored(6);
+/// assert_eq!(c.generated(), c.pruned() + c.scored());
+/// ```
+#[derive(Debug, Default)]
+pub struct ConstructionCounters {
+    /// Candidate pairs handed to a scorer (enumerated or index-generated).
+    generated: AtomicUsize,
+    /// Triples emitted into the edge sink.
+    offered: AtomicUsize,
+    /// Triples resident right now (bounded row heaps + shard buffers).
+    resident: AtomicUsize,
+    /// Running peak of `resident`.
+    peak: AtomicUsize,
+    /// Candidates skipped via an exact upper bound before scoring.
+    pruned: AtomicUsize,
+    /// Candidates fully scored (then emitted or positivity-dropped).
+    scored: AtomicUsize,
+}
+
+impl ConstructionCounters {
+    /// Add to the generated-candidate tally.
+    pub fn add_generated(&self, n: usize) {
+        self.generated.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add to the offered-triple tally.
+    pub fn add_offered(&self, n: usize) {
+        self.offered.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record one more resident triple and fold the new total into the
+    /// running peak.
+    pub fn add_resident(&self) {
+        let now = self.resident.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Add to the bound-pruned tally.
+    pub fn add_pruned(&self, n: usize) {
+        self.pruned.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add to the fully-scored tally.
+    pub fn add_scored(&self, n: usize) {
+        self.scored.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Candidate pairs handed to a scorer.
+    pub fn generated(&self) -> usize {
+        self.generated.load(Ordering::Relaxed)
+    }
+
+    /// Triples emitted into the edge sink.
+    pub fn offered(&self) -> usize {
+        self.offered.load(Ordering::Relaxed)
+    }
+
+    /// Peak resident triples observed.
+    pub fn peak(&self) -> usize {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Candidates skipped via upper bounds.
+    pub fn pruned(&self) -> usize {
+        self.pruned.load(Ordering::Relaxed)
+    }
+
+    /// Candidates fully scored.
+    pub fn scored(&self) -> usize {
+        self.scored.load(Ordering::Relaxed)
+    }
+}
 
 /// Summary statistics of one similarity graph.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]

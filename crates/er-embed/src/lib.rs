@@ -27,6 +27,7 @@
 //! measures of Figure 6.
 
 pub mod albert;
+pub mod ballindex;
 pub mod dense;
 pub mod fasttext;
 pub mod hashing;
@@ -34,6 +35,9 @@ pub mod measures;
 pub mod wmd;
 
 pub use albert::AlbertLike;
+pub use ballindex::{
+    cosine_distance_bound, inverse_distance_bound, VectorBallIndex, COSINE_NORMALIZATION_MARGIN,
+};
 pub use dense::DenseVector;
 pub use fasttext::FastTextLike;
 pub use measures::{EmbeddingModel, SemanticMeasure};

@@ -115,6 +115,18 @@ impl BagSummary {
         Some(BagSummary { centroid, radius })
     }
 
+    /// The bag's centroid vector.
+    #[inline]
+    pub fn centroid(&self) -> &DenseVector {
+        &self.centroid
+    }
+
+    /// The largest token-to-centroid distance of the bag.
+    #[inline]
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
     /// Upper bound on the Word Mover's **similarity** of the two
     /// summarized bags: `1 / (1 + max(0, ‖c_a − c_b‖ − r_a − r_b))`,
     /// slackened by a margin in the scale of the distances (see

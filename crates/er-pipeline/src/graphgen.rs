@@ -70,15 +70,24 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use crossbeam::thread;
 use parking_lot::Mutex;
 
-use er_core::{Edge, FxHashMap, FxHashSet, GraphBuilder, SimilarityGraph, SortedEdges, TopKRow};
+use er_core::{
+    ConstructionCounters, Edge, FxHashMap, FxHashSet, GraphBuilder, SimilarityGraph, SortedEdges,
+    TopKRow,
+};
 use er_datasets::{Dataset, EntityCollection, EntityProfile};
-use er_embed::{BagSummary, DenseVector, SemanticMeasure};
+use er_embed::{
+    cosine_distance_bound, inverse_distance_bound, BagSummary, DenseVector, SemanticMeasure,
+    VectorBallIndex,
+};
 use er_textsim::{
-    CharMeasure, CharScratch, CharTable, DfIndex, GraphSimilarity, NGramGraph, NGramScheme,
-    SchemaBasedMeasure, SparseVector, VectorMeasure, VectorModel,
+    CharMeasure, CharScratch, CharTable, DfIndex, GraphSimilarity, LengthBucketIndex, NGramGraph,
+    NGramScheme, SchemaBasedMeasure, SparseVector, VectorMeasure, VectorModel,
 };
 use serde::Serialize;
 
+use crate::candidates::{
+    generate_ball_candidates, generate_char_candidates, generate_token_candidates, CandidateMode,
+};
 use crate::config::PipelineConfig;
 use crate::taxonomy::{SemanticScope, SimilarityFunction};
 
@@ -108,6 +117,13 @@ trait EdgeSink {
     fn admission_bound(&self) -> f64 {
         f64::NEG_INFINITY
     }
+
+    /// Count one candidate pair materialized and handed to a measure
+    /// (it will subsequently be pruned or scored, never both). Pairs an
+    /// index skips *before* generation are not counted anywhere — that
+    /// is the point of [`CandidateMode::Indexed`].
+    #[inline]
+    fn note_generated(&mut self) {}
 
     /// Count one candidate skipped via an upper bound (never emitted).
     #[inline]
@@ -274,22 +290,75 @@ pub fn build_graph_topk_stats(
     k: usize,
     cfg: &PipelineConfig,
 ) -> (SimilarityGraph, TopKStats) {
-    let acct = TopKAccounting::default();
+    build_graph_topk_mode(left, right, function, k, CandidateMode::Enumerated, cfg)
+}
+
+/// [`build_graph_topk_stats`] with an explicit [`CandidateMode`].
+///
+/// [`CandidateMode::Indexed`] replaces each branch's candidate
+/// *enumeration* with index-driven generation under the sink's admission
+/// bound (prefix-filtered postings for the token-vector measures, length
+/// buckets with counting filters for the character measures, centroid
+/// balls for the semantic measures — see [`crate::candidates`]): pairs an
+/// index rules out are never materialized, so
+/// [`TopKStats::generated_pairs`] itself drops below `n_left × n_right`
+/// while the finished graph stays **bit-identical** to
+/// [`CandidateMode::Enumerated`] for every taxonomy branch, `k` and
+/// thread count (property-proven in `tests/candidates_props.rs`).
+/// Branches without a candidate index (the schema-based token measures,
+/// the n-gram graph models) fall back to their own enumeration — still
+/// correct, just not sub-quadratic.
+///
+/// ```
+/// use er_datasets::{Dataset, DatasetId};
+/// use er_pipeline::{
+///     build_graph_topk_mode, CandidateMode, PipelineConfig, SimilarityFunction,
+/// };
+/// use er_textsim::{CharMeasure, SchemaBasedMeasure};
+///
+/// let d = Dataset::generate(DatasetId::D1, 0.02, 7);
+/// let f = SimilarityFunction::SchemaBasedSyntactic {
+///     attribute: "name".into(),
+///     measure: SchemaBasedMeasure::Char(CharMeasure::Levenshtein),
+/// };
+/// let cfg = PipelineConfig::default();
+/// let (g_enum, s_enum) =
+///     build_graph_topk_mode(&d.left, &d.right, &f, 2, CandidateMode::Enumerated, &cfg);
+/// let (g_idx, s_idx) =
+///     build_graph_topk_mode(&d.left, &d.right, &f, 2, CandidateMode::Indexed, &cfg);
+/// assert_eq!(g_enum.edges(), g_idx.edges());
+/// assert!(s_idx.generated_pairs <= s_enum.generated_pairs);
+/// assert_eq!(s_idx.generated_pairs, s_idx.pruned_pairs + s_idx.scored_pairs);
+/// ```
+pub fn build_graph_topk_mode(
+    left: &EntityCollection,
+    right: &EntityCollection,
+    function: &SimilarityFunction,
+    k: usize,
+    mode: CandidateMode,
+    cfg: &PipelineConfig,
+) -> (SimilarityGraph, TopKStats) {
+    let acct = ConstructionCounters::default();
     let shards = score_shards(
         left,
         right,
         function,
         None,
         cfg,
-        ScoreMode::TopK { k, acct: &acct },
+        ScoreMode::TopK {
+            k,
+            acct: &acct,
+            indexed: mode == CandidateMode::Indexed,
+        },
     );
     let graph = finalize(left, right, shards, cfg);
     let stats = TopKStats {
-        offered_edges: acct.offered.load(Ordering::Relaxed),
+        generated_pairs: acct.generated(),
+        offered_edges: acct.offered(),
         retained_edges: graph.n_edges(),
-        peak_resident_edges: acct.peak.load(Ordering::Relaxed),
-        pruned_pairs: acct.pruned.load(Ordering::Relaxed),
-        scored_pairs: acct.scored.load(Ordering::Relaxed),
+        peak_resident_edges: acct.peak(),
+        pruned_pairs: acct.pruned(),
+        scored_pairs: acct.scored(),
     };
     (graph, stats)
 }
@@ -327,14 +396,18 @@ pub fn build_graph_topk_restricted(
     cfg: &PipelineConfig,
 ) -> SimilarityGraph {
     let lists = CandidateLists::new(left.len() as u32, right.len() as u32, candidates);
-    let acct = TopKAccounting::default();
+    let acct = ConstructionCounters::default();
     let shards = score_shards(
         left,
         right,
         function,
         Some(&lists),
         cfg,
-        ScoreMode::TopK { k, acct: &acct },
+        ScoreMode::TopK {
+            k,
+            acct: &acct,
+            indexed: false,
+        },
     );
     finalize(left, right, shards, cfg)
 }
@@ -357,6 +430,15 @@ pub fn build_graph_topk_restricted(
 /// ```
 #[derive(Debug, Clone, Copy, Serialize)]
 pub struct TopKStats {
+    /// Candidate pairs the scorers **generated** — materialized and
+    /// handed to a measure, after which each was either bound-pruned or
+    /// fully scored (`generated_pairs == pruned_pairs + scored_pairs` on
+    /// every path). [`CandidateMode::Enumerated`] generates the branch's
+    /// full candidate enumeration; [`CandidateMode::Indexed`] generates
+    /// only the pairs its candidate index could not rule out, so this is
+    /// the counter that proves the all-pairs loop is dead
+    /// (`generated_pairs ≪ n_left × n_right`).
+    pub generated_pairs: usize,
     /// Triples the scorers emitted — what the dense path would have
     /// buffered in full.
     pub offered_edges: usize,
@@ -489,6 +571,17 @@ trait RowScorer: Sync {
     /// (inverted index or full cross product), emitting retained triples.
     fn score_row<O: EdgeSink>(&self, row: usize, scratch: &mut Self::Scratch, out: &mut O);
 
+    /// Score row `row` with **index-driven candidate generation** (the
+    /// [`CandidateMode::Indexed`] top-k path): produce candidates from
+    /// the scorer's index under the sink's admission bound instead of
+    /// enumerating them, so ruled-out pairs are never generated at all.
+    /// Scorers without a candidate index fall back to their own
+    /// enumeration — still correct (the same bounded sink receives every
+    /// candidate), just not sub-quadratic.
+    fn score_row_indexed<O: EdgeSink>(&self, row: usize, scratch: &mut Self::Scratch, out: &mut O) {
+        self.score_row(row, scratch, out);
+    }
+
     /// Score row `row` against the blocked candidates only.
     fn score_row_restricted<O: EdgeSink>(
         &self,
@@ -570,39 +663,28 @@ fn run_rows<S: RowScorer>(
     fan_out_chunks(scorer, threads, n_chunks, score_chunk)
 }
 
-/// Cross-worker accounting of the streaming top-k score phase: how many
-/// triples the scorers emitted, how many are resident right now (bounded
-/// per-row heaps + finished shard buffers), and the running peak. The
-/// whole point of the top-k path is that `peak` stays at `O(n_left × k)`
-/// while `offered` grows with the dense candidate volume.
-#[derive(Default)]
-struct TopKAccounting {
-    offered: AtomicUsize,
-    resident: AtomicUsize,
-    peak: AtomicUsize,
-    pruned: AtomicUsize,
-    scored: AtomicUsize,
-}
-
 /// Per-worker [`EdgeSink`] of the top-k path: candidates of the current
 /// row stream through a bounded binary heap; only net insertions touch
 /// the shared resident/peak counters (evictions swap one entry for
-/// another), and the offered count is accumulated locally per chunk.
+/// another), and the flow counters are accumulated locally per chunk and
+/// flushed once into the shared [`ConstructionCounters`].
 struct TopKSink<'a> {
     row: TopKRow,
     left: u32,
+    generated: usize,
     offered: usize,
     pruned: usize,
     scored: usize,
     drain_scratch: Vec<(u32, f64)>,
-    acct: &'a TopKAccounting,
+    acct: &'a ConstructionCounters,
 }
 
 impl<'a> TopKSink<'a> {
-    fn new(k: usize, acct: &'a TopKAccounting) -> Self {
+    fn new(k: usize, acct: &'a ConstructionCounters) -> Self {
         TopKSink {
             row: TopKRow::new(k),
             left: 0,
+            generated: 0,
             offered: 0,
             pruned: 0,
             scored: 0,
@@ -629,14 +711,18 @@ impl EdgeSink for TopKSink<'_> {
         let before = self.row.len();
         self.row.offer(right, weight);
         if self.row.len() > before {
-            let now = self.acct.resident.fetch_add(1, Ordering::Relaxed) + 1;
-            self.acct.peak.fetch_max(now, Ordering::Relaxed);
+            self.acct.add_resident();
         }
     }
 
     #[inline]
     fn admission_bound(&self) -> f64 {
         self.row.admission_bound()
+    }
+
+    #[inline]
+    fn note_generated(&mut self) {
+        self.generated += 1;
     }
 
     #[inline]
@@ -660,7 +746,8 @@ fn run_rows_topk<S: RowScorer>(
     cands: Option<&CandidateLists>,
     k: usize,
     cfg: &PipelineConfig,
-    acct: &TopKAccounting,
+    acct: &ConstructionCounters,
+    indexed: bool,
 ) -> Vec<Vec<Triple>> {
     let n_rows = scorer.n_rows();
     if n_rows == 0 {
@@ -675,14 +762,16 @@ fn run_rows_topk<S: RowScorer>(
         let mut sink = TopKSink::new(k, acct);
         for row in c * chunk..((c + 1) * chunk).min(n_rows) {
             match cands {
+                None if indexed => scorer.score_row_indexed(row, scratch, &mut sink),
                 None => scorer.score_row(row, scratch, &mut sink),
                 Some(lists) => scorer.score_row_restricted(row, lists, scratch, &mut sink),
             }
             sink.drain_row_into(&mut buf);
         }
-        acct.offered.fetch_add(sink.offered, Ordering::Relaxed);
-        acct.pruned.fetch_add(sink.pruned, Ordering::Relaxed);
-        acct.scored.fetch_add(sink.scored, Ordering::Relaxed);
+        acct.add_generated(sink.generated);
+        acct.add_offered(sink.offered);
+        acct.add_pruned(sink.pruned);
+        acct.add_scored(sink.scored);
         buf
     };
 
@@ -698,9 +787,20 @@ enum ScoreMode<'a> {
     TopK {
         /// Edges kept per left row.
         k: usize,
-        /// Shared offered/resident/peak counters.
-        acct: &'a TopKAccounting,
+        /// Shared candidate-flow and resident/peak counters.
+        acct: &'a ConstructionCounters,
+        /// Generate candidates from indexes ([`CandidateMode::Indexed`])
+        /// instead of enumerating them.
+        indexed: bool,
     },
+}
+
+impl ScoreMode<'_> {
+    /// Whether the scorers should prepare their candidate indexes.
+    #[inline]
+    fn is_indexed(&self) -> bool {
+        matches!(self, ScoreMode::TopK { indexed: true, .. })
+    }
 }
 
 /// Dispatch one prepared scorer into the requested score phase.
@@ -712,7 +812,7 @@ fn run_scorer<S: RowScorer>(
 ) -> Vec<Vec<Triple>> {
     match mode {
         ScoreMode::Dense => run_rows(scorer, cands, cfg),
-        ScoreMode::TopK { k, acct } => run_rows_topk(scorer, cands, k, cfg, acct),
+        ScoreMode::TopK { k, acct, indexed } => run_rows_topk(scorer, cands, k, cfg, acct, indexed),
     }
 }
 
@@ -725,12 +825,20 @@ fn score_shards(
     cfg: &PipelineConfig,
     mode: ScoreMode<'_>,
 ) -> Vec<Vec<Triple>> {
+    let indexed = mode.is_indexed();
     match function {
         SimilarityFunction::SchemaBasedSyntactic { attribute, measure } => match measure {
             // Character measures ride the bound-driven engine: interned
             // char tables, bit-parallel Levenshtein, prune-aware sinks.
             SchemaBasedMeasure::Char(m) => {
-                let s = CharScorer::prepare(left, right, attribute, *m, cfg.keep_positive_only);
+                let s = CharScorer::prepare(
+                    left,
+                    right,
+                    attribute,
+                    *m,
+                    cfg.keep_positive_only,
+                    indexed,
+                );
                 run_scorer(&s, cands, cfg, mode)
             }
             SchemaBasedMeasure::Token(_) => {
@@ -761,7 +869,7 @@ fn score_shards(
             let enc = model.encoder();
             if measure.needs_token_vectors() {
                 let with_bounds = matches!(mode, ScoreMode::TopK { .. });
-                let s = WmdScorer::prepare(left, right, &enc, scope, cfg, with_bounds);
+                let s = WmdScorer::prepare(left, right, &enc, scope, cfg, with_bounds, indexed);
                 run_scorer(&s, cands, cfg, mode)
             } else {
                 let s = DenseSemanticScorer::prepare(
@@ -771,6 +879,7 @@ fn score_shards(
                     *measure,
                     scope,
                     cfg.keep_positive_only,
+                    indexed,
                 );
                 run_scorer(&s, cands, cfg, mode)
             }
@@ -877,6 +986,7 @@ impl RowScorer for SchemaBasedScorer<'_> {
     fn score_row<O: EdgeSink>(&self, row: usize, _scratch: &mut (), out: &mut O) {
         let (li, lv) = self.left[row];
         for &(ri, rv) in &self.right {
+            out.note_generated();
             let w = self.measure.similarity(lv, rv);
             out.note_scored();
             if w > 0.0 || !self.keep_positive {
@@ -895,6 +1005,7 @@ impl RowScorer for SchemaBasedScorer<'_> {
         let (li, lv) = self.left[row];
         for &r in cands.row(li) {
             if let Some(rv) = self.right_by_id.get(&r) {
+                out.note_generated();
                 let w = self.measure.similarity(lv, rv);
                 out.note_scored();
                 if w > 0.0 || !self.keep_positive {
@@ -943,6 +1054,11 @@ struct CharScorer {
     right_ids: Vec<u32>,
     /// Right entity id → table entry index, for the restricted path.
     right_entry_by_id: FxHashMap<u32, usize>,
+    /// Length-bucketed index over the right entries' character bags —
+    /// the inverted form of the length and counting filters, prepared
+    /// only for [`CandidateMode::Indexed`]. Slot `j` is the `j`-th right
+    /// entry (table entry `left_ids.len() + j`).
+    index: Option<LengthBucketIndex>,
     measure: CharMeasure,
     keep_positive: bool,
 }
@@ -954,6 +1070,7 @@ impl CharScorer {
         attribute: &str,
         measure: CharMeasure,
         keep_positive: bool,
+        indexed: bool,
     ) -> Self {
         fn with_attr<'a>(c: &'a EntityCollection, attribute: &str) -> (Vec<u32>, Vec<&'a str>) {
             let mut ids = Vec::new();
@@ -979,11 +1096,15 @@ impl CharScorer {
             .enumerate()
             .map(|(j, &id)| (id, left_ids.len() + j))
             .collect();
+        let index = indexed.then(|| {
+            LengthBucketIndex::build((0..right_ids.len()).map(|j| table.bag(left_ids.len() + j)))
+        });
         CharScorer {
             table,
             left_ids,
             right_ids,
             right_entry_by_id,
+            index,
             measure,
             keep_positive,
         }
@@ -1066,6 +1187,7 @@ impl CharScorer {
         scratch: &mut CharScratch,
         out: &mut O,
     ) {
+        out.note_generated();
         let a = self.table.codes(row_entry);
         let b = self.table.codes(right_entry);
         let bound = out.admission_bound();
@@ -1085,6 +1207,40 @@ impl CharScorer {
                     return;
                 }
             }
+            match self.bounded_similarity(a, b, bound, scratch) {
+                Some(w) => w,
+                None => {
+                    out.note_pruned();
+                    return;
+                }
+            }
+        };
+        out.note_scored();
+        if w > 0.0 || !self.keep_positive {
+            out.emit(li, ri, w);
+        }
+    }
+
+    /// Score one **index-generated** candidate: the generator already
+    /// applied the length and counting-filter bounds through the
+    /// [`LengthBucketIndex`], so only the banded-kernel short-circuit
+    /// stands between the candidate and a full score.
+    fn score_generated<O: EdgeSink>(
+        &self,
+        li: u32,
+        row_entry: usize,
+        ri: u32,
+        right_entry: usize,
+        scratch: &mut CharScratch,
+        out: &mut O,
+    ) {
+        out.note_generated();
+        let a = self.table.codes(row_entry);
+        let b = self.table.codes(right_entry);
+        let bound = out.admission_bound();
+        let w = if bound == f64::NEG_INFINITY {
+            self.full_similarity(a, b, scratch)
+        } else {
             match self.bounded_similarity(a, b, bound, scratch) {
                 Some(w) => w,
                 None => {
@@ -1126,42 +1282,90 @@ fn edit_cutoff(bound: f64, max_len: usize) -> usize {
     cutoff
 }
 
+/// Per-worker scratch of the char scorer: the kernel scratch plus the
+/// indexed path's bucket-order and common-count buffers.
+struct CharGenScratch {
+    chars: CharScratch,
+    order: Vec<u32>,
+    counts: Vec<u32>,
+}
+
 impl RowScorer for CharScorer {
-    type Scratch = CharScratch;
+    type Scratch = CharGenScratch;
 
     fn n_rows(&self) -> usize {
         self.left_ids.len()
     }
 
-    fn scratch(&self) -> CharScratch {
-        CharScratch::new()
+    fn scratch(&self) -> CharGenScratch {
+        CharGenScratch {
+            chars: CharScratch::new(),
+            order: Vec::new(),
+            counts: Vec::new(),
+        }
     }
 
-    fn score_row<O: EdgeSink>(&self, row: usize, scratch: &mut CharScratch, out: &mut O) {
+    fn score_row<O: EdgeSink>(&self, row: usize, scratch: &mut CharGenScratch, out: &mut O) {
         let li = self.left_ids[row];
         if self.uses_pattern() {
-            scratch.set_pattern(self.table.codes(row));
+            scratch.chars.set_pattern(self.table.codes(row));
         }
         let offset = self.left_ids.len();
         for (j, &ri) in self.right_ids.iter().enumerate() {
-            self.score_candidate(li, row, ri, offset + j, scratch, out);
+            self.score_candidate(li, row, ri, offset + j, &mut scratch.chars, out);
         }
+    }
+
+    fn score_row_indexed<O: EdgeSink>(
+        &self,
+        row: usize,
+        scratch: &mut CharGenScratch,
+        out: &mut O,
+    ) {
+        let index = self
+            .index
+            .as_ref()
+            .expect("indexed mode prepared without a length-bucket index");
+        let li = self.left_ids[row];
+        if self.uses_pattern() {
+            scratch.chars.set_pattern(self.table.codes(row));
+        }
+        let offset = self.left_ids.len();
+        let CharGenScratch {
+            chars,
+            order,
+            counts,
+        } = scratch;
+        generate_char_candidates(
+            index,
+            self.measure,
+            self.table.char_len(row),
+            self.table.bag(row),
+            order,
+            counts,
+            out.admission_bound(),
+            |j| {
+                let ri = self.right_ids[j as usize];
+                self.score_generated(li, row, ri, offset + j as usize, chars, out);
+                out.admission_bound()
+            },
+        );
     }
 
     fn score_row_restricted<O: EdgeSink>(
         &self,
         row: usize,
         cands: &CandidateLists,
-        scratch: &mut CharScratch,
+        scratch: &mut CharGenScratch,
         out: &mut O,
     ) {
         let li = self.left_ids[row];
         if self.uses_pattern() {
-            scratch.set_pattern(self.table.codes(row));
+            scratch.chars.set_pattern(self.table.codes(row));
         }
         for &r in cands.row(li) {
             if let Some(&entry) = self.right_entry_by_id.get(&r) {
-                self.score_candidate(li, row, r, entry, scratch, out);
+                self.score_candidate(li, row, r, entry, &mut scratch.chars, out);
             }
         }
     }
@@ -1277,6 +1481,7 @@ impl RowScorer for VectorScorer {
             }
         }
         for &j in &scratch.candidates {
+            out.note_generated();
             let w = self
                 .measure
                 .similarity(lv, &self.right_vecs[j as usize], self.dfs());
@@ -1285,6 +1490,32 @@ impl RowScorer for VectorScorer {
                 out.emit(row as u32, j, w);
             }
         }
+    }
+
+    fn score_row_indexed<O: EdgeSink>(&self, row: usize, scratch: &mut ProbeScratch, out: &mut O) {
+        let lv = &self.left_vecs[row];
+        let plan = self.measure.probe_plan(lv, self.dfs());
+        let mark = row as u32 + 1;
+        let li = row as u32;
+        generate_token_candidates(
+            &plan,
+            lv.terms(),
+            &self.index,
+            &mut scratch.stamp,
+            mark,
+            out.admission_bound(),
+            |j| {
+                out.note_generated();
+                let w = self
+                    .measure
+                    .similarity(lv, &self.right_vecs[j as usize], self.dfs());
+                out.note_scored();
+                if w > 0.0 || !self.keep_positive {
+                    out.emit(li, j, w);
+                }
+                out.admission_bound()
+            },
+        );
     }
 
     fn score_row_restricted<O: EdgeSink>(
@@ -1296,6 +1527,7 @@ impl RowScorer for VectorScorer {
     ) {
         let lv = &self.left_vecs[row];
         for &j in cands.row(row as u32) {
+            out.note_generated();
             let w = self
                 .measure
                 .similarity(lv, &self.right_vecs[j as usize], self.dfs());
@@ -1380,6 +1612,7 @@ impl RowScorer for GraphModelScorer {
             }
         }
         for &j in &scratch.candidates {
+            out.note_generated();
             let w = self.measure.similarity(lg, &self.right_graphs[j as usize]);
             out.note_scored();
             if w > 0.0 || !self.keep_positive {
@@ -1397,6 +1630,7 @@ impl RowScorer for GraphModelScorer {
     ) {
         let lg = &self.left_graphs[row];
         for &j in cands.row(row as u32) {
+            out.note_generated();
             let w = self.measure.similarity(lg, &self.right_graphs[j as usize]);
             out.note_scored();
             if w > 0.0 || !self.keep_positive {
@@ -1420,15 +1654,44 @@ fn scoped_text(p: &EntityProfile, scope: &SemanticScope) -> String {
     }
 }
 
+/// Tolerance of the unit-normalization check behind the cosine ball
+/// index: a normalized clone whose norm strays further than this from 1
+/// gets probe/entry radius `+∞`, which turns every one of its distance
+/// lower bounds into 0 — the pair is simply never pruned. Well inside
+/// the `COSINE_NORMALIZATION_MARGIN` the similarity bound adds, so the
+/// margin absorbs the residual norm error with orders of headroom.
+const UNIT_NORM_TOLERANCE: f64 = 1e-5;
+
+/// Normalized copy of `v` plus its ball probe/entry radius: `0` when the
+/// copy is verifiably unit-norm, `+∞` when normalization failed (zero or
+/// degenerate norms) so the vector can never be pruned.
+fn unit_probe(v: &DenseVector) -> (DenseVector, f64) {
+    let mut u = v.clone();
+    u.normalize();
+    let radius = if (u.norm() - 1.0).abs() <= UNIT_NORM_TOLERANCE {
+        0.0
+    } else {
+        f64::INFINITY
+    };
+    (u, radius)
+}
+
 /// All-pairs semantic scoring over pre-encoded text vectors.
 struct DenseSemanticScorer {
     left: Vec<DenseVector>,
     right: Vec<DenseVector>,
+    /// Centroid-ball index over the non-zero right vectors
+    /// ([`CandidateMode::Indexed`] only). Euclidean indexes the raw
+    /// vectors; cosine indexes unit-normalized copies (angles become
+    /// chord distances), dropped after the build — only ball leaders
+    /// are retained.
+    ball: Option<VectorBallIndex>,
     measure: SemanticMeasure,
     keep_positive: bool,
 }
 
 impl DenseSemanticScorer {
+    #[allow(clippy::too_many_arguments)]
     fn prepare(
         left: &EntityCollection,
         right: &EntityCollection,
@@ -1436,6 +1699,7 @@ impl DenseSemanticScorer {
         measure: SemanticMeasure,
         scope: &SemanticScope,
         keep_positive: bool,
+        indexed: bool,
     ) -> Self {
         let encode_all = |c: &EntityCollection| -> Vec<DenseVector> {
             c.profiles
@@ -1443,9 +1707,36 @@ impl DenseSemanticScorer {
                 .map(|p| enc.encode(&scoped_text(p, scope)))
                 .collect()
         };
+        let left = encode_all(left);
+        let right = encode_all(right);
+        let ball = indexed.then(|| {
+            if matches!(measure, SemanticMeasure::Cosine) {
+                let normalized: Vec<(u32, DenseVector, f64)> = right
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, v)| !v.is_zero())
+                    .map(|(j, v)| {
+                        let (u, r) = unit_probe(v);
+                        (j as u32, u, r)
+                    })
+                    .collect();
+                let entries: Vec<(u32, &DenseVector, f64)> =
+                    normalized.iter().map(|(j, u, r)| (*j, u, *r)).collect();
+                VectorBallIndex::build(&entries)
+            } else {
+                let entries: Vec<(u32, &DenseVector, f64)> = right
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, v)| !v.is_zero())
+                    .map(|(j, v)| (j as u32, v, 0.0))
+                    .collect();
+                VectorBallIndex::build(&entries)
+            }
+        });
         DenseSemanticScorer {
-            left: encode_all(left),
-            right: encode_all(right),
+            left,
+            right,
+            ball,
             measure,
             keep_positive,
         }
@@ -1453,15 +1744,18 @@ impl DenseSemanticScorer {
 }
 
 impl RowScorer for DenseSemanticScorer {
-    type Scratch = ();
+    /// Ball-distance scratch of the indexed path (unused otherwise).
+    type Scratch = Vec<(f64, u32)>;
 
     fn n_rows(&self) -> usize {
         self.left.len()
     }
 
-    fn scratch(&self) -> Self::Scratch {}
+    fn scratch(&self) -> Self::Scratch {
+        Vec::new()
+    }
 
-    fn score_row<O: EdgeSink>(&self, row: usize, _scratch: &mut (), out: &mut O) {
+    fn score_row<O: EdgeSink>(&self, row: usize, _scratch: &mut Self::Scratch, out: &mut O) {
         let a = &self.left[row];
         if a.is_zero() {
             return;
@@ -1470,6 +1764,7 @@ impl RowScorer for DenseSemanticScorer {
             if b.is_zero() {
                 continue;
             }
+            out.note_generated();
             let w = self.measure.similarity_vectors(a, b);
             out.note_scored();
             if w > 0.0 || !self.keep_positive {
@@ -1478,11 +1773,54 @@ impl RowScorer for DenseSemanticScorer {
         }
     }
 
+    fn score_row_indexed<O: EdgeSink>(&self, row: usize, scratch: &mut Self::Scratch, out: &mut O) {
+        let ball = self
+            .ball
+            .as_ref()
+            .expect("indexed mode prepared without a ball index");
+        let a = &self.left[row];
+        if a.is_zero() {
+            return;
+        }
+        let li = row as u32;
+        let cosine = matches!(self.measure, SemanticMeasure::Cosine);
+        let probe_owned;
+        let (probe, probe_radius) = if cosine {
+            let (u, r) = unit_probe(a);
+            probe_owned = u;
+            (&probe_owned, r)
+        } else {
+            (a, 0.0)
+        };
+        let map: fn(f64) -> f64 = if cosine {
+            cosine_distance_bound
+        } else {
+            inverse_distance_bound
+        };
+        generate_ball_candidates(
+            ball,
+            probe,
+            probe_radius,
+            scratch,
+            map,
+            out.admission_bound(),
+            |j| {
+                out.note_generated();
+                let w = self.measure.similarity_vectors(a, &self.right[j as usize]);
+                out.note_scored();
+                if w > 0.0 || !self.keep_positive {
+                    out.emit(li, j, w);
+                }
+                out.admission_bound()
+            },
+        );
+    }
+
     fn score_row_restricted<O: EdgeSink>(
         &self,
         row: usize,
         cands: &CandidateLists,
-        _scratch: &mut (),
+        _scratch: &mut Self::Scratch,
         out: &mut O,
     ) {
         let a = &self.left[row];
@@ -1494,6 +1832,7 @@ impl RowScorer for DenseSemanticScorer {
             if b.is_zero() {
                 continue;
             }
+            out.note_generated();
             let w = self.measure.similarity_vectors(a, b);
             out.note_scored();
             if w > 0.0 || !self.keep_positive {
@@ -1559,6 +1898,11 @@ struct WmdScorer {
     /// admission bound — the summaries would be pure prepare overhead.
     left_summaries: Vec<Option<BagSummary>>,
     right_summaries: Vec<Option<BagSummary>>,
+    /// Centroid-ball index over the non-empty right bags' summary
+    /// centroids, entry radius = summary radius, so a ball's distance
+    /// lower bound is simultaneously a relaxed-WMD lower bound
+    /// ([`CandidateMode::Indexed`] only).
+    ball: Option<VectorBallIndex>,
     keep_positive: bool,
 }
 
@@ -1570,6 +1914,7 @@ impl WmdScorer {
         scope: &SemanticScope,
         cfg: &PipelineConfig,
         with_bounds: bool,
+        indexed: bool,
     ) -> Self {
         let mut vectors: Vec<DenseVector> = Vec::new();
         let mut intern: FxHashMap<Vec<u32>, u32> = FxHashMap::default();
@@ -1600,12 +1945,21 @@ impl WmdScorer {
         };
         let left_summaries = summarize(&left_bags);
         let right_summaries = summarize(&right_bags);
+        let ball = (indexed && with_bounds).then(|| {
+            let entries: Vec<(u32, &DenseVector, f64)> = right_summaries
+                .iter()
+                .enumerate()
+                .filter_map(|(j, s)| s.as_ref().map(|s| (j as u32, s.centroid(), s.radius())))
+                .collect();
+            VectorBallIndex::build(&entries)
+        });
         WmdScorer {
             vectors,
             left_bags,
             right_bags,
             left_summaries,
             right_summaries,
+            ball,
             keep_positive: cfg.keep_positive_only,
         }
     }
@@ -1660,6 +2014,7 @@ impl WmdScorer {
     /// non-empty: centroid upper bound first, then the short-circuiting
     /// transport computation.
     fn score_pair<O: EdgeSink>(&self, row: usize, j: usize, cache: &mut DistCache, out: &mut O) {
+        out.note_generated();
         let (a, b) = (&self.left_bags[row], &self.right_bags[j]);
         let bound = out.admission_bound();
         if bound != f64::NEG_INFINITY {
@@ -1684,18 +2039,28 @@ impl WmdScorer {
     }
 }
 
+/// Per-worker scratch of the WMD scorer: the symmetric token-distance
+/// cache plus the indexed path's ball-distance buffer.
+struct WmdScratch {
+    cache: DistCache,
+    bounds: Vec<(f64, u32)>,
+}
+
 impl RowScorer for WmdScorer {
-    type Scratch = DistCache;
+    type Scratch = WmdScratch;
 
     fn n_rows(&self) -> usize {
         self.left_bags.len()
     }
 
-    fn scratch(&self) -> DistCache {
-        DistCache::new()
+    fn scratch(&self) -> WmdScratch {
+        WmdScratch {
+            cache: DistCache::new(),
+            bounds: Vec::new(),
+        }
     }
 
-    fn score_row<O: EdgeSink>(&self, row: usize, cache: &mut DistCache, out: &mut O) {
+    fn score_row<O: EdgeSink>(&self, row: usize, scratch: &mut WmdScratch, out: &mut O) {
         if self.left_bags[row].is_empty() {
             return;
         }
@@ -1703,15 +2068,41 @@ impl RowScorer for WmdScorer {
             if b.is_empty() {
                 continue;
             }
-            self.score_pair(row, j, cache, out);
+            self.score_pair(row, j, &mut scratch.cache, out);
         }
+    }
+
+    fn score_row_indexed<O: EdgeSink>(&self, row: usize, scratch: &mut WmdScratch, out: &mut O) {
+        let ball = self
+            .ball
+            .as_ref()
+            .expect("indexed mode prepared without a ball index");
+        if self.left_bags[row].is_empty() {
+            return;
+        }
+        let sa = self.left_summaries[row]
+            .as_ref()
+            .expect("non-empty bag has a summary");
+        let WmdScratch { cache, bounds } = scratch;
+        generate_ball_candidates(
+            ball,
+            sa.centroid(),
+            sa.radius(),
+            bounds,
+            inverse_distance_bound,
+            out.admission_bound(),
+            |j| {
+                self.score_pair(row, j as usize, cache, out);
+                out.admission_bound()
+            },
+        );
     }
 
     fn score_row_restricted<O: EdgeSink>(
         &self,
         row: usize,
         cands: &CandidateLists,
-        cache: &mut DistCache,
+        scratch: &mut WmdScratch,
         out: &mut O,
     ) {
         if self.left_bags[row].is_empty() {
@@ -1721,7 +2112,7 @@ impl RowScorer for WmdScorer {
             if self.right_bags[j as usize].is_empty() {
                 continue;
             }
-            self.score_pair(row, j as usize, cache, out);
+            self.score_pair(row, j as usize, &mut scratch.cache, out);
         }
     }
 }
@@ -2019,15 +2410,16 @@ mod tests {
             },
             &cfg,
             false,
+            false,
         );
         assert_eq!(scorer.vectors.len(), 3, "3 distinct interned tokens");
-        let mut cache = scorer.scratch();
+        let mut scratch = scorer.scratch();
         let mut out = Vec::new();
-        scorer.score_row(0, &mut cache, &mut out);
+        scorer.score_row(0, &mut scratch, &mut out);
         assert_eq!(out.len(), 1);
         assert!((out[0].2 - 1.0).abs() < 1e-12, "identical bags score 1");
         assert_eq!(
-            cache.len(),
+            scratch.cache.len(),
             6,
             "canonical keys store 3·4/2 = 6 unordered pairs, not 9 ordered"
         );

@@ -29,10 +29,17 @@
 //!   and a prepared output ([`build_prepared`]) whose emit-time sorted
 //!   edge view is shared with threshold sweeps (one sort across
 //!   construction and matching);
+//! * **index-driven candidate generation** ([`candidates`]): the top-k
+//!   path can generate candidates from per-branch indexes (prefix-filtered
+//!   postings, length buckets with counting filters, centroid balls)
+//!   under the sink's admission bound — [`build_graph_topk_mode`] with
+//!   [`CandidateMode::Indexed`] — so ruled-out pairs are never
+//!   materialized while graphs stay bit-identical to enumeration;
 //! * a crossbeam-parallel [`runner`] that generates a dataset's whole
 //!   graph corpus, dividing its thread budget with the per-graph engine.
 
 pub mod blocking;
+pub mod candidates;
 pub mod cleaning;
 pub mod config;
 pub mod graphgen;
@@ -42,12 +49,13 @@ pub mod taxonomy;
 pub use blocking::{
     blocking_quality, restrict_graph, token_blocking, Block, BlockCollection, BlockingQuality,
 };
+pub use candidates::CandidateMode;
 pub use cleaning::{clean_graphs, CleaningOutcome};
 pub use config::PipelineConfig;
 pub use graphgen::{
-    build_graph, build_graph_over, build_graph_restricted, build_graph_topk, build_graph_topk_over,
-    build_graph_topk_restricted, build_graph_topk_stats, build_prepared, build_prepared_over,
-    BuiltGraph, GeneratedGraph, TopKStats,
+    build_graph, build_graph_over, build_graph_restricted, build_graph_topk, build_graph_topk_mode,
+    build_graph_topk_over, build_graph_topk_restricted, build_graph_topk_stats, build_prepared,
+    build_prepared_over, BuiltGraph, GeneratedGraph, TopKStats,
 };
 pub use runner::generate_corpus;
 pub use taxonomy::{SemanticScope, SimilarityFunction, WeightType};

@@ -1,0 +1,277 @@
+//! Length-bucketed candidate index for the character measures.
+//!
+//! The PR 5 scoring engine *checked* the length-difference and
+//! character-bag counting filters per enumerated pair; this index
+//! **inverts** them so a candidate generator never enumerates the pairs
+//! they would reject. Entries (one side of a prepared
+//! [`CharTable`](crate::CharTable)) are grouped into buckets by exact
+//! character length, and each bucket carries postings keyed by
+//! `(character, occurrence tier)`: an entry with `m` copies of character
+//! `c` appears in the postings of `(c, 1) … (c, m)`. Probing a query bag
+//! with multiplicity therefore accumulates, per bucket member,
+//! `Σ_c min(m_query(c), m_member(c))` — exactly
+//! [`sorted_common_count`](crate::sorted_common_count), the integer the
+//! per-pair counting filter feeds into
+//! [`CharMeasure::bag_upper_bound_from_common`](crate::CharMeasure::bag_upper_bound_from_common).
+//!
+//! Completeness therefore reduces to the PR 5 monotone-domination
+//! argument: a generator that skips a whole bucket only when
+//! `length_upper_bound(|query|, bucket_len)` falls strictly below the
+//! admission bound, and a member only when the bag bound computed from
+//! the probed `common` does, discards exclusively pairs whose true
+//! similarity is provably below the bound — the same decisions the
+//! scorer itself would have made, taken earlier and without touching the
+//! pair (property-checked in `tests/proptests.rs`).
+
+use er_core::FxHashMap;
+
+/// One exact-length bucket: its members and the `(character, tier)`
+/// postings over them.
+#[derive(Debug, Default)]
+struct Bucket {
+    /// Caller-side slot ids, in insertion (ascending) order.
+    members: Vec<u32>,
+    /// `(character, occurrence tier)` → positions into `members` of every
+    /// member holding at least `tier` copies of `character`.
+    postings: FxHashMap<(u32, u32), Vec<u32>>,
+}
+
+/// A length-bucketed inverted index over sorted character bags — the
+/// generation-side form of the character measures' length and
+/// counting-filter bounds.
+///
+/// ```
+/// use er_textsim::{sorted_common_count, CharTable, LengthBucketIndex};
+///
+/// let t = CharTable::build(["abc", "abd", "abcd"]);
+/// let index = LengthBucketIndex::build((0..t.len()).map(|i| t.bag(i)));
+/// assert_eq!(index.n_entries(), 3);
+/// assert_eq!(index.n_buckets(), 2); // lengths 3 and 4
+///
+/// // Probing reproduces the per-pair multiset intersection exactly.
+/// let probe = CharTable::build(["abcb"]);
+/// let mut counts = Vec::new();
+/// for b in 0..index.n_buckets() {
+///     index.count_common_into(b, probe.bag(0), &mut counts);
+///     for (pos, &slot) in index.bucket_members(b).iter().enumerate() {
+///         let expect = sorted_common_count(probe.bag(0), t.bag(slot as usize));
+///         assert_eq!(counts[pos] as usize, expect);
+///     }
+/// }
+/// ```
+#[derive(Debug, Default)]
+pub struct LengthBucketIndex {
+    /// Distinct entry lengths, ascending; parallel to `buckets`.
+    lengths: Vec<usize>,
+    buckets: Vec<Bucket>,
+    n_entries: usize,
+}
+
+impl LengthBucketIndex {
+    /// Build over sorted character bags; slot `i` is the `i`-th bag of
+    /// the iterator (for a [`CharTable`](crate::CharTable) side, the
+    /// entry offset the caller re-applies on generation).
+    pub fn build<'a>(bags: impl Iterator<Item = &'a [u32]>) -> Self {
+        let mut by_len: std::collections::BTreeMap<usize, Bucket> =
+            std::collections::BTreeMap::new();
+        let mut n_entries = 0usize;
+        for (slot, bag) in bags.enumerate() {
+            n_entries += 1;
+            let bucket = by_len.entry(bag.len()).or_default();
+            let pos = bucket.members.len() as u32;
+            bucket.members.push(slot as u32);
+            let mut i = 0;
+            while i < bag.len() {
+                let c = bag[i];
+                let mut m = 1usize;
+                while i + m < bag.len() && bag[i + m] == c {
+                    m += 1;
+                }
+                for t in 1..=m as u32 {
+                    bucket.postings.entry((c, t)).or_default().push(pos);
+                }
+                i += m;
+            }
+        }
+        let (lengths, buckets) = by_len.into_iter().unzip();
+        LengthBucketIndex {
+            lengths,
+            buckets,
+            n_entries,
+        }
+    }
+
+    /// Number of indexed entries.
+    pub fn n_entries(&self) -> usize {
+        self.n_entries
+    }
+
+    /// Number of distinct-length buckets.
+    pub fn n_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Whether the index holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.n_entries == 0
+    }
+
+    /// The exact character length of bucket `b`'s entries.
+    pub fn bucket_char_len(&self, b: usize) -> usize {
+        self.lengths[b]
+    }
+
+    /// Bucket `b`'s member slots, ascending.
+    pub fn bucket_members(&self, b: usize) -> &[u32] {
+        &self.buckets[b].members
+    }
+
+    /// Write the bucket ids ordered by ascending `|bucket_len −
+    /// probe_len|` (ties: shorter bucket first) into `out`.
+    ///
+    /// Every length bound of
+    /// [`CharMeasure`](crate::CharMeasure) is non-increasing as the
+    /// length gap grows in either direction, so visiting buckets
+    /// closest-length-first front-loads the candidates most likely to
+    /// fill a top-k heap — tightening the admission bound before the
+    /// far buckets are even considered.
+    ///
+    /// ```
+    /// # use er_textsim::{CharTable, LengthBucketIndex};
+    /// let t = CharTable::build(["a", "bb", "cccc"]);
+    /// let index = LengthBucketIndex::build((0..t.len()).map(|i| t.bag(i)));
+    /// let mut order = Vec::new();
+    /// index.bucket_order_closest_first(2, &mut order);
+    /// let lens: Vec<usize> = order.iter().map(|&b| index.bucket_char_len(b as usize)).collect();
+    /// assert_eq!(lens, vec![2, 1, 4]);
+    /// ```
+    pub fn bucket_order_closest_first(&self, probe_len: usize, out: &mut Vec<u32>) {
+        out.clear();
+        out.reserve(self.buckets.len());
+        let start = self.lengths.partition_point(|&l| l < probe_len);
+        let (mut lo, mut hi) = (start, start);
+        while lo > 0 || hi < self.lengths.len() {
+            let d_lo = if lo > 0 {
+                probe_len - self.lengths[lo - 1]
+            } else {
+                usize::MAX
+            };
+            let d_hi = if hi < self.lengths.len() {
+                self.lengths[hi] - probe_len
+            } else {
+                usize::MAX
+            };
+            if d_lo <= d_hi {
+                lo -= 1;
+                out.push(lo as u32);
+            } else {
+                out.push(hi as u32);
+                hi += 1;
+            }
+        }
+    }
+
+    /// Counting-filter probe of bucket `b`: after the call, `counts[pos]`
+    /// is the multiset intersection size of `probe_bag` (sorted
+    /// ascending) with member `pos`'s bag — bit-identical input to
+    /// [`CharMeasure::bag_upper_bound_from_common`](crate::CharMeasure::bag_upper_bound_from_common)
+    /// as the per-pair two-pointer merge would produce.
+    pub fn count_common_into(&self, b: usize, probe_bag: &[u32], counts: &mut Vec<u32>) {
+        let bucket = &self.buckets[b];
+        counts.clear();
+        counts.resize(bucket.members.len(), 0);
+        let mut i = 0;
+        while i < probe_bag.len() {
+            let c = probe_bag[i];
+            let mut m = 1usize;
+            while i + m < probe_bag.len() && probe_bag[i + m] == c {
+                m += 1;
+            }
+            for t in 1..=m as u32 {
+                match bucket.postings.get(&(c, t)) {
+                    Some(ps) => {
+                        for &p in ps {
+                            counts[p as usize] += 1;
+                        }
+                    }
+                    // Tier t is empty ⇒ every higher tier is too.
+                    None => break,
+                }
+            }
+            i += m;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chartable::{sorted_common_count, CharTable};
+
+    fn sample_index(values: &[&str]) -> (CharTable, LengthBucketIndex) {
+        let t = CharTable::build(values.iter().copied());
+        let index = LengthBucketIndex::build((0..t.len()).map(|i| t.bag(i)));
+        (t, index)
+    }
+
+    #[test]
+    fn buckets_partition_entries_by_length() {
+        let values = ["abc", "xy", "aabbc", "def", "", "pq"];
+        let (t, index) = sample_index(&values);
+        assert_eq!(index.n_entries(), values.len());
+        let mut seen = vec![false; values.len()];
+        for b in 0..index.n_buckets() {
+            for &slot in index.bucket_members(b) {
+                assert_eq!(t.char_len(slot as usize), index.bucket_char_len(b));
+                assert!(!seen[slot as usize], "slot {slot} indexed twice");
+                seen[slot as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every entry indexed exactly once");
+    }
+
+    #[test]
+    fn counting_probe_matches_two_pointer_merge() {
+        let values = ["abc", "aabbcc", "xyz", "aaab", "bca"];
+        let (t, index) = sample_index(&values);
+        let probe = CharTable::build(["aabcx"]);
+        let mut counts = Vec::new();
+        for b in 0..index.n_buckets() {
+            index.count_common_into(b, probe.bag(0), &mut counts);
+            for (pos, &slot) in index.bucket_members(b).iter().enumerate() {
+                assert_eq!(
+                    counts[pos] as usize,
+                    sorted_common_count(probe.bag(0), t.bag(slot as usize)),
+                    "entry {slot}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn closest_first_order_is_total_and_sorted_by_gap() {
+        let (_, index) = sample_index(&["a", "bb", "ccc", "dddd", "eeeeee"]);
+        for probe_len in 0..8 {
+            let mut order = Vec::new();
+            index.bucket_order_closest_first(probe_len, &mut order);
+            assert_eq!(order.len(), index.n_buckets(), "probe {probe_len}");
+            let gaps: Vec<usize> = order
+                .iter()
+                .map(|&b| index.bucket_char_len(b as usize).abs_diff(probe_len))
+                .collect();
+            assert!(
+                gaps.windows(2).all(|w| w[0] <= w[1]),
+                "probe {probe_len}: {gaps:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_index_is_harmless() {
+        let index = LengthBucketIndex::build(std::iter::empty());
+        assert!(index.is_empty());
+        let mut order = vec![7u32];
+        index.bucket_order_closest_first(3, &mut order);
+        assert!(order.is_empty());
+    }
+}

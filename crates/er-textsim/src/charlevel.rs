@@ -236,7 +236,54 @@ impl CharMeasure {
         if matches!(self, CharMeasure::QGrams) {
             return None;
         }
-        let (la, lb) = (bag_a.len(), bag_b.len());
+        self.bag_upper_bound_from_common(
+            sorted_common_count(bag_a, bag_b),
+            bag_a.len(),
+            bag_b.len(),
+        )
+    }
+
+    /// Whether [`CharMeasure::bag_upper_bound`] exists for this measure —
+    /// i.e. whether a counting-filter index probe is worth paying for.
+    ///
+    /// ```
+    /// use er_textsim::CharMeasure;
+    ///
+    /// assert!(CharMeasure::Levenshtein.has_bag_bound());
+    /// assert!(!CharMeasure::QGrams.has_bag_bound());
+    /// ```
+    #[inline]
+    pub fn has_bag_bound(&self) -> bool {
+        !matches!(self, CharMeasure::QGrams)
+    }
+
+    /// The [`CharMeasure::bag_upper_bound`] formula evaluated from an
+    /// externally computed multiset-intersection size — the
+    /// **index-facing** form of the counting filter. A length-bucketed
+    /// candidate index obtains `common` from its `(character, occurrence
+    /// tier)` postings instead of a per-pair two-pointer merge; feeding
+    /// the same integer into this method reproduces the per-pair bound
+    /// **bit for bit**, so index-side filtering inherits the exactness
+    /// contract unchanged (property-checked in `tests/proptests.rs`).
+    ///
+    /// `common` must be `sorted_common_count` of the two character bags;
+    /// `la` / `lb` are the two character lengths.
+    ///
+    /// ```
+    /// use er_textsim::{sorted_common_count, CharMeasure, CharTable};
+    ///
+    /// let t = CharTable::build(["kitten", "sitting"]);
+    /// let m = CharMeasure::Levenshtein;
+    /// let common = sorted_common_count(t.bag(0), t.bag(1));
+    /// assert_eq!(
+    ///     m.bag_upper_bound_from_common(common, 6, 7),
+    ///     m.bag_upper_bound(t.bag(0), t.bag(1)),
+    /// );
+    /// ```
+    pub fn bag_upper_bound_from_common(&self, common: usize, la: usize, lb: usize) -> Option<f64> {
+        if matches!(self, CharMeasure::QGrams) {
+            return None;
+        }
         let (mn, mx) = (la.min(lb), la.max(lb));
         if mx == 0 {
             return Some(1.0);
@@ -244,7 +291,6 @@ impl CharMeasure {
         if mn == 0 {
             return Some(0.0);
         }
-        let common = sorted_common_count(bag_a, bag_b);
         Some(match self {
             // Edits that fix the multiset difference: d ≥ max − common
             // (a transposition changes no multiset, so this holds for

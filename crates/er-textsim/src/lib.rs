@@ -32,6 +32,7 @@
 //! the exact pre-scoring upper bounds a top-k sink prunes against.
 
 pub mod bitpar;
+pub mod charindex;
 pub mod charlevel;
 pub mod chartable;
 pub mod graphmodel;
@@ -41,6 +42,7 @@ pub mod tokenlevel;
 pub mod vector;
 
 pub use bitpar::{levenshtein_bounded, osa_bounded, BandRows, MyersPattern};
+pub use charindex::LengthBucketIndex;
 pub use charlevel::{
     levenshtein_distance_bounded, levenshtein_distance_classic, CharMeasure, CharScratch,
 };
@@ -49,7 +51,10 @@ pub use graphmodel::{GraphSimilarity, NGramGraph};
 pub use measure::SchemaBasedMeasure;
 pub use tokenize::{char_ngrams, normalize_text, token_ngrams, tokens, NGramScheme};
 pub use tokenlevel::TokenMeasure;
-pub use vector::{DfIndex, SparseVector, TermWeighting, VectorMeasure, VectorModel};
+pub use vector::{
+    DfIndex, ProbePlan, SparseVector, TermWeighting, VectorMeasure, VectorModel,
+    SUFFIX_BOUND_MARGIN,
+};
 
 #[cfg(test)]
 mod sync_tests {

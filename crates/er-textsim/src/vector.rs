@@ -366,6 +366,178 @@ fn arcs_term_weight(df1: u32, df2: u32) -> f64 {
     std::f64::consts::LN_2 / prod.ln()
 }
 
+/// Relative slack applied to every [`ProbePlan`] suffix bound.
+///
+/// The plan accumulates per-term contributions in *its* visit order while
+/// [`VectorMeasure::similarity`] sums the same quantities in term-id order;
+/// two float summation orders can disagree by a relative `n·ε ≈ 1e-12` at
+/// realistic vector lengths. `1e-9` leaves three orders of magnitude of
+/// headroom while staying far below any similarity gap the top-k heap could
+/// distinguish.
+pub const SUFFIX_BOUND_MARGIN: f64 = 1e-9;
+
+/// A prefix-filter probe plan for one row vector — the generation-side form
+/// of the token measures' shared-term upper bounds (AllPairs/PPJoin style).
+///
+/// The plan visits the probe's terms in an order chosen per measure
+/// (descending bound contribution; ascending right-side document frequency
+/// for set Jaccard, whose contributions are uniform) and carries
+/// `suffix_bound(i)`: an upper bound on the similarity of the probe with
+/// **any** vector sharing terms only among `order[i..]`. A candidate
+/// generator that probes postings in plan order may therefore stop at step
+/// `i` once `suffix_bound(i)` falls strictly below a top-k admission bound:
+/// every not-yet-discovered candidate shares no term before `i`, so its
+/// true similarity is dominated by `suffix_bound(i)` and it could never be
+/// admitted. Bounds are monotone non-increasing in `i` and carry
+/// [`SUFFIX_BOUND_MARGIN`] against float-sum reordering.
+///
+/// ```
+/// use er_textsim::{SparseVector, VectorMeasure};
+///
+/// let probe = SparseVector::from_pairs(vec![(1, 0.8), (2, 0.5), (3, 0.1)]);
+/// let plan = VectorMeasure::CosineTf.probe_plan(&probe, None);
+/// assert_eq!(plan.len(), 3);
+/// // Suffix bounds dominate every candidate sharing only suffix terms:
+/// // a vector sharing only term 3 (visited last) scores at most the
+/// // final single-term bound.
+/// let tail = SparseVector::from_pairs(vec![(3, 1.0), (9, 1.0)]);
+/// let sim = VectorMeasure::CosineTf.similarity(&probe, &tail, None);
+/// assert!(sim <= plan.suffix_bound(plan.len() - 1));
+/// // And the full-prefix bound dominates any candidate at all.
+/// assert!(sim <= plan.suffix_bound(0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProbePlan {
+    /// Positions into the probe's `terms()`, in visit order.
+    order: Vec<u32>,
+    /// `order.len() + 1` bounds; entry `i` bounds any pair sharing terms
+    /// only among `order[i..]`.
+    suffix_bounds: Vec<f64>,
+}
+
+impl ProbePlan {
+    /// Number of planned probe steps (the probe's term count).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the probe has no terms to visit.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Position (into the probe's `terms()`) visited at step `i`.
+    #[inline]
+    pub fn term_position(&self, i: usize) -> usize {
+        self.order[i] as usize
+    }
+
+    /// Upper bound on the similarity of the probe with any vector sharing
+    /// terms only among steps `i..` (`i == len()` means no shared terms).
+    #[inline]
+    pub fn suffix_bound(&self, i: usize) -> f64 {
+        self.suffix_bounds[i]
+    }
+}
+
+impl VectorMeasure {
+    /// Build the prefix-filter [`ProbePlan`] for `probe` under this
+    /// measure. `dfs` carries the per-collection document-frequency
+    /// indexes — required by ARCS (as in [`similarity`](Self::similarity)),
+    /// used as a postings-cost heuristic by set Jaccard, ignored otherwise.
+    pub fn probe_plan(&self, probe: &SparseVector, dfs: Option<(&DfIndex, &DfIndex)>) -> ProbePlan {
+        let terms = probe.terms();
+        let n = terms.len();
+        if n == 0 {
+            return ProbePlan {
+                order: Vec::new(),
+                suffix_bounds: vec![0.0],
+            };
+        }
+        // Additive per-term contribution to the shared-term bound.
+        let contrib: Vec<f64> = match self {
+            VectorMeasure::Arcs => {
+                let (df1, df2) = dfs.expect("ARCS requires per-collection DF indexes");
+                terms
+                    .iter()
+                    .map(|&(t, _)| arcs_term_weight(df1.df(t), df2.df(t)))
+                    .collect()
+            }
+            VectorMeasure::CosineTf | VectorMeasure::CosineTfIdf => {
+                terms.iter().map(|&(_, w)| w * w).collect()
+            }
+            VectorMeasure::Jaccard => vec![1.0; n],
+            VectorMeasure::GeneralizedJaccardTf | VectorMeasure::GeneralizedJaccardTfIdf => {
+                terms.iter().map(|&(_, w)| w).collect()
+            }
+        };
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        match self {
+            // Uniform contributions: any order yields the same bounds, so
+            // visit rare right-side terms (short postings) first.
+            VectorMeasure::Jaccard => {
+                if let Some((_, df2)) = dfs {
+                    order.sort_by_key(|&i| (df2.df(terms[i as usize].0), i));
+                }
+            }
+            _ => order.sort_by(|&i, &j| {
+                contrib[j as usize]
+                    .partial_cmp(&contrib[i as usize])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(i.cmp(&j))
+            }),
+        }
+        let norm = probe.norm();
+        let wsum = probe.weight_sum();
+        let mut suffix_bounds = vec![0.0; n + 1];
+        let mut acc = 0.0f64;
+        suffix_bounds[n] = self.suffix_bound_of(acc, n, 0, norm, wsum);
+        for i in (0..n).rev() {
+            acc += contrib[order[i] as usize];
+            suffix_bounds[i] = self.suffix_bound_of(acc, n, n - i, norm, wsum);
+        }
+        ProbePlan {
+            order,
+            suffix_bounds,
+        }
+    }
+
+    /// Map an accumulated suffix contribution to a similarity upper bound.
+    ///
+    /// * ARCS: the score *is* the shared-term sum, so `acc` bounds it.
+    /// * Cosine: Cauchy–Schwarz — `dot(a, b) ≤ ‖a_S‖·‖b‖` when shared
+    ///   terms lie in `S`, so `cos ≤ ‖a_S‖ / ‖a‖ = √acc / ‖a‖` (zero norm
+    ///   scores exactly 0 by convention).
+    /// * Set Jaccard: `inter ≤ |S|` and `union ≥ |a|`, so
+    ///   `J ≤ remaining / |a|`.
+    /// * Generalized Jaccard: `min_sum ≤ Σ_S w_a` and
+    ///   `max_sum ≥ Σ_a w_a`, so `GJ ≤ acc / wsum` (non-positive total
+    ///   weight scores the degenerate 1.0, which we bound by 1.0).
+    fn suffix_bound_of(&self, acc: f64, n: usize, remaining: usize, norm: f64, wsum: f64) -> f64 {
+        let raw = match self {
+            VectorMeasure::Arcs => acc,
+            VectorMeasure::CosineTf | VectorMeasure::CosineTfIdf => {
+                if norm == 0.0 {
+                    0.0
+                } else {
+                    (acc.sqrt() / norm).min(1.0)
+                }
+            }
+            VectorMeasure::Jaccard => remaining as f64 / n as f64,
+            VectorMeasure::GeneralizedJaccardTf | VectorMeasure::GeneralizedJaccardTfIdf => {
+                if wsum <= 0.0 {
+                    1.0
+                } else {
+                    (acc / wsum).min(1.0)
+                }
+            }
+        };
+        raw * (1.0 + SUFFIX_BOUND_MARGIN)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

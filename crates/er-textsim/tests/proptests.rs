@@ -1,11 +1,15 @@
 //! Property tests for the similarity measures: bounds, symmetry,
-//! reflexivity and tokenization invariants over random ASCII-ish strings.
+//! reflexivity and tokenization invariants over random ASCII-ish strings —
+//! plus the **candidate-index filter kernels** (probe-plan suffix bounds,
+//! length buckets, counting filters) behind index-driven generation:
+//! none of them may ever drop a pair whose true similarity meets the
+//! admission bound.
 
 use er_textsim::{
     char_ngrams, levenshtein_bounded, levenshtein_distance_bounded, levenshtein_distance_classic,
-    normalize_text, osa_bounded, token_ngrams, BandRows, CharMeasure, CharScratch, GraphSimilarity,
-    MyersPattern, NGramGraph, NGramScheme, SchemaBasedMeasure, SparseVector, TermWeighting,
-    VectorMeasure, VectorModel,
+    normalize_text, osa_bounded, sorted_common_count, token_ngrams, BandRows, CharMeasure,
+    CharScratch, CharTable, DfIndex, GraphSimilarity, LengthBucketIndex, MyersPattern, NGramGraph,
+    NGramScheme, SchemaBasedMeasure, SparseVector, TermWeighting, VectorMeasure, VectorModel,
 };
 use proptest::prelude::*;
 
@@ -251,5 +255,159 @@ proptest! {
                 prop_assert!((s - r).abs() < 1e-9, "{} asymmetric", m.name());
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Candidate-index filter kernels. These are the contracts the er-pipeline
+// generators (`candidates` module) rely on for completeness: every skip
+// decision an index takes is one the exact scorer would also have taken.
+// ---------------------------------------------------------------------------
+
+fn distinct_terms(v: &SparseVector) -> impl Iterator<Item = u64> + '_ {
+    v.terms().iter().map(|&(t, _)| t)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Prefix filter: for any candidate, the suffix bound at its *first*
+    /// plan step touching a shared term dominates the true similarity.
+    /// A generator that stops probing once the suffix bound falls
+    /// strictly below an admission bound therefore never drops a pair
+    /// whose similarity meets the bound — not-yet-discovered candidates
+    /// share terms only among the remaining steps.
+    #[test]
+    fn probe_plan_suffix_bounds_never_drop_candidates(
+        probe in arb_text(),
+        cands in proptest::collection::vec(arb_text(), 1..5),
+    ) {
+        for scheme in [NGramScheme::Token(1), NGramScheme::Char(3)] {
+            let model = VectorModel::new(scheme);
+            // Mirror the scorer's DF setup: per-side indexes feed the plan
+            // (and ARCS), the union index feeds TF-IDF weighting.
+            let raw_probe = model.vector(&probe, TermWeighting::Tf, None);
+            let raw_cands: Vec<SparseVector> = cands
+                .iter()
+                .map(|c| model.vector(c, TermWeighting::Tf, None))
+                .collect();
+            let mut df_left = DfIndex::new();
+            let mut df_right = DfIndex::new();
+            let mut df_union = DfIndex::new();
+            df_left.add_document(distinct_terms(&raw_probe));
+            df_union.add_document(distinct_terms(&raw_probe));
+            for v in &raw_cands {
+                df_right.add_document(distinct_terms(v));
+                df_union.add_document(distinct_terms(v));
+            }
+            for m in VectorMeasure::all() {
+                let va = model.vector(&probe, m.weighting(), Some(&df_union));
+                if va.is_empty() {
+                    continue; // the scorer skips zero-vector rows entirely
+                }
+                let plan = m.probe_plan(&va, Some((&df_left, &df_right)));
+                prop_assert_eq!(plan.len(), va.terms().len());
+                for i in 0..plan.len() {
+                    prop_assert!(
+                        plan.suffix_bound(i) >= plan.suffix_bound(i + 1),
+                        "{}: suffix bounds not monotone at {i}",
+                        m.name()
+                    );
+                }
+                for text in &cands {
+                    let vb = model.vector(text, m.weighting(), Some(&df_union));
+                    if vb.is_empty() {
+                        continue;
+                    }
+                    let sim = m.similarity(&va, &vb, Some((&df_left, &df_right)));
+                    let first = (0..plan.len()).find(|&i| {
+                        let (t, _) = va.terms()[plan.term_position(i)];
+                        vb.terms().iter().any(|&(tb, _)| tb == t)
+                    });
+                    let step = first.unwrap_or(plan.len());
+                    let bound = plan.suffix_bound(step);
+                    prop_assert!(
+                        sim <= bound,
+                        "{}: sim {sim} > suffix bound {bound} at step {step} \
+                         for {probe:?} vs {text:?}",
+                        m.name()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Length-bucket index: traversal covers every entry exactly once in
+    /// ascending length-gap order, the counting probe reproduces the
+    /// two-pointer multiset intersection bit-exactly, and the length and
+    /// bag bounds derived from bucket metadata dominate the true
+    /// similarity — so bucket- and member-level skips never drop an
+    /// admissible pair.
+    #[test]
+    fn length_bucket_kernels_never_drop_admissible_pairs(
+        values in proptest::collection::vec(arb_unicode(12), 0..8),
+        probe in arb_unicode(12),
+    ) {
+        let t = CharTable::build(values.iter().map(|s| s.as_str()));
+        let index = LengthBucketIndex::build((0..t.len()).map(|i| t.bag(i)));
+        let pt = CharTable::build([probe.as_str()]);
+        let (probe_bag, probe_len) = (pt.bag(0), pt.char_len(0));
+
+        // Traversal order is a permutation of the buckets, sorted by gap.
+        let mut order = Vec::new();
+        index.bucket_order_closest_first(probe_len, &mut order);
+        prop_assert_eq!(order.len(), index.n_buckets());
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        prop_assert!(sorted.iter().enumerate().all(|(i, &b)| b as usize == i));
+        let gaps: Vec<usize> = order
+            .iter()
+            .map(|&b| index.bucket_char_len(b as usize).abs_diff(probe_len))
+            .collect();
+        prop_assert!(gaps.windows(2).all(|w| w[0] <= w[1]), "gaps {gaps:?}");
+
+        let mut counts = Vec::new();
+        let mut seen = vec![false; t.len()];
+        for b in 0..index.n_buckets() {
+            let bucket_len = index.bucket_char_len(b);
+            index.count_common_into(b, probe_bag, &mut counts);
+            for (pos, &slot) in index.bucket_members(b).iter().enumerate() {
+                let slot = slot as usize;
+                prop_assert!(!seen[slot], "slot {slot} indexed twice");
+                seen[slot] = true;
+                prop_assert_eq!(t.char_len(slot), bucket_len);
+                let common = counts[pos] as usize;
+                prop_assert_eq!(common, sorted_common_count(probe_bag, t.bag(slot)));
+                for m in CharMeasure::all() {
+                    let sim = m.similarity(&probe, &values[slot]);
+                    let len_ub = m.length_upper_bound(probe_len, bucket_len);
+                    prop_assert!(
+                        sim <= len_ub,
+                        "{}: bucket length bound {len_ub} < sim {sim}",
+                        m.name()
+                    );
+                    let from_common =
+                        m.bag_upper_bound_from_common(common, probe_len, bucket_len);
+                    prop_assert_eq!(from_common.is_some(), m.has_bag_bound());
+                    if let Some(ub) = from_common {
+                        let per_pair = m
+                            .bag_upper_bound(probe_bag, t.bag(slot))
+                            .expect("bag bound availability must agree");
+                        prop_assert_eq!(
+                            ub.to_bits(),
+                            per_pair.to_bits(),
+                            "{}: probed bag bound diverges from per-pair bound",
+                            m.name()
+                        );
+                        prop_assert!(
+                            sim <= ub,
+                            "{}: probed bag bound {ub} < sim {sim}",
+                            m.name()
+                        );
+                    }
+                }
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "every entry indexed exactly once");
     }
 }
