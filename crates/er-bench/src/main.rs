@@ -13,6 +13,8 @@
 //!   transfer         extension: threshold transfer across algorithms
 //!   scalability      extension: top-k pruned construction, corpus size × k
 //!                    (--quick runs the smoke configuration)
+//!   service          extension: resident ErService load test + incremental
+//!                    UMC vs full re-match (--quick runs the smoke configuration)
 //!   export           write the generated datasets as TSV under --out
 //!   all              everything, written under --out
 //!
@@ -38,7 +40,9 @@ fn main() {
     if args.is_empty() {
         eprintln!("usage: repro [--scale f] [--seed n] [--reps n] [--quick] [--fresh] [--out dir] [--datasets D1,D2] <command>...");
         eprintln!("commands: table1..table9, fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10,");
-        eprintln!("          conclusions oracle dirty blocking scalability transfer export, all");
+        eprintln!(
+            "          conclusions oracle dirty blocking scalability service transfer export, all"
+        );
         std::process::exit(2);
     }
 
@@ -108,7 +112,7 @@ fn main() {
     let needs_data = commands.iter().any(|c| {
         !matches!(
             c.as_str(),
-            "table1" | "fig6" | "oracle" | "dirty" | "blocking" | "scalability"
+            "table1" | "fig6" | "oracle" | "dirty" | "blocking" | "scalability" | "service"
         )
     });
     let data = if needs_data {
@@ -136,7 +140,7 @@ fn main() {
 /// What `all` expands to, in the paper's presentation order. This is the
 /// single roster of dispatchable commands: the upfront typo check accepts
 /// exactly these plus the meta commands `export` and `all`.
-const ALL_EXPANSION: [&str; 24] = [
+const ALL_EXPANSION: [&str; 25] = [
     "table1",
     "table2",
     "table3",
@@ -159,6 +163,7 @@ const ALL_EXPANSION: [&str; 24] = [
     "dirty",
     "blocking",
     "scalability",
+    "service",
     "conclusions",
     "transfer",
 ];
@@ -193,6 +198,7 @@ fn run_command(cmd: &str, data: Option<&RunData>, quick: bool) -> String {
         "dirty" => experiments::dirty::render(17),
         "blocking" => experiments::blocking::render(17),
         "scalability" => experiments::scalability::render(17, quick),
+        "service" => experiments::service_load::render(17, quick),
         "conclusions" => experiments::conclusions::render(data("conclusions")),
         "transfer" => experiments::transfer::render(data("transfer")),
         other => die(&format!("unknown command {other}")),

@@ -21,6 +21,8 @@
 //! trip through [`CsrGraph`] yields the same edge set with bit-identical
 //! weights, listed in the canonical `(left asc, right asc)` order.
 
+use crate::delta::{DeltaOp, GraphDelta, RowDelta, Side};
+use crate::error::{CoreError, Result};
 use crate::graph::{Edge, SimilarityGraph};
 
 /// A bipartite similarity graph in compressed-sparse-row form.
@@ -53,6 +55,23 @@ pub struct CsrGraph {
     rights: Vec<u32>,
     /// Edge weights, parallel to `rights`.
     weights: Vec<f64>,
+    /// Tombstoned left rows, sorted ascending. Their slab entries stay in
+    /// place but no live read ever surfaces them.
+    dead_left: Vec<u32>,
+    /// Tombstoned right columns, sorted ascending. Slab entries pointing
+    /// at them are masked on read; patch entries are removed eagerly.
+    dead_right: Vec<u32>,
+    /// Overflow edges from right-side inserts, sorted by `(left, right)`.
+    ///
+    /// Right ids grow monotonically and are never reused, so every patch
+    /// edge of a row carries a right id **strictly greater** than all of
+    /// that row's slab entries (the slab row was frozen before the right
+    /// was created) — chaining slab row then patch row therefore yields
+    /// the row in ascending right order with no merge.
+    patch: Vec<Edge>,
+    /// Live edge count: slab entries minus tombstone-masked ones, plus
+    /// the patch.
+    live: usize,
 }
 
 impl CsrGraph {
@@ -78,6 +97,10 @@ impl CsrGraph {
             offsets,
             rights: cells.iter().map(|&(r, _)| r).collect(),
             weights: cells.iter().map(|&(_, w)| w).collect(),
+            dead_left: Vec::new(),
+            dead_right: Vec::new(),
+            live: cells.len(),
+            patch: Vec::new(),
         }
     }
 
@@ -120,7 +143,8 @@ impl CsrGraph {
         self.n_right
     }
 
-    /// Number of edges `m`.
+    /// Number of **live** edges `m` — slab entries not masked by a
+    /// tombstone, plus pending right-insert patch edges.
     ///
     /// ```
     /// # use er_core::{CsrGraph, GraphBuilder};
@@ -130,10 +154,10 @@ impl CsrGraph {
     /// ```
     #[inline]
     pub fn n_edges(&self) -> usize {
-        self.rights.len()
+        self.live
     }
 
-    /// Whether the store holds no edges.
+    /// Whether the store holds no live edges.
     ///
     /// ```
     /// # use er_core::{CsrGraph, GraphBuilder};
@@ -141,10 +165,12 @@ impl CsrGraph {
     /// ```
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.rights.is_empty()
+        self.live == 0
     }
 
-    /// Degree of left row `left` (panics if out of bounds).
+    /// **Live** degree of left row `left`: tombstoned rows report `0`,
+    /// tombstone-masked slab entries are skipped, patch edges counted
+    /// (panics if out of bounds).
     ///
     /// ```
     /// # use er_core::{CsrGraph, GraphBuilder};
@@ -157,11 +183,20 @@ impl CsrGraph {
     /// ```
     #[inline]
     pub fn degree(&self, left: u32) -> usize {
-        self.offsets[left as usize + 1] - self.offsets[left as usize]
+        if self.is_pristine() {
+            return self.offsets[left as usize + 1] - self.offsets[left as usize];
+        }
+        self.live_row(left).count()
     }
 
-    /// Row `left` as `(right ids, weights)` parallel slices, right ids
-    /// ascending (panics if out of bounds).
+    /// Row `left`'s **raw slab** as `(right ids, weights)` parallel
+    /// slices, right ids ascending (panics if out of bounds).
+    ///
+    /// This is the zero-cost view of the frozen slab: it ignores pending
+    /// deltas (tombstoned entries are still present, patch edges absent).
+    /// On a pristine store — no deltas applied, or freshly
+    /// [`compact`](Self::compact)-ed with no tombstones — it is the whole
+    /// row; otherwise use [`live_row`](Self::live_row).
     ///
     /// ```
     /// # use er_core::{CsrGraph, GraphBuilder};
@@ -190,11 +225,18 @@ impl CsrGraph {
     /// assert_eq!(csr.weight_of(9, 9), None);
     /// ```
     pub fn weight_of(&self, left: u32, right: u32) -> Option<f64> {
-        if left >= self.n_left {
+        if left >= self.n_left || !self.is_live_left(left) || !self.is_live_right(right) {
             return None;
         }
         let (rights, weights) = self.row(left);
-        rights.binary_search(&right).ok().map(|i| weights[i])
+        if let Ok(i) = rights.binary_search(&right) {
+            return Some(weights[i]);
+        }
+        let patch = self.patch_row(left);
+        patch
+            .binary_search_by_key(&right, |e| e.right)
+            .ok()
+            .map(|i| patch[i].weight)
     }
 
     /// Iterate all edges in canonical `(left asc, right asc)` order.
@@ -209,13 +251,7 @@ impl CsrGraph {
     /// assert_eq!(pairs, vec![(0, 0), (1, 1)]);
     /// ```
     pub fn iter(&self) -> impl Iterator<Item = Edge> + '_ {
-        (0..self.n_left).flat_map(move |l| {
-            let (rights, weights) = self.row(l);
-            rights
-                .iter()
-                .zip(weights)
-                .map(move |(&r, &w)| Edge::new(l, r, w))
-        })
+        (0..self.n_left).flat_map(move |l| self.live_row(l).map(move |(r, w)| Edge::new(l, r, w)))
     }
 
     /// Total heap bytes of the three slabs — the store's resident size,
@@ -230,6 +266,313 @@ impl CsrGraph {
         self.offsets.len() * std::mem::size_of::<usize>()
             + self.rights.len() * std::mem::size_of::<u32>()
             + self.weights.len() * std::mem::size_of::<f64>()
+            + (self.dead_left.len() + self.dead_right.len()) * std::mem::size_of::<u32>()
+            + self.patch.len() * std::mem::size_of::<Edge>()
+    }
+
+    // ------------------------------------------------------------------
+    // Delta support: append/tombstone rows without rebuilding the slabs.
+    // ------------------------------------------------------------------
+
+    /// Whether no deltas are pending: no tombstones, no patch edges. On a
+    /// pristine store [`row`](Self::row) is exactly the live row.
+    #[inline]
+    pub fn is_pristine(&self) -> bool {
+        self.dead_left.is_empty() && self.dead_right.is_empty() && self.patch.is_empty()
+    }
+
+    /// Whether left id `left` is in bounds and not tombstoned.
+    ///
+    /// ```
+    /// # use er_core::{CsrGraph, GraphBuilder};
+    /// let csr = CsrGraph::from_graph(&GraphBuilder::new(2, 2).build());
+    /// assert!(csr.is_live_left(1));
+    /// assert!(!csr.is_live_left(2));
+    /// ```
+    #[inline]
+    pub fn is_live_left(&self, left: u32) -> bool {
+        left < self.n_left && self.dead_left.binary_search(&left).is_err()
+    }
+
+    /// Whether right id `right` is in bounds and not tombstoned.
+    #[inline]
+    pub fn is_live_right(&self, right: u32) -> bool {
+        right < self.n_right && self.dead_right.binary_search(&right).is_err()
+    }
+
+    /// The patch edges of row `left` (right-ascending slice).
+    #[inline]
+    fn patch_row(&self, left: u32) -> &[Edge] {
+        let s = self.patch.partition_point(|e| e.left < left);
+        let e = self.patch[s..].partition_point(|e| e.left <= left) + s;
+        &self.patch[s..e]
+    }
+
+    /// Row `left`'s **live** edges as `(right, weight)` pairs, right ids
+    /// ascending: tombstoned rows yield nothing, tombstone-masked slab
+    /// entries are skipped, right-insert patch edges are appended (their
+    /// right ids are provably larger than the row's slab ids, so the
+    /// chain stays sorted). Panics if `left` is out of bounds.
+    ///
+    /// ```
+    /// # use er_core::{CsrGraph, GraphBuilder};
+    /// let mut b = GraphBuilder::new(1, 2);
+    /// b.add_edge(0, 1, 0.4).unwrap();
+    /// let mut csr = CsrGraph::from_graph(&b.build());
+    /// csr.insert_right(&[(0, 0.8)]).unwrap();
+    /// let row: Vec<(u32, f64)> = csr.live_row(0).collect();
+    /// assert_eq!(row, vec![(1, 0.4), (2, 0.8)]);
+    /// ```
+    pub fn live_row(&self, left: u32) -> impl Iterator<Item = (u32, f64)> + '_ {
+        let live = self.is_live_left(left);
+        let (s, e) = if live {
+            (self.offsets[left as usize], self.offsets[left as usize + 1])
+        } else {
+            (0, 0)
+        };
+        let patch = if live { self.patch_row(left) } else { &[] };
+        self.rights[s..e]
+            .iter()
+            .zip(&self.weights[s..e])
+            .map(|(&r, &w)| (r, w))
+            .filter(move |&(r, _)| self.dead_right.binary_search(&r).is_err())
+            .chain(patch.iter().map(|e| (e.right, e.weight)))
+    }
+
+    /// Validate the edge list of an insert on side `inserting`: the
+    /// counterpart ids must be in bounds and live, weights finite in
+    /// `[0, 1]`, no duplicate ids. Returns the list sorted ascending by
+    /// counterpart id.
+    fn checked_sorted(&self, edges: &[(u32, f64)], inserting: Side) -> Result<Vec<(u32, f64)>> {
+        let (side, len) = match inserting {
+            Side::Left => ("right", self.n_right),
+            Side::Right => ("left", self.n_left),
+        };
+        let mut sorted = edges.to_vec();
+        sorted.sort_unstable_by_key(|&(id, _)| id);
+        for pair in sorted.windows(2) {
+            if pair[0].0 == pair[1].0 {
+                let (left, right) = match inserting {
+                    Side::Left => (self.n_left, pair[0].0),
+                    Side::Right => (pair[0].0, self.n_right),
+                };
+                return Err(CoreError::DuplicateEdge { left, right });
+            }
+        }
+        for &(id, w) in &sorted {
+            if id >= len {
+                return Err(CoreError::NodeOutOfBounds { side, id, len });
+            }
+            let live = match inserting {
+                Side::Left => self.is_live_right(id),
+                Side::Right => self.is_live_left(id),
+            };
+            if !live {
+                return Err(CoreError::DeadNode { side, id });
+            }
+            if !(w.is_finite() && (0.0..=1.0).contains(&w)) {
+                return Err(CoreError::InvalidWeight(w));
+            }
+        }
+        Ok(sorted)
+    }
+
+    /// Append a new left row with its `(right, weight)` edges and return
+    /// its id (`n_left` before the call). A true slab append — `O(d log d)`
+    /// for the new row alone, no rebuild. Ids are never reused, so the
+    /// new id is fresh even after deletions.
+    ///
+    /// ```
+    /// # use er_core::{CsrGraph, GraphBuilder};
+    /// let mut csr = CsrGraph::from_graph(&GraphBuilder::new(1, 3).build());
+    /// let id = csr.insert_left(&[(2, 0.9), (0, 0.4)]).unwrap();
+    /// assert_eq!(id, 1);
+    /// assert_eq!(csr.row(1).0, &[0, 2]);
+    /// ```
+    pub fn insert_left(&mut self, edges: &[(u32, f64)]) -> Result<u32> {
+        let sorted = self.checked_sorted(edges, Side::Left)?;
+        let id = self.n_left;
+        self.rights.extend(sorted.iter().map(|&(r, _)| r));
+        self.weights.extend(sorted.iter().map(|&(_, w)| w));
+        self.offsets.push(self.rights.len());
+        self.n_left += 1;
+        self.live += sorted.len();
+        Ok(id)
+    }
+
+    /// Add a new right column with its `(left, weight)` edges and return
+    /// its id (`n_right` before the call). The edges land in the patch
+    /// (the slab's rows are frozen); [`compact`](Self::compact) folds
+    /// them in.
+    ///
+    /// ```
+    /// # use er_core::{CsrGraph, GraphBuilder};
+    /// let mut csr = CsrGraph::from_graph(&GraphBuilder::new(2, 1).build());
+    /// let id = csr.insert_right(&[(0, 0.7), (1, 0.2)]).unwrap();
+    /// assert_eq!(id, 1);
+    /// assert_eq!(csr.weight_of(1, 1), Some(0.2));
+    /// ```
+    pub fn insert_right(&mut self, edges: &[(u32, f64)]) -> Result<u32> {
+        let sorted = self.checked_sorted(edges, Side::Right)?;
+        let id = self.n_right;
+        self.n_right += 1;
+        self.live += sorted.len();
+        self.patch
+            .extend(sorted.iter().map(|&(l, w)| Edge::new(l, id, w)));
+        // Restore (left, right) order. The new edges all carry the
+        // maximal right id, so a stable sort is a single merge pass.
+        self.patch.sort_by_key(|e| (e.left, e.right));
+        Ok(id)
+    }
+
+    /// Tombstone left row `left` and return its live `(right, weight)`
+    /// edges at removal time — exactly the edge list a
+    /// [`RowDelta::delete_left`] should carry. Errors on out-of-bounds or
+    /// already-dead ids.
+    ///
+    /// ```
+    /// # use er_core::{CsrGraph, GraphBuilder};
+    /// let mut b = GraphBuilder::new(2, 2);
+    /// b.add_edge(1, 0, 0.6).unwrap();
+    /// let mut csr = CsrGraph::from_graph(&b.build());
+    /// assert_eq!(csr.remove_left(1).unwrap(), vec![(0, 0.6)]);
+    /// assert!(!csr.is_live_left(1));
+    /// assert_eq!(csr.n_edges(), 0);
+    /// ```
+    pub fn remove_left(&mut self, left: u32) -> Result<Vec<(u32, f64)>> {
+        if left >= self.n_left {
+            return Err(CoreError::NodeOutOfBounds {
+                side: "left",
+                id: left,
+                len: self.n_left,
+            });
+        }
+        if !self.is_live_left(left) {
+            return Err(CoreError::DeadNode {
+                side: "left",
+                id: left,
+            });
+        }
+        let removed: Vec<(u32, f64)> = self.live_row(left).collect();
+        let at = self.dead_left.partition_point(|&d| d < left);
+        self.dead_left.insert(at, left);
+        self.patch.retain(|e| e.left != left);
+        self.live -= removed.len();
+        Ok(removed)
+    }
+
+    /// Tombstone right column `right` and return its live
+    /// `(left, weight)` edges at removal time, left ids ascending —
+    /// exactly the edge list a [`RowDelta::delete_right`] should carry.
+    /// `O(n_left · log d)` (one binary search per live row) plus one
+    /// patch pass. Errors on out-of-bounds or already-dead ids.
+    pub fn remove_right(&mut self, right: u32) -> Result<Vec<(u32, f64)>> {
+        if right >= self.n_right {
+            return Err(CoreError::NodeOutOfBounds {
+                side: "right",
+                id: right,
+                len: self.n_right,
+            });
+        }
+        if !self.is_live_right(right) {
+            return Err(CoreError::DeadNode {
+                side: "right",
+                id: right,
+            });
+        }
+        let mut removed = Vec::new();
+        for l in 0..self.n_left {
+            if self.dead_left.binary_search(&l).is_ok() {
+                continue;
+            }
+            let (rights, weights) = self.row(l);
+            if let Ok(i) = rights.binary_search(&right) {
+                removed.push((l, weights[i]));
+            }
+        }
+        for e in self.patch.iter().filter(|e| e.right == right) {
+            removed.push((e.left, e.weight));
+        }
+        removed.sort_unstable_by_key(|&(l, _)| l);
+        self.patch.retain(|e| e.right != right);
+        let at = self.dead_right.partition_point(|&d| d < right);
+        self.dead_right.insert(at, right);
+        self.live -= removed.len();
+        Ok(removed)
+    }
+
+    /// Apply one [`RowDelta`]. Inserts must carry the next append id of
+    /// their side (checked **before** mutating); deletes tombstone the
+    /// carried id (the delta's edge list is the producer's record of what
+    /// disappeared — the store re-derives it from its own rows).
+    pub fn apply(&mut self, delta: &RowDelta) -> Result<()> {
+        match (delta.op, delta.side) {
+            (DeltaOp::Insert, Side::Left) => {
+                if delta.id != self.n_left {
+                    return Err(CoreError::DeltaIdMismatch {
+                        expected: self.n_left,
+                        got: delta.id,
+                    });
+                }
+                self.insert_left(&delta.edges).map(drop)
+            }
+            (DeltaOp::Insert, Side::Right) => {
+                if delta.id != self.n_right {
+                    return Err(CoreError::DeltaIdMismatch {
+                        expected: self.n_right,
+                        got: delta.id,
+                    });
+                }
+                self.insert_right(&delta.edges).map(drop)
+            }
+            (DeltaOp::Delete, Side::Left) => self.remove_left(delta.id).map(drop),
+            (DeltaOp::Delete, Side::Right) => self.remove_right(delta.id).map(drop),
+        }
+    }
+
+    /// Apply a batch first-to-last. **Not atomic**: an error leaves the
+    /// rows before it applied — validate a batch against the store before
+    /// applying if partial application is unacceptable.
+    pub fn apply_all(&mut self, delta: &GraphDelta) -> Result<()> {
+        for row in delta.iter() {
+            self.apply(row)?;
+        }
+        Ok(())
+    }
+
+    /// Fold pending deltas into the slabs: drop tombstone-masked entries,
+    /// merge the patch into its rows, clear the patch. Tombstoned **ids**
+    /// stay dead forever (liveness queries are unaffected); only their
+    /// storage is reclaimed. `O(m)`.
+    ///
+    /// ```
+    /// # use er_core::{CsrGraph, GraphBuilder};
+    /// let mut csr = CsrGraph::from_graph(&GraphBuilder::new(1, 1).build());
+    /// csr.insert_right(&[(0, 0.5)]).unwrap();
+    /// csr.compact();
+    /// assert_eq!(csr.row(0).0, &[1], "patch folded into the slab");
+    /// ```
+    pub fn compact(&mut self) {
+        if self.is_pristine() {
+            return;
+        }
+        let n = self.n_left as usize;
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut rights = Vec::with_capacity(self.live);
+        let mut weights = Vec::with_capacity(self.live);
+        offsets.push(0);
+        for l in 0..self.n_left {
+            for (r, w) in self.live_row(l) {
+                rights.push(r);
+                weights.push(w);
+            }
+            offsets.push(rights.len());
+        }
+        debug_assert_eq!(rights.len(), self.live);
+        self.offsets = offsets;
+        self.rights = rights;
+        self.weights = weights;
+        self.patch.clear();
     }
 }
 
@@ -327,5 +670,195 @@ mod tests {
     fn slab_bytes_counts_all_slabs() {
         let csr = CsrGraph::from_graph(&sample());
         assert_eq!(csr.slab_bytes(), 4 * 8 + 5 * 4 + 5 * 8);
+    }
+
+    // ----------------------------------------------------------------
+    // Delta machinery.
+    // ----------------------------------------------------------------
+
+    #[test]
+    fn insert_left_appends_a_sorted_row() {
+        let mut csr = CsrGraph::from_graph(&sample());
+        let id = csr.insert_left(&[(3, 0.2), (0, 0.8)]).unwrap();
+        assert_eq!(id, 3);
+        assert_eq!(csr.n_left(), 4);
+        assert_eq!(csr.row(3), (&[0u32, 3][..], &[0.8f64, 0.2][..]));
+        assert_eq!(csr.n_edges(), 7);
+        assert_eq!(csr.weight_of(3, 0), Some(0.8));
+        // Still pristine: a left append is a plain slab extension.
+        assert!(csr.is_pristine());
+    }
+
+    #[test]
+    fn insert_right_lands_in_the_patch_and_reads_back() {
+        let mut csr = CsrGraph::from_graph(&sample());
+        let id = csr.insert_right(&[(2, 0.55), (0, 0.65)]).unwrap();
+        assert_eq!(id, 4);
+        assert_eq!(csr.n_right(), 5);
+        assert_eq!(csr.n_edges(), 7);
+        assert_eq!(csr.weight_of(0, 4), Some(0.65));
+        assert_eq!(csr.weight_of(2, 4), Some(0.55));
+        assert_eq!(csr.degree(0), 3);
+        let row0: Vec<u32> = csr.live_row(0).map(|(r, _)| r).collect();
+        assert_eq!(row0, vec![1, 3, 4], "patch chains after the slab row");
+    }
+
+    #[test]
+    fn remove_left_tombstones_and_returns_edges() {
+        let mut csr = CsrGraph::from_graph(&sample());
+        let removed = csr.remove_left(2).unwrap();
+        assert_eq!(removed, vec![(0, 0.7), (1, 0.1), (2, 0.7)]);
+        assert!(!csr.is_live_left(2));
+        assert_eq!(csr.degree(2), 0);
+        assert_eq!(csr.n_edges(), 2);
+        assert_eq!(csr.weight_of(2, 0), None);
+        assert!(matches!(
+            csr.remove_left(2),
+            Err(CoreError::DeadNode {
+                side: "left",
+                id: 2
+            })
+        ));
+        assert!(csr.remove_left(9).is_err());
+    }
+
+    #[test]
+    fn remove_right_masks_slab_and_patch_entries() {
+        let mut csr = CsrGraph::from_graph(&sample());
+        csr.insert_right(&[(1, 0.3)]).unwrap(); // right 4 via patch
+        let removed = csr.remove_right(1).unwrap();
+        assert_eq!(removed, vec![(0, 0.5), (2, 0.1)]);
+        assert_eq!(csr.weight_of(0, 1), None);
+        assert_eq!(csr.n_edges(), 4);
+        let removed = csr.remove_right(4).unwrap();
+        assert_eq!(removed, vec![(1, 0.3)], "patch-only column removal");
+        assert_eq!(csr.n_edges(), 3);
+        assert!(csr.remove_right(4).is_err());
+    }
+
+    #[test]
+    fn inserts_validate_ids_weights_and_liveness() {
+        let mut csr = CsrGraph::from_graph(&sample());
+        assert!(matches!(
+            csr.insert_left(&[(9, 0.5)]),
+            Err(CoreError::NodeOutOfBounds { side: "right", .. })
+        ));
+        assert!(matches!(
+            csr.insert_left(&[(0, 1.5)]),
+            Err(CoreError::InvalidWeight(_))
+        ));
+        assert!(matches!(
+            csr.insert_left(&[(0, 0.5), (0, 0.6)]),
+            Err(CoreError::DuplicateEdge { .. })
+        ));
+        csr.remove_right(0).unwrap();
+        assert!(matches!(
+            csr.insert_left(&[(0, 0.5)]),
+            Err(CoreError::DeadNode {
+                side: "right",
+                id: 0
+            })
+        ));
+        assert!(matches!(
+            csr.insert_right(&[(9, 0.5)]),
+            Err(CoreError::NodeOutOfBounds { side: "left", .. })
+        ));
+        // Failed inserts must not burn ids or edges.
+        assert_eq!((csr.n_left(), csr.n_right()), (3, 4));
+        assert_eq!(csr.n_edges(), 4);
+    }
+
+    #[test]
+    fn ids_are_never_reused_after_deletion() {
+        let mut csr = CsrGraph::from_graph(&sample());
+        csr.remove_left(2).unwrap();
+        let id = csr.insert_left(&[(0, 0.4)]).unwrap();
+        assert_eq!(id, 3, "dead id 2 is not recycled");
+        assert!(!csr.is_live_left(2));
+        assert!(csr.is_live_left(3));
+    }
+
+    #[test]
+    fn iter_and_to_graph_see_only_live_edges() {
+        let mut csr = CsrGraph::from_graph(&sample());
+        csr.remove_left(0).unwrap();
+        csr.insert_right(&[(1, 0.9)]).unwrap();
+        let edges: Vec<(u32, u32)> = csr.iter().map(|e| (e.left, e.right)).collect();
+        assert_eq!(edges, vec![(1, 4), (2, 0), (2, 1), (2, 2)]);
+        let g = csr.to_graph();
+        assert_eq!(g.n_edges(), 4);
+        assert_eq!(g.n_left(), 3);
+        assert_eq!(g.n_right(), 5, "dead/new ids stay in the id space");
+        assert_eq!(g.weight_of(1, 4), Some(0.9));
+    }
+
+    #[test]
+    fn apply_checks_ids_and_dispatches() {
+        use crate::delta::{GraphDelta, RowDelta};
+        let mut csr = CsrGraph::from_graph(&sample());
+        assert!(matches!(
+            csr.apply(&RowDelta::insert_left(7, vec![])),
+            Err(CoreError::DeltaIdMismatch {
+                expected: 3,
+                got: 7
+            })
+        ));
+        let batch: GraphDelta = vec![
+            RowDelta::insert_left(3, vec![(0, 0.5)]),
+            RowDelta::insert_right(4, vec![(3, 0.6)]),
+            RowDelta::delete_left(0, vec![(1, 0.5), (3, 0.9)]),
+        ]
+        .into_iter()
+        .collect();
+        csr.apply_all(&batch).unwrap();
+        assert_eq!((csr.n_left(), csr.n_right()), (4, 5));
+        assert!(!csr.is_live_left(0));
+        assert_eq!(csr.weight_of(3, 4), Some(0.6));
+        assert_eq!(csr.n_edges(), 5);
+    }
+
+    #[test]
+    fn compact_folds_deltas_and_preserves_reads() {
+        let mut csr = CsrGraph::from_graph(&sample());
+        csr.insert_right(&[(0, 0.45), (2, 0.35)]).unwrap();
+        csr.remove_left(0).unwrap();
+        csr.remove_right(1).unwrap();
+        let before: Vec<Edge> = csr.iter().collect();
+        let live = csr.n_edges();
+        csr.compact();
+        let after: Vec<Edge> = csr.iter().collect();
+        assert_eq!(before, after);
+        assert_eq!(csr.n_edges(), live);
+        assert!(!csr.is_live_left(0));
+        assert!(!csr.is_live_right(1), "tombstoned ids stay dead");
+        // Patch folded: raw rows now equal live rows for live lefts.
+        let raw: Vec<u32> = csr.row(2).0.to_vec();
+        let live_r: Vec<u32> = csr.live_row(2).map(|(r, _)| r).collect();
+        assert_eq!(raw, live_r);
+        assert_eq!(csr.row(0).0.len(), 0, "dead row storage reclaimed");
+    }
+
+    #[test]
+    fn deltas_equal_rebuilt_graph() {
+        // Folding deltas through the store must equal building the final
+        // graph from scratch over the surviving edge set.
+        let mut csr = CsrGraph::from_graph(&sample());
+        csr.insert_left(&[(1, 0.25)]).unwrap(); // left 3
+        csr.insert_right(&[(0, 0.85), (3, 0.15)]).unwrap(); // right 4
+        csr.remove_left(2).unwrap();
+        csr.remove_right(3).unwrap();
+        let mut b = GraphBuilder::new(4, 5);
+        b.add_edge(0, 1, 0.5).unwrap();
+        b.add_edge(0, 4, 0.85).unwrap();
+        b.add_edge(3, 1, 0.25).unwrap();
+        b.add_edge(3, 4, 0.15).unwrap();
+        let want = b.build();
+        let got = csr.to_graph();
+        assert_eq!(got.n_edges(), want.n_edges());
+        for e in want.edges() {
+            assert_eq!(got.weight_of(e.left, e.right), Some(e.weight));
+        }
+        csr.compact();
+        assert_eq!(csr.to_graph().n_edges(), want.n_edges());
     }
 }

@@ -25,6 +25,20 @@ pub enum CoreError {
     },
     /// The operation needs a non-empty graph.
     EmptyGraph,
+    /// The operation referenced a tombstoned (deleted) node id.
+    DeadNode {
+        /// Which side of the bipartite graph the id belongs to.
+        side: &'static str,
+        /// The tombstoned node id.
+        id: u32,
+    },
+    /// A delta carried an id other than the store's next append id.
+    DeltaIdMismatch {
+        /// The id the store would assign (its side's current size).
+        expected: u32,
+        /// The id the delta carried.
+        got: u32,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -41,6 +55,13 @@ impl fmt::Display for CoreError {
                 write!(f, "duplicate edge ({left}, {right})")
             }
             CoreError::EmptyGraph => write!(f, "operation requires a non-empty graph"),
+            CoreError::DeadNode { side, id } => {
+                write!(f, "{side} node {id} is tombstoned (deleted)")
+            }
+            CoreError::DeltaIdMismatch { expected, got } => write!(
+                f,
+                "delta id {got} does not match the next append id {expected}"
+            ),
         }
     }
 }

@@ -411,7 +411,21 @@ impl SortedEdges {
     /// assert!(s.is_empty());
     /// ```
     pub fn build(g: &SimilarityGraph) -> Self {
-        let mut edges = g.edges.clone();
+        Self::from_edges(g.edges.clone())
+    }
+
+    /// Sort an owned edge list — the store-agnostic entry used to index a
+    /// [`CsrGraph`](crate::CsrGraph) (or any other edge source) without
+    /// materializing a `SimilarityGraph` first. Equivalent to
+    /// [`build`](Self::build) on a graph holding the same edges: the sort
+    /// key is a total order, so the result is independent of input order.
+    ///
+    /// ```
+    /// # use er_core::{Edge, SortedEdges};
+    /// let s = SortedEdges::from_edges(vec![Edge::new(0, 0, 0.2), Edge::new(1, 1, 0.9)]);
+    /// assert_eq!(s.all()[0].weight, 0.9);
+    /// ```
+    pub fn from_edges(mut edges: Vec<Edge>) -> Self {
         edges.sort_by(|a, b| {
             crate::float::edge_key_desc((a.weight, a.left, a.right), (b.weight, b.left, b.right))
         });
@@ -697,10 +711,27 @@ pub struct Adjacency {
 
 impl Adjacency {
     fn build(g: &SimilarityGraph) -> Self {
+        Self::from_edges(g.n_left, g.n_right, g.edges())
+    }
+
+    /// Build the adjacency view directly from an edge list with explicit
+    /// dimensions — the store-agnostic entry used to index a
+    /// [`CsrGraph`](crate::CsrGraph) without materializing a
+    /// `SimilarityGraph` first. Equivalent to `g.adjacency()` for a graph
+    /// holding the same edges in **any** order: each node's slice is
+    /// re-sorted by the deterministic (weight desc, id asc) total order.
+    /// Callers are responsible for the ids being in bounds.
+    ///
+    /// ```
+    /// # use er_core::{Adjacency, Edge};
+    /// let adj = Adjacency::from_edges(2, 2, &[Edge::new(1, 0, 0.8)]);
+    /// assert_eq!(adj.right(0)[0].node, 1);
+    /// ```
+    pub fn from_edges(n_left: u32, n_right: u32, edges: &[Edge]) -> Self {
         let (left_offsets, left_neighbors) =
-            Self::build_side(g.n_left as usize, g.edges(), |e| (e.left, e.right));
+            Self::build_side(n_left as usize, edges, |e| (e.left, e.right));
         let (right_offsets, right_neighbors) =
-            Self::build_side(g.n_right as usize, g.edges(), |e| (e.right, e.left));
+            Self::build_side(n_right as usize, edges, |e| (e.right, e.left));
         Adjacency {
             left_offsets,
             left_neighbors,

@@ -28,6 +28,7 @@
 
 pub mod clustering;
 pub mod csr;
+pub mod delta;
 pub mod error;
 pub mod float;
 pub mod graph;
@@ -43,6 +44,7 @@ pub mod union_find;
 
 pub use clustering::{Cluster, Clustering};
 pub use csr::CsrGraph;
+pub use delta::{DeltaOp, GraphDelta, RowDelta, Side};
 pub use error::{CoreError, Result};
 pub use float::{total_cmp_desc, OrderedF64};
 pub use graph::{Adjacency, Neighbor, SortedEdges};

@@ -43,7 +43,7 @@ pub fn time_algorithm(
     for _ in 0..reps {
         let elapsed = if kind.uses_adjacency() {
             let start = Instant::now();
-            let prepared = PreparedGraph::new(g.graph());
+            let prepared = g.reprepare();
             let m = matcher.run(&prepared, t);
             let elapsed = start.elapsed().as_secs_f64();
             std::hint::black_box(m);

@@ -30,6 +30,7 @@
 pub mod bah;
 pub mod bmc;
 pub mod cnc;
+pub mod delta;
 pub mod exc;
 pub mod hungarian;
 pub mod krc;
@@ -45,6 +46,7 @@ pub mod umc;
 pub use bah::{Bah, BahConfig};
 pub use bmc::{Basis, Bmc};
 pub use cnc::Cnc;
+pub use delta::{BahDelta, DeltaMatcher, ReplayDelta, UmcDelta};
 pub use exc::Exc;
 pub use hungarian::{hungarian_matching, hungarian_on_edges, max_weight_matching_value, Hungarian};
 pub use krc::Krc;

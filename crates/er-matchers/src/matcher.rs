@@ -2,20 +2,50 @@
 
 use er_core::{Adjacency, CsrGraph, Edge, Matching, SimilarityGraph, SortedEdges};
 
-/// How a [`PreparedGraph`] holds its graph: borrowed from the caller (the
-/// usual case) or owned after expanding a compact store such as
-/// [`CsrGraph`].
+/// The edge store behind a [`PreparedGraph`]: a plain similarity graph or
+/// the compact 12 B/edge CSR slab — both **borrowed**. The matchers never
+/// touch the store (they consume the adjacency and sorted views), so a
+/// CSR-backed graph is matched natively, without first expanding into an
+/// owned `SimilarityGraph` (the old `GraphStore::Owned` memory cliff:
+/// +16 B/edge of redundant triples, +the dedup index, for data the views
+/// already carry).
+#[derive(Clone, Copy)]
 enum GraphStore<'g> {
-    Borrowed(&'g SimilarityGraph),
-    Owned(Box<SimilarityGraph>),
+    Graph(&'g SimilarityGraph),
+    Csr(&'g CsrGraph),
 }
 
 impl GraphStore<'_> {
     #[inline]
-    fn get(&self) -> &SimilarityGraph {
+    fn n_left(&self) -> u32 {
         match self {
-            GraphStore::Borrowed(g) => g,
-            GraphStore::Owned(g) => g,
+            GraphStore::Graph(g) => g.n_left(),
+            GraphStore::Csr(c) => c.n_left(),
+        }
+    }
+
+    #[inline]
+    fn n_right(&self) -> u32 {
+        match self {
+            GraphStore::Graph(g) => g.n_right(),
+            GraphStore::Csr(c) => c.n_right(),
+        }
+    }
+
+    #[inline]
+    fn weight_of(&self, left: u32, right: u32) -> Option<f64> {
+        match self {
+            GraphStore::Graph(g) => g.weight_of(left, right),
+            GraphStore::Csr(c) => c.weight_of(left, right),
+        }
+    }
+
+    /// Heap bytes the store itself keeps resident (edge data only, not
+    /// the matcher views).
+    fn store_bytes(&self) -> usize {
+        match self {
+            GraphStore::Graph(g) => g.n_edges() * std::mem::size_of::<Edge>(),
+            GraphStore::Csr(c) => c.slab_bytes(),
         }
     }
 }
@@ -30,10 +60,10 @@ impl GraphStore<'_> {
 /// threshold sweeps incremental: see [`crate::sweeper`].
 ///
 /// Graphs can come in borrowed ([`PreparedGraph::new`], the usual case),
-/// pre-sorted ([`PreparedGraph::from_sorted`]), or expanded from the
+/// pre-sorted ([`PreparedGraph::from_sorted`]), or straight from the
 /// compact CSR store pruned production graphs live in
-/// ([`PreparedGraph::from_csr`]) — the matchers and the sweep engine are
-/// oblivious to the source.
+/// ([`PreparedGraph::from_csr`], no expansion) — the matchers and the
+/// sweep engine are oblivious to the source.
 pub struct PreparedGraph<'g> {
     graph: GraphStore<'g>,
     adjacency: Adjacency,
@@ -46,7 +76,7 @@ impl<'g> PreparedGraph<'g> {
         PreparedGraph {
             adjacency: graph.adjacency(),
             sorted: graph.sorted_edges(),
-            graph: GraphStore::Borrowed(graph),
+            graph: GraphStore::Graph(graph),
         }
     }
 
@@ -70,14 +100,21 @@ impl<'g> PreparedGraph<'g> {
         PreparedGraph {
             adjacency: graph.adjacency(),
             sorted,
-            graph: GraphStore::Borrowed(graph),
+            graph: GraphStore::Graph(graph),
         }
     }
 
-    /// Prepare a graph held in the compact CSR store: expand it once and
-    /// build the matcher views, so the threshold-sweep engine runs
-    /// **unchanged** on pruned graphs — the store is a serving/storage
-    /// format, not a third code path through the algorithms.
+    /// Prepare a graph held in the compact CSR store **natively**: build
+    /// the matcher views straight off the slab, so the threshold-sweep
+    /// engine runs **unchanged** on pruned graphs without ever expanding
+    /// an owned `SimilarityGraph`. Only the store's *live* edges enter
+    /// the views, so a store with pending deltas is matched as-is.
+    ///
+    /// The views are identical to [`PreparedGraph::new`] on the expanded
+    /// graph — the sorted view's key and the adjacency's per-node sort
+    /// are deterministic total orders, so the input edge order is
+    /// irrelevant — while resident memory drops by the expanded graph's
+    /// `16 B/edge` triples plus its dedup index.
     ///
     /// ```
     /// use er_core::{CsrGraph, GraphBuilder};
@@ -91,19 +128,46 @@ impl<'g> PreparedGraph<'g> {
     /// let matching = Umc::default().run(&prepared, 0.5);
     /// assert_eq!(matching.pairs(), &[(0, 0), (1, 1)]);
     /// ```
-    pub fn from_csr(csr: &CsrGraph) -> PreparedGraph<'static> {
-        let graph = Box::new(csr.to_graph());
+    pub fn from_csr(csr: &CsrGraph) -> PreparedGraph<'_> {
+        let sorted = SortedEdges::from_edges(csr.iter().collect());
         PreparedGraph {
-            adjacency: graph.adjacency(),
-            sorted: graph.sorted_edges(),
-            graph: GraphStore::Owned(graph),
+            adjacency: Adjacency::from_edges(csr.n_left(), csr.n_right(), sorted.all()),
+            sorted,
+            graph: GraphStore::Csr(csr),
         }
     }
 
-    /// The underlying graph.
+    /// Number of edges in the prepared graph.
     #[inline]
-    pub fn graph(&self) -> &SimilarityGraph {
-        self.graph.get()
+    pub fn n_edges(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Weight of edge `(left, right)`, if present — answered by the
+    /// backing store.
+    #[inline]
+    pub fn weight_of(&self, left: u32, right: u32) -> Option<f64> {
+        self.graph.weight_of(left, right)
+    }
+
+    /// Heap bytes the backing store keeps resident for its edge data:
+    /// `~12 B/edge` for a CSR slab, `16 B/edge` for a plain graph's
+    /// triples. Excludes the matcher views (adjacency + sorted edges),
+    /// which every prepared graph carries identically regardless of
+    /// store.
+    #[inline]
+    pub fn store_bytes(&self) -> usize {
+        self.graph.store_bytes()
+    }
+
+    /// Re-derive a fresh `PreparedGraph` from the backing store, paying
+    /// the full view build again — for timing harnesses that need to
+    /// measure preparation cost per run.
+    pub fn reprepare(&self) -> PreparedGraph<'g> {
+        match self.graph {
+            GraphStore::Graph(g) => PreparedGraph::new(g),
+            GraphStore::Csr(c) => PreparedGraph::from_csr(c),
+        }
     }
 
     /// The adjacency view (neighbors sorted by descending weight).
@@ -144,13 +208,13 @@ impl<'g> PreparedGraph<'g> {
     /// `|V1|`.
     #[inline]
     pub fn n_left(&self) -> u32 {
-        self.graph.get().n_left()
+        self.graph.n_left()
     }
 
     /// `|V2|`.
     #[inline]
     pub fn n_right(&self) -> u32 {
-        self.graph.get().n_right()
+        self.graph.n_right()
     }
 }
 
@@ -183,10 +247,11 @@ impl<'a, 'g> EdgeView<'a, 'g> {
         self.g
     }
 
-    /// The underlying graph.
+    /// Number of edges in the prepared graph behind the view (not
+    /// threshold-filtered).
     #[inline]
-    pub fn graph(&self) -> &'a SimilarityGraph {
-        self.g.graph.get()
+    pub fn n_edges(&self) -> usize {
+        self.g.n_edges()
     }
 
     /// The adjacency view (not threshold-filtered; algorithms early-break on
@@ -239,7 +304,7 @@ impl<'a, 'g> EdgeView<'a, 'g> {
 /// (b) only contains pairs that are edges of the input graph with weight
 ///     above (or equal to, for CNC/RCA — see each algorithm's docs) the
 ///     view's threshold.
-pub trait Matcher {
+pub trait Matcher: Send + Sync {
     /// Short algorithm acronym as used in the paper (e.g. `"UMC"`).
     fn name(&self) -> &'static str;
 
@@ -263,7 +328,7 @@ mod tests {
         let pg = PreparedGraph::new(&g);
         assert_eq!(pg.n_left(), 5);
         assert_eq!(pg.n_right(), 4);
-        assert_eq!(pg.graph().n_edges(), 6);
+        assert_eq!(pg.n_edges(), 6);
         // Adjacency of A5 (id 4): B1 (0.9) before B3 (0.6).
         let n: Vec<u32> = pg.adjacency().left(4).iter().map(|x| x.node).collect();
         assert_eq!(n, vec![0, 2]);
@@ -285,13 +350,42 @@ mod tests {
     }
 
     #[test]
+    fn csr_store_stays_near_twelve_bytes_per_edge() {
+        // Regression guard for the `from_csr` memory cliff: preparing a
+        // CSR store must NOT expand it into an owned `SimilarityGraph`
+        // (16 B/edge triples on top of the slabs). The resident store
+        // behind the prepared views stays the CSR slab itself:
+        // 4 B column id + 8 B weight = 12 B/edge, plus row offsets.
+        let n = 200u32;
+        let mut b = er_core::GraphBuilder::new(n, n);
+        for i in 0..n {
+            b.add_edge(i, i, 0.9).unwrap();
+            b.add_edge(i, (i + 1) % n, 0.4).unwrap();
+            b.add_edge(i, (i + 7) % n, 0.2).unwrap();
+        }
+        let csr = er_core::CsrGraph::from_graph(&b.build());
+        let prepared = PreparedGraph::from_csr(&csr);
+        assert_eq!(prepared.store_bytes(), csr.slab_bytes());
+        let per_edge = prepared.store_bytes() as f64 / prepared.n_edges() as f64;
+        assert!(
+            per_edge < 16.0,
+            "CSR store must stay below triple expansion: {per_edge:.1} B/edge"
+        );
+        assert!(
+            per_edge <= 12.0 + 8.5 * (n as f64 + 1.0) / prepared.n_edges() as f64,
+            "unexpected per-edge overhead: {per_edge:.1} B/edge"
+        );
+    }
+
+    #[test]
     fn from_csr_matches_new() {
         let g = figure1();
         let fresh = PreparedGraph::new(&g);
-        let via_csr = PreparedGraph::from_csr(&er_core::CsrGraph::from_graph(&g));
+        let csr = er_core::CsrGraph::from_graph(&g);
+        let via_csr = PreparedGraph::from_csr(&csr);
         assert_eq!(via_csr.n_left(), fresh.n_left());
         assert_eq!(via_csr.n_right(), fresh.n_right());
-        assert_eq!(via_csr.graph().n_edges(), fresh.graph().n_edges());
+        assert_eq!(via_csr.n_edges(), fresh.n_edges());
         for t in [0.0, 0.3, 0.6, 0.9] {
             assert_eq!(
                 fresh.view(t).prefix_lens(),
@@ -328,7 +422,7 @@ mod tests {
         }
         assert_eq!(v.n_left(), 5);
         assert_eq!(v.n_right(), 4);
-        assert_eq!(v.graph().n_edges(), 6);
+        assert_eq!(v.n_edges(), 6);
         assert_eq!(v.prepared().n_left(), 5);
     }
 

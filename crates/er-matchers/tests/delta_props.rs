@@ -1,0 +1,159 @@
+//! Property tests for the delta-incremental matchers (`er_matchers::delta`).
+//!
+//! The contract under test: for every algorithm, feeding an arbitrary
+//! sequence of insert/delete deltas to [`AlgorithmConfig::delta_matcher`]
+//! leaves its [`DeltaMatcher::matching`] equal to a from-scratch
+//! [`Matcher::run`] on the mutated store — after **every** step, not just
+//! at the end. UMC exercises the cascade repair, BAH the contribution-map
+//! maintenance, and the other six the windowed replay fallback.
+
+use er_core::{CsrGraph, GraphBuilder, RowDelta, SimilarityGraph};
+use er_matchers::{AlgorithmConfig, AlgorithmKind, PreparedGraph};
+use proptest::prelude::*;
+
+/// A random bipartite graph with up to 10x10 nodes, weights on the 0.05
+/// grid (mirroring normalized similarity graphs).
+fn arb_graph() -> impl Strategy<Value = SimilarityGraph> {
+    (1u32..10, 1u32..10).prop_flat_map(|(nl, nr)| {
+        let max_edges = (nl * nr) as usize;
+        proptest::collection::btree_map((0..nl, 0..nr), 1u32..=20, 0..=max_edges.min(30)).prop_map(
+            move |edges| {
+                let mut b = GraphBuilder::new(nl, nr);
+                for ((l, r), w) in edges {
+                    b.add_edge(l, r, w as f64 * 0.05).unwrap();
+                }
+                b.build()
+            },
+        )
+    })
+}
+
+/// Raw op material: (selector, candidate edges as (index, weight-step)).
+/// Ops are interpreted against the store's *current* dimensions when
+/// applied, so any raw sequence is valid.
+fn arb_ops() -> impl Strategy<Value = Vec<(u8, Vec<(u16, u8)>)>> {
+    proptest::collection::vec(
+        (
+            0u8..4,
+            proptest::collection::vec((0u16..64, 1u8..=20), 0..6),
+        ),
+        1..8,
+    )
+}
+
+/// Interpret one raw op against the store, returning the delta applied
+/// (`None` when the op is a no-op on the current store, e.g. deleting
+/// from an exhausted side).
+fn materialize(csr: &mut CsrGraph, sel: u8, raw: &[(u16, u8)]) -> Option<RowDelta> {
+    let (nl, nr) = (csr.n_left(), csr.n_right());
+    match sel % 4 {
+        0 | 1 => {
+            // Insert on the side with the selector's parity.
+            let other = if sel.is_multiple_of(4) { nr } else { nl };
+            let mut edges: Vec<(u32, f64)> = Vec::new();
+            let mut seen = std::collections::BTreeSet::new();
+            for &(idx, w) in raw {
+                if other == 0 {
+                    break;
+                }
+                let o = idx as u32 % other;
+                // Insert edges must be live and unique.
+                let live = if sel.is_multiple_of(4) {
+                    csr.is_live_right(o)
+                } else {
+                    csr.is_live_left(o)
+                };
+                if live && seen.insert(o) {
+                    edges.push((o, w as f64 * 0.05));
+                }
+            }
+            let delta = if sel.is_multiple_of(4) {
+                RowDelta::insert_left(nl, edges)
+            } else {
+                RowDelta::insert_right(nr, edges)
+            };
+            csr.apply(&delta).expect("interpreted insert is valid");
+            Some(delta)
+        }
+        2 | 3 => {
+            let (n, is_live): (u32, &dyn Fn(u32) -> bool) = if sel % 4 == 2 {
+                (nl, &|i| csr.is_live_left(i))
+            } else {
+                (nr, &|i| csr.is_live_right(i))
+            };
+            let start = raw.first().map(|&(i, _)| i as u32).unwrap_or(0) % n.max(1);
+            let id = (0..n).map(|d| (start + d) % n).find(|&i| is_live(i))?;
+            let removed = if sel % 4 == 2 {
+                csr.remove_left(id).expect("live id removes")
+            } else {
+                csr.remove_right(id).expect("live id removes")
+            };
+            Some(if sel % 4 == 2 {
+                RowDelta::delete_left(id, removed)
+            } else {
+                RowDelta::delete_right(id, removed)
+            })
+        }
+        _ => unreachable!(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The headline acceptance property: after an arbitrary insert/delete
+    /// sequence, every algorithm's incremental matching equals the full
+    /// re-match on the mutated store — checked after each step.
+    #[test]
+    fn delta_matching_tracks_full_rematch_for_all_eight(
+        g in arb_graph(),
+        t in (0u32..=20).prop_map(|i| i as f64 * 0.05),
+        ops in arb_ops(),
+    ) {
+        let seed = CsrGraph::from_graph(&g);
+        let cfg = AlgorithmConfig::default();
+        for kind in AlgorithmKind::ALL {
+            let mut csr = seed.clone();
+            let mut dm = cfg.delta_matcher(kind, &csr, t);
+            for (sel, raw) in &ops {
+                let Some(delta) = materialize(&mut csr, *sel, raw) else { continue };
+                dm.apply_delta(&delta);
+                let pg = PreparedGraph::from_csr(&csr);
+                prop_assert_eq!(
+                    dm.matching(),
+                    cfg.run(kind, &pg, t),
+                    "{} diverged after {:?} on ({:?}, {})",
+                    kind, delta.op, delta.side, delta.id
+                );
+            }
+        }
+    }
+
+    /// Interleaved reads don't perturb the incremental state: querying
+    /// the matching between every delta (done above) and only at the end
+    /// produce the same result.
+    #[test]
+    fn read_frequency_does_not_change_results(
+        g in arb_graph(),
+        ops in arb_ops(),
+    ) {
+        let seed = CsrGraph::from_graph(&g);
+        let cfg = AlgorithmConfig::default();
+        let t = 0.3;
+        for kind in [AlgorithmKind::Umc, AlgorithmKind::Bah, AlgorithmKind::Krc] {
+            let mut csr_a = seed.clone();
+            let mut csr_b = seed.clone();
+            let mut chatty = cfg.delta_matcher(kind, &csr_a, t);
+            let mut quiet = cfg.delta_matcher(kind, &csr_b, t);
+            for (sel, raw) in &ops {
+                if let Some(delta) = materialize(&mut csr_a, *sel, raw) {
+                    materialize(&mut csr_b, *sel, raw);
+                    chatty.apply_delta(&delta);
+                    quiet.apply_delta(&delta);
+                    let _ = chatty.matching();
+                }
+            }
+            prop_assert_eq!(chatty.matching(), quiet.matching(), "{} read-dependent", kind);
+        }
+    }
+}

@@ -92,7 +92,62 @@ use crate::config::PipelineConfig;
 use crate::taxonomy::{SemanticScope, SimilarityFunction};
 
 /// A scored pair before normalization: `(left, right, raw weight)`.
-type Triple = (u32, u32, f64);
+pub(crate) type Triple = (u32, u32, f64);
+
+/// The min-max normalization frame one build derived from its retained
+/// raw scores — the map the construction finalize step applies to every
+/// edge weight.
+///
+/// A resident service that scores *new* records against an already-built
+/// graph must map their raw scores through the **same** frame, or the new
+/// edges would live on a different scale than the resident ones. The
+/// frame is therefore a first-class output of the framed build variants
+/// ([`build_graph_topk_framed`]) and an input to
+/// [`ResidentScorer`](crate::resident::ResidentScorer). It is frozen at
+/// build time: later inserts could in principle widen the raw score
+/// range, which a full rebuild would absorb into a new frame — documented
+/// drift of the incremental path (the clamp keeps weights valid anyway).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct NormFrame {
+    /// Lower bound of the raw score range (floored at `0.0`, see
+    /// the finalize step).
+    lo: f64,
+    /// `hi - lo`; non-positive or non-finite means a degenerate frame
+    /// (every weight maps to `1.0`).
+    span: f64,
+}
+
+impl NormFrame {
+    /// The frame of a retained raw-score multiset (post positivity
+    /// filter). Mirrors the finalize step bit for bit.
+    pub(crate) fn compute(shards: &[Vec<Triple>]) -> Self {
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for shard in shards {
+            for &(_, _, w) in shard {
+                lo = lo.min(w);
+                hi = hi.max(w);
+            }
+        }
+        let lo = lo.min(0.0);
+        NormFrame { lo, span: hi - lo }
+    }
+
+    /// A degenerate frame mapping every raw score to `1.0` — what an
+    /// empty build produces.
+    pub fn degenerate() -> Self {
+        NormFrame { lo: 0.0, span: 0.0 }
+    }
+
+    /// Normalize one raw score exactly as the producing build did.
+    #[inline]
+    pub fn apply(&self, w: f64) -> f64 {
+        if self.span <= f64::EPSILON || self.span.is_nan() {
+            1.0
+        } else {
+            ((w - self.lo) / self.span).clamp(0.0, 1.0)
+        }
+    }
+}
 
 /// Where a scorer's retained triples go. The dense path collects them
 /// verbatim (`Vec<Triple>`); the top-k path routes them through a bounded
@@ -338,6 +393,22 @@ pub fn build_graph_topk_mode(
     mode: CandidateMode,
     cfg: &PipelineConfig,
 ) -> (SimilarityGraph, TopKStats) {
+    let (graph, stats, _) = build_graph_topk_framed(left, right, function, k, mode, cfg);
+    (graph, stats)
+}
+
+/// [`build_graph_topk_mode`] that also returns the [`NormFrame`] the
+/// build normalized with — the entry point for a resident service that
+/// must score later record inserts onto the same weight scale (see
+/// [`crate::resident`]).
+pub fn build_graph_topk_framed(
+    left: &EntityCollection,
+    right: &EntityCollection,
+    function: &SimilarityFunction,
+    k: usize,
+    mode: CandidateMode,
+    cfg: &PipelineConfig,
+) -> (SimilarityGraph, TopKStats, NormFrame) {
     let acct = ConstructionCounters::default();
     let shards = score_shards(
         left,
@@ -351,7 +422,7 @@ pub fn build_graph_topk_mode(
             indexed: mode == CandidateMode::Indexed,
         },
     );
-    let graph = finalize(left, right, shards, cfg);
+    let (graph, frame) = finalize_framed(left, right, shards, cfg);
     let stats = TopKStats {
         generated_pairs: acct.generated(),
         offered_edges: acct.offered(),
@@ -360,7 +431,7 @@ pub fn build_graph_topk_mode(
         pruned_pairs: acct.pruned(),
         scored_pairs: acct.scored(),
     };
-    (graph, stats)
+    (graph, stats, frame)
 }
 
 /// [`build_graph_topk_over`] restricted to the blocked `candidates` —
@@ -521,7 +592,7 @@ pub fn build_graph_restricted(
 
 /// Per-left-entity candidate lists (right ids, ascending) for the
 /// restricted path, built once from the blocked pair set.
-struct CandidateLists {
+pub(crate) struct CandidateLists {
     rows: Vec<Vec<u32>>,
 }
 
@@ -780,7 +851,7 @@ fn run_rows_topk<S: RowScorer>(
 
 /// How the score phase collects a row's retained triples.
 #[derive(Clone, Copy)]
-enum ScoreMode<'a> {
+pub(crate) enum ScoreMode<'a> {
     /// Keep every retained triple — the paper's dense protocol.
     Dense,
     /// Stream through bounded per-row top-k heaps (the scale path).
@@ -817,7 +888,7 @@ fn run_scorer<S: RowScorer>(
 }
 
 /// Prepare the branch's scorer and run the score phase.
-fn score_shards(
+pub(crate) fn score_shards(
     left: &EntityCollection,
     right: &EntityCollection,
     function: &SimilarityFunction,
@@ -898,39 +969,39 @@ fn score_shards(
 fn finalize(
     left: &EntityCollection,
     right: &EntityCollection,
-    mut shards: Vec<Vec<Triple>>,
+    shards: Vec<Vec<Triple>>,
     cfg: &PipelineConfig,
 ) -> SimilarityGraph {
+    finalize_framed(left, right, shards, cfg).0
+}
+
+/// [`finalize`] that also returns the [`NormFrame`] it applied, so a
+/// resident service can normalize later incremental scores identically.
+fn finalize_framed(
+    left: &EntityCollection,
+    right: &EntityCollection,
+    mut shards: Vec<Vec<Triple>>,
+    cfg: &PipelineConfig,
+) -> (SimilarityGraph, NormFrame) {
     if cfg.keep_positive_only {
         for shard in &mut shards {
             shard.retain(|&(_, _, w)| w > 0.0);
         }
     }
-    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
-    for shard in &shards {
-        for &(_, _, w) in shard {
-            lo = lo.min(w);
-            hi = hi.max(w);
-        }
-    }
-    let lo = lo.min(0.0);
-    let span = hi - lo;
+    let frame = NormFrame::compute(&shards);
     let n1 = left.len() as u32;
     let n2 = right.len() as u32;
     let n_edges = shards.iter().map(Vec::len).sum();
     let mut b = GraphBuilder::with_capacity(n1, n2, n_edges);
     for shard in shards {
-        b.merge_shard(shard.into_iter().map(|(l, r, w)| {
-            let w = if span <= f64::EPSILON {
-                1.0
-            } else {
-                ((w - lo) / span).clamp(0.0, 1.0)
-            };
-            Edge::new(l, r, w)
-        }))
+        b.merge_shard(
+            shard
+                .into_iter()
+                .map(|(l, r, w)| Edge::new(l, r, frame.apply(w))),
+        )
         .expect("scorers emit valid unique edges");
     }
-    b.build()
+    (b.build(), frame)
 }
 
 // ---------------------------------------------------------------------------
@@ -1645,7 +1716,7 @@ impl RowScorer for GraphModelScorer {
 // ---------------------------------------------------------------------------
 
 /// The text a semantic function compares for one profile.
-fn scoped_text(p: &EntityProfile, scope: &SemanticScope) -> String {
+pub(crate) fn scoped_text(p: &EntityProfile, scope: &SemanticScope) -> String {
     match scope {
         SemanticScope::SchemaBased { attribute } => {
             p.value(attribute).unwrap_or_default().to_string()
@@ -1665,7 +1736,7 @@ const UNIT_NORM_TOLERANCE: f64 = 1e-5;
 /// Normalized copy of `v` plus its ball probe/entry radius: `0` when the
 /// copy is verifiably unit-norm, `+∞` when normalization failed (zero or
 /// degenerate norms) so the vector can never be pruned.
-fn unit_probe(v: &DenseVector) -> (DenseVector, f64) {
+pub(crate) fn unit_probe(v: &DenseVector) -> (DenseVector, f64) {
     let mut u = v.clone();
     u.normalize();
     let radius = if (u.norm() - 1.0).abs() <= UNIT_NORM_TOLERANCE {

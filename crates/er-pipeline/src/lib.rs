@@ -43,6 +43,7 @@ pub mod candidates;
 pub mod cleaning;
 pub mod config;
 pub mod graphgen;
+pub mod resident;
 pub mod runner;
 pub mod taxonomy;
 
@@ -53,9 +54,11 @@ pub use candidates::CandidateMode;
 pub use cleaning::{clean_graphs, CleaningOutcome};
 pub use config::PipelineConfig;
 pub use graphgen::{
-    build_graph, build_graph_over, build_graph_restricted, build_graph_topk, build_graph_topk_mode,
-    build_graph_topk_over, build_graph_topk_restricted, build_graph_topk_stats, build_prepared,
-    build_prepared_over, BuiltGraph, GeneratedGraph, TopKStats,
+    build_graph, build_graph_over, build_graph_restricted, build_graph_topk,
+    build_graph_topk_framed, build_graph_topk_mode, build_graph_topk_over,
+    build_graph_topk_restricted, build_graph_topk_stats, build_prepared, build_prepared_over,
+    BuiltGraph, GeneratedGraph, NormFrame, TopKStats,
 };
+pub use resident::ResidentScorer;
 pub use runner::generate_corpus;
 pub use taxonomy::{SemanticScope, SimilarityFunction, WeightType};

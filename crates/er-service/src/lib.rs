@@ -1,0 +1,351 @@
+#![warn(missing_docs)]
+
+//! # er-service — a resident matching service over one similarity graph
+//!
+//! The batch pipeline builds a graph, runs a matcher, writes tables and
+//! exits. [`ErService`] instead keeps everything **resident** and answers
+//! point traffic:
+//!
+//! * the scored similarity graph, in its delta-capable CSR form
+//!   ([`er_core::CsrGraph`]: append-only ids, tombstoned deletes,
+//!   ~12 B/edge);
+//! * the score-side state of the similarity function
+//!   ([`er_pipeline::ResidentScorer`]: frozen models, DF statistics and
+//!   the PR 6 candidate indexes), so one new record is scored against the
+//!   corpus through index-pruned probes under its top-k admission bound
+//!   rather than by re-preparing the build;
+//! * a **delta-incremental matcher**
+//!   ([`er_matchers::DeltaMatcher`]: UMC repairs its greedy assignment
+//!   along a bounded cascade, BAH maintains its contribution map, the
+//!   other six algorithms replay over the resident store), kept
+//!   result-equivalent to a from-scratch [`er_matchers::Matcher::run`]
+//!   after every applied delta.
+//!
+//! An [`insert`](ErService::insert) therefore costs one index-pruned
+//! probe plus one delta application — not a graph rebuild plus a full
+//! re-match — and a [`matching`](ErService::matching) read after any
+//! number of updates returns exactly what the batch protocol would.
+//!
+//! The service itself is single-writer plain Rust (`&mut self` on
+//! updates); concurrent deployments wrap it in a reader-writer lock, as
+//! the load harness in `er-bench` does. See `DESIGN.md` §17 for the
+//! drift contract inherited from the resident scorer (frozen statistics,
+//! right-insert admission, tombstone residue) and when to
+//! [`ErService::load`] a fresh instance.
+
+use er_core::{CoreError, CsrGraph, Matching, Result, RowDelta, Side};
+use er_datasets::{EntityCollection, EntityProfile};
+use er_matchers::{AlgorithmConfig, AlgorithmKind, DeltaMatcher, PreparedGraph};
+use er_pipeline::{
+    build_graph_topk_framed, CandidateMode, PipelineConfig, ResidentScorer, SimilarityFunction,
+};
+
+/// Everything [`ErService::load`] needs beyond the data: graph bound,
+/// matching threshold, and the algorithm configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Edges retained per left row at build time and per inserted record.
+    pub k: usize,
+    /// Similarity threshold the resident matcher runs at.
+    pub threshold: f64,
+    /// Which of the eight algorithms answers match queries.
+    pub algorithm: AlgorithmKind,
+    /// Per-algorithm knobs (BAH budgets/seed, BMC basis).
+    pub matchers: AlgorithmConfig,
+    /// Graph-construction configuration.
+    pub pipeline: PipelineConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            k: 5,
+            threshold: 0.5,
+            algorithm: AlgorithmKind::Umc,
+            matchers: AlgorithmConfig::default(),
+            pipeline: PipelineConfig::default(),
+        }
+    }
+}
+
+/// Resident corpus + graph + incremental matcher; see the crate docs.
+pub struct ErService {
+    scorer: ResidentScorer,
+    csr: CsrGraph,
+    matcher: Box<dyn DeltaMatcher>,
+    config: ServiceConfig,
+}
+
+impl ErService {
+    /// Build the resident state from two collections: score the top-k
+    /// graph through the indexed candidate path, load it into CSR form,
+    /// prepare the resident scorer, and seed the delta matcher.
+    pub fn load(
+        left: &EntityCollection,
+        right: &EntityCollection,
+        function: &SimilarityFunction,
+        config: ServiceConfig,
+    ) -> Self {
+        let (graph, _, frame) = build_graph_topk_framed(
+            left,
+            right,
+            function,
+            config.k,
+            CandidateMode::Indexed,
+            &config.pipeline,
+        );
+        let csr = CsrGraph::from_graph(&graph);
+        let scorer =
+            ResidentScorer::prepare(left, right, function, config.k, frame, &config.pipeline);
+        let matcher = config
+            .matchers
+            .delta_matcher(config.algorithm, &csr, config.threshold);
+        ErService {
+            scorer,
+            csr,
+            matcher,
+            config,
+        }
+    }
+
+    /// Insert one record: score it against the live counterpart corpus
+    /// (index-pruned, top-k bounded), apply the resulting delta to the
+    /// store and the matcher, and return the delta (normalized weights).
+    ///
+    /// `profile.id` must be the side's next append id — the id the
+    /// service hands out via [`next_id`](Self::next_id).
+    pub fn insert(&mut self, side: Side, profile: &EntityProfile) -> Result<RowDelta> {
+        let expected = self.next_id(side);
+        if profile.id != expected {
+            return Err(CoreError::DeltaIdMismatch {
+                expected,
+                got: profile.id,
+            });
+        }
+        let delta = self.scorer.score_insert(side, profile);
+        self.csr.apply(&delta)?;
+        self.matcher.apply_delta(&delta);
+        Ok(delta)
+    }
+
+    /// Delete one record: tombstone it in the store and the scorer and
+    /// repair the matching incrementally. Returns the delete delta with
+    /// the edges that disappeared. Errors if `id` is unknown or already
+    /// dead; ids are never reused.
+    pub fn remove(&mut self, side: Side, id: u32) -> Result<RowDelta> {
+        let removed = match side {
+            Side::Left => self.csr.remove_left(id)?,
+            Side::Right => self.csr.remove_right(id)?,
+        };
+        self.scorer.mark_deleted(side, id);
+        let delta = match side {
+            Side::Left => RowDelta::delete_left(id, removed),
+            Side::Right => RowDelta::delete_right(id, removed),
+        };
+        self.matcher.apply_delta(&delta);
+        Ok(delta)
+    }
+
+    /// The id the next [`insert`](Self::insert) on `side` must carry.
+    pub fn next_id(&self, side: Side) -> u32 {
+        match side {
+            Side::Left => self.csr.n_left(),
+            Side::Right => self.csr.n_right(),
+        }
+    }
+
+    /// Whether `id` on `side` is registered and not tombstoned.
+    pub fn is_live(&self, side: Side, id: u32) -> bool {
+        match side {
+            Side::Left => self.csr.is_live_left(id),
+            Side::Right => self.csr.is_live_right(id),
+        }
+    }
+
+    /// Point query: the live graph neighbors of `id` on `side`, weight
+    /// descending. Left rows read straight off the CSR row (`O(degree)`);
+    /// right nodes gather across rows (`O(n_left log degree)` — the store
+    /// is row-major by design, see `ARCHITECTURE.md`).
+    pub fn neighbors(&self, side: Side, id: u32) -> Vec<(u32, f64)> {
+        if !self.is_live(side, id) {
+            return Vec::new();
+        }
+        let mut out: Vec<(u32, f64)> = match side {
+            Side::Left => self.csr.live_row(id).collect(),
+            Side::Right => (0..self.csr.n_left())
+                .filter(|&l| self.csr.is_live_left(l))
+                .filter_map(|l| self.csr.weight_of(l, id).map(|w| (l, w)))
+                .collect(),
+        };
+        out.sort_by(|a, b| er_core::total_cmp_desc(&a.1, &b.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Point query: the record `id` on `side` is currently matched to,
+    /// under the service's algorithm and threshold.
+    pub fn match_of(&mut self, side: Side, id: u32) -> Option<u32> {
+        let m = self.matcher.matching();
+        match side {
+            Side::Left => m.iter().find(|&(l, _)| l == id).map(|(_, r)| r),
+            Side::Right => m.iter().find(|&(_, r)| r == id).map(|(l, _)| l),
+        }
+    }
+
+    /// The full current matching (incrementally maintained).
+    pub fn matching(&mut self) -> Matching {
+        self.matcher.matching()
+    }
+
+    /// Run the service's algorithm from scratch on the resident store —
+    /// the reference the incremental matching is equivalent to. Costs a
+    /// full prepare + run; exists for verification and benchmarking.
+    pub fn full_rematch(&self) -> Matching {
+        let pg = PreparedGraph::from_csr(&self.csr);
+        self.config
+            .matchers
+            .run(self.config.algorithm, &pg, self.config.threshold)
+    }
+
+    /// The resident profile for `id` on `side` (tombstoned included —
+    /// callers gate on [`is_live`](Self::is_live) where it matters).
+    pub fn profile(&self, side: Side, id: u32) -> Option<&EntityProfile> {
+        let c = match side {
+            Side::Left => self.scorer.left(),
+            Side::Right => self.scorer.right(),
+        };
+        c.profiles.get(id as usize)
+    }
+
+    /// Fold pending deltas into the store slabs (`O(m)`); liveness and
+    /// results are unaffected, probe/query constants improve.
+    pub fn compact(&mut self) {
+        self.csr.compact();
+    }
+
+    /// Live left record count.
+    pub fn n_left(&self) -> u32 {
+        self.csr.n_left()
+    }
+
+    /// Live right record count.
+    pub fn n_right(&self) -> u32 {
+        self.csr.n_right()
+    }
+
+    /// Live edge count of the resident graph.
+    pub fn n_edges(&self) -> usize {
+        self.csr.n_edges()
+    }
+
+    /// The matching threshold the service runs at.
+    pub fn threshold(&self) -> f64 {
+        self.config.threshold
+    }
+
+    /// The algorithm answering match queries.
+    pub fn algorithm(&self) -> AlgorithmKind {
+        self.config.algorithm
+    }
+
+    /// Borrow the resident store (read-only).
+    pub fn store(&self) -> &CsrGraph {
+        &self.csr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_datasets::{Dataset, DatasetId};
+    use er_textsim::{NGramScheme, VectorMeasure};
+
+    fn service() -> (ErService, Dataset) {
+        let d = Dataset::generate(DatasetId::D1, 0.02, 11);
+        let f = SimilarityFunction::SchemaAgnosticVector {
+            scheme: NGramScheme::Token(1),
+            measure: VectorMeasure::CosineTfIdf,
+        };
+        let cfg = ServiceConfig {
+            k: 3,
+            threshold: 0.3,
+            ..ServiceConfig::default()
+        };
+        (ErService::load(&d.left, &d.right, &f, cfg), d)
+    }
+
+    #[test]
+    fn load_matches_batch_protocol() {
+        let (mut s, _) = service();
+        assert_eq!(s.matching(), s.full_rematch());
+        assert!(s.n_edges() > 0);
+    }
+
+    #[test]
+    fn insert_remove_stay_equivalent_to_full_rematch() {
+        let (mut s, d) = service();
+        let mut p = d.left.profiles[2].clone();
+        p.id = s.next_id(Side::Left);
+        let delta = s.insert(Side::Left, &p).unwrap();
+        assert_eq!(delta.id, p.id);
+        assert_eq!(s.matching(), s.full_rematch());
+
+        let mut rp = d.right.profiles[0].clone();
+        rp.id = s.next_id(Side::Right);
+        s.insert(Side::Right, &rp).unwrap();
+        assert_eq!(s.matching(), s.full_rematch());
+
+        s.remove(Side::Left, 0).unwrap();
+        assert!(!s.is_live(Side::Left, 0));
+        assert_eq!(s.matching(), s.full_rematch());
+        assert!(s.remove(Side::Left, 0).is_err(), "double delete rejected");
+    }
+
+    #[test]
+    fn insert_rejects_wrong_id() {
+        let (mut s, d) = service();
+        let mut p = d.left.profiles[0].clone();
+        p.id = s.next_id(Side::Left) + 7;
+        assert!(matches!(
+            s.insert(Side::Left, &p),
+            Err(CoreError::DeltaIdMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn neighbors_answer_point_queries_on_both_sides() {
+        let (mut s, d) = service();
+        let mut p = d.left.profiles[1].clone();
+        p.id = s.next_id(Side::Left);
+        let delta = s.insert(Side::Left, &p).unwrap();
+        let row = s.neighbors(Side::Left, p.id);
+        assert_eq!(row, delta.edges, "left row reads back the insert delta");
+        if let Some(&(r, w)) = delta.edges.first() {
+            let col = s.neighbors(Side::Right, r);
+            assert!(col.contains(&(p.id, w)), "column sees the new record");
+        }
+        assert!(s.neighbors(Side::Left, 10_000).is_empty());
+    }
+
+    #[test]
+    fn match_of_is_consistent_with_matching() {
+        let (mut s, _) = service();
+        let m = s.matching();
+        for (l, r) in m.iter() {
+            assert_eq!(s.match_of(Side::Left, l), Some(r));
+            assert_eq!(s.match_of(Side::Right, r), Some(l));
+        }
+    }
+
+    #[test]
+    fn compact_preserves_results() {
+        let (mut s, d) = service();
+        let mut p = d.left.profiles[0].clone();
+        p.id = s.next_id(Side::Left);
+        s.insert(Side::Left, &p).unwrap();
+        s.remove(Side::Right, 1).ok();
+        let before = s.matching();
+        s.compact();
+        assert_eq!(s.matching(), before);
+        assert_eq!(s.matching(), s.full_rematch());
+    }
+}

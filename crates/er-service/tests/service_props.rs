@@ -1,0 +1,111 @@
+//! Property tests for [`er_service::ErService`]: under arbitrary
+//! insert/delete traffic the incrementally-maintained matching stays
+//! equal to a from-scratch re-match on the resident store, and the point
+//! queries stay consistent with the store.
+
+use er_core::Side;
+use er_matchers::AlgorithmKind;
+use er_pipeline::SimilarityFunction;
+use er_service::{ErService, ServiceConfig};
+use er_textsim::{NGramScheme, VectorMeasure};
+use proptest::prelude::*;
+
+fn boot(kind: AlgorithmKind, threshold: f64) -> ErService {
+    let d = er_datasets::Dataset::generate(er_datasets::DatasetId::D1, 0.02, 5);
+    let f = SimilarityFunction::SchemaAgnosticVector {
+        scheme: NGramScheme::Token(1),
+        measure: VectorMeasure::CosineTfIdf,
+    };
+    let cfg = ServiceConfig {
+        k: 3,
+        threshold,
+        algorithm: kind,
+        ..ServiceConfig::default()
+    };
+    ErService::load(&d.left, &d.right, &f, cfg)
+}
+
+/// Apply one raw op: even selectors insert (a clone of a resident
+/// profile's attributes under the next append id), odd selectors delete
+/// the first live id at or after `pick`.
+fn step(s: &mut ErService, sel: u8, pick: u16) {
+    let side = if sel & 2 == 0 {
+        Side::Left
+    } else {
+        Side::Right
+    };
+    if sel & 1 == 0 {
+        let donor_side = if sel & 4 == 0 { side } else { side.opposite() };
+        let n = match donor_side {
+            Side::Left => s.n_left(),
+            Side::Right => s.n_right(),
+        };
+        let Some(donor) = s.profile(donor_side, pick as u32 % n.max(1)) else {
+            return;
+        };
+        let mut p = donor.clone();
+        p.id = s.next_id(side);
+        s.insert(side, &p)
+            .expect("insert with handed-out id succeeds");
+    } else {
+        let n = match side {
+            Side::Left => s.n_left(),
+            Side::Right => s.n_right(),
+        };
+        let start = pick as u32 % n.max(1);
+        if let Some(id) = (0..n)
+            .map(|d| (start + d) % n)
+            .find(|&i| s.is_live(side, i))
+        {
+            s.remove(side, id).expect("live id removes");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The incremental-UMC service (the fast path) tracks the full
+    /// re-match after every operation.
+    #[test]
+    fn umc_service_tracks_full_rematch(ops in proptest::collection::vec((0u8..8, 0u16..512), 1..10)) {
+        let mut s = boot(AlgorithmKind::Umc, 0.3);
+        for (sel, pick) in ops {
+            step(&mut s, sel, pick);
+            prop_assert_eq!(s.matching(), s.full_rematch());
+            let m = s.matching();
+            prop_assert!(m.is_unique_mapping());
+            for (l, r) in m.iter() {
+                prop_assert!(s.is_live(Side::Left, l) && s.is_live(Side::Right, r),
+                    "matched a tombstoned record ({l},{r})");
+            }
+        }
+    }
+
+    /// A replay-fallback algorithm behind the same trait sees the same
+    /// guarantee (end-state check — replay recomputes per read).
+    #[test]
+    fn replay_service_tracks_full_rematch(ops in proptest::collection::vec((0u8..8, 0u16..512), 1..6)) {
+        let mut s = boot(AlgorithmKind::Krc, 0.3);
+        for (sel, pick) in ops {
+            step(&mut s, sel, pick);
+        }
+        prop_assert_eq!(s.matching(), s.full_rematch());
+    }
+
+    /// Point queries agree with the store after traffic: every neighbor
+    /// edge is live on both endpoints and symmetric across sides.
+    #[test]
+    fn neighbors_stay_consistent(ops in proptest::collection::vec((0u8..8, 0u16..512), 1..8)) {
+        let mut s = boot(AlgorithmKind::Umc, 0.3);
+        for (sel, pick) in ops {
+            step(&mut s, sel, pick);
+        }
+        for l in 0..s.n_left() {
+            for (r, w) in s.neighbors(Side::Left, l) {
+                prop_assert!(s.is_live(Side::Right, r));
+                prop_assert!(s.neighbors(Side::Right, r).contains(&(l, w)));
+            }
+        }
+    }
+}

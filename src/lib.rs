@@ -59,5 +59,7 @@ pub use er_eval as eval;
 pub use er_matchers as matchers;
 /// Similarity graph generation pipeline.
 pub use er_pipeline as pipeline;
+/// Resident matching service: point queries + incremental insert/delete.
+pub use er_service as service;
 /// Syntactic similarity measures and representation models.
 pub use er_textsim as textsim;
