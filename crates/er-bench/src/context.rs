@@ -20,7 +20,7 @@ use er_eval::timing::time_algorithm;
 use er_matchers::{AlgorithmConfig, AlgorithmKind, BahConfig, Basis, PreparedGraph};
 use er_pipeline::{PipelineConfig, SimilarityFunction};
 
-use crate::records::{AlgoOutcome, CleaningSummary, GraphRecord, RunData};
+use crate::records::{AlgoOutcome, CleaningSummary, GraphRecord, RunData, RUN_DATA_VERSION};
 
 /// Configuration of a reproduction run.
 #[derive(Debug, Clone)]
@@ -175,6 +175,7 @@ pub fn run_all(cfg: &ReproConfig) -> RunData {
     }
 
     RunData {
+        format_version: RUN_DATA_VERSION,
         scale: cfg.scale,
         seed: cfg.seed,
         timing_reps: cfg.timing_reps,
@@ -287,17 +288,38 @@ fn evaluate_dataset(
     (evaluated, dropped)
 }
 
+/// Parse a cache file's bytes into run data, accepting only the current
+/// [`RUN_DATA_VERSION`]. A cache from an older layout — a different stamp,
+/// or pre-stamp JSON with no `format_version` at all (serde rejects the
+/// missing field) — returns `None` and is recomputed rather than served
+/// with silently reinterpreted numbers.
+fn parse_cache(bytes: &[u8]) -> Option<RunData> {
+    serde_json::from_slice::<RunData>(bytes)
+        .ok()
+        .filter(|data| data.format_version == RUN_DATA_VERSION)
+}
+
 /// Load cached run data or compute and cache it.
 pub fn load_or_run(cfg: &ReproConfig, out_dir: &Path, fresh: bool) -> RunData {
     std::fs::create_dir_all(out_dir).expect("create output directory");
     let cache = cfg.cache_path(out_dir);
     if !fresh {
         if let Ok(bytes) = std::fs::read(&cache) {
-            if let Ok(data) = serde_json::from_slice::<RunData>(&bytes) {
-                if cfg.verbose {
-                    eprintln!("[repro] loaded cached run data from {}", cache.display());
+            match parse_cache(&bytes) {
+                Some(data) => {
+                    if cfg.verbose {
+                        eprintln!("[repro] loaded cached run data from {}", cache.display());
+                    }
+                    return data;
                 }
-                return data;
+                None => {
+                    if cfg.verbose {
+                        eprintln!(
+                            "[repro] stale or unreadable cache at {}; recomputing",
+                            cache.display()
+                        );
+                    }
+                }
             }
         }
     }
@@ -337,6 +359,36 @@ mod tests {
         let fresh = load_or_run(&cfg, &dir, true);
         assert_eq!(fresh.n_graphs(), first.n_graphs());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Regression: a cache written under another layout version — or one
+    /// predating the stamp entirely — must be treated as absent, not
+    /// blindly reparsed into current-layout records.
+    #[test]
+    fn stale_cache_is_rejected() {
+        let current = crate::records::testkit::sample_rundata();
+        let json = serde_json::to_vec(&current).unwrap();
+        assert!(parse_cache(&json).is_some(), "current stamp accepted");
+
+        // Same payload, older stamp.
+        let mut old = current.clone();
+        old.format_version = crate::records::RUN_DATA_VERSION.wrapping_sub(1);
+        let json = serde_json::to_vec(&old).unwrap();
+        assert!(parse_cache(&json).is_none(), "older stamp rejected");
+
+        // Pre-stamp cache: valid JSON of the legacy layout (no
+        // format_version field). serde's missing-field error rejects it.
+        let json = String::from_utf8(serde_json::to_vec(&current).unwrap()).unwrap();
+        let stamp = format!("\"format_version\":{},", crate::records::RUN_DATA_VERSION);
+        let legacy = json.replacen(&stamp, "", 1);
+        assert_ne!(legacy, json, "stamp field located and stripped");
+        assert!(
+            parse_cache(legacy.as_bytes()).is_none(),
+            "pre-stamp cache rejected"
+        );
+
+        // Garbage is rejected, not panicked on.
+        assert!(parse_cache(b"{not json").is_none());
     }
 
     /// End-to-end smoke: one small dataset through the whole machinery.

@@ -65,9 +65,21 @@ pub struct CleaningSummary {
     pub rule3_duplicates: usize,
 }
 
+/// Version stamp of the serialized [`RunData`] layout. Bump whenever a
+/// record's shape **or meaning** changes (new fields, changed units,
+/// different cleaning semantics): the on-disk JSON cache is keyed by run
+/// parameters only, so without the stamp a layout change would keep
+/// serving stale results from old caches. Caches written before the
+/// stamp existed are rejected by serde itself (`missing field
+/// format_version`).
+pub const RUN_DATA_VERSION: u32 = 1;
+
 /// A complete reproduction run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunData {
+    /// Layout version this run was serialized under; caches with any
+    /// other value are recomputed. See [`RUN_DATA_VERSION`].
+    pub format_version: u32,
     /// Scale factor applied to Table 2 sizes.
     pub scale: f64,
     /// Generation seed.
@@ -127,6 +139,7 @@ pub(crate) mod testkit {
                 .collect(),
         };
         RunData {
+            format_version: RUN_DATA_VERSION,
             scale: 0.01,
             seed: 1,
             timing_reps: 2,

@@ -270,6 +270,36 @@ impl CsrGraph {
             + self.patch.len() * std::mem::size_of::<Edge>()
     }
 
+    /// Assemble a store directly from validated parts — the loader-side
+    /// twin of the columnar on-disk format (`store` module), which
+    /// guarantees the invariants (`offsets` monotone over `rights`/
+    /// `weights`, rows right-ascending, tombstone lists sorted, `live`
+    /// consistent) before calling. The patch starts empty: a loaded store
+    /// is always in folded form.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_raw_parts(
+        n_left: u32,
+        n_right: u32,
+        offsets: Vec<usize>,
+        rights: Vec<u32>,
+        weights: Vec<f64>,
+        dead_left: Vec<u32>,
+        dead_right: Vec<u32>,
+        live: usize,
+    ) -> Self {
+        CsrGraph {
+            n_left,
+            n_right,
+            offsets,
+            rights,
+            weights,
+            dead_left,
+            dead_right,
+            patch: Vec::new(),
+            live,
+        }
+    }
+
     // ------------------------------------------------------------------
     // Delta support: append/tombstone rows without rebuilding the slabs.
     // ------------------------------------------------------------------
@@ -298,6 +328,49 @@ impl CsrGraph {
     #[inline]
     pub fn is_live_right(&self, right: u32) -> bool {
         right < self.n_right && self.dead_right.binary_search(&right).is_err()
+    }
+
+    /// Tombstoned left row ids, sorted ascending.
+    #[inline]
+    pub fn dead_left(&self) -> &[u32] {
+        &self.dead_left
+    }
+
+    /// Tombstoned right column ids, sorted ascending.
+    #[inline]
+    pub fn dead_right(&self) -> &[u32] {
+        &self.dead_right
+    }
+
+    /// Fraction of **slab storage** masked by tombstones — dead rows'
+    /// entries plus entries pointing at dead right columns, over all slab
+    /// entries. `0.0` on an empty slab. Patch edges are live by
+    /// construction and excluded from both sides of the ratio.
+    ///
+    /// This is the signal an auto-compaction policy watches: reads pay
+    /// for masked entries (they are scanned and filtered on every
+    /// [`live_row`](Self::live_row)), so a high ratio means
+    /// [`compact`](Self::compact) will shrink the slabs by about that
+    /// fraction.
+    ///
+    /// ```
+    /// # use er_core::{CsrGraph, GraphBuilder};
+    /// let mut b = GraphBuilder::new(2, 2);
+    /// b.add_edge(0, 0, 0.5).unwrap();
+    /// b.add_edge(1, 1, 0.5).unwrap();
+    /// let mut csr = CsrGraph::from_graph(&b.build());
+    /// assert_eq!(csr.tombstone_ratio(), 0.0);
+    /// csr.remove_left(0).unwrap();
+    /// assert_eq!(csr.tombstone_ratio(), 0.5);
+    /// csr.compact();
+    /// assert_eq!(csr.tombstone_ratio(), 0.0);
+    /// ```
+    pub fn tombstone_ratio(&self) -> f64 {
+        if self.rights.is_empty() {
+            return 0.0;
+        }
+        let live_slab = self.live - self.patch.len();
+        (self.rights.len() - live_slab) as f64 / self.rights.len() as f64
     }
 
     /// The patch edges of row `left` (right-ascending slice).

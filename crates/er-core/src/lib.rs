@@ -12,6 +12,10 @@
 //! * [`CsrGraph`] — a compressed-sparse-row edge *store* (`u32` column ids,
 //!   weights in a parallel `f64` slab, `O(log d)` pair lookups) for
 //!   million-pair pruned graphs, convertible to/from [`SimilarityGraph`].
+//! * [`store`] — the columnar on-disk twin of [`CsrGraph`]: a versioned,
+//!   checksummed little-endian slab format written by a streaming
+//!   [`SlabWriter`] and read back through the file-backed [`MappedCsr`]
+//!   view without materializing the slabs in RAM.
 //! * [`TopKBuilder`] / [`TopKRow`] — bounded per-row best-`k` edge selection
 //!   with resident/peak accounting, so pruned graphs can be built without
 //!   ever materializing the dense edge set.
@@ -38,6 +42,7 @@ pub mod io;
 pub mod matching;
 pub mod normalize;
 pub mod stats;
+pub mod store;
 pub mod threshold;
 pub mod topk;
 pub mod union_find;
@@ -54,6 +59,7 @@ pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use matching::Matching;
 pub use normalize::min_max_normalize;
 pub use stats::{ConstructionCounters, GraphStats, WeightSeparation};
+pub use store::{write_csr, MappedCsr, SlabWriter, StoreError, StoreMeta};
 pub use threshold::ThresholdGrid;
 pub use topk::{TopKBuilder, TopKRow};
 pub use union_find::UnionFind;

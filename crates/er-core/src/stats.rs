@@ -45,6 +45,10 @@ pub struct ConstructionCounters {
     pruned: AtomicUsize,
     /// Candidates fully scored (then emitted or positivity-dropped).
     scored: AtomicUsize,
+    /// Bytes written to shard spill files by an out-of-core build.
+    spilled_bytes: AtomicUsize,
+    /// Bytes written to the merged on-disk graph by an out-of-core build.
+    merged_bytes: AtomicUsize,
 }
 
 impl ConstructionCounters {
@@ -63,6 +67,37 @@ impl ConstructionCounters {
     pub fn add_resident(&self) {
         let now = self.resident.fetch_add(1, Ordering::Relaxed) + 1;
         self.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Release `n` resident triples — an out-of-core build calls this
+    /// when a finished shard's buffers are spilled to disk and freed, so
+    /// the peak tracks the *largest simultaneously resident* set rather
+    /// than the cumulative total. Saturates at zero rather than wrapping
+    /// if callers over-release.
+    pub fn sub_resident(&self, n: usize) {
+        let mut now = self.resident.load(Ordering::Relaxed);
+        loop {
+            let next = now.saturating_sub(n);
+            match self.resident.compare_exchange_weak(
+                now,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => now = seen,
+            }
+        }
+    }
+
+    /// Add to the spill-file byte tally.
+    pub fn add_spilled_bytes(&self, n: usize) {
+        self.spilled_bytes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add to the merged-output byte tally.
+    pub fn add_merged_bytes(&self, n: usize) {
+        self.merged_bytes.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Add to the bound-pruned tally.
@@ -98,6 +133,16 @@ impl ConstructionCounters {
     /// Candidates fully scored.
     pub fn scored(&self) -> usize {
         self.scored.load(Ordering::Relaxed)
+    }
+
+    /// Bytes spilled to shard files.
+    pub fn spilled_bytes(&self) -> usize {
+        self.spilled_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Bytes written to the merged on-disk graph.
+    pub fn merged_bytes(&self) -> usize {
+        self.merged_bytes.load(Ordering::Relaxed)
     }
 }
 

@@ -1,0 +1,879 @@
+//! Columnar on-disk storage for [`CsrGraph`] — the durable twin of the
+//! in-RAM slab store.
+//!
+//! # Format (version 1)
+//!
+//! One file, little-endian throughout, fixed-width columns so every
+//! section is directly addressable from a file-backed byte view:
+//!
+//! ```text
+//! offset  size  field
+//!      0     8  magic            b"CCERSLAB"
+//!      8     4  version          u32 = 1
+//!     12     4  n_left           u32 (next left append id)
+//!     16     4  n_right          u32 (next right append id)
+//!     20     4  (reserved)       u32 = 0
+//!     24     8  n_edges          u64 (live slab entries)
+//!     32     8  n_dead_left      u64 (tombstoned left rows)
+//!     40     8  n_dead_right     u64 (tombstoned right columns)
+//!     48     8  checksum         u64 (FNV-1a 64 of the payload)
+//!     56     …  payload:
+//!            ── row offsets      (n_left + 1) × u64
+//!            ── column ids       n_edges × u32, right-ascending per
+//!                                row, zero-padded to 8 bytes
+//!            ── weights          n_edges × f64
+//!            ── left liveness    ⌈n_left / 64⌉ × u64 bitmap words,
+//!                                bit set ⇔ row live; tail bits zero
+//!            ── dead right ids   n_dead_right × u32, sorted strictly
+//!                                ascending, zero-padded to 8 bytes
+//! ```
+//!
+//! The on-disk form is always **folded**: [`write_csr`] streams
+//! [`CsrGraph::live_row`], so tombstone-masked slab entries and pending
+//! patch edges never reach the file — `n_edges` counts live edges
+//! exactly, and the reader never masks. Tombstoned *ids* survive (the
+//! id spaces `n_left` / `n_right` are append-only and never reused), as
+//! the left liveness bitmap plus the dead-right id list. The right side
+//! deliberately uses a sparse sorted list instead of a bitmap: right
+//! ids may legally span the whole `u32` range while tombstones stay
+//! few, and a dense bitmap over `u32::MAX` columns would cost 512 MiB
+//! before the first edge.
+//!
+//! [`SlabWriter`] streams rows out in `O(n_left)` writer memory (the
+//! offset column; weights detour through a sibling temp file so both
+//! variable-width sections can stream in one pass). [`MappedCsr`] is
+//! the read side: a file-backed byte view (`memmap2`, see the vendor
+//! shim) validated once at open — magic, version, section lengths,
+//! checksum, offset monotonicity, per-row ordering, liveness
+//! consistency — after which every access decodes fixed-width fields
+//! straight from the view. Corruption of any kind is an [`StoreError`],
+//! never a panic.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use memmap2::Mmap;
+
+use crate::csr::CsrGraph;
+use crate::graph::Edge;
+
+/// Magic bytes opening every columnar store file.
+const MAGIC: &[u8; 8] = b"CCERSLAB";
+
+/// Current format version.
+const VERSION: u32 = 1;
+
+/// Byte length of the fixed header preceding the payload.
+const HEADER_LEN: usize = 56;
+
+/// Errors raised by the columnar store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file (or the data handed to a writer) violates the format.
+    Format(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::Format(m) => write!(f, "store format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+fn format_err<T>(msg: impl Into<String>) -> Result<T, StoreError> {
+    Err(StoreError::Format(msg.into()))
+}
+
+// ----------------------------------------------------------------------
+// FNV-1a 64 — the payload checksum. Hand-rolled because it is tiny,
+// stable across platforms, and needs no dependency.
+// ----------------------------------------------------------------------
+
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Fnv1a(Self::OFFSET)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(Self::PRIME);
+        }
+        self.0 = h;
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+// ----------------------------------------------------------------------
+// Section layout.
+// ----------------------------------------------------------------------
+
+/// Byte offsets of the payload sections, all relative to file start.
+/// Computed with checked arithmetic so corrupt headers cannot overflow.
+struct Layout {
+    offsets_at: usize,
+    rights_at: usize,
+    weights_at: usize,
+    bitmap_at: usize,
+    dead_right_at: usize,
+    total_len: usize,
+}
+
+fn pad4(count: u64) -> u64 {
+    // u32 columns pad to the 8-byte alignment of the next section.
+    if count % 2 == 1 {
+        4
+    } else {
+        0
+    }
+}
+
+fn layout(n_left: u32, n_edges: u64, n_dead_right: u64) -> Option<Layout> {
+    let offsets_at = HEADER_LEN as u64;
+    let rights_at = offsets_at.checked_add((n_left as u64 + 1).checked_mul(8)?)?;
+    let weights_at = rights_at
+        .checked_add(n_edges.checked_mul(4)?)?
+        .checked_add(pad4(n_edges))?;
+    let bitmap_at = weights_at.checked_add(n_edges.checked_mul(8)?)?;
+    let words = (n_left as u64).div_ceil(64);
+    let dead_right_at = bitmap_at.checked_add(words.checked_mul(8)?)?;
+    let total_len = dead_right_at
+        .checked_add(n_dead_right.checked_mul(4)?)?
+        .checked_add(pad4(n_dead_right))?;
+    Some(Layout {
+        offsets_at: usize::try_from(offsets_at).ok()?,
+        rights_at: usize::try_from(rights_at).ok()?,
+        weights_at: usize::try_from(weights_at).ok()?,
+        bitmap_at: usize::try_from(bitmap_at).ok()?,
+        dead_right_at: usize::try_from(dead_right_at).ok()?,
+        total_len: usize::try_from(total_len).ok()?,
+    })
+}
+
+/// What a finished write produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreMeta {
+    /// Live edges written.
+    pub n_edges: u64,
+    /// Total file size in bytes.
+    pub file_bytes: u64,
+}
+
+// ----------------------------------------------------------------------
+// Writer.
+// ----------------------------------------------------------------------
+
+/// Streaming writer of the columnar format.
+///
+/// Rows must arrive in left-id order, one call per row id `0..n_left`
+/// ([`append_row`](Self::append_row) for live rows — possibly empty —
+/// and [`append_dead_row`](Self::append_dead_row) for tombstoned ones);
+/// [`finish`](Self::finish) seals the file. Writer memory is
+/// `O(n_left)` — the offset column plus the tombstone lists — no matter
+/// how many edges stream through: column ids go straight to the final
+/// file while weights detour through a sibling `.weights.tmp` file that
+/// is concatenated and deleted at finish.
+///
+/// An abandoned writer (dropped without `finish`) leaves the partial
+/// final file and the temp file behind; callers that care should write
+/// into a scratch directory they clean up.
+pub struct SlabWriter {
+    path: PathBuf,
+    tmp_path: PathBuf,
+    out: BufWriter<File>,
+    weights: BufWriter<File>,
+    n_left: u32,
+    n_right: u32,
+    offsets: Vec<u64>,
+    dead_left: Vec<u32>,
+    dead_right: Vec<u32>,
+    rows_written: u32,
+    n_edges: u64,
+}
+
+impl SlabWriter {
+    /// Open a writer for a graph with `n_left` rows and `n_right`
+    /// columns, of which the sorted `dead_right` ids are tombstoned.
+    /// Appended rows are checked against `dead_right` — the format
+    /// forbids slab entries pointing at dead columns.
+    pub fn create(
+        path: &Path,
+        n_left: u32,
+        n_right: u32,
+        dead_right: Vec<u32>,
+    ) -> Result<SlabWriter, StoreError> {
+        for pair in dead_right.windows(2) {
+            if pair[0] >= pair[1] {
+                return format_err("dead right ids must be sorted strictly ascending");
+            }
+        }
+        if let Some(&last) = dead_right.last() {
+            if last >= n_right {
+                return format_err(format!("dead right id {last} out of bounds ({n_right})"));
+            }
+        }
+        let tmp_path = {
+            let mut os = path.as_os_str().to_os_string();
+            os.push(".weights.tmp");
+            PathBuf::from(os)
+        };
+        // Read access is needed too: `finish` re-reads the payload for
+        // the checksum pass.
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        let mut out = BufWriter::new(file);
+        // Reserve the header and offset sections with zeros; both are
+        // backfilled at finish.
+        let reserve = HEADER_LEN + (n_left as usize + 1) * 8;
+        let zeros = [0u8; 8192];
+        let mut left = reserve;
+        while left > 0 {
+            let n = left.min(zeros.len());
+            out.write_all(&zeros[..n])?;
+            left -= n;
+        }
+        let weights = BufWriter::new(File::create(&tmp_path)?);
+        Ok(SlabWriter {
+            path: path.to_path_buf(),
+            tmp_path,
+            out,
+            weights,
+            n_left,
+            n_right,
+            offsets: vec![0],
+            dead_left: Vec::new(),
+            dead_right,
+            rows_written: 0,
+            n_edges: 0,
+        })
+    }
+
+    /// Append the next live row: `(right id, weight)` pairs, right ids
+    /// strictly ascending, weights finite in `[0, 1]`. Empty rows are
+    /// fine — a live left entity with no edges.
+    pub fn append_row(&mut self, row: &[(u32, f64)]) -> Result<(), StoreError> {
+        if self.rows_written == self.n_left {
+            return format_err(format!("more than n_left = {} rows appended", self.n_left));
+        }
+        // Validate the whole row before writing a single byte, so a
+        // rejected row leaves the streams untouched.
+        let mut prev: Option<u32> = None;
+        for &(r, w) in row {
+            if r >= self.n_right {
+                return format_err(format!("right id {r} out of bounds ({})", self.n_right));
+            }
+            if prev.is_some_and(|p| p >= r) {
+                return format_err("row right ids must be strictly ascending");
+            }
+            if self.dead_right.binary_search(&r).is_ok() {
+                return format_err(format!("edge points at tombstoned right id {r}"));
+            }
+            if !(w.is_finite() && (0.0..=1.0).contains(&w)) {
+                return format_err(format!("weight {w} outside [0, 1]"));
+            }
+            prev = Some(r);
+        }
+        for &(r, w) in row {
+            self.out.write_all(&r.to_le_bytes())?;
+            self.weights.write_all(&w.to_le_bytes())?;
+        }
+        self.n_edges += row.len() as u64;
+        self.offsets.push(self.n_edges);
+        self.rows_written += 1;
+        Ok(())
+    }
+
+    /// Append the next row as a tombstoned left id: no storage, the
+    /// liveness bitmap records the dead bit.
+    pub fn append_dead_row(&mut self) -> Result<(), StoreError> {
+        if self.rows_written == self.n_left {
+            return format_err(format!("more than n_left = {} rows appended", self.n_left));
+        }
+        self.dead_left.push(self.rows_written);
+        self.offsets.push(self.n_edges);
+        self.rows_written += 1;
+        Ok(())
+    }
+
+    /// Seal the file: concatenate the weight column, write the liveness
+    /// sections, backfill offsets and header, checksum the payload.
+    pub fn finish(mut self) -> Result<StoreMeta, StoreError> {
+        if self.rows_written != self.n_left {
+            return format_err(format!(
+                "{} rows appended, n_left = {}",
+                self.rows_written, self.n_left
+            ));
+        }
+        if self.n_edges % 2 == 1 {
+            self.out.write_all(&[0u8; 4])?;
+        }
+        // Weight column: flush the temp stream and concatenate it.
+        self.weights.flush()?;
+        let mut wtmp = File::open(&self.tmp_path)?;
+        io::copy(&mut wtmp, &mut self.out)?;
+        drop(wtmp);
+        // Left liveness bitmap, all-live words with dead bits cleared.
+        let words = (self.n_left as usize).div_ceil(64);
+        let mut bitmap = vec![u64::MAX; words];
+        if words > 0 {
+            let rem = self.n_left as usize % 64;
+            if rem != 0 {
+                bitmap[words - 1] = (1u64 << rem) - 1;
+            }
+        }
+        for &d in &self.dead_left {
+            bitmap[d as usize / 64] &= !(1u64 << (d as usize % 64));
+        }
+        for w in &bitmap {
+            self.out.write_all(&w.to_le_bytes())?;
+        }
+        // Dead right ids.
+        for &r in &self.dead_right {
+            self.out.write_all(&r.to_le_bytes())?;
+        }
+        if self.dead_right.len() % 2 == 1 {
+            self.out.write_all(&[0u8; 4])?;
+        }
+        self.out.flush()?;
+        let mut file = self.out.into_inner().map_err(|e| e.into_error())?;
+
+        // Backfill the offset column.
+        file.seek(SeekFrom::Start(HEADER_LEN as u64))?;
+        let mut enc = Vec::with_capacity(self.offsets.len() * 8);
+        for &o in &self.offsets {
+            enc.extend_from_slice(&o.to_le_bytes());
+        }
+        file.write_all(&enc)?;
+
+        // Checksum the payload in one buffered pass.
+        file.seek(SeekFrom::Start(HEADER_LEN as u64))?;
+        let mut fnv = Fnv1a::new();
+        let mut rd = BufReader::new(&file);
+        let mut buf = [0u8; 8192];
+        loop {
+            let n = rd.read(&mut buf)?;
+            if n == 0 {
+                break;
+            }
+            fnv.update(&buf[..n]);
+        }
+
+        // Backfill the header.
+        let mut header = Vec::with_capacity(HEADER_LEN);
+        header.extend_from_slice(MAGIC);
+        header.extend_from_slice(&VERSION.to_le_bytes());
+        header.extend_from_slice(&self.n_left.to_le_bytes());
+        header.extend_from_slice(&self.n_right.to_le_bytes());
+        header.extend_from_slice(&0u32.to_le_bytes());
+        header.extend_from_slice(&self.n_edges.to_le_bytes());
+        header.extend_from_slice(&(self.dead_left.len() as u64).to_le_bytes());
+        header.extend_from_slice(&(self.dead_right.len() as u64).to_le_bytes());
+        header.extend_from_slice(&fnv.finish().to_le_bytes());
+        debug_assert_eq!(header.len(), HEADER_LEN);
+        file.seek(SeekFrom::Start(0))?;
+        file.write_all(&header)?;
+        file.sync_all()?;
+
+        let file_bytes = file.metadata()?.len();
+        std::fs::remove_file(&self.tmp_path)?;
+        debug_assert_eq!(
+            file_bytes,
+            layout(self.n_left, self.n_edges, self.dead_right.len() as u64)
+                .map(|l| l.total_len as u64)
+                .unwrap_or(0),
+            "writer output length disagrees with the declared layout of {}",
+            self.path.display(),
+        );
+        Ok(StoreMeta {
+            n_edges: self.n_edges,
+            file_bytes,
+        })
+    }
+}
+
+/// Persist a [`CsrGraph`] at `path` in the columnar format.
+///
+/// Streams [`CsrGraph::live_row`], so pending deltas are folded on the
+/// way out: masked slab entries and the patch never reach the file,
+/// while tombstoned ids keep their dead mark. Reading the file back
+/// therefore yields the graph in its compacted form — byte-identical to
+/// `{ let mut c = csr.clone(); c.compact(); c }`.
+pub fn write_csr(csr: &CsrGraph, path: &Path) -> Result<StoreMeta, StoreError> {
+    let mut w = SlabWriter::create(path, csr.n_left(), csr.n_right(), csr.dead_right().to_vec())?;
+    let mut row: Vec<(u32, f64)> = Vec::new();
+    for l in 0..csr.n_left() {
+        if !csr.is_live_left(l) {
+            w.append_dead_row()?;
+            continue;
+        }
+        row.clear();
+        row.extend(csr.live_row(l));
+        w.append_row(&row)?;
+    }
+    w.finish()
+}
+
+// ----------------------------------------------------------------------
+// Reader.
+// ----------------------------------------------------------------------
+
+/// A read-only [`CsrGraph`] view decoding directly from a file-backed
+/// byte map — the store never materializes as heap slabs.
+///
+/// Opening validates the whole file once (magic, version, declared
+/// section lengths against the file length, payload checksum, offset
+/// monotonicity, per-row right-id ordering and bounds, liveness
+/// consistency, weight range); every read after that decodes fixed-width
+/// little-endian fields straight out of the map. The view mirrors the
+/// read surface of [`CsrGraph`] — `n_left` / `n_right` / `n_edges`,
+/// [`degree`](Self::degree), [`live_row`](Self::live_row),
+/// [`weight_of`](Self::weight_of), [`iter`](Self::iter), liveness
+/// queries — and converts to an owned store via [`to_csr`](Self::to_csr).
+pub struct MappedCsr {
+    map: Mmap,
+    n_left: u32,
+    n_right: u32,
+    n_edges: usize,
+    n_dead_left: usize,
+    offsets_at: usize,
+    rights_at: usize,
+    weights_at: usize,
+    bitmap_at: usize,
+    /// Decoded eagerly: tombstones are sparse and binary-searched hot.
+    dead_right: Vec<u32>,
+}
+
+impl MappedCsr {
+    /// Open and fully validate a columnar store file.
+    pub fn open(path: &Path) -> Result<MappedCsr, StoreError> {
+        let file = File::open(path)?;
+        let map = Mmap::map(&file)?;
+        drop(file);
+        if map.len() < HEADER_LEN {
+            return format_err("truncated: shorter than the fixed header");
+        }
+        let u32_at = |at: usize| u32::from_le_bytes(map[at..at + 4].try_into().unwrap());
+        let u64_at = |at: usize| u64::from_le_bytes(map[at..at + 8].try_into().unwrap());
+        if &map[0..8] != MAGIC {
+            return format_err("bad magic: not a ccer columnar store");
+        }
+        let version = u32_at(8);
+        if version != VERSION {
+            return format_err(format!("unsupported format version {version}"));
+        }
+        let n_left = u32_at(12);
+        let n_right = u32_at(16);
+        let n_edges = u64_at(24);
+        let n_dead_left = u64_at(32);
+        let n_dead_right = u64_at(40);
+        let checksum = u64_at(48);
+
+        let Some(lay) = layout(n_left, n_edges, n_dead_right) else {
+            return format_err("declared sizes overflow the addressable layout");
+        };
+        if map.len() != lay.total_len {
+            return format_err(format!(
+                "file is {} bytes, header declares {}",
+                map.len(),
+                lay.total_len
+            ));
+        }
+        let mut fnv = Fnv1a::new();
+        fnv.update(&map[HEADER_LEN..]);
+        if fnv.finish() != checksum {
+            return format_err("payload checksum mismatch");
+        }
+        if n_dead_left > n_left as u64 {
+            return format_err("more dead left rows than rows");
+        }
+        if n_dead_right > n_right as u64 {
+            return format_err("more dead right columns than columns");
+        }
+
+        // Dead right ids: sorted strictly ascending, in bounds.
+        let mut dead_right = Vec::with_capacity(n_dead_right as usize);
+        for i in 0..n_dead_right as usize {
+            let r = u32_at(lay.dead_right_at + 4 * i);
+            if r >= n_right {
+                return format_err(format!("dead right id {r} out of bounds ({n_right})"));
+            }
+            if dead_right.last().is_some_and(|&p| p >= r) {
+                return format_err("dead right ids not sorted strictly ascending");
+            }
+            dead_right.push(r);
+        }
+
+        // Liveness bitmap: tail bits clear, popcount matches the header.
+        let words = (n_left as usize).div_ceil(64);
+        let mut live_bits = 0u64;
+        for i in 0..words {
+            let w = u64_at(lay.bitmap_at + 8 * i);
+            if i == words - 1 {
+                let rem = n_left as usize % 64;
+                if rem != 0 && w >> rem != 0 {
+                    return format_err("liveness bitmap has bits beyond n_left");
+                }
+            }
+            live_bits += w.count_ones() as u64;
+        }
+        if live_bits != n_left as u64 - n_dead_left {
+            return format_err("liveness bitmap disagrees with the dead-row count");
+        }
+
+        // Offsets: zero-based, monotone, closing at n_edges; every row
+        // right-ascending, in bounds, live, with weights in [0, 1];
+        // dead rows stored empty (the format is always folded).
+        if u64_at(lay.offsets_at) != 0 {
+            return format_err("offset column does not start at 0");
+        }
+        let mut prev_end = 0u64;
+        for l in 0..n_left as usize {
+            let s = prev_end;
+            let e = u64_at(lay.offsets_at + 8 * (l + 1));
+            if e < s || e > n_edges {
+                return format_err("offset column is not monotone within bounds");
+            }
+            prev_end = e;
+            let live = u64_at(lay.bitmap_at + 8 * (l / 64)) >> (l % 64) & 1 == 1;
+            if !live && e != s {
+                return format_err(format!("tombstoned row {l} has slab entries"));
+            }
+            let mut prev: Option<u32> = None;
+            for i in s as usize..e as usize {
+                let r = u32_at(lay.rights_at + 4 * i);
+                if r >= n_right {
+                    return format_err(format!("right id {r} out of bounds ({n_right})"));
+                }
+                if prev.is_some_and(|p| p >= r) {
+                    return format_err(format!("row {l} right ids not strictly ascending"));
+                }
+                if dead_right.binary_search(&r).is_ok() {
+                    return format_err(format!("row {l} points at tombstoned right id {r}"));
+                }
+                let w = f64::from_le_bytes(map[lay.weights_at + 8 * i..][..8].try_into().unwrap());
+                if !(w.is_finite() && (0.0..=1.0).contains(&w)) {
+                    return format_err(format!("weight {w} outside [0, 1]"));
+                }
+                prev = Some(r);
+            }
+        }
+        if prev_end != n_edges {
+            return format_err("offset column does not close at n_edges");
+        }
+
+        Ok(MappedCsr {
+            map,
+            n_left,
+            n_right,
+            n_edges: n_edges as usize,
+            n_dead_left: n_dead_left as usize,
+            offsets_at: lay.offsets_at,
+            rights_at: lay.rights_at,
+            weights_at: lay.weights_at,
+            bitmap_at: lay.bitmap_at,
+            dead_right,
+        })
+    }
+
+    #[inline]
+    fn offset(&self, i: usize) -> usize {
+        u64::from_le_bytes(self.map[self.offsets_at + 8 * i..][..8].try_into().unwrap()) as usize
+    }
+
+    #[inline]
+    fn right_at(&self, i: usize) -> u32 {
+        u32::from_le_bytes(self.map[self.rights_at + 4 * i..][..4].try_into().unwrap())
+    }
+
+    #[inline]
+    fn weight_at(&self, i: usize) -> f64 {
+        f64::from_le_bytes(self.map[self.weights_at + 8 * i..][..8].try_into().unwrap())
+    }
+
+    /// Number of entities in the left collection (next left append id).
+    #[inline]
+    pub fn n_left(&self) -> u32 {
+        self.n_left
+    }
+
+    /// Number of entities in the right collection (next right append id).
+    #[inline]
+    pub fn n_right(&self) -> u32 {
+        self.n_right
+    }
+
+    /// Number of live edges.
+    #[inline]
+    pub fn n_edges(&self) -> usize {
+        self.n_edges
+    }
+
+    /// Whether the store holds no live edges.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n_edges == 0
+    }
+
+    /// Tombstoned left rows.
+    #[inline]
+    pub fn n_dead_left(&self) -> usize {
+        self.n_dead_left
+    }
+
+    /// Tombstoned right columns.
+    #[inline]
+    pub fn n_dead_right(&self) -> usize {
+        self.dead_right.len()
+    }
+
+    /// Total file size in bytes — the store's footprint, all of it
+    /// file-backed rather than heap-resident.
+    #[inline]
+    pub fn file_bytes(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether left id `left` is in bounds and not tombstoned.
+    #[inline]
+    pub fn is_live_left(&self, left: u32) -> bool {
+        left < self.n_left && {
+            let l = left as usize;
+            let w = u64::from_le_bytes(
+                self.map[self.bitmap_at + 8 * (l / 64)..][..8]
+                    .try_into()
+                    .unwrap(),
+            );
+            w >> (l % 64) & 1 == 1
+        }
+    }
+
+    /// Whether right id `right` is in bounds and not tombstoned.
+    #[inline]
+    pub fn is_live_right(&self, right: u32) -> bool {
+        right < self.n_right && self.dead_right.binary_search(&right).is_err()
+    }
+
+    /// Live degree of row `left` (panics if out of bounds, like
+    /// [`CsrGraph::degree`]). The stored form is folded, so this is one
+    /// offset subtraction.
+    #[inline]
+    pub fn degree(&self, left: u32) -> usize {
+        assert!(left < self.n_left, "left id {left} out of bounds");
+        self.offset(left as usize + 1) - self.offset(left as usize)
+    }
+
+    /// Row `left`'s live edges as `(right, weight)` pairs, right ids
+    /// ascending — tombstoned rows yield nothing (they are stored
+    /// empty). Panics if `left` is out of bounds.
+    pub fn live_row(&self, left: u32) -> impl Iterator<Item = (u32, f64)> + '_ {
+        assert!(left < self.n_left, "left id {left} out of bounds");
+        let (s, e) = (self.offset(left as usize), self.offset(left as usize + 1));
+        (s..e).map(move |i| (self.right_at(i), self.weight_at(i)))
+    }
+
+    /// Look up the weight of edge `(left, right)` — one binary search
+    /// over the encoded row. Out-of-bounds or tombstoned ids return
+    /// `None`, mirroring [`CsrGraph::weight_of`].
+    pub fn weight_of(&self, left: u32, right: u32) -> Option<f64> {
+        if left >= self.n_left || !self.is_live_left(left) || !self.is_live_right(right) {
+            return None;
+        }
+        let (mut lo, mut hi) = (self.offset(left as usize), self.offset(left as usize + 1));
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let r = self.right_at(mid);
+            if r == right {
+                return Some(self.weight_at(mid));
+            }
+            if r < right {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        None
+    }
+
+    /// Iterate all edges in canonical `(left asc, right asc)` order.
+    pub fn iter(&self) -> impl Iterator<Item = Edge> + '_ {
+        (0..self.n_left).flat_map(move |l| self.live_row(l).map(move |(r, w)| Edge::new(l, r, w)))
+    }
+
+    /// Materialize the view as an owned [`CsrGraph`] — the exact store
+    /// [`write_csr`] serialized, in folded form (empty patch, masked
+    /// entries dropped, tombstoned ids preserved).
+    pub fn to_csr(&self) -> CsrGraph {
+        let mut offsets = Vec::with_capacity(self.n_left as usize + 1);
+        for i in 0..=self.n_left as usize {
+            offsets.push(self.offset(i));
+        }
+        let rights: Vec<u32> = (0..self.n_edges).map(|i| self.right_at(i)).collect();
+        let weights: Vec<f64> = (0..self.n_edges).map(|i| self.weight_at(i)).collect();
+        let dead_left: Vec<u32> = (0..self.n_left)
+            .filter(|&l| !self.is_live_left(l))
+            .collect();
+        CsrGraph::from_raw_parts(
+            self.n_left,
+            self.n_right,
+            offsets,
+            rights,
+            weights,
+            dead_left,
+            self.dead_right.clone(),
+            self.n_edges,
+        )
+    }
+}
+
+impl std::fmt::Debug for MappedCsr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MappedCsr")
+            .field("n_left", &self.n_left)
+            .field("n_right", &self.n_right)
+            .field("n_edges", &self.n_edges)
+            .field("n_dead_left", &self.n_dead_left)
+            .field("n_dead_right", &self.dead_right.len())
+            .field("file_bytes", &self.map.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn scratch_dir() -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ccer-store-unit-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_csr() -> CsrGraph {
+        let mut b = GraphBuilder::new(3, 4);
+        b.add_edge(0, 3, 0.9).unwrap();
+        b.add_edge(0, 1, 0.5).unwrap();
+        b.add_edge(2, 0, 0.7).unwrap();
+        b.add_edge(2, 2, 0.7).unwrap();
+        b.add_edge(2, 1, 0.1).unwrap();
+        CsrGraph::from_graph(&b.build())
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let dir = scratch_dir();
+        let path = dir.join("round.slab");
+        let csr = sample_csr();
+        let meta = write_csr(&csr, &path).unwrap();
+        assert_eq!(meta.n_edges, 5);
+        let mapped = MappedCsr::open(&path).unwrap();
+        assert_eq!(mapped.n_left(), 3);
+        assert_eq!(mapped.n_right(), 4);
+        assert_eq!(mapped.n_edges(), 5);
+        assert_eq!(mapped.file_bytes() as u64, meta.file_bytes);
+        assert_eq!(mapped.to_csr(), csr);
+        assert_eq!(mapped.weight_of(2, 2), Some(0.7));
+        assert_eq!(mapped.weight_of(1, 0), None);
+        assert_eq!(mapped.degree(2), 3);
+        let row: Vec<(u32, f64)> = mapped.live_row(0).collect();
+        assert_eq!(row, vec![(1, 0.5), (3, 0.9)]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tombstones_survive_and_storage_folds() {
+        let dir = scratch_dir();
+        let path = dir.join("tomb.slab");
+        let mut csr = sample_csr();
+        csr.remove_left(0).unwrap();
+        csr.remove_right(1).unwrap();
+        csr.insert_right(&[(2, 0.65)]).unwrap();
+        write_csr(&csr, &path).unwrap();
+        let mapped = MappedCsr::open(&path).unwrap();
+        assert!(!mapped.is_live_left(0));
+        assert!(!mapped.is_live_right(1));
+        assert!(mapped.is_live_right(4));
+        assert_eq!(mapped.n_edges(), csr.n_edges(), "patch folded on write");
+        assert_eq!(mapped.weight_of(2, 4), Some(0.65));
+        let mut folded = csr.clone();
+        folded.compact();
+        assert_eq!(mapped.to_csr(), folded);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn writer_rejects_bad_rows() {
+        let dir = scratch_dir();
+        let path = dir.join("reject.slab");
+        let mut w = SlabWriter::create(&path, 2, 3, vec![1]).unwrap();
+        assert!(matches!(
+            w.append_row(&[(3, 0.5)]),
+            Err(StoreError::Format(_))
+        ));
+        assert!(matches!(
+            w.append_row(&[(0, 0.5), (0, 0.6)]),
+            Err(StoreError::Format(_))
+        ));
+        assert!(matches!(
+            w.append_row(&[(1, 0.5)]),
+            Err(StoreError::Format(_)),
+        ));
+        assert!(matches!(
+            w.append_row(&[(0, 1.5)]),
+            Err(StoreError::Format(_))
+        ));
+        w.append_row(&[(0, 0.5)]).unwrap();
+        w.append_row(&[]).unwrap();
+        assert!(matches!(w.append_row(&[]), Err(StoreError::Format(_))));
+        w.finish().unwrap();
+        std::fs::remove_file(&path).ok();
+        let short = SlabWriter::create(&path, 2, 3, vec![]).unwrap();
+        assert!(matches!(short.finish(), Err(StoreError::Format(_))));
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(path.with_extension("slab.weights.tmp")).ok();
+    }
+
+    #[test]
+    fn fnv_vector() {
+        // Reference vectors for FNV-1a 64.
+        let mut h = Fnv1a::new();
+        h.update(b"");
+        assert_eq!(h.finish(), 0xcbf2_9ce4_8422_2325);
+        let mut h = Fnv1a::new();
+        h.update(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+        let mut h = Fnv1a::new();
+        h.update(b"foobar");
+        assert_eq!(h.finish(), 0x85944171f73967e8);
+    }
+}

@@ -1,0 +1,251 @@
+//! Property and edge-case tests for the columnar on-disk store
+//! (`er_core::store`).
+//!
+//! Invariants:
+//! 1. **round trip**: `write_csr` → `MappedCsr::open` → `to_csr` equals
+//!    the compacted source graph for arbitrary graphs with arbitrary
+//!    tombstone patterns, bit for bit (weights compared by bits), with
+//!    liveness, degrees and point lookups agreeing on every id;
+//! 2. **edge cases** are first-class: empty rows, all-tombstoned rows,
+//!    zero-edge and zero-node graphs, and column ids at the top of the
+//!    `u32` range all round-trip;
+//! 3. **corruption is an error, never a panic**: bad magic, unknown
+//!    version, truncation at any boundary, header fields that disagree
+//!    with the file length (including overflow-inducing ones), and
+//!    payload bit flips are all rejected by `MappedCsr::open`.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use er_core::{write_csr, CsrGraph, GraphBuilder, MappedCsr, SimilarityGraph, SlabWriter};
+use proptest::prelude::*;
+
+static NEXT_FILE: AtomicUsize = AtomicUsize::new(0);
+
+/// A fresh path in a per-process scratch directory; proptest shrinks
+/// re-enter the test body, so every invocation gets its own file.
+fn scratch_file(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ccer-store-props-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!(
+        "{tag}-{}.slab",
+        NEXT_FILE.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn arb_graph() -> impl Strategy<Value = SimilarityGraph> {
+    (1u32..16, 1u32..16).prop_flat_map(|(nl, nr)| {
+        proptest::collection::btree_map((0..nl, 0..nr), 0.0f64..=1.0, 0..48).prop_map(
+            move |edges| {
+                let mut b = GraphBuilder::new(nl, nr);
+                for ((l, r), w) in edges {
+                    b.add_edge(l, r, w).unwrap();
+                }
+                b.build()
+            },
+        )
+    })
+}
+
+/// Assert the full read-side surface of `mapped` agrees with `csr`.
+fn assert_mapped_agrees(mapped: &MappedCsr, csr: &CsrGraph) {
+    let mut folded = csr.clone();
+    folded.compact();
+    assert_eq!(&mapped.to_csr(), &folded, "round trip equals compaction");
+    assert_eq!(mapped.n_left(), csr.n_left());
+    assert_eq!(mapped.n_right(), csr.n_right());
+    assert_eq!(mapped.n_edges(), csr.n_edges());
+    for l in 0..csr.n_left() {
+        assert_eq!(mapped.is_live_left(l), csr.is_live_left(l), "left {l}");
+        if csr.is_live_left(l) {
+            let want: Vec<(u32, f64)> = csr.live_row(l).collect();
+            assert_eq!(mapped.degree(l), want.len(), "degree of {l}");
+            let got: Vec<(u32, f64)> = mapped.live_row(l).collect();
+            assert_eq!(got.len(), want.len());
+            for ((gr, gw), (wr, ww)) in got.iter().zip(&want) {
+                assert_eq!(gr, wr);
+                assert_eq!(gw.to_bits(), ww.to_bits(), "weight bits of ({l}, {wr})");
+            }
+        } else {
+            assert_eq!(mapped.degree(l), 0, "dead row {l} reads empty");
+        }
+    }
+    for r in 0..csr.n_right() {
+        assert_eq!(mapped.is_live_right(r), csr.is_live_right(r), "right {r}");
+    }
+    for e in csr.iter() {
+        assert_eq!(
+            mapped.weight_of(e.left, e.right).map(f64::to_bits),
+            Some(e.weight.to_bits()),
+            "lookup ({}, {})",
+            e.left,
+            e.right
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Invariant 1: arbitrary graph, arbitrary delete pattern — the file
+    /// reads back as the compacted graph, across the whole read surface.
+    #[test]
+    fn round_trip_equals_compacted_source(
+        g in arb_graph(),
+        dead_left in proptest::collection::vec(0u32..16, 0..5),
+        dead_right in proptest::collection::vec(0u32..16, 0..5),
+    ) {
+        let mut csr = CsrGraph::from_graph(&g);
+        for l in dead_left {
+            if l < csr.n_left() && csr.is_live_left(l) {
+                csr.remove_left(l).unwrap();
+            }
+        }
+        for r in dead_right {
+            if r < csr.n_right() && csr.is_live_right(r) {
+                csr.remove_right(r).unwrap();
+            }
+        }
+        let path = scratch_file("prop");
+        let meta = write_csr(&csr, &path).unwrap();
+        let mapped = MappedCsr::open(&path).unwrap();
+        prop_assert_eq!(meta.n_edges as usize, csr.n_edges());
+        prop_assert_eq!(meta.file_bytes as usize, mapped.file_bytes());
+        assert_mapped_agrees(&mapped, &csr);
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn empty_rows_round_trip() {
+    // Live left entities with no edges at all — offsets repeat.
+    let mut b = GraphBuilder::new(5, 3);
+    b.add_edge(1, 0, 0.5).unwrap();
+    b.add_edge(1, 2, 0.25).unwrap();
+    b.add_edge(3, 1, 1.0).unwrap();
+    let csr = CsrGraph::from_graph(&b.build());
+    let path = scratch_file("empty-rows");
+    write_csr(&csr, &path).unwrap();
+    let mapped = MappedCsr::open(&path).unwrap();
+    assert_eq!(mapped.degree(0), 0);
+    assert_eq!(mapped.degree(2), 0);
+    assert_eq!(mapped.degree(4), 0);
+    assert!(mapped.is_live_left(0), "empty is not dead");
+    assert_mapped_agrees(&mapped, &csr);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn all_rows_tombstoned_round_trip() {
+    let mut b = GraphBuilder::new(4, 4);
+    for i in 0..4 {
+        b.add_edge(i, i, 0.75).unwrap();
+    }
+    let mut csr = CsrGraph::from_graph(&b.build());
+    for i in 0..4 {
+        csr.remove_left(i).unwrap();
+    }
+    let path = scratch_file("all-dead");
+    let meta = write_csr(&csr, &path).unwrap();
+    assert_eq!(meta.n_edges, 0, "no live edge reaches the file");
+    let mapped = MappedCsr::open(&path).unwrap();
+    assert_eq!(mapped.n_left(), 4, "dead ids keep their id space");
+    assert_eq!(mapped.n_dead_left(), 4);
+    assert!((0..4).all(|l| !mapped.is_live_left(l)));
+    assert_mapped_agrees(&mapped, &csr);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn zero_edge_and_zero_node_graphs_round_trip() {
+    for (nl, nr) in [(4u32, 3u32), (0, 0), (0, 7), (6, 0)] {
+        let csr = CsrGraph::from_graph(&GraphBuilder::new(nl, nr).build());
+        let path = scratch_file("zero");
+        write_csr(&csr, &path).unwrap();
+        let mapped = MappedCsr::open(&path).unwrap();
+        assert_eq!(mapped.n_edges(), 0, "{nl}x{nr}");
+        assert!(mapped.is_empty());
+        assert_mapped_agrees(&mapped, &csr);
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn max_u32_column_ids_round_trip() {
+    // The dead-right section is a sorted id list precisely so the column
+    // space can span all of u32; the writer must accept ids at the top.
+    let top = u32::MAX - 1;
+    let path = scratch_file("max-col");
+    let mut w = SlabWriter::create(&path, 3, u32::MAX, vec![7, u32::MAX - 2]).unwrap();
+    w.append_row(&[(0, 0.5), (top, 1.0)]).unwrap();
+    w.append_dead_row().unwrap();
+    w.append_row(&[(top, 0.125)]).unwrap();
+    let meta = w.finish().unwrap();
+    assert_eq!(meta.n_edges, 3);
+    let mapped = MappedCsr::open(&path).unwrap();
+    assert_eq!(mapped.n_right(), u32::MAX);
+    assert_eq!(mapped.weight_of(0, top), Some(1.0));
+    assert_eq!(mapped.weight_of(2, top), Some(0.125));
+    assert!(!mapped.is_live_right(7));
+    assert!(!mapped.is_live_right(u32::MAX - 2));
+    assert!(mapped.is_live_right(top));
+    assert_eq!(mapped.weight_of(0, 7), None, "dead column answers nothing");
+    std::fs::remove_file(&path).ok();
+}
+
+/// Write a valid store once, then re-open arbitrarily mutated copies.
+/// Every mutation must yield `Err`, never a panic.
+#[test]
+fn corrupted_files_are_rejected_not_panicked_on() {
+    let mut b = GraphBuilder::new(3, 3);
+    b.add_edge(0, 1, 0.5).unwrap();
+    b.add_edge(1, 0, 0.25).unwrap();
+    b.add_edge(2, 2, 1.0).unwrap();
+    let mut csr = CsrGraph::from_graph(&b.build());
+    csr.remove_right(0).unwrap();
+    let path = scratch_file("corrupt-base");
+    write_csr(&csr, &path).unwrap();
+    let base = std::fs::read(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    let open_mutated = |mutate: &dyn Fn(&mut Vec<u8>)| {
+        let mut bytes = base.clone();
+        mutate(&mut bytes);
+        let p = scratch_file("corrupt");
+        std::fs::write(&p, &bytes).unwrap();
+        let r = MappedCsr::open(&p);
+        std::fs::remove_file(&p).ok();
+        r
+    };
+
+    // Pristine copy sanity check.
+    assert!(open_mutated(&|_| {}).is_ok());
+
+    // Bad magic.
+    assert!(open_mutated(&|b| b[0] ^= 0xFF).is_err());
+    // Unknown version.
+    assert!(open_mutated(&|b| b[8..12].copy_from_slice(&9u32.to_le_bytes())).is_err());
+    // Truncation at every prefix boundary class: empty, mid-magic,
+    // one-short-of-header, header-only, one-short-of-payload.
+    for len in [0usize, 5, 55, 56, base.len() - 1] {
+        assert!(
+            open_mutated(&|b| b.truncate(len)).is_err(),
+            "truncated to {len} bytes must be rejected"
+        );
+    }
+    // Header claims an edge count the file cannot hold.
+    assert!(open_mutated(&|b| b[24..32].copy_from_slice(&1_000u64.to_le_bytes())).is_err());
+    // Header edge count large enough to overflow naive layout math.
+    assert!(open_mutated(&|b| b[24..32].copy_from_slice(&u64::MAX.to_le_bytes())).is_err());
+    // Header row count disagrees with the offset section.
+    assert!(open_mutated(&|b| b[12..16].copy_from_slice(&2_000_000u32.to_le_bytes())).is_err());
+    // Dead-right count overruns the file.
+    assert!(open_mutated(&|b| b[40..48].copy_from_slice(&77u64.to_le_bytes())).is_err());
+    // A payload bit flip fails the checksum.
+    let payload_byte = base.len() - 3;
+    assert!(open_mutated(&|b| b[payload_byte] ^= 0x10).is_err());
+    // Every byte of the header flipped one at a time: never a panic.
+    for i in 0..56 {
+        let _ = open_mutated(&|b| b[i] ^= 0xA5);
+    }
+}

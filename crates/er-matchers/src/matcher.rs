@@ -1,18 +1,20 @@
 //! The matcher abstraction shared by all eight algorithms.
 
-use er_core::{Adjacency, CsrGraph, Edge, Matching, SimilarityGraph, SortedEdges};
+use er_core::{Adjacency, CsrGraph, Edge, MappedCsr, Matching, SimilarityGraph, SortedEdges};
 
-/// The edge store behind a [`PreparedGraph`]: a plain similarity graph or
-/// the compact 12 B/edge CSR slab — both **borrowed**. The matchers never
-/// touch the store (they consume the adjacency and sorted views), so a
-/// CSR-backed graph is matched natively, without first expanding into an
-/// owned `SimilarityGraph` (the old `GraphStore::Owned` memory cliff:
+/// The edge store behind a [`PreparedGraph`]: a plain similarity graph,
+/// the compact 12 B/edge CSR slab, or the file-backed columnar store —
+/// all **borrowed**. The matchers never touch the store (they consume the
+/// adjacency and sorted views), so a CSR-backed or file-backed graph is
+/// matched natively, without first expanding into an owned
+/// `SimilarityGraph` (the old `GraphStore::Owned` memory cliff:
 /// +16 B/edge of redundant triples, +the dedup index, for data the views
 /// already carry).
 #[derive(Clone, Copy)]
 enum GraphStore<'g> {
     Graph(&'g SimilarityGraph),
     Csr(&'g CsrGraph),
+    Mapped(&'g MappedCsr),
 }
 
 impl GraphStore<'_> {
@@ -21,6 +23,7 @@ impl GraphStore<'_> {
         match self {
             GraphStore::Graph(g) => g.n_left(),
             GraphStore::Csr(c) => c.n_left(),
+            GraphStore::Mapped(m) => m.n_left(),
         }
     }
 
@@ -29,6 +32,7 @@ impl GraphStore<'_> {
         match self {
             GraphStore::Graph(g) => g.n_right(),
             GraphStore::Csr(c) => c.n_right(),
+            GraphStore::Mapped(m) => m.n_right(),
         }
     }
 
@@ -37,15 +41,18 @@ impl GraphStore<'_> {
         match self {
             GraphStore::Graph(g) => g.weight_of(left, right),
             GraphStore::Csr(c) => c.weight_of(left, right),
+            GraphStore::Mapped(m) => m.weight_of(left, right),
         }
     }
 
     /// Heap bytes the store itself keeps resident (edge data only, not
-    /// the matcher views).
+    /// the matcher views). A file-backed store reports its mapped file
+    /// length — the bytes the OS pages in, not workspace heap.
     fn store_bytes(&self) -> usize {
         match self {
             GraphStore::Graph(g) => g.n_edges() * std::mem::size_of::<Edge>(),
             GraphStore::Csr(c) => c.slab_bytes(),
+            GraphStore::Mapped(m) => m.file_bytes(),
         }
     }
 }
@@ -60,10 +67,11 @@ impl GraphStore<'_> {
 /// threshold sweeps incremental: see [`crate::sweeper`].
 ///
 /// Graphs can come in borrowed ([`PreparedGraph::new`], the usual case),
-/// pre-sorted ([`PreparedGraph::from_sorted`]), or straight from the
+/// pre-sorted ([`PreparedGraph::from_sorted`]), straight from the
 /// compact CSR store pruned production graphs live in
-/// ([`PreparedGraph::from_csr`], no expansion) — the matchers and the
-/// sweep engine are oblivious to the source.
+/// ([`PreparedGraph::from_csr`], no expansion), or from the columnar
+/// on-disk store ([`PreparedGraph::from_mapped`], file-backed) — the
+/// matchers and the sweep engine are oblivious to the source.
 pub struct PreparedGraph<'g> {
     graph: GraphStore<'g>,
     adjacency: Adjacency,
@@ -137,6 +145,36 @@ impl<'g> PreparedGraph<'g> {
         }
     }
 
+    /// Prepare a **file-backed** columnar store ([`MappedCsr`]) without
+    /// materializing it as an in-RAM `CsrGraph` or `SimilarityGraph`: the
+    /// matcher views are built by one streaming pass over the mapped
+    /// slabs, and point lookups ([`PreparedGraph::weight_of`]) are served
+    /// by the store's own binary search over the file bytes.
+    ///
+    /// The views are identical to [`PreparedGraph::from_csr`] on the
+    /// store's in-RAM twin — both iterate rows ascending with
+    /// right-ascending columns and feed the same deterministic total
+    /// orders — so threshold sweeps over an out-of-core graph produce
+    /// bit-identical matchings.
+    ///
+    /// ```no_run
+    /// use er_core::MappedCsr;
+    /// use er_matchers::{Matcher, PreparedGraph, Umc};
+    ///
+    /// let mapped = MappedCsr::open("graph.ccer".as_ref()).unwrap();
+    /// let prepared = PreparedGraph::from_mapped(&mapped);
+    /// let matching = Umc::default().run(&prepared, 0.5);
+    /// # let _ = matching;
+    /// ```
+    pub fn from_mapped(mapped: &MappedCsr) -> PreparedGraph<'_> {
+        let sorted = SortedEdges::from_edges(mapped.iter().collect());
+        PreparedGraph {
+            adjacency: Adjacency::from_edges(mapped.n_left(), mapped.n_right(), sorted.all()),
+            sorted,
+            graph: GraphStore::Mapped(mapped),
+        }
+    }
+
     /// Number of edges in the prepared graph.
     #[inline]
     pub fn n_edges(&self) -> usize {
@@ -167,6 +205,7 @@ impl<'g> PreparedGraph<'g> {
         match self.graph {
             GraphStore::Graph(g) => PreparedGraph::new(g),
             GraphStore::Csr(c) => PreparedGraph::from_csr(c),
+            GraphStore::Mapped(m) => PreparedGraph::from_mapped(m),
         }
     }
 
@@ -404,6 +443,52 @@ mod tests {
             assert_eq!((a.left, a.right), (b.left, b.right));
             assert_eq!(a.weight.to_bits(), b.weight.to_bits());
         }
+    }
+
+    #[test]
+    fn from_mapped_matches_from_csr() {
+        let g = figure1();
+        let csr = er_core::CsrGraph::from_graph(&g);
+        let dir = std::env::temp_dir().join(format!(
+            "ccer-matcher-mapped-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("figure1.slab");
+        er_core::write_csr(&csr, &path).unwrap();
+        let mapped = er_core::MappedCsr::open(&path).unwrap();
+
+        let via_csr = PreparedGraph::from_csr(&csr);
+        let via_map = PreparedGraph::from_mapped(&mapped);
+        assert_eq!(via_map.n_left(), via_csr.n_left());
+        assert_eq!(via_map.n_right(), via_csr.n_right());
+        assert_eq!(via_map.n_edges(), via_csr.n_edges());
+        assert_eq!(via_map.store_bytes(), mapped.file_bytes());
+        for (a, b) in via_csr
+            .sorted_edges()
+            .all()
+            .iter()
+            .zip(via_map.sorted_edges().all())
+        {
+            assert_eq!((a.left, a.right), (b.left, b.right));
+            assert_eq!(a.weight.to_bits(), b.weight.to_bits());
+        }
+        for t in [0.0, 0.3, 0.6, 0.9] {
+            assert_eq!(via_map.view(t).prefix_lens(), via_csr.view(t).prefix_lens());
+        }
+        // Point lookups are served by the file-backed store itself.
+        for e in via_csr.sorted_edges().all() {
+            assert_eq!(
+                via_map.weight_of(e.left, e.right).map(f64::to_bits),
+                Some(e.weight.to_bits())
+            );
+        }
+        // Re-preparation stays on the mapped store.
+        let again = via_map.reprepare();
+        assert_eq!(again.n_edges(), via_map.n_edges());
+        assert_eq!(again.store_bytes(), mapped.file_bytes());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -128,6 +128,18 @@ impl NormFrame {
                 hi = hi.max(w);
             }
         }
+        NormFrame::from_bounds(lo, hi)
+    }
+
+    /// The frame over raw-score bounds folded externally: `lo` / `hi`
+    /// are the running min / max over the retained raw scores
+    /// (`f64::INFINITY` / `f64::NEG_INFINITY` when there are none, as a
+    /// fold from those identities yields). Because min/max folding is
+    /// order- and grouping-independent, a frame assembled from per-shard
+    /// bounds is **bit-identical** to [`compute`] over the concatenated
+    /// triples — the keystone of the out-of-core build's equivalence
+    /// with the in-RAM path (`crate::sharded`).
+    pub(crate) fn from_bounds(lo: f64, hi: f64) -> Self {
         let lo = lo.min(0.0);
         NormFrame { lo, span: hi - lo }
     }
@@ -820,10 +832,30 @@ fn run_rows_topk<S: RowScorer>(
     acct: &ConstructionCounters,
     indexed: bool,
 ) -> Vec<Vec<Triple>> {
-    let n_rows = scorer.n_rows();
+    run_rows_topk_range(scorer, cands, k, cfg, acct, indexed, 0..scorer.n_rows())
+}
+
+/// [`run_rows_topk`] over a contiguous sub-range of the scorer's rows —
+/// the per-shard score phase of the out-of-core build
+/// (`crate::sharded`). Each row's retained set is row-local, so scoring
+/// `rows` in isolation yields exactly the triples the full run emits
+/// for those rows, in the same order: concatenating consecutive range
+/// outputs reproduces the full run's output bit for bit regardless of
+/// the range boundaries, thread count, or chunk size.
+fn run_rows_topk_range<S: RowScorer>(
+    scorer: &S,
+    cands: Option<&CandidateLists>,
+    k: usize,
+    cfg: &PipelineConfig,
+    acct: &ConstructionCounters,
+    indexed: bool,
+    rows: std::ops::Range<usize>,
+) -> Vec<Vec<Triple>> {
+    let n_rows = rows.len();
     if n_rows == 0 {
         return Vec::new();
     }
+    let base = rows.start;
     let threads = cfg.effective_threads().clamp(1, n_rows);
     let chunk = cfg.effective_chunk_rows(n_rows, threads);
     let n_chunks = n_rows.div_ceil(chunk);
@@ -831,7 +863,7 @@ fn run_rows_topk<S: RowScorer>(
     let score_chunk = |c: usize, scratch: &mut S::Scratch| -> Vec<Triple> {
         let mut buf = Vec::new();
         let mut sink = TopKSink::new(k, acct);
-        for row in c * chunk..((c + 1) * chunk).min(n_rows) {
+        for row in base + c * chunk..base + ((c + 1) * chunk).min(n_rows) {
             match cands {
                 None if indexed => scorer.score_row_indexed(row, scratch, &mut sink),
                 None => scorer.score_row(row, scratch, &mut sink),
@@ -887,16 +919,34 @@ fn run_scorer<S: RowScorer>(
     }
 }
 
-/// Prepare the branch's scorer and run the score phase.
-pub(crate) fn score_shards(
+/// A continuation over the branch-dispatched prepared scorer: the one
+/// place that knows every taxonomy branch's prepare signature
+/// ([`visit_scorer`]) hands the prepared scorer to `visit`, which runs
+/// whatever score phase(s) the caller wants over it. Generic rather
+/// than object-safe on purpose — each visitor monomorphizes per scorer,
+/// exactly like the direct calls it replaces.
+trait ScorerVisitor {
+    /// What the continuation produces.
+    type Out;
+
+    /// Run over the prepared scorer.
+    fn visit<S: RowScorer>(self, scorer: &S) -> Self::Out;
+}
+
+/// Prepare the branch's scorer — DF statistics, inverted indexes,
+/// encoded vectors, interned token tables, all over the **full**
+/// collections — and hand it to `v`. `with_bounds` / `indexed` pick the
+/// bound-driven / index-backed prepare variants (the top-k engine);
+/// both flags only add pruning structures, never change scores.
+fn visit_scorer<V: ScorerVisitor>(
     left: &EntityCollection,
     right: &EntityCollection,
     function: &SimilarityFunction,
-    cands: Option<&CandidateLists>,
     cfg: &PipelineConfig,
-    mode: ScoreMode<'_>,
-) -> Vec<Vec<Triple>> {
-    let indexed = mode.is_indexed();
+    with_bounds: bool,
+    indexed: bool,
+    v: V,
+) -> V::Out {
     match function {
         SimilarityFunction::SchemaBasedSyntactic { attribute, measure } => match measure {
             // Character measures ride the bound-driven engine: interned
@@ -910,7 +960,7 @@ pub(crate) fn score_shards(
                     cfg.keep_positive_only,
                     indexed,
                 );
-                run_scorer(&s, cands, cfg, mode)
+                v.visit(&s)
             }
             SchemaBasedMeasure::Token(_) => {
                 let s = SchemaBasedScorer::prepare(
@@ -920,17 +970,17 @@ pub(crate) fn score_shards(
                     *measure,
                     cfg.keep_positive_only,
                 );
-                run_scorer(&s, cands, cfg, mode)
+                v.visit(&s)
             }
         },
         SimilarityFunction::SchemaAgnosticVector { scheme, measure } => {
             let s = VectorScorer::prepare(left, right, *scheme, *measure, cfg.keep_positive_only);
-            run_scorer(&s, cands, cfg, mode)
+            v.visit(&s)
         }
         SimilarityFunction::SchemaAgnosticGraph { scheme, measure } => {
             let s =
                 GraphModelScorer::prepare(left, right, *scheme, *measure, cfg.keep_positive_only);
-            run_scorer(&s, cands, cfg, mode)
+            v.visit(&s)
         }
         SimilarityFunction::Semantic {
             model,
@@ -939,9 +989,8 @@ pub(crate) fn score_shards(
         } => {
             let enc = model.encoder();
             if measure.needs_token_vectors() {
-                let with_bounds = matches!(mode, ScoreMode::TopK { .. });
                 let s = WmdScorer::prepare(left, right, &enc, scope, cfg, with_bounds, indexed);
-                run_scorer(&s, cands, cfg, mode)
+                v.visit(&s)
             } else {
                 let s = DenseSemanticScorer::prepare(
                     left,
@@ -952,10 +1001,125 @@ pub(crate) fn score_shards(
                     cfg.keep_positive_only,
                     indexed,
                 );
-                run_scorer(&s, cands, cfg, mode)
+                v.visit(&s)
             }
         }
     }
+}
+
+/// The in-RAM continuation: one score phase over all rows.
+struct RunAllRows<'a, 'b> {
+    cands: Option<&'a CandidateLists>,
+    cfg: &'a PipelineConfig,
+    mode: ScoreMode<'b>,
+}
+
+impl ScorerVisitor for RunAllRows<'_, '_> {
+    type Out = Vec<Vec<Triple>>;
+
+    fn visit<S: RowScorer>(self, scorer: &S) -> Vec<Vec<Triple>> {
+        run_scorer(scorer, self.cands, self.cfg, self.mode)
+    }
+}
+
+/// Prepare the branch's scorer and run the score phase.
+pub(crate) fn score_shards(
+    left: &EntityCollection,
+    right: &EntityCollection,
+    function: &SimilarityFunction,
+    cands: Option<&CandidateLists>,
+    cfg: &PipelineConfig,
+    mode: ScoreMode<'_>,
+) -> Vec<Vec<Triple>> {
+    visit_scorer(
+        left,
+        right,
+        function,
+        cfg,
+        matches!(mode, ScoreMode::TopK { .. }),
+        mode.is_indexed(),
+        RunAllRows { cands, cfg, mode },
+    )
+}
+
+/// The out-of-core continuation: the same prepared scorer, scored one
+/// contiguous left-row range ("shard") at a time through the streaming
+/// top-k engine, each finished shard handed to `on_shard` (which spills
+/// it and frees the memory) before the next shard starts.
+struct RunShardedRows<'a, F> {
+    k: usize,
+    indexed: bool,
+    cfg: &'a PipelineConfig,
+    acct: &'a ConstructionCounters,
+    shard_rows: usize,
+    on_shard: F,
+}
+
+impl<F: FnMut(usize, Vec<Vec<Triple>>)> ScorerVisitor for RunShardedRows<'_, F> {
+    type Out = ();
+
+    fn visit<S: RowScorer>(mut self, scorer: &S) {
+        let n_rows = scorer.n_rows();
+        let mut start = 0;
+        let mut shard = 0;
+        while start < n_rows {
+            let end = (start + self.shard_rows).min(n_rows);
+            let bufs = run_rows_topk_range(
+                scorer,
+                None,
+                self.k,
+                self.cfg,
+                self.acct,
+                self.indexed,
+                start..end,
+            );
+            (self.on_shard)(shard, bufs);
+            start = end;
+            shard += 1;
+        }
+    }
+}
+
+/// Prepare the branch's scorer **once** over the full collections, then
+/// run the streaming top-k score phase shard by shard: `shard_rows`
+/// scorer rows at a time, each finished shard's triple buffers passed to
+/// `on_shard` in row order and dropped before the next shard is scored.
+///
+/// Because the scorer (and with it every DF statistic, index and
+/// encoding that feeds the raw scores) is identical to the in-RAM
+/// build's, and each row's top-k selection is row-local, concatenating
+/// the `on_shard` payloads in call order reproduces
+/// [`score_shards`]`(…, ScoreMode::TopK, …)`'s output bit for bit — the
+/// out-of-core builder (`crate::sharded`) owes its equivalence proof to
+/// exactly this invariant.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn score_topk_sharded<F: FnMut(usize, Vec<Vec<Triple>>)>(
+    left: &EntityCollection,
+    right: &EntityCollection,
+    function: &SimilarityFunction,
+    k: usize,
+    indexed: bool,
+    cfg: &PipelineConfig,
+    shard_rows: usize,
+    acct: &ConstructionCounters,
+    on_shard: F,
+) {
+    visit_scorer(
+        left,
+        right,
+        function,
+        cfg,
+        true,
+        indexed,
+        RunShardedRows {
+            k,
+            indexed,
+            cfg,
+            acct,
+            shard_rows,
+            on_shard,
+        },
+    )
 }
 
 /// Filter non-positive weights, min-max normalize with a `0.0` floor, and

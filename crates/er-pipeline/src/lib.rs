@@ -35,6 +35,13 @@
 //!   under the sink's admission bound — [`build_graph_topk_mode`] with
 //!   [`CandidateMode::Indexed`] — so ruled-out pairs are never
 //!   materialized while graphs stay bit-identical to enumeration;
+//! * an **out-of-core build** ([`sharded`]): [`build_graph_sharded`]
+//!   scores bounded left-row shards through the same engine, spills each
+//!   finished shard, and externally merges the spills into a columnar
+//!   on-disk store (`er_core::store`) read back as a file-backed
+//!   `MappedCsr` — peak resident edges drop to one shard's
+//!   `shard_rows × k` while the result stays bit-identical to the in-RAM
+//!   top-k build;
 //! * a crossbeam-parallel [`runner`] that generates a dataset's whole
 //!   graph corpus, dividing its thread budget with the per-graph engine.
 
@@ -45,6 +52,7 @@ pub mod config;
 pub mod graphgen;
 pub mod resident;
 pub mod runner;
+pub mod sharded;
 pub mod taxonomy;
 
 pub use blocking::{
@@ -61,4 +69,5 @@ pub use graphgen::{
 };
 pub use resident::ResidentScorer;
 pub use runner::generate_corpus;
+pub use sharded::{build_graph_sharded, ShardedConfig, ShardedStats};
 pub use taxonomy::{SemanticScope, SimilarityFunction, WeightType};

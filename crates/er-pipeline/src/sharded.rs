@@ -1,0 +1,334 @@
+//! Out-of-core top-k graph construction: score in bounded shards, spill,
+//! k-way-merge into a columnar on-disk graph.
+//!
+//! The in-RAM streaming build ([`build_graph_topk_mode`](crate::build_graph_topk_mode)) already bounds
+//! peak memory at `O(n_left × k)` edges — but the *finished* edge set
+//! still materializes as one heap-resident graph. This module removes
+//! that last ceiling: [`build_graph_sharded`] partitions the left rows
+//! into contiguous ranges of [`ShardedConfig::shard_rows`], runs the
+//! existing bound-driven top-k engine (indexed candidate generation and
+//! all) one shard at a time against a scorer **prepared once over the
+//! full collections**, spills each finished shard's raw triples to a
+//! slab file, and externally merges the spills into one on-disk
+//! [`MappedCsr`] store. Peak resident edges drop to one shard's
+//! `shard_rows × k` (plus `O(k + n_shards)` merge buffers that never
+//! touch the resident counter) — the corpus's dense edge set, and even
+//! its pruned top-k edge set, never needs to fit in RAM.
+//!
+//! # Bit-identity with the in-RAM path
+//!
+//! The result is **bit-identical** to
+//! `CsrGraph::from_graph(&build_graph_topk_mode(…).0)`, argued in three
+//! steps (property-proven per taxonomy branch, thread count and shard
+//! size in `tests/sharded_props.rs`):
+//!
+//! 1. **Scores.** The scorer — DF statistics, inverted indexes, encoded
+//!    vectors, candidate indexes — is prepared once over the *full*
+//!    collections, exactly as the in-RAM build prepares it; per-row
+//!    top-k selection is row-local; and row ranges are scored in
+//!    ascending order. Concatenating the shard outputs therefore
+//!    reproduces the in-RAM score phase's triple stream bit for bit
+//!    (see `graphgen::score_topk_sharded`).
+//! 2. **Frame.** The positivity filter is applied per shard before
+//!    spilling — the same per-triple predicate the in-RAM finalize
+//!    applies — and the normalization frame is folded from per-shard
+//!    `(min, max)` bounds. Min/max folding is order- and
+//!    grouping-independent, so the frame equals the in-RAM
+//!    `NormFrame::compute` over the concatenated retained triples.
+//! 3. **Merge.** Each spilled record's raw weight is mapped through
+//!    that frame at merge time — the identical `f64` operations the
+//!    in-RAM finalize applies — and rows are written right-ascending,
+//!    which is exactly the canonical order `CsrGraph::from_graph`
+//!    produces. Same edges, same weights, same layout.
+//!
+//! DESIGN.md §18 spells the argument out against the on-disk format.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+use er_core::{ConstructionCounters, MappedCsr, SlabWriter, StoreError};
+use er_datasets::EntityCollection;
+
+use crate::candidates::CandidateMode;
+use crate::config::PipelineConfig;
+use crate::graphgen::{score_topk_sharded, NormFrame};
+use crate::taxonomy::SimilarityFunction;
+
+/// Bytes of one spill record: `(left u32, right u32, raw weight f64)`.
+const SPILL_RECORD: usize = 16;
+
+/// Shape of one out-of-core build.
+#[derive(Debug, Clone)]
+pub struct ShardedConfig {
+    /// Scorer rows per shard — the resident-memory knob: peak resident
+    /// edges are at most `shard_rows × k`.
+    pub shard_rows: usize,
+    /// Directory for the per-shard spill files (created if missing,
+    /// spills deleted after the merge).
+    pub spill_dir: PathBuf,
+}
+
+impl ShardedConfig {
+    /// A config spilling to `spill_dir` with `shard_rows` rows per shard.
+    pub fn new(shard_rows: usize, spill_dir: impl Into<PathBuf>) -> Self {
+        ShardedConfig {
+            shard_rows,
+            spill_dir: spill_dir.into(),
+        }
+    }
+}
+
+/// Accounting of one out-of-core build — the construction-flow counters
+/// of the in-RAM [`TopKStats`](crate::TopKStats) plus the spill/merge
+/// volumes that replace resident memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardedStats {
+    /// Shards scored and spilled.
+    pub shards: usize,
+    /// Candidate pairs materialized and handed to a measure.
+    pub generated_pairs: usize,
+    /// Triples the scorers emitted into the bounded sinks.
+    pub offered_edges: usize,
+    /// Edges in the finished on-disk graph.
+    pub retained_edges: usize,
+    /// Maximum triples resident at once — bounded row heaps plus the
+    /// *current* shard's buffers only, since each spilled shard releases
+    /// its count. At most [`Self::resident_budget_edges`].
+    pub peak_resident_edges: usize,
+    /// The configured resident ceiling: `shard_rows × k` (saturating).
+    pub resident_budget_edges: usize,
+    /// Candidate pairs skipped via exact upper bounds before scoring.
+    pub pruned_pairs: usize,
+    /// Candidate pairs fully scored.
+    pub scored_pairs: usize,
+    /// Positivity-filtered triples written to spill files.
+    pub spilled_triples: usize,
+    /// Bytes written to spill files.
+    pub spilled_bytes: usize,
+    /// Bytes of the merged on-disk graph (the final store file).
+    pub merged_bytes: usize,
+}
+
+/// One spill file being merged: a buffered reader plus the decoded
+/// look-ahead record — the only triple of the shard resident during the
+/// merge.
+struct SpillReader {
+    rd: BufReader<File>,
+    next: Option<(u32, u32, f64)>,
+}
+
+impl SpillReader {
+    fn open(path: &Path) -> Result<SpillReader, StoreError> {
+        let mut reader = SpillReader {
+            rd: BufReader::new(File::open(path)?),
+            next: None,
+        };
+        reader.advance()?;
+        Ok(reader)
+    }
+
+    fn advance(&mut self) -> Result<(), StoreError> {
+        let mut buf = [0u8; SPILL_RECORD];
+        let mut at = 0;
+        while at < SPILL_RECORD {
+            let n = self.rd.read(&mut buf[at..])?;
+            if n == 0 {
+                break;
+            }
+            at += n;
+        }
+        self.next = match at {
+            0 => None,
+            SPILL_RECORD => Some((
+                u32::from_le_bytes(buf[0..4].try_into().unwrap()),
+                u32::from_le_bytes(buf[4..8].try_into().unwrap()),
+                f64::from_le_bytes(buf[8..16].try_into().unwrap()),
+            )),
+            _ => return Err(StoreError::Format("truncated spill record".into())),
+        };
+        Ok(())
+    }
+}
+
+/// Build the top-k graph of `function` **out of core**: bounded shards
+/// through the streaming engine, spill files, one external merge into a
+/// columnar on-disk store at `out_path` — opened and returned as a
+/// file-backed [`MappedCsr`] view, bit-identical to what the in-RAM
+/// [`build_graph_topk_mode`](crate::build_graph_topk_mode) path would have produced (see the module
+/// docs for the argument), with the frame and the spill/merge
+/// accounting alongside.
+///
+/// ```
+/// use er_datasets::{Dataset, DatasetId};
+/// use er_pipeline::{
+///     build_graph_sharded, build_graph_topk_mode, CandidateMode, PipelineConfig, ShardedConfig,
+/// };
+/// use er_pipeline::SimilarityFunction;
+/// use er_textsim::{NGramScheme, VectorMeasure};
+///
+/// let d = Dataset::generate(DatasetId::D1, 0.02, 7);
+/// let f = SimilarityFunction::SchemaAgnosticVector {
+///     scheme: NGramScheme::Token(1),
+///     measure: VectorMeasure::CosineTfIdf,
+/// };
+/// let cfg = PipelineConfig::default();
+/// let dir = std::env::temp_dir().join("ccer-sharded-doc");
+/// let out = dir.join("graph.slab");
+/// let (mapped, stats, _frame) = build_graph_sharded(
+///     &d.left, &d.right, &f, 2, CandidateMode::Indexed, &cfg,
+///     &ShardedConfig::new(8, &dir), &out,
+/// ).unwrap();
+///
+/// // Bit-identical to the in-RAM build, resident bound respected.
+/// let (g, _) = build_graph_topk_mode(&d.left, &d.right, &f, 2, CandidateMode::Indexed, &cfg);
+/// assert_eq!(mapped.to_csr(), er_core::CsrGraph::from_graph(&g));
+/// assert!(stats.peak_resident_edges <= stats.resident_budget_edges);
+/// # std::fs::remove_file(&out).ok();
+/// ```
+#[allow(clippy::too_many_arguments)]
+pub fn build_graph_sharded(
+    left: &EntityCollection,
+    right: &EntityCollection,
+    function: &SimilarityFunction,
+    k: usize,
+    mode: CandidateMode,
+    cfg: &PipelineConfig,
+    sharding: &ShardedConfig,
+    out_path: &Path,
+) -> Result<(MappedCsr, ShardedStats, NormFrame), StoreError> {
+    if sharding.shard_rows == 0 {
+        return Err(StoreError::Format("shard_rows must be at least 1".into()));
+    }
+    std::fs::create_dir_all(&sharding.spill_dir)?;
+
+    // ---- Score phase: shard, positivity-filter, fold bounds, spill. ----
+    let acct = ConstructionCounters::default();
+    let mut spills: Vec<PathBuf> = Vec::new();
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    let mut spilled_triples = 0usize;
+    let mut spill_err: Option<StoreError> = None;
+    score_topk_sharded(
+        left,
+        right,
+        function,
+        k,
+        mode == CandidateMode::Indexed,
+        cfg,
+        sharding.shard_rows,
+        &acct,
+        |shard, bufs| {
+            if spill_err.is_some() {
+                return;
+            }
+            let resident: usize = bufs.iter().map(Vec::len).sum();
+            let path = sharding.spill_dir.join(format!("shard-{shard}.spill"));
+            let spill = (|| -> Result<usize, StoreError> {
+                let mut out = BufWriter::new(File::create(&path)?);
+                let mut kept = 0usize;
+                for (l, r, w) in bufs.into_iter().flatten() {
+                    if cfg.keep_positive_only && w <= 0.0 {
+                        continue;
+                    }
+                    lo = lo.min(w);
+                    hi = hi.max(w);
+                    out.write_all(&l.to_le_bytes())?;
+                    out.write_all(&r.to_le_bytes())?;
+                    out.write_all(&w.to_le_bytes())?;
+                    kept += 1;
+                }
+                out.flush()?;
+                Ok(kept)
+            })();
+            spills.push(path);
+            match spill {
+                Ok(kept) => {
+                    spilled_triples += kept;
+                    acct.add_spilled_bytes(kept * SPILL_RECORD);
+                    // The shard's buffers are dropped here: release their
+                    // resident count so the peak tracks one shard, not
+                    // the cumulative total.
+                    acct.sub_resident(resident);
+                }
+                Err(e) => spill_err = Some(e),
+            }
+        },
+    );
+    let cleanup = |spills: &[PathBuf]| {
+        for p in spills {
+            std::fs::remove_file(p).ok();
+        }
+    };
+    if let Some(e) = spill_err {
+        cleanup(&spills);
+        return Err(e);
+    }
+    let frame = NormFrame::from_bounds(lo, hi);
+
+    // ---- Merge phase: k-way merge by left id into the on-disk store. ----
+    let n_left = left.len() as u32;
+    let n_right = right.len() as u32;
+    let merged = (|| -> Result<_, StoreError> {
+        let mut readers = Vec::with_capacity(spills.len());
+        for p in &spills {
+            readers.push(SpillReader::open(p)?);
+        }
+        let mut heap: BinaryHeap<Reverse<(u32, usize)>> = readers
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.next.map(|(l, _, _)| Reverse((l, i))))
+            .collect();
+        let mut writer = SlabWriter::create(out_path, n_left, n_right, Vec::new())?;
+        let mut row: Vec<(u32, f64)> = Vec::new();
+        for l in 0..n_left {
+            row.clear();
+            while let Some(&Reverse((rl, idx))) = heap.peek() {
+                if rl != l {
+                    break;
+                }
+                heap.pop();
+                while let Some((el, er, ew)) = readers[idx].next {
+                    if el != l {
+                        break;
+                    }
+                    row.push((er, frame.apply(ew)));
+                    readers[idx].advance()?;
+                }
+                if let Some((el, _, _)) = readers[idx].next {
+                    heap.push(Reverse((el, idx)));
+                }
+            }
+            // Shard rows drain weight-descending; the store's canonical
+            // row order is right-ascending, same as CsrGraph::from_graph.
+            row.sort_unstable_by_key(|&(r, _)| r);
+            writer.append_row(&row)?;
+        }
+        if !heap.is_empty() {
+            return Err(StoreError::Format(
+                "spill records outside the left id space".into(),
+            ));
+        }
+        writer.finish()
+    })();
+    cleanup(&spills);
+    let meta = merged?;
+    acct.add_merged_bytes(meta.file_bytes as usize);
+
+    let mapped = MappedCsr::open(out_path)?;
+    let stats = ShardedStats {
+        shards: spills.len(),
+        generated_pairs: acct.generated(),
+        offered_edges: acct.offered(),
+        retained_edges: meta.n_edges as usize,
+        peak_resident_edges: acct.peak(),
+        resident_budget_edges: sharding.shard_rows.saturating_mul(k),
+        pruned_pairs: acct.pruned(),
+        scored_pairs: acct.scored(),
+        spilled_triples,
+        spilled_bytes: acct.spilled_bytes(),
+        merged_bytes: acct.merged_bytes(),
+    };
+    Ok((mapped, stats, frame))
+}

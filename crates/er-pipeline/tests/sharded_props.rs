@@ -1,0 +1,219 @@
+//! Property tests for the out-of-core sharded construction path
+//! (`er_pipeline::sharded`).
+//!
+//! Invariants:
+//! 1. **bit identity**: `build_graph_sharded` followed by
+//!    `MappedCsr::to_csr` equals `CsrGraph::from_graph` over the in-RAM
+//!    `build_graph_topk_mode` graph — same edges, same order, same
+//!    weight bits — for every taxonomy branch, across shard sizes
+//!    (including 1-row shards and shards larger than the input), thread
+//!    counts, and both candidate modes;
+//! 2. **normalization frame identity**: the frame folded from per-shard
+//!    bounds equals the in-RAM build's frame (`NormFrame` is `PartialEq`
+//!    over its raw `f64` fields, so this is a bitwise statement);
+//! 3. **resident budget**: peak resident edges never exceed one shard's
+//!    `shard_rows × k` admission budget, and the spill/merge accounting
+//!    is consistent with the retained edge count.
+
+use er_core::CsrGraph;
+use er_datasets::{EntityCollection, EntityProfile};
+use er_embed::{EmbeddingModel, SemanticMeasure};
+use er_pipeline::{
+    build_graph_sharded, build_graph_topk_framed, CandidateMode, PipelineConfig, SemanticScope,
+    ShardedConfig, SimilarityFunction,
+};
+use er_textsim::{CharMeasure, GraphSimilarity, NGramScheme, SchemaBasedMeasure, VectorMeasure};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static NEXT_DIR: AtomicUsize = AtomicUsize::new(0);
+
+fn scratch_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "ccer-sharded-props-{}-{}",
+        std::process::id(),
+        NEXT_DIR.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+const VOCAB: [&str; 10] = [
+    "alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta", "iota", "kappa",
+];
+
+fn arb_collection(max_entities: usize) -> impl Strategy<Value = EntityCollection> {
+    proptest::collection::vec(
+        (
+            proptest::collection::vec(0usize..VOCAB.len(), 0..4),
+            proptest::collection::vec(0usize..VOCAB.len(), 0..3),
+        ),
+        1..=max_entities,
+    )
+    .prop_map(|entities| EntityCollection {
+        profiles: entities
+            .into_iter()
+            .enumerate()
+            .map(|(i, (name, desc))| {
+                let text = |toks: Vec<usize>| -> String {
+                    toks.into_iter()
+                        .map(|t| VOCAB[t])
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                };
+                let mut attrs = vec![("name".to_string(), text(name))];
+                if !desc.is_empty() {
+                    attrs.push(("desc".to_string(), text(desc)));
+                }
+                EntityProfile::new(i as u32, attrs)
+            })
+            .collect(),
+        attribute_names: vec!["name".into(), "desc".into()],
+    })
+}
+
+fn branch_representatives() -> Vec<SimilarityFunction> {
+    vec![
+        SimilarityFunction::SchemaBasedSyntactic {
+            attribute: "name".into(),
+            measure: SchemaBasedMeasure::Char(CharMeasure::Levenshtein),
+        },
+        SimilarityFunction::SchemaAgnosticVector {
+            scheme: NGramScheme::Token(1),
+            measure: VectorMeasure::CosineTfIdf,
+        },
+        SimilarityFunction::SchemaAgnosticGraph {
+            scheme: NGramScheme::Char(3),
+            measure: GraphSimilarity::Value,
+        },
+        SimilarityFunction::Semantic {
+            model: EmbeddingModel::FastText,
+            measure: SemanticMeasure::Cosine,
+            scope: SemanticScope::SchemaAgnostic,
+        },
+        SimilarityFunction::Semantic {
+            model: EmbeddingModel::Albert,
+            measure: SemanticMeasure::WordMovers,
+            scope: SemanticScope::SchemaBased {
+                attribute: "name".into(),
+            },
+        },
+    ]
+}
+
+fn cfg(threads: usize) -> PipelineConfig {
+    PipelineConfig {
+        threads,
+        chunk_rows: 2,
+        wmd_token_cap: 4,
+        ..PipelineConfig::default()
+    }
+}
+
+/// Exact comparison of the read-back store against the in-RAM build.
+fn assert_sharded_matches_ram(
+    left: &EntityCollection,
+    right: &EntityCollection,
+    function: &SimilarityFunction,
+    k: usize,
+    mode: CandidateMode,
+    config: &PipelineConfig,
+    shard_rows: usize,
+) {
+    let (ram_graph, ram_stats, ram_frame) =
+        build_graph_topk_framed(left, right, function, k, mode, config);
+    let want = CsrGraph::from_graph(&ram_graph);
+
+    let dir = scratch_dir();
+    let out = dir.join("graph.slab");
+    let sharding = ShardedConfig::new(shard_rows, dir.join("spills"));
+    let (mapped, stats, frame) =
+        build_graph_sharded(left, right, function, k, mode, config, &sharding, &out)
+            .expect("sharded build succeeds");
+
+    let what = format!(
+        "{} k={k} shard_rows={shard_rows} mode={mode:?}",
+        function.name()
+    );
+    assert_eq!(mapped.to_csr(), want, "{what}: bit-identical store");
+    assert_eq!(frame, ram_frame, "{what}: identical normalization frame");
+    assert_eq!(stats.retained_edges, want.n_edges(), "{what}: retained");
+    assert_eq!(
+        stats.generated_pairs, ram_stats.generated_pairs,
+        "{what}: same candidate stream"
+    );
+    assert!(
+        stats.peak_resident_edges <= stats.resident_budget_edges,
+        "{what}: peak {} exceeds shard budget {}",
+        stats.peak_resident_edges,
+        stats.resident_budget_edges
+    );
+    assert_eq!(
+        stats.spilled_triples, stats.retained_edges,
+        "{what}: every retained edge passed through a spill"
+    );
+    assert_eq!(stats.spilled_bytes, stats.spilled_triples * 16);
+    // The scorer's row count can undershoot `left.len()` (schema-based
+    // branches skip rows without the focus attribute), so the shard
+    // count is bounded, not exact.
+    assert!(
+        stats.shards <= left.len().div_ceil(shard_rows),
+        "{what}: {} shards for {} rows",
+        stats.shards,
+        left.len()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Invariants 1-3 across every taxonomy branch, with shard sizes
+    /// spanning degenerate (1 row per shard) through larger-than-input.
+    #[test]
+    fn sharded_build_is_bit_identical_to_ram_build(
+        left in arb_collection(6),
+        right in arb_collection(6),
+        shard_rows in 1usize..=8,
+        k in 1usize..=3,
+    ) {
+        for function in branch_representatives() {
+            assert_sharded_matches_ram(
+                &left,
+                &right,
+                &function,
+                k,
+                CandidateMode::Enumerated,
+                &cfg(1),
+                shard_rows,
+            );
+        }
+    }
+
+    /// Indexed candidate generation and multi-threaded scoring change
+    /// nothing: the spilled/merged store still equals the in-RAM graph.
+    #[test]
+    fn sharded_build_is_stable_across_modes_and_threads(
+        left in arb_collection(6),
+        right in arb_collection(6),
+        threads in 2usize..=4,
+        shard_rows in 1usize..=5,
+    ) {
+        let function = SimilarityFunction::SchemaAgnosticVector {
+            scheme: NGramScheme::Token(1),
+            measure: VectorMeasure::CosineTfIdf,
+        };
+        for mode in [CandidateMode::Enumerated, CandidateMode::Indexed] {
+            assert_sharded_matches_ram(
+                &left,
+                &right,
+                &function,
+                2,
+                mode,
+                &cfg(threads),
+                shard_rows,
+            );
+        }
+    }
+}

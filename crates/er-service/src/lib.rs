@@ -33,11 +33,17 @@
 //! right-insert admission, tombstone residue) and when to
 //! [`ErService::load`] a fresh instance.
 
-use er_core::{CoreError, CsrGraph, Matching, Result, RowDelta, Side};
+use std::path::{Path, PathBuf};
+
+use er_core::{
+    write_csr, CoreError, CsrGraph, MappedCsr, Matching, Result, RowDelta, Side, StoreError,
+    StoreMeta,
+};
 use er_datasets::{EntityCollection, EntityProfile};
 use er_matchers::{AlgorithmConfig, AlgorithmKind, DeltaMatcher, PreparedGraph};
 use er_pipeline::{
-    build_graph_topk_framed, CandidateMode, PipelineConfig, ResidentScorer, SimilarityFunction,
+    build_graph_topk_framed, CandidateMode, NormFrame, PipelineConfig, ResidentScorer,
+    SimilarityFunction,
 };
 
 /// Everything [`ErService::load`] needs beyond the data: graph bound,
@@ -54,6 +60,14 @@ pub struct ServiceConfig {
     pub matchers: AlgorithmConfig,
     /// Graph-construction configuration.
     pub pipeline: PipelineConfig,
+    /// Tombstone-ratio bound ([`CsrGraph::tombstone_ratio`]) above which
+    /// a [`remove`](ErService::remove) folds the store in place, so
+    /// sustained delete traffic can never let dead slab entries dominate
+    /// the resident graph. The fold is RAM-only — persisting a file-backed
+    /// service stays an explicit [`compact`](ErService::compact), which
+    /// has an error surface removes must not inherit. Values `> 1.0`
+    /// disable auto-compaction (the ratio is at most `1.0`).
+    pub auto_compact_ratio: f64,
 }
 
 impl Default for ServiceConfig {
@@ -64,6 +78,7 @@ impl Default for ServiceConfig {
             algorithm: AlgorithmKind::Umc,
             matchers: AlgorithmConfig::default(),
             pipeline: PipelineConfig::default(),
+            auto_compact_ratio: 0.25,
         }
     }
 }
@@ -74,6 +89,9 @@ pub struct ErService {
     csr: CsrGraph,
     matcher: Box<dyn DeltaMatcher>,
     config: ServiceConfig,
+    /// The columnar store file this service hydrated from (and persists
+    /// back to on [`compact`](Self::compact)); `None` for RAM-only loads.
+    store_path: Option<PathBuf>,
 }
 
 impl ErService {
@@ -105,7 +123,63 @@ impl ErService {
             csr,
             matcher,
             config,
+            store_path: None,
         }
+    }
+
+    /// Hydrate a service from a **columnar on-disk graph**
+    /// (`er_core::store`, e.g. the output of an out-of-core
+    /// `build_graph_sharded` run or of a previous service's
+    /// [`compact`](Self::compact)) instead of re-scoring the corpus.
+    ///
+    /// `left`/`right` must be the collections the stored graph was built
+    /// over (every on-disk row id must have its profile, tombstoned ids
+    /// included — ids are never reused) and `frame` the normalization
+    /// frame that build derived, so that inserted records are scored onto
+    /// the same weight scale as the resident edges. The store's tombstones
+    /// are replayed into the scorer, and the origin path is remembered:
+    /// later [`compact`](Self::compact) calls persist the folded graph
+    /// back to it.
+    pub fn load_mapped(
+        path: &Path,
+        left: &EntityCollection,
+        right: &EntityCollection,
+        function: &SimilarityFunction,
+        frame: NormFrame,
+        config: ServiceConfig,
+    ) -> std::result::Result<Self, StoreError> {
+        let mapped = MappedCsr::open(path)?;
+        if mapped.n_left() as usize != left.profiles.len()
+            || mapped.n_right() as usize != right.profiles.len()
+        {
+            return Err(StoreError::Format(format!(
+                "store shape {}x{} does not match the collections ({}x{})",
+                mapped.n_left(),
+                mapped.n_right(),
+                left.profiles.len(),
+                right.profiles.len()
+            )));
+        }
+        let csr = mapped.to_csr();
+        drop(mapped);
+        let mut scorer =
+            ResidentScorer::prepare(left, right, function, config.k, frame, &config.pipeline);
+        for &id in csr.dead_left() {
+            scorer.mark_deleted(Side::Left, id);
+        }
+        for &id in csr.dead_right() {
+            scorer.mark_deleted(Side::Right, id);
+        }
+        let matcher = config
+            .matchers
+            .delta_matcher(config.algorithm, &csr, config.threshold);
+        Ok(ErService {
+            scorer,
+            csr,
+            matcher,
+            config,
+            store_path: Some(path.to_path_buf()),
+        })
     }
 
     /// Insert one record: score it against the live counterpart corpus
@@ -143,6 +217,9 @@ impl ErService {
             Side::Right => RowDelta::delete_right(id, removed),
         };
         self.matcher.apply_delta(&delta);
+        if self.csr.tombstone_ratio() >= self.config.auto_compact_ratio {
+            self.csr.compact();
+        }
         Ok(delta)
     }
 
@@ -218,8 +295,30 @@ impl ErService {
 
     /// Fold pending deltas into the store slabs (`O(m)`); liveness and
     /// results are unaffected, probe/query constants improve.
-    pub fn compact(&mut self) {
+    ///
+    /// A service hydrated from a columnar store file
+    /// ([`load_mapped`](Self::load_mapped)) also **persists** the folded
+    /// graph back to that file and returns its [`StoreMeta`]; RAM-only
+    /// services return `Ok(None)`.
+    pub fn compact(&mut self) -> std::result::Result<Option<StoreMeta>, StoreError> {
         self.csr.compact();
+        match &self.store_path {
+            Some(path) => write_csr(&self.csr, path).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Fraction of the resident slab entries that are tombstone-masked
+    /// ([`CsrGraph::tombstone_ratio`]). Bounded by
+    /// [`ServiceConfig::auto_compact_ratio`] under delete traffic.
+    pub fn tombstone_ratio(&self) -> f64 {
+        self.csr.tombstone_ratio()
+    }
+
+    /// The columnar store file this service persists to on
+    /// [`compact`](Self::compact), if it was loaded from one.
+    pub fn store_path(&self) -> Option<&Path> {
+        self.store_path.as_deref()
     }
 
     /// Live left record count.
@@ -344,8 +443,164 @@ mod tests {
         s.insert(Side::Left, &p).unwrap();
         s.remove(Side::Right, 1).ok();
         let before = s.matching();
-        s.compact();
+        assert_eq!(s.compact().unwrap(), None, "RAM-only load persists nowhere");
         assert_eq!(s.matching(), before);
+        assert_eq!(s.matching(), s.full_rematch());
+    }
+
+    fn scratch_dir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ccer-service-store-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn load_mapped_matches_ram_load() {
+        let d = Dataset::generate(DatasetId::D1, 0.02, 11);
+        let f = SimilarityFunction::SchemaAgnosticVector {
+            scheme: NGramScheme::Token(1),
+            measure: VectorMeasure::CosineTfIdf,
+        };
+        let cfg = ServiceConfig {
+            k: 3,
+            threshold: 0.3,
+            ..ServiceConfig::default()
+        };
+        // Persist the batch build, then hydrate a second service from disk.
+        let (graph, _, frame) = build_graph_topk_framed(
+            &d.left,
+            &d.right,
+            &f,
+            cfg.k,
+            CandidateMode::Indexed,
+            &cfg.pipeline,
+        );
+        let csr = CsrGraph::from_graph(&graph);
+        let dir = scratch_dir();
+        let path = dir.join("service.slab");
+        er_core::write_csr(&csr, &path).unwrap();
+
+        let mut ram = ErService::load(&d.left, &d.right, &f, cfg.clone());
+        let mut disk = ErService::load_mapped(&path, &d.left, &d.right, &f, frame, cfg).unwrap();
+        assert_eq!(disk.store_path(), Some(path.as_path()));
+        assert_eq!(disk.store(), ram.store(), "hydrated store is identical");
+        assert_eq!(disk.matching(), ram.matching());
+
+        // Inserts score through the same frozen frame on both services.
+        let mut p = d.left.profiles[2].clone();
+        p.id = ram.next_id(Side::Left);
+        let dr = ram.insert(Side::Left, &p).unwrap();
+        let dd = disk.insert(Side::Left, &p).unwrap();
+        assert_eq!(dr.edges, dd.edges, "identical insert deltas");
+        assert_eq!(disk.matching(), ram.matching());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_mapped_rejects_mismatched_collections() {
+        let d = Dataset::generate(DatasetId::D1, 0.02, 11);
+        let f = SimilarityFunction::SchemaAgnosticVector {
+            scheme: NGramScheme::Token(1),
+            measure: VectorMeasure::CosineTfIdf,
+        };
+        let cfg = ServiceConfig::default();
+        let mut b = er_core::GraphBuilder::new(2, 2);
+        b.add_edge(0, 0, 0.9).unwrap();
+        let csr = CsrGraph::from_graph(&b.build());
+        let dir = scratch_dir();
+        let path = dir.join("tiny.slab");
+        er_core::write_csr(&csr, &path).unwrap();
+        let err = ErService::load_mapped(
+            &path,
+            &d.left,
+            &d.right,
+            &f,
+            er_pipeline::NormFrame::degenerate(),
+            cfg,
+        );
+        assert!(matches!(err, Err(er_core::StoreError::Format(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compact_persists_the_folded_graph() {
+        let d = Dataset::generate(DatasetId::D1, 0.02, 11);
+        let f = SimilarityFunction::SchemaAgnosticVector {
+            scheme: NGramScheme::Token(1),
+            measure: VectorMeasure::CosineTfIdf,
+        };
+        let cfg = ServiceConfig {
+            k: 3,
+            threshold: 0.3,
+            // Keep deltas pending so compact() has something to fold.
+            auto_compact_ratio: 2.0,
+            ..ServiceConfig::default()
+        };
+        let (graph, _, frame) = build_graph_topk_framed(
+            &d.left,
+            &d.right,
+            &f,
+            cfg.k,
+            CandidateMode::Indexed,
+            &cfg.pipeline,
+        );
+        let csr = CsrGraph::from_graph(&graph);
+        let dir = scratch_dir();
+        let path = dir.join("persist.slab");
+        er_core::write_csr(&csr, &path).unwrap();
+        let mut s = ErService::load_mapped(&path, &d.left, &d.right, &f, frame, cfg).unwrap();
+
+        let mut p = d.left.profiles[0].clone();
+        p.id = s.next_id(Side::Left);
+        s.insert(Side::Left, &p).unwrap();
+        s.remove(Side::Right, 1).unwrap();
+        let before = s.matching();
+
+        let meta = s.compact().unwrap().expect("file-backed service persists");
+        assert!(meta.file_bytes > 0);
+        // The file now holds exactly the folded resident graph —
+        // tombstones, appended row and all.
+        let reread = er_core::MappedCsr::open(&path).unwrap();
+        assert_eq!(&reread.to_csr(), s.store());
+        assert!(!reread.is_live_right(1));
+        assert_eq!(s.matching(), before);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sustained_traffic_keeps_liveness_above_threshold() {
+        let (mut s, d) = service();
+        let ratio = 0.25;
+        assert_eq!(s.tombstone_ratio(), 0.0);
+        // Churn: keep inserting fresh records while deleting the oldest
+        // live ones, on both sides. Auto-compaction must keep the masked
+        // share of the slab strictly below the configured ratio at every
+        // step — sustained traffic never degrades liveness past the bound.
+        let (mut next_dead_left, mut next_dead_right) = (0u32, 0u32);
+        for i in 0..40 {
+            let mut p = d.left.profiles[i % d.left.profiles.len()].clone();
+            p.id = s.next_id(Side::Left);
+            s.insert(Side::Left, &p).unwrap();
+            let mut q = d.right.profiles[i % d.right.profiles.len()].clone();
+            q.id = s.next_id(Side::Right);
+            s.insert(Side::Right, &q).unwrap();
+            s.remove(Side::Left, next_dead_left).unwrap();
+            next_dead_left += 1;
+            if i % 2 == 0 {
+                s.remove(Side::Right, next_dead_right).unwrap();
+                next_dead_right += 1;
+            }
+            assert!(
+                s.tombstone_ratio() < ratio,
+                "step {i}: masked share {} reached the auto-compact bound",
+                s.tombstone_ratio()
+            );
+        }
+        // Folding along the way never drifted the matching.
         assert_eq!(s.matching(), s.full_rematch());
     }
 }

@@ -1,0 +1,141 @@
+#![warn(missing_docs)]
+
+//! Offline API shim for the `memmap2` crate.
+//!
+//! Exposes the read-only mapping surface the workspace uses —
+//! [`Mmap::map`] over an open [`File`] yielding a
+//! `Deref<Target = [u8]>` view of the file's bytes. The shim reads the
+//! file eagerly into an owned buffer instead of establishing a true
+//! OS-level memory mapping (no `unsafe`, no platform syscalls), so the
+//! view is a point-in-time snapshot: later writes to the file are not
+//! reflected, which is strictly more conservative than real `mmap`
+//! semantics and exactly what an immutable on-disk store wants. Swapping
+//! in the real crate (`memmap2 = "0.9"`) turns the same call sites into
+//! demand-paged zero-copy mappings with no source changes. See
+//! `vendor/README.md` for the shim policy.
+
+use std::fs::File;
+use std::io;
+use std::ops::Deref;
+#[cfg(unix)]
+use std::os::unix::fs::FileExt;
+
+/// An immutable byte view of a file's contents.
+///
+/// ```
+/// use std::io::Write;
+///
+/// let dir = std::env::temp_dir().join("memmap2-shim-doc");
+/// std::fs::create_dir_all(&dir).unwrap();
+/// let path = dir.join("sample.bin");
+/// std::fs::File::create(&path).unwrap().write_all(b"abc").unwrap();
+///
+/// let file = std::fs::File::open(&path).unwrap();
+/// let map = memmap2::Mmap::map(&file).unwrap();
+/// assert_eq!(&map[..], b"abc");
+/// ```
+#[derive(Debug)]
+pub struct Mmap {
+    buf: Vec<u8>,
+}
+
+impl Mmap {
+    /// Map `file`'s full contents as an immutable byte view.
+    ///
+    /// The real crate marks this `unsafe` because a live mapping can be
+    /// invalidated by concurrent file truncation; the shim's eager read
+    /// has no such hazard, so the safe signature is a strict superset.
+    pub fn map(file: &File) -> io::Result<Mmap> {
+        // Positional reads from offset 0: like a real mapping, the view
+        // covers the whole file and the caller's read cursor is untouched.
+        let len = usize::try_from(file.metadata()?.len())
+            .map_err(|_| io::Error::new(io::ErrorKind::OutOfMemory, "file too large to buffer"))?;
+        let mut buf = vec![0u8; len];
+        let mut at = 0usize;
+        while at < len {
+            let n = file.read_at(&mut buf[at..], at as u64)?;
+            if n == 0 {
+                return Err(io::ErrorKind::UnexpectedEof.into());
+            }
+            at += n;
+        }
+        Ok(Mmap { buf })
+    }
+
+    /// Length of the mapped view in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the mapped file was empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl AsRef<[u8]> for Mmap {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn scratch(name: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("memmap2-shim-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        File::create(&path).unwrap().write_all(bytes).unwrap();
+        path
+    }
+
+    #[test]
+    fn maps_full_contents() {
+        let path = scratch("full.bin", &[1, 2, 3, 4, 5]);
+        let map = Mmap::map(&File::open(&path).unwrap()).unwrap();
+        assert_eq!(map.len(), 5);
+        assert_eq!(&map[..], &[1, 2, 3, 4, 5]);
+        assert_eq!(map.as_ref(), &map[..]);
+    }
+
+    #[test]
+    fn empty_file_maps_empty() {
+        let path = scratch("empty.bin", b"");
+        let map = Mmap::map(&File::open(&path).unwrap()).unwrap();
+        assert!(map.is_empty());
+        assert_eq!(map.len(), 0);
+    }
+
+    #[test]
+    fn view_is_a_snapshot() {
+        let path = scratch("snap.bin", b"before");
+        let file = File::open(&path).unwrap();
+        let map = Mmap::map(&file).unwrap();
+        std::fs::write(&path, b"after!!").unwrap();
+        assert_eq!(&map[..], b"before", "eager read ignores later writes");
+    }
+
+    #[test]
+    fn mapping_ignores_the_file_cursor() {
+        // Like a real mapping, `map` covers the whole file from offset 0
+        // no matter where the caller's read cursor sits.
+        use std::io::Read;
+        let path = scratch("cursor.bin", b"abcdef");
+        let mut file = File::open(&path).unwrap();
+        let mut first = [0u8; 3];
+        file.read_exact(&mut first).unwrap();
+        let map = Mmap::map(&file).unwrap();
+        assert_eq!(&map[..], b"abcdef");
+    }
+}
