@@ -13,6 +13,8 @@
 //!   transfer         extension: threshold transfer across algorithms
 //!   scalability      extension: top-k pruned construction, corpus size × k
 //!                    (--quick runs the smoke configuration)
+//!   scaling          extension: lane-kernel throughput + thread-scaling
+//!                    portrait with bit-identity asserts (--quick = smoke)
 //!   service          extension: resident ErService load test + incremental
 //!                    UMC vs full re-match (--quick runs the smoke configuration)
 //!   export           write the generated datasets as TSV under --out
@@ -41,7 +43,7 @@ fn main() {
         eprintln!("usage: repro [--scale f] [--seed n] [--reps n] [--quick] [--fresh] [--out dir] [--datasets D1,D2] <command>...");
         eprintln!("commands: table1..table9, fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10,");
         eprintln!(
-            "          conclusions oracle dirty blocking scalability service transfer export, all"
+            "          conclusions oracle dirty blocking scalability scaling service transfer export, all"
         );
         std::process::exit(2);
     }
@@ -112,7 +114,14 @@ fn main() {
     let needs_data = commands.iter().any(|c| {
         !matches!(
             c.as_str(),
-            "table1" | "fig6" | "oracle" | "dirty" | "blocking" | "scalability" | "service"
+            "table1"
+                | "fig6"
+                | "oracle"
+                | "dirty"
+                | "blocking"
+                | "scalability"
+                | "scaling"
+                | "service"
         )
     });
     let data = if needs_data {
@@ -140,7 +149,7 @@ fn main() {
 /// What `all` expands to, in the paper's presentation order. This is the
 /// single roster of dispatchable commands: the upfront typo check accepts
 /// exactly these plus the meta commands `export` and `all`.
-const ALL_EXPANSION: [&str; 25] = [
+const ALL_EXPANSION: [&str; 26] = [
     "table1",
     "table2",
     "table3",
@@ -163,6 +172,7 @@ const ALL_EXPANSION: [&str; 25] = [
     "dirty",
     "blocking",
     "scalability",
+    "scaling",
     "service",
     "conclusions",
     "transfer",
@@ -198,6 +208,7 @@ fn run_command(cmd: &str, data: Option<&RunData>, quick: bool) -> String {
         "dirty" => experiments::dirty::render(17),
         "blocking" => experiments::blocking::render(17),
         "scalability" => experiments::scalability::render(17, quick),
+        "scaling" => experiments::scaling::render(17, quick),
         "service" => experiments::service_load::render(17, quick),
         "conclusions" => experiments::conclusions::render(data("conclusions")),
         "transfer" => experiments::transfer::render(data("transfer")),

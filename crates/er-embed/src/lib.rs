@@ -31,6 +31,7 @@ pub mod ballindex;
 pub mod dense;
 pub mod fasttext;
 pub mod hashing;
+pub mod lanes;
 pub mod measures;
 pub mod wmd;
 

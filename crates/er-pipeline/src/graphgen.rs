@@ -75,10 +75,12 @@ use er_core::{
     TopKRow,
 };
 use er_datasets::{Dataset, EntityCollection, EntityProfile};
+use er_embed::lanes as embed_lanes;
 use er_embed::{
     cosine_distance_bound, inverse_distance_bound, BagSummary, DenseVector, SemanticMeasure,
     VectorBallIndex,
 };
+use er_textsim::lanes::{self, MyersBatch, LANE_WIDTH};
 use er_textsim::{
     CharMeasure, CharScratch, CharTable, DfIndex, GraphSimilarity, LengthBucketIndex, NGramGraph,
     NGramScheme, SchemaBasedMeasure, SparseVector, VectorMeasure, VectorModel,
@@ -88,7 +90,7 @@ use serde::Serialize;
 use crate::candidates::{
     generate_ball_candidates, generate_char_candidates, generate_token_candidates, CandidateMode,
 };
-use crate::config::PipelineConfig;
+use crate::config::{KernelMode, PipelineConfig};
 use crate::taxonomy::{SemanticScope, SimilarityFunction};
 
 /// A scored pair before normalization: `(left, right, raw weight)`.
@@ -959,6 +961,7 @@ fn visit_scorer<V: ScorerVisitor>(
                     *m,
                     cfg.keep_positive_only,
                     indexed,
+                    cfg.kernel_mode,
                 );
                 v.visit(&s)
             }
@@ -974,7 +977,14 @@ fn visit_scorer<V: ScorerVisitor>(
             }
         },
         SimilarityFunction::SchemaAgnosticVector { scheme, measure } => {
-            let s = VectorScorer::prepare(left, right, *scheme, *measure, cfg.keep_positive_only);
+            let s = VectorScorer::prepare(
+                left,
+                right,
+                *scheme,
+                *measure,
+                cfg.keep_positive_only,
+                cfg.kernel_mode,
+            );
             v.visit(&s)
         }
         SimilarityFunction::SchemaAgnosticGraph { scheme, measure } => {
@@ -1000,6 +1010,7 @@ fn visit_scorer<V: ScorerVisitor>(
                     scope,
                     cfg.keep_positive_only,
                     indexed,
+                    cfg.kernel_mode,
                 );
                 v.visit(&s)
             }
@@ -1296,6 +1307,7 @@ struct CharScorer {
     index: Option<LengthBucketIndex>,
     measure: CharMeasure,
     keep_positive: bool,
+    kernel: KernelMode,
 }
 
 impl CharScorer {
@@ -1306,6 +1318,7 @@ impl CharScorer {
         measure: CharMeasure,
         keep_positive: bool,
         indexed: bool,
+        kernel: KernelMode,
     ) -> Self {
         fn with_attr<'a>(c: &'a EntityCollection, attribute: &str) -> (Vec<u32>, Vec<&'a str>) {
             let mut ids = Vec::new();
@@ -1342,6 +1355,7 @@ impl CharScorer {
             index,
             measure,
             keep_positive,
+            kernel,
         }
     }
 
@@ -1489,6 +1503,158 @@ impl CharScorer {
             out.emit(li, ri, w);
         }
     }
+
+    /// Lane-parallel scoring of up to [`LANE_WIDTH`] candidates
+    /// (`(right id, table entry)` pairs, in candidate order). The graph
+    /// this path builds is **bit-identical** to chaining
+    /// [`Self::score_candidate`] over the same candidates — the argument,
+    /// expanded in DESIGN.md §19:
+    ///
+    /// * The batched length/counting-filter screens compute the exact
+    ///   scalar bound values (`lanes::length_upper_bounds` /
+    ///   `lanes::bag_upper_bounds_from_common` are bit-identical by
+    ///   construction), but against the admission bound captured at
+    ///   chunk start. The bound is monotone non-decreasing, so the chunk
+    ///   screen prunes a *subset* of what the scalar screen prunes; every
+    ///   extra survivor it lets through scores strictly below the final
+    ///   bound (the prune comparison is strict `<`) and is rejected by
+    ///   the sink's heap without displacing anything.
+    /// * Levenshtein survivors get **exact** distances from the
+    ///   multi-text [`MyersBatch`] — the same integer the scalar banded
+    ///   kernel either reports or provably brackets above `cutoff`, so
+    ///   the emitted weight bits match wherever the scalar path emits
+    ///   and fall below the bound wherever it pruned.
+    /// * Other measures score their survivors through the scalar
+    ///   bounded kernel with a *refreshed* per-candidate bound —
+    ///   unchanged behaviour, the chunk only reordered the screens.
+    ///
+    /// `prescreened` marks candidates that already passed the
+    /// length/bag bounds inside an index generator (the
+    /// [`Self::score_generated`] contract) so the chunk screens are
+    /// skipped for them.
+    #[allow(clippy::too_many_arguments)]
+    fn score_lane_chunk<O: EdgeSink>(
+        &self,
+        li: u32,
+        row_entry: usize,
+        cands: &[(u32, u32)],
+        prescreened: bool,
+        chars: &mut CharScratch,
+        batch: &mut MyersBatch,
+        out: &mut O,
+    ) {
+        let n = cands.len();
+        debug_assert!(n <= LANE_WIDTH && n > 0);
+        let a = self.table.codes(row_entry);
+        let bound = out.admission_bound();
+        let mut keep = [true; LANE_WIDTH];
+        if bound != f64::NEG_INFINITY && !prescreened {
+            let mut lens = [0usize; LANE_WIDTH];
+            for (l, &(_, entry)) in cands.iter().enumerate() {
+                lens[l] = self.table.char_len(entry as usize);
+            }
+            let mut ubs = [0.0f64; LANE_WIDTH];
+            lanes::length_upper_bounds(self.measure, a.len(), &lens[..n], &mut ubs[..n]);
+            for l in 0..n {
+                keep[l] = ubs[l] >= bound;
+            }
+            if self.measure.has_bag_bound() {
+                let mut kept_lane = [0usize; LANE_WIDTH];
+                let mut kept_bags: [&[u32]; LANE_WIDTH] = [&[]; LANE_WIDTH];
+                let mut kept_lens = [0usize; LANE_WIDTH];
+                let mut kn = 0;
+                for l in 0..n {
+                    if keep[l] {
+                        kept_lane[kn] = l;
+                        kept_bags[kn] = self.table.bag(cands[l].1 as usize);
+                        kept_lens[kn] = lens[l];
+                        kn += 1;
+                    }
+                }
+                if kn > 0 {
+                    let mut commons = [0usize; LANE_WIDTH];
+                    lanes::sorted_common_counts(
+                        self.table.bag(row_entry),
+                        &kept_bags[..kn],
+                        &mut commons[..kn],
+                    );
+                    lanes::bag_upper_bounds_from_common(
+                        self.measure,
+                        &commons[..kn],
+                        a.len(),
+                        &kept_lens[..kn],
+                        &mut ubs[..kn],
+                    );
+                    for i in 0..kn {
+                        if ubs[i] < bound {
+                            keep[kept_lane[i]] = false;
+                        }
+                    }
+                }
+            }
+        }
+        for &kept in keep.iter().take(n) {
+            out.note_generated();
+            if !kept {
+                out.note_pruned();
+            }
+        }
+        if self.uses_pattern() {
+            // Multi-text Myers: exact distances for all surviving lanes.
+            let mut kept_lane = [0usize; LANE_WIDTH];
+            let mut texts: [&[u32]; LANE_WIDTH] = [&[]; LANE_WIDTH];
+            let mut kn = 0;
+            for l in 0..n {
+                if keep[l] {
+                    kept_lane[kn] = l;
+                    texts[kn] = self.table.codes(cands[l].1 as usize);
+                    kn += 1;
+                }
+            }
+            if kn == 0 {
+                return;
+            }
+            let mut dists = [0usize; LANE_WIDTH];
+            batch.distances(&texts[..kn], &mut dists[..kn]);
+            for i in 0..kn {
+                let ri = cands[kept_lane[i]].0;
+                let max_len = a.len().max(texts[i].len());
+                let w = if max_len == 0 {
+                    1.0
+                } else {
+                    1.0 - dists[i] as f64 / max_len as f64
+                };
+                out.note_scored();
+                if w > 0.0 || !self.keep_positive {
+                    out.emit(li, ri, w);
+                }
+            }
+        } else {
+            for l in 0..n {
+                if !keep[l] {
+                    continue;
+                }
+                let (ri, entry) = cands[l];
+                let b = self.table.codes(entry as usize);
+                let bound_now = out.admission_bound();
+                let w = if bound_now == f64::NEG_INFINITY {
+                    self.full_similarity(a, b, chars)
+                } else {
+                    match self.bounded_similarity(a, b, bound_now, chars) {
+                        Some(w) => w,
+                        None => {
+                            out.note_pruned();
+                            continue;
+                        }
+                    }
+                };
+                out.note_scored();
+                if w > 0.0 || !self.keep_positive {
+                    out.emit(li, ri, w);
+                }
+            }
+        }
+    }
 }
 
 /// Largest edit distance whose similarity `1 − d/L` still reaches
@@ -1517,12 +1683,14 @@ fn edit_cutoff(bound: f64, max_len: usize) -> usize {
     cutoff
 }
 
-/// Per-worker scratch of the char scorer: the kernel scratch plus the
-/// indexed path's bucket-order and common-count buffers.
+/// Per-worker scratch of the char scorer: the kernel scratch, the
+/// indexed path's bucket-order and common-count buffers, and the
+/// lane kernels' multi-text Myers state.
 struct CharGenScratch {
     chars: CharScratch,
     order: Vec<u32>,
     counts: Vec<u32>,
+    batch: MyersBatch,
 }
 
 impl RowScorer for CharScorer {
@@ -1537,15 +1705,51 @@ impl RowScorer for CharScorer {
             chars: CharScratch::new(),
             order: Vec::new(),
             counts: Vec::new(),
+            batch: MyersBatch::new(),
         }
     }
 
     fn score_row<O: EdgeSink>(&self, row: usize, scratch: &mut CharGenScratch, out: &mut O) {
         let li = self.left_ids[row];
+        let offset = self.left_ids.len();
+        if matches!(self.kernel, KernelMode::Lanes) {
+            if self.uses_pattern() {
+                scratch.batch.prepare(self.table.codes(row));
+            }
+            let mut chunk = [(0u32, 0u32); LANE_WIDTH];
+            let mut cn = 0;
+            for (j, &ri) in self.right_ids.iter().enumerate() {
+                chunk[cn] = (ri, (offset + j) as u32);
+                cn += 1;
+                if cn == LANE_WIDTH {
+                    self.score_lane_chunk(
+                        li,
+                        row,
+                        &chunk[..cn],
+                        false,
+                        &mut scratch.chars,
+                        &mut scratch.batch,
+                        out,
+                    );
+                    cn = 0;
+                }
+            }
+            if cn > 0 {
+                self.score_lane_chunk(
+                    li,
+                    row,
+                    &chunk[..cn],
+                    false,
+                    &mut scratch.chars,
+                    &mut scratch.batch,
+                    out,
+                );
+            }
+            return;
+        }
         if self.uses_pattern() {
             scratch.chars.set_pattern(self.table.codes(row));
         }
-        let offset = self.left_ids.len();
         for (j, &ri) in self.right_ids.iter().enumerate() {
             self.score_candidate(li, row, ri, offset + j, &mut scratch.chars, out);
         }
@@ -1562,14 +1766,57 @@ impl RowScorer for CharScorer {
             .as_ref()
             .expect("indexed mode prepared without a length-bucket index");
         let li = self.left_ids[row];
+        let offset = self.left_ids.len();
+        if matches!(self.kernel, KernelMode::Lanes) && self.uses_pattern() {
+            // Buffer generated candidates into lanes and flush through
+            // the multi-text Myers batch. Between flushes the generator
+            // keeps working with the bound as of the last flush — it
+            // therefore enumerates a *superset* of the scalar
+            // generator's candidates, and every extra one scores
+            // strictly below the final admission bound (see
+            // [`Self::score_lane_chunk`]); the retained graph is
+            // bit-identical.
+            scratch.batch.prepare(self.table.codes(row));
+            let CharGenScratch {
+                chars,
+                order,
+                counts,
+                batch,
+            } = scratch;
+            let mut chunk = [(0u32, 0u32); LANE_WIDTH];
+            let mut cn = 0usize;
+            generate_char_candidates(
+                index,
+                self.measure,
+                self.table.char_len(row),
+                self.table.bag(row),
+                order,
+                counts,
+                out.admission_bound(),
+                |j| {
+                    let ri = self.right_ids[j as usize];
+                    chunk[cn] = (ri, (offset + j as usize) as u32);
+                    cn += 1;
+                    if cn == LANE_WIDTH {
+                        self.score_lane_chunk(li, row, &chunk[..cn], true, chars, batch, out);
+                        cn = 0;
+                    }
+                    out.admission_bound()
+                },
+            );
+            if cn > 0 {
+                self.score_lane_chunk(li, row, &chunk[..cn], true, chars, batch, out);
+            }
+            return;
+        }
         if self.uses_pattern() {
             scratch.chars.set_pattern(self.table.codes(row));
         }
-        let offset = self.left_ids.len();
         let CharGenScratch {
             chars,
             order,
             counts,
+            ..
         } = scratch;
         generate_char_candidates(
             index,
@@ -1595,6 +1842,43 @@ impl RowScorer for CharScorer {
         out: &mut O,
     ) {
         let li = self.left_ids[row];
+        if matches!(self.kernel, KernelMode::Lanes) {
+            if self.uses_pattern() {
+                scratch.batch.prepare(self.table.codes(row));
+            }
+            let mut chunk = [(0u32, 0u32); LANE_WIDTH];
+            let mut cn = 0;
+            for &r in cands.row(li) {
+                if let Some(&entry) = self.right_entry_by_id.get(&r) {
+                    chunk[cn] = (r, entry as u32);
+                    cn += 1;
+                    if cn == LANE_WIDTH {
+                        self.score_lane_chunk(
+                            li,
+                            row,
+                            &chunk[..cn],
+                            false,
+                            &mut scratch.chars,
+                            &mut scratch.batch,
+                            out,
+                        );
+                        cn = 0;
+                    }
+                }
+            }
+            if cn > 0 {
+                self.score_lane_chunk(
+                    li,
+                    row,
+                    &chunk[..cn],
+                    false,
+                    &mut scratch.chars,
+                    &mut scratch.batch,
+                    out,
+                );
+            }
+            return;
+        }
         if self.uses_pattern() {
             scratch.chars.set_pattern(self.table.codes(row));
         }
@@ -1616,6 +1900,10 @@ impl RowScorer for CharScorer {
 struct ProbeScratch {
     stamp: Vec<u32>,
     candidates: Vec<u32>,
+    /// Per-right-id dot accumulators of the lane cosine path (empty when
+    /// the scorer runs scalar kernels). A slot is zeroed when its
+    /// candidate is first discovered, so no end-of-row sweep is needed.
+    acc: Vec<f64>,
 }
 
 /// Inverted-index scoring of n-gram vector models.
@@ -1626,6 +1914,19 @@ struct VectorScorer {
     df_right: DfIndex,
     /// Inverted index over right-side terms.
     index: FxHashMap<u64, Vec<u32>>,
+    /// Weight-carrying postings for the lane cosine path
+    /// ([`KernelMode::Lanes`] + a cosine measure): one pass over these
+    /// accumulates every candidate's dot product in the probe's term
+    /// order — the **same ascending-term-id order** (and hence the same
+    /// f64 addition sequence, bit for bit) that
+    /// `SparseVector::dot`'s sorted merge join produces per pair. The
+    /// other measures and the indexed path (whose prefix-filter early
+    /// stop needs a fresh bound after every single score) stay scalar.
+    windex: Option<FxHashMap<u64, Vec<(u32, f64)>>>,
+    /// `right_vecs[j].norm()` under the lane path — recomputing a norm
+    /// is deterministic, so the cached value equals the scalar path's
+    /// per-pair recomputation bit for bit.
+    right_norms: Vec<f64>,
     measure: VectorMeasure,
     keep_positive: bool,
 }
@@ -1637,6 +1938,7 @@ impl VectorScorer {
         scheme: NGramScheme,
         measure: VectorMeasure,
         keep_positive: bool,
+        kernel: KernelMode,
     ) -> Self {
         let model = VectorModel::new(scheme);
         let weighting = measure.weighting();
@@ -1670,12 +1972,34 @@ impl VectorScorer {
             }
         }
 
+        let lane_cosine = matches!(kernel, KernelMode::Lanes)
+            && matches!(
+                measure,
+                VectorMeasure::CosineTf | VectorMeasure::CosineTfIdf
+            );
+        let windex = lane_cosine.then(|| {
+            let mut w: FxHashMap<u64, Vec<(u32, f64)>> = FxHashMap::default();
+            for (j, v) in right_vecs.iter().enumerate() {
+                for &(t, wt) in v.terms() {
+                    w.entry(t).or_default().push((j as u32, wt));
+                }
+            }
+            w
+        });
+        let right_norms = if lane_cosine {
+            right_vecs.iter().map(SparseVector::norm).collect()
+        } else {
+            Vec::new()
+        };
+
         VectorScorer {
             left_vecs,
             right_vecs,
             df_left,
             df_right,
             index,
+            windex,
+            right_norms,
             measure,
             keep_positive,
         }
@@ -1698,6 +2022,14 @@ impl RowScorer for VectorScorer {
         ProbeScratch {
             stamp: vec![0u32; self.right_vecs.len()],
             candidates: Vec::new(),
+            acc: vec![
+                0.0;
+                if self.windex.is_some() {
+                    self.right_vecs.len()
+                } else {
+                    0
+                }
+            ],
         }
     }
 
@@ -1705,6 +2037,44 @@ impl RowScorer for VectorScorer {
         let lv = &self.left_vecs[row];
         let mark = row as u32 + 1;
         scratch.candidates.clear();
+        if let Some(windex) = &self.windex {
+            // Lane cosine path: one pass over the weighted postings
+            // accumulates every candidate's dot product. Candidate `j`'s
+            // products arrive in ascending probe-term order — exactly
+            // the order `SparseVector::dot`'s sorted merge adds them —
+            // from an accumulator zeroed at discovery, so `acc[j]`
+            // equals the scalar per-pair dot bit for bit; the cached
+            // norms and the `denom == 0 → 0` / clamp steps replicate
+            // `VectorMeasure::similarity`'s cosine arm exactly.
+            for &(t, wa) in lv.terms() {
+                if let Some(js) = windex.get(&t) {
+                    for &(j, wb) in js {
+                        let ju = j as usize;
+                        if scratch.stamp[ju] != mark {
+                            scratch.stamp[ju] = mark;
+                            scratch.candidates.push(j);
+                            scratch.acc[ju] = 0.0;
+                        }
+                        scratch.acc[ju] += wa * wb;
+                    }
+                }
+            }
+            let norm_a = lv.norm();
+            for &j in &scratch.candidates {
+                out.note_generated();
+                let denom = norm_a * self.right_norms[j as usize];
+                let w = if denom == 0.0 {
+                    0.0
+                } else {
+                    (scratch.acc[j as usize] / denom).clamp(0.0, 1.0)
+                };
+                out.note_scored();
+                if w > 0.0 || !self.keep_positive {
+                    out.emit(row as u32, j, w);
+                }
+            }
+            return;
+        }
         for &(t, _) in lv.terms() {
             if let Some(js) = self.index.get(&t) {
                 for &j in js {
@@ -1829,6 +2199,7 @@ impl RowScorer for GraphModelScorer {
         ProbeScratch {
             stamp: vec![0u32; self.right_graphs.len()],
             candidates: Vec::new(),
+            acc: Vec::new(),
         }
     }
 
@@ -1923,6 +2294,7 @@ struct DenseSemanticScorer {
     ball: Option<VectorBallIndex>,
     measure: SemanticMeasure,
     keep_positive: bool,
+    kernel: KernelMode,
 }
 
 impl DenseSemanticScorer {
@@ -1935,6 +2307,7 @@ impl DenseSemanticScorer {
         scope: &SemanticScope,
         keep_positive: bool,
         indexed: bool,
+        kernel: KernelMode,
     ) -> Self {
         let encode_all = |c: &EntityCollection| -> Vec<DenseVector> {
             c.profiles
@@ -1974,6 +2347,31 @@ impl DenseSemanticScorer {
             ball,
             measure,
             keep_positive,
+            kernel,
+        }
+    }
+
+    /// Score one lane chunk of right indices through the batched dense
+    /// kernels ([`er_embed::lanes`]) and emit — bit-identical to looping
+    /// [`SemanticMeasure::similarity_vectors`] over the same indices in
+    /// the same order, because each lane runs the exact scalar float
+    /// sequence. All `js` must reference non-zero right vectors.
+    fn emit_dense_lanes<O: EdgeSink>(&self, li: u32, js: &[u32], out: &mut O) {
+        let a = &self.left[li as usize];
+        debug_assert!(!js.is_empty() && js.len() <= embed_lanes::LANE_WIDTH);
+        let mut refs: [&DenseVector; embed_lanes::LANE_WIDTH] = [a; embed_lanes::LANE_WIDTH];
+        for (i, &j) in js.iter().enumerate() {
+            refs[i] = &self.right[j as usize];
+        }
+        let mut sims = [0.0f64; embed_lanes::LANE_WIDTH];
+        embed_lanes::similarity_vectors_batch(self.measure, a, &refs[..js.len()], &mut sims);
+        for (i, &j) in js.iter().enumerate() {
+            out.note_generated();
+            let w = sims[i];
+            out.note_scored();
+            if w > 0.0 || !self.keep_positive {
+                out.emit(li, j, w);
+            }
         }
     }
 }
@@ -1993,6 +2391,25 @@ impl RowScorer for DenseSemanticScorer {
     fn score_row<O: EdgeSink>(&self, row: usize, _scratch: &mut Self::Scratch, out: &mut O) {
         let a = &self.left[row];
         if a.is_zero() {
+            return;
+        }
+        if matches!(self.kernel, KernelMode::Lanes) {
+            let mut js = [0u32; embed_lanes::LANE_WIDTH];
+            let mut cn = 0;
+            for (j, b) in self.right.iter().enumerate() {
+                if b.is_zero() {
+                    continue;
+                }
+                js[cn] = j as u32;
+                cn += 1;
+                if cn == embed_lanes::LANE_WIDTH {
+                    self.emit_dense_lanes(row as u32, &js[..cn], out);
+                    cn = 0;
+                }
+            }
+            if cn > 0 {
+                self.emit_dense_lanes(row as u32, &js[..cn], out);
+            }
             return;
         }
         for (j, b) in self.right.iter().enumerate() {
@@ -2032,6 +2449,37 @@ impl RowScorer for DenseSemanticScorer {
         } else {
             inverse_distance_bound
         };
+        if matches!(self.kernel, KernelMode::Lanes) {
+            // Generated candidates are buffered into lanes; between
+            // flushes the generator keeps the bound of the last flush,
+            // enumerating a superset whose extras all score strictly
+            // below the final admission bound (the generator's prune is
+            // strict `<` against a non-decreasing bound) — the retained
+            // graph is bit-identical to the scalar path.
+            let mut js = [0u32; embed_lanes::LANE_WIDTH];
+            let mut cn = 0usize;
+            generate_ball_candidates(
+                ball,
+                probe,
+                probe_radius,
+                scratch,
+                map,
+                out.admission_bound(),
+                |j| {
+                    js[cn] = j;
+                    cn += 1;
+                    if cn == embed_lanes::LANE_WIDTH {
+                        self.emit_dense_lanes(li, &js[..cn], out);
+                        cn = 0;
+                    }
+                    out.admission_bound()
+                },
+            );
+            if cn > 0 {
+                self.emit_dense_lanes(li, &js[..cn], out);
+            }
+            return;
+        }
         generate_ball_candidates(
             ball,
             probe,
@@ -2060,6 +2508,25 @@ impl RowScorer for DenseSemanticScorer {
     ) {
         let a = &self.left[row];
         if a.is_zero() {
+            return;
+        }
+        if matches!(self.kernel, KernelMode::Lanes) {
+            let mut js = [0u32; embed_lanes::LANE_WIDTH];
+            let mut cn = 0;
+            for &j in cands.row(row as u32) {
+                if self.right[j as usize].is_zero() {
+                    continue;
+                }
+                js[cn] = j;
+                cn += 1;
+                if cn == embed_lanes::LANE_WIDTH {
+                    self.emit_dense_lanes(row as u32, &js[..cn], out);
+                    cn = 0;
+                }
+            }
+            if cn > 0 {
+                self.emit_dense_lanes(row as u32, &js[..cn], out);
+            }
             return;
         }
         for &j in cands.row(row as u32) {
@@ -2139,6 +2606,7 @@ struct WmdScorer {
     /// ([`CandidateMode::Indexed`] only).
     ball: Option<VectorBallIndex>,
     keep_positive: bool,
+    kernel: KernelMode,
 }
 
 impl WmdScorer {
@@ -2196,6 +2664,44 @@ impl WmdScorer {
             right_summaries,
             ball,
             keep_positive: cfg.keep_positive_only,
+            kernel: cfg.kernel_mode,
+        }
+    }
+
+    /// Lanes-mode cache prefill: gather the token pairs `(x, y)` for
+    /// `y ∈ ys` whose canonical distance is not cached yet and compute
+    /// them through the lane-parallel Euclidean kernel.
+    ///
+    /// Bit-identity with the scalar on-demand fill: the batch always
+    /// computes `‖v_x − v_y‖` while the canonical scalar fill computes
+    /// `‖v_min − v_max‖`, but per dimension `a − b = −(b − a)` exactly
+    /// and squaring erases the sign, so operand order never changes the
+    /// bits (pinned in `kernel_props.rs`). Only *when* distances enter
+    /// the cache changes — and since the scalar inner loop touches every
+    /// `(x, y)` pair of the fold this prefill covers, the cache contents
+    /// after each fold step are identical too.
+    fn fill_distances(&self, cache: &mut DistCache, x: u32, ys: &[u32], missing: &mut Vec<u32>) {
+        missing.clear();
+        for &y in ys {
+            let key = (x.min(y), x.max(y));
+            if !cache.map.contains_key(&key) && !missing.contains(&y) {
+                missing.push(y);
+            }
+        }
+        if missing.is_empty() {
+            return;
+        }
+        let xv = &self.vectors[x as usize];
+        let mut dists = [0.0f64; embed_lanes::LANE_WIDTH];
+        for chunk in missing.chunks(embed_lanes::LANE_WIDTH) {
+            let mut refs: [&DenseVector; embed_lanes::LANE_WIDTH] = [xv; embed_lanes::LANE_WIDTH];
+            for (i, &y) in chunk.iter().enumerate() {
+                refs[i] = &self.vectors[y as usize];
+            }
+            embed_lanes::euclidean_distance_batch(xv, &refs[..chunk.len()], &mut dists);
+            for (i, &y) in chunk.iter().enumerate() {
+                cache.map.insert((x.min(y), x.max(y)), dists[i]);
+            }
         }
     }
 
@@ -2217,9 +2723,14 @@ impl WmdScorer {
         a: &[u32],
         b: &[u32],
         bound: f64,
+        missing: &mut Vec<u32>,
     ) -> Option<f64> {
+        let lanes = matches!(self.kernel, KernelMode::Lanes);
         let mut d_ab = 0.0;
         for &x in a {
+            if lanes {
+                self.fill_distances(cache, x, b, missing);
+            }
             let mut best = f64::INFINITY;
             for &y in b {
                 best = best.min(cache.dist(&self.vectors, x, y));
@@ -2232,6 +2743,9 @@ impl WmdScorer {
         d_ab /= a.len() as f64;
         let mut d_ba = 0.0;
         for &y in b {
+            if lanes {
+                self.fill_distances(cache, y, a, missing);
+            }
             let mut best = f64::INFINITY;
             for &x in a {
                 best = best.min(cache.dist(&self.vectors, x, y));
@@ -2248,7 +2762,14 @@ impl WmdScorer {
     /// Score the candidate pair `(left row, right j)` — both known
     /// non-empty: centroid upper bound first, then the short-circuiting
     /// transport computation.
-    fn score_pair<O: EdgeSink>(&self, row: usize, j: usize, cache: &mut DistCache, out: &mut O) {
+    fn score_pair<O: EdgeSink>(
+        &self,
+        row: usize,
+        j: usize,
+        cache: &mut DistCache,
+        missing: &mut Vec<u32>,
+        out: &mut O,
+    ) {
         out.note_generated();
         let (a, b) = (&self.left_bags[row], &self.right_bags[j]);
         let bound = out.admission_bound();
@@ -2262,7 +2783,7 @@ impl WmdScorer {
                 }
             }
         }
-        match self.similarity_bounded(cache, a, b, bound) {
+        match self.similarity_bounded(cache, a, b, bound, missing) {
             None => out.note_pruned(),
             Some(w) => {
                 out.note_scored();
@@ -2275,10 +2796,12 @@ impl WmdScorer {
 }
 
 /// Per-worker scratch of the WMD scorer: the symmetric token-distance
-/// cache plus the indexed path's ball-distance buffer.
+/// cache, the indexed path's ball-distance buffer, and the lane
+/// prefill's uncached-partner buffer.
 struct WmdScratch {
     cache: DistCache,
     bounds: Vec<(f64, u32)>,
+    missing: Vec<u32>,
 }
 
 impl RowScorer for WmdScorer {
@@ -2292,6 +2815,7 @@ impl RowScorer for WmdScorer {
         WmdScratch {
             cache: DistCache::new(),
             bounds: Vec::new(),
+            missing: Vec::new(),
         }
     }
 
@@ -2303,7 +2827,7 @@ impl RowScorer for WmdScorer {
             if b.is_empty() {
                 continue;
             }
-            self.score_pair(row, j, &mut scratch.cache, out);
+            self.score_pair(row, j, &mut scratch.cache, &mut scratch.missing, out);
         }
     }
 
@@ -2318,7 +2842,11 @@ impl RowScorer for WmdScorer {
         let sa = self.left_summaries[row]
             .as_ref()
             .expect("non-empty bag has a summary");
-        let WmdScratch { cache, bounds } = scratch;
+        let WmdScratch {
+            cache,
+            bounds,
+            missing,
+        } = scratch;
         generate_ball_candidates(
             ball,
             sa.centroid(),
@@ -2327,7 +2855,7 @@ impl RowScorer for WmdScorer {
             inverse_distance_bound,
             out.admission_bound(),
             |j| {
-                self.score_pair(row, j as usize, cache, out);
+                self.score_pair(row, j as usize, cache, missing, out);
                 out.admission_bound()
             },
         );
@@ -2347,7 +2875,13 @@ impl RowScorer for WmdScorer {
             if self.right_bags[j as usize].is_empty() {
                 continue;
             }
-            self.score_pair(row, j as usize, &mut scratch.cache, out);
+            self.score_pair(
+                row,
+                j as usize,
+                &mut scratch.cache,
+                &mut scratch.missing,
+                out,
+            );
         }
     }
 }

@@ -60,7 +60,7 @@ pub use blocking::{
 };
 pub use candidates::CandidateMode;
 pub use cleaning::{clean_graphs, CleaningOutcome};
-pub use config::PipelineConfig;
+pub use config::{KernelMode, PipelineConfig};
 pub use graphgen::{
     build_graph, build_graph_over, build_graph_restricted, build_graph_topk,
     build_graph_topk_framed, build_graph_topk_mode, build_graph_topk_over,

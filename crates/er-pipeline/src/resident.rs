@@ -54,6 +54,7 @@ use er_embed::measures::Encoder;
 use er_embed::{
     cosine_distance_bound, inverse_distance_bound, DenseVector, SemanticMeasure, VectorBallIndex,
 };
+use er_textsim::lanes::{MyersBatch, LANE_WIDTH};
 use er_textsim::{
     CharMeasure, DfIndex, LengthBucketIndex, SchemaBasedMeasure, SparseVector, TermWeighting,
     VectorMeasure, VectorModel,
@@ -62,7 +63,7 @@ use er_textsim::{
 use crate::candidates::{
     generate_ball_candidates, generate_char_candidates, generate_token_candidates,
 };
-use crate::config::PipelineConfig;
+use crate::config::{KernelMode, PipelineConfig};
 use crate::graphgen::{scoped_text, unit_probe, NormFrame, ScoreMode};
 use crate::taxonomy::{SemanticScope, SimilarityFunction};
 
@@ -122,9 +123,13 @@ impl ResidentScorer {
                     Box::new(TokenFamily::prepare(left, right, *scheme, *measure)),
                 ),
                 SimilarityFunction::SchemaBasedSyntactic { attribute, measure } => match measure {
-                    SchemaBasedMeasure::Char(m) => {
-                        Family::Char(Box::new(CharFamily::prepare(left, right, attribute, *m)))
-                    }
+                    SchemaBasedMeasure::Char(m) => Family::Char(Box::new(CharFamily::prepare(
+                        left,
+                        right,
+                        attribute,
+                        *m,
+                        cfg.kernel_mode,
+                    ))),
                     SchemaBasedMeasure::Token(_) => Family::Fallback,
                 },
                 SimilarityFunction::Semantic {
@@ -458,6 +463,60 @@ fn char_bag(v: &str) -> Vec<u32> {
     bag
 }
 
+/// Flush one lane chunk of a resident Levenshtein probe: decode the
+/// buffered slots' values into the per-lane code buffers, run the
+/// multi-text Myers batch (prepared over the probe), and offer the
+/// similarities to the row heap. Bit-identical to the scalar
+/// `measure.similarity` calls: the integer edit distance is symmetric,
+/// so probe-as-pattern equals the scalar kernel's
+/// shorter-side-as-pattern, and the weight formula is the same float
+/// expression.
+#[allow(clippy::too_many_arguments)]
+fn flush_char_lanes(
+    target: &CharSide,
+    batch: &mut MyersBatch,
+    lane_codes: &mut [Vec<u32>],
+    probe_m: usize,
+    slots: &[u32],
+    dead: &FxHashSet<u32>,
+    keep_positive: bool,
+    row: &mut TopKRow,
+) {
+    let mut ids = [0u32; LANE_WIDTH];
+    let mut kn = 0;
+    for &slot in slots {
+        let id = target.ids[slot as usize];
+        if dead.contains(&id) {
+            continue;
+        }
+        let lc = &mut lane_codes[kn];
+        lc.clear();
+        lc.extend(target.values[slot as usize].chars().map(u32::from));
+        ids[kn] = id;
+        kn += 1;
+    }
+    if kn == 0 {
+        return;
+    }
+    let mut dists = [0usize; LANE_WIDTH];
+    {
+        let mut texts: [&[u32]; LANE_WIDTH] = [&[]; LANE_WIDTH];
+        for (i, lc) in lane_codes[..kn].iter().enumerate() {
+            texts[i] = lc;
+        }
+        batch.distances(&texts[..kn], &mut dists[..kn]);
+    }
+    for i in 0..kn {
+        let max_len = probe_m.max(lane_codes[i].len());
+        let w = if max_len == 0 {
+            1.0
+        } else {
+            1.0 - dists[i] as f64 / max_len as f64
+        };
+        offer(row, ids[i], w, keep_positive);
+    }
+}
+
 struct CharFamily {
     attribute: String,
     measure: CharMeasure,
@@ -465,6 +524,13 @@ struct CharFamily {
     right: CharSide,
     order: Vec<u32>,
     counts: Vec<u32>,
+    kernel: KernelMode,
+    /// Lanes-mode probe state (Levenshtein only): the probe's code
+    /// points, the multi-text Myers batch prepared over them, and the
+    /// per-lane candidate code buffers.
+    probe_codes: Vec<u32>,
+    batch: MyersBatch,
+    lane_codes: Vec<Vec<u32>>,
 }
 
 impl CharFamily {
@@ -473,6 +539,7 @@ impl CharFamily {
         right: &EntityCollection,
         attribute: &str,
         measure: CharMeasure,
+        kernel: KernelMode,
     ) -> Self {
         fn with_attr(c: &EntityCollection, attribute: &str) -> (Vec<u32>, Vec<String>) {
             let mut ids = Vec::new();
@@ -494,6 +561,10 @@ impl CharFamily {
             right: CharSide::build(rid, rval),
             order: Vec::new(),
             counts: Vec::new(),
+            kernel,
+            probe_codes: Vec::new(),
+            batch: MyersBatch::new(),
+            lane_codes: vec![Vec::new(); LANE_WIDTH],
         }
     }
 
@@ -515,6 +586,92 @@ impl CharFamily {
             Side::Right => &self.left,
         };
         let measure = self.measure;
+        if matches!(self.kernel, KernelMode::Lanes) && matches!(measure, CharMeasure::Levenshtein) {
+            // Lanes mode: buffer generated slots and flush them through
+            // the multi-text Myers batch. Between flushes the
+            // generators see the bound of the last flush — a superset
+            // of the scalar candidates whose extras all score strictly
+            // below the final admission bound, so the retained row is
+            // bit-identical (same argument as the batch engine's
+            // indexed path, DESIGN.md §19).
+            self.probe_codes.clear();
+            self.probe_codes.extend(value.chars().map(u32::from));
+            self.batch.prepare(&self.probe_codes);
+            let probe_m = self.probe_codes.len();
+            let batch = &mut self.batch;
+            let lane_codes = &mut self.lane_codes;
+            let mut buf = [0u32; LANE_WIDTH];
+            let mut cn = 0usize;
+            generate_char_candidates(
+                &target.index,
+                measure,
+                probe_len,
+                &probe_bag,
+                &mut self.order,
+                &mut self.counts,
+                row.admission_bound(),
+                |slot| {
+                    buf[cn] = slot;
+                    cn += 1;
+                    if cn == LANE_WIDTH {
+                        flush_char_lanes(
+                            target,
+                            batch,
+                            lane_codes,
+                            probe_m,
+                            &buf[..cn],
+                            dead,
+                            keep_positive,
+                            row,
+                        );
+                        cn = 0;
+                    }
+                    row.admission_bound()
+                },
+            );
+            for slot in target.indexed_len..target.bags.len() {
+                let bound = row.admission_bound();
+                if bound != f64::NEG_INFINITY {
+                    let blen = target.bags[slot].len();
+                    if measure.length_upper_bound(probe_len, blen) < bound {
+                        continue;
+                    }
+                    if let Some(ub) = measure.bag_upper_bound(&probe_bag, &target.bags[slot]) {
+                        if ub < bound {
+                            continue;
+                        }
+                    }
+                }
+                buf[cn] = slot as u32;
+                cn += 1;
+                if cn == LANE_WIDTH {
+                    flush_char_lanes(
+                        target,
+                        batch,
+                        lane_codes,
+                        probe_m,
+                        &buf[..cn],
+                        dead,
+                        keep_positive,
+                        row,
+                    );
+                    cn = 0;
+                }
+            }
+            if cn > 0 {
+                flush_char_lanes(
+                    target,
+                    batch,
+                    lane_codes,
+                    probe_m,
+                    &buf[..cn],
+                    dead,
+                    keep_positive,
+                    row,
+                );
+            }
+            return;
+        }
         let score = |slot: u32, row: &mut TopKRow| -> f64 {
             let id = target.ids[slot as usize];
             if dead.contains(&id) {

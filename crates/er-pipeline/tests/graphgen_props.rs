@@ -22,15 +22,21 @@
 //!    banded edit-distance cutoffs, centroid bounds, transport
 //!    short-circuits) — the pruned top-k build remains bit-identical to
 //!    dense-then-prune for `threads ∈ {1, 4}`, and the offered/pruned/
-//!    scored accounting stays consistent.
+//!    scored accounting stays consistent;
+//! 7. **kernel modes are equivalent**: `KernelMode::Lanes` (batched
+//!    screens, multi-text Myers, lane-parallel dense kernels, batched
+//!    WMD cache fills) builds bit-identical top-k graphs to
+//!    `KernelMode::Scalar` for every bounded scorer, across both
+//!    candidate modes and `threads ∈ {1, 4}`.
 
 use er_core::{FxHashSet, SimilarityGraph};
 use er_datasets::{EntityCollection, EntityProfile};
 use er_embed::{EmbeddingModel, SemanticMeasure};
 use er_pipeline::blocking::{restrict_graph, token_blocking};
 use er_pipeline::{
-    build_graph_over, build_graph_restricted, build_graph_topk_over, build_graph_topk_stats,
-    build_prepared_over, PipelineConfig, SemanticScope, SimilarityFunction,
+    build_graph_over, build_graph_restricted, build_graph_topk_mode, build_graph_topk_over,
+    build_graph_topk_stats, build_prepared_over, CandidateMode, KernelMode, PipelineConfig,
+    SemanticScope, SimilarityFunction,
 };
 use er_textsim::{CharMeasure, GraphSimilarity, NGramScheme, SchemaBasedMeasure, VectorMeasure};
 use proptest::prelude::*;
@@ -310,6 +316,86 @@ proptest! {
                 stats.scored_pairs
             );
             prop_assert!(stats.retained_edges <= stats.offered_edges);
+        }
+    }
+
+    /// Invariant 7: the lane kernels never change a bit. For every
+    /// bounded scorer family (all 7 character measures, Word Mover's,
+    /// dense cosine), `build_graph_topk_mode` under `KernelMode::Lanes`
+    /// equals `KernelMode::Scalar` bit for bit — across both candidate
+    /// modes (enumeration and index-driven generation) and
+    /// `threads ∈ {1, 4}`. Small `k` keeps the admission bound tight, so
+    /// the stale-bound lane screens and buffered index flushes actually
+    /// diverge from the scalar pruning *decisions* while the retained
+    /// graphs must not.
+    #[test]
+    fn lane_kernels_match_scalar_kernels(
+        left in arb_collection(6),
+        right in arb_collection(6),
+        k in 1usize..=2,
+    ) {
+        let mut functions: Vec<SimilarityFunction> = CharMeasure::all()
+            .into_iter()
+            .map(|m| SimilarityFunction::SchemaBasedSyntactic {
+                attribute: "name".into(),
+                measure: SchemaBasedMeasure::Char(m),
+            })
+            .collect();
+        functions.push(SimilarityFunction::Semantic {
+            model: EmbeddingModel::FastText,
+            measure: SemanticMeasure::WordMovers,
+            scope: SemanticScope::SchemaBased {
+                attribute: "name".into(),
+            },
+        });
+        functions.push(SimilarityFunction::Semantic {
+            model: EmbeddingModel::FastText,
+            measure: SemanticMeasure::Cosine,
+            scope: SemanticScope::SchemaAgnostic,
+        });
+        // The token-vector cosine branch has its own lane path (the
+        // weighted-postings dot accumulator in `VectorScorer`).
+        functions.push(SimilarityFunction::SchemaAgnosticVector {
+            scheme: NGramScheme::Token(1),
+            measure: VectorMeasure::CosineTfIdf,
+        });
+        functions.push(SimilarityFunction::SchemaAgnosticVector {
+            scheme: NGramScheme::Char(2),
+            measure: VectorMeasure::CosineTf,
+        });
+        let with_kernel = |base: &PipelineConfig, kernel: KernelMode| PipelineConfig {
+            kernel_mode: kernel,
+            ..base.clone()
+        };
+        for function in functions {
+            for mode in [CandidateMode::Enumerated, CandidateMode::Indexed] {
+                let (scalar, _) = build_graph_topk_mode(
+                    &left,
+                    &right,
+                    &function,
+                    k,
+                    mode,
+                    &with_kernel(&serial_cfg(), KernelMode::Scalar),
+                );
+                for threads in [1usize, 4] {
+                    let (lanes, _) = build_graph_topk_mode(
+                        &left,
+                        &right,
+                        &function,
+                        k,
+                        mode,
+                        &with_kernel(&parallel_cfg(threads, 2), KernelMode::Lanes),
+                    );
+                    assert_bit_identical(
+                        &scalar,
+                        &lanes,
+                        &format!(
+                            "{} lanes≡scalar mode={mode:?} threads={threads} k={k}",
+                            function.name()
+                        ),
+                    );
+                }
+            }
         }
     }
 

@@ -30,12 +30,17 @@
 //! [`CharTable`] the all-pairs scorers prepare once per corpus, and
 //! [`CharMeasure::length_upper_bound`] / [`CharMeasure::bag_upper_bound`]
 //! the exact pre-scoring upper bounds a top-k sink prunes against.
+//! [`lanes`] holds the lane-parallel (SWAR / array-of-lanes) batch forms
+//! of those kernels — a multi-text [`MyersBatch`] and batched
+//! length/counting-filter screens — bit-identical to the scalar kernels
+//! and selected by the pipeline's `KernelMode`.
 
 pub mod bitpar;
 pub mod charindex;
 pub mod charlevel;
 pub mod chartable;
 pub mod graphmodel;
+pub mod lanes;
 pub mod measure;
 pub mod tokenize;
 pub mod tokenlevel;
@@ -48,6 +53,7 @@ pub use charlevel::{
 };
 pub use chartable::{sorted_common_count, CharTable};
 pub use graphmodel::{GraphSimilarity, NGramGraph};
+pub use lanes::{MyersBatch, LANE_WIDTH};
 pub use measure::SchemaBasedMeasure;
 pub use tokenize::{char_ngrams, normalize_text, token_ngrams, tokens, NGramScheme};
 pub use tokenlevel::TokenMeasure;

@@ -8,8 +8,9 @@
 use er_textsim::{
     char_ngrams, levenshtein_bounded, levenshtein_distance_bounded, levenshtein_distance_classic,
     normalize_text, osa_bounded, sorted_common_count, token_ngrams, BandRows, CharMeasure,
-    CharScratch, CharTable, DfIndex, GraphSimilarity, LengthBucketIndex, MyersPattern, NGramGraph,
-    NGramScheme, SchemaBasedMeasure, SparseVector, TermWeighting, VectorMeasure, VectorModel,
+    CharScratch, CharTable, DfIndex, GraphSimilarity, LengthBucketIndex, MyersBatch, MyersPattern,
+    NGramGraph, NGramScheme, SchemaBasedMeasure, SparseVector, TermWeighting, VectorMeasure,
+    VectorModel,
 };
 use proptest::prelude::*;
 
@@ -409,5 +410,70 @@ proptest! {
             }
         }
         prop_assert!(seen.iter().all(|&s| s), "every entry indexed exactly once");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Kernel-state isolation: the lane engine interleaves multi-text Myers
+// batches with scalar kernel calls on the same worker thread (one
+// CharScratch + one MyersBatch per worker). Nothing the batch does may
+// disturb the scratch's prepared pattern or band state, and nothing the
+// scalar kernels do may disturb the batch's prepared masks — a shared
+// buffer would make interleaved results depend on call order.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Regression: interleaved batch and scalar calls on one thread do
+    /// not corrupt each other's state. A `CharScratch` pattern prepared
+    /// before a `MyersBatch` runs (with a *different* pattern) must
+    /// return the same distances after the batch as before it, through
+    /// every scalar kernel that shares the scratch — and the batch must
+    /// return the same distances after the scalar calls as a fresh
+    /// batch would.
+    #[test]
+    fn interleaved_batch_and_scalar_calls_do_not_corrupt_scratch(
+        scalar_pattern in arb_unicode(80),
+        batch_pattern in arb_unicode(80),
+        texts in proptest::collection::vec(arb_unicode(80), 1..=8),
+    ) {
+        let sp = codes(&scalar_pattern);
+        let bp = codes(&batch_pattern);
+        let text_codes: Vec<Vec<u32>> = texts.iter().map(|t| codes(t)).collect();
+        let refs: Vec<&[u32]> = text_codes.iter().map(Vec::as_slice).collect();
+
+        // Reference results from isolated state.
+        let mut fresh = MyersPattern::new();
+        fresh.prepare(&sp);
+        let scalar_ref: Vec<usize> = text_codes.iter().map(|t| fresh.distance(t)).collect();
+        let mut fresh_batch = MyersBatch::new();
+        fresh_batch.prepare(&bp);
+        let mut batch_ref = [0usize; 8];
+        fresh_batch.distances(&refs, &mut batch_ref);
+
+        // Interleave on shared per-worker state.
+        let mut scratch = CharScratch::new();
+        let mut batch = MyersBatch::new();
+        scratch.set_pattern(&sp);
+        batch.prepare(&bp);
+        for (i, t) in text_codes.iter().enumerate() {
+            // Scalar kernels between batch steps: the banded kernels
+            // and the non-Levenshtein measures all share the scratch.
+            prop_assert_eq!(scratch.pattern_distance(t), scalar_ref[i]);
+            let mut got = [0usize; 8];
+            batch.distances(&refs, &mut got);
+            prop_assert_eq!(&got[..refs.len()], &batch_ref[..refs.len()]);
+            scratch.levenshtein_bounded(&sp, t, 2);
+            scratch.osa_bounded(&sp, t, 2);
+            CharMeasure::Jaro.similarity_codes(&sp, t, &mut scratch);
+            CharMeasure::QGrams.similarity_codes(&sp, t, &mut scratch);
+            CharMeasure::DamerauLevenshtein.similarity_codes(&sp, t, &mut scratch);
+            // The scratch pattern survives everything above.
+            prop_assert_eq!(scratch.pattern_distance(t), scalar_ref[i]);
+            let mut again = [0usize; 8];
+            batch.distances(&refs, &mut again);
+            prop_assert_eq!(&again[..refs.len()], &batch_ref[..refs.len()]);
+        }
     }
 }
