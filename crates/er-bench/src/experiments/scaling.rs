@@ -41,6 +41,8 @@ use er_pipeline::{
 };
 use er_textsim::{CharMeasure, NGramScheme, SchemaBasedMeasure, VectorMeasure};
 
+use crate::records::BenchData;
+
 /// Worker counts the portrait sweeps.
 const THREADS_FULL: &[usize] = &[1, 2, 4];
 const THREADS_SMOKE: &[usize] = &[1, 2];
@@ -51,6 +53,13 @@ const THREADS_SMOKE: &[usize] = &[1, 2];
 /// configuration); the full run uses a larger corpus and worker counts
 /// {1, 2, 4}.
 pub fn render(seed: u64, smoke: bool) -> String {
+    run(seed, smoke).0
+}
+
+/// [`render`], also returning the machine-readable measurement record
+/// the `repro` driver writes as `BENCH_scaling.json`.
+pub fn run(seed: u64, smoke: bool) -> (String, BenchData) {
+    let mut bench = BenchData::new("scaling", seed, smoke);
     let scale = if smoke { 0.05 } else { 0.15 };
     let k = if smoke { 3 } else { 5 };
     let threads: &[usize] = if smoke { THREADS_SMOKE } else { THREADS_FULL };
@@ -133,6 +142,18 @@ pub fn render(seed: u64, smoke: bool) -> String {
             g_scalar.edges(),
             g_lanes.edges(),
             "lane kernels must build a bit-identical graph ({name})"
+        );
+        let slug = if name.starts_with("Lev") {
+            "lev"
+        } else {
+            "cos"
+        };
+        bench.push(format!("kernel_scalar_ms_{slug}"), scalar_ms, "ms");
+        bench.push(format!("kernel_lanes_ms_{slug}"), lanes_ms, "ms");
+        bench.push(
+            format!("kernel_speedup_{slug}"),
+            scalar_ms / lanes_ms.max(1e-9),
+            "x",
         );
         t1.row(vec![
             corpus.clone(),
@@ -237,6 +258,7 @@ pub fn render(seed: u64, smoke: bool) -> String {
             serial_fp, fp,
             "sweep at {t} threads must reproduce the serial results bit-for-bit"
         );
+        bench.push(format!("sweep_ms_t{t}"), ms, "ms");
         t3.row(vec![
             corpus.clone(),
             t.to_string(),
@@ -265,7 +287,7 @@ pub fn render(seed: u64, smoke: bool) -> String {
          never a bit of the graph (DESIGN.md §19; property suite in \
          er-pipeline/tests/kernel_props.rs).\n"
     ));
-    out
+    (out, bench)
 }
 
 /// A `PipelineConfig` pinned to one kernel and worker count.
@@ -334,5 +356,20 @@ mod tests {
             "no `N.NNx` speedup cell rendered"
         );
         assert!(s.contains("core(s)"), "host-core caveat missing");
+    }
+
+    #[test]
+    fn scaling_smoke_emits_versioned_bench_metrics() {
+        let (_, bench) = run(5, true);
+        assert_eq!(bench.format_version, crate::records::BENCH_DATA_VERSION);
+        assert_eq!(bench.experiment, "scaling");
+        for required in [
+            "kernel_scalar_ms_lev",
+            "kernel_lanes_ms_lev",
+            "kernel_speedup_cos",
+            "sweep_ms_t1",
+        ] {
+            assert!(bench.get(required).is_some(), "metric {required} missing");
+        }
     }
 }

@@ -35,6 +35,8 @@ use er_service::{ErService, ServiceConfig};
 use er_textsim::{NGramScheme, VectorMeasure};
 use parking_lot::RwLock;
 
+use crate::records::BenchData;
+
 /// Deterministic 64-bit LCG (the experiment must not depend on `rand`,
 /// which is a dev-dependency only).
 struct Lcg(u64);
@@ -65,7 +67,14 @@ fn percentile(sorted_us: &[f64], p: f64) -> f64 {
     sorted_us[idx]
 }
 
-fn latency_row(t: &mut Table, class: &str, ops: usize, mut us: Vec<f64>) {
+fn latency_row(
+    t: &mut Table,
+    bench: &mut BenchData,
+    class: &str,
+    slug: &str,
+    ops: usize,
+    mut us: Vec<f64>,
+) {
     us.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let fmt = |v: f64| format!("{v:.1}");
     t.row(vec![
@@ -75,18 +84,28 @@ fn latency_row(t: &mut Table, class: &str, ops: usize, mut us: Vec<f64>) {
         fmt(percentile(&us, 0.99)),
         fmt(us.last().copied().unwrap_or(0.0)),
     ]);
+    bench.push(format!("{slug}_ops"), ops as f64, "ops");
+    bench.push(format!("{slug}_p50_us"), percentile(&us, 0.5), "us");
+    bench.push(format!("{slug}_p99_us"), percentile(&us, 0.99), "us");
 }
 
 /// Run both portraits and render their tables.
 pub fn render(seed: u64, smoke: bool) -> String {
-    let mut out = load_test(seed, smoke);
+    run(seed, smoke).0
+}
+
+/// [`render`], also returning the machine-readable measurement record
+/// the `repro` driver writes as `BENCH_service.json`.
+pub fn run(seed: u64, smoke: bool) -> (String, BenchData) {
+    let mut bench = BenchData::new("service", seed, smoke);
+    let mut out = load_test(seed, smoke, &mut bench);
     out.push('\n');
-    out.push_str(&incremental_vs_rematch(seed, smoke));
-    out
+    out.push_str(&incremental_vs_rematch(seed, smoke, &mut bench));
+    (out, bench)
 }
 
 /// Portrait 1: concurrent query/update traffic against one service.
-fn load_test(seed: u64, smoke: bool) -> String {
+fn load_test(seed: u64, smoke: bool, bench: &mut BenchData) -> String {
     let scale = if smoke { 0.02 } else { 0.25 };
     let (n_queries, n_updates) = if smoke { (400, 40) } else { (4000, 400) };
     let readers = 2;
@@ -110,6 +129,7 @@ fn load_test(seed: u64, smoke: bool) -> String {
         cfg,
     ));
     let build_ms = built.elapsed().as_secs_f64() * 1e3;
+    bench.push("service_build_ms", build_ms, "ms");
     let (n_left0, n_edges0) = {
         let s = svc.read();
         (s.n_left(), s.n_edges())
@@ -221,17 +241,33 @@ fn load_test(seed: u64, smoke: bool) -> String {
     let n_q: usize = query_lat.iter().map(Vec::len).sum();
     latency_row(
         &mut t,
+        bench,
         "point query (read lock)",
+        "service_query",
         n_q,
         query_lat.into_iter().flatten().collect(),
     );
-    latency_row(&mut t, "insert + rematch (write lock)", ins.len(), ins);
-    latency_row(&mut t, "delete + rematch (write lock)", del.len(), del);
+    latency_row(
+        &mut t,
+        bench,
+        "insert + rematch (write lock)",
+        "service_insert",
+        ins.len(),
+        ins,
+    );
+    latency_row(
+        &mut t,
+        bench,
+        "delete + rematch (write lock)",
+        "service_delete",
+        del.len(),
+        del,
+    );
     t.render()
 }
 
 /// Portrait 2: the same delta stream, incremental UMC vs full re-match.
-fn incremental_vs_rematch(seed: u64, smoke: bool) -> String {
+fn incremental_vs_rematch(seed: u64, smoke: bool, bench: &mut BenchData) -> String {
     let (n_left, n_right, deg, n_deltas) = if smoke {
         (2_000u32, 2_000u32, 5usize, 60usize)
     } else {
@@ -308,6 +344,10 @@ fn incremental_vs_rematch(seed: u64, smoke: bool) -> String {
     );
 
     let speedup = full_ms / inc_ms.max(1e-9);
+    bench.push("delta_graph_edges", n_edges0 as f64, "edges");
+    bench.push("delta_incremental_ms", inc_ms, "ms");
+    bench.push("delta_full_rematch_ms", full_ms, "ms");
+    bench.push("delta_speedup", speedup, "x");
     let mut table = Table::new(vec![
         "strategy",
         "deltas",
@@ -370,5 +410,27 @@ mod tests {
                 .any(|t| t.ends_with('×') && t.contains('.')),
             "no `N.N×` speedup cell rendered"
         );
+    }
+
+    #[test]
+    fn service_smoke_emits_versioned_bench_metrics() {
+        let (_, bench) = run(7, true);
+        assert_eq!(bench.format_version, crate::records::BENCH_DATA_VERSION);
+        assert_eq!(bench.experiment, "service");
+        assert!(bench.quick);
+        for name in [
+            "service_build_ms",
+            "service_query_p50_us",
+            "service_query_p99_us",
+            "service_insert_p99_us",
+            "service_delete_p99_us",
+            "delta_graph_edges",
+            "delta_incremental_ms",
+            "delta_full_rematch_ms",
+            "delta_speedup",
+        ] {
+            assert!(bench.get(name).is_some(), "metric {name} missing");
+        }
+        assert!(bench.get("delta_graph_edges").unwrap() > 0.0);
     }
 }

@@ -34,7 +34,7 @@ use std::path::PathBuf;
 
 use er_bench::context::{load_or_run, ReproConfig};
 use er_bench::experiments::{self, Metric};
-use er_bench::records::RunData;
+use er_bench::records::{BenchData, RunData};
 use er_datasets::DatasetId;
 
 fn main() {
@@ -138,11 +138,20 @@ fn main() {
 
     std::fs::create_dir_all(&out_dir).expect("create output directory");
     for cmd in expanded {
-        let output = run_command(&cmd, data.as_ref(), quick);
+        let (output, bench) = run_command(&cmd, data.as_ref(), quick);
         println!("{output}");
         let path = out_dir.join(format!("{cmd}.txt"));
         std::fs::write(&path, &output).expect("write experiment output");
         eprintln!("[repro] wrote {}", path.display());
+        // The measurement experiments also emit a versioned
+        // machine-readable record next to the rendered table, so
+        // baselines can be diffed by tooling instead of by eye.
+        if let Some(bench) = bench {
+            let json = serde_json::to_string(&bench).expect("serialize bench record");
+            let path = out_dir.join(format!("BENCH_{cmd}.json"));
+            std::fs::write(&path, json).expect("write bench record");
+            eprintln!("[repro] wrote {}", path.display());
+        }
     }
 }
 
@@ -182,10 +191,21 @@ fn is_known_command(cmd: &str) -> bool {
     cmd == "export" || cmd == "all" || ALL_EXPANSION.contains(&cmd)
 }
 
-fn run_command(cmd: &str, data: Option<&RunData>, quick: bool) -> String {
+/// Run one command. The measurement experiments (`scalability`,
+/// `scaling`, `service`) also return a [`BenchData`] record for
+/// `BENCH_<cmd>.json`; the paper tables/figures return only text.
+fn run_command(cmd: &str, data: Option<&RunData>, quick: bool) -> (String, Option<BenchData>) {
     let data =
         |name: &str| -> &RunData { data.unwrap_or_else(|| die(&format!("{name} needs run data"))) };
-    match cmd {
+    if let Some((out, bench)) = match cmd {
+        "scalability" => Some(experiments::scalability::run(17, quick)),
+        "scaling" => Some(experiments::scaling::run(17, quick)),
+        "service" => Some(experiments::service_load::run(17, quick)),
+        _ => None,
+    } {
+        return (out, Some(bench));
+    }
+    let out = match cmd {
         "table1" => experiments::table1::render(),
         "table2" => experiments::table2::render(data("table2")),
         "table3" => experiments::table3::render(data("table3")),
@@ -207,13 +227,11 @@ fn run_command(cmd: &str, data: Option<&RunData>, quick: bool) -> String {
         "oracle" => experiments::oracle::render(17),
         "dirty" => experiments::dirty::render(17),
         "blocking" => experiments::blocking::render(17),
-        "scalability" => experiments::scalability::render(17, quick),
-        "scaling" => experiments::scaling::render(17, quick),
-        "service" => experiments::service_load::render(17, quick),
         "conclusions" => experiments::conclusions::render(data("conclusions")),
         "transfer" => experiments::transfer::render(data("transfer")),
         other => die(&format!("unknown command {other}")),
-    }
+    };
+    (out, None)
 }
 
 fn parse<T: std::str::FromStr>(v: Option<String>, flag: &str) -> T {

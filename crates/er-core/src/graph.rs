@@ -783,6 +783,19 @@ impl Adjacency {
         (offsets, neighbors)
     }
 
+    /// Total resident neighbor entries across both sides — `2 × n_edges`
+    /// worth of heap footprint, used by memory accounting.
+    ///
+    /// ```
+    /// # use er_core::{Adjacency, Edge};
+    /// let adj = Adjacency::from_edges(2, 2, &[Edge::new(1, 0, 0.8)]);
+    /// assert_eq!(adj.n_entries(), 2);
+    /// ```
+    #[inline]
+    pub fn n_entries(&self) -> usize {
+        self.left_neighbors.len() + self.right_neighbors.len()
+    }
+
     /// Neighbors of left node `i`, best first.
     ///
     /// ```

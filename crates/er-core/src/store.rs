@@ -1,7 +1,7 @@
 //! Columnar on-disk storage for [`CsrGraph`] — the durable twin of the
 //! in-RAM slab store.
 //!
-//! # Format (version 1)
+//! # Format (versions 1 and 2)
 //!
 //! One file, little-endian throughout, fixed-width columns so every
 //! section is directly addressable from a file-backed byte view:
@@ -9,7 +9,7 @@
 //! ```text
 //! offset  size  field
 //!      0     8  magic            b"CCERSLAB"
-//!      8     4  version          u32 = 1
+//!      8     4  version          u32 = 1 or 2
 //!     12     4  n_left           u32 (next left append id)
 //!     16     4  n_right          u32 (next right append id)
 //!     20     4  (reserved)       u32 = 0
@@ -26,7 +26,27 @@
 //!                                bit set ⇔ row live; tail bits zero
 //!            ── dead right ids   n_dead_right × u32, sorted strictly
 //!                                ascending, zero-padded to 8 bytes
+//!            ── sort order       version 2 only: n_edges permutation
+//!                                indices into the edge slab (u32 while
+//!                                n_edges fits, else u64; u32 entries
+//!                                zero-padded to 8 bytes), listing the
+//!                                edges in weight-descending order
 //! ```
+//!
+//! The **sort-order column** (version 2) persists the workspace's one
+//! total edge order — [`edge_key_desc`](crate::float::edge_key_desc):
+//! weight descending under `f64::total_cmp`, ties by `(left, right)`
+//! ascending. Because the slab itself is laid out `(left asc, right
+//! asc)`, that tie-break is exactly *ascending slab index*, which is how
+//! the column is validated: adjacent entries must descend by weight and
+//! break weight ties by ascending index, and the entries must form a
+//! permutation of `0..n_edges`. With the column present, "the edges
+//! above `t`" is a **prefix of a file-backed column** — a reader can
+//! binary-search the threshold and stream the prefix without sorting
+//! (or even materializing) the edge set in RAM. Version 1 files remain
+//! fully readable; they simply answer
+//! [`has_sort_order`](MappedCsr::has_sort_order) with `false` and leave
+//! consumers to fall back to an in-RAM sort.
 //!
 //! The on-disk form is always **folded**: [`write_csr`] streams
 //! [`CsrGraph::live_row`], so tombstone-masked slab entries and pending
@@ -61,8 +81,13 @@ use crate::graph::Edge;
 /// Magic bytes opening every columnar store file.
 const MAGIC: &[u8; 8] = b"CCERSLAB";
 
-/// Current format version.
-const VERSION: u32 = 1;
+/// Newest format version: v2 appends the weight-descending sort-order
+/// column. [`SlabWriter::create`] and [`write_csr`] emit it.
+const VERSION_SORTED: u32 = 2;
+
+/// The original layout without the sort-order column. Still written by
+/// [`write_csr_unsorted`] and fully readable by [`MappedCsr`].
+const VERSION_UNSORTED: u32 = 1;
 
 /// Byte length of the fixed header preceding the payload.
 const HEADER_LEN: usize = 56;
@@ -138,6 +163,8 @@ struct Layout {
     weights_at: usize,
     bitmap_at: usize,
     dead_right_at: usize,
+    /// Start of the v2 sort-order column; equals `total_len` for v1.
+    perm_at: usize,
     total_len: usize,
 }
 
@@ -150,7 +177,17 @@ fn pad4(count: u64) -> u64 {
     }
 }
 
-fn layout(n_left: u32, n_edges: u64, n_dead_right: u64) -> Option<Layout> {
+/// Byte width of one sort-order entry: u32 while slab indices fit,
+/// u64 beyond. Writer and reader derive it identically from `n_edges`.
+fn perm_entry_bytes(n_edges: u64) -> u64 {
+    if n_edges > u32::MAX as u64 {
+        8
+    } else {
+        4
+    }
+}
+
+fn layout(n_left: u32, n_edges: u64, n_dead_right: u64, has_perm: bool) -> Option<Layout> {
     let offsets_at = HEADER_LEN as u64;
     let rights_at = offsets_at.checked_add((n_left as u64 + 1).checked_mul(8)?)?;
     let weights_at = rights_at
@@ -159,15 +196,26 @@ fn layout(n_left: u32, n_edges: u64, n_dead_right: u64) -> Option<Layout> {
     let bitmap_at = weights_at.checked_add(n_edges.checked_mul(8)?)?;
     let words = (n_left as u64).div_ceil(64);
     let dead_right_at = bitmap_at.checked_add(words.checked_mul(8)?)?;
-    let total_len = dead_right_at
+    let perm_at = dead_right_at
         .checked_add(n_dead_right.checked_mul(4)?)?
         .checked_add(pad4(n_dead_right))?;
+    let total_len = if has_perm {
+        let entry = perm_entry_bytes(n_edges);
+        let mut t = perm_at.checked_add(n_edges.checked_mul(entry)?)?;
+        if entry == 4 {
+            t = t.checked_add(pad4(n_edges))?;
+        }
+        t
+    } else {
+        perm_at
+    };
     Some(Layout {
         offsets_at: usize::try_from(offsets_at).ok()?,
         rights_at: usize::try_from(rights_at).ok()?,
         weights_at: usize::try_from(weights_at).ok()?,
         bitmap_at: usize::try_from(bitmap_at).ok()?,
         dead_right_at: usize::try_from(dead_right_at).ok()?,
+        perm_at: usize::try_from(perm_at).ok()?,
         total_len: usize::try_from(total_len).ok()?,
     })
 }
@@ -185,6 +233,20 @@ pub struct StoreMeta {
 // Writer.
 // ----------------------------------------------------------------------
 
+/// How the writer produces the v2 sort-order column, if at all.
+enum PermPlan {
+    /// Version 1: no sort-order column.
+    None,
+    /// Version 2, order computed at finish from weights the writer kept
+    /// resident (8 B/edge writer memory — fine for anything that fits
+    /// the in-RAM build anyway).
+    InRam(Vec<f64>),
+    /// Version 2, order streamed into
+    /// [`finish_with_order`](SlabWriter::finish_with_order) by a caller
+    /// that sorted out of core.
+    Streamed,
+}
+
 /// Streaming writer of the columnar format.
 ///
 /// Rows must arrive in left-id order, one call per row id `0..n_left`
@@ -195,6 +257,14 @@ pub struct StoreMeta {
 /// how many edges stream through: column ids go straight to the final
 /// file while weights detour through a sibling `.weights.tmp` file that
 /// is concatenated and deleted at finish.
+///
+/// [`create`](Self::create) writes version 2 and keeps one `f64` per
+/// edge resident to compute the sort-order column at finish.
+/// [`create_streamed`](Self::create_streamed) writes version 2 with the
+/// order supplied externally via
+/// [`finish_with_order`](Self::finish_with_order) — for out-of-core
+/// builders that sort the column on disk.
+/// [`create_unsorted`](Self::create_unsorted) writes version 1.
 ///
 /// An abandoned writer (dropped without `finish`) leaves the partial
 /// final file and the temp file behind; callers that care should write
@@ -211,18 +281,61 @@ pub struct SlabWriter {
     dead_right: Vec<u32>,
     rows_written: u32,
     n_edges: u64,
+    perm: PermPlan,
 }
 
 impl SlabWriter {
     /// Open a writer for a graph with `n_left` rows and `n_right`
     /// columns, of which the sorted `dead_right` ids are tombstoned.
     /// Appended rows are checked against `dead_right` — the format
-    /// forbids slab entries pointing at dead columns.
+    /// forbids slab entries pointing at dead columns. Writes format
+    /// version 2: the sort-order column is computed at finish.
     pub fn create(
         path: &Path,
         n_left: u32,
         n_right: u32,
         dead_right: Vec<u32>,
+    ) -> Result<SlabWriter, StoreError> {
+        Self::create_with_plan(
+            path,
+            n_left,
+            n_right,
+            dead_right,
+            PermPlan::InRam(Vec::new()),
+        )
+    }
+
+    /// Like [`create`](Self::create), but the file must be sealed with
+    /// [`finish_with_order`](Self::finish_with_order): the caller
+    /// supplies the weight-descending permutation, so the writer keeps
+    /// no per-edge state at all.
+    pub fn create_streamed(
+        path: &Path,
+        n_left: u32,
+        n_right: u32,
+        dead_right: Vec<u32>,
+    ) -> Result<SlabWriter, StoreError> {
+        Self::create_with_plan(path, n_left, n_right, dead_right, PermPlan::Streamed)
+    }
+
+    /// Like [`create`](Self::create), but writes format version 1 (no
+    /// sort-order column) — kept for compatibility testing and for
+    /// callers that never sweep the file.
+    pub fn create_unsorted(
+        path: &Path,
+        n_left: u32,
+        n_right: u32,
+        dead_right: Vec<u32>,
+    ) -> Result<SlabWriter, StoreError> {
+        Self::create_with_plan(path, n_left, n_right, dead_right, PermPlan::None)
+    }
+
+    fn create_with_plan(
+        path: &Path,
+        n_left: u32,
+        n_right: u32,
+        dead_right: Vec<u32>,
+        perm: PermPlan,
     ) -> Result<SlabWriter, StoreError> {
         for pair in dead_right.windows(2) {
             if pair[0] >= pair[1] {
@@ -271,6 +384,7 @@ impl SlabWriter {
             dead_right,
             rows_written: 0,
             n_edges: 0,
+            perm,
         })
     }
 
@@ -302,6 +416,9 @@ impl SlabWriter {
         for &(r, w) in row {
             self.out.write_all(&r.to_le_bytes())?;
             self.weights.write_all(&w.to_le_bytes())?;
+            if let PermPlan::InRam(seen) = &mut self.perm {
+                seen.push(w);
+            }
         }
         self.n_edges += row.len() as u64;
         self.offsets.push(self.n_edges);
@@ -322,8 +439,57 @@ impl SlabWriter {
     }
 
     /// Seal the file: concatenate the weight column, write the liveness
-    /// sections, backfill offsets and header, checksum the payload.
+    /// sections (and, for a [`create`](Self::create) writer, the
+    /// sort-order column), backfill offsets and header, checksum the
+    /// payload. A [`create_streamed`](Self::create_streamed) writer must
+    /// use [`finish_with_order`](Self::finish_with_order) instead.
     pub fn finish(mut self) -> Result<StoreMeta, StoreError> {
+        match std::mem::replace(&mut self.perm, PermPlan::None) {
+            PermPlan::None => self.seal(VERSION_UNSORTED, None),
+            PermPlan::InRam(weights) => {
+                // Slab order is (left asc, right asc), so sorting slab
+                // indices by (weight total_cmp desc, index asc) is
+                // exactly the workspace `edge_key_desc` order.
+                let mut order: Vec<u64> = (0..weights.len() as u64).collect();
+                order.sort_unstable_by(|&a, &b| {
+                    weights[b as usize]
+                        .total_cmp(&weights[a as usize])
+                        .then_with(|| a.cmp(&b))
+                });
+                let mut it = order.into_iter().map(Ok);
+                self.seal(VERSION_SORTED, Some(&mut it))
+            }
+            PermPlan::Streamed => {
+                format_err("a streamed writer must be sealed with finish_with_order")
+            }
+        }
+    }
+
+    /// Seal a [`create_streamed`](Self::create_streamed) writer with an
+    /// externally sorted order: `order` yields every slab index
+    /// `0..n_edges` exactly once, in weight-descending
+    /// (`edge_key_desc`) order. Bounds and bijectivity are checked
+    /// here; the weight ordering itself is re-validated whenever the
+    /// file is opened, so a caller that merges sorted runs wrong cannot
+    /// produce a silently mis-sorted store.
+    pub fn finish_with_order<I>(mut self, order: I) -> Result<StoreMeta, StoreError>
+    where
+        I: IntoIterator<Item = Result<u64, StoreError>>,
+    {
+        match std::mem::replace(&mut self.perm, PermPlan::None) {
+            PermPlan::Streamed => {
+                let mut it = order.into_iter();
+                self.seal(VERSION_SORTED, Some(&mut it))
+            }
+            _ => format_err("finish_with_order requires a writer from create_streamed"),
+        }
+    }
+
+    fn seal(
+        mut self,
+        version: u32,
+        order: Option<&mut dyn Iterator<Item = Result<u64, StoreError>>>,
+    ) -> Result<StoreMeta, StoreError> {
         if self.rows_written != self.n_left {
             return format_err(format!(
                 "{} rows appended, n_left = {}",
@@ -360,6 +526,41 @@ impl SlabWriter {
         if self.dead_right.len() % 2 == 1 {
             self.out.write_all(&[0u8; 4])?;
         }
+        // Sort-order column (version 2): every slab index exactly once.
+        if let Some(order) = order {
+            let entry = perm_entry_bytes(self.n_edges);
+            let mut seen = vec![0u64; (self.n_edges as usize).div_ceil(64)];
+            let mut written = 0u64;
+            for idx in order {
+                let idx = idx?;
+                if idx >= self.n_edges {
+                    return format_err(format!(
+                        "sort-order index {idx} out of bounds ({})",
+                        self.n_edges
+                    ));
+                }
+                let (word, bit) = ((idx / 64) as usize, idx % 64);
+                if seen[word] >> bit & 1 == 1 {
+                    return format_err(format!("sort-order index {idx} repeated"));
+                }
+                seen[word] |= 1 << bit;
+                if entry == 4 {
+                    self.out.write_all(&(idx as u32).to_le_bytes())?;
+                } else {
+                    self.out.write_all(&idx.to_le_bytes())?;
+                }
+                written += 1;
+            }
+            if written != self.n_edges {
+                return format_err(format!(
+                    "sort order lists {written} of {} edges",
+                    self.n_edges
+                ));
+            }
+            if entry == 4 && self.n_edges % 2 == 1 {
+                self.out.write_all(&[0u8; 4])?;
+            }
+        }
         self.out.flush()?;
         let mut file = self.out.into_inner().map_err(|e| e.into_error())?;
 
@@ -387,7 +588,7 @@ impl SlabWriter {
         // Backfill the header.
         let mut header = Vec::with_capacity(HEADER_LEN);
         header.extend_from_slice(MAGIC);
-        header.extend_from_slice(&VERSION.to_le_bytes());
+        header.extend_from_slice(&version.to_le_bytes());
         header.extend_from_slice(&self.n_left.to_le_bytes());
         header.extend_from_slice(&self.n_right.to_le_bytes());
         header.extend_from_slice(&0u32.to_le_bytes());
@@ -404,9 +605,14 @@ impl SlabWriter {
         std::fs::remove_file(&self.tmp_path)?;
         debug_assert_eq!(
             file_bytes,
-            layout(self.n_left, self.n_edges, self.dead_right.len() as u64)
-                .map(|l| l.total_len as u64)
-                .unwrap_or(0),
+            layout(
+                self.n_left,
+                self.n_edges,
+                self.dead_right.len() as u64,
+                version == VERSION_SORTED,
+            )
+            .map(|l| l.total_len as u64)
+            .unwrap_or(0),
             "writer output length disagrees with the declared layout of {}",
             self.path.display(),
         );
@@ -417,7 +623,8 @@ impl SlabWriter {
     }
 }
 
-/// Persist a [`CsrGraph`] at `path` in the columnar format.
+/// Persist a [`CsrGraph`] at `path` in the columnar format (version 2,
+/// sort-order column included).
 ///
 /// Streams [`CsrGraph::live_row`], so pending deltas are folded on the
 /// way out: masked slab entries and the patch never reach the file,
@@ -425,7 +632,20 @@ impl SlabWriter {
 /// therefore yields the graph in its compacted form — byte-identical to
 /// `{ let mut c = csr.clone(); c.compact(); c }`.
 pub fn write_csr(csr: &CsrGraph, path: &Path) -> Result<StoreMeta, StoreError> {
-    let mut w = SlabWriter::create(path, csr.n_left(), csr.n_right(), csr.dead_right().to_vec())?;
+    let w = SlabWriter::create(path, csr.n_left(), csr.n_right(), csr.dead_right().to_vec())?;
+    stream_csr_into(csr, w)
+}
+
+/// [`write_csr`], but emitting the version 1 layout without the
+/// sort-order column — for compatibility tests and files that will
+/// never feed a sweep.
+pub fn write_csr_unsorted(csr: &CsrGraph, path: &Path) -> Result<StoreMeta, StoreError> {
+    let w =
+        SlabWriter::create_unsorted(path, csr.n_left(), csr.n_right(), csr.dead_right().to_vec())?;
+    stream_csr_into(csr, w)
+}
+
+fn stream_csr_into(csr: &CsrGraph, mut w: SlabWriter) -> Result<StoreMeta, StoreError> {
     let mut row: Vec<(u32, f64)> = Vec::new();
     for l in 0..csr.n_left() {
         if !csr.is_live_left(l) {
@@ -457,6 +677,7 @@ pub fn write_csr(csr: &CsrGraph, path: &Path) -> Result<StoreMeta, StoreError> {
 /// queries — and converts to an owned store via [`to_csr`](Self::to_csr).
 pub struct MappedCsr {
     map: Mmap,
+    version: u32,
     n_left: u32,
     n_right: u32,
     n_edges: usize,
@@ -465,6 +686,10 @@ pub struct MappedCsr {
     rights_at: usize,
     weights_at: usize,
     bitmap_at: usize,
+    /// Start of the sort-order column (version 2; unused for v1).
+    perm_at: usize,
+    /// Whether sort-order entries are u64 (true) or u32 (false).
+    perm_wide: bool,
     /// Decoded eagerly: tombstones are sparse and binary-searched hot.
     dead_right: Vec<u32>,
 }
@@ -484,9 +709,10 @@ impl MappedCsr {
             return format_err("bad magic: not a ccer columnar store");
         }
         let version = u32_at(8);
-        if version != VERSION {
+        if version != VERSION_UNSORTED && version != VERSION_SORTED {
             return format_err(format!("unsupported format version {version}"));
         }
+        let has_perm = version == VERSION_SORTED;
         let n_left = u32_at(12);
         let n_right = u32_at(16);
         let n_edges = u64_at(24);
@@ -494,7 +720,7 @@ impl MappedCsr {
         let n_dead_right = u64_at(40);
         let checksum = u64_at(48);
 
-        let Some(lay) = layout(n_left, n_edges, n_dead_right) else {
+        let Some(lay) = layout(n_left, n_edges, n_dead_right, has_perm) else {
             return format_err("declared sizes overflow the addressable layout");
         };
         if map.len() != lay.total_len {
@@ -587,8 +813,56 @@ impl MappedCsr {
             return format_err("offset column does not close at n_edges");
         }
 
+        // Sort-order column (version 2): a permutation of 0..n_edges in
+        // strict edge_key_desc order — weight descending under
+        // total_cmp, weight ties ascending by slab index (the slab is
+        // (left, right)-asc, so index order IS the id tie-break).
+        let perm_wide = perm_entry_bytes(n_edges) == 8;
+        if has_perm {
+            let m = n_edges as usize;
+            let entry = if perm_wide { 8 } else { 4 };
+            let perm_idx = |i: usize| -> u64 {
+                if perm_wide {
+                    u64_at(lay.perm_at + entry * i)
+                } else {
+                    u32_at(lay.perm_at + entry * i) as u64
+                }
+            };
+            let mut seen = vec![0u64; m.div_ceil(64)];
+            let mut prev: Option<(f64, usize)> = None;
+            for i in 0..m {
+                let p = perm_idx(i);
+                if p >= n_edges {
+                    return format_err(format!("sort-order index {p} out of bounds ({n_edges})"));
+                }
+                let p = p as usize;
+                if seen[p / 64] >> (p % 64) & 1 == 1 {
+                    return format_err(format!("sort-order index {p} repeated"));
+                }
+                seen[p / 64] |= 1 << (p % 64);
+                let w = f64::from_le_bytes(map[lay.weights_at + 8 * p..][..8].try_into().unwrap());
+                if let Some((pw, pp)) = prev {
+                    match pw.total_cmp(&w) {
+                        std::cmp::Ordering::Less => {
+                            return format_err("sort order is not weight-descending");
+                        }
+                        std::cmp::Ordering::Equal if pp >= p => {
+                            return format_err(
+                                "sort-order weight ties do not ascend by slab index",
+                            );
+                        }
+                        _ => {}
+                    }
+                }
+                prev = Some((w, p));
+            }
+            // All m entries distinct and < m ⇒ a bijection; the padding
+            // word (if any) is covered by the checksum like all padding.
+        }
+
         Ok(MappedCsr {
             map,
+            version,
             n_left,
             n_right,
             n_edges: n_edges as usize,
@@ -597,6 +871,8 @@ impl MappedCsr {
             rights_at: lay.rights_at,
             weights_at: lay.weights_at,
             bitmap_at: lay.bitmap_at,
+            perm_at: lay.perm_at,
+            perm_wide,
             dead_right,
         })
     }
@@ -614,6 +890,99 @@ impl MappedCsr {
     #[inline]
     fn weight_at(&self, i: usize) -> f64 {
         f64::from_le_bytes(self.map[self.weights_at + 8 * i..][..8].try_into().unwrap())
+    }
+
+    /// Slab index of the edge at sorted rank `rank` (version 2 only).
+    #[inline]
+    fn perm(&self, rank: usize) -> usize {
+        debug_assert!(self.has_sort_order());
+        if self.perm_wide {
+            u64::from_le_bytes(self.map[self.perm_at + 8 * rank..][..8].try_into().unwrap())
+                as usize
+        } else {
+            u32::from_le_bytes(self.map[self.perm_at + 4 * rank..][..4].try_into().unwrap())
+                as usize
+        }
+    }
+
+    /// Left id owning slab index `i` — one binary search over the
+    /// file-backed offset column.
+    #[inline]
+    fn row_of(&self, i: usize) -> u32 {
+        // First l with offset(l + 1) > i; valid because offsets are
+        // monotone and close at n_edges (validated at open).
+        let (mut lo, mut hi) = (0u32, self.n_left);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.offset(mid as usize + 1) <= i {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Whether the file carries the version-2 sort-order column, i.e.
+    /// whether the `sorted_*` accessors are available.
+    #[inline]
+    pub fn has_sort_order(&self) -> bool {
+        self.version >= VERSION_SORTED
+    }
+
+    /// Weight of the edge at sorted rank `rank` (0 = heaviest), without
+    /// decoding the endpoint ids — the probe for threshold binary
+    /// searches. Panics if the file has no sort order or `rank` is out
+    /// of bounds.
+    #[inline]
+    pub fn sorted_weight(&self, rank: usize) -> f64 {
+        assert!(self.has_sort_order(), "store has no sort-order column");
+        assert!(rank < self.n_edges, "sorted rank {rank} out of bounds");
+        self.weight_at(self.perm(rank))
+    }
+
+    /// The edge at sorted rank `rank` in the workspace `edge_key_desc`
+    /// order (weight descending, ties `(left, right)` ascending). The
+    /// left id costs one `O(log n_left)` search over the offset column;
+    /// everything decodes straight from the map — no resident edge
+    /// copy. Panics like [`sorted_weight`](Self::sorted_weight).
+    #[inline]
+    pub fn sorted_edge(&self, rank: usize) -> Edge {
+        assert!(self.has_sort_order(), "store has no sort-order column");
+        assert!(rank < self.n_edges, "sorted rank {rank} out of bounds");
+        let i = self.perm(rank);
+        Edge::new(self.row_of(i), self.right_at(i), self.weight_at(i))
+    }
+
+    /// How many edges have weight strictly above `t` — mirrors
+    /// [`SortedEdges::count_above`](crate::graph::SortedEdges::count_above)
+    /// bit for bit. Panics if the file has no sort order.
+    pub fn sorted_count_above(&self, t: f64) -> usize {
+        assert!(self.has_sort_order(), "store has no sort-order column");
+        self.sorted_partition(|w| w > t)
+    }
+
+    /// How many edges have weight at least `t` — mirrors
+    /// [`SortedEdges::count_at_least`](crate::graph::SortedEdges::count_at_least).
+    /// Panics if the file has no sort order.
+    pub fn sorted_count_at_least(&self, t: f64) -> usize {
+        assert!(self.has_sort_order(), "store has no sort-order column");
+        self.sorted_partition(|w| w >= t)
+    }
+
+    /// First sorted rank where `pred(weight)` turns false (weights run
+    /// descending, so `pred` must be downward-closed).
+    fn sorted_partition(&self, pred: impl Fn(f64) -> bool) -> usize {
+        let (mut lo, mut hi) = (0usize, self.n_edges);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if pred(self.weight_at(self.perm(mid))) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
     }
 
     /// Number of entities in the left collection (next left append id).
@@ -754,6 +1123,7 @@ impl MappedCsr {
 impl std::fmt::Debug for MappedCsr {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("MappedCsr")
+            .field("version", &self.version)
             .field("n_left", &self.n_left)
             .field("n_right", &self.n_right)
             .field("n_edges", &self.n_edges)
@@ -861,6 +1231,97 @@ mod tests {
         assert!(matches!(short.finish(), Err(StoreError::Format(_))));
         std::fs::remove_file(&path).ok();
         std::fs::remove_file(path.with_extension("slab.weights.tmp")).ok();
+    }
+
+    #[test]
+    fn sort_order_column_round_trips() {
+        let dir = scratch_dir();
+        let path = dir.join("sorted.slab");
+        let csr = sample_csr();
+        write_csr(&csr, &path).unwrap();
+        let mapped = MappedCsr::open(&path).unwrap();
+        assert!(mapped.has_sort_order());
+        let mut expect: Vec<Edge> = mapped.iter().collect();
+        expect.sort_by(|a, b| {
+            crate::float::edge_key_desc((a.weight, a.left, a.right), (b.weight, b.left, b.right))
+        });
+        let got: Vec<Edge> = (0..mapped.n_edges())
+            .map(|i| mapped.sorted_edge(i))
+            .collect();
+        assert_eq!(got, expect);
+        for (i, e) in expect.iter().enumerate() {
+            assert_eq!(mapped.sorted_weight(i), e.weight);
+        }
+        assert_eq!(mapped.sorted_count_above(0.7), 1);
+        assert_eq!(mapped.sorted_count_at_least(0.7), 3);
+        assert_eq!(mapped.sorted_count_above(1.0), 0);
+        assert_eq!(mapped.sorted_count_at_least(0.0), 5);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unsorted_writer_yields_readable_v1() {
+        let dir = scratch_dir();
+        let path = dir.join("v1.slab");
+        let csr = sample_csr();
+        write_csr_unsorted(&csr, &path).unwrap();
+        let mapped = MappedCsr::open(&path).unwrap();
+        assert!(!mapped.has_sort_order());
+        assert_eq!(mapped.to_csr(), csr);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn streamed_order_is_validated() {
+        let dir = scratch_dir();
+        let rows: &[&[(u32, f64)]] = &[&[(1, 0.5), (3, 0.9)], &[], &[(0, 0.7)]];
+        let write = |name: &str| -> SlabWriter {
+            let mut w = SlabWriter::create_streamed(&dir.join(name), 3, 4, vec![]).unwrap();
+            for row in rows {
+                w.append_row(row).unwrap();
+            }
+            w
+        };
+        // A streamed writer refuses a plain finish.
+        assert!(matches!(
+            write("a.slab").finish(),
+            Err(StoreError::Format(_))
+        ));
+        // Out-of-bounds, repeated, and short orders are rejected.
+        assert!(matches!(
+            write("b.slab").finish_with_order([Ok(0), Ok(1), Ok(3)]),
+            Err(StoreError::Format(_))
+        ));
+        assert!(matches!(
+            write("c.slab").finish_with_order([Ok(1), Ok(1), Ok(0)]),
+            Err(StoreError::Format(_))
+        ));
+        assert!(matches!(
+            write("d.slab").finish_with_order([Ok(1), Ok(2)]),
+            Err(StoreError::Format(_))
+        ));
+        // The weight order itself is enforced at open: a valid
+        // permutation in the wrong order fails validation there.
+        write("e.slab")
+            .finish_with_order([Ok(0), Ok(1), Ok(2)])
+            .unwrap();
+        assert!(matches!(
+            MappedCsr::open(&dir.join("e.slab")),
+            Err(StoreError::Format(_))
+        ));
+        // The true edge_key_desc order round-trips.
+        write("f.slab")
+            .finish_with_order([Ok(1), Ok(2), Ok(0)])
+            .unwrap();
+        let mapped = MappedCsr::open(&dir.join("f.slab")).unwrap();
+        assert!(mapped.has_sort_order());
+        assert_eq!(mapped.sorted_edge(0), Edge::new(0, 3, 0.9));
+        assert_eq!(mapped.sorted_edge(1), Edge::new(2, 0, 0.7));
+        assert_eq!(mapped.sorted_edge(2), Edge::new(0, 1, 0.5));
+        for name in ["a", "b", "c", "d", "e", "f"] {
+            std::fs::remove_file(dir.join(format!("{name}.slab"))).ok();
+            std::fs::remove_file(dir.join(format!("{name}.slab.weights.tmp"))).ok();
+        }
     }
 
     #[test]

@@ -12,12 +12,20 @@
 //! 3. **corruption is an error, never a panic**: bad magic, unknown
 //!    version, truncation at any boundary, header fields that disagree
 //!    with the file length (including overflow-inducing ones), and
-//!    payload bit flips are all rejected by `MappedCsr::open`.
+//!    payload bit flips are all rejected by `MappedCsr::open`;
+//! 4. **the version-2 sort-order column is validated, not trusted**:
+//!    truncating the file at the column's boundary, flipping its bits,
+//!    or rewriting it (checksum re-fixed) into out-of-range indices,
+//!    non-permutations, or orders that are not weight-descending are all
+//!    `StoreError::Format`, never a panic — and version-1 slabs without
+//!    the column stay readable with the in-RAM sort fallback.
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use er_core::{write_csr, CsrGraph, GraphBuilder, MappedCsr, SimilarityGraph, SlabWriter};
+use er_core::{
+    write_csr, write_csr_unsorted, CsrGraph, GraphBuilder, MappedCsr, SimilarityGraph, SlabWriter,
+};
 use proptest::prelude::*;
 
 static NEXT_FILE: AtomicUsize = AtomicUsize::new(0);
@@ -248,4 +256,120 @@ fn corrupted_files_are_rejected_not_panicked_on() {
     for i in 0..56 {
         let _ = open_mutated(&|b| b[i] ^= 0xA5);
     }
+}
+
+/// The test's own FNV-1a 64 (the store's checksum function), so the
+/// sort-order fuzz below can hand `open` *checksum-consistent* files —
+/// exercising the semantic perm validation, not just the checksum.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Satellite fuzz for the v2 sort-order column: every way the column can
+/// lie — missing bytes, flipped bits, out-of-range entries, repeated
+/// entries, wrong order — must be a `Format` error, never a panic.
+#[test]
+fn sort_order_column_corruption_is_rejected_not_panicked_on() {
+    // Two live edges: slab order (0,1,w=0.5), (2,2,w=1.0); the correct
+    // weight-descending perm is therefore [1, 0] — 8 trailing bytes.
+    let mut b = GraphBuilder::new(3, 3);
+    b.add_edge(0, 1, 0.5).unwrap();
+    b.add_edge(1, 0, 0.25).unwrap();
+    b.add_edge(2, 2, 1.0).unwrap();
+    let mut csr = CsrGraph::from_graph(&b.build());
+    csr.remove_right(0).unwrap();
+    assert_eq!(csr.n_edges(), 2);
+    let path = scratch_file("perm-base");
+    write_csr(&csr, &path).unwrap();
+    let base = std::fs::read(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    let perm_at = base.len() - 8;
+
+    let open_mutated = |mutate: &dyn Fn(&mut Vec<u8>)| {
+        let mut bytes = base.clone();
+        mutate(&mut bytes);
+        let p = scratch_file("perm-fuzz");
+        std::fs::write(&p, &bytes).unwrap();
+        let r = MappedCsr::open(&p);
+        std::fs::remove_file(&p).ok();
+        r
+    };
+    // Rewrite the two perm entries and re-fix the checksum, so only the
+    // semantic validation can object.
+    let with_perm = |a: u32, bb: u32| {
+        move |bytes: &mut Vec<u8>| {
+            bytes[perm_at..perm_at + 4].copy_from_slice(&a.to_le_bytes());
+            bytes[perm_at + 4..perm_at + 8].copy_from_slice(&bb.to_le_bytes());
+            let sum = fnv1a64(&bytes[56..]);
+            bytes[48..56].copy_from_slice(&sum.to_le_bytes());
+        }
+    };
+
+    let sane = open_mutated(&|_| {}).expect("pristine v2 file opens");
+    assert!(sane.has_sort_order());
+
+    // Checksum-fixing round-trip sanity: rewriting the *correct* perm
+    // through the mutator must still open.
+    assert!(open_mutated(&with_perm(1, 0)).is_ok());
+
+    // Truncation exactly at (and within) the column boundary.
+    assert!(open_mutated(&|b| b.truncate(perm_at)).is_err());
+    assert!(open_mutated(&|b| b.truncate(perm_at + 4)).is_err());
+    // Bit flip inside the column fails the checksum.
+    assert!(open_mutated(&|b| b[perm_at] ^= 0x01).is_err());
+    // Out-of-range index (checksum consistent).
+    assert!(open_mutated(&with_perm(1, 7)).is_err());
+    assert!(open_mutated(&with_perm(u32::MAX, 0)).is_err());
+    // Not a permutation: a repeated index.
+    assert!(open_mutated(&with_perm(1, 1)).is_err());
+    assert!(open_mutated(&with_perm(0, 0)).is_err());
+    // A valid permutation in the wrong (weight-ascending) order.
+    assert!(open_mutated(&with_perm(0, 1)).is_err());
+    // All rejections are Format errors with a message, never panics.
+    match open_mutated(&with_perm(0, 1)) {
+        Err(er_core::StoreError::Format(msg)) => {
+            assert!(!msg.is_empty());
+        }
+        other => panic!("expected Format error, got {other:?}"),
+    }
+    // Every byte of the column flipped one at a time: never a panic.
+    for i in perm_at..base.len() {
+        let _ = open_mutated(&|b| b[i] ^= 0xA5);
+    }
+}
+
+/// Version-1 slabs (no sort-order column) remain first-class: readable,
+/// round-tripping, explicitly reporting the column's absence.
+#[test]
+fn v1_slabs_without_sort_order_stay_readable() {
+    let mut b = GraphBuilder::new(4, 4);
+    b.add_edge(0, 3, 0.75).unwrap();
+    b.add_edge(1, 1, 0.5).unwrap();
+    b.add_edge(3, 0, 1.0).unwrap();
+    let csr = CsrGraph::from_graph(&b.build());
+    let v1 = scratch_file("v1");
+    let v2 = scratch_file("v2");
+    write_csr_unsorted(&csr, &v1).unwrap();
+    write_csr(&csr, &v2).unwrap();
+    let m1 = MappedCsr::open(&v1).unwrap();
+    let m2 = MappedCsr::open(&v2).unwrap();
+    assert!(!m1.has_sort_order());
+    assert!(m2.has_sort_order());
+    assert_mapped_agrees(&m1, &csr);
+    assert_eq!(
+        m1.to_csr(),
+        m2.to_csr(),
+        "payload identical across versions"
+    );
+    assert!(
+        std::fs::metadata(&v1).unwrap().len() < std::fs::metadata(&v2).unwrap().len(),
+        "the column is the only size difference"
+    );
+    std::fs::remove_file(&v1).ok();
+    std::fs::remove_file(&v2).ok();
 }

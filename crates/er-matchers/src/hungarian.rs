@@ -28,7 +28,16 @@ impl Matcher for Hungarian {
     }
 
     fn run_view(&self, view: &EdgeView<'_, '_>) -> Matching {
-        hungarian_on_edges(view.n_left(), view.n_right(), view.edges())
+        let seq = view.edges();
+        match seq.as_slice() {
+            Some(s) => hungarian_on_edges(view.n_left(), view.n_right(), s),
+            // Mapped-native view: the dense oracle builds an O(s·l)
+            // matrix anyway, so collecting the prefix is immaterial.
+            None => {
+                let edges: Vec<Edge> = seq.iter().collect();
+                hungarian_on_edges(view.n_left(), view.n_right(), &edges)
+            }
+        }
     }
 }
 

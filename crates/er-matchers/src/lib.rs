@@ -50,7 +50,7 @@ pub use delta::{BahDelta, DeltaMatcher, ReplayDelta, UmcDelta};
 pub use exc::Exc;
 pub use hungarian::{hungarian_matching, hungarian_on_edges, max_weight_matching_value, Hungarian};
 pub use krc::Krc;
-pub use matcher::{EdgeView, Matcher, PreparedGraph};
+pub use matcher::{EdgeSeq, EdgeSeqIter, EdgeView, Matcher, PreparedGraph};
 pub use mcf::mcf_matching;
 pub use qlearn::{QLearnConfig, QMatcher};
 pub use rca::Rca;

@@ -1,5 +1,7 @@
 //! The matcher abstraction shared by all eight algorithms.
 
+use std::sync::OnceLock;
+
 use er_core::{Adjacency, CsrGraph, Edge, MappedCsr, Matching, SimilarityGraph, SortedEdges};
 
 /// The edge store behind a [`PreparedGraph`]: a plain similarity graph,
@@ -57,12 +59,150 @@ impl GraphStore<'_> {
     }
 }
 
+/// Where the weight-descending total order lives.
+///
+/// `Ram` is a heap-resident [`SortedEdges`]; `Mapped` means the order is
+/// the version-2 **sort-order column of the file itself** — prefixes are
+/// decoded straight from the map and no edge copy ever materializes.
+enum SortedStore {
+    Ram(SortedEdges),
+    /// The backing [`GraphStore`] is guaranteed `Mapped` with
+    /// `has_sort_order()`.
+    Mapped,
+}
+
+/// A weight-descending edge sequence: either a resident prefix slice or
+/// a zero-copy window over a mapped store's sort-order column. `Copy`,
+/// so matchers pass it around like the slices it replaces; iteration
+/// yields [`Edge`]s by value either way.
+#[derive(Clone, Copy)]
+pub enum EdgeSeq<'a> {
+    /// A resident sorted prefix (the classic path).
+    Ram(&'a [Edge]),
+    /// Ranks `start..end` of a mapped store's sort-order column.
+    Mapped {
+        /// The file-backed store; edges decode from the map per access.
+        store: &'a MappedCsr,
+        /// First sorted rank of the window.
+        start: usize,
+        /// One past the last sorted rank of the window.
+        end: usize,
+    },
+}
+
+impl<'a> EdgeSeq<'a> {
+    /// Number of edges in the sequence.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            EdgeSeq::Ram(s) => s.len(),
+            EdgeSeq::Mapped { start, end, .. } => end - start,
+        }
+    }
+
+    /// Whether the sequence is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `i`-th edge (0 = heaviest). Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, i: usize) -> Edge {
+        match self {
+            EdgeSeq::Ram(s) => s[i],
+            EdgeSeq::Mapped { store, start, end } => {
+                assert!(start + i < *end, "edge rank {i} out of bounds");
+                store.sorted_edge(start + i)
+            }
+        }
+    }
+
+    /// The subsequence from `from` (clamped to the length) to the end —
+    /// what sweepers use to resume where the previous threshold stopped.
+    #[inline]
+    pub fn tail(&self, from: usize) -> EdgeSeq<'a> {
+        match *self {
+            EdgeSeq::Ram(s) => EdgeSeq::Ram(&s[from.min(s.len())..]),
+            EdgeSeq::Mapped { store, start, end } => EdgeSeq::Mapped {
+                store,
+                start: (start + from).min(end),
+                end,
+            },
+        }
+    }
+
+    /// The resident slice behind the sequence, if there is one — lets
+    /// slice-hungry consumers (the dense Hungarian oracle) skip a copy
+    /// on the classic path.
+    #[inline]
+    pub fn as_slice(&self) -> Option<&'a [Edge]> {
+        match self {
+            EdgeSeq::Ram(s) => Some(s),
+            EdgeSeq::Mapped { .. } => None,
+        }
+    }
+
+    /// Iterate the edges by value, heaviest first.
+    #[inline]
+    pub fn iter(&self) -> EdgeSeqIter<'a> {
+        EdgeSeqIter { seq: *self, cur: 0 }
+    }
+}
+
+/// Iterator over an [`EdgeSeq`], yielding [`Edge`]s by value.
+pub struct EdgeSeqIter<'a> {
+    seq: EdgeSeq<'a>,
+    cur: usize,
+}
+
+impl Iterator for EdgeSeqIter<'_> {
+    type Item = Edge;
+
+    #[inline]
+    fn next(&mut self) -> Option<Edge> {
+        if self.cur < self.seq.len() {
+            let e = self.seq.get(self.cur);
+            self.cur += 1;
+            Some(e)
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.seq.len() - self.cur;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for EdgeSeqIter<'_> {}
+
+impl<'a> IntoIterator for EdgeSeq<'a> {
+    type Item = Edge;
+    type IntoIter = EdgeSeqIter<'a>;
+
+    fn into_iter(self) -> EdgeSeqIter<'a> {
+        self.iter()
+    }
+}
+
+impl<'a> IntoIterator for &EdgeSeq<'a> {
+    type Item = Edge;
+    type IntoIter = EdgeSeqIter<'a>;
+
+    fn into_iter(self) -> EdgeSeqIter<'a> {
+        self.iter()
+    }
+}
+
 /// A similarity graph bundled with its CSR adjacency **and** its
 /// weight-descending sorted edge view, built once and shared by every
 /// algorithm run (the paper times the algorithms on an already-loaded graph;
 /// view construction is part of graph loading).
 ///
-/// The sorted view turns "edges above `t`" into a prefix slice found by one
+/// The sorted view turns "edges above `t`" into a prefix found by one
 /// binary search ([`PreparedGraph::edges_above`]), which is what makes
 /// threshold sweeps incremental: see [`crate::sweeper`].
 ///
@@ -71,21 +211,35 @@ impl GraphStore<'_> {
 /// compact CSR store pruned production graphs live in
 /// ([`PreparedGraph::from_csr`], no expansion), or from the columnar
 /// on-disk store ([`PreparedGraph::from_mapped`], file-backed) — the
-/// matchers and the sweep engine are oblivious to the source.
+/// matchers and the sweep engine are oblivious to the source. For a
+/// version-2 mapped store the sorted view **is the file's sort-order
+/// column**: the prepared graph keeps zero resident edge copies, and the
+/// adjacency (which only some algorithms consume) is built lazily on
+/// first use.
 pub struct PreparedGraph<'g> {
     graph: GraphStore<'g>,
-    adjacency: Adjacency,
-    sorted: SortedEdges,
+    adjacency: OnceLock<Adjacency>,
+    sorted: SortedStore,
 }
 
 impl<'g> PreparedGraph<'g> {
+    fn with_ram_views(graph: GraphStore<'g>, adjacency: Adjacency, sorted: SortedEdges) -> Self {
+        let lock = OnceLock::new();
+        let _ = lock.set(adjacency);
+        PreparedGraph {
+            graph,
+            adjacency: lock,
+            sorted: SortedStore::Ram(sorted),
+        }
+    }
+
     /// Build the adjacency and sorted-edge views for `graph`.
     pub fn new(graph: &'g SimilarityGraph) -> Self {
-        PreparedGraph {
-            adjacency: graph.adjacency(),
-            sorted: graph.sorted_edges(),
-            graph: GraphStore::Graph(graph),
-        }
+        Self::with_ram_views(
+            GraphStore::Graph(graph),
+            graph.adjacency(),
+            graph.sorted_edges(),
+        )
     }
 
     /// Wrap a graph together with a sorted edge view built elsewhere —
@@ -105,11 +259,7 @@ impl<'g> PreparedGraph<'g> {
             sorted.all().windows(2).all(|w| w[0].weight >= w[1].weight),
             "sorted view must descend by weight"
         );
-        PreparedGraph {
-            adjacency: graph.adjacency(),
-            sorted,
-            graph: GraphStore::Graph(graph),
-        }
+        Self::with_ram_views(GraphStore::Graph(graph), graph.adjacency(), sorted)
     }
 
     /// Prepare a graph held in the compact CSR store **natively**: build
@@ -138,24 +288,26 @@ impl<'g> PreparedGraph<'g> {
     /// ```
     pub fn from_csr(csr: &CsrGraph) -> PreparedGraph<'_> {
         let sorted = SortedEdges::from_edges(csr.iter().collect());
-        PreparedGraph {
-            adjacency: Adjacency::from_edges(csr.n_left(), csr.n_right(), sorted.all()),
-            sorted,
-            graph: GraphStore::Csr(csr),
-        }
+        let adjacency = Adjacency::from_edges(csr.n_left(), csr.n_right(), sorted.all());
+        PreparedGraph::with_ram_views(GraphStore::Csr(csr), adjacency, sorted)
     }
 
     /// Prepare a **file-backed** columnar store ([`MappedCsr`]) without
-    /// materializing it as an in-RAM `CsrGraph` or `SimilarityGraph`: the
-    /// matcher views are built by one streaming pass over the mapped
-    /// slabs, and point lookups ([`PreparedGraph::weight_of`]) are served
-    /// by the store's own binary search over the file bytes.
+    /// materializing it as an in-RAM `CsrGraph` or `SimilarityGraph`:
+    /// point lookups ([`PreparedGraph::weight_of`]) are served by the
+    /// store's binary search over the file bytes, and — for a version-2
+    /// file — the weight-descending view **is the file's sort-order
+    /// column**, so "edges above `t`" decodes straight from the map with
+    /// zero resident edge copies. Version-1 files (no sort-order column)
+    /// fall back to one streaming pass that sorts the edges in RAM.
     ///
     /// The views are identical to [`PreparedGraph::from_csr`] on the
-    /// store's in-RAM twin — both iterate rows ascending with
-    /// right-ascending columns and feed the same deterministic total
-    /// orders — so threshold sweeps over an out-of-core graph produce
-    /// bit-identical matchings.
+    /// store's in-RAM twin — the persisted column is validated at open
+    /// against the same `edge_key_desc` total order the resident sort
+    /// uses — so threshold sweeps over an out-of-core graph produce
+    /// bit-identical matchings. The adjacency (consumed by only some of
+    /// the algorithms) is built lazily on first use; sweeps of
+    /// prefix-consuming algorithms like UMC never pay for it.
     ///
     /// ```no_run
     /// use er_core::MappedCsr;
@@ -167,18 +319,48 @@ impl<'g> PreparedGraph<'g> {
     /// # let _ = matching;
     /// ```
     pub fn from_mapped(mapped: &MappedCsr) -> PreparedGraph<'_> {
-        let sorted = SortedEdges::from_edges(mapped.iter().collect());
+        let sorted = if mapped.has_sort_order() {
+            SortedStore::Mapped
+        } else {
+            SortedStore::Ram(SortedEdges::from_edges(mapped.iter().collect()))
+        };
         PreparedGraph {
-            adjacency: Adjacency::from_edges(mapped.n_left(), mapped.n_right(), sorted.all()),
-            sorted,
             graph: GraphStore::Mapped(mapped),
+            adjacency: OnceLock::new(),
+            sorted,
+        }
+    }
+
+    /// The backing mapped store — only called when `sorted` is
+    /// `SortedStore::Mapped`, which `from_mapped` establishes.
+    #[inline]
+    fn mapped(&self) -> &'g MappedCsr {
+        match self.graph {
+            GraphStore::Mapped(m) => m,
+            _ => unreachable!("mapped sort order without a mapped store"),
         }
     }
 
     /// Number of edges in the prepared graph.
     #[inline]
     pub fn n_edges(&self) -> usize {
-        self.sorted.len()
+        match &self.sorted {
+            SortedStore::Ram(s) => s.len(),
+            SortedStore::Mapped => self.mapped().n_edges(),
+        }
+    }
+
+    /// Resident edge records the prepared views hold on the heap: the
+    /// sorted copy (if any) plus the adjacency's neighbor entries (if
+    /// built). A sweep over a version-2 mapped store with a
+    /// prefix-consuming algorithm reports **0** — the zero-copy claim
+    /// the out-of-core portrait asserts.
+    pub fn resident_edge_copies(&self) -> usize {
+        let sorted = match &self.sorted {
+            SortedStore::Ram(s) => s.len(),
+            SortedStore::Mapped => 0,
+        };
+        sorted + self.adjacency.get().map_or(0, |a| a.n_entries())
     }
 
     /// Weight of edge `(left, right)`, if present — answered by the
@@ -210,27 +392,70 @@ impl<'g> PreparedGraph<'g> {
     }
 
     /// The adjacency view (neighbors sorted by descending weight).
+    /// Built lazily — and thread-safely — for mapped stores: the
+    /// construction pass streams the file once and drops the transient
+    /// edge list, so only algorithms that actually consume adjacency
+    /// pay for it.
     #[inline]
     pub fn adjacency(&self) -> &Adjacency {
-        &self.adjacency
+        self.adjacency.get_or_init(|| match self.graph {
+            GraphStore::Graph(g) => g.adjacency(),
+            GraphStore::Csr(c) => {
+                let edges: Vec<Edge> = c.iter().collect();
+                Adjacency::from_edges(c.n_left(), c.n_right(), &edges)
+            }
+            GraphStore::Mapped(m) => {
+                let edges: Vec<Edge> = m.iter().collect();
+                Adjacency::from_edges(m.n_left(), m.n_right(), &edges)
+            }
+        })
     }
 
-    /// The weight-descending sorted edge view.
+    /// The full weight-descending edge sequence.
     #[inline]
-    pub fn sorted_edges(&self) -> &SortedEdges {
-        &self.sorted
+    pub fn edges_all(&self) -> EdgeSeq<'_> {
+        self.seq_prefix(self.n_edges())
+    }
+
+    /// The first `end` edges of the weight-descending order.
+    #[inline]
+    fn seq_prefix(&self, end: usize) -> EdgeSeq<'_> {
+        match &self.sorted {
+            SortedStore::Ram(s) => EdgeSeq::Ram(&s.all()[..end]),
+            SortedStore::Mapped => EdgeSeq::Mapped {
+                store: self.mapped(),
+                start: 0,
+                end,
+            },
+        }
+    }
+
+    #[inline]
+    fn count_above(&self, t: f64) -> usize {
+        match &self.sorted {
+            SortedStore::Ram(s) => s.count_above(t),
+            SortedStore::Mapped => self.mapped().sorted_count_above(t),
+        }
+    }
+
+    #[inline]
+    fn count_at_least(&self, t: f64) -> usize {
+        match &self.sorted {
+            SortedStore::Ram(s) => s.count_at_least(t),
+            SortedStore::Mapped => self.mapped().sorted_count_at_least(t),
+        }
     }
 
     /// The prefix of edges with `weight > t` (descending weight order).
     #[inline]
-    pub fn edges_above(&self, t: f64) -> &[Edge] {
-        self.sorted.above(t)
+    pub fn edges_above(&self, t: f64) -> EdgeSeq<'_> {
+        self.seq_prefix(self.count_above(t))
     }
 
     /// The prefix of edges with `weight >= t` (descending weight order).
     #[inline]
-    pub fn edges_at_least(&self, t: f64) -> &[Edge] {
-        self.sorted.at_least(t)
+    pub fn edges_at_least(&self, t: f64) -> EdgeSeq<'_> {
+        self.seq_prefix(self.count_at_least(t))
     }
 
     /// The threshold-filtered view matchers consume; two binary searches.
@@ -239,8 +464,8 @@ impl<'g> PreparedGraph<'g> {
         EdgeView {
             g: self,
             t,
-            above_end: self.sorted.count_above(t),
-            at_least_end: self.sorted.count_at_least(t),
+            above_end: self.count_above(t),
+            at_least_end: self.count_at_least(t),
         }
     }
 
@@ -294,22 +519,23 @@ impl<'a, 'g> EdgeView<'a, 'g> {
     }
 
     /// The adjacency view (not threshold-filtered; algorithms early-break on
-    /// the descending per-node weight order).
+    /// the descending per-node weight order). Built on first use for
+    /// mapped stores.
     #[inline]
     pub fn adjacency(&self) -> &'a Adjacency {
-        &self.g.adjacency
+        self.g.adjacency()
     }
 
-    /// Edges with `weight > t`, highest weight first (prefix slice).
+    /// Edges with `weight > t`, highest weight first (prefix sequence).
     #[inline]
-    pub fn edges(&self) -> &'a [Edge] {
-        &self.g.sorted.all()[..self.above_end]
+    pub fn edges(&self) -> EdgeSeq<'a> {
+        self.g.seq_prefix(self.above_end)
     }
 
-    /// Edges with `weight >= t`, highest weight first (prefix slice).
+    /// Edges with `weight >= t`, highest weight first (prefix sequence).
     #[inline]
-    pub fn edges_inclusive(&self) -> &'a [Edge] {
-        &self.g.sorted.all()[..self.at_least_end]
+    pub fn edges_inclusive(&self) -> EdgeSeq<'a> {
+        self.g.seq_prefix(self.at_least_end)
     }
 
     /// Lengths of the strict and inclusive prefixes, `(above, at_least)`.
@@ -385,7 +611,7 @@ mod tests {
                 "views agree at t={t}"
             );
         }
-        assert_eq!(fresh.sorted_edges().len(), reused.sorted_edges().len());
+        assert_eq!(fresh.n_edges(), reused.n_edges());
     }
 
     #[test]
@@ -434,12 +660,7 @@ mod tests {
         }
         // The sorted views are identical edge for edge: CSR expansion
         // changes insertion order only, and the sort is total.
-        for (a, b) in fresh
-            .sorted_edges()
-            .all()
-            .iter()
-            .zip(via_csr.sorted_edges().all())
-        {
+        for (a, b) in fresh.edges_all().iter().zip(via_csr.edges_all()) {
             assert_eq!((a.left, a.right), (b.left, b.right));
             assert_eq!(a.weight.to_bits(), b.weight.to_bits());
         }
@@ -465,29 +686,50 @@ mod tests {
         assert_eq!(via_map.n_right(), via_csr.n_right());
         assert_eq!(via_map.n_edges(), via_csr.n_edges());
         assert_eq!(via_map.store_bytes(), mapped.file_bytes());
-        for (a, b) in via_csr
-            .sorted_edges()
-            .all()
-            .iter()
-            .zip(via_map.sorted_edges().all())
-        {
+        // A v2 store sweeps straight off the file: no resident copy.
+        assert_eq!(via_map.resident_edge_copies(), 0);
+        for (a, b) in via_csr.edges_all().iter().zip(via_map.edges_all()) {
             assert_eq!((a.left, a.right), (b.left, b.right));
             assert_eq!(a.weight.to_bits(), b.weight.to_bits());
         }
+        assert_eq!(
+            via_map.resident_edge_copies(),
+            0,
+            "iteration copies nothing"
+        );
         for t in [0.0, 0.3, 0.6, 0.9] {
             assert_eq!(via_map.view(t).prefix_lens(), via_csr.view(t).prefix_lens());
         }
         // Point lookups are served by the file-backed store itself.
-        for e in via_csr.sorted_edges().all() {
+        for e in via_csr.edges_all() {
             assert_eq!(
                 via_map.weight_of(e.left, e.right).map(f64::to_bits),
                 Some(e.weight.to_bits())
             );
         }
+        // The adjacency materializes only on demand.
+        assert_eq!(via_map.adjacency().n_entries(), 2 * via_map.n_edges());
+        assert!(via_map.resident_edge_copies() > 0);
         // Re-preparation stays on the mapped store.
         let again = via_map.reprepare();
         assert_eq!(again.n_edges(), via_map.n_edges());
         assert_eq!(again.store_bytes(), mapped.file_bytes());
+
+        // A version-1 file (no sort-order column) falls back to the
+        // in-RAM sort and still agrees everywhere.
+        let v1_path = dir.join("figure1-v1.slab");
+        er_core::write_csr_unsorted(&csr, &v1_path).unwrap();
+        let v1 = er_core::MappedCsr::open(&v1_path).unwrap();
+        assert!(!v1.has_sort_order());
+        let via_v1 = PreparedGraph::from_mapped(&v1);
+        assert_eq!(via_v1.resident_edge_copies(), via_v1.n_edges());
+        for (a, b) in via_map.edges_all().iter().zip(via_v1.edges_all()) {
+            assert_eq!((a.left, a.right), (b.left, b.right));
+            assert_eq!(a.weight.to_bits(), b.weight.to_bits());
+        }
+        for t in [0.0, 0.3, 0.6, 0.9] {
+            assert_eq!(via_v1.view(t).prefix_lens(), via_map.view(t).prefix_lens());
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -502,7 +744,8 @@ mod tests {
         assert_eq!(v.edges_inclusive().len(), 5);
         assert_eq!(v.prefix_lens(), (2, 5));
         // Prefixes are themselves weight-descending.
-        for w in v.edges_inclusive().windows(2) {
+        let incl: Vec<Edge> = v.edges_inclusive().iter().collect();
+        for w in incl.windows(2) {
             assert!(w[0].weight >= w[1].weight);
         }
         assert_eq!(v.n_left(), 5);

@@ -121,7 +121,7 @@ impl ThresholdSweeper for UmcSweeper {
             self.cursor <= retained.len(),
             "thresholds must be non-increasing"
         );
-        for e in &retained[self.cursor.min(retained.len())..] {
+        for e in retained.tail(self.cursor) {
             if !self.matched_left[e.left as usize] && !self.matched_right[e.right as usize] {
                 self.matched_left[e.left as usize] = true;
                 self.matched_right[e.right as usize] = true;
@@ -181,7 +181,7 @@ impl ThresholdSweeper for BahSweeper {
                 return m.clone();
             }
         } else {
-            for e in &retained[self.cursor..] {
+            for e in retained.tail(self.cursor) {
                 self.d
                     .insert(bah::driver_key(e.left, e.right, self.left_drives), e.weight);
             }

@@ -10,17 +10,42 @@
 //! all) one shard at a time against a scorer **prepared once over the
 //! full collections**, spills each finished shard's raw triples to a
 //! slab file, and externally merges the spills into one on-disk
-//! [`MappedCsr`] store. Peak resident edges drop to one shard's
-//! `shard_rows × k` (plus `O(k + n_shards)` merge buffers that never
-//! touch the resident counter) — the corpus's dense edge set, and even
-//! its pruned top-k edge set, never needs to fit in RAM.
+//! [`MappedCsr`] store — version 2, with the weight-descending
+//! sort-order column emitted by an external run sort, so the finished
+//! file can be swept mmap-native without ever hydrating. Peak resident
+//! edges stay bounded by the shard budget (see below) — the corpus's
+//! dense edge set, and even its pruned top-k edge set, never needs to
+//! fit in RAM.
+//!
+//! # Pipelining and the parallel merge
+//!
+//! With [`ShardedConfig::pipelined`] (the default), shard *scoring*
+//! overlaps the previous shard's *spill*: the scoring loop hands each
+//! finished shard across a rendezvous channel to a dedicated spill
+//! thread. The channel is unbuffered, so at most **two** shards are
+//! in flight — the one being scored and the one being spilled — and the
+//! resident ceiling doubles to `2 × shard_rows × k`
+//! ([`ShardedStats::resident_budget_edges`] reports whichever bound is
+//! configured). Bit-identity is untouched: there is a single producer,
+//! shards arrive at the spill thread in score order, each spill file's
+//! bytes are computed per shard exactly as in the serial loop, and the
+//! `(lo, hi)` frame fold is order-independent anyway.
+//!
+//! The final merge is parallelized **by left-row ranges**: shards cover
+//! contiguous disjoint row ranges, so any contiguous group of spill
+//! files can be finalized (positivity-filtered weights normalized
+//! through the frame, rows sorted right-ascending) into a segment file
+//! independently of the others. [`ShardedConfig::merge_threads`] workers
+//! do exactly that, and one serial pass streams the segments — already
+//! in global row order — into the [`SlabWriter`]. With one effective
+//! thread the direct heap-merge path runs instead (no segment I/O).
 //!
 //! # Bit-identity with the in-RAM path
 //!
 //! The result is **bit-identical** to
 //! `CsrGraph::from_graph(&build_graph_topk_mode(…).0)`, argued in three
-//! steps (property-proven per taxonomy branch, thread count and shard
-//! size in `tests/sharded_props.rs`):
+//! steps (property-proven per taxonomy branch, thread count, shard
+//! size and pipelining mode in `tests/sharded_props.rs`):
 //!
 //! 1. **Scores.** The scorer — DF statistics, inverted indexes, encoded
 //!    vectors, candidate indexes — is prepared once over the *full*
@@ -39,9 +64,15 @@
 //!    that frame at merge time — the identical `f64` operations the
 //!    in-RAM finalize applies — and rows are written right-ascending,
 //!    which is exactly the canonical order `CsrGraph::from_graph`
-//!    produces. Same edges, same weights, same layout.
+//!    produces. Same edges, same weights, same layout — regardless of
+//!    how the spill files were grouped into merge segments, because
+//!    every row's bytes are a function of that row's spill records
+//!    alone. The sort-order column is sorted by the *stored*
+//!    (normalized) weights with ascending-slab-index tie-breaks, and
+//!    re-validated against exactly that order when the store is opened.
 //!
-//! DESIGN.md §18 spells the argument out against the on-disk format.
+//! DESIGN.md §18 and §20 spell the argument out against the on-disk
+//! format.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -49,34 +80,66 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
 
-use er_core::{ConstructionCounters, MappedCsr, SlabWriter, StoreError};
+use er_core::{ConstructionCounters, MappedCsr, SlabWriter, StoreError, StoreMeta};
 use er_datasets::EntityCollection;
 
 use crate::candidates::CandidateMode;
 use crate::config::PipelineConfig;
-use crate::graphgen::{score_topk_sharded, NormFrame};
+use crate::graphgen::{score_topk_sharded, NormFrame, Triple};
 use crate::taxonomy::SimilarityFunction;
 
 /// Bytes of one spill record: `(left u32, right u32, raw weight f64)`.
+/// Segment files reuse the same layout with the weight normalized.
 const SPILL_RECORD: usize = 16;
+
+/// Bytes of one sort-order run record: `(weight f64, slab index u64)`.
+const PERM_RECORD: usize = 16;
+
+/// Floor for the external sort's run length: runs shorter than this cost
+/// more in file handles than they save in memory (64 KiB resident).
+const MIN_PERM_RUN: usize = 4096;
 
 /// Shape of one out-of-core build.
 #[derive(Debug, Clone)]
 pub struct ShardedConfig {
     /// Scorer rows per shard — the resident-memory knob: peak resident
-    /// edges are at most `shard_rows × k`.
+    /// edges are at most `shard_rows × k` per in-flight shard.
     pub shard_rows: usize,
     /// Directory for the per-shard spill files (created if missing,
     /// spills deleted after the merge).
     pub spill_dir: PathBuf,
+    /// Overlap shard scoring with the previous shard's spill on a
+    /// dedicated thread. Keeps at most two shards in flight, doubling
+    /// the resident ceiling to `2 × shard_rows × k`. Default `true`.
+    pub pipelined: bool,
+    /// Workers for the row-range-parallel merge; `0` (the default)
+    /// means [`PipelineConfig::effective_threads`]. Clamped to the
+    /// shard count; `1` selects the direct serial merge.
+    pub merge_threads: usize,
 }
 
 impl ShardedConfig {
-    /// A config spilling to `spill_dir` with `shard_rows` rows per shard.
+    /// A config spilling to `spill_dir` with `shard_rows` rows per
+    /// shard — pipelined, merge parallelism following the pipeline
+    /// thread count.
     pub fn new(shard_rows: usize, spill_dir: impl Into<PathBuf>) -> Self {
         ShardedConfig {
             shard_rows,
             spill_dir: spill_dir.into(),
+            pipelined: true,
+            merge_threads: 0,
+        }
+    }
+
+    /// The fully serial variant — no spill overlap, direct single-pass
+    /// merge. The strictest resident bound (`shard_rows × k`), and the
+    /// A/B baseline the pipelined path is property-tested against.
+    pub fn serial(shard_rows: usize, spill_dir: impl Into<PathBuf>) -> Self {
+        ShardedConfig {
+            shard_rows,
+            spill_dir: spill_dir.into(),
+            pipelined: false,
+            merge_threads: 1,
         }
     }
 }
@@ -95,10 +158,11 @@ pub struct ShardedStats {
     /// Edges in the finished on-disk graph.
     pub retained_edges: usize,
     /// Maximum triples resident at once — bounded row heaps plus the
-    /// *current* shard's buffers only, since each spilled shard releases
+    /// in-flight shard buffers only, since each spilled shard releases
     /// its count. At most [`Self::resident_budget_edges`].
     pub peak_resident_edges: usize,
-    /// The configured resident ceiling: `shard_rows × k` (saturating).
+    /// The configured resident ceiling: `shard_rows × k`, doubled when
+    /// the build is pipelined (two shards in flight).
     pub resident_budget_edges: usize,
     /// Candidate pairs skipped via exact upper bounds before scoring.
     pub pruned_pairs: usize,
@@ -110,11 +174,13 @@ pub struct ShardedStats {
     pub spilled_bytes: usize,
     /// Bytes of the merged on-disk graph (the final store file).
     pub merged_bytes: usize,
+    /// Workers the final merge actually ran with (1 = direct serial).
+    pub merge_workers: usize,
 }
 
-/// One spill file being merged: a buffered reader plus the decoded
-/// look-ahead record — the only triple of the shard resident during the
-/// merge.
+/// One spill (or segment) file being merged: a buffered reader plus the
+/// decoded look-ahead record — the only triple of the shard resident
+/// during the merge.
 struct SpillReader {
     rd: BufReader<File>,
     next: Option<(u32, u32, f64)>,
@@ -153,10 +219,494 @@ impl SpillReader {
     }
 }
 
+// ----------------------------------------------------------------------
+// Score-phase spilling (shared by the serial loop and the pipeline
+// worker — one code path, so overlap cannot change the bytes).
+// ----------------------------------------------------------------------
+
+/// Mutable state of the spill stage.
+struct SpillState {
+    spills: Vec<PathBuf>,
+    lo: f64,
+    hi: f64,
+    spilled_triples: usize,
+    err: Option<StoreError>,
+}
+
+impl SpillState {
+    fn new() -> Self {
+        SpillState {
+            spills: Vec::new(),
+            lo: f64::INFINITY,
+            hi: f64::NEG_INFINITY,
+            spilled_triples: 0,
+            err: None,
+        }
+    }
+
+    /// Positivity-filter, fold the frame bounds, and spill one scored
+    /// shard; `resident` is the triple count the shard's buffers held.
+    fn spill_shard(
+        &mut self,
+        shard: usize,
+        bufs: Vec<Vec<Triple>>,
+        resident: usize,
+        keep_positive_only: bool,
+        spill_dir: &Path,
+        acct: &ConstructionCounters,
+    ) {
+        if self.err.is_some() {
+            return;
+        }
+        let path = spill_dir.join(format!("shard-{shard}.spill"));
+        let spill = (|| -> Result<usize, StoreError> {
+            let mut out = BufWriter::new(File::create(&path)?);
+            let mut kept = 0usize;
+            for (l, r, w) in bufs.into_iter().flatten() {
+                if keep_positive_only && w <= 0.0 {
+                    continue;
+                }
+                self.lo = self.lo.min(w);
+                self.hi = self.hi.max(w);
+                out.write_all(&l.to_le_bytes())?;
+                out.write_all(&r.to_le_bytes())?;
+                out.write_all(&w.to_le_bytes())?;
+                kept += 1;
+            }
+            out.flush()?;
+            Ok(kept)
+        })();
+        self.spills.push(path);
+        match spill {
+            Ok(kept) => {
+                self.spilled_triples += kept;
+                acct.add_spilled_bytes(kept * SPILL_RECORD);
+                // The shard's buffers are dropped here: release their
+                // resident count so the peak tracks the in-flight
+                // shards, not the cumulative total.
+                acct.sub_resident(resident);
+            }
+            Err(e) => self.err = Some(e),
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// External sort of the store's sort-order column.
+// ----------------------------------------------------------------------
+
+/// Run comparator: stored weight descending under `total_cmp`, ties by
+/// ascending slab index — `edge_key_desc` expressed on `(weight, slab
+/// index)`, since slab order is `(left, right)`-ascending.
+fn perm_cmp(a: &(f64, u64), b: &(f64, u64)) -> std::cmp::Ordering {
+    b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1))
+}
+
+/// Bounded-memory sorter for the sort-order column: buffers `(stored
+/// weight, slab index)` entries up to the run budget, spills sorted
+/// runs, and k-way-merges them into the order stream
+/// [`SlabWriter::finish_with_order`] consumes. Small builds never spill
+/// (one resident run).
+struct PermSorter {
+    dir: PathBuf,
+    budget: usize,
+    buf: Vec<(f64, u64)>,
+    runs: Vec<PathBuf>,
+}
+
+impl PermSorter {
+    fn new(dir: &Path, budget: usize) -> Self {
+        PermSorter {
+            dir: dir.to_path_buf(),
+            budget: budget.max(MIN_PERM_RUN),
+            buf: Vec::new(),
+            runs: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, weight: f64, slab_idx: u64) -> Result<(), StoreError> {
+        self.buf.push((weight, slab_idx));
+        if self.buf.len() >= self.budget {
+            self.spill_run()?;
+        }
+        Ok(())
+    }
+
+    fn spill_run(&mut self) -> Result<(), StoreError> {
+        self.buf.sort_unstable_by(perm_cmp);
+        let path = self.dir.join(format!("perm-run-{}.spill", self.runs.len()));
+        let mut out = BufWriter::new(File::create(&path)?);
+        for &(w, idx) in &self.buf {
+            out.write_all(&w.to_le_bytes())?;
+            out.write_all(&idx.to_le_bytes())?;
+        }
+        out.flush()?;
+        self.runs.push(path);
+        self.buf.clear();
+        Ok(())
+    }
+
+    /// Freeze into the merged order stream (and the run paths to clean
+    /// up afterwards).
+    fn into_order(mut self) -> Result<(PermOrder, Vec<PathBuf>), StoreError> {
+        self.buf.sort_unstable_by(perm_cmp);
+        let run_paths = self.runs.clone();
+        let mut sources = Vec::with_capacity(self.runs.len() + 1);
+        for p in &self.runs {
+            sources.push(PermSource::Run(PermRunReader::open(p)?));
+        }
+        sources.push(PermSource::Ram(self.buf.into_iter()));
+        let mut heap = BinaryHeap::with_capacity(sources.len());
+        for (i, s) in sources.iter_mut().enumerate() {
+            if let Some((w, idx)) = s.pop()? {
+                heap.push(PermHeapEntry { w, idx, src: i });
+            }
+        }
+        Ok((PermOrder { sources, heap }, run_paths))
+    }
+}
+
+/// One spilled run of the external sort.
+struct PermRunReader {
+    rd: BufReader<File>,
+}
+
+impl PermRunReader {
+    fn open(path: &Path) -> Result<PermRunReader, StoreError> {
+        Ok(PermRunReader {
+            rd: BufReader::new(File::open(path)?),
+        })
+    }
+
+    fn read(&mut self) -> Result<Option<(f64, u64)>, StoreError> {
+        let mut buf = [0u8; PERM_RECORD];
+        let mut at = 0;
+        while at < PERM_RECORD {
+            let n = self.rd.read(&mut buf[at..])?;
+            if n == 0 {
+                break;
+            }
+            at += n;
+        }
+        match at {
+            0 => Ok(None),
+            PERM_RECORD => Ok(Some((
+                f64::from_le_bytes(buf[0..8].try_into().unwrap()),
+                u64::from_le_bytes(buf[8..16].try_into().unwrap()),
+            ))),
+            _ => Err(StoreError::Format("truncated sort-order run record".into())),
+        }
+    }
+}
+
+enum PermSource {
+    Run(PermRunReader),
+    Ram(std::vec::IntoIter<(f64, u64)>),
+}
+
+impl PermSource {
+    fn pop(&mut self) -> Result<Option<(f64, u64)>, StoreError> {
+        match self {
+            PermSource::Run(r) => r.read(),
+            PermSource::Ram(it) => Ok(it.next()),
+        }
+    }
+}
+
+/// Max-heap key: "greater" means "comes first" under [`perm_cmp`], so
+/// `BinaryHeap::pop` yields the globally next sort-order entry.
+struct PermHeapEntry {
+    w: f64,
+    idx: u64,
+    src: usize,
+}
+
+impl PartialEq for PermHeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for PermHeapEntry {}
+
+impl PartialOrd for PermHeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for PermHeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        perm_cmp(&(other.w, other.idx), &(self.w, self.idx))
+    }
+}
+
+/// The merged weight-descending order, streamed into
+/// [`SlabWriter::finish_with_order`]. One resident record per run.
+struct PermOrder {
+    sources: Vec<PermSource>,
+    heap: BinaryHeap<PermHeapEntry>,
+}
+
+impl Iterator for PermOrder {
+    type Item = Result<u64, StoreError>;
+
+    fn next(&mut self) -> Option<Result<u64, StoreError>> {
+        let top = self.heap.pop()?;
+        match self.sources[top.src].pop() {
+            Ok(Some((w, idx))) => self.heap.push(PermHeapEntry {
+                w,
+                idx,
+                src: top.src,
+            }),
+            Ok(None) => {}
+            Err(e) => return Some(Err(e)),
+        }
+        Some(Ok(top.idx))
+    }
+}
+
+// ----------------------------------------------------------------------
+// Store sink: rows in, finished v2 store out.
+// ----------------------------------------------------------------------
+
+/// Streams finalized rows (right-ascending, weights normalized) into a
+/// [`SlabWriter::create_streamed`] writer while feeding the external
+/// sort of the sort-order column. Gaps between pushed rows become empty
+/// live rows, exactly like the direct merge wrote them.
+struct StoreSink {
+    writer: SlabWriter,
+    perm: PermSorter,
+    n_left: u32,
+    next_row: u32,
+    slab_idx: u64,
+}
+
+impl StoreSink {
+    fn new(
+        out_path: &Path,
+        n_left: u32,
+        n_right: u32,
+        spill_dir: &Path,
+        perm_budget: usize,
+    ) -> Result<StoreSink, StoreError> {
+        Ok(StoreSink {
+            writer: SlabWriter::create_streamed(out_path, n_left, n_right, Vec::new())?,
+            perm: PermSorter::new(spill_dir, perm_budget),
+            n_left,
+            next_row: 0,
+            slab_idx: 0,
+        })
+    }
+
+    /// Append row `l` (right-ascending `(right, stored weight)` pairs),
+    /// filling any gap since the previous pushed row with empty rows.
+    fn push_row(&mut self, l: u32, row: &[(u32, f64)]) -> Result<(), StoreError> {
+        if l >= self.n_left || l < self.next_row {
+            return Err(StoreError::Format(
+                "spill records outside the left id space".into(),
+            ));
+        }
+        while self.next_row < l {
+            self.writer.append_row(&[])?;
+            self.next_row += 1;
+        }
+        self.writer.append_row(row)?;
+        self.next_row += 1;
+        for &(_, w) in row {
+            self.perm.push(w, self.slab_idx)?;
+            self.slab_idx += 1;
+        }
+        Ok(())
+    }
+
+    /// Pad the remaining rows, merge the sort-order runs, seal the file.
+    fn finish(mut self) -> Result<(StoreMeta, Vec<PathBuf>), StoreError> {
+        while self.next_row < self.n_left {
+            self.writer.append_row(&[])?;
+            self.next_row += 1;
+        }
+        let (order, run_paths) = self.perm.into_order()?;
+        let meta = self.writer.finish_with_order(order)?;
+        Ok((meta, run_paths))
+    }
+}
+
+// ----------------------------------------------------------------------
+// Merge paths.
+// ----------------------------------------------------------------------
+
+/// Direct serial merge: k-way heap over all spill files straight into
+/// the sink — no intermediate segment I/O. The path of choice on one
+/// effective thread.
+fn merge_serial(
+    spills: &[PathBuf],
+    frame: NormFrame,
+    sink: &mut StoreSink,
+    n_left: u32,
+) -> Result<(), StoreError> {
+    let mut readers = Vec::with_capacity(spills.len());
+    for p in spills {
+        readers.push(SpillReader::open(p)?);
+    }
+    let mut heap: BinaryHeap<Reverse<(u32, usize)>> = readers
+        .iter()
+        .enumerate()
+        .filter_map(|(i, r)| r.next.map(|(l, _, _)| Reverse((l, i))))
+        .collect();
+    let mut row: Vec<(u32, f64)> = Vec::new();
+    for l in 0..n_left {
+        row.clear();
+        while let Some(&Reverse((rl, idx))) = heap.peek() {
+            if rl != l {
+                break;
+            }
+            heap.pop();
+            while let Some((el, er, ew)) = readers[idx].next {
+                if el != l {
+                    break;
+                }
+                row.push((er, frame.apply(ew)));
+                readers[idx].advance()?;
+            }
+            if let Some((el, _, _)) = readers[idx].next {
+                heap.push(Reverse((el, idx)));
+            }
+        }
+        // Shard rows drain weight-descending; the store's canonical
+        // row order is right-ascending, same as CsrGraph::from_graph.
+        row.sort_unstable_by_key(|&(r, _)| r);
+        sink.push_row(l, &row)?;
+    }
+    if !heap.is_empty() {
+        return Err(StoreError::Format(
+            "spill records outside the left id space".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// One parallel-merge worker: finalize a contiguous group of spill
+/// files (rows `lo_row..hi_row`) into a segment file — rows in
+/// ascending-left order, right-ascending within a row, weights
+/// normalized. Row-local work only, so the segment bytes are identical
+/// to what the direct merge writes for those rows.
+fn merge_group(
+    spills: &[PathBuf],
+    frame: NormFrame,
+    seg_path: &Path,
+    lo_row: u32,
+    hi_row: u32,
+) -> Result<(), StoreError> {
+    let mut out = BufWriter::new(File::create(seg_path)?);
+    let mut row: Vec<(u32, f64)> = Vec::new();
+    let mut cur: Option<u32> = None;
+    let flush = |l: u32, row: &mut Vec<(u32, f64)>, out: &mut BufWriter<File>| {
+        row.sort_unstable_by_key(|&(r, _)| r);
+        for &(r, w) in row.iter() {
+            out.write_all(&l.to_le_bytes())?;
+            out.write_all(&r.to_le_bytes())?;
+            out.write_all(&w.to_le_bytes())?;
+        }
+        row.clear();
+        Ok::<(), StoreError>(())
+    };
+    for p in spills {
+        let mut rd = SpillReader::open(p)?;
+        while let Some((l, r, w)) = rd.next {
+            if l < lo_row || l >= hi_row || cur.is_some_and(|c| l < c) {
+                return Err(StoreError::Format(
+                    "spill records outside the left id space".into(),
+                ));
+            }
+            if cur != Some(l) {
+                if let Some(prev) = cur {
+                    flush(prev, &mut row, &mut out)?;
+                }
+                cur = Some(l);
+            }
+            row.push((r, frame.apply(w)));
+            rd.advance()?;
+        }
+    }
+    if let Some(prev) = cur {
+        flush(prev, &mut row, &mut out)?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Parallel merge: split the spill files into `workers` contiguous
+/// groups, finalize each into a segment on its own thread, then stream
+/// the segments (already globally row-ordered) into the sink.
+fn merge_parallel(
+    spills: &[PathBuf],
+    frame: NormFrame,
+    sink: &mut StoreSink,
+    shard_rows: usize,
+    n_left: u32,
+    workers: usize,
+    spill_dir: &Path,
+) -> Result<Vec<PathBuf>, StoreError> {
+    let n_shards = spills.len();
+    let per_group = n_shards.div_ceil(workers);
+    let groups: Vec<(usize, usize)> = (0..workers)
+        .map(|g| (g * per_group, ((g + 1) * per_group).min(n_shards)))
+        .filter(|(s, e)| s < e)
+        .collect();
+    let seg_paths: Vec<PathBuf> = (0..groups.len())
+        .map(|g| spill_dir.join(format!("seg-{g}.merged")))
+        .collect();
+    let results: Vec<Result<(), StoreError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = groups
+            .iter()
+            .zip(&seg_paths)
+            .map(|(&(s, e), seg)| {
+                let group_spills = &spills[s..e];
+                scope.spawn(move || {
+                    let lo_row = (s * shard_rows).min(n_left as usize) as u32;
+                    let hi_row = (e * shard_rows).min(n_left as usize) as u32;
+                    merge_group(group_spills, frame, seg, lo_row, hi_row)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("merge worker panicked"))
+            .collect()
+    });
+    for r in results {
+        r?;
+    }
+    // Serial pass: segments are contiguous ascending row ranges, so
+    // concatenation is the global row order.
+    let mut row: Vec<(u32, f64)> = Vec::new();
+    let mut cur: Option<u32> = None;
+    for seg in &seg_paths {
+        let mut rd = SpillReader::open(seg)?;
+        while let Some((l, r, w)) = rd.next {
+            if cur != Some(l) {
+                if let Some(prev) = cur {
+                    sink.push_row(prev, &row)?;
+                    row.clear();
+                }
+                cur = Some(l);
+            }
+            row.push((r, w));
+            rd.advance()?;
+        }
+    }
+    if let Some(prev) = cur {
+        sink.push_row(prev, &row)?;
+    }
+    Ok(seg_paths)
+}
+
 /// Build the top-k graph of `function` **out of core**: bounded shards
-/// through the streaming engine, spill files, one external merge into a
+/// through the streaming engine, spill files, an external merge into a
 /// columnar on-disk store at `out_path` — opened and returned as a
-/// file-backed [`MappedCsr`] view, bit-identical to what the in-RAM
+/// file-backed [`MappedCsr`] view (version 2: sort-order column
+/// included), bit-identical to what the in-RAM
 /// [`build_graph_topk_mode`](crate::build_graph_topk_mode) path would have produced (see the module
 /// docs for the argument), with the frame and the spill/merge
 /// accounting alongside.
@@ -186,6 +736,7 @@ impl SpillReader {
 /// let (g, _) = build_graph_topk_mode(&d.left, &d.right, &f, 2, CandidateMode::Indexed, &cfg);
 /// assert_eq!(mapped.to_csr(), er_core::CsrGraph::from_graph(&g));
 /// assert!(stats.peak_resident_edges <= stats.resident_budget_edges);
+/// assert!(mapped.has_sort_order());
 /// # std::fs::remove_file(&out).ok();
 /// ```
 #[allow(clippy::too_many_arguments)]
@@ -206,114 +757,127 @@ pub fn build_graph_sharded(
 
     // ---- Score phase: shard, positivity-filter, fold bounds, spill. ----
     let acct = ConstructionCounters::default();
-    let mut spills: Vec<PathBuf> = Vec::new();
-    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
-    let mut spilled_triples = 0usize;
-    let mut spill_err: Option<StoreError> = None;
-    score_topk_sharded(
-        left,
-        right,
-        function,
-        k,
-        mode == CandidateMode::Indexed,
-        cfg,
-        sharding.shard_rows,
-        &acct,
-        |shard, bufs| {
-            if spill_err.is_some() {
-                return;
-            }
-            let resident: usize = bufs.iter().map(Vec::len).sum();
-            let path = sharding.spill_dir.join(format!("shard-{shard}.spill"));
-            let spill = (|| -> Result<usize, StoreError> {
-                let mut out = BufWriter::new(File::create(&path)?);
-                let mut kept = 0usize;
-                for (l, r, w) in bufs.into_iter().flatten() {
-                    if cfg.keep_positive_only && w <= 0.0 {
-                        continue;
-                    }
-                    lo = lo.min(w);
-                    hi = hi.max(w);
-                    out.write_all(&l.to_le_bytes())?;
-                    out.write_all(&r.to_le_bytes())?;
-                    out.write_all(&w.to_le_bytes())?;
-                    kept += 1;
+    let mut state = SpillState::new();
+    if sharding.pipelined {
+        // Rendezvous handoff: the scorer blocks until the spill thread
+        // takes the shard, so at most two shards are ever in flight.
+        std::thread::scope(|scope| {
+            let (tx, rx) = std::sync::mpsc::sync_channel::<(usize, Vec<Vec<Triple>>, usize)>(0);
+            let state_ref = &mut state;
+            let acct_ref = &acct;
+            let worker = scope.spawn(move || {
+                while let Ok((shard, bufs, resident)) = rx.recv() {
+                    state_ref.spill_shard(
+                        shard,
+                        bufs,
+                        resident,
+                        cfg.keep_positive_only,
+                        &sharding.spill_dir,
+                        acct_ref,
+                    );
                 }
-                out.flush()?;
-                Ok(kept)
-            })();
-            spills.push(path);
-            match spill {
-                Ok(kept) => {
-                    spilled_triples += kept;
-                    acct.add_spilled_bytes(kept * SPILL_RECORD);
-                    // The shard's buffers are dropped here: release their
-                    // resident count so the peak tracks one shard, not
-                    // the cumulative total.
-                    acct.sub_resident(resident);
-                }
-                Err(e) => spill_err = Some(e),
-            }
-        },
-    );
-    let cleanup = |spills: &[PathBuf]| {
-        for p in spills {
+            });
+            score_topk_sharded(
+                left,
+                right,
+                function,
+                k,
+                mode == CandidateMode::Indexed,
+                cfg,
+                sharding.shard_rows,
+                &acct,
+                |shard, bufs| {
+                    let resident: usize = bufs.iter().map(Vec::len).sum();
+                    let _ = tx.send((shard, bufs, resident));
+                },
+            );
+            drop(tx);
+            worker.join().expect("spill worker panicked");
+        });
+    } else {
+        score_topk_sharded(
+            left,
+            right,
+            function,
+            k,
+            mode == CandidateMode::Indexed,
+            cfg,
+            sharding.shard_rows,
+            &acct,
+            |shard, bufs| {
+                let resident: usize = bufs.iter().map(Vec::len).sum();
+                state.spill_shard(
+                    shard,
+                    bufs,
+                    resident,
+                    cfg.keep_positive_only,
+                    &sharding.spill_dir,
+                    &acct,
+                );
+            },
+        );
+    }
+    let cleanup = |paths: &[PathBuf]| {
+        for p in paths {
             std::fs::remove_file(p).ok();
         }
     };
-    if let Some(e) = spill_err {
+    let SpillState {
+        spills,
+        lo,
+        hi,
+        spilled_triples,
+        err,
+    } = state;
+    if let Some(e) = err {
         cleanup(&spills);
         return Err(e);
     }
     let frame = NormFrame::from_bounds(lo, hi);
 
-    // ---- Merge phase: k-way merge by left id into the on-disk store. ----
+    // ---- Merge phase: by row ranges into the on-disk v2 store. ----
     let n_left = left.len() as u32;
     let n_right = right.len() as u32;
-    let merged = (|| -> Result<_, StoreError> {
-        let mut readers = Vec::with_capacity(spills.len());
-        for p in &spills {
-            readers.push(SpillReader::open(p)?);
+    let budget_factor = if sharding.pipelined { 2 } else { 1 };
+    let resident_budget = sharding
+        .shard_rows
+        .saturating_mul(k)
+        .saturating_mul(budget_factor);
+    let workers = match sharding.merge_threads {
+        0 => cfg.effective_threads(),
+        n => n,
+    }
+    .min(spills.len())
+    .max(1);
+    let merged = (|| -> Result<(StoreMeta, Vec<PathBuf>), StoreError> {
+        let mut sink = StoreSink::new(
+            out_path,
+            n_left,
+            n_right,
+            &sharding.spill_dir,
+            resident_budget,
+        )?;
+        let mut temp_paths = Vec::new();
+        if workers <= 1 {
+            merge_serial(&spills, frame, &mut sink, n_left)?;
+        } else {
+            temp_paths = merge_parallel(
+                &spills,
+                frame,
+                &mut sink,
+                sharding.shard_rows,
+                n_left,
+                workers,
+                &sharding.spill_dir,
+            )?;
         }
-        let mut heap: BinaryHeap<Reverse<(u32, usize)>> = readers
-            .iter()
-            .enumerate()
-            .filter_map(|(i, r)| r.next.map(|(l, _, _)| Reverse((l, i))))
-            .collect();
-        let mut writer = SlabWriter::create(out_path, n_left, n_right, Vec::new())?;
-        let mut row: Vec<(u32, f64)> = Vec::new();
-        for l in 0..n_left {
-            row.clear();
-            while let Some(&Reverse((rl, idx))) = heap.peek() {
-                if rl != l {
-                    break;
-                }
-                heap.pop();
-                while let Some((el, er, ew)) = readers[idx].next {
-                    if el != l {
-                        break;
-                    }
-                    row.push((er, frame.apply(ew)));
-                    readers[idx].advance()?;
-                }
-                if let Some((el, _, _)) = readers[idx].next {
-                    heap.push(Reverse((el, idx)));
-                }
-            }
-            // Shard rows drain weight-descending; the store's canonical
-            // row order is right-ascending, same as CsrGraph::from_graph.
-            row.sort_unstable_by_key(|&(r, _)| r);
-            writer.append_row(&row)?;
-        }
-        if !heap.is_empty() {
-            return Err(StoreError::Format(
-                "spill records outside the left id space".into(),
-            ));
-        }
-        writer.finish()
+        let (meta, run_paths) = sink.finish()?;
+        temp_paths.extend(run_paths);
+        Ok((meta, temp_paths))
     })();
     cleanup(&spills);
-    let meta = merged?;
+    let (meta, temp_paths) = merged?;
+    cleanup(&temp_paths);
     acct.add_merged_bytes(meta.file_bytes as usize);
 
     let mapped = MappedCsr::open(out_path)?;
@@ -323,12 +887,13 @@ pub fn build_graph_sharded(
         offered_edges: acct.offered(),
         retained_edges: meta.n_edges as usize,
         peak_resident_edges: acct.peak(),
-        resident_budget_edges: sharding.shard_rows.saturating_mul(k),
+        resident_budget_edges: resident_budget,
         pruned_pairs: acct.pruned(),
         scored_pairs: acct.scored(),
         spilled_triples,
         spilled_bytes: acct.spilled_bytes(),
         merged_bytes: acct.merged_bytes(),
+        merge_workers: workers,
     };
     Ok((mapped, stats, frame))
 }

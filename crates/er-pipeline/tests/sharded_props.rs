@@ -11,9 +11,14 @@
 //! 2. **normalization frame identity**: the frame folded from per-shard
 //!    bounds equals the in-RAM build's frame (`NormFrame` is `PartialEq`
 //!    over its raw `f64` fields, so this is a bitwise statement);
-//! 3. **resident budget**: peak resident edges never exceed one shard's
-//!    `shard_rows × k` admission budget, and the spill/merge accounting
-//!    is consistent with the retained edge count.
+//! 3. **resident budget**: peak resident edges never exceed the
+//!    configured admission budget (`shard_rows × k`, doubled when the
+//!    build pipelines scoring against spilling), and the spill/merge
+//!    accounting is consistent with the retained edge count;
+//! 4. **pipelining and merge parallelism are invisible in the bytes**:
+//!    the serial build, the pipelined build, and every merge-worker
+//!    count produce *byte-identical* store files — sort-order column,
+//!    checksum and all — and identical normalization frames.
 
 use er_core::CsrGraph;
 use er_datasets::{EntityCollection, EntityProfile};
@@ -137,6 +142,11 @@ fn assert_sharded_matches_ram(
         function.name()
     );
     assert_eq!(mapped.to_csr(), want, "{what}: bit-identical store");
+    assert!(
+        mapped.has_sort_order(),
+        "{what}: sharded builds persist the sort-order column"
+    );
+    assert!(stats.merge_workers >= 1, "{what}: merge ran");
     assert_eq!(frame, ram_frame, "{what}: identical normalization frame");
     assert_eq!(stats.retained_edges, want.n_edges(), "{what}: retained");
     assert_eq!(
@@ -215,5 +225,70 @@ proptest! {
                 shard_rows,
             );
         }
+    }
+
+    /// Invariant 4: serial vs pipelined, and 1 vs many merge workers —
+    /// every combination writes the same file, byte for byte, and equals
+    /// the in-RAM build.
+    #[test]
+    fn pipelining_and_merge_parallelism_preserve_bytes(
+        left in arb_collection(8),
+        right in arb_collection(8),
+        shard_rows in 1usize..=4,
+        merge_threads in 2usize..=4,
+    ) {
+        let function = SimilarityFunction::SchemaAgnosticVector {
+            scheme: NGramScheme::Token(1),
+            measure: VectorMeasure::CosineTfIdf,
+        };
+        let k = 2;
+        let config = cfg(2);
+        let (ram_graph, _, ram_frame) =
+            build_graph_topk_framed(&left, &right, &function, k, CandidateMode::Indexed, &config);
+        let want = CsrGraph::from_graph(&ram_graph);
+
+        let dir = scratch_dir();
+        let mut variants = Vec::new();
+        for (tag, sharding) in [
+            ("serial", ShardedConfig::serial(shard_rows, dir.join("sp-serial"))),
+            ("pipelined-1", {
+                let mut s = ShardedConfig::new(shard_rows, dir.join("sp-p1"));
+                s.merge_threads = 1;
+                s
+            }),
+            ("pipelined-n", {
+                let mut s = ShardedConfig::new(shard_rows, dir.join("sp-pn"));
+                s.merge_threads = merge_threads;
+                s
+            }),
+        ] {
+            let out = dir.join(format!("{tag}.slab"));
+            let (mapped, stats, frame) = build_graph_sharded(
+                &left, &right, &function, k, CandidateMode::Indexed, &config, &sharding, &out,
+            )
+            .expect("sharded build succeeds");
+            prop_assert_eq!(mapped.to_csr(), want.clone(), "{}: store equals RAM build", tag);
+            prop_assert_eq!(frame, ram_frame, "{}: frame", tag);
+            prop_assert!(
+                stats.peak_resident_edges <= stats.resident_budget_edges,
+                "{}: peak {} over budget {}",
+                tag, stats.peak_resident_edges, stats.resident_budget_edges
+            );
+            let expected_budget = shard_rows * k * if sharding.pipelined { 2 } else { 1 };
+            prop_assert_eq!(stats.resident_budget_edges, expected_budget, "{}: budget", tag);
+            drop(mapped);
+            variants.push((tag, std::fs::read(&out).unwrap(), stats));
+        }
+        let (_, base_bytes, base_stats) = &variants[0];
+        for (tag, bytes, stats) in &variants[1..] {
+            prop_assert_eq!(
+                bytes, base_bytes,
+                "{} file differs from the serial build", tag
+            );
+            prop_assert_eq!(stats.retained_edges, base_stats.retained_edges);
+            prop_assert_eq!(stats.spilled_triples, base_stats.spilled_triples);
+            prop_assert_eq!(stats.shards, base_stats.shards);
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

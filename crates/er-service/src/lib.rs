@@ -33,6 +33,7 @@
 //! right-insert admission, tombstone residue) and when to
 //! [`ErService::load`] a fresh instance.
 
+use std::fmt;
 use std::path::{Path, PathBuf};
 
 use er_core::{
@@ -45,6 +46,47 @@ use er_pipeline::{
     build_graph_topk_framed, CandidateMode, NormFrame, PipelineConfig, ResidentScorer,
     SimilarityFunction,
 };
+
+/// Errors surfaced by service updates that touch both the resident
+/// store (delta validation) and, for file-backed services, the backing
+/// columnar store file (auto-compaction persistence).
+#[derive(Debug)]
+pub enum ServiceError {
+    /// The resident store rejected the update.
+    Core(CoreError),
+    /// Persisting the folded graph to the backing file failed.
+    Store(StoreError),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Core(e) => e.fmt(f),
+            ServiceError::Store(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Core(e) => Some(e),
+            ServiceError::Store(e) => Some(e),
+        }
+    }
+}
+
+impl From<CoreError> for ServiceError {
+    fn from(e: CoreError) -> Self {
+        ServiceError::Core(e)
+    }
+}
+
+impl From<StoreError> for ServiceError {
+    fn from(e: StoreError) -> Self {
+        ServiceError::Store(e)
+    }
+}
 
 /// Everything [`ErService::load`] needs beyond the data: graph bound,
 /// matching threshold, and the algorithm configuration.
@@ -63,10 +105,13 @@ pub struct ServiceConfig {
     /// Tombstone-ratio bound ([`CsrGraph::tombstone_ratio`]) above which
     /// a [`remove`](ErService::remove) folds the store in place, so
     /// sustained delete traffic can never let dead slab entries dominate
-    /// the resident graph. The fold is RAM-only — persisting a file-backed
-    /// service stays an explicit [`compact`](ErService::compact), which
-    /// has an error surface removes must not inherit. Values `> 1.0`
-    /// disable auto-compaction (the ratio is at most `1.0`).
+    /// the resident graph. A service hydrated from a columnar store file
+    /// ([`ErService::load_mapped`]) also persists the folded graph back
+    /// to that file — the on-disk store tracks the resident one instead
+    /// of silently diverging under delete traffic; the persist's I/O
+    /// error surface is why [`remove`](ErService::remove) returns
+    /// [`ServiceError`]. Values `> 1.0` disable auto-compaction (the
+    /// ratio is at most `1.0`).
     pub auto_compact_ratio: f64,
 }
 
@@ -92,6 +137,14 @@ pub struct ErService {
     /// The columnar store file this service hydrated from (and persists
     /// back to on [`compact`](Self::compact)); `None` for RAM-only loads.
     store_path: Option<PathBuf>,
+    /// The live mmap of `store_path`, kept as long as the resident graph
+    /// still equals the file byte for byte: set by
+    /// [`load_mapped`](Self::load_mapped), refreshed whenever a compact
+    /// persists, dropped by any unpersisted update. While present,
+    /// whole-graph reads ([`full_rematch`](Self::full_rematch)) sweep
+    /// the file directly through the store's sort-order column instead
+    /// of re-sorting resident edge copies.
+    mapped: Option<MappedCsr>,
 }
 
 impl ErService {
@@ -124,6 +177,7 @@ impl ErService {
             matcher,
             config,
             store_path: None,
+            mapped: None,
         }
     }
 
@@ -138,8 +192,11 @@ impl ErService {
     /// frame that build derived, so that inserted records are scored onto
     /// the same weight scale as the resident edges. The store's tombstones
     /// are replayed into the scorer, and the origin path is remembered:
-    /// later [`compact`](Self::compact) calls persist the folded graph
-    /// back to it.
+    /// later [`compact`](Self::compact) calls (and auto-compactions
+    /// triggered by [`remove`](Self::remove)) persist the folded graph
+    /// back to it. The mmap itself stays open: until the first
+    /// unpersisted update, whole-graph reads run **mmap-native** off the
+    /// file's sort-order column — zero resident edge copies.
     pub fn load_mapped(
         path: &Path,
         left: &EntityCollection,
@@ -161,7 +218,6 @@ impl ErService {
             )));
         }
         let csr = mapped.to_csr();
-        drop(mapped);
         let mut scorer =
             ResidentScorer::prepare(left, right, function, config.k, frame, &config.pipeline);
         for &id in csr.dead_left() {
@@ -179,6 +235,7 @@ impl ErService {
             matcher,
             config,
             store_path: Some(path.to_path_buf()),
+            mapped: Some(mapped),
         })
     }
 
@@ -199,6 +256,8 @@ impl ErService {
         let delta = self.scorer.score_insert(side, profile);
         self.csr.apply(&delta)?;
         self.matcher.apply_delta(&delta);
+        // The resident graph moved past the backing file.
+        self.mapped = None;
         Ok(delta)
     }
 
@@ -206,7 +265,14 @@ impl ErService {
     /// repair the matching incrementally. Returns the delete delta with
     /// the edges that disappeared. Errors if `id` is unknown or already
     /// dead; ids are never reused.
-    pub fn remove(&mut self, side: Side, id: u32) -> Result<RowDelta> {
+    ///
+    /// When the tombstone ratio reaches
+    /// [`ServiceConfig::auto_compact_ratio`], the store is folded — and,
+    /// for a file-backed service, **persisted** back to the backing file
+    /// exactly as an explicit [`compact`](Self::compact) would (whence
+    /// the [`ServiceError::Store`] arm: the delete itself has fully
+    /// applied when that persist fails).
+    pub fn remove(&mut self, side: Side, id: u32) -> std::result::Result<RowDelta, ServiceError> {
         let removed = match side {
             Side::Left => self.csr.remove_left(id)?,
             Side::Right => self.csr.remove_right(id)?,
@@ -217,8 +283,9 @@ impl ErService {
             Side::Right => RowDelta::delete_right(id, removed),
         };
         self.matcher.apply_delta(&delta);
+        self.mapped = None;
         if self.csr.tombstone_ratio() >= self.config.auto_compact_ratio {
-            self.csr.compact();
+            self.compact()?;
         }
         Ok(delta)
     }
@@ -276,11 +343,28 @@ impl ErService {
     /// Run the service's algorithm from scratch on the resident store —
     /// the reference the incremental matching is equivalent to. Costs a
     /// full prepare + run; exists for verification and benchmarking.
+    ///
+    /// While the backing file is current (freshly hydrated or just
+    /// compacted), the run sweeps the **mmap directly** through the
+    /// store's persisted sort-order column — no resident edge copies —
+    /// which is bit-identical to the resident path (see
+    /// `er-matchers::PreparedGraph::from_mapped` and its property
+    /// suite).
     pub fn full_rematch(&self) -> Matching {
-        let pg = PreparedGraph::from_csr(&self.csr);
+        let pg = match &self.mapped {
+            Some(m) => PreparedGraph::from_mapped(m),
+            None => PreparedGraph::from_csr(&self.csr),
+        };
         self.config
             .matchers
             .run(self.config.algorithm, &pg, self.config.threshold)
+    }
+
+    /// Whether whole-graph reads currently run off the backing file's
+    /// mmap (true until the first update not yet persisted by a
+    /// compaction).
+    pub fn reads_mapped(&self) -> bool {
+        self.mapped.is_some()
     }
 
     /// The resident profile for `id` on `side` (tombstoned included —
@@ -303,7 +387,14 @@ impl ErService {
     pub fn compact(&mut self) -> std::result::Result<Option<StoreMeta>, StoreError> {
         self.csr.compact();
         match &self.store_path {
-            Some(path) => write_csr(&self.csr, path).map(Some),
+            Some(path) => {
+                self.mapped = None;
+                let meta = write_csr(&self.csr, path)?;
+                // The file equals the resident graph again: re-arm the
+                // mmap-native read path.
+                self.mapped = Some(MappedCsr::open(path)?);
+                Ok(Some(meta))
+            }
             None => Ok(None),
         }
     }
@@ -568,6 +659,91 @@ mod tests {
         assert_eq!(&reread.to_csr(), s.store());
         assert!(!reread.is_live_right(1));
         assert_eq!(s.matching(), before);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn auto_compact_persists_for_file_backed_services() {
+        let d = Dataset::generate(DatasetId::D1, 0.02, 11);
+        let f = SimilarityFunction::SchemaAgnosticVector {
+            scheme: NGramScheme::Token(1),
+            measure: VectorMeasure::CosineTfIdf,
+        };
+        let cfg = ServiceConfig {
+            k: 3,
+            threshold: 0.3,
+            // Every remove trips the bound: each delete must round-trip
+            // through a persisted fold.
+            auto_compact_ratio: 0.0,
+            ..ServiceConfig::default()
+        };
+        let (graph, _, frame) = build_graph_topk_framed(
+            &d.left,
+            &d.right,
+            &f,
+            cfg.k,
+            CandidateMode::Indexed,
+            &cfg.pipeline,
+        );
+        let csr = CsrGraph::from_graph(&graph);
+        let dir = scratch_dir();
+        let path = dir.join("autocompact.slab");
+        er_core::write_csr(&csr, &path).unwrap();
+        let mut s = ErService::load_mapped(&path, &d.left, &d.right, &f, frame, cfg).unwrap();
+        assert!(s.reads_mapped(), "hydration arms the mmap read path");
+
+        s.remove(Side::Right, 1).unwrap();
+        // Regression (the fold used to be RAM-only): the auto-compaction
+        // a remove triggers must persist the folded graph to the backing
+        // file, not let the file silently drift behind the service.
+        let reread = er_core::MappedCsr::open(&path).unwrap();
+        assert!(!reread.is_live_right(1), "tombstone reached the file");
+        assert_eq!(&reread.to_csr(), s.store(), "file equals resident store");
+        assert!(s.reads_mapped(), "persisting re-arms the mmap");
+        assert_eq!(s.matching(), s.full_rematch());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unpersisted_updates_drop_the_mmap_read_path() {
+        let d = Dataset::generate(DatasetId::D1, 0.02, 11);
+        let f = SimilarityFunction::SchemaAgnosticVector {
+            scheme: NGramScheme::Token(1),
+            measure: VectorMeasure::CosineTfIdf,
+        };
+        let cfg = ServiceConfig {
+            k: 3,
+            threshold: 0.3,
+            auto_compact_ratio: 2.0, // keep removes from compacting
+            ..ServiceConfig::default()
+        };
+        let (graph, _, frame) = build_graph_topk_framed(
+            &d.left,
+            &d.right,
+            &f,
+            cfg.k,
+            CandidateMode::Indexed,
+            &cfg.pipeline,
+        );
+        let dir = scratch_dir();
+        let path = dir.join("invalidate.slab");
+        er_core::write_csr(&CsrGraph::from_graph(&graph), &path).unwrap();
+        let mut s = ErService::load_mapped(&path, &d.left, &d.right, &f, frame, cfg).unwrap();
+        assert!(s.reads_mapped());
+        // full_rematch sweeps the mmap here and must agree with the
+        // incremental matcher.
+        assert_eq!(s.matching(), s.full_rematch());
+
+        let mut p = d.left.profiles[2].clone();
+        p.id = s.next_id(Side::Left);
+        s.insert(Side::Left, &p).unwrap();
+        assert!(!s.reads_mapped(), "stale file must not serve reads");
+        assert_eq!(s.matching(), s.full_rematch(), "fallback is resident");
+
+        // An explicit compact persists and re-arms the mapped path.
+        s.compact().unwrap().expect("file-backed");
+        assert!(s.reads_mapped());
+        assert_eq!(s.matching(), s.full_rematch());
         std::fs::remove_dir_all(&dir).ok();
     }
 
